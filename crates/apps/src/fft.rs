@@ -1,0 +1,338 @@
+//! Radix-2 fast Fourier transform whose data reordering is an offline
+//! permutation.
+//!
+//! The paper's Section IV names bit-reversal as "used for data reordering
+//! in the FFT algorithms"; this module is that application, library-grade:
+//! forward/inverse transforms, circular convolution, and the reordering
+//! step factored through [`hmm_perm::families::bit_reversal`] so the same
+//! permutation object can also be executed on the simulated HMM or the
+//! parallel CPU backend.
+
+use hmm_perm::{families, PermError, Permutation};
+use std::f64::consts::PI;
+
+/// A complex number (f64 re/im). Deliberately minimal — just what the
+/// transform needs — so the crate stays dependency-free.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Construct from parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// `e^{iθ}`.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Complex::new(theta.cos(), theta.sin())
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex::new(self.re, -self.im)
+    }
+
+    /// Magnitude.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+}
+
+impl core::ops::Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, o: Complex) -> Complex {
+        Complex::new(self.re + o.re, self.im + o.im)
+    }
+}
+
+impl core::ops::Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, o: Complex) -> Complex {
+        Complex::new(self.re - o.re, self.im - o.im)
+    }
+}
+
+impl core::ops::Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, o: Complex) -> Complex {
+        Complex::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+}
+
+impl core::ops::Mul<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, s: f64) -> Complex {
+        Complex::new(self.re * s, self.im * s)
+    }
+}
+
+/// A planned FFT of size `n` (power of two): the bit-reversal permutation
+/// plus precomputed twiddle factors, reusable across transforms.
+#[derive(Debug, Clone)]
+pub struct FftPlan {
+    n: usize,
+    reorder: Permutation,
+    /// `twiddles[s]` holds the `len/2` roots for the stage with butterfly
+    /// span `len = 2^{s+1}`.
+    twiddles: Vec<Vec<Complex>>,
+}
+
+impl FftPlan {
+    /// Plan a transform of size `n` (power of two, `n ≥ 1`).
+    pub fn new(n: usize) -> Result<Self, PermError> {
+        let reorder = families::bit_reversal(n)?;
+        let stages = n.trailing_zeros() as usize;
+        let mut twiddles = Vec::with_capacity(stages);
+        for s in 0..stages {
+            let len = 1usize << (s + 1);
+            let base = -2.0 * PI / len as f64;
+            twiddles.push(
+                (0..len / 2)
+                    .map(|k| Complex::cis(base * k as f64))
+                    .collect(),
+            );
+        }
+        Ok(FftPlan {
+            n,
+            reorder,
+            twiddles,
+        })
+    }
+
+    /// Transform size.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True for the degenerate size-0 plan (which `new` rejects).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The data-reordering permutation (bit-reversal) this plan applies —
+    /// hand it to the HMM simulator or the native backend to benchmark the
+    /// reordering step itself.
+    pub fn reorder_permutation(&self) -> &Permutation {
+        &self.reorder
+    }
+
+    /// In-place forward DFT: `X[k] = Σ_t x[t]·e^{-2πikt/n}`.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != self.len()`.
+    pub fn forward(&self, data: &mut [Complex]) {
+        assert_eq!(data.len(), self.n, "FFT plan size mismatch");
+        // Offline permutation first (decimation in time), butterflies after.
+        self.reorder
+            .permute_in_place(data)
+            .expect("length checked above");
+        for tw in &self.twiddles {
+            let len = tw.len() * 2;
+            for base in (0..self.n).step_by(len) {
+                for (k, &w) in tw.iter().enumerate() {
+                    let u = data[base + k];
+                    let v = data[base + k + len / 2] * w;
+                    data[base + k] = u + v;
+                    data[base + k + len / 2] = u - v;
+                }
+            }
+        }
+    }
+
+    /// In-place inverse DFT (unitary up to the usual `1/n`):
+    /// `x[t] = (1/n) Σ_k X[k]·e^{+2πikt/n}`.
+    pub fn inverse(&self, data: &mut [Complex]) {
+        assert_eq!(data.len(), self.n, "FFT plan size mismatch");
+        for v in data.iter_mut() {
+            *v = v.conj();
+        }
+        self.forward(data);
+        let scale = 1.0 / self.n as f64;
+        for v in data.iter_mut() {
+            *v = v.conj() * scale;
+        }
+    }
+}
+
+/// Circular convolution of two real sequences of equal power-of-two
+/// length via the FFT.
+pub fn circular_convolve(a: &[f64], b: &[f64]) -> Result<Vec<f64>, PermError> {
+    assert_eq!(a.len(), b.len(), "convolution operands must match");
+    let n = a.len();
+    let plan = FftPlan::new(n)?;
+    let mut fa: Vec<Complex> = a.iter().map(|&x| Complex::new(x, 0.0)).collect();
+    let mut fb: Vec<Complex> = b.iter().map(|&x| Complex::new(x, 0.0)).collect();
+    plan.forward(&mut fa);
+    plan.forward(&mut fb);
+    for (x, y) in fa.iter_mut().zip(&fb) {
+        *x = *x * *y;
+    }
+    plan.inverse(&mut fa);
+    Ok(fa.into_iter().map(|c| c.re).collect())
+}
+
+/// Naive `O(n²)` DFT used to verify the fast path.
+pub fn naive_dft(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = Complex::default();
+            for (t, &x) in input.iter().enumerate() {
+                acc = acc + x * Complex::cis(-2.0 * PI * ((k * t) % n) as f64 / n as f64);
+            }
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Complex, b: Complex, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    fn assert_spectra_match(got: &[Complex], want: &[Complex], tol: f64) {
+        for (k, (&g, &w)) in got.iter().zip(want).enumerate() {
+            assert!(close(g, w, tol), "bin {k}: {g:?} vs {w:?}");
+        }
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        for n in [1usize, 2, 4, 16, 64, 256] {
+            let input: Vec<Complex> = (0..n)
+                .map(|t| Complex::new((t as f64 * 0.7).sin(), (t as f64 * 1.3).cos()))
+                .collect();
+            let plan = FftPlan::new(n).unwrap();
+            let mut fast = input.clone();
+            plan.forward(&mut fast);
+            assert_spectra_match(&fast, &naive_dft(&input), 1e-9 * (n as f64 + 1.0));
+        }
+    }
+
+    #[test]
+    fn forward_inverse_roundtrip() {
+        let n = 1024;
+        let input: Vec<Complex> = (0..n)
+            .map(|t| Complex::new((t % 17) as f64, (t % 5) as f64 - 2.0))
+            .collect();
+        let plan = FftPlan::new(n).unwrap();
+        let mut data = input.clone();
+        plan.forward(&mut data);
+        plan.inverse(&mut data);
+        assert_spectra_match(&data, &input, 1e-9);
+    }
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let n = 64;
+        let mut data = vec![Complex::default(); n];
+        data[0] = Complex::new(1.0, 0.0);
+        FftPlan::new(n).unwrap().forward(&mut data);
+        for (k, &x) in data.iter().enumerate() {
+            assert!(close(x, Complex::new(1.0, 0.0), 1e-12), "bin {k}");
+        }
+    }
+
+    #[test]
+    fn pure_tone_peaks_at_its_bin() {
+        let n = 512;
+        let f = 37;
+        let mut data: Vec<Complex> = (0..n)
+            .map(|t| Complex::cis(2.0 * PI * (f * t) as f64 / n as f64))
+            .collect();
+        FftPlan::new(n).unwrap().forward(&mut data);
+        for (k, &x) in data.iter().enumerate() {
+            let want = if k == f { n as f64 } else { 0.0 };
+            assert!((x.abs() - want).abs() < 1e-8, "bin {k}: |X| = {}", x.abs());
+        }
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        let n = 256;
+        let input: Vec<Complex> = (0..n)
+            .map(|t| Complex::new((t as f64).sin(), (t as f64 / 3.0).cos()))
+            .collect();
+        let time_energy: f64 = input.iter().map(|c| c.abs().powi(2)).sum();
+        let mut data = input;
+        FftPlan::new(n).unwrap().forward(&mut data);
+        let freq_energy: f64 = data.iter().map(|c| c.abs().powi(2)).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-8);
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 128;
+        let a: Vec<Complex> = (0..n).map(|t| Complex::new(t as f64, 0.0)).collect();
+        let b: Vec<Complex> = (0..n)
+            .map(|t| Complex::new(0.0, (t * t % 7) as f64))
+            .collect();
+        let plan = FftPlan::new(n).unwrap();
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        let mut fab: Vec<Complex> = a.iter().zip(&b).map(|(&x, &y)| x + y).collect();
+        plan.forward(&mut fa);
+        plan.forward(&mut fb);
+        plan.forward(&mut fab);
+        for k in 0..n {
+            assert!(close(fab[k], fa[k] + fb[k], 1e-9), "bin {k}");
+        }
+    }
+
+    #[test]
+    fn convolution_matches_naive() {
+        let n = 64;
+        let a: Vec<f64> = (0..n).map(|t| ((t * 3) % 11) as f64).collect();
+        let b: Vec<f64> = (0..n).map(|t| ((t * 7) % 5) as f64 - 2.0).collect();
+        let fast = circular_convolve(&a, &b).unwrap();
+        for k in 0..n {
+            let naive: f64 = (0..n).map(|j| a[j] * b[(n + k - j) % n]).sum();
+            assert!((fast[k] - naive).abs() < 1e-7, "lag {k}");
+        }
+    }
+
+    #[test]
+    fn plan_exposes_bit_reversal() {
+        let plan = FftPlan::new(256).unwrap();
+        assert_eq!(plan.len(), 256);
+        assert!(!plan.is_empty());
+        assert!(plan.reorder_permutation().is_involution());
+        assert_eq!(
+            plan.reorder_permutation(),
+            &families::bit_reversal(256).unwrap()
+        );
+    }
+
+    #[test]
+    fn non_power_of_two_rejected() {
+        assert!(FftPlan::new(100).is_err());
+        assert!(FftPlan::new(0).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn wrong_length_panics() {
+        let plan = FftPlan::new(8).unwrap();
+        let mut data = vec![Complex::default(); 4];
+        plan.forward(&mut data);
+    }
+}

@@ -1,0 +1,246 @@
+//! Permutation routing on a hypercube — the paper's fourth motivation
+//! ("communication on processor networks such as hypercubes, meshes, and
+//! so on can be emulated by permutation") plus its pointer to randomized
+//! algorithms ("random permutation is very helpful for randomized
+//! algorithms", citing Motwani–Raghavan).
+//!
+//! Implements oblivious **e-cube** (dimension-ordered) routing and
+//! Valiant's **two-phase randomized** routing, measuring per-link
+//! congestion. The classic contrast this reproduces: deterministic e-cube
+//! suffers `Θ(√n)` congestion on adversarial permutations such as
+//! bit-complement, while routing via random intermediates flattens every
+//! permutation to near-uniform load — the same "scatter the hot spots"
+//! idea behind the paper's scheduled permutation.
+
+use hmm_perm::Permutation;
+use rand::Rng;
+
+/// A directed hypercube link: from `node` along dimension `dim`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Link {
+    /// Source node id.
+    pub node: usize,
+    /// Dimension crossed (0-based).
+    pub dim: usize,
+}
+
+/// Congestion statistics of one routed permutation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Congestion {
+    /// Maximum packets over any directed link.
+    pub max: usize,
+    /// Mean packets per *used* link.
+    pub mean: f64,
+    /// Total hops taken by all packets.
+    pub total_hops: usize,
+}
+
+/// A `d`-dimensional hypercube (`n = 2^d` nodes).
+#[derive(Debug, Clone, Copy)]
+pub struct Hypercube {
+    dim: usize,
+}
+
+impl Hypercube {
+    /// Build with dimension `d ≥ 1` (at most 24 to keep the link table
+    /// addressable).
+    pub fn new(dim: usize) -> Self {
+        assert!((1..=24).contains(&dim), "dimension out of range");
+        Hypercube { dim }
+    }
+
+    /// Dimension `d`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Node count `2^d`.
+    pub fn nodes(&self) -> usize {
+        1 << self.dim
+    }
+
+    /// The e-cube path from `src` to `dst`: correct differing bits in
+    /// ascending dimension order.
+    pub fn ecube_path(&self, src: usize, dst: usize) -> Vec<Link> {
+        let mut path = Vec::new();
+        let mut cur = src;
+        for d in 0..self.dim {
+            if (cur ^ dst) & (1 << d) != 0 {
+                path.push(Link { node: cur, dim: d });
+                cur ^= 1 << d;
+            }
+        }
+        debug_assert_eq!(cur, dst);
+        path
+    }
+
+    fn congest(&self, paths: impl Iterator<Item = Vec<Link>>) -> Congestion {
+        let mut load = vec![0usize; self.nodes() * self.dim];
+        let mut total_hops = 0usize;
+        for path in paths {
+            for link in path {
+                load[link.node * self.dim + link.dim] += 1;
+                total_hops += 1;
+            }
+        }
+        let used: Vec<usize> = load.iter().copied().filter(|&l| l > 0).collect();
+        Congestion {
+            max: used.iter().copied().max().unwrap_or(0),
+            mean: if used.is_empty() {
+                0.0
+            } else {
+                used.iter().sum::<usize>() as f64 / used.len() as f64
+            },
+            total_hops,
+        }
+    }
+
+    /// Route permutation `p` with deterministic e-cube paths and measure
+    /// congestion.
+    pub fn route_ecube(&self, p: &Permutation) -> Congestion {
+        assert_eq!(p.len(), self.nodes(), "permutation size mismatch");
+        self.congest((0..self.nodes()).map(|src| self.ecube_path(src, p.apply(src))))
+    }
+
+    /// Valiant's two-phase routing: each packet goes to a uniformly random
+    /// intermediate node first, then on to its destination (both phases
+    /// e-cube).
+    pub fn route_valiant<R: Rng + ?Sized>(&self, p: &Permutation, rng: &mut R) -> Congestion {
+        assert_eq!(p.len(), self.nodes(), "permutation size mismatch");
+        let n = self.nodes();
+        self.congest((0..n).map(|src| {
+            let mid = rng.gen_range(0..n);
+            let mut path = self.ecube_path(src, mid);
+            path.extend(self.ecube_path(mid, p.apply(src)));
+            path
+        }))
+    }
+
+    /// The **bit-complement** permutation `i ↦ !i`. Every packet crosses
+    /// all `d` dimensions, yet under e-cube routing no two packets ever
+    /// share a link (their corrected prefixes differ wherever they differ)
+    /// — maximum total traffic, perfectly balanced.
+    pub fn bit_complement(&self) -> Permutation {
+        let n = self.nodes();
+        Permutation::from_vec_unchecked((0..n).map(|i| !i & (n - 1)).collect())
+    }
+
+    /// The **bit-transpose** permutation (swap the high and low halves of
+    /// the address bits — the hypercube face of the paper's matrix
+    /// transpose): the classic adversarial input for dimension-ordered
+    /// routing, funneling `2^{d/2} = √n` packets through shared
+    /// intermediate nodes (`Θ(√n)` congestion). Requires even `d`.
+    pub fn bit_transpose(&self) -> Permutation {
+        assert!(
+            self.dim.is_multiple_of(2),
+            "bit-transpose needs even dimension"
+        );
+        let half = self.dim / 2;
+        let mask = (1usize << half) - 1;
+        let n = self.nodes();
+        Permutation::from_vec_unchecked(
+            (0..n).map(|i| ((i & mask) << half) | (i >> half)).collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmm_perm::families;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ecube_paths_are_shortest() {
+        let h = Hypercube::new(6);
+        for (src, dst) in [(0usize, 63usize), (5, 5), (12, 34), (63, 0)] {
+            let path = h.ecube_path(src, dst);
+            assert_eq!(path.len(), (src ^ dst).count_ones() as usize);
+        }
+    }
+
+    #[test]
+    fn identity_needs_no_hops() {
+        let h = Hypercube::new(5);
+        let c = h.route_ecube(&families::identical(h.nodes()));
+        assert_eq!(c.total_hops, 0);
+        assert_eq!(c.max, 0);
+    }
+
+    #[test]
+    fn single_dimension_exchange_is_uniform() {
+        // The butterfly permutation crosses one dimension once per node:
+        // every used link carries exactly one packet.
+        let h = Hypercube::new(6);
+        let p = families::butterfly(h.nodes(), 3).unwrap();
+        let c = h.route_ecube(&p);
+        assert_eq!(c.max, 1);
+        assert_eq!(c.total_hops, h.nodes());
+    }
+
+    #[test]
+    fn bit_transpose_congests_ecube() {
+        // Classic lower bound: e-cube on the bit-transpose funnels Θ(√n)
+        // packets through shared intermediates.
+        let h = Hypercube::new(10); // n = 1024, √n = 32
+        let c = h.route_ecube(&h.bit_transpose());
+        assert!(c.max >= 16, "max congestion {} << √n", c.max);
+    }
+
+    #[test]
+    fn bit_complement_is_heavy_but_perfectly_balanced() {
+        // Every packet crosses all d dimensions, but no link is shared.
+        let h = Hypercube::new(8);
+        let c = h.route_ecube(&h.bit_complement());
+        assert_eq!(c.total_hops, h.nodes() * h.dim());
+        assert_eq!(c.max, 1);
+    }
+
+    #[test]
+    fn valiant_flattens_bit_transpose() {
+        let h = Hypercube::new(10);
+        let mut rng = StdRng::seed_from_u64(7);
+        let det = h.route_ecube(&h.bit_transpose());
+        let rnd = h.route_valiant(&h.bit_transpose(), &mut rng);
+        // Valiant doubles path lengths but crushes the hot spot.
+        assert!(
+            rnd.max * 2 < det.max,
+            "valiant {} vs ecube {}",
+            rnd.max,
+            det.max
+        );
+        assert!(rnd.total_hops > det.total_hops);
+    }
+
+    #[test]
+    fn random_permutations_are_already_flat() {
+        let h = Hypercube::new(8);
+        let c = h.route_ecube(&families::random(h.nodes(), 3));
+        // With n packets of ~d/2 hops over n·d links, expected load is ~0.5;
+        // max should be small (log-ish), far below the adversarial √n.
+        assert!(c.max <= 8, "max congestion {}", c.max);
+        assert!(c.mean < 3.0);
+    }
+
+    #[test]
+    fn bit_complement_is_an_involution() {
+        let h = Hypercube::new(6);
+        let p = h.bit_complement();
+        assert!(p.is_involution());
+        assert_eq!(p.fixed_points(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension out of range")]
+    fn zero_dimension_rejected() {
+        Hypercube::new(0);
+    }
+
+    #[test]
+    fn accessors() {
+        let h = Hypercube::new(4);
+        assert_eq!(h.dim(), 4);
+        assert_eq!(h.nodes(), 16);
+    }
+}

@@ -1,0 +1,40 @@
+//! # hmm-apps — the applications that motivate offline permutation
+//!
+//! Section I of the paper motivates the offline permutation problem with
+//! four application domains; this crate implements one representative of
+//! each, all built on the same [`hmm_perm::Permutation`] objects the
+//! permutation algorithms move:
+//!
+//! * [`fft`] — radix-2 FFT whose decimation-in-time reordering *is* the
+//!   bit-reversal permutation ("Bit-reversal is used for data reordering
+//!   in the FFT algorithms");
+//! * [`sortnet`] — bitonic and odd–even mergesort comparator networks,
+//!   whose layers exchange data along butterfly permutations ("Sorting
+//!   networks such as bitonic sorting also involve permutation in each
+//!   stage");
+//! * [`omega`] — the shuffle–exchange multistage interconnection network
+//!   the paper cites as the model of the machines' MMU, including the
+//!   blocking analysis that explains why casual access serializes;
+//! * [`hypercube`] / [`mesh`] — permutation routing on hypercubes and
+//!   2-D meshes with deterministic
+//!   e-cube vs Valiant's randomized two-phase routing ("communication on
+//!   processor networks such as hypercubes ... can be emulated by
+//!   permutation"; "random permutation is very helpful for randomized
+//!   algorithms").
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod fft;
+pub mod hypercube;
+pub mod mesh;
+pub mod omega;
+pub mod onhmm;
+pub mod sortnet;
+
+pub use fft::{circular_convolve, Complex, FftPlan};
+pub use hypercube::{Congestion, Hypercube};
+pub use mesh::Mesh;
+pub use omega::{Blocking, OmegaNetwork, SwitchSchedule};
+pub use onhmm::{application_permutations, PermVerdict};
+pub use sortnet::{bitonic, odd_even_mergesort, Network};

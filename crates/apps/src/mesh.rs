@@ -1,0 +1,208 @@
+//! Permutation routing on a 2-D mesh — the other processor network the
+//! paper's introduction names ("hypercubes, meshes, and so on").
+//!
+//! Packets use **XY (dimension-ordered) routing**: all the way along the
+//! row first, then along the column. The module measures per-link
+//! congestion for the paper's permutation families; the matrix transpose
+//! is again the adversary (every packet of row `i` crosses the diagonal
+//! node `(i, i)`), and the randomized two-phase variant flattens it at the
+//! cost of extra hops — the mesh rendition of the paper's trade-off.
+
+use hmm_perm::Permutation;
+use rand::Rng;
+
+/// A directed mesh link between orthogonal neighbours.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MeshLink {
+    /// Source node (row, col).
+    pub from: (usize, usize),
+    /// Destination node (row, col), Manhattan-adjacent to `from`.
+    pub to: (usize, usize),
+}
+
+/// Congestion statistics of one routed permutation (same shape as
+/// [`crate::hypercube::Congestion`]).
+pub use crate::hypercube::Congestion;
+
+/// A `side × side` mesh of `n = side²` nodes.
+#[derive(Debug, Clone, Copy)]
+pub struct Mesh {
+    side: usize,
+}
+
+impl Mesh {
+    /// Build with `side ≥ 1` (at most 2^12 to keep link tables
+    /// addressable).
+    pub fn new(side: usize) -> Self {
+        assert!((1..=1 << 12).contains(&side), "side out of range");
+        Mesh { side }
+    }
+
+    /// Mesh side length.
+    pub fn side(&self) -> usize {
+        self.side
+    }
+
+    /// Node count `side²`.
+    pub fn nodes(&self) -> usize {
+        self.side * self.side
+    }
+
+    /// (row, col) of a flat node id.
+    #[inline]
+    pub fn coords(&self, id: usize) -> (usize, usize) {
+        (id / self.side, id % self.side)
+    }
+
+    /// The XY path between two nodes: column-correcting moves first (along
+    /// the row), then row-correcting moves.
+    pub fn xy_path(&self, src: usize, dst: usize) -> Vec<MeshLink> {
+        let (sr, sc) = self.coords(src);
+        let (dr, dc) = self.coords(dst);
+        let mut path = Vec::with_capacity(sr.abs_diff(dr) + sc.abs_diff(dc));
+        let mut c = sc;
+        while c != dc {
+            let next = if dc > c { c + 1 } else { c - 1 };
+            path.push(MeshLink {
+                from: (sr, c),
+                to: (sr, next),
+            });
+            c = next;
+        }
+        let mut r = sr;
+        while r != dr {
+            let next = if dr > r { r + 1 } else { r - 1 };
+            path.push(MeshLink {
+                from: (r, dc),
+                to: (next, dc),
+            });
+            r = next;
+        }
+        path
+    }
+
+    fn congest(&self, paths: impl Iterator<Item = Vec<MeshLink>>) -> Congestion {
+        use std::collections::HashMap;
+        let mut load: HashMap<MeshLink, usize> = HashMap::new();
+        let mut total_hops = 0usize;
+        for path in paths {
+            for link in path {
+                *load.entry(link).or_insert(0) += 1;
+                total_hops += 1;
+            }
+        }
+        Congestion {
+            max: load.values().copied().max().unwrap_or(0),
+            mean: if load.is_empty() {
+                0.0
+            } else {
+                load.values().sum::<usize>() as f64 / load.len() as f64
+            },
+            total_hops,
+        }
+    }
+
+    /// Route permutation `p` (of `self.nodes()` elements) with XY paths.
+    pub fn route_xy(&self, p: &Permutation) -> Congestion {
+        assert_eq!(p.len(), self.nodes(), "permutation size mismatch");
+        self.congest((0..self.nodes()).map(|src| self.xy_path(src, p.apply(src))))
+    }
+
+    /// Two-phase randomized routing: to a random intermediate (XY), then
+    /// to the destination (XY).
+    pub fn route_two_phase<R: Rng + ?Sized>(&self, p: &Permutation, rng: &mut R) -> Congestion {
+        assert_eq!(p.len(), self.nodes(), "permutation size mismatch");
+        let n = self.nodes();
+        self.congest((0..n).map(|src| {
+            let mid = rng.gen_range(0..n);
+            let mut path = self.xy_path(src, mid);
+            path.extend(self.xy_path(mid, p.apply(src)));
+            path
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmm_perm::families;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xy_paths_have_manhattan_length_and_connect() {
+        let m = Mesh::new(8);
+        for (src, dst) in [(0usize, 63usize), (7, 56), (20, 20), (35, 12)] {
+            let path = m.xy_path(src, dst);
+            let (sr, sc) = m.coords(src);
+            let (dr, dc) = m.coords(dst);
+            assert_eq!(path.len(), sr.abs_diff(dr) + sc.abs_diff(dc));
+            if let (Some(first), Some(last)) = (path.first(), path.last()) {
+                assert_eq!(first.from, (sr, sc));
+                assert_eq!(last.to, (dr, dc));
+            }
+            // Links are contiguous and unit-length.
+            for pair in path.windows(2) {
+                assert_eq!(pair[0].to, pair[1].from);
+            }
+            for l in &path {
+                let dist = l.from.0.abs_diff(l.to.0) + l.from.1.abs_diff(l.to.1);
+                assert_eq!(dist, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn identity_is_free() {
+        let m = Mesh::new(16);
+        let c = m.route_xy(&families::identical(m.nodes()));
+        assert_eq!(c.total_hops, 0);
+    }
+
+    #[test]
+    fn transpose_congests_xy() {
+        // Row i's packets all turn at column... their destinations are
+        // column i — XY routing funnels Θ(side) packets through the turn
+        // column links.
+        let m = Mesh::new(32);
+        let t = families::transpose(32, 32, m.nodes()).unwrap();
+        let c = m.route_xy(&t);
+        assert!(c.max >= 16, "transpose max load {} too small", c.max);
+    }
+
+    #[test]
+    fn two_phase_flattens_transpose() {
+        let m = Mesh::new(32);
+        let t = families::transpose(32, 32, m.nodes()).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let det = m.route_xy(&t);
+        let rnd = m.route_two_phase(&t, &mut rng);
+        assert!(rnd.max < det.max, "two-phase {} vs xy {}", rnd.max, det.max);
+        assert!(rnd.total_hops > det.total_hops);
+    }
+
+    #[test]
+    fn random_permutation_load_is_moderate() {
+        // Random permutations on a mesh have Θ(side) average link load
+        // (bisection-limited) — well below the transpose hot spot relative
+        // to totals.
+        let m = Mesh::new(16);
+        let c = m.route_xy(&families::random(m.nodes(), 9));
+        assert!(c.max > 0);
+        assert!(c.mean > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "side out of range")]
+    fn zero_side_rejected() {
+        Mesh::new(0);
+    }
+
+    #[test]
+    fn accessors() {
+        let m = Mesh::new(5);
+        assert_eq!(m.side(), 5);
+        assert_eq!(m.nodes(), 25);
+        assert_eq!(m.coords(13), (2, 3));
+    }
+}

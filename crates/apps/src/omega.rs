@@ -1,0 +1,267 @@
+//! The Omega (shuffle–exchange) multistage interconnection network.
+//!
+//! The paper models the machines' MMU as "a multistage interconnection
+//! network in which memory access requests are moved to destination memory
+//! banks in a pipeline fashion" (Section I, citing Hsiao & Chen). This
+//! module implements the classic instance: `log₂ n` stages, each a perfect
+//! shuffle (the paper's *shuffle* permutation!) followed by a column of
+//! `n/2` two-input switches.
+//!
+//! Omega networks are *blocking*: only some permutations can be routed
+//! with all `n` packets in flight simultaneously. [`OmegaNetwork::route_permutation`]
+//! decides routability by the standard destination-tag algorithm and
+//! reports either the full switch schedule or the first conflict — the
+//! quantitative reason the HMM's casual access costs more than coalesced
+//! access.
+
+use hmm_perm::{families, PermError, Permutation};
+
+/// Switch states of one routed permutation: `settings[stage][switch]`,
+/// `false` = straight, `true` = crossed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwitchSchedule {
+    /// `n` inputs.
+    pub n: usize,
+    /// Per-stage, per-switch state.
+    pub settings: Vec<Vec<bool>>,
+}
+
+/// Why a permutation could not be routed in one pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Blocking {
+    /// Stage at which two packets demanded opposite states of one switch.
+    pub stage: usize,
+    /// The switch index within the stage.
+    pub switch: usize,
+    /// The two packet sources that collided.
+    pub packets: (usize, usize),
+}
+
+/// The Omega network on `n = 2^k` terminals.
+#[derive(Debug, Clone)]
+pub struct OmegaNetwork {
+    n: usize,
+    stages: usize,
+}
+
+impl OmegaNetwork {
+    /// Build for a power-of-two `n ≥ 2`.
+    pub fn new(n: usize) -> Result<Self, PermError> {
+        if n < 2 || !n.is_power_of_two() {
+            return Err(PermError::NotPowerOfTwo { n });
+        }
+        Ok(OmegaNetwork {
+            n,
+            stages: n.trailing_zeros() as usize,
+        })
+    }
+
+    /// Number of terminals.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True for a zero-terminal network (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of switch stages (`log₂ n`).
+    pub fn stages(&self) -> usize {
+        self.stages
+    }
+
+    /// The inter-stage wiring: the paper's shuffle permutation.
+    pub fn stage_wiring(&self) -> Permutation {
+        families::shuffle(self.n).expect("n validated power of two")
+    }
+
+    /// The port a packet occupies after `stage` full stages, given its
+    /// source and destination (destination-tag routing: after stage `s`,
+    /// the top `s+1` address bits are replaced by destination bits).
+    fn port_after(&self, src: usize, dst: usize, stage: usize) -> usize {
+        let k = self.stages;
+        // Start: port = src. Each stage: shuffle (rotate left), then the
+        // switch sets the low bit to the destination bit being consumed.
+        let mut port = src;
+        for s in 0..=stage {
+            port = ((port << 1) | (port >> (k - 1))) & (self.n - 1);
+            let dst_bit = (dst >> (k - 1 - s)) & 1;
+            port = (port & !1) | dst_bit;
+        }
+        port
+    }
+
+    /// Try to route all `n` packets of permutation `p` simultaneously.
+    /// Returns the switch schedule, or the first [`Blocking`] conflict.
+    pub fn route_permutation(&self, p: &Permutation) -> Result<SwitchSchedule, Blocking> {
+        assert_eq!(p.len(), self.n, "permutation size mismatch");
+        let mut settings = vec![vec![false; self.n / 2]; self.stages];
+        let mut owner: Vec<Vec<Option<usize>>> = vec![vec![None; self.n / 2]; self.stages];
+        for src in 0..self.n {
+            let dst = p.apply(src);
+            for stage in 0..self.stages {
+                let before = if stage == 0 {
+                    src
+                } else {
+                    self.port_after(src, dst, stage - 1)
+                };
+                // Shuffle wiring moves the packet to this input port:
+                let k = self.stages;
+                let inp = ((before << 1) | (before >> (k - 1))) & (self.n - 1);
+                let after = self.port_after(src, dst, stage);
+                let switch = inp >> 1;
+                let crossed = (inp & 1) != (after & 1);
+                match owner[stage][switch] {
+                    None => {
+                        owner[stage][switch] = Some(src);
+                        settings[stage][switch] = crossed;
+                    }
+                    Some(other) => {
+                        // Two packets per switch are fine iff they use
+                        // different input ports and agree on the state.
+                        let other_dst = p.apply(other);
+                        let other_inp = {
+                            let ob = if stage == 0 {
+                                other
+                            } else {
+                                self.port_after(other, other_dst, stage - 1)
+                            };
+                            ((ob << 1) | (ob >> (k - 1))) & (self.n - 1)
+                        };
+                        if other_inp == inp || settings[stage][switch] != crossed {
+                            return Err(Blocking {
+                                stage,
+                                switch,
+                                packets: (other, src),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(SwitchSchedule {
+            n: self.n,
+            settings,
+        })
+    }
+
+    /// Fraction of `samples` random permutations routable in one pass —
+    /// vanishingly small for large `n` (there are `2^{(n/2)·log n}` switch
+    /// states vs `n!` permutations), which is *why* casual memory access
+    /// serializes.
+    pub fn random_routability(&self, samples: usize, seed: u64) -> f64 {
+        let mut ok = 0usize;
+        for i in 0..samples {
+            let p = families::random(self.n, seed + i as u64);
+            if self.route_permutation(&p).is_ok() {
+                ok += 1;
+            }
+        }
+        ok as f64 / samples as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_routes_on_any_size() {
+        for n in [2usize, 4, 8, 64, 256] {
+            let net = OmegaNetwork::new(n).unwrap();
+            let sched = net.route_permutation(&families::identical(n)).unwrap();
+            assert_eq!(sched.settings.len(), net.stages());
+        }
+    }
+
+    #[test]
+    fn bit_reversal_blocks() {
+        // The FFT's own reordering cannot pass an omega network in one
+        // round — the concrete face of "casual access serializes" for the
+        // paper's headline permutation.
+        for n in [8usize, 16, 64] {
+            let net = OmegaNetwork::new(n).unwrap();
+            assert!(
+                net.route_permutation(&families::bit_reversal(n).unwrap())
+                    .is_err(),
+                "bit-reversal unexpectedly routed at n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn rotations_route() {
+        // Uniform shifts are classic omega-routable permutations.
+        let n = 32;
+        let net = OmegaNetwork::new(n).unwrap();
+        for shift in [1usize, 5, 16, 31] {
+            assert!(
+                net.route_permutation(&families::rotation(n, shift)).is_ok(),
+                "shift {shift}"
+            );
+        }
+    }
+
+    #[test]
+    fn some_permutation_blocks() {
+        // Omega networks are blocking: exhibit a conflicting permutation.
+        // Swapping 0<->1 while fixing everything else collides: packets
+        // from 0 and 1 share every early switch but need opposite states
+        // somewhere for most sizes.
+        let n = 8;
+        let net = OmegaNetwork::new(n).unwrap();
+        let mut blocked = 0;
+        for seed in 0..50 {
+            let p = families::random(n, seed);
+            if net.route_permutation(&p).is_err() {
+                blocked += 1;
+            }
+        }
+        assert!(blocked > 0, "no random permutation blocked at n = {n}");
+    }
+
+    #[test]
+    fn routability_decays_with_size() {
+        let small = OmegaNetwork::new(4).unwrap().random_routability(200, 1);
+        let large = OmegaNetwork::new(64).unwrap().random_routability(200, 1);
+        assert!(large < small, "routability {large} !< {small}");
+        assert!(large < 0.05, "64-wide omega should block almost everything");
+    }
+
+    #[test]
+    fn schedule_replay_reaches_destinations() {
+        // Replaying the switch settings must deliver every packet.
+        let n = 16;
+        let net = OmegaNetwork::new(n).unwrap();
+        let p = families::rotation(n, 3);
+        let sched = net.route_permutation(&p).unwrap();
+        let k = net.stages();
+        for src in 0..n {
+            let mut port = src;
+            for (stage, stage_settings) in sched.settings.iter().enumerate() {
+                let _ = stage;
+                port = ((port << 1) | (port >> (k - 1))) & (n - 1);
+                if stage_settings[port >> 1] {
+                    port ^= 1; // crossed switch
+                }
+            }
+            assert_eq!(port, p.apply(src), "packet from {src}");
+        }
+    }
+
+    #[test]
+    fn wiring_is_the_shuffle_family() {
+        let net = OmegaNetwork::new(32).unwrap();
+        assert_eq!(net.stage_wiring(), families::shuffle(32).unwrap());
+        assert_eq!(net.stages(), 5);
+        assert_eq!(net.len(), 32);
+    }
+
+    #[test]
+    fn rejects_bad_sizes() {
+        assert!(OmegaNetwork::new(0).is_err());
+        assert!(OmegaNetwork::new(1).is_err());
+        assert!(OmegaNetwork::new(12).is_err());
+    }
+}

@@ -1,0 +1,297 @@
+//! Sorting networks — the paper's second motivating application
+//! ("Sorting networks such as bitonic sorting also involve permutation in
+//! each stage", Section I, citing Batcher).
+//!
+//! Two classic constructions are provided as explicit comparator networks:
+//! **bitonic sort** and Batcher's **odd–even mergesort**. A network is a
+//! sequence of layers of disjoint comparators, so each layer's partner
+//! fetch is one fixed permutation of the whole array — the exact shape the
+//! offline permutation algorithms accelerate. The partner permutation of
+//! every bitonic layer is exposed as a [`hmm_perm::Permutation`]
+//! (a butterfly `i ↦ i XOR 2^s`).
+
+use hmm_perm::{families, PermError, Permutation};
+
+/// One comparator: sorts the pair so `min → lo`, `max → hi`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Comparator {
+    /// The smaller index (receives the minimum).
+    pub lo: usize,
+    /// The larger index (receives the maximum).
+    pub hi: usize,
+}
+
+/// A comparator network: layers of pairwise-disjoint comparators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Network {
+    n: usize,
+    layers: Vec<Vec<Comparator>>,
+}
+
+impl Network {
+    /// Input width.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True for a width-0 network.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of layers (the network's depth).
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Total comparator count.
+    pub fn size(&self) -> usize {
+        self.layers.iter().map(Vec::len).sum()
+    }
+
+    /// The layers themselves.
+    pub fn layers(&self) -> &[Vec<Comparator>] {
+        &self.layers
+    }
+
+    /// Apply the network in place.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` differs from the network width.
+    pub fn apply<T: Ord + Copy>(&self, data: &mut [T]) {
+        assert_eq!(data.len(), self.n, "network width mismatch");
+        for layer in &self.layers {
+            for c in layer {
+                if data[c.lo] > data[c.hi] {
+                    data.swap(c.lo, c.hi);
+                }
+            }
+        }
+    }
+
+    /// Check structural validity: indices in range, `lo < hi`, and no
+    /// element touched twice within a layer (disjointness is what makes a
+    /// layer a single parallel round).
+    pub fn validate(&self) -> bool {
+        for layer in &self.layers {
+            let mut touched = vec![false; self.n];
+            for c in layer {
+                if c.lo >= c.hi || c.hi >= self.n || touched[c.lo] || touched[c.hi] {
+                    return false;
+                }
+                touched[c.lo] = true;
+                touched[c.hi] = true;
+            }
+        }
+        true
+    }
+
+    /// Exhaustively verify the 0-1 principle on all `2^n` boolean inputs —
+    /// a comparator network sorts every input iff it sorts every 0/1
+    /// input. Only feasible for small `n` (tests use `n ≤ 16`).
+    pub fn sorts_all_binary_inputs(&self) -> bool {
+        assert!(self.n <= 20, "exhaustive check infeasible for n > 20");
+        for mask in 0u64..(1u64 << self.n) {
+            let mut data: Vec<u8> = (0..self.n).map(|i| ((mask >> i) & 1) as u8).collect();
+            self.apply(&mut data);
+            if data.windows(2).any(|w| w[0] > w[1]) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Build the bitonic sorting network for a power-of-two `n`.
+///
+/// Depth `k(k+1)/2` with `k = log₂ n`; every layer's partner pattern is
+/// the butterfly permutation `i ↦ i XOR j`.
+pub fn bitonic(n: usize) -> Result<Network, PermError> {
+    if n == 0 || !n.is_power_of_two() {
+        return Err(PermError::NotPowerOfTwo { n });
+    }
+    let mut layers = Vec::new();
+    let mut k = 2usize;
+    while k <= n {
+        let mut j = k / 2;
+        while j >= 1 {
+            let mut layer = Vec::with_capacity(n / 2);
+            for i in 0..n {
+                let partner = i ^ j;
+                if partner > i {
+                    // Blocks of size k alternate direction: ascending when
+                    // the k-bit of i is clear. Direction is encoded by
+                    // which index receives the minimum, so a descending
+                    // comparator has lo > hi (validate() only applies to
+                    // all-ascending networks).
+                    let c = if i & k == 0 {
+                        Comparator { lo: i, hi: partner }
+                    } else {
+                        Comparator { lo: partner, hi: i }
+                    };
+                    layer.push(c);
+                }
+            }
+            layers.push(layer);
+            j /= 2;
+        }
+        k *= 2;
+    }
+    Ok(Network { n, layers })
+}
+
+/// Build Batcher's odd–even mergesort network for a power-of-two `n`.
+pub fn odd_even_mergesort(n: usize) -> Result<Network, PermError> {
+    if n == 0 || !n.is_power_of_two() {
+        return Err(PermError::NotPowerOfTwo { n });
+    }
+    // Classic iterative formulation (Knuth TAOCP 5.2.2M): phases p = 1, 2,
+    // 4, ...; within each phase, sub-steps k = p, p/2, ..., 1.
+    let mut layers = Vec::new();
+    let mut p = 1usize;
+    while p < n {
+        let mut k = p;
+        while k >= 1 {
+            let mut layer = Vec::new();
+            for j in (k % p..n.saturating_sub(k)).step_by(2 * k) {
+                for i in 0..k.min(n - j - k) {
+                    if (i + j) / (2 * p) == (i + j + k) / (2 * p) {
+                        layer.push(Comparator {
+                            lo: i + j,
+                            hi: i + j + k,
+                        });
+                    }
+                }
+            }
+            if !layer.is_empty() {
+                layers.push(layer);
+            }
+            k /= 2;
+        }
+        p *= 2;
+    }
+    Ok(Network { n, layers })
+}
+
+/// The partner permutation of a bitonic layer with exchange distance
+/// `2^stage`: the butterfly `i ↦ i XOR 2^stage` — what a data-parallel
+/// implementation fetches with one offline permutation per layer.
+pub fn bitonic_layer_permutation(n: usize, stage: u32) -> Result<Permutation, PermError> {
+    families::butterfly(n, stage)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn assert_sorts(net: &Network, seed: u64) {
+        let n = net.len();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..20 {
+            let mut data: Vec<u32> = (0..n).map(|_| rng.gen_range(0..1000)).collect();
+            let mut want = data.clone();
+            net.apply(&mut data);
+            want.sort_unstable();
+            assert_eq!(data, want);
+        }
+    }
+
+    #[test]
+    fn bitonic_sorts_random_inputs() {
+        for n in [2usize, 4, 8, 32, 128, 1024] {
+            let net = bitonic(n).unwrap();
+            assert_sorts(&net, n as u64);
+        }
+    }
+
+    #[test]
+    fn odd_even_sorts_random_inputs() {
+        for n in [2usize, 4, 8, 32, 128, 1024] {
+            let net = odd_even_mergesort(n).unwrap();
+            assert_sorts(&net, n as u64);
+        }
+    }
+
+    #[test]
+    fn zero_one_principle_exhaustive() {
+        for n in [2usize, 4, 8, 16] {
+            assert!(bitonic(n).unwrap().sorts_all_binary_inputs(), "bitonic {n}");
+            assert!(
+                odd_even_mergesort(n).unwrap().sorts_all_binary_inputs(),
+                "odd-even {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn bitonic_depth_is_k_choose_2ish() {
+        // depth = k(k+1)/2 for n = 2^k.
+        for k in 1usize..=7 {
+            let n = 1 << k;
+            let net = bitonic(n).unwrap();
+            assert_eq!(net.depth(), k * (k + 1) / 2, "n = {n}");
+            assert_eq!(net.size(), net.depth() * n / 2, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn odd_even_uses_fewer_comparators_than_bitonic() {
+        for k in 3usize..=8 {
+            let n = 1 << k;
+            let b = bitonic(n).unwrap().size();
+            let oe = odd_even_mergesort(n).unwrap().size();
+            assert!(oe < b, "n = {n}: odd-even {oe} vs bitonic {b}");
+        }
+    }
+
+    #[test]
+    fn bitonic_layer_partner_pattern_is_butterfly() {
+        // Every comparator of a distance-j layer pairs i with i XOR j.
+        let n = 64;
+        let net = bitonic(n).unwrap();
+        for layer in net.layers() {
+            let dist = layer[0].lo.max(layer[0].hi) ^ layer[0].lo.min(layer[0].hi);
+            assert!(dist.is_power_of_two());
+            let p = bitonic_layer_permutation(n, dist.trailing_zeros()).unwrap();
+            for c in layer {
+                assert_eq!(p.apply(c.lo), c.hi);
+                assert_eq!(p.apply(c.hi), c.lo);
+            }
+        }
+    }
+
+    #[test]
+    fn networks_validate_structurally() {
+        // Bitonic descending blocks encode direction by (lo, hi) order, so
+        // structural validation applies to odd-even (all ascending) only.
+        for n in [4usize, 16, 64] {
+            assert!(odd_even_mergesort(n).unwrap().validate(), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_sizes() {
+        assert!(bitonic(0).is_err());
+        assert!(bitonic(12).is_err());
+        assert!(odd_even_mergesort(7).is_err());
+    }
+
+    #[test]
+    fn sorts_with_duplicates_and_reverse() {
+        let net = bitonic(256).unwrap();
+        let mut rev: Vec<u32> = (0..256).rev().map(|v| v / 4).collect();
+        net.apply(&mut rev);
+        assert!(rev.windows(2).all(|w| w[0] <= w[1]));
+        let mut all_same = vec![7u32; 256];
+        net.apply(&mut all_same);
+        assert_eq!(all_same, vec![7u32; 256]);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn apply_checks_width() {
+        bitonic(8).unwrap().apply(&mut [1, 2, 3]);
+    }
+}

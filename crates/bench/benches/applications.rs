@@ -1,0 +1,86 @@
+//! Application-level benchmarks: the cost of the permutation step inside
+//! real workloads (FFT reordering share, sorting-network stages), plus the
+//! schedule-vs-direct comparison for the FFT's bit-reversal.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hmm_apps::{bitonic, Complex, FftPlan};
+use hmm_native::{scatter_permute, NativeScheduled};
+
+fn bench_fft(c: &mut Criterion) {
+    for n in [1usize << 12, 1 << 16] {
+        let plan = FftPlan::new(n).unwrap();
+        let input: Vec<Complex> = (0..n)
+            .map(|t| Complex::new((t as f64 * 0.01).sin(), 0.0))
+            .collect();
+        let mut group = c.benchmark_group("fft");
+        group.throughput(Throughput::Elements(n as u64));
+        group.sample_size(20);
+        group.bench_with_input(BenchmarkId::new("full-transform", n), &plan, |b, plan| {
+            let mut data = input.clone();
+            b.iter(|| {
+                data.copy_from_slice(&input);
+                plan.forward(&mut data);
+            })
+        });
+        // The reordering step alone, both ways.
+        let p = plan.reorder_permutation().clone();
+        let sched = NativeScheduled::build(&p, 32).unwrap();
+        let mut dst = vec![Complex::default(); n];
+        group.bench_with_input(BenchmarkId::new("reorder-scatter", n), &p, |b, p| {
+            b.iter(|| scatter_permute(&input, p, &mut dst))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("reorder-scheduled", n),
+            &sched,
+            |b, sched| b.iter(|| sched.run(&input, &mut dst)),
+        );
+        group.finish();
+    }
+}
+
+fn bench_sortnet(c: &mut Criterion) {
+    for n in [1usize << 10, 1 << 14] {
+        let net = bitonic(n).unwrap();
+        let input: Vec<u32> = (0..n as u32).rev().collect();
+        let mut group = c.benchmark_group("sortnet");
+        group.throughput(Throughput::Elements(n as u64));
+        group.sample_size(20);
+        group.bench_with_input(BenchmarkId::new("bitonic-network", n), &net, |b, net| {
+            let mut data = input.clone();
+            b.iter(|| {
+                data.copy_from_slice(&input);
+                net.apply(&mut data);
+            })
+        });
+        group.bench_function(BenchmarkId::new("std-sort-baseline", n), |b| {
+            let mut data = input.clone();
+            b.iter(|| {
+                data.copy_from_slice(&input);
+                data.sort_unstable();
+            })
+        });
+        group.finish();
+    }
+}
+
+fn bench_schedule_vs_distribution(c: &mut Criterion) {
+    // How much does schedule construction cost depend on the permutation?
+    let n = 1usize << 14;
+    let mut group = c.benchmark_group("schedule_by_family");
+    group.sample_size(10);
+    for fam in hmm_perm::Family::ALL {
+        let p = fam.build(n, 3).unwrap();
+        group.bench_with_input(BenchmarkId::new(fam.name(), n), &p, |b, p| {
+            b.iter(|| hmm_offperm::ScheduledPermutation::build(p, 32).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fft,
+    bench_sortnet,
+    bench_schedule_vs_distribution
+);
+criterion_main!(benches);

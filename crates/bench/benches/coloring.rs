@@ -1,0 +1,45 @@
+//! Schedule-construction ablation: Euler-partition hybrid vs matching-only
+//! König edge coloring across degrees (DESIGN.md §8.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hmm_graph::{edge_color_with, RegularBipartite, Strategy};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+fn random_regular(nodes: usize, deg: usize, seed: u64) -> RegularBipartite {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(nodes * deg);
+    for _ in 0..deg {
+        let mut rights: Vec<usize> = (0..nodes).collect();
+        rights.shuffle(&mut rng);
+        for (u, &v) in rights.iter().enumerate() {
+            edges.push((u, v));
+        }
+    }
+    RegularBipartite::new(nodes, edges).unwrap()
+}
+
+fn bench_coloring(c: &mut Criterion) {
+    // The shapes the scheduled permutation produces: w-node graphs of
+    // degree c/w (row-wise) and r-node graphs of degree c (global step).
+    for (nodes, deg) in [(32usize, 32usize), (32, 128), (256, 256), (1024, 64)] {
+        let g = random_regular(nodes, deg, 42);
+        let mut group = c.benchmark_group(format!("coloring/{nodes}x{deg}"));
+        group.throughput(Throughput::Elements(g.num_edges() as u64));
+        group.bench_with_input(BenchmarkId::new("euler-hybrid", deg), &g, |b, g| {
+            b.iter(|| edge_color_with(g, Strategy::Hybrid).unwrap())
+        });
+        // Matching-only is O(deg) matchings; skip the biggest shape to keep
+        // the suite fast.
+        if nodes * deg <= 32 * 1024 {
+            group.bench_with_input(BenchmarkId::new("matching-only", deg), &g, |b, g| {
+                b.iter(|| edge_color_with(g, Strategy::MatchingOnly).unwrap())
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_coloring);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Offline schedule-construction cost: how long does it take to turn a
+//! permutation into the three-pass scheduled form? (The paper treats this
+//! as free — "given in advance" — so it must be cheap enough to amortize.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hmm_native::NativeScheduled;
+use hmm_offperm::ScheduledPermutation;
+use hmm_perm::families;
+
+fn bench_schedule_build(c: &mut Criterion) {
+    for n in [1usize << 14, 1 << 16, 1 << 18] {
+        let p = families::random(n, 11);
+        let mut group = c.benchmark_group("schedule_build");
+        group.throughput(Throughput::Elements(n as u64));
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::new("simulator-form", n), &p, |b, p| {
+            b.iter(|| ScheduledPermutation::build(p, 32).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("native-form", n), &p, |b, p| {
+            b.iter(|| NativeScheduled::build(p, 32).unwrap())
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_schedule_build);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Simulator throughput: host seconds per simulated element for each
+//! algorithm — the practical cost of reproducing Table II, and a
+//! regression guard for the machine's hot accounting loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hmm_machine::{ElemWidth, Hmm, MachineConfig, Word};
+use hmm_offperm::driver::{run_on, Algorithm};
+use hmm_perm::families;
+
+fn bench_simulator(c: &mut Criterion) {
+    let n = 1 << 14;
+    let p = families::bit_reversal(n).unwrap();
+    let input: Vec<Word> = (0..n as Word).collect();
+    for (cfg_name, cfg) in [
+        ("pure", MachineConfig::pure(32, 512)),
+        ("gtx680", MachineConfig::gtx680(ElemWidth::F32)),
+    ] {
+        let mut group = c.benchmark_group(format!("simulator/{cfg_name}"));
+        group.throughput(Throughput::Elements(n as u64));
+        group.sample_size(10);
+        for alg in Algorithm::ALL {
+            group.bench_with_input(BenchmarkId::new(alg.name(), n), &alg, |b, &alg| {
+                b.iter(|| {
+                    let mut hmm = Hmm::new(cfg.clone()).unwrap();
+                    run_on(&mut hmm, alg, &p, &input).unwrap().0.time
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

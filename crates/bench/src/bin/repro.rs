@@ -1,0 +1,341 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro all                 # everything, scaled-down defaults
+//! repro table1              # Table I   (rounds + closed forms)
+//! repro table2 [--full] [--f64] [--no-cache]
+//! repro table3 [--count K] [--n SIZE]
+//! repro fig3 | fig4 | fig5 | fig6
+//! repro smallperm           # the single-DMM [9] experiment
+//! repro ablation            # cache / write-policy / dispatch / coloring ablations
+//! repro sweep [--n N]       # latency and width sweeps vs the closed forms
+//! repro apps [--n N]        # which application permutations need scheduling
+//! repro generations         # crossover size across GPU-generation presets
+//! repro heatmap [--n N]     # access-pattern heatmaps (trace support)
+//! repro native [--full]     # wall-clock CPU backend comparison
+//! ```
+//!
+//! `--full` uses the paper's sizes (256K–4M); expect minutes of simulation.
+//! `--csv DIR` additionally writes each table as `DIR/<table>.csv`.
+
+use hmm_bench::experiments::{
+    ablation, applications, figures, generations, smallperm, sweep, table1, table2, table3,
+};
+use hmm_bench::native_experiments;
+use hmm_machine::ElemWidth;
+use hmm_perm::families;
+use std::process::ExitCode;
+
+struct Args {
+    full: bool,
+    f64_elems: bool,
+    no_cache: bool,
+    count: Option<usize>,
+    n: Option<usize>,
+    csv_dir: Option<std::path::PathBuf>,
+}
+
+/// Write a CSV file into the `--csv` directory, if one was given.
+fn maybe_csv(args: &Args, name: &str, table: &hmm_bench::tables::TextTable) {
+    if let Some(dir) = &args.csv_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("warning: cannot create {}: {e}", dir.display());
+            return;
+        }
+        let path = dir.join(format!("{name}.csv"));
+        match std::fs::write(&path, table.to_csv()) {
+            Ok(()) => println!("(wrote {})", path.display()),
+            Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+        }
+    }
+}
+
+fn parse_args(args: &[String]) -> Result<Args, String> {
+    let mut out = Args {
+        full: false,
+        f64_elems: false,
+        no_cache: false,
+        count: None,
+        n: None,
+        csv_dir: None,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--full" => out.full = true,
+            "--f64" => out.f64_elems = true,
+            "--no-cache" => out.no_cache = true,
+            "--count" => {
+                out.count = Some(
+                    it.next()
+                        .ok_or("--count needs a value")?
+                        .parse()
+                        .map_err(|e| format!("--count: {e}"))?,
+                )
+            }
+            "--n" => {
+                out.n = Some(
+                    it.next()
+                        .ok_or("--n needs a value")?
+                        .parse()
+                        .map_err(|e| format!("--n: {e}"))?,
+                )
+            }
+            "--csv" => {
+                out.csv_dir = Some(std::path::PathBuf::from(
+                    it.next().ok_or("--csv needs a directory")?,
+                ))
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(out)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = match argv.split_first() {
+        Some((c, r)) => (c.clone(), r.to_vec()),
+        None => {
+            eprintln!(
+                "usage: repro <all|table1|table2|table3|fig3|fig4|fig5|fig6|smallperm|ablation|\
+                 sweep|apps|heatmap|native> [--full] [--f64] [--no-cache] [--count K] [--n N] \
+                 [--csv DIR]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let args = match parse_args(&rest) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&cmd, &args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(cmd: &str, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    match cmd {
+        "all" => {
+            for c in [
+                "table1",
+                "fig3",
+                "fig4",
+                "fig5",
+                "fig6",
+                "smallperm",
+                "table2",
+                "table3",
+                "ablation",
+                "sweep",
+                "apps",
+                "generations",
+                "heatmap",
+                "native",
+            ] {
+                run(c, args)?;
+                println!();
+            }
+        }
+        "table1" => {
+            println!("=== Table I: rounds and running time (n = 64K, w = 32, l = 512) ===\n");
+            let rows = table1::measure(1 << 16, 32, 512)?;
+            print!("{}", table1::render(&rows));
+            maybe_csv(args, "table1", &table1::table(&rows));
+            println!("\n(All measured counts/time match the paper's Table I and closed forms;");
+            println!(" conventional rows use bit-reversal, i.e. distribution γ_w = w.)");
+        }
+        "table2" => {
+            let elem = if args.f64_elems {
+                ElemWidth::F64
+            } else {
+                ElemWidth::F32
+            };
+            let mut cfg = if args.full {
+                table2::Table2Config::paper(elem)
+            } else {
+                table2::Table2Config::quick(elem)
+            };
+            cfg.cached = !args.no_cache;
+            println!(
+                "=== Table II ({}): simulated time units, {} ===\n",
+                if args.f64_elems {
+                    "b: 64-bit"
+                } else {
+                    "a: 32-bit"
+                },
+                if cfg.cached {
+                    "GTX-680-like config (L2 model on)"
+                } else {
+                    "pure HMM (no cache)"
+                }
+            );
+            let data = table2::run(&cfg)?;
+            print!("{}", table2::render(&data));
+            let suffix = if args.f64_elems { "f64" } else { "f32" };
+            for (name, t) in table2::tables(&data) {
+                maybe_csv(
+                    args,
+                    &format!("table2_{suffix}_{}", name.replace('-', "_")),
+                    &t,
+                );
+            }
+            let violations = table2::check_shape(&data);
+            if violations.is_empty() {
+                println!("shape check: PASS (scheduled constant per size; conventional wins on");
+                println!(
+                    "identical/shuffle; scheduled wins on random/bit-reversal/transpose at the"
+                );
+                println!("largest size)");
+            } else {
+                println!("shape check: FAIL");
+                for v in violations {
+                    println!("  - {v}");
+                }
+            }
+        }
+        "table3" => {
+            let mut cfg = table3::Table3Config::quick();
+            if args.full {
+                cfg.count = 1000;
+                cfg.n = 1 << 22;
+            }
+            if let Some(c) = args.count {
+                cfg.count = c;
+            }
+            if let Some(n) = args.n {
+                cfg.n = n;
+            }
+            println!(
+                "=== Table III: {} random permutations of n = {} (f64) ===\n",
+                cfg.count, cfg.n
+            );
+            let data = table3::run(&cfg)?;
+            print!("{}", table3::render(&data));
+            maybe_csv(args, "table3", &table3::table(&data));
+        }
+        "fig3" => print!("{}", figures::render_fig3(5)),
+        "fig4" => print!("{}", figures::render_fig4(4)),
+        "fig5" => print!("{}", figures::render_fig5()),
+        "fig6" => {
+            let p = families::random(16, 2013);
+            print!("{}", figures::render_fig6(&p, 4)?);
+        }
+        "smallperm" => {
+            println!("=== Single-DMM permutation of 1024 elements (w = 32), cf. [9] ===\n");
+            let rows = smallperm::run(1024, 32)?;
+            print!("{}", smallperm::render(&rows));
+            let speedup = smallperm::random_speedup(1024, 32, 20)?;
+            println!("\nrandom-permutation speedup (20 samples): {speedup:.2}x (paper: 1.5x)");
+        }
+        "ablation" => {
+            println!("=== Ablation 1: L2 cache model on/off (bit-reversal) ===\n");
+            let sizes: Vec<usize> = if args.full {
+                vec![1 << 16, 1 << 18, 1 << 20, 1 << 22]
+            } else {
+                vec![1 << 12, 1 << 14, 1 << 16, 1 << 18]
+            };
+            print!("{}", ablation::cache_ablation(&sizes)?);
+            println!("\n=== Ablation 5: cache write policy (bit-reversal) ===\n");
+            print!("{}", ablation::write_policy_ablation(&sizes)?);
+            println!("\n=== Ablation 2: shared dispatch rule (n = 64K) ===\n");
+            print!("{}", ablation::shared_dispatch_ablation(1 << 16)?);
+            println!("\n=== Ablation 3: coloring strategy build time (n = 64K, w = 32) ===\n");
+            print!("{}", ablation::coloring_ablation(1 << 16, 32)?);
+            println!(
+                "\n=== Ablation 4: per-kernel cost of the scheduled permutation (n = 64K) ===\n"
+            );
+            print!("{}", ablation::pass_breakdown(1 << 16)?);
+        }
+        "sweep" => {
+            let n = args.n.unwrap_or(1 << 16);
+            println!("=== Latency sweep (pure HMM, w = 32, n = {n}, bit-reversal) ===\n");
+            let lats = [1usize, 16, 128, 512, 4096, 1 << 15, 1 << 18];
+            print!(
+                "{}",
+                sweep::render("latency", &sweep::latency_sweep(n, &lats)?)
+            );
+            println!("\n=== Width sweep (pure HMM, l = 512, n = {n}, bit-reversal) ===\n");
+            // w = 128 would need a 64 KB transpose tile (> 48 KB shared).
+            let widths = [4usize, 8, 16, 32, 64];
+            print!(
+                "{}",
+                sweep::render("width", &sweep::width_sweep(n, 512, &widths)?)
+            );
+        }
+        "apps" => {
+            let n = args.n.unwrap_or(1 << 18);
+            println!("=== Application permutations on the GTX-680-like HMM (n = {n}) ===\n");
+            print!(
+                "{}",
+                applications::render(
+                    n,
+                    &hmm_machine::MachineConfig::gtx680(hmm_machine::ElemWidth::F32)
+                )?
+            );
+            println!(
+                "\n(Sorting-network butterfly exchanges are already coalesced — γ_w = 1 —\n\
+                 so the 3-round conventional kernel is the right tool for them; the FFT's\n\
+                 bit-reversal and the matrix transpose are the γ_w = w workloads the\n\
+                 scheduled algorithm exists for.)"
+            );
+        }
+        "heatmap" => {
+            use hmm_machine::{Hmm, MachineConfig};
+            use hmm_offperm::driver::{run_on, Algorithm};
+            let n = args.n.unwrap_or(1 << 14);
+            let p = hmm_perm::families::bit_reversal(n)?;
+            let input: Vec<u64> = (0..n as u64).collect();
+            for alg in [Algorithm::DDesignated, Algorithm::Scheduled] {
+                let mut hmm = Hmm::new(MachineConfig::pure(32, 512))?;
+                hmm.start_trace();
+                run_on(&mut hmm, alg, &p, &input)?;
+                let trace = hmm.take_trace().expect("tracing enabled");
+                println!(
+                    "=== {} (bit-reversal, n = {n}): global access heatmap ===",
+                    alg.name()
+                );
+                print!("{}", trace.render_global(16, 40));
+                println!(
+                    "shared accesses: {}, bank imbalance: {:.2} (1.0 = conflict-free)\n",
+                    trace.shared_total(),
+                    trace.bank_imbalance()
+                );
+            }
+            println!(
+                "(The conventional kernel touches only a/p/b; the scheduled kernel's\n\
+                 extra buckets are its temporaries and 16-bit schedule arrays — more\n\
+                 traffic, but every access streams.)"
+            );
+        }
+        "generations" => {
+            let sizes: Vec<usize> = (12..=21).map(|k| 1usize << k).collect();
+            println!("=== Crossover size per GPU generation (bit-reversal, f32) ===\n");
+            print!("{}", generations::render(&sizes)?);
+            println!(
+                "\n(The model's prediction: the conventional algorithm's refuge is the L2,\n\
+                 so each generation's bigger cache pushes the scheduled algorithm's\n\
+                 break-even to larger arrays.)"
+            );
+        }
+        "native" => {
+            let sizes: Vec<usize> = if args.full {
+                vec![1 << 18, 1 << 20, 1 << 22, 1 << 24]
+            } else {
+                vec![1 << 16, 1 << 20]
+            };
+            println!("=== Native CPU backend: wall-clock (median of 5) ===\n");
+            let rows = native_experiments::run(&sizes, 5)?;
+            print!("{}", native_experiments::render(&rows));
+        }
+        other => return Err(format!("unknown subcommand {other}").into()),
+    }
+    Ok(())
+}

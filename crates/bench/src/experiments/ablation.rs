@@ -1,0 +1,220 @@
+//! Ablations beyond the paper's tables (DESIGN.md §8): which modelling
+//! ingredients drive each observed effect.
+
+use crate::tables::{size_label, TextTable};
+use hmm_graph::Strategy;
+use hmm_machine::{ElemWidth, Hmm, MachineConfig, Word};
+use hmm_offperm::driver::{run_on, Algorithm};
+use hmm_offperm::scheduled::ScheduledPermutation;
+use hmm_offperm::Result;
+use hmm_perm::families;
+use std::time::Instant;
+
+/// Ablation 1 — the L2 cache model is what lets the conventional algorithm
+/// win at small `n` (the paper's Section VIII explanation). For each size,
+/// report D-designated vs scheduled time with the cache model on and off.
+pub fn cache_ablation(sizes: &[usize]) -> Result<String> {
+    let mut t = TextTable::new(vec![
+        "n",
+        "conv (cache)",
+        "sched (cache)",
+        "conv (no cache)",
+        "sched (no cache)",
+    ]);
+    for &n in sizes {
+        let p = families::bit_reversal(n)?;
+        let input: Vec<Word> = (0..n as Word).collect();
+        let mut cells = Vec::new();
+        for cached in [true, false] {
+            let mut cfg = MachineConfig::gtx680(ElemWidth::F32);
+            if !cached {
+                cfg.cache = None;
+            }
+            for alg in [Algorithm::DDesignated, Algorithm::Scheduled] {
+                let mut hmm = Hmm::new(cfg.clone())?;
+                let (report, _) = run_on(&mut hmm, alg, &p, &input)?;
+                cells.push(report.time.to_string());
+            }
+        }
+        let mut row = vec![size_label(n)];
+        row.extend(cells);
+        t.row(row);
+    }
+    Ok(t.render())
+}
+
+/// Ablation 5 — cache write policy: with a write-around L2 (write misses
+/// do not allocate), the conventional algorithm's scattered writes get no
+/// reuse, so its small-`n` advantage over the scheduled algorithm should
+/// shrink on high-distribution permutations.
+pub fn write_policy_ablation(sizes: &[usize]) -> Result<String> {
+    let mut t = TextTable::new(vec![
+        "n",
+        "conv (write-allocate)",
+        "conv (write-around)",
+        "sched (write-allocate)",
+        "sched (write-around)",
+    ]);
+    for &n in sizes {
+        let p = families::bit_reversal(n)?;
+        let input: Vec<Word> = (0..n as Word).collect();
+        let mut by_alg: Vec<Vec<String>> = vec![Vec::new(); 2];
+        for (ai, alg) in [Algorithm::DDesignated, Algorithm::Scheduled]
+            .into_iter()
+            .enumerate()
+        {
+            for write_allocate in [true, false] {
+                let cfg = MachineConfig {
+                    write_allocate,
+                    ..MachineConfig::gtx680(ElemWidth::F32)
+                };
+                let mut hmm = Hmm::new(cfg)?;
+                let (report, _) = run_on(&mut hmm, alg, &p, &input)?;
+                by_alg[ai].push(report.time.to_string());
+            }
+        }
+        let mut row = vec![size_label(n)];
+        row.push(by_alg[0][0].clone());
+        row.push(by_alg[0][1].clone());
+        row.push(by_alg[1][0].clone());
+        row.push(by_alg[1][1].clone());
+        t.row(row);
+    }
+    Ok(t.render())
+}
+
+/// Ablation 2 — the paper's shared-dispatch quirk: Table I charges shared
+/// rounds `p/w` rather than `p/(d·w)` (DESIGN.md §5). Report scheduled
+/// time under both rules.
+pub fn shared_dispatch_ablation(n: usize) -> Result<String> {
+    let p = families::bit_reversal(n)?;
+    let input: Vec<Word> = (0..n as Word).collect();
+    let mut t = TextTable::new(vec!["shared dispatch", "scheduled time"]);
+    for parallel in [false, true] {
+        let cfg = MachineConfig {
+            parallel_shared_dispatch: parallel,
+            ..MachineConfig::pure(32, 512)
+        };
+        let mut hmm = Hmm::new(cfg)?;
+        let (report, _) = run_on(&mut hmm, Algorithm::Scheduled, &p, &input)?;
+        t.row(vec![
+            if parallel {
+                "parallel over DMMs (p/(d*w))".to_string()
+            } else {
+                "paper model (p/w)".to_string()
+            },
+            report.time.to_string(),
+        ]);
+    }
+    Ok(t.render())
+}
+
+/// Ablation 3 — schedule-construction cost: the Euler-partition hybrid vs
+/// the matching-only König colorer (host wall-clock, not model time).
+pub fn coloring_ablation(n: usize, width: usize) -> Result<String> {
+    let p = families::random(n, 77);
+    let mut t = TextTable::new(vec!["strategy", "build time"]);
+    for (name, strategy) in [
+        ("Euler hybrid", Strategy::Hybrid),
+        ("matching only", Strategy::MatchingOnly),
+    ] {
+        let start = Instant::now();
+        let sched = ScheduledPermutation::build_with(&p, width, strategy)?;
+        let elapsed = start.elapsed();
+        assert_eq!(sched.len(), n);
+        t.row(vec![name.to_string(), format!("{elapsed:.2?}")]);
+    }
+    Ok(t.render())
+}
+
+/// Ablation 4 — per-pass cost breakdown of the five scheduled kernels
+/// (rowwise, transpose, rowwise, transpose, rowwise) from one run's
+/// launch boundaries.
+pub fn pass_breakdown(n: usize) -> Result<String> {
+    let p = families::bit_reversal(n)?;
+    let input: Vec<Word> = (0..n as Word).collect();
+    let cfg = MachineConfig::pure(32, 512);
+    let mut hmm = Hmm::new(cfg)?;
+    let sched = ScheduledPermutation::build(&p, 32)?;
+    let staged = sched.stage(&mut hmm)?;
+    let a = hmm.alloc_global(n);
+    let b = hmm.alloc_global(n);
+    let t1 = hmm.alloc_global(n);
+    let t2 = hmm.alloc_global(n);
+    hmm.host_write(a, &input)?;
+    staged.run(&mut hmm, a, b, t1, t2)?;
+    // 32 rounds in launch order: 8 (rowwise) + 4 (transpose) + 8 (rowwise)
+    // + 4 (transpose) + 8 (rowwise).
+    let records = hmm.ledger().records();
+    let bounds = [0usize, 8, 12, 20, 24, 32];
+    let names = [
+        "step 1: row-wise",
+        "step 2a: transpose",
+        "step 2b: row-wise",
+        "step 2c: transpose",
+        "step 3: row-wise",
+    ];
+    let mut t = TextTable::new(vec!["kernel", "rounds", "time units"]);
+    for (k, name) in names.iter().enumerate() {
+        let slice = &records[bounds[k]..bounds[k + 1]];
+        let time: u64 = slice.iter().map(|r| r.time).sum();
+        t.row(vec![
+            name.to_string(),
+            slice.len().to_string(),
+            time.to_string(),
+        ]);
+    }
+    Ok(t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_ablation_renders() {
+        let s = cache_ablation(&[1 << 12, 1 << 14]).unwrap();
+        assert!(s.contains("4K"));
+        assert!(s.contains("16K"));
+    }
+
+    #[test]
+    fn shared_dispatch_parallel_is_faster() {
+        let s = shared_dispatch_ablation(1 << 12).unwrap();
+        assert!(s.contains("paper model"));
+        // Extract the two numbers and compare.
+        let nums: Vec<u64> = s
+            .split_whitespace()
+            .filter_map(|tok| tok.parse().ok())
+            .collect();
+        let (paper, parallel) = (nums[nums.len() - 2], nums[nums.len() - 1]);
+        assert!(parallel < paper, "{parallel} !< {paper}");
+    }
+
+    #[test]
+    fn write_around_hurts_conventional_small_n() {
+        let s = write_policy_ablation(&[1 << 14]).unwrap();
+        let nums: Vec<u64> = s
+            .split_whitespace()
+            .filter_map(|tok| tok.parse().ok())
+            .collect();
+        let (conv_wa, conv_around) = (nums[nums.len() - 4], nums[nums.len() - 3]);
+        assert!(
+            conv_around > conv_wa,
+            "write-around should slow the conventional writes: {conv_around} !> {conv_wa}"
+        );
+    }
+
+    #[test]
+    fn coloring_ablation_runs() {
+        let s = coloring_ablation(1 << 10, 8).unwrap();
+        assert!(s.contains("Euler hybrid"));
+    }
+
+    #[test]
+    fn pass_breakdown_sums_to_32_rounds() {
+        let s = pass_breakdown(1 << 12).unwrap();
+        assert!(s.contains("step 1: row-wise"));
+        assert!(s.contains("step 2c: transpose"));
+    }
+}

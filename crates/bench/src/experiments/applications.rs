@@ -1,0 +1,52 @@
+//! The application verdict table: for each permutation an application from
+//! the paper's Section I actually generates, which algorithm should move
+//! it? (Backed by `hmm-apps::onhmm`.)
+
+use crate::tables::TextTable;
+use hmm_apps::application_permutations;
+use hmm_machine::MachineConfig;
+use hmm_offperm::Result;
+
+/// Evaluate and render the verdicts at size `n` on configuration `cfg`.
+pub fn render(n: usize, cfg: &MachineConfig) -> Result<String> {
+    let verdicts = application_permutations(n, cfg)?;
+    let mut t = TextTable::new(vec![
+        "permutation",
+        "gamma_w",
+        "conventional",
+        "scheduled",
+        "use",
+    ]);
+    for v in &verdicts {
+        t.row(vec![
+            v.name.clone(),
+            format!("{:.1}", v.gamma),
+            v.conventional.to_string(),
+            v.scheduled.to_string(),
+            if v.scheduled_wins() {
+                "scheduled".to_string()
+            } else {
+                "conventional".to_string()
+            },
+        ]);
+    }
+    Ok(t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_all_application_rows() {
+        let s = render(1 << 12, &MachineConfig::pure(32, 16)).unwrap();
+        for needle in [
+            "butterfly",
+            "FFT bit-reversal",
+            "matrix transpose",
+            "bit-complement",
+        ] {
+            assert!(s.contains(needle), "missing {needle}");
+        }
+    }
+}

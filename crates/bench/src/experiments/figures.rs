@@ -1,0 +1,224 @@
+//! Reproductions of the paper's figures as text renderings plus the data
+//! behind them (asserted in `tests/figures.rs`).
+
+use hmm_graph::{edge_color, verify_coloring, RegularBipartite};
+use hmm_machine::pipeline::{dmm_stage_layout, round_time, umm_stage_layout};
+use hmm_offperm::schedule::Decomposition;
+use hmm_offperm::transpose::diagonal_index;
+use hmm_offperm::Result;
+use hmm_perm::Permutation;
+use std::fmt::Write as _;
+
+/// The Figure 3 example: two warps of width 4 accessing
+/// `⟨7, 5, 15, 0⟩` and `⟨10, 11, 12, 13⟩`.
+pub const FIG3_WIDTH: usize = 4;
+/// Warp `W0`'s addresses.
+pub const FIG3_W0: [usize; 4] = [7, 5, 15, 0];
+/// Warp `W1`'s addresses.
+pub const FIG3_W1: [usize; 4] = [10, 11, 12, 13];
+
+/// Stage layouts and total times of the Figure 3 example on the DMM and
+/// the UMM, for latency `l`.
+pub struct Fig3Data {
+    /// Per-warp DMM stage layouts.
+    pub dmm_stages: [Vec<Vec<usize>>; 2],
+    /// Per-warp UMM stage layouts.
+    pub umm_stages: [Vec<Vec<usize>>; 2],
+    /// DMM round time with the given latency.
+    pub dmm_time: u64,
+    /// UMM round time with the given latency.
+    pub umm_time: u64,
+}
+
+/// Compute the Figure 3 data for latency `l`.
+pub fn fig3(l: usize) -> Fig3Data {
+    let w = FIG3_WIDTH;
+    let dmm = [dmm_stage_layout(&FIG3_W0, w), dmm_stage_layout(&FIG3_W1, w)];
+    let umm = [umm_stage_layout(&FIG3_W0, w), umm_stage_layout(&FIG3_W1, w)];
+    let dmm_counts: Vec<usize> = dmm.iter().map(|s| s.len()).collect();
+    let umm_counts: Vec<usize> = umm.iter().map(|s| s.len()).collect();
+    Fig3Data {
+        dmm_time: round_time(&dmm_counts, l),
+        umm_time: round_time(&umm_counts, l),
+        dmm_stages: dmm,
+        umm_stages: umm,
+    }
+}
+
+/// Render Figure 3 as text.
+pub fn render_fig3(l: usize) -> String {
+    let data = fig3(l);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 3: memory access by warps W0={FIG3_W0:?} and W1={FIG3_W1:?}, w={FIG3_WIDTH}, l={l}"
+    );
+    for (name, stages, time) in [
+        ("DMM (banks)", &data.dmm_stages, data.dmm_time),
+        ("UMM (address groups)", &data.umm_stages, data.umm_time),
+    ] {
+        let _ = writeln!(out, "\n{name}:");
+        for (wi, warp) in stages.iter().enumerate() {
+            for (si, stage) in warp.iter().enumerate() {
+                let _ = writeln!(out, "  W{wi} stage {si}: {stage:?}");
+            }
+        }
+        let total: usize = stages.iter().map(|s| s.len()).sum();
+        let _ = writeln!(
+            out,
+            "  total stages = {total}, time = {time} (= l + {})",
+            time as i64 - l as i64
+        );
+    }
+    out
+}
+
+/// The Figure 4 diagonal arrangement of a `w × w` matrix: cell `(i, j)` of
+/// the grid shows which matrix element is stored there.
+pub fn fig4_grid(w: usize) -> Vec<Vec<(usize, usize)>> {
+    let mut grid = vec![vec![(0, 0); w]; w];
+    for i in 0..w {
+        for j in 0..w {
+            let idx = diagonal_index(i, j, w);
+            grid[idx / w][idx % w] = (i, j);
+        }
+    }
+    grid
+}
+
+/// Render Figure 4 for width `w`.
+pub fn render_fig4(w: usize) -> String {
+    let grid = fig4_grid(w);
+    let mut out = format!("Figure 4: diagonal arrangement of a {w}x{w} matrix\n");
+    let _ = writeln!(
+        out,
+        "(cell shows [row,col] of the stored element; banks are columns)"
+    );
+    for row in &grid {
+        for &(i, j) in row {
+            let _ = write!(out, " [{i},{j}]");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// A Figure 5-style regular bipartite graph of degree 4 on 6+6 nodes,
+/// with its coloring. Returns `(graph, colors)`.
+pub fn fig5() -> (RegularBipartite, Vec<usize>) {
+    // A fixed 4-regular bipartite multigraph (degree 4, 6 nodes per side).
+    let mut edges = Vec::new();
+    for shift in 0..4usize {
+        for u in 0..6usize {
+            edges.push((u, (u + shift) % 6));
+        }
+    }
+    let g = RegularBipartite::new(6, edges).expect("regular by construction");
+    let coloring = edge_color(&g).expect("Koenig coloring");
+    assert!(verify_coloring(&g, &coloring));
+    (g, coloring.colors)
+}
+
+/// Render Figure 5.
+pub fn render_fig5() -> String {
+    let (g, colors) = fig5();
+    let mut out =
+        String::from("Figure 5: a regular bipartite graph with degree 4 painted by 4 colors\n");
+    for color in 0..g.degree() {
+        let class: Vec<(usize, usize)> = g
+            .edges()
+            .iter()
+            .enumerate()
+            .filter(|(e, _)| colors[*e] == color)
+            .map(|(_, &uv)| uv)
+            .collect();
+        let _ = writeln!(out, "  color {color}: {class:?}  (a perfect matching)");
+    }
+    out
+}
+
+/// The Figure 6 walkthrough: a permutation on a small matrix, with the
+/// matrix contents after each of the three steps. Each cell is labelled by
+/// the source element's `(row, col)` as in the paper.
+pub fn fig6(p: &Permutation, width: usize) -> Result<(Decomposition, [Vec<usize>; 4])> {
+    let d = Decomposition::build(p, width)?;
+    let snaps = d.snapshots();
+    Ok((d, snaps))
+}
+
+/// Render Figure 6 for the given permutation (16 elements viewed 4×4 with
+/// width 4 reproduces the paper's scale).
+pub fn render_fig6(p: &Permutation, width: usize) -> Result<String> {
+    let (d, snaps) = fig6(p, width)?;
+    let (r, c) = (d.shape.rows, d.shape.cols);
+    let titles = ["Input", "After Step 1", "After Step 2", "After Step 3"];
+    let mut out = format!(
+        "Figure 6: routing a permutation of {} elements on a {r}x{c} matrix\n",
+        p.len()
+    );
+    for (snap, title) in snaps.iter().zip(titles) {
+        let _ = writeln!(out, "\n{title}:");
+        for i in 0..r {
+            out.push(' ');
+            for j in 0..c {
+                let src = snap[i * c + j];
+                let _ = write!(out, " ({},{})", src / c, src % c);
+            }
+            out.push('\n');
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmm_perm::families;
+
+    #[test]
+    fn fig3_matches_paper_times() {
+        // Paper: DMM takes l+2, UMM takes l+4 for this example.
+        let l = 10;
+        let d = fig3(l);
+        assert_eq!(d.dmm_time, (l + 2) as u64);
+        assert_eq!(d.umm_time, (l + 4) as u64);
+        assert_eq!(d.dmm_stages[0].len(), 2);
+        assert_eq!(d.dmm_stages[1].len(), 1);
+        assert_eq!(d.umm_stages[0].len(), 3);
+        assert_eq!(d.umm_stages[1].len(), 2);
+    }
+
+    #[test]
+    fn fig4_grid_is_the_paper_grid() {
+        // Figure 4 row 1: [1,3] [1,0] [1,1] [1,2].
+        let grid = fig4_grid(4);
+        assert_eq!(grid[1], vec![(1, 3), (1, 0), (1, 1), (1, 2)]);
+        assert_eq!(grid[0], vec![(0, 0), (0, 1), (0, 2), (0, 3)]);
+        assert_eq!(grid[3], vec![(3, 1), (3, 2), (3, 3), (3, 0)]);
+    }
+
+    #[test]
+    fn fig5_coloring_is_proper() {
+        let (g, colors) = fig5();
+        assert_eq!(g.degree(), 4);
+        assert_eq!(colors.iter().copied().max().unwrap(), 3);
+    }
+
+    #[test]
+    fn fig6_final_snapshot_realizes_permutation() {
+        let p = families::random(16, 6);
+        let (_, snaps) = fig6(&p, 4).unwrap();
+        for (pos, &src) in snaps[3].iter().enumerate() {
+            assert_eq!(p.apply(src), pos);
+        }
+    }
+
+    #[test]
+    fn renders_do_not_panic() {
+        assert!(render_fig3(10).contains("DMM"));
+        assert!(render_fig4(4).contains("[1,3]"));
+        assert!(render_fig5().contains("color 3"));
+        let p = families::random(16, 1);
+        assert!(render_fig6(&p, 4).unwrap().contains("After Step 3"));
+    }
+}

@@ -1,0 +1,88 @@
+//! How the paper's crossover ages across GPU generations — an extension
+//! experiment predicted by the model: the conventional algorithm's
+//! small-`n` refuge is the L2 cache, so bigger caches push the
+//! scheduled-permutation break-even to larger arrays.
+
+use crate::tables::{size_label, TextTable};
+use hmm_machine::{presets, ElemWidth, Hmm, MachineConfig, Word};
+use hmm_offperm::driver::{run_on, Algorithm};
+use hmm_offperm::Result;
+use hmm_perm::families;
+
+/// The smallest power-of-two `n` in `sizes` at which the scheduled
+/// algorithm beats the conventional one for bit-reversal, or `None` if it
+/// never does in the range.
+pub fn crossover_size(cfg: &MachineConfig, sizes: &[usize]) -> Result<Option<usize>> {
+    for &n in sizes {
+        let p = families::bit_reversal(n)?;
+        let input: Vec<Word> = (0..n as Word).collect();
+        let time = |alg: Algorithm| -> Result<u64> {
+            let mut hmm = Hmm::new(cfg.clone())?;
+            Ok(run_on(&mut hmm, alg, &p, &input)?.0.time)
+        };
+        if time(Algorithm::Scheduled)? < time(Algorithm::DDesignated)? {
+            return Ok(Some(n));
+        }
+    }
+    Ok(None)
+}
+
+/// Measure and render the per-generation crossover table.
+pub fn render(sizes: &[usize]) -> Result<String> {
+    let mut t = TextTable::new(vec!["generation", "L2", "crossover n", "working set"]);
+    for generation in presets::all(ElemWidth::F32) {
+        let l2 = generation.config.cache.expect("preset has L2").capacity_bytes;
+        let cross = crossover_size(&generation.config, sizes)?;
+        t.row(vec![
+            generation.name.to_string(),
+            format!("{} KB", l2 / 1024),
+            cross.map(size_label).unwrap_or_else(|| "> range".into()),
+            cross
+                .map(|n| format!("{} KB", n * 4 / 1024))
+                .unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    Ok(t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmm_machine::{CacheConfig, SegmentRule};
+
+    /// Synthetic mini-generations: identical machines except L2 size.
+    fn mini(l2_bytes: usize) -> MachineConfig {
+        MachineConfig {
+            width: 32,
+            latency: 64,
+            segment_rule: SegmentRule::ByteSegment { line_bytes: 128 },
+            cache: Some(CacheConfig {
+                capacity_bytes: l2_bytes,
+                line_bytes: 128,
+                ways: 4,
+            }),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn bigger_cache_pushes_crossover_out() {
+        let sizes: Vec<usize> = (10..=18).map(|k| 1usize << k).collect();
+        let small = crossover_size(&mini(16 * 1024), &sizes).unwrap();
+        let large = crossover_size(&mini(256 * 1024), &sizes).unwrap();
+        let (small, large) = (small.expect("in range"), large.expect("in range"));
+        assert!(
+            large > small,
+            "crossover should grow with L2: {small} !< {large}"
+        );
+    }
+
+    #[test]
+    fn crossover_none_when_out_of_range() {
+        // With a huge cache and only tiny sizes, the conventional
+        // algorithm wins everywhere.
+        let sizes = [1usize << 10, 1 << 11];
+        let cfg = mini(4 * 1024 * 1024);
+        assert_eq!(crossover_size(&cfg, &sizes).unwrap(), None);
+    }
+}

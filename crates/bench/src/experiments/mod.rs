@@ -1,0 +1,14 @@
+//! Experiment runners: one module per table/figure of the paper, plus the
+//! ablations. Each exposes a `run`/`measure` function returning structured
+//! data (asserted by the integration tests) and a `render` function used
+//! by the `repro` binary.
+
+pub mod ablation;
+pub mod applications;
+pub mod figures;
+pub mod generations;
+pub mod smallperm;
+pub mod sweep;
+pub mod table1;
+pub mod table2;
+pub mod table3;

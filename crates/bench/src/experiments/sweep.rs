@@ -1,0 +1,137 @@
+//! Model-parameter sweeps — extension experiments the theory invites: how
+//! the conventional-vs-scheduled contest moves with the machine's latency
+//! `l` and width `w` (the paper fixes both; its formulas predict the
+//! trends these sweeps confirm).
+
+use crate::tables::TextTable;
+use hmm_machine::{Hmm, MachineConfig, Word};
+use hmm_offperm::analysis;
+use hmm_offperm::driver::{run_on, Algorithm};
+use hmm_offperm::Result;
+use hmm_perm::families;
+
+/// One sweep point.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepPoint {
+    /// The swept parameter's value.
+    pub param: usize,
+    /// Conventional (D-designated, bit-reversal) time.
+    pub conventional: u64,
+    /// Scheduled time.
+    pub scheduled: u64,
+    /// The closed-form predictions (conventional with `γ_w = w`).
+    pub predicted: (u64, u64),
+}
+
+fn measure(n: usize, cfg: &MachineConfig, param: usize) -> Result<SweepPoint> {
+    let p = families::bit_reversal(n)?;
+    let input: Vec<Word> = (0..n as Word).collect();
+    let time = |alg: Algorithm| -> Result<u64> {
+        let mut hmm = Hmm::new(cfg.clone())?;
+        Ok(run_on(&mut hmm, alg, &p, &input)?.0.time)
+    };
+    Ok(SweepPoint {
+        param,
+        conventional: time(Algorithm::DDesignated)?,
+        scheduled: time(Algorithm::Scheduled)?,
+        predicted: (
+            analysis::conventional_time(n, cfg.width, cfg.latency, cfg.width as f64),
+            analysis::scheduled_time(n, cfg.width, cfg.latency),
+        ),
+    })
+}
+
+/// Sweep the global-memory latency on the pure model at fixed `n`, `w=32`.
+///
+/// Theory: conventional grows as `3(l−1)`, scheduled as `16(l−1)` — with
+/// enough latency the 3-round algorithm must win even at `γ_w = w`.
+pub fn latency_sweep(n: usize, latencies: &[usize]) -> Result<Vec<SweepPoint>> {
+    latencies
+        .iter()
+        .map(|&l| measure(n, &MachineConfig::pure(32, l), l))
+        .collect()
+}
+
+/// Sweep the width on the pure model at fixed `n`, `l`.
+///
+/// Theory: conventional's casual round costs `γ_w·n/w = n` independent of
+/// `w` (for `γ_w = w`), while every coalesced/conflict-free round shrinks
+/// as `n/w` — wider machines favour the scheduled algorithm.
+pub fn width_sweep(n: usize, latency: usize, widths: &[usize]) -> Result<Vec<SweepPoint>> {
+    widths
+        .iter()
+        .map(|&w| measure(n, &MachineConfig::pure(w, latency), w))
+        .collect()
+}
+
+/// Render a sweep.
+pub fn render(param_name: &str, points: &[SweepPoint]) -> String {
+    let mut t = TextTable::new(vec![
+        param_name,
+        "conventional",
+        "scheduled",
+        "winner",
+        "predicted conv",
+        "predicted sched",
+    ]);
+    for p in points {
+        t.row(vec![
+            p.param.to_string(),
+            p.conventional.to_string(),
+            p.scheduled.to_string(),
+            if p.scheduled < p.conventional {
+                "scheduled".to_string()
+            } else {
+                "conventional".to_string()
+            },
+            p.predicted.0.to_string(),
+            p.predicted.1.to_string(),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_matches_closed_forms() {
+        for pt in latency_sweep(1 << 12, &[1, 64, 1024]).unwrap() {
+            assert_eq!(pt.conventional, pt.predicted.0, "l = {}", pt.param);
+            assert_eq!(pt.scheduled, pt.predicted.1, "l = {}", pt.param);
+        }
+    }
+
+    #[test]
+    fn latency_flips_the_winner() {
+        // At tiny latency the scheduled algorithm wins; at huge latency the
+        // 3-round conventional algorithm must win (13(l−1) extra pipeline
+        // fills are unaffordable).
+        let n = 1 << 14;
+        let pts = latency_sweep(n, &[1, 1 << 16]).unwrap();
+        assert!(pts[0].scheduled < pts[0].conventional, "l = 1");
+        assert!(pts[1].scheduled > pts[1].conventional, "l = 64K");
+    }
+
+    #[test]
+    fn width_helps_the_scheduled_algorithm() {
+        // The scheduled/conventional time ratio must fall as w grows.
+        let n = 1 << 14;
+        let pts = width_sweep(n, 8, &[8, 16, 32, 64]).unwrap();
+        let ratios: Vec<f64> = pts
+            .iter()
+            .map(|p| p.scheduled as f64 / p.conventional as f64)
+            .collect();
+        for pair in ratios.windows(2) {
+            assert!(pair[1] < pair[0], "ratios not decreasing: {ratios:?}");
+        }
+    }
+
+    #[test]
+    fn render_mentions_winner() {
+        let pts = latency_sweep(1 << 12, &[2]).unwrap();
+        let s = render("l", &pts);
+        assert!(s.contains("conventional") || s.contains("scheduled"));
+    }
+}

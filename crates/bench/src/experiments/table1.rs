@@ -1,0 +1,234 @@
+//! Table I reproduction: memory-access rounds and running time of every
+//! algorithm, measured on the simulator and checked against the paper's
+//! closed forms.
+
+use crate::tables::TextTable;
+use hmm_machine::{Hmm, MachineConfig, RoundSummary, Word};
+use hmm_offperm::colwise::{column_wise_permute, ColSchedule};
+use hmm_offperm::conventional::{
+    d_designated, s_designated, stage_destination_map, stage_source_map,
+};
+use hmm_offperm::rowwise::{row_wise_permute, RowSchedule};
+use hmm_offperm::scheduled::ScheduledPermutation;
+use hmm_offperm::transpose::transpose;
+use hmm_offperm::{analysis, Result};
+use hmm_perm::{families, scheduled_shape, Permutation};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One measured Table I row.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Algorithm name as in the paper.
+    pub name: &'static str,
+    /// Measured round summary.
+    pub summary: RoundSummary,
+    /// Measured total time units.
+    pub measured_time: u64,
+    /// The paper's closed-form prediction.
+    pub predicted_time: u64,
+}
+
+/// Run all six Table I algorithms at size `n` on the pure HMM
+/// `(width, latency)` and collect measured vs predicted costs.
+///
+/// The conventional rows use the bit-reversal permutation (distribution
+/// exactly `w`), matching the upper end of Lemma 4's range.
+pub fn measure(n: usize, width: usize, latency: usize) -> Result<Vec<Table1Row>> {
+    let mut rows = Vec::new();
+    let cfg = MachineConfig::pure(width, latency);
+    let input: Vec<Word> = (0..n as Word).collect();
+    let p = families::bit_reversal(n)?;
+    let shape = scheduled_shape(n, width)?;
+    let w = width as f64;
+
+    // D-designated.
+    {
+        let mut hmm = Hmm::new(cfg.clone())?;
+        let a = hmm.alloc_global(n);
+        let b = hmm.alloc_global(n);
+        hmm.host_write(a, &input)?;
+        let pb = stage_destination_map(&mut hmm, &p)?;
+        let r = d_designated(&mut hmm, a, b, pb)?;
+        rows.push(Table1Row {
+            name: "D-designated permutation",
+            summary: r.summary,
+            measured_time: r.time,
+            predicted_time: analysis::conventional_time(n, width, latency, w),
+        });
+    }
+    // S-designated.
+    {
+        let mut hmm = Hmm::new(cfg.clone())?;
+        let a = hmm.alloc_global(n);
+        let b = hmm.alloc_global(n);
+        hmm.host_write(a, &input)?;
+        let qb = stage_source_map(&mut hmm, &p)?;
+        let r = s_designated(&mut hmm, a, b, qb)?;
+        rows.push(Table1Row {
+            name: "S-designated permutation",
+            summary: r.summary,
+            measured_time: r.time,
+            predicted_time: analysis::conventional_time(n, width, latency, w),
+        });
+    }
+    // Transpose.
+    {
+        let mut hmm = Hmm::new(cfg.clone())?;
+        let a = hmm.alloc_global(n);
+        let b = hmm.alloc_global(n);
+        hmm.host_write(a, &input)?;
+        let r = transpose(&mut hmm, shape, a, b)?;
+        rows.push(Table1Row {
+            name: "Transpose",
+            summary: r.summary,
+            measured_time: r.time,
+            predicted_time: analysis::transpose_time(n, width, latency),
+        });
+    }
+    // Row-wise permutation (random per-row permutations).
+    let mut rng = StdRng::seed_from_u64(1);
+    {
+        let mut hmm = Hmm::new(cfg.clone())?;
+        let perms: Vec<Permutation> = (0..shape.rows)
+            .map(|_| Permutation::random(shape.cols, &mut rng))
+            .collect();
+        let sched = RowSchedule::build(shape, &perms, width)?;
+        let staged = sched.stage(&mut hmm)?;
+        let a = hmm.alloc_global(n);
+        let b = hmm.alloc_global(n);
+        hmm.host_write(a, &input)?;
+        let r = row_wise_permute(&mut hmm, &staged, a, b)?;
+        rows.push(Table1Row {
+            name: "Row-wise permutation",
+            summary: r.summary,
+            measured_time: r.time,
+            predicted_time: analysis::row_wise_time(n, width, latency),
+        });
+    }
+    // Column-wise permutation (random per-column permutations).
+    {
+        let mut hmm = Hmm::new(cfg.clone())?;
+        let perms: Vec<Permutation> = (0..shape.cols)
+            .map(|_| Permutation::random(shape.rows, &mut rng))
+            .collect();
+        let sched = ColSchedule::build(shape, &perms, width)?;
+        let staged = sched.stage(&mut hmm)?;
+        let a = hmm.alloc_global(n);
+        let b = hmm.alloc_global(n);
+        let t1 = hmm.alloc_global(n);
+        let t2 = hmm.alloc_global(n);
+        hmm.host_write(a, &input)?;
+        let r = column_wise_permute(&mut hmm, &staged, a, b, t1, t2)?;
+        rows.push(Table1Row {
+            name: "Column-wise permutation",
+            summary: r.summary,
+            measured_time: r.time,
+            predicted_time: analysis::column_wise_time(n, width, latency),
+        });
+    }
+    // Scheduled permutation.
+    {
+        let mut hmm = Hmm::new(cfg)?;
+        let sched = ScheduledPermutation::build(&p, width)?;
+        let staged = sched.stage(&mut hmm)?;
+        let a = hmm.alloc_global(n);
+        let b = hmm.alloc_global(n);
+        let t1 = hmm.alloc_global(n);
+        let t2 = hmm.alloc_global(n);
+        hmm.host_write(a, &input)?;
+        let r = staged.run(&mut hmm, a, b, t1, t2)?;
+        rows.push(Table1Row {
+            name: "Our scheduled permutation",
+            summary: r.summary,
+            measured_time: r.time,
+            predicted_time: analysis::scheduled_time(n, width, latency),
+        });
+    }
+    Ok(rows)
+}
+
+/// Render the measured rows in the layout of the paper's Table I.
+pub fn render(rows: &[Table1Row]) -> String {
+    table(rows).render()
+}
+
+/// The measured rows as a [`TextTable`] (for CSV export).
+pub fn table(rows: &[Table1Row]) -> TextTable {
+    let mut t = TextTable::new(vec![
+        "algorithm",
+        "casual rd",
+        "casual wr",
+        "coalesced rd",
+        "coalesced wr",
+        "cf rd",
+        "cf wr",
+        "measured time",
+        "predicted time",
+    ]);
+    for r in rows {
+        let s = &r.summary;
+        t.row(vec![
+            r.name.to_string(),
+            s.casual_read.rounds.to_string(),
+            s.casual_write.rounds.to_string(),
+            s.coalesced_read.rounds.to_string(),
+            s.coalesced_write.rounds.to_string(),
+            s.conflict_free_read.rounds.to_string(),
+            s.conflict_free_write.rounds.to_string(),
+            r.measured_time.to_string(),
+            r.predicted_time.to_string(),
+        ]);
+    }
+    t
+}
+
+/// The paper's Table I round counts, for assertions:
+/// `(casual_rd, casual_wr, coalesced_rd, coalesced_wr, cf_rd, cf_wr)`.
+pub fn paper_round_counts(name: &str) -> Option<(u64, u64, u64, u64, u64, u64)> {
+    match name {
+        "D-designated permutation" => Some((0, 1, 2, 0, 0, 0)),
+        "S-designated permutation" => Some((1, 0, 1, 1, 0, 0)),
+        "Transpose" => Some((0, 0, 1, 1, 1, 1)),
+        "Row-wise permutation" => Some((0, 0, 3, 1, 2, 2)),
+        "Column-wise permutation" => Some((0, 0, 5, 3, 4, 4)),
+        "Our scheduled permutation" => Some((0, 0, 11, 5, 8, 8)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_matches_paper_and_formulas() {
+        let rows = measure(1 << 10, 8, 16).unwrap();
+        assert_eq!(rows.len(), 6);
+        for r in &rows {
+            let (crd, cwr, cord, cowr, cfrd, cfwr) = paper_round_counts(r.name).unwrap();
+            let s = &r.summary;
+            assert_eq!(s.casual_read.rounds, crd, "{} casual rd", r.name);
+            assert_eq!(s.casual_write.rounds, cwr, "{} casual wr", r.name);
+            assert_eq!(s.coalesced_read.rounds, cord, "{} coalesced rd", r.name);
+            assert_eq!(s.coalesced_write.rounds, cowr, "{} coalesced wr", r.name);
+            assert_eq!(s.conflict_free_read.rounds, cfrd, "{} cf rd", r.name);
+            assert_eq!(s.conflict_free_write.rounds, cfwr, "{} cf wr", r.name);
+            assert_eq!(s.shared_casual.rounds, 0, "{} bank conflicts", r.name);
+            assert_eq!(
+                r.measured_time, r.predicted_time,
+                "{} measured vs closed form",
+                r.name
+            );
+        }
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let rows = measure(1 << 10, 8, 16).unwrap();
+        let s = render(&rows);
+        for r in &rows {
+            assert!(s.contains(r.name));
+        }
+    }
+}

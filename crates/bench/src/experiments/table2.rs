@@ -1,0 +1,247 @@
+//! Table II reproduction: simulated running time of the D-designated,
+//! S-designated, and scheduled algorithms for the five permutation families
+//! across array sizes, for 32-bit and 64-bit elements.
+//!
+//! The paper reports GPU milliseconds; we report HMM time units on the
+//! empirical (GTX-680-flavoured) configuration — L2 cache model on,
+//! 128-byte segments — so the *shape* (who wins where, the crossover size,
+//! the permutation-independence of the scheduled algorithm) is comparable.
+//! EXPERIMENTS.md records the side-by-side.
+
+use crate::tables::{size_label, TextTable};
+use hmm_machine::{ElemWidth, Hmm, MachineConfig, Word};
+use hmm_offperm::driver::{run_on, Algorithm};
+use hmm_offperm::{OffpermError, Result};
+use hmm_perm::{families::Family, Permutation};
+
+/// Parameters of one Table II run.
+#[derive(Debug, Clone)]
+pub struct Table2Config {
+    /// Array sizes (powers of two; the paper uses 256K..4M).
+    pub sizes: Vec<usize>,
+    /// Element width (Table II(a): f32, Table II(b): f64).
+    pub elem: ElemWidth,
+    /// Use the empirical cached configuration (`true`, the GPU-like
+    /// setting) or the pure theoretical HMM (`false`, for the ablation).
+    pub cached: bool,
+    /// Seed for the random family.
+    pub seed: u64,
+}
+
+impl Table2Config {
+    /// The paper's full-size configuration (256K..4M) — minutes of
+    /// simulation.
+    pub fn paper(elem: ElemWidth) -> Self {
+        Table2Config {
+            sizes: vec![1 << 18, 1 << 19, 1 << 20, 1 << 21, 1 << 22],
+            elem,
+            cached: true,
+            seed: 2013,
+        }
+    }
+
+    /// A scaled-down configuration that preserves the crossover shape and
+    /// finishes in seconds.
+    pub fn quick(elem: ElemWidth) -> Self {
+        Table2Config {
+            sizes: vec![1 << 14, 1 << 16, 1 << 18],
+            elem,
+            cached: true,
+            seed: 2013,
+        }
+    }
+}
+
+/// One measured cell: simulated time, or `None` when the algorithm is
+/// infeasible at this size (shared-memory capacity).
+pub type Cell = Option<u64>;
+
+/// All measurements of one Table II run.
+#[derive(Debug, Clone)]
+pub struct Table2Data {
+    /// The configuration measured.
+    pub config: Table2Config,
+    /// `cells[alg][family][size_index]`.
+    pub cells: Vec<Vec<Vec<Cell>>>,
+}
+
+/// Measure every cell. Each cell runs on a fresh machine (cold cache), and
+/// every output is verified against the host reference.
+pub fn run(config: &Table2Config) -> Result<Table2Data> {
+    let mut cells =
+        vec![vec![vec![None; config.sizes.len()]; Family::ALL.len()]; Algorithm::ALL.len()];
+    for (si, &n) in config.sizes.iter().enumerate() {
+        let input: Vec<Word> = (0..n as Word).collect();
+        for (fi, fam) in Family::ALL.iter().enumerate() {
+            let p = fam.build(n, config.seed)?;
+            for (ai, alg) in Algorithm::ALL.iter().enumerate() {
+                cells[ai][fi][si] = run_cell(config, *alg, &p, &input)?;
+            }
+        }
+    }
+    Ok(Table2Data {
+        config: config.clone(),
+        cells,
+    })
+}
+
+/// Run one cell; `Ok(None)` means "infeasible" (the paper's missing
+/// scheduled/4M-double cell), any other error propagates.
+pub fn run_cell(
+    config: &Table2Config,
+    alg: Algorithm,
+    p: &Permutation,
+    input: &[Word],
+) -> Result<Cell> {
+    let mcfg = machine_config(config);
+    let mut hmm = Hmm::new(mcfg)?;
+    match run_on(&mut hmm, alg, p, input) {
+        Ok((report, output)) => {
+            let mut want = vec![0; input.len()];
+            p.permute(input, &mut want)?;
+            assert_eq!(output, want, "{} produced a wrong permutation", alg.name());
+            Ok(Some(report.time))
+        }
+        Err(OffpermError::Machine(hmm_machine::MachineError::SharedCapacityExceeded {
+            ..
+        })) => Ok(None),
+        Err(e) => Err(e),
+    }
+}
+
+fn machine_config(config: &Table2Config) -> MachineConfig {
+    if config.cached {
+        MachineConfig::gtx680(config.elem)
+    } else {
+        MachineConfig {
+            elem: config.elem,
+            ..MachineConfig::pure(32, 512)
+        }
+    }
+}
+
+/// Render in the paper's layout: one block per algorithm, families as
+/// rows, sizes as columns.
+pub fn render(data: &Table2Data) -> String {
+    let mut out = String::new();
+    for (name, t) in tables(data) {
+        out.push_str(&format!("[{name}]\n"));
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+    out
+}
+
+/// One [`TextTable`] per algorithm, named like the paper's blocks (for CSV
+/// export).
+pub fn tables(data: &Table2Data) -> Vec<(String, TextTable)> {
+    let mut out = Vec::new();
+    for (ai, alg) in Algorithm::ALL.iter().enumerate() {
+        let mut header = vec!["permutation".to_string()];
+        header.extend(data.config.sizes.iter().map(|&n| size_label(n)));
+        let mut t = TextTable::new(header);
+        for (fi, fam) in Family::ALL.iter().enumerate() {
+            let mut row = vec![fam.name().to_string()];
+            for cell in &data.cells[ai][fi] {
+                row.push(match cell {
+                    Some(time) => time.to_string(),
+                    None => "n/a".to_string(),
+                });
+            }
+            t.row(row);
+        }
+        out.push((alg.name().to_string(), t));
+    }
+    out
+}
+
+/// Shape assertions the paper's Table II implies; returns a list of
+/// violated claims (empty = reproduction matches).
+pub fn check_shape(data: &Table2Data) -> Vec<String> {
+    let mut violations = Vec::new();
+    let sizes = &data.config.sizes;
+    let idx = |alg: Algorithm| Algorithm::ALL.iter().position(|a| *a == alg).unwrap();
+    let fidx = |fam: Family| Family::ALL.iter().position(|f| *f == fam).unwrap();
+    let sched = idx(Algorithm::Scheduled);
+    let dd = idx(Algorithm::DDesignated);
+
+    // 1. Scheduled time is permutation-independent at every size.
+    for (si, &n) in sizes.iter().enumerate() {
+        let times: Vec<Cell> = Family::ALL
+            .iter()
+            .map(|f| data.cells[sched][fidx(*f)][si])
+            .collect();
+        let known: Vec<u64> = times.iter().flatten().copied().collect();
+        if !known.is_empty() && known.iter().any(|&t| t != known[0]) {
+            violations.push(format!(
+                "scheduled time varies across permutations at n={}: {known:?}",
+                size_label(n)
+            ));
+        }
+    }
+    // 2. Conventional beats scheduled on identical/shuffle at every size.
+    for fam in [Family::Identical, Family::Shuffle] {
+        for (si, &n) in sizes.iter().enumerate() {
+            if let (Some(c), Some(s)) = (
+                data.cells[dd][fidx(fam)][si],
+                data.cells[sched][fidx(fam)][si],
+            ) {
+                if c >= s {
+                    violations.push(format!(
+                        "D-designated should win on {} at n={} ({c} vs {s})",
+                        fam.name(),
+                        size_label(n)
+                    ));
+                }
+            }
+        }
+    }
+    // 3. Scheduled beats conventional on high-distribution permutations at
+    //    the largest size.
+    let last = sizes.len() - 1;
+    for fam in [Family::Random, Family::BitReversal, Family::Transpose] {
+        if let (Some(c), Some(s)) = (
+            data.cells[dd][fidx(fam)][last],
+            data.cells[sched][fidx(fam)][last],
+        ) {
+            if s >= c {
+                violations.push(format!(
+                    "scheduled should win on {} at n={} ({s} vs {c})",
+                    fam.name(),
+                    size_label(sizes[last])
+                ));
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_table2_reproduces_paper_shape() {
+        let data = run(&Table2Config::quick(ElemWidth::F32)).unwrap();
+        let violations = check_shape(&data);
+        assert!(violations.is_empty(), "{violations:#?}");
+    }
+
+    #[test]
+    fn render_has_all_blocks() {
+        let cfg = Table2Config {
+            sizes: vec![1 << 12],
+            elem: ElemWidth::F32,
+            cached: true,
+            seed: 1,
+        };
+        let data = run(&cfg).unwrap();
+        let s = render(&data);
+        for alg in Algorithm::ALL {
+            assert!(s.contains(alg.name()));
+        }
+        for fam in Family::ALL {
+            assert!(s.contains(fam.name()));
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Wall-clock experiments on the CPU backend: the Table II comparison with
+//! real time instead of model time (see DESIGN.md §2 — this is the
+//! substitution for the paper's GPU measurements).
+
+use crate::tables::{size_label, TextTable};
+use hmm_native::{copy_baseline, gather_permute, scatter_permute, NativeScheduled};
+use hmm_offperm::Result;
+use hmm_perm::families::Family;
+use std::time::{Duration, Instant};
+
+/// Median wall-clock of `reps` runs of `f`.
+fn median_time(reps: usize, mut f: impl FnMut()) -> Duration {
+    let mut times: Vec<Duration> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed()
+        })
+        .collect();
+    times.sort();
+    times[times.len() / 2]
+}
+
+/// One row of the native comparison.
+#[derive(Debug, Clone)]
+pub struct NativeRow {
+    /// Permutation family.
+    pub family: &'static str,
+    /// Array size.
+    pub n: usize,
+    /// Parallel scatter (`dst[p[i]] = src[i]`).
+    pub scatter: Duration,
+    /// Parallel gather (`dst[i] = src[q[i]]`).
+    pub gather: Duration,
+    /// Five-pass scheduled permutation.
+    pub scheduled: Duration,
+    /// Plain parallel copy (bandwidth ceiling).
+    pub copy: Duration,
+}
+
+/// Measure all four kernels for every family at the given sizes.
+pub fn run(sizes: &[usize], reps: usize) -> Result<Vec<NativeRow>> {
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let src: Vec<u32> = (0..n as u32).collect();
+        let mut dst = vec![0u32; n];
+        let mut t1 = vec![0u32; n];
+        let mut t2 = vec![0u32; n];
+        for fam in Family::ALL {
+            let p = fam.build(n, 5)?;
+            let q = p.inverse();
+            let sched = NativeScheduled::build(&p, 32)?;
+            let scatter = median_time(reps, || scatter_permute(&src, &p, &mut dst));
+            let gather = median_time(reps, || gather_permute(&src, &q, &mut dst));
+            let scheduled = median_time(reps, || {
+                sched.run_with_scratch(&src, &mut dst, &mut t1, &mut t2)
+            });
+            let copy = median_time(reps, || copy_baseline(&src, &mut dst));
+            rows.push(NativeRow {
+                family: fam.name(),
+                n,
+                scatter,
+                gather,
+                scheduled,
+                copy,
+            });
+        }
+    }
+    Ok(rows)
+}
+
+/// Render the native comparison table.
+pub fn render(rows: &[NativeRow]) -> String {
+    let mut t = TextTable::new(vec![
+        "n",
+        "permutation",
+        "scatter",
+        "gather",
+        "scheduled",
+        "copy",
+    ]);
+    for r in rows {
+        t.row(vec![
+            size_label(r.n),
+            r.family.to_string(),
+            format!("{:.2?}", r.scatter),
+            format!("{:.2?}", r.gather),
+            format!("{:.2?}", r.scheduled),
+            format!("{:.2?}", r.copy),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_and_renders_small() {
+        let rows = run(&[1 << 12], 1).unwrap();
+        assert_eq!(rows.len(), 5);
+        let s = render(&rows);
+        assert!(s.contains("scatter"));
+        assert!(s.contains("4K"));
+    }
+}

@@ -1,0 +1,166 @@
+//! Plain-text table rendering for the reproduction harness.
+
+use std::fmt::Write as _;
+
+/// A simple aligned text table: first column left-aligned, the rest
+/// right-aligned — the layout of the paper's tables.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Start a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must have as many cells as the header).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut width = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            width[i] = h.len();
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                width[i] = width[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i == 0 {
+                    let _ = write!(out, "{:<w$}", cell, w = width[0]);
+                } else {
+                    let _ = write!(out, "  {:>w$}", cell, w = width[i]);
+                }
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.header);
+        let total: usize = width.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+}
+
+impl TextTable {
+    /// Render as RFC-4180-ish CSV (quoting cells containing commas or
+    /// quotes) for downstream plotting.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        for row in std::iter::once(&self.header).chain(self.rows.iter()) {
+            let line: Vec<String> = row.iter().map(|c| esc(c)).collect();
+            out.push_str(&line.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a size in the paper's convention: `256K`, `1M`, ...
+pub fn size_label(n: usize) -> String {
+    if n >= (1 << 20) && n.is_multiple_of(1 << 20) {
+        format!("{}M", n >> 20)
+    } else if n >= (1 << 10) && n.is_multiple_of(1 << 10) {
+        format!("{}K", n >> 10)
+    } else {
+        n.to_string()
+    }
+}
+
+/// Format a ratio to two decimals, e.g. for speedup columns.
+pub fn ratio(a: u64, b: u64) -> String {
+    if b == 0 {
+        "inf".to_string()
+    } else {
+        format!("{:.2}", a as f64 / b as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = TextTable::new(vec!["perm", "time"]);
+        t.row(vec!["identical", "3"]);
+        t.row(vec!["bit-reversal", "123456"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("perm"));
+        assert!(lines[3].contains("123456"));
+        // All rows same width.
+        assert_eq!(lines[2].len(), lines[3].len());
+        assert!(!t.is_empty());
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        TextTable::new(vec!["a", "b"]).row(vec!["only one"]);
+    }
+
+    #[test]
+    fn csv_escapes_and_includes_header() {
+        let mut t = TextTable::new(vec!["name", "value"]);
+        t.row(vec!["plain", "1"]);
+        t.row(vec!["with,comma", "with\"quote"]);
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "name,value");
+        assert_eq!(lines[1], "plain,1");
+        assert_eq!(lines[2], "\"with,comma\",\"with\"\"quote\"");
+    }
+
+    #[test]
+    fn size_labels() {
+        assert_eq!(size_label(256 * 1024), "256K");
+        assert_eq!(size_label(4 * 1024 * 1024), "4M");
+        assert_eq!(size_label(1000), "1000");
+        assert_eq!(size_label(1 << 10), "1K");
+    }
+
+    #[test]
+    fn ratios() {
+        assert_eq!(ratio(300, 100), "3.00");
+        assert_eq!(ratio(1, 0), "inf");
+    }
+}

@@ -1,0 +1,158 @@
+//! Closed-form running times of Table I and the optimality bound
+//! (Sections IV–VII).
+//!
+//! All formulas are in HMM time units on the pure model (no cache,
+//! element-group segments) and are asserted against the simulator's
+//! measured ledgers in this crate's tests and in `tests/table1.rs`.
+
+/// Time of one coalesced global round by `n` threads: `n/w + l − 1`
+/// (Lemma 1).
+pub fn coalesced_round(n: usize, w: usize, l: usize) -> u64 {
+    (n / w) as u64 + l as u64 - 1
+}
+
+/// Time of one conflict-free shared round by `n` threads: `n/w` (Lemma 1
+/// with latency 1).
+pub fn conflict_free_round(n: usize, w: usize) -> u64 {
+    (n / w) as u64
+}
+
+/// Time of the conventional algorithms' casual round for a permutation of
+/// distribution `γ_w`: `γ_w·n/w + l − 1` (Lemma 4). `γ_w ∈ [1, w]`.
+pub fn casual_round(n: usize, w: usize, l: usize, gamma: f64) -> u64 {
+    (gamma * (n as f64 / w as f64)).round() as u64 + l as u64 - 1
+}
+
+/// D-designated (and S-designated) total: two coalesced rounds plus one
+/// casual round — `2(n/w + l − 1) + γ_w·n/w + l − 1` (Table I).
+pub fn conventional_time(n: usize, w: usize, l: usize, gamma: f64) -> u64 {
+    2 * coalesced_round(n, w, l) + casual_round(n, w, l, gamma)
+}
+
+/// Matrix transpose: 2 coalesced + 2 conflict-free rounds (Table I).
+pub fn transpose_time(n: usize, w: usize, l: usize) -> u64 {
+    2 * coalesced_round(n, w, l) + 2 * conflict_free_round(n, w)
+}
+
+/// Row-wise permutation: 4 coalesced + 4 conflict-free rounds (Table I).
+pub fn row_wise_time(n: usize, w: usize, l: usize) -> u64 {
+    4 * coalesced_round(n, w, l) + 4 * conflict_free_round(n, w)
+}
+
+/// Column-wise permutation: row-wise plus two transposes (Table I).
+pub fn column_wise_time(n: usize, w: usize, l: usize) -> u64 {
+    row_wise_time(n, w, l) + 2 * transpose_time(n, w, l)
+}
+
+/// The scheduled permutation: two row-wise passes and one column-wise pass
+/// — `16(n/w + l − 1) + 16·n/w = 32·n/w + 16(l − 1)` (Theorem 9),
+/// independent of the permutation.
+pub fn scheduled_time(n: usize, w: usize, l: usize) -> u64 {
+    2 * row_wise_time(n, w, l) + column_wise_time(n, w, l)
+}
+
+/// Lower bound for *any* offline permutation on the HMM (Section VII):
+/// every element must be read once and written once, at most `w` per time
+/// unit, and the last access pays the pipeline latency:
+/// `2·n/w + l − 1` time units.
+pub fn lower_bound(n: usize, w: usize, l: usize) -> u64 {
+    2 * (n / w) as u64 + l as u64 - 1
+}
+
+/// Ratio of the scheduled algorithm's time to the lower bound — the
+/// paper's "constant factor". Under these closed forms it is *identically*
+/// 16: `32·n/w + 16(l−1) = 16·(2·n/w + l − 1)`.
+pub fn optimality_ratio(n: usize, w: usize, l: usize) -> f64 {
+    scheduled_time(n, w, l) as f64 / lower_bound(n, w, l) as f64
+}
+
+/// Predicted crossover: the distribution `γ_w` above which the scheduled
+/// algorithm beats the conventional one on the pure model, from
+/// `conventional_time > scheduled_time`. Returns `None` if the scheduled
+/// algorithm cannot win at this size (small `n`, huge `l`).
+pub fn crossover_gamma(n: usize, w: usize, l: usize) -> Option<f64> {
+    let nw = n as f64 / w as f64;
+    let l1 = (l - 1) as f64;
+    // 2(nw + l1) + γ·nw + l1 > 32·nw + 16·l1  ⇔  γ > 30 + 13·l1/nw.
+    let gamma = 30.0 + 13.0 * l1 / nw;
+    (gamma <= w as f64).then_some(gamma)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const N: usize = 1 << 20;
+    const W: usize = 32;
+    const L: usize = 512;
+
+    #[test]
+    fn scheduled_closed_form() {
+        let nw = (N / W) as u64;
+        assert_eq!(scheduled_time(N, W, L), 32 * nw + 16 * (L as u64 - 1));
+    }
+
+    #[test]
+    fn conventional_tracks_gamma() {
+        let slow = conventional_time(N, W, L, W as f64);
+        let fast = conventional_time(N, W, L, 1.0);
+        assert!(slow > fast);
+        let nw = (N / W) as u64;
+        assert_eq!(fast, 3 * (nw + L as u64 - 1));
+        assert_eq!(slow, 2 * (nw + L as u64 - 1) + (N as u64 + L as u64 - 1));
+    }
+
+    #[test]
+    fn scheduled_beats_conventional_at_max_gamma() {
+        assert!(scheduled_time(N, W, L) < conventional_time(N, W, L, W as f64));
+    }
+
+    #[test]
+    fn conventional_beats_scheduled_at_min_gamma() {
+        assert!(conventional_time(N, W, L, 1.0) < scheduled_time(N, W, L));
+    }
+
+    #[test]
+    fn everything_respects_lower_bound() {
+        for n in [1 << 12, 1 << 16, 1 << 20] {
+            let lb = lower_bound(n, W, L);
+            assert!(scheduled_time(n, W, L) >= lb);
+            assert!(conventional_time(n, W, L, 1.0) >= lb);
+            assert!(transpose_time(n, W, L) >= lb);
+            assert!(row_wise_time(n, W, L) >= lb);
+            assert!(column_wise_time(n, W, L) >= lb);
+        }
+    }
+
+    #[test]
+    fn optimality_ratio_is_exactly_16() {
+        // 32·n/w + 16(l−1) = 16·(2·n/w + l−1): constant-factor optimal.
+        for n in [1 << 12, 1 << 20, 1 << 26] {
+            for l in [1usize, 2, 512, 4096] {
+                let r = optimality_ratio(n, W, l);
+                assert!((r - 16.0).abs() < 1e-9, "n={n} l={l}: ratio {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn crossover_gamma_behaviour() {
+        // Large n: crossover just above 30.
+        let g = crossover_gamma(1 << 22, W, L).unwrap();
+        assert!(g > 30.0 && g < 30.1);
+        // Tiny n with huge latency: the scheduled algorithm cannot win.
+        assert!(crossover_gamma(1 << 10, W, 1 << 20).is_none());
+    }
+
+    #[test]
+    fn component_sums() {
+        assert_eq!(
+            scheduled_time(N, W, L),
+            2 * row_wise_time(N, W, L) + column_wise_time(N, W, L)
+        );
+        assert_eq!(
+            column_wise_time(N, W, L),
+            row_wise_time(N, W, L) + 2 * transpose_time(N, W, L)
+        );
+    }
+}

@@ -1,0 +1,223 @@
+//! Column-wise permutation (Section VI): transpose, row-wise permute,
+//! transpose back.
+//!
+//! Moving `a[p_j(i)][j] ← a[i][j]` along per-column permutations is done by
+//! transposing the `r × c` matrix to `c × r`, permuting the former columns
+//! as rows, and transposing back — Table I: 5 coalesced reads, 3 coalesced
+//! writes, 4 + 4 conflict-free shared rounds,
+//! `8(n/w + l − 1) + 8·n/w` time units.
+
+use crate::error::{OffpermError, Result};
+use crate::report::RunReport;
+use crate::rowwise::{row_wise_permute, RowSchedule, StagedRowSchedule};
+use crate::transpose::transpose;
+use hmm_machine::{GlobalBuf, Hmm, RoundSummary};
+use hmm_perm::{MatrixShape, Permutation};
+
+/// Offline schedule for one column-wise pass on an `r × c` matrix: a
+/// row-wise schedule for the transposed `c × r` matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColSchedule {
+    shape: MatrixShape,
+    inner: RowSchedule,
+}
+
+impl ColSchedule {
+    /// Build from per-column permutations (one per column, each permuting
+    /// the `shape.rows` row indices of that column).
+    pub fn build(shape: MatrixShape, perms: &[Permutation], width: usize) -> Result<Self> {
+        if perms.len() != shape.cols {
+            return Err(OffpermError::SizeMismatch {
+                expected: shape.cols,
+                got: perms.len(),
+            });
+        }
+        let inner = RowSchedule::build(shape.transposed(), perms, width)?;
+        Ok(ColSchedule { shape, inner })
+    }
+
+    /// The (untransposed) matrix shape this schedule permutes.
+    pub fn shape(&self) -> MatrixShape {
+        self.shape
+    }
+
+    /// Stage into a machine's global memory.
+    pub fn stage(&self, hmm: &mut Hmm) -> Result<StagedColSchedule> {
+        Ok(StagedColSchedule {
+            shape: self.shape,
+            inner: self.inner.stage(hmm)?,
+        })
+    }
+}
+
+/// A [`ColSchedule`] resident in global memory.
+#[derive(Debug, Clone, Copy)]
+pub struct StagedColSchedule {
+    shape: MatrixShape,
+    inner: StagedRowSchedule,
+}
+
+impl StagedColSchedule {
+    /// The (untransposed) matrix shape this schedule permutes.
+    pub fn shape(&self) -> MatrixShape {
+        self.shape
+    }
+}
+
+/// Execute the column-wise permutation `b[p_j(i)][j] = a[i][j]`.
+///
+/// `t1` and `t2` are caller-provided scratch buffers of `shape.len()`
+/// elements (they hold the transposed intermediates); `a`, `b`, `t1`, `t2`
+/// must be pairwise distinct allocations.
+pub fn column_wise_permute(
+    hmm: &mut Hmm,
+    sched: &StagedColSchedule,
+    a: GlobalBuf,
+    b: GlobalBuf,
+    t1: GlobalBuf,
+    t2: GlobalBuf,
+) -> Result<RunReport> {
+    let shape = sched.shape;
+    for buf in [a, b, t1, t2] {
+        if buf.len() != shape.len() {
+            return Err(OffpermError::SizeMismatch {
+                expected: shape.len(),
+                got: buf.len(),
+            });
+        }
+    }
+    let mut summary = RoundSummary::default();
+    let mut add = |r: RunReport| {
+        summary = merge(&summary, &r.summary);
+    };
+    add(transpose(hmm, shape, a, t1)?);
+    add(row_wise_permute(hmm, &sched.inner, t1, t2)?);
+    add(transpose(hmm, shape.transposed(), t2, b)?);
+    Ok(RunReport::new(summary, 3))
+}
+
+/// Field-wise sum of two round summaries.
+pub(crate) fn merge(x: &RoundSummary, y: &RoundSummary) -> RoundSummary {
+    use hmm_machine::KindTotals;
+    let add = |a: KindTotals, b: KindTotals| KindTotals {
+        rounds: a.rounds + b.rounds,
+        time: a.time + b.time,
+    };
+    RoundSummary {
+        casual_read: add(x.casual_read, y.casual_read),
+        casual_write: add(x.casual_write, y.casual_write),
+        coalesced_read: add(x.coalesced_read, y.coalesced_read),
+        coalesced_write: add(x.coalesced_write, y.coalesced_write),
+        conflict_free_read: add(x.conflict_free_read, y.conflict_free_read),
+        conflict_free_write: add(x.conflict_free_write, y.conflict_free_write),
+        shared_casual: add(x.shared_casual, y.shared_casual),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmm_machine::{MachineConfig, Word};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const W: usize = 8;
+    const L: usize = 32;
+
+    fn run_case(shape: MatrixShape, perms: &[Permutation]) -> (RunReport, Vec<Word>, Vec<Word>) {
+        let mut hmm = Hmm::new(MachineConfig::pure(W, L)).unwrap();
+        let sched = ColSchedule::build(shape, perms, W).unwrap();
+        let staged = sched.stage(&mut hmm).unwrap();
+        let n = shape.len();
+        let a = hmm.alloc_global(n);
+        let b = hmm.alloc_global(n);
+        let t1 = hmm.alloc_global(n);
+        let t2 = hmm.alloc_global(n);
+        let data: Vec<Word> = (0..n as Word).map(|v| v * 5 + 3).collect();
+        hmm.host_write(a, &data).unwrap();
+        let report = column_wise_permute(&mut hmm, &staged, a, b, t1, t2).unwrap();
+        let mut want = vec![0; n];
+        for i in 0..shape.rows {
+            for j in 0..shape.cols {
+                want[perms[j].apply(i) * shape.cols + j] = data[i * shape.cols + j];
+            }
+        }
+        (report, hmm.host_read(b), want)
+    }
+
+    fn random_col_perms(shape: MatrixShape, seed: u64) -> Vec<Permutation> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..shape.cols)
+            .map(|_| Permutation::random(shape.rows, &mut rng))
+            .collect()
+    }
+
+    #[test]
+    fn random_column_permutations_are_correct() {
+        let shape = MatrixShape::new(2 * W, 4 * W).unwrap();
+        let perms = random_col_perms(shape, 11);
+        let (report, got, want) = run_case(shape, &perms);
+        assert_eq!(got, want);
+        assert_eq!(report.summary.shared_casual.rounds, 0);
+        assert_eq!(report.summary.casual_read.rounds, 0);
+        assert_eq!(report.summary.casual_write.rounds, 0);
+    }
+
+    #[test]
+    fn identity_columns_are_identity() {
+        let shape = MatrixShape::new(W, W).unwrap();
+        let perms = vec![Permutation::identity(W); W];
+        let (_, got, want) = run_case(shape, &perms);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn round_counts_and_time_match_table1() {
+        let shape = MatrixShape::new(2 * W, 2 * W).unwrap();
+        let perms = random_col_perms(shape, 12);
+        let (report, _, _) = run_case(shape, &perms);
+        let s = &report.summary;
+        assert_eq!(s.coalesced_read.rounds, 5);
+        assert_eq!(s.coalesced_write.rounds, 3);
+        assert_eq!(s.conflict_free_read.rounds, 4);
+        assert_eq!(s.conflict_free_write.rounds, 4);
+        assert_eq!(report.rounds(), 16);
+        assert_eq!(report.launches, 3);
+        let n = shape.len() as u64;
+        let (w, l) = (W as u64, L as u64);
+        assert_eq!(report.time, 8 * (n / w + l - 1) + 8 * (n / w));
+    }
+
+    #[test]
+    fn rectangular_shapes_work() {
+        let shape = MatrixShape::new(W, 4 * W).unwrap();
+        let perms = random_col_perms(shape, 13);
+        let (_, got, want) = run_case(shape, &perms);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn wrong_perm_count_rejected() {
+        let shape = MatrixShape::new(W, 2 * W).unwrap();
+        let perms = vec![Permutation::identity(W); 3];
+        assert!(matches!(
+            ColSchedule::build(shape, &perms, W),
+            Err(OffpermError::SizeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn merge_sums_fields() {
+        let mut a = RoundSummary::default();
+        a.coalesced_read.rounds = 2;
+        a.coalesced_read.time = 10;
+        let mut b = RoundSummary::default();
+        b.coalesced_read.rounds = 3;
+        b.coalesced_read.time = 7;
+        b.casual_write.rounds = 1;
+        let m = merge(&a, &b);
+        assert_eq!(m.coalesced_read.rounds, 5);
+        assert_eq!(m.coalesced_read.time, 17);
+        assert_eq!(m.casual_write.rounds, 1);
+    }
+}

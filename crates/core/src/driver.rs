@@ -1,0 +1,322 @@
+//! High-level one-call drivers: build a machine, stage a permutation, run
+//! an algorithm, verify the output.
+//!
+//! This is the API the examples and the reproduction harness use; the
+//! lower-level building blocks ([`crate::conventional`],
+//! [`crate::scheduled`], ...) remain available for custom pipelines (e.g.
+//! running many permutations on one machine instance).
+
+use crate::conventional::{d_designated, s_designated, stage_destination_map, stage_source_map};
+use crate::error::Result;
+use crate::padded::PaddedScheduled;
+use crate::report::RunReport;
+use hmm_machine::{Hmm, MachineConfig, Word};
+use hmm_perm::Permutation;
+
+/// The three algorithms compared throughout the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Conventional `b[p[i]] = a[i]` (Section IV).
+    DDesignated,
+    /// Conventional `b[i] = a[q[i]]` (Section IV).
+    SDesignated,
+    /// The paper's scheduled three-step algorithm (Section VII).
+    Scheduled,
+}
+
+impl Algorithm {
+    /// All three, in the paper's column order.
+    pub const ALL: [Algorithm; 3] = [
+        Algorithm::DDesignated,
+        Algorithm::SDesignated,
+        Algorithm::Scheduled,
+    ];
+
+    /// Human-readable name as printed in Table II.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::DDesignated => "D-designated",
+            Algorithm::SDesignated => "S-designated",
+            Algorithm::Scheduled => "scheduled",
+        }
+    }
+}
+
+/// Result of a high-level run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// The permuted output array.
+    pub output: Vec<Word>,
+    /// Model cost report.
+    pub report: RunReport,
+    /// Whether the output matched the host-side reference permutation.
+    pub verified: bool,
+}
+
+/// Run `algorithm` for permutation `p` over `input` on a fresh machine with
+/// configuration `cfg`, verifying the result against the host reference.
+pub fn run_permutation(
+    cfg: &MachineConfig,
+    algorithm: Algorithm,
+    p: &Permutation,
+    input: &[Word],
+) -> Result<RunOutcome> {
+    let mut hmm = Hmm::new(cfg.clone())?;
+    let report = run_on(&mut hmm, algorithm, p, input)?;
+    let b_data = report.1;
+    let mut want = vec![0; input.len()];
+    p.permute(input, &mut want)?;
+    Ok(RunOutcome {
+        verified: b_data == want,
+        output: b_data,
+        report: report.0,
+    })
+}
+
+/// Run `algorithm` on an existing machine (allocating its own buffers), so
+/// a harness can share one machine/cache across phases. Returns the report
+/// and the output data.
+pub fn run_on(
+    hmm: &mut Hmm,
+    algorithm: Algorithm,
+    p: &Permutation,
+    input: &[Word],
+) -> Result<(RunReport, Vec<Word>)> {
+    if input.len() != p.len() {
+        return Err(crate::error::OffpermError::SizeMismatch {
+            expected: p.len(),
+            got: input.len(),
+        });
+    }
+    let n = p.len();
+    let a = hmm.alloc_global(n);
+    let b = hmm.alloc_global(n);
+    hmm.host_write(a, input)?;
+    let report = match algorithm {
+        Algorithm::DDesignated => {
+            let pb = stage_destination_map(hmm, p)?;
+            d_designated(hmm, a, b, pb)?
+        }
+        Algorithm::SDesignated => {
+            let qb = stage_source_map(hmm, p)?;
+            s_designated(hmm, a, b, qb)?
+        }
+        Algorithm::Scheduled => {
+            // The padded form handles any n (it degenerates to the exact
+            // algorithm for feasible sizes).
+            let sched = PaddedScheduled::build(p, hmm.config().width)?;
+            let staged = sched.stage(hmm)?;
+            let bufs = staged.alloc_buffers(hmm);
+            let (report, out) = staged.run(hmm, &bufs, input)?;
+            return Ok((report, out));
+        }
+    };
+    Ok((report, hmm.host_read(b)))
+}
+
+/// A reusable runner: one machine, persistent input/output buffers, and
+/// per-run scratch that is reclaimed between runs — the shape a downstream
+/// user wants for permuting many arrays (or benchmarking many
+/// permutations) without re-building machines.
+pub struct Engine {
+    hmm: Hmm,
+    n: usize,
+    base_len: usize,
+    last_output: Vec<Word>,
+}
+
+impl Engine {
+    /// Build an engine for arrays of `n` elements on configuration `cfg`.
+    pub fn new(cfg: MachineConfig, n: usize) -> Result<Self> {
+        let hmm = Hmm::new(cfg)?;
+        let base_len = hmm.global_len();
+        Ok(Engine {
+            hmm,
+            n,
+            base_len,
+            last_output: Vec::new(),
+        })
+    }
+
+    /// Array size this engine permutes.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True for a zero-length engine.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The underlying machine (ledger, cache stats, config).
+    pub fn machine(&self) -> &Hmm {
+        &self.hmm
+    }
+
+    /// Run one algorithm over `input` along `p`. All staging from previous
+    /// runs is reclaimed first; set `cold_costs` to also clear the ledger
+    /// and cache (fresh-machine semantics for benchmarking).
+    pub fn run(
+        &mut self,
+        algorithm: Algorithm,
+        p: &Permutation,
+        input: &[Word],
+        cold_costs: bool,
+    ) -> Result<RunReport> {
+        if p.len() != self.n {
+            return Err(crate::error::OffpermError::SizeMismatch {
+                expected: self.n,
+                got: p.len(),
+            });
+        }
+        self.hmm.truncate_global(self.base_len);
+        if cold_costs {
+            self.hmm.reset_costs();
+        }
+        let (report, out) = run_on(&mut self.hmm, algorithm, p, input)?;
+        self.last_output = out;
+        Ok(report)
+    }
+
+    /// The output of the most recent [`Engine::run`].
+    pub fn output(&self) -> &[Word] {
+        &self.last_output
+    }
+
+    /// Verify the most recent output against the host reference for `p`.
+    pub fn verify(&self, p: &Permutation, input: &[Word]) -> Result<bool> {
+        let mut want = vec![0; input.len()];
+        p.permute(input, &mut want)?;
+        Ok(self.last_output == want)
+    }
+}
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmm_machine::ElemWidth;
+    use hmm_perm::families;
+
+    #[test]
+    fn all_algorithms_verify_on_pure_machine() {
+        let cfg = MachineConfig::pure(8, 16);
+        let n = 1 << 10;
+        let input: Vec<Word> = (0..n as Word).map(|v| v ^ 0xbeef).collect();
+        for fam in families::Family::ALL {
+            let p = fam.build(n, 51).unwrap();
+            for alg in Algorithm::ALL {
+                let out = run_permutation(&cfg, alg, &p, &input).unwrap();
+                assert!(out.verified, "{} {}", alg.name(), fam.name());
+            }
+        }
+    }
+
+    #[test]
+    fn all_algorithms_verify_on_cached_machine() {
+        let cfg = MachineConfig::gtx680(ElemWidth::F32);
+        let n = 1 << 12;
+        let input: Vec<Word> = (0..n as Word).collect();
+        let p = families::bit_reversal(n).unwrap();
+        for alg in Algorithm::ALL {
+            let out = run_permutation(&cfg, alg, &p, &input).unwrap();
+            assert!(out.verified, "{}", alg.name());
+        }
+    }
+
+    #[test]
+    fn algorithm_names() {
+        assert_eq!(Algorithm::DDesignated.name(), "D-designated");
+        assert_eq!(Algorithm::SDesignated.name(), "S-designated");
+        assert_eq!(Algorithm::Scheduled.name(), "scheduled");
+        assert_eq!(Algorithm::ALL.len(), 3);
+    }
+
+    #[test]
+    fn input_length_mismatch_rejected() {
+        let cfg = MachineConfig::pure(8, 16);
+        let p = families::random(256, 1);
+        let input = vec![0; 128];
+        assert!(run_permutation(&cfg, Algorithm::DDesignated, &p, &input).is_err());
+    }
+
+    #[test]
+    fn scheduled_now_accepts_any_size() {
+        // Auto-padding: non-power-of-two and tiny sizes just work.
+        let cfg = MachineConfig::pure(8, 16);
+        for n in [1usize, 50, 100, 1000] {
+            let p = families::random(n, n as u64);
+            let input: Vec<Word> = (0..n as Word).collect();
+            let out = run_permutation(&cfg, Algorithm::Scheduled, &p, &input).unwrap();
+            assert!(out.verified, "n = {n}");
+            assert_eq!(out.output.len(), n);
+        }
+    }
+
+    #[test]
+    fn engine_reuses_machine_across_runs() {
+        let n = 1 << 10;
+        let cfg = MachineConfig::pure(8, 16);
+        let mut engine = Engine::new(cfg, n).unwrap();
+        assert_eq!(engine.len(), n);
+        assert!(!engine.is_empty());
+        let input: Vec<Word> = (0..n as Word).collect();
+        let global_after_first = {
+            engine
+                .run(Algorithm::Scheduled, &families::random(n, 1), &input, true)
+                .unwrap();
+            engine.machine().global_len()
+        };
+        for seed in 2..6 {
+            let p = families::random(n, seed);
+            let report = engine.run(Algorithm::Scheduled, &p, &input, true).unwrap();
+            assert_eq!(report.rounds(), 32);
+            assert!(engine.verify(&p, &input).unwrap(), "seed {seed}");
+            assert_eq!(
+                engine.machine().global_len(),
+                global_after_first,
+                "global memory must not grow run-over-run"
+            );
+        }
+        // cold_costs = true resets the ledger each run.
+        assert_eq!(engine.machine().ledger().len(), 32);
+    }
+
+    #[test]
+    fn engine_warm_costs_accumulate() {
+        let n = 256;
+        let mut engine = Engine::new(MachineConfig::pure(8, 16), n).unwrap();
+        let input: Vec<Word> = (0..n as Word).collect();
+        let p = families::random(n, 3);
+        engine
+            .run(Algorithm::DDesignated, &p, &input, false)
+            .unwrap();
+        engine
+            .run(Algorithm::DDesignated, &p, &input, false)
+            .unwrap();
+        assert_eq!(engine.machine().ledger().len(), 6, "3 rounds x 2 runs");
+    }
+
+    #[test]
+    fn engine_rejects_wrong_size() {
+        let mut engine = Engine::new(MachineConfig::pure(8, 16), 64).unwrap();
+        let p = families::random(128, 1);
+        let input = vec![0; 128];
+        assert!(engine.run(Algorithm::Scheduled, &p, &input, true).is_err());
+    }
+
+    #[test]
+    fn scheduled_time_constant_conventional_not() {
+        let cfg = MachineConfig::pure(32, 128);
+        let n = 1 << 12;
+        let input: Vec<Word> = (0..n as Word).collect();
+        let ident = families::identical(n);
+        let bitrev = families::bit_reversal(n).unwrap();
+        let t = |alg, p: &Permutation| run_permutation(&cfg, alg, p, &input).unwrap().report.time;
+        // Scheduled: same time for both permutations.
+        assert_eq!(
+            t(Algorithm::Scheduled, &ident),
+            t(Algorithm::Scheduled, &bitrev)
+        );
+        // Conventional: bit-reversal costs much more than identity.
+        assert!(t(Algorithm::DDesignated, &bitrev) > 2 * t(Algorithm::DDesignated, &ident));
+    }
+}

@@ -1,0 +1,100 @@
+//! Unified error type for the offline-permutation algorithms.
+
+use core::fmt;
+use hmm_graph::GraphError;
+use hmm_machine::MachineError;
+use hmm_perm::PermError;
+
+/// Errors raised by the algorithms in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OffpermError {
+    /// An underlying machine operation failed (capacity, bounds, config).
+    Machine(MachineError),
+    /// A permutation was malformed or incompatible.
+    Perm(PermError),
+    /// Schedule construction failed in the graph substrate.
+    Graph(GraphError),
+    /// The input size is unsupported by an algorithm (e.g. the scheduled
+    /// algorithm needs `n = r·c` with both factors multiples of `w`).
+    UnsupportedSize {
+        /// The offending size.
+        n: usize,
+        /// Why it is unsupported.
+        reason: &'static str,
+    },
+    /// Sizes of two inputs disagree (e.g. permutation vs array length).
+    SizeMismatch {
+        /// What the algorithm expected.
+        expected: usize,
+        /// What it got.
+        got: usize,
+    },
+}
+
+impl fmt::Display for OffpermError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OffpermError::Machine(e) => write!(f, "machine error: {e}"),
+            OffpermError::Perm(e) => write!(f, "permutation error: {e}"),
+            OffpermError::Graph(e) => write!(f, "graph error: {e}"),
+            OffpermError::UnsupportedSize { n, reason } => {
+                write!(f, "unsupported size {n}: {reason}")
+            }
+            OffpermError::SizeMismatch { expected, got } => {
+                write!(f, "size mismatch: expected {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OffpermError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OffpermError::Machine(e) => Some(e),
+            OffpermError::Perm(e) => Some(e),
+            OffpermError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MachineError> for OffpermError {
+    fn from(e: MachineError) -> Self {
+        OffpermError::Machine(e)
+    }
+}
+
+impl From<PermError> for OffpermError {
+    fn from(e: PermError) -> Self {
+        OffpermError::Perm(e)
+    }
+}
+
+impl From<GraphError> for OffpermError {
+    fn from(e: GraphError) -> Self {
+        OffpermError::Graph(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, OffpermError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_sources() {
+        let e: OffpermError = MachineError::EmptyLaunch.into();
+        assert!(matches!(e, OffpermError::Machine(_)));
+        assert!(std::error::Error::source(&e).is_some());
+        let e: OffpermError = PermError::NotPowerOfTwo { n: 3 }.into();
+        assert!(e.to_string().contains("permutation"));
+        let e = OffpermError::UnsupportedSize {
+            n: 40,
+            reason: "not a power of two",
+        };
+        assert!(std::error::Error::source(&e).is_none());
+        assert!(e.to_string().contains("40"));
+    }
+}

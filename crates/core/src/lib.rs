@@ -1,0 +1,67 @@
+//! # hmm-offperm — the optimal offline permutation algorithm on the HMM
+//!
+//! A faithful reproduction of *Kasagi, Nakano, Ito: "An Optimal Offline
+//! Permutation Algorithm on the Hierarchical Memory Machine, with the GPU
+//! implementation"* (ICPP 2013), running on the executable HMM simulator of
+//! [`hmm_machine`].
+//!
+//! ## What's here
+//!
+//! * [`conventional`] — the two baseline algorithms (Section IV):
+//!   destination-designated `b[p[i]] = a[i]` and source-designated
+//!   `b[i] = a[q[i]]`; three memory rounds, one of them *casual* and priced
+//!   by the permutation's distribution `γ_w(P)` (Lemma 4).
+//! * [`transpose`] — matrix transpose through the diagonal arrangement of
+//!   shared memory (Section V, Figure 4); 4 rounds, all coalesced or
+//!   conflict-free.
+//! * [`rowwise`] / [`colwise`] — row-wise and column-wise permutation with
+//!   offline König-colored `s`/`d` schedules (Section VI, Theorem 6).
+//! * [`schedule`] / [`scheduled`] — the three-step decomposition of an
+//!   arbitrary permutation and its five-kernel execution (Section VII):
+//!   32 rounds, `32·n/w + 16(l − 1)` time units for **every** permutation,
+//!   against the `2·n/w + l − 1` lower bound.
+//! * [`smallperm`] — the single-DMM conflict-free permutation of the
+//!   authors' earlier work (\[8\],\[9\]) used as motivation in Section I.
+//! * [`analysis`] — the Table I closed forms, the lower bound, and the
+//!   crossover predictor.
+//! * [`driver`] — one-call runners used by examples and the harness.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use hmm_machine::MachineConfig;
+//! use hmm_offperm::driver::{run_permutation, Algorithm};
+//! use hmm_perm::families;
+//!
+//! let n = 1 << 16; // large enough for the crossover (paper: n >= 256K)
+//! let p = families::bit_reversal(n).unwrap();
+//! let input: Vec<u64> = (0..n as u64).collect();
+//! let cfg = MachineConfig::pure(32, 128);
+//!
+//! let fast = run_permutation(&cfg, Algorithm::Scheduled, &p, &input).unwrap();
+//! let slow = run_permutation(&cfg, Algorithm::DDesignated, &p, &input).unwrap();
+//! assert!(fast.verified && slow.verified);
+//! assert!(fast.report.time < slow.report.time); // the paper's headline
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod analysis;
+pub mod colwise;
+pub mod conventional;
+pub mod driver;
+pub mod error;
+pub mod padded;
+pub mod report;
+pub mod rowwise;
+pub mod schedule;
+pub mod scheduled;
+pub mod smallperm;
+pub mod transpose;
+
+pub use driver::{run_permutation, Algorithm, Engine, RunOutcome};
+pub use error::{OffpermError, Result};
+pub use padded::{PaddedScheduled, StagedPadded};
+pub use report::RunReport;
+pub use scheduled::{ScheduledPermutation, StagedScheduled};

@@ -1,0 +1,214 @@
+//! Arbitrary-size scheduled permutation via padding — a usability
+//! extension beyond the paper, which assumes `n = r·c` with both factors
+//! multiples of `w` "for simplicity".
+//!
+//! A permutation of any `n` is embedded into the next feasible size
+//! `m ≥ max(next_power_of_two(n), w²)` by extending it with the identity on
+//! the tail `[n, m)`; the padded elements travel through the three passes
+//! like everyone else and are stripped on readback. The overhead is at
+//! most 2× in elements (so at most 2× in time units), preserving the
+//! `O(n/w + l)` bound.
+
+use crate::error::Result;
+use crate::report::RunReport;
+use crate::scheduled::{ScheduledPermutation, StagedScheduled};
+use hmm_graph::Strategy;
+use hmm_machine::{GlobalBuf, Hmm, Word};
+use hmm_perm::Permutation;
+
+/// A scheduled permutation of arbitrary size `n`, built by padding.
+#[derive(Debug, Clone)]
+pub struct PaddedScheduled {
+    inner: ScheduledPermutation,
+    n: usize,
+}
+
+impl PaddedScheduled {
+    /// The smallest feasible scheduled size covering `n` on a width-`w`
+    /// machine: a power of two, at least `w²` (below that a single DMM
+    /// holds the whole array and [`crate::smallperm`] applies).
+    pub fn padded_len(n: usize, width: usize) -> usize {
+        n.next_power_of_two().max(width * width)
+    }
+
+    /// Build for any `n ≥ 1`.
+    pub fn build(p: &Permutation, width: usize) -> Result<Self> {
+        Self::build_with(p, width, Strategy::Hybrid)
+    }
+
+    /// Build with an explicit coloring strategy.
+    pub fn build_with(p: &Permutation, width: usize, strategy: Strategy) -> Result<Self> {
+        let n = p.len();
+        let m = Self::padded_len(n, width);
+        let inner = if m == n {
+            ScheduledPermutation::build_with(p, width, strategy)?
+        } else {
+            let mut map = Vec::with_capacity(m);
+            map.extend_from_slice(p.as_slice());
+            map.extend(n..m); // identity tail
+            let padded = Permutation::from_vec_unchecked(map);
+            ScheduledPermutation::build_with(&padded, width, strategy)?
+        };
+        Ok(PaddedScheduled { inner, n })
+    }
+
+    /// The logical (unpadded) size.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True for zero-length permutations (which [`PaddedScheduled::build`]
+    /// rejects, so never).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The padded size actually permuted on the machine.
+    pub fn padded(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Stage onto a machine.
+    pub fn stage(&self, hmm: &mut Hmm) -> Result<StagedPadded> {
+        Ok(StagedPadded {
+            inner: self.inner.stage(hmm)?,
+            n: self.n,
+        })
+    }
+}
+
+/// A staged [`PaddedScheduled`], ready to run.
+#[derive(Debug, Clone, Copy)]
+pub struct StagedPadded {
+    inner: StagedScheduled,
+    n: usize,
+}
+
+impl StagedPadded {
+    /// Allocate the four padded working buffers on `hmm`.
+    pub fn alloc_buffers(&self, hmm: &mut Hmm) -> [GlobalBuf; 4] {
+        let m = self.inner.shape().len();
+        [
+            hmm.alloc_global(m),
+            hmm.alloc_global(m),
+            hmm.alloc_global(m),
+            hmm.alloc_global(m),
+        ]
+    }
+
+    /// Permute `input` (length `n`): stages it into the padded input
+    /// buffer (tail zeroed), runs the five kernels, and returns the first
+    /// `n` elements of the output.
+    pub fn run(
+        &self,
+        hmm: &mut Hmm,
+        bufs: &[GlobalBuf; 4],
+        input: &[Word],
+    ) -> Result<(RunReport, Vec<Word>)> {
+        if input.len() != self.n {
+            return Err(crate::error::OffpermError::SizeMismatch {
+                expected: self.n,
+                got: input.len(),
+            });
+        }
+        let m = self.inner.shape().len();
+        let mut padded_input = Vec::with_capacity(m);
+        padded_input.extend_from_slice(input);
+        padded_input.resize(m, 0);
+        hmm.host_write(bufs[0], &padded_input)?;
+        let report = self.inner.run(hmm, bufs[0], bufs[1], bufs[2], bufs[3])?;
+        let mut out = hmm.host_read(bufs[1]);
+        out.truncate(self.n);
+        Ok((report, out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmm_machine::MachineConfig;
+    use hmm_perm::families;
+
+    const W: usize = 8;
+
+    fn run_padded(p: &Permutation) -> Vec<Word> {
+        let mut hmm = Hmm::new(MachineConfig::pure(W, 16)).unwrap();
+        let sched = PaddedScheduled::build(p, W).unwrap();
+        let staged = sched.stage(&mut hmm).unwrap();
+        let bufs = staged.alloc_buffers(&mut hmm);
+        let input: Vec<Word> = (0..p.len() as Word).map(|v| v * 3 + 1).collect();
+        let (report, out) = staged.run(&mut hmm, &bufs, &input).unwrap();
+        assert_eq!(report.rounds(), 32);
+        let mut want = vec![0; p.len()];
+        p.permute(&input, &mut want).unwrap();
+        assert_eq!(out, want);
+        out
+    }
+
+    #[test]
+    fn non_power_of_two_sizes_work() {
+        for n in [65usize, 100, 1000, 1025, 3000] {
+            let p = families::random(n, n as u64);
+            run_padded(&p);
+        }
+    }
+
+    #[test]
+    fn tiny_sizes_pad_to_w_squared() {
+        assert_eq!(PaddedScheduled::padded_len(1, 8), 64);
+        assert_eq!(PaddedScheduled::padded_len(63, 8), 64);
+        for n in [1usize, 2, 7, 63] {
+            let p = families::random(n, 5);
+            run_padded(&p);
+        }
+    }
+
+    #[test]
+    fn exact_sizes_pay_no_padding() {
+        let p = families::random(1 << 10, 9);
+        let sched = PaddedScheduled::build(&p, W).unwrap();
+        assert_eq!(sched.padded(), 1 << 10);
+        assert_eq!(sched.len(), 1 << 10);
+        assert!(!sched.is_empty());
+        run_padded(&p);
+    }
+
+    #[test]
+    fn padding_at_most_doubles() {
+        for n in [65usize, 1025, 100_000] {
+            let m = PaddedScheduled::padded_len(n, 32);
+            assert!(m >= n && m < 2 * n.max(1024), "n={n} m={m}");
+        }
+    }
+
+    #[test]
+    fn reusable_across_inputs() {
+        let n = 500;
+        let p = families::random(n, 11);
+        let mut hmm = Hmm::new(MachineConfig::pure(W, 16)).unwrap();
+        let staged = PaddedScheduled::build(&p, W)
+            .unwrap()
+            .stage(&mut hmm)
+            .unwrap();
+        let bufs = staged.alloc_buffers(&mut hmm);
+        for round in 0..3u64 {
+            let input: Vec<Word> = (0..n as Word).map(|v| v + round * 1000).collect();
+            let (_, out) = staged.run(&mut hmm, &bufs, &input).unwrap();
+            let mut want = vec![0; n];
+            p.permute(&input, &mut want).unwrap();
+            assert_eq!(out, want, "round {round}");
+        }
+    }
+
+    #[test]
+    fn wrong_input_length_rejected() {
+        let p = families::random(100, 1);
+        let mut hmm = Hmm::new(MachineConfig::pure(W, 16)).unwrap();
+        let staged = PaddedScheduled::build(&p, W)
+            .unwrap()
+            .stage(&mut hmm)
+            .unwrap();
+        let bufs = staged.alloc_buffers(&mut hmm);
+        assert!(staged.run(&mut hmm, &bufs, &vec![0; 99]).is_err());
+    }
+}

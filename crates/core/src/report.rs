@@ -1,0 +1,45 @@
+//! Run reports: model-time and round-classification results of executing an
+//! algorithm on the simulated HMM.
+
+use hmm_machine::RoundSummary;
+
+/// What one algorithm execution cost on the machine.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// Round counts and per-kind time (the shape of the paper's Table I).
+    pub summary: RoundSummary,
+    /// Total simulated time units.
+    pub time: u64,
+    /// Number of kernel launches performed (the paper's scheduled
+    /// implementation uses five sequential kernels).
+    pub launches: usize,
+}
+
+impl RunReport {
+    /// Build from a ledger summary.
+    pub fn new(summary: RoundSummary, launches: usize) -> Self {
+        RunReport {
+            time: summary.total_time(),
+            summary,
+            launches,
+        }
+    }
+
+    /// Total memory-access rounds.
+    pub fn rounds(&self) -> u64 {
+        self.summary.total_rounds()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_mirrors_summary() {
+        let r = RunReport::new(RoundSummary::default(), 5);
+        assert_eq!(r.time, 0);
+        assert_eq!(r.rounds(), 0);
+        assert_eq!(r.launches, 5);
+    }
+}

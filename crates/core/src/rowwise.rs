@@ -1,0 +1,467 @@
+//! Row-wise permutation on the HMM (Section VI).
+//!
+//! Given a matrix `a` of shape `r × c` and one permutation `p_i` per row,
+//! move `a[i][j]` to `b[i][p_i(j)]` for all `(i, j)` with every memory
+//! round coalesced or conflict-free.
+//!
+//! The trick is the offline **schedule**: for each row, draw the bipartite
+//! multigraph whose nodes are the `w` shared-memory banks on each side and
+//! whose edges are the row's moves `(j mod w) → (p_i(j) mod w)`. The graph
+//! is `(c/w)`-regular, so by König's theorem it can be edge-colored with
+//! `c/w` colors. Ordering each color class by source bank yields arrays
+//! `s` and `d` with `p_i(s[t]) = d[t]` such that every aligned group of `w`
+//! consecutive entries of `s` hits `w` distinct banks, and likewise for `d`
+//! — i.e. the shared-memory gather `A[s[t]]` and scatter `B[d[t]]` are both
+//! conflict-free.
+//!
+//! The kernel then performs exactly the Table I rounds: 3 coalesced global
+//! reads (`a`, `s`, `d`), 2 conflict-free shared writes (`A`, `B`),
+//! 2 conflict-free shared reads, and 1 coalesced global write (`b`):
+//! `4(n/w + l − 1) + 4·n/w` time units.
+
+use crate::error::{OffpermError, Result};
+use crate::report::RunReport;
+use hmm_graph::{edge_color_with, RegularBipartite, Strategy};
+use hmm_machine::{GlobalBuf, Hmm, Word};
+use hmm_perm::{MatrixShape, Permutation};
+
+/// Element width (bytes) of the staged `s`/`d` schedule arrays for a row
+/// length of `cols`: the paper uses `short int` ("at most 16 bits are
+/// necessary"), which holds for every size it evaluates; rows longer than
+/// 65536 need 32-bit entries and pay double the streaming cost.
+pub const fn schedule_bytes(cols: usize) -> usize {
+    if cols <= 1 << 16 {
+        2
+    } else {
+        4
+    }
+}
+
+/// The offline-computed conflict-free schedule for one row-wise
+/// permutation pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowSchedule {
+    shape: MatrixShape,
+    /// Flattened `r × c`: within row `i`, slot `t` reads `A[s[i*c + t]]`...
+    s: Vec<u32>,
+    /// ...and writes `B[d[i*c + t]]`.
+    d: Vec<u32>,
+}
+
+impl RowSchedule {
+    /// Build the schedule for per-row permutations `perms` (one per row,
+    /// each of length `shape.cols`) on a width-`w` machine.
+    ///
+    /// `strategy` selects the edge-coloring algorithm; use
+    /// [`Strategy::Hybrid`] unless benchmarking the coloring itself.
+    pub fn build_with(
+        shape: MatrixShape,
+        perms: &[Permutation],
+        width: usize,
+        strategy: Strategy,
+    ) -> Result<Self> {
+        if !shape.tiles_by(width) {
+            return Err(OffpermError::UnsupportedSize {
+                n: shape.len(),
+                reason: "matrix dimensions must be multiples of the machine width",
+            });
+        }
+        if perms.len() != shape.rows {
+            return Err(OffpermError::SizeMismatch {
+                expected: shape.rows,
+                got: perms.len(),
+            });
+        }
+        let c = shape.cols;
+        for p in perms {
+            if p.len() != c {
+                return Err(OffpermError::SizeMismatch {
+                    expected: c,
+                    got: p.len(),
+                });
+            }
+        }
+        let mut s = vec![0u32; shape.len()];
+        let mut d = vec![0u32; shape.len()];
+        // Rows are independent coloring problems: parallelize the offline
+        // construction over bands of rows (std scoped threads; results are
+        // bit-identical to the sequential order since each row writes only
+        // its own slice).
+        let workers = std::thread::available_parallelism()
+            .map(|x| x.get())
+            .unwrap_or(1)
+            .min(shape.rows);
+        let band = shape.rows.div_ceil(workers);
+        let results: Vec<Result<()>> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for ((s_band, d_band), perm_band) in s
+                .chunks_mut(band * c)
+                .zip(d.chunks_mut(band * c))
+                .zip(perms.chunks(band))
+            {
+                handles.push(scope.spawn(move || {
+                    schedule_rows(perm_band, width, strategy, s_band, d_band)
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("schedule worker panicked"))
+                .collect()
+        });
+        for r in results {
+            r?;
+        }
+        Ok(RowSchedule { shape, s, d })
+    }
+
+    /// [`RowSchedule::build_with`] using the default coloring strategy.
+    pub fn build(shape: MatrixShape, perms: &[Permutation], width: usize) -> Result<Self> {
+        Self::build_with(shape, perms, width, Strategy::Hybrid)
+    }
+
+    /// The matrix shape this schedule permutes.
+    pub fn shape(&self) -> MatrixShape {
+        self.shape
+    }
+
+    /// The flattened source schedule (for inspection / golden tests).
+    pub fn s(&self) -> &[u32] {
+        &self.s
+    }
+
+    /// The flattened destination schedule.
+    pub fn d(&self) -> &[u32] {
+        &self.d
+    }
+
+    /// Stage the schedule into the machine's global memory as the two
+    /// 16-bit arrays the kernel streams.
+    pub fn stage(&self, hmm: &mut Hmm) -> Result<StagedRowSchedule> {
+        let s_buf = hmm.alloc_global(self.s.len());
+        let d_buf = hmm.alloc_global(self.d.len());
+        let s_words: Vec<Word> = self.s.iter().map(|&v| v as Word).collect();
+        let d_words: Vec<Word> = self.d.iter().map(|&v| v as Word).collect();
+        hmm.host_write(s_buf, &s_words)?;
+        hmm.host_write(d_buf, &d_words)?;
+        Ok(StagedRowSchedule {
+            shape: self.shape,
+            s: s_buf,
+            d: d_buf,
+        })
+    }
+}
+
+/// Color one band of rows into its `s`/`d` slices (each of
+/// `perms.len() * cols` entries).
+fn schedule_rows(
+    perms: &[Permutation],
+    width: usize,
+    strategy: Strategy,
+    s: &mut [u32],
+    d: &mut [u32],
+) -> Result<()> {
+    let c = perms.first().map(Permutation::len).unwrap_or(0);
+    let mut edges: Vec<(usize, usize)> = Vec::with_capacity(c);
+    for (i, p) in perms.iter().enumerate() {
+        // Edge j connects source bank (j mod w) to dest bank (p(j) mod w).
+        edges.clear();
+        edges.extend((0..c).map(|j| (j % width, p.apply(j) % width)));
+        let graph = RegularBipartite::new(width, edges.clone())?;
+        let coloring = edge_color_with(&graph, strategy)?;
+        debug_assert_eq!(coloring.num_colors, c / width);
+        let row_s = &mut s[i * c..(i + 1) * c];
+        let row_d = &mut d[i * c..(i + 1) * c];
+        for j in 0..c {
+            // Within a color class, order by source bank: the class has
+            // exactly one edge per source bank.
+            let slot = coloring.colors[j] * width + (j % width);
+            row_s[slot] = j as u32;
+            row_d[slot] = p.apply(j) as u32;
+        }
+    }
+    Ok(())
+}
+
+/// A [`RowSchedule`] resident in a machine's global memory.
+#[derive(Debug, Clone, Copy)]
+pub struct StagedRowSchedule {
+    shape: MatrixShape,
+    s: GlobalBuf,
+    d: GlobalBuf,
+}
+
+impl StagedRowSchedule {
+    /// The matrix shape this schedule permutes.
+    pub fn shape(&self) -> MatrixShape {
+        self.shape
+    }
+}
+
+/// Execute the row-wise permutation: `b[i][p_i(j)] = a[i][j]` using the
+/// staged schedule. One block per row; per-block shared memory holds the
+/// two data arrays `A` and `B` of `cols` elements each (the 48 KB capacity
+/// check happens here).
+pub fn row_wise_permute(
+    hmm: &mut Hmm,
+    sched: &StagedRowSchedule,
+    a: GlobalBuf,
+    b: GlobalBuf,
+) -> Result<RunReport> {
+    let shape = sched.shape;
+    let elem_bytes = hmm.config().elem.bytes();
+    for buf in [a, b] {
+        if buf.len() != shape.len() {
+            return Err(OffpermError::SizeMismatch {
+                expected: shape.len(),
+                got: buf.len(),
+            });
+        }
+    }
+    let c = shape.cols;
+    let (s_buf, d_buf) = (sched.s, sched.d);
+    let mark = hmm.mark();
+    hmm.launch(shape.rows, c, |blk| {
+        let i = blk.block_id();
+        let shared_a = blk.shared_alloc(c, elem_bytes)?;
+        let shared_b = blk.shared_alloc(c, elem_bytes)?;
+        let row: Vec<usize> = (i * c..(i + 1) * c).collect();
+        let idx: Vec<usize> = (0..c).collect();
+
+        // Step 1: coalesced read of the row; conflict-free (identity)
+        // staging into shared A.
+        let a_addrs: Vec<usize> = row.iter().map(|&x| a.addr(x)).collect();
+        let vals = blk.global_read(&a_addrs)?;
+        blk.shared_write(shared_a, &idx, &vals)?;
+
+        // Step 2: coalesced reads of the 16-bit schedule arrays into
+        // registers.
+        let s_addrs: Vec<usize> = row.iter().map(|&x| s_buf.addr(x)).collect();
+        let d_addrs: Vec<usize> = row.iter().map(|&x| d_buf.addr(x)).collect();
+        let sv = blk.global_read_as(&s_addrs, schedule_bytes(c))?;
+        let dv = blk.global_read_as(&d_addrs, schedule_bytes(c))?;
+
+        // Step 3: conflict-free gather A[s] and scatter B[d].
+        let s_idx: Vec<usize> = sv.iter().map(|&v| v as usize).collect();
+        let d_idx: Vec<usize> = dv.iter().map(|&v| v as usize).collect();
+        let moved = blk.shared_read(shared_a, &s_idx)?;
+        blk.shared_write(shared_b, &d_idx, &moved)?;
+
+        // Step 4: conflict-free (identity) read of B; coalesced write of
+        // the output row.
+        let out = blk.shared_read(shared_b, &idx)?;
+        let b_addrs: Vec<usize> = row.iter().map(|&x| b.addr(x)).collect();
+        blk.global_write(&b_addrs, &out)
+    })?;
+    Ok(RunReport::new(hmm.since(mark), 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmm_machine::MachineConfig;
+    use hmm_perm::families;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const W: usize = 8;
+    const L: usize = 32;
+
+    fn machine() -> Hmm {
+        Hmm::new(MachineConfig::pure(W, L)).unwrap()
+    }
+
+    fn random_row_perms(shape: MatrixShape, seed: u64) -> Vec<Permutation> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..shape.rows)
+            .map(|_| Permutation::random(shape.cols, &mut rng))
+            .collect()
+    }
+
+    fn reference(shape: MatrixShape, perms: &[Permutation], data: &[Word]) -> Vec<Word> {
+        let mut out = vec![0; data.len()];
+        for (i, p) in perms.iter().enumerate() {
+            for j in 0..shape.cols {
+                out[i * shape.cols + p.apply(j)] = data[i * shape.cols + j];
+            }
+        }
+        out
+    }
+
+    fn run_case(shape: MatrixShape, perms: &[Permutation]) -> (RunReport, Vec<Word>, Vec<Word>) {
+        let mut hmm = machine();
+        let sched = RowSchedule::build(shape, perms, W).unwrap();
+        let staged = sched.stage(&mut hmm).unwrap();
+        let a = hmm.alloc_global(shape.len());
+        let b = hmm.alloc_global(shape.len());
+        let data: Vec<Word> = (0..shape.len() as Word).map(|v| v * 13 + 7).collect();
+        hmm.host_write(a, &data).unwrap();
+        let report = row_wise_permute(&mut hmm, &staged, a, b).unwrap();
+        let got = hmm.host_read(b);
+        let want = reference(shape, perms, &data);
+        (report, got, want)
+    }
+
+    #[test]
+    fn schedule_slots_are_bank_disjoint() {
+        let shape = MatrixShape::new(2 * W, 4 * W).unwrap();
+        let perms = random_row_perms(shape, 5);
+        let sched = RowSchedule::build(shape, &perms, W).unwrap();
+        let c = shape.cols;
+        for i in 0..shape.rows {
+            for slot_group in sched.s()[i * c..(i + 1) * c].chunks(W) {
+                let banks: std::collections::HashSet<usize> =
+                    slot_group.iter().map(|&v| v as usize % W).collect();
+                assert_eq!(banks.len(), W, "s slots conflict in row {i}");
+            }
+            for slot_group in sched.d()[i * c..(i + 1) * c].chunks(W) {
+                let banks: std::collections::HashSet<usize> =
+                    slot_group.iter().map(|&v| v as usize % W).collect();
+                assert_eq!(banks.len(), W, "d slots conflict in row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_is_consistent_with_permutations() {
+        // p_i(s[t]) == d[t] for every slot.
+        let shape = MatrixShape::new(W, 2 * W).unwrap();
+        let perms = random_row_perms(shape, 6);
+        let sched = RowSchedule::build(shape, &perms, W).unwrap();
+        let c = shape.cols;
+        for (i, p) in perms.iter().enumerate() {
+            for t in 0..c {
+                let s = sched.s()[i * c + t] as usize;
+                let d = sched.d()[i * c + t] as usize;
+                assert_eq!(p.apply(s), d, "row {i} slot {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_row_permutations_are_correct() {
+        let shape = MatrixShape::new(2 * W, 4 * W).unwrap();
+        let perms = random_row_perms(shape, 7);
+        let (report, got, want) = run_case(shape, &perms);
+        assert_eq!(got, want);
+        assert_eq!(report.summary.shared_casual.rounds, 0);
+        assert_eq!(report.summary.casual_read.rounds, 0);
+        assert_eq!(report.summary.casual_write.rounds, 0);
+    }
+
+    #[test]
+    fn identity_rows_are_correct() {
+        let shape = MatrixShape::new(W, W).unwrap();
+        let perms: Vec<Permutation> = (0..W).map(|_| Permutation::identity(W)).collect();
+        let (_, got, want) = run_case(shape, &perms);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn reversal_rows_are_correct() {
+        let shape = MatrixShape::new(W, 4 * W).unwrap();
+        let c = shape.cols;
+        let rev = Permutation::from_vec((0..c).map(|j| c - 1 - j).collect()).unwrap();
+        let perms: Vec<Permutation> = (0..shape.rows).map(|_| rev.clone()).collect();
+        let (_, got, want) = run_case(shape, &perms);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn distinct_permutation_per_row() {
+        let shape = MatrixShape::new(2 * W, 2 * W).unwrap();
+        let c = shape.cols;
+        let perms: Vec<Permutation> = (0..shape.rows)
+            .map(|i| families::rotation(c, i % c))
+            .collect();
+        let (_, got, want) = run_case(shape, &perms);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn round_counts_and_time_match_table1() {
+        let shape = MatrixShape::new(2 * W, 4 * W).unwrap();
+        let perms = random_row_perms(shape, 8);
+        let (report, _, _) = run_case(shape, &perms);
+        let s = &report.summary;
+        assert_eq!(s.coalesced_read.rounds, 3);
+        assert_eq!(s.coalesced_write.rounds, 1);
+        assert_eq!(s.conflict_free_read.rounds, 2);
+        assert_eq!(s.conflict_free_write.rounds, 2);
+        assert_eq!(report.rounds(), 8);
+        let n = shape.len() as u64;
+        let (w, l) = (W as u64, L as u64);
+        assert_eq!(report.time, 4 * (n / w + l - 1) + 4 * (n / w));
+    }
+
+    #[test]
+    fn matching_only_strategy_also_correct() {
+        let shape = MatrixShape::new(W, 2 * W).unwrap();
+        let perms = random_row_perms(shape, 9);
+        let sched = RowSchedule::build_with(shape, &perms, W, Strategy::MatchingOnly).unwrap();
+        let mut hmm = machine();
+        let staged = sched.stage(&mut hmm).unwrap();
+        let a = hmm.alloc_global(shape.len());
+        let b = hmm.alloc_global(shape.len());
+        let data: Vec<Word> = (0..shape.len() as Word).collect();
+        hmm.host_write(a, &data).unwrap();
+        let report = row_wise_permute(&mut hmm, &staged, a, b).unwrap();
+        assert_eq!(hmm.host_read(b), reference(shape, &perms, &data));
+        assert_eq!(report.summary.shared_casual.rounds, 0);
+    }
+
+    #[test]
+    fn wrong_perm_count_or_length_rejected() {
+        let shape = MatrixShape::new(W, W).unwrap();
+        let too_few = vec![Permutation::identity(W); W - 1];
+        assert!(RowSchedule::build(shape, &too_few, W).is_err());
+        let wrong_len = vec![Permutation::identity(2 * W); W];
+        assert!(RowSchedule::build(shape, &wrong_len, W).is_err());
+        let bad_shape = MatrixShape::new(W + 1, W).unwrap();
+        assert!(RowSchedule::build(bad_shape, &too_few, W).is_err());
+    }
+
+    #[test]
+    fn buffer_size_mismatch_rejected() {
+        let shape = MatrixShape::new(W, W).unwrap();
+        let perms = vec![Permutation::identity(W); W];
+        let sched = RowSchedule::build(shape, &perms, W).unwrap();
+        let mut hmm = machine();
+        let staged = sched.stage(&mut hmm).unwrap();
+        let a = hmm.alloc_global(shape.len());
+        let small = hmm.alloc_global(W);
+        assert!(matches!(
+            row_wise_permute(&mut hmm, &staged, a, small),
+            Err(OffpermError::SizeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn schedule_width_follows_row_length() {
+        // The paper's short-int claim holds to 64K columns; beyond that the
+        // model charges 32-bit streaming.
+        assert_eq!(schedule_bytes(32), 2);
+        assert_eq!(schedule_bytes(1 << 16), 2);
+        assert_eq!(schedule_bytes((1 << 16) + 1), 4);
+    }
+
+    #[test]
+    fn shared_capacity_enforced() {
+        // Shrink shared memory so the two row buffers don't fit.
+        let shape = MatrixShape::new(W, 4 * W).unwrap();
+        let perms = vec![Permutation::identity(shape.cols); shape.rows];
+        let sched = RowSchedule::build(shape, &perms, W).unwrap();
+        let cfg = MachineConfig {
+            shared_bytes: shape.cols * 4, // room for one array, not two
+            ..MachineConfig::pure(W, L)
+        };
+        let mut hmm = Hmm::new(cfg).unwrap();
+        let staged = sched.stage(&mut hmm).unwrap();
+        let a = hmm.alloc_global(shape.len());
+        let b = hmm.alloc_global(shape.len());
+        let err = row_wise_permute(&mut hmm, &staged, a, b).unwrap_err();
+        assert!(matches!(
+            err,
+            OffpermError::Machine(hmm_machine::MachineError::SharedCapacityExceeded { .. })
+        ));
+    }
+}

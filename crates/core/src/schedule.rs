@@ -1,0 +1,282 @@
+//! Offline construction of the three-step scheduled permutation
+//! (Section VII).
+//!
+//! An arbitrary permutation `P` of `n = r·c` elements, viewed on an
+//! `r × c` matrix, is decomposed into
+//!
+//! 1. a **row-wise** permutation that moves every element into the column
+//!    named by its color,
+//! 2. a **column-wise** permutation that moves every element into its
+//!    destination row,
+//! 3. a **row-wise** permutation that moves every element into its
+//!    destination column,
+//!
+//! where the colors come from edge-coloring the `c`-regular bipartite
+//! multigraph whose left/right nodes are the source/destination rows and
+//! whose edges are the `n` element moves. A proper `c`-coloring guarantees
+//! (1) each row holds at most one element of each color (step 1 is a
+//! permutation of its row) and (2) elements of one color have pairwise
+//! distinct destination rows (step 2 is a permutation of each column) —
+//! exactly the argument of Figure 6.
+
+use crate::colwise::ColSchedule;
+use crate::error::{OffpermError, Result};
+use crate::rowwise::RowSchedule;
+use hmm_graph::{edge_color_with, RegularBipartite, Strategy};
+use hmm_perm::{scheduled_shape, MatrixShape, Permutation};
+
+/// The per-step row/column permutations of the decomposition — useful for
+/// inspection, golden tests, and the Figure 6 reproduction; the runnable
+/// artifact is [`crate::scheduled::ScheduledPermutation`].
+#[derive(Debug, Clone)]
+pub struct Decomposition {
+    /// The matrix shape (`rows × cols`, both multiples of `w`).
+    pub shape: MatrixShape,
+    /// Step 1: for each row `i`, a permutation of its `cols` columns.
+    pub step1_rows: Vec<Permutation>,
+    /// Step 2: for each column `k`, a permutation of its `rows` rows.
+    pub step2_cols: Vec<Permutation>,
+    /// Step 3: for each row `i'`, a permutation of its `cols` columns.
+    pub step3_rows: Vec<Permutation>,
+}
+
+impl Decomposition {
+    /// Decompose `p` for a width-`w` machine using the default coloring
+    /// strategy.
+    pub fn build(p: &Permutation, width: usize) -> Result<Self> {
+        Self::build_with(p, width, Strategy::Hybrid)
+    }
+
+    /// Decompose `p` with an explicit coloring strategy.
+    pub fn build_with(p: &Permutation, width: usize, strategy: Strategy) -> Result<Self> {
+        let n = p.len();
+        let shape = scheduled_shape(n, width)?;
+        Self::build_for_shape(p, shape, strategy)
+    }
+
+    /// Decompose `p` on an explicit matrix shape (exposed for tests with
+    /// non-default shapes; `shape.len()` must equal `p.len()`).
+    pub fn build_for_shape(
+        p: &Permutation,
+        shape: MatrixShape,
+        strategy: Strategy,
+    ) -> Result<Self> {
+        let n = p.len();
+        if shape.len() != n {
+            return Err(OffpermError::SizeMismatch {
+                expected: n,
+                got: shape.len(),
+            });
+        }
+        let (r, c) = (shape.rows, shape.cols);
+
+        // Bipartite multigraph: source row -> destination row, one edge per
+        // element; c-regular since each row holds c elements and receives c.
+        let edges: Vec<(usize, usize)> = (0..n).map(|idx| (idx / c, p.apply(idx) / c)).collect();
+        let graph = RegularBipartite::new(r, edges)?;
+        let coloring = edge_color_with(&graph, strategy)?;
+        debug_assert_eq!(coloring.num_colors, c);
+
+        let mut step1 = vec![0usize; n]; // per row i: j -> color
+        let mut step2 = vec![0usize; n]; // per col k: i -> dest row
+        let mut step3 = vec![0usize; n]; // per row i': k -> dest col
+        for (idx, slot1) in step1.iter_mut().enumerate() {
+            let i = idx / c;
+            let dest = p.apply(idx);
+            let (di, dj) = (dest / c, dest % c);
+            let k = coloring.colors[idx];
+            *slot1 = k;
+            step2[k * r + i] = di;
+            step3[di * c + k] = dj;
+        }
+
+        let to_perms = |flat: Vec<usize>, rows: usize, cols: usize| -> Result<Vec<Permutation>> {
+            let mut out = Vec::with_capacity(rows);
+            for chunk in flat.chunks(cols) {
+                out.push(Permutation::from_vec(chunk.to_vec())?);
+            }
+            debug_assert_eq!(out.len(), rows);
+            Ok(out)
+        };
+
+        Ok(Decomposition {
+            shape,
+            step1_rows: to_perms(step1, r, c)?,
+            step2_cols: to_perms(step2, c, r)?,
+            step3_rows: to_perms(step3, r, c)?,
+        })
+    }
+
+    /// Compose the three steps back into a flat permutation — used by tests
+    /// to prove the decomposition is exactly `p`.
+    pub fn recompose(&self) -> Permutation {
+        let (r, c) = (self.shape.rows, self.shape.cols);
+        let mut map = vec![0usize; r * c];
+        for i in 0..r {
+            for j in 0..c {
+                let k = self.step1_rows[i].apply(j); // column after step 1
+                let di = self.step2_cols[k].apply(i); // row after step 2
+                let dj = self.step3_rows[di].apply(k); // column after step 3
+                map[i * c + j] = di * c + dj;
+            }
+        }
+        Permutation::from_vec_unchecked(map)
+    }
+
+    /// Matrix snapshots of an element-identity input after each step —
+    /// the data of the paper's Figure 6. Entry `(row, col)` holds the
+    /// element's *source* flat index.
+    pub fn snapshots(&self) -> [Vec<usize>; 4] {
+        let (r, c) = (self.shape.rows, self.shape.cols);
+        let n = r * c;
+        let input: Vec<usize> = (0..n).collect();
+        let mut after1 = vec![0usize; n];
+        let mut after2 = vec![0usize; n];
+        let mut after3 = vec![0usize; n];
+        for i in 0..r {
+            for j in 0..c {
+                let k = self.step1_rows[i].apply(j);
+                after1[i * c + k] = input[i * c + j];
+            }
+        }
+        for k in 0..c {
+            for i in 0..r {
+                let di = self.step2_cols[k].apply(i);
+                after2[di * c + k] = after1[i * c + k];
+            }
+        }
+        for di in 0..r {
+            for k in 0..c {
+                let dj = self.step3_rows[di].apply(k);
+                after3[di * c + dj] = after2[di * c + k];
+            }
+        }
+        [input, after1, after2, after3]
+    }
+
+    /// Build the stageable kernels: row-wise schedules for steps 1 and 3
+    /// and a column-wise schedule for step 2.
+    pub fn schedules(
+        &self,
+        width: usize,
+        strategy: Strategy,
+    ) -> Result<(RowSchedule, ColSchedule, RowSchedule)> {
+        let s1 = RowSchedule::build_with(self.shape, &self.step1_rows, width, strategy)?;
+        let s2 = ColSchedule::build(self.shape, &self.step2_cols, width)?;
+        let s3 = RowSchedule::build_with(self.shape, &self.step3_rows, width, strategy)?;
+        Ok((s1, s2, s3))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmm_perm::families;
+
+    const W: usize = 8;
+
+    #[test]
+    fn decomposition_recomposes_for_all_families() {
+        let n = 1 << 10;
+        for fam in families::Family::ALL {
+            let p = fam.build(n, 21).unwrap();
+            let d = Decomposition::build(&p, W).unwrap();
+            assert_eq!(d.recompose(), p, "{}", fam.name());
+        }
+    }
+
+    #[test]
+    fn decomposition_recomposes_for_random_rectangular() {
+        // Odd power of two: rectangular shape.
+        let n = 1 << 11;
+        let p = families::random(n, 3);
+        let d = Decomposition::build(&p, W).unwrap();
+        assert_eq!(d.shape.rows * 2, d.shape.cols);
+        assert_eq!(d.recompose(), p);
+    }
+
+    #[test]
+    fn step_permutations_are_valid_and_sized() {
+        let n = 1 << 10;
+        let p = families::random(n, 4);
+        let d = Decomposition::build(&p, W).unwrap();
+        let (r, c) = (d.shape.rows, d.shape.cols);
+        assert_eq!(d.step1_rows.len(), r);
+        assert_eq!(d.step2_cols.len(), c);
+        assert_eq!(d.step3_rows.len(), r);
+        assert!(d.step1_rows.iter().all(|q| q.len() == c));
+        assert!(d.step2_cols.iter().all(|q| q.len() == r));
+        assert!(d.step3_rows.iter().all(|q| q.len() == c));
+    }
+
+    #[test]
+    fn snapshots_track_elements_figure6_style() {
+        let n = 256;
+        let p = families::random(n, 5);
+        let d = Decomposition::build(&p, W).unwrap();
+        let [input, after1, after2, after3] = d.snapshots();
+        let (r, c) = (d.shape.rows, d.shape.cols);
+        // Input is the identity layout.
+        assert_eq!(input, (0..n).collect::<Vec<_>>());
+        // Step 1 permutes within rows only.
+        for i in 0..r {
+            let mut row: Vec<usize> = after1[i * c..(i + 1) * c].to_vec();
+            row.sort_unstable();
+            assert_eq!(row, (i * c..(i + 1) * c).collect::<Vec<_>>());
+        }
+        // Step 2 permutes within columns only.
+        for k in 0..c {
+            let mut col1: Vec<usize> = (0..r).map(|i| after1[i * c + k]).collect();
+            let mut col2: Vec<usize> = (0..r).map(|i| after2[i * c + k]).collect();
+            col1.sort_unstable();
+            col2.sort_unstable();
+            assert_eq!(col1, col2, "column {k} changed membership in step 2");
+        }
+        // Final snapshot realizes P: element src sits at position P[src].
+        for (pos, &src) in after3.iter().enumerate() {
+            assert_eq!(p.apply(src), pos);
+        }
+    }
+
+    #[test]
+    fn identity_decomposition_steps_are_cheap() {
+        let n = 256;
+        let p = families::identical(n);
+        let d = Decomposition::build(&p, W).unwrap();
+        assert_eq!(d.recompose(), p);
+        // Step 2 must be the identity on every column: elements never
+        // change rows.
+        for q in &d.step2_cols {
+            assert!(q.is_identity());
+        }
+    }
+
+    #[test]
+    fn explicit_shape_must_match_length() {
+        let p = families::random(64, 6);
+        let shape = MatrixShape::new(4, 8).unwrap();
+        assert!(matches!(
+            Decomposition::build_for_shape(&p, shape, Strategy::Hybrid),
+            Err(OffpermError::SizeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn too_small_or_odd_sizes_rejected() {
+        let p = families::random(100, 7); // not a power of two
+        assert!(Decomposition::build(&p, W).is_err());
+        let p = families::random(32, 8); // rows would be 4 < w = 8
+        assert!(Decomposition::build(&p, W).is_err());
+    }
+
+    #[test]
+    fn schedules_build_from_decomposition() {
+        let n = 1 << 10;
+        let p = families::bit_reversal(n).unwrap();
+        let d = Decomposition::build(&p, W).unwrap();
+        let (s1, s2, s3) = d.schedules(W, Strategy::Hybrid).unwrap();
+        assert_eq!(s1.shape(), d.shape);
+        assert_eq!(s2.shape(), d.shape);
+        assert_eq!(s3.shape(), d.shape);
+    }
+}

@@ -1,0 +1,258 @@
+//! The scheduled offline permutation algorithm (Section VII) — the paper's
+//! main contribution.
+//!
+//! Executes the three-step decomposition of [`crate::schedule`] as five
+//! sequential kernels (row-wise, transpose, row-wise, transpose, row-wise),
+//! every round coalesced or conflict-free. On the pure HMM the total is
+//! exactly the Table I figure:
+//!
+//! ```text
+//! 16 · (n/w + l − 1)   global rounds (11 coalesced reads + 5 writes)
+//! 16 · (n/w)           shared rounds ( 8 conflict-free reads + 8 writes)
+//! = 32·n/w + 16(l − 1) time units, independent of the permutation
+//! ```
+//!
+//! against the `2(n/w) + l − 1` lower bound — optimal up to the constant.
+
+use crate::colwise::{column_wise_permute, merge, StagedColSchedule};
+use crate::error::{OffpermError, Result};
+use crate::report::RunReport;
+use crate::rowwise::{row_wise_permute, StagedRowSchedule};
+use crate::schedule::Decomposition;
+use hmm_graph::Strategy;
+use hmm_machine::{GlobalBuf, Hmm, RoundSummary};
+use hmm_perm::{MatrixShape, Permutation};
+
+/// A fully built (but not yet staged) scheduled permutation.
+#[derive(Debug, Clone)]
+pub struct ScheduledPermutation {
+    shape: MatrixShape,
+    s1: crate::rowwise::RowSchedule,
+    s2: crate::colwise::ColSchedule,
+    s3: crate::rowwise::RowSchedule,
+}
+
+impl ScheduledPermutation {
+    /// Build the offline schedule for permutation `p` on a width-`w`
+    /// machine. This is the precomputation the paper assumes "given in
+    /// advance"; its cost is host-side and not charged to the machine.
+    pub fn build(p: &Permutation, width: usize) -> Result<Self> {
+        Self::build_with(p, width, Strategy::Hybrid)
+    }
+
+    /// [`ScheduledPermutation::build`] with an explicit coloring strategy
+    /// (for the ablation bench).
+    pub fn build_with(p: &Permutation, width: usize, strategy: Strategy) -> Result<Self> {
+        let decomposition = Decomposition::build_with(p, width, strategy)?;
+        Self::from_decomposition(&decomposition, width, strategy)
+    }
+
+    /// Build from an existing decomposition.
+    pub fn from_decomposition(d: &Decomposition, width: usize, strategy: Strategy) -> Result<Self> {
+        let (s1, s2, s3) = d.schedules(width, strategy)?;
+        Ok(ScheduledPermutation {
+            shape: d.shape,
+            s1,
+            s2,
+            s3,
+        })
+    }
+
+    /// The matrix shape used by the three passes.
+    pub fn shape(&self) -> MatrixShape {
+        self.shape
+    }
+
+    /// Number of elements permuted.
+    pub fn len(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// True for the empty schedule (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Stage the three schedules into a machine's global memory (six
+    /// 16-bit arrays of `n` entries).
+    pub fn stage(&self, hmm: &mut Hmm) -> Result<StagedScheduled> {
+        Ok(StagedScheduled {
+            shape: self.shape,
+            s1: self.s1.stage(hmm)?,
+            s2: self.s2.stage(hmm)?,
+            s3: self.s3.stage(hmm)?,
+        })
+    }
+}
+
+/// A [`ScheduledPermutation`] resident in a machine's global memory,
+/// ready to run any number of times.
+#[derive(Debug, Clone, Copy)]
+pub struct StagedScheduled {
+    shape: MatrixShape,
+    s1: StagedRowSchedule,
+    s2: StagedColSchedule,
+    s3: StagedRowSchedule,
+}
+
+impl StagedScheduled {
+    /// The matrix shape used by the three passes.
+    pub fn shape(&self) -> MatrixShape {
+        self.shape
+    }
+
+    /// Execute the permutation: `b[P[i]] = a[i]`.
+    ///
+    /// `t1` and `t2` are scratch buffers of `n` elements (`a`, `b`, `t1`,
+    /// `t2` pairwise distinct). Five kernels run: row-wise (step 1), then
+    /// transpose / row-wise / transpose (step 2), then row-wise (step 3).
+    pub fn run(
+        &self,
+        hmm: &mut Hmm,
+        a: GlobalBuf,
+        b: GlobalBuf,
+        t1: GlobalBuf,
+        t2: GlobalBuf,
+    ) -> Result<RunReport> {
+        let n = self.shape.len();
+        for buf in [a, b, t1, t2] {
+            if buf.len() != n {
+                return Err(OffpermError::SizeMismatch {
+                    expected: n,
+                    got: buf.len(),
+                });
+            }
+        }
+        let mut summary = RoundSummary::default();
+        // Step 1 (row-wise): a -> t1.
+        let r1 = row_wise_permute(hmm, &self.s1, a, t1)?;
+        summary = merge(&summary, &r1.summary);
+        // Step 2 (column-wise = transpose + row-wise + transpose):
+        // t1 -> b, scratching through t2 and a. `a` is dead after step 1,
+        // so the column-wise pass may clobber it — this keeps the footprint
+        // at four n-element buffers, like the paper's five-kernel chain.
+        let r2 = column_wise_permute(hmm, &self.s2, t1, t2, b, a)?;
+        summary = merge(&summary, &r2.summary);
+        // Step 3 (row-wise): t2 -> b.
+        let r3 = row_wise_permute(hmm, &self.s3, t2, b)?;
+        summary = merge(&summary, &r3.summary);
+        Ok(RunReport::new(summary, 5))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmm_machine::{MachineConfig, Word};
+    use hmm_perm::families;
+
+    const W: usize = 8;
+    const L: usize = 32;
+
+    fn run_scheduled(p: &Permutation) -> (RunReport, Vec<Word>, Vec<Word>) {
+        let n = p.len();
+        let mut hmm = Hmm::new(MachineConfig::pure(W, L)).unwrap();
+        let sched = ScheduledPermutation::build(p, W).unwrap();
+        let staged = sched.stage(&mut hmm).unwrap();
+        let a = hmm.alloc_global(n);
+        let b = hmm.alloc_global(n);
+        let t1 = hmm.alloc_global(n);
+        let t2 = hmm.alloc_global(n);
+        let data: Vec<Word> = (0..n as Word).map(|v| v * 17 + 29).collect();
+        hmm.host_write(a, &data).unwrap();
+        let report = staged.run(&mut hmm, a, b, t1, t2).unwrap();
+        let mut want = vec![0; n];
+        p.permute(&data, &mut want).unwrap();
+        (report, hmm.host_read(b), want)
+    }
+
+    #[test]
+    fn correct_for_all_families_square() {
+        let n = 1 << 10;
+        for fam in families::Family::ALL {
+            let p = fam.build(n, 31).unwrap();
+            let (report, got, want) = run_scheduled(&p);
+            assert_eq!(got, want, "{}", fam.name());
+            assert_eq!(report.summary.shared_casual.rounds, 0, "{}", fam.name());
+        }
+    }
+
+    #[test]
+    fn correct_for_all_families_rectangular() {
+        let n = 1 << 11;
+        for fam in families::Family::ALL {
+            let p = fam.build(n, 32).unwrap();
+            let (_, got, want) = run_scheduled(&p);
+            assert_eq!(got, want, "{}", fam.name());
+        }
+    }
+
+    #[test]
+    fn round_counts_match_table1() {
+        let n = 1 << 10;
+        let p = families::bit_reversal(n).unwrap();
+        let (report, _, _) = run_scheduled(&p);
+        let s = &report.summary;
+        assert_eq!(s.coalesced_read.rounds, 11);
+        assert_eq!(s.coalesced_write.rounds, 5);
+        assert_eq!(s.conflict_free_read.rounds, 8);
+        assert_eq!(s.conflict_free_write.rounds, 8);
+        assert_eq!(s.casual_read.rounds, 0);
+        assert_eq!(s.casual_write.rounds, 0);
+        assert_eq!(report.rounds(), 32, "the paper's 32 rounds");
+        assert_eq!(report.launches, 5, "the paper's five kernel calls");
+    }
+
+    #[test]
+    fn time_is_32nw_plus_16l_for_every_permutation() {
+        let n = 1 << 10;
+        let want_time = {
+            let (nw, l) = ((n / W) as u64, L as u64);
+            16 * (nw + l - 1) + 16 * nw
+        };
+        for fam in families::Family::ALL {
+            let p = fam.build(n, 33).unwrap();
+            let (report, _, _) = run_scheduled(&p);
+            assert_eq!(
+                report.time,
+                want_time,
+                "{}: scheduled time must be permutation-independent",
+                fam.name()
+            );
+        }
+    }
+
+    #[test]
+    fn many_random_permutations_are_correct() {
+        for seed in 0..10 {
+            let p = families::random(256, seed);
+            let (_, got, want) = run_scheduled(&p);
+            assert_eq!(got, want, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn buffer_mismatch_rejected() {
+        let p = families::random(256, 1);
+        let mut hmm = Hmm::new(MachineConfig::pure(W, L)).unwrap();
+        let sched = ScheduledPermutation::build(&p, W).unwrap();
+        let staged = sched.stage(&mut hmm).unwrap();
+        let a = hmm.alloc_global(256);
+        let b = hmm.alloc_global(256);
+        let t1 = hmm.alloc_global(256);
+        let bad = hmm.alloc_global(128);
+        assert!(matches!(
+            staged.run(&mut hmm, a, b, t1, bad),
+            Err(OffpermError::SizeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn accessors() {
+        let p = families::random(256, 2);
+        let sched = ScheduledPermutation::build(&p, W).unwrap();
+        assert_eq!(sched.len(), 256);
+        assert!(!sched.is_empty());
+        assert_eq!(sched.shape().len(), 256);
+    }
+}

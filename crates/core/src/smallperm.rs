@@ -1,0 +1,217 @@
+//! Conflict-free permutation of small arrays on a single DMM — the
+//! authors' earlier result (\[8\], \[9\]) that the paper's introduction uses to
+//! motivate the HMM algorithm (246 ns conventional vs 165 ns conflict-free
+//! for 1024 floats on one SM of a GTX-680).
+//!
+//! Both arrays live in the shared memory of one DMM. The conventional
+//! kernel does three rounds, the last of which (`b[p[i]] = a[i]`) suffers
+//! bank conflicts; the conflict-free kernel spends four rounds but colors
+//! the moves (same construction as [`crate::rowwise`]) so that no round
+//! conflicts. On the DMM cost model the conflict-free version wins whenever
+//! the permutation's *bank* distribution exceeds ~2× — e.g. for random
+//! permutations — matching the 1.5× the authors measured.
+
+use crate::error::Result;
+use hmm_graph::{edge_color, RegularBipartite};
+use hmm_machine::{Dmm, Word};
+use hmm_perm::Permutation;
+
+/// Output and model time of one DMM permutation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DmmRun {
+    /// The permuted array.
+    pub output: Vec<Word>,
+    /// Total DMM time units.
+    pub time: u64,
+    /// Number of memory-access rounds.
+    pub rounds: usize,
+}
+
+/// The conventional permutation on one DMM: rounds `p[i]`, `a[i]`,
+/// `b[p[i]] = a[i]`. `n` must be a multiple of `width`.
+pub fn dmm_conventional(
+    width: usize,
+    latency: usize,
+    p: &Permutation,
+    input: &[Word],
+) -> Result<DmmRun> {
+    let n = check_inputs(width, p, input)?;
+    // Memory layout: a [0,n), b [n,2n), p [2n,3n).
+    let mut dmm = Dmm::new(width, latency, 3 * n)?;
+    dmm.memory_mut()[..n].copy_from_slice(input);
+    for (i, &dst) in p.as_slice().iter().enumerate() {
+        dmm.memory_mut()[2 * n + i] = dst as Word;
+    }
+    let idx: Vec<usize> = (0..n).collect();
+    let p_addrs: Vec<usize> = idx.iter().map(|&i| 2 * n + i).collect();
+    let dests = dmm.read_round(&p_addrs)?;
+    let vals = dmm.read_round(&idx)?;
+    let b_addrs: Vec<usize> = dests.iter().map(|&d| n + d as usize).collect();
+    dmm.write_round(&b_addrs, &vals)?;
+    Ok(DmmRun {
+        output: dmm.memory()[n..2 * n].to_vec(),
+        time: dmm.total_time(),
+        rounds: dmm.ledger().len(),
+    })
+}
+
+/// The conflict-free permutation on one DMM (\[8\]): offline-colored `s`/`d`
+/// schedules make all four rounds conflict-free. `n` must be a multiple of
+/// `width`.
+pub fn dmm_conflict_free(
+    width: usize,
+    latency: usize,
+    p: &Permutation,
+    input: &[Word],
+) -> Result<DmmRun> {
+    let n = check_inputs(width, p, input)?;
+    let (s, d) = conflict_free_schedule(p, width)?;
+    // Memory layout: a [0,n), b [n,2n), s [2n,3n), d [3n,4n).
+    let mut dmm = Dmm::new(width, latency, 4 * n)?;
+    dmm.memory_mut()[..n].copy_from_slice(input);
+    for t in 0..n {
+        dmm.memory_mut()[2 * n + t] = s[t] as Word;
+        dmm.memory_mut()[3 * n + t] = d[t] as Word;
+    }
+    let s_addrs: Vec<usize> = (0..n).map(|t| 2 * n + t).collect();
+    let d_addrs: Vec<usize> = (0..n).map(|t| 3 * n + t).collect();
+    let sv = dmm.read_round(&s_addrs)?;
+    let dv = dmm.read_round(&d_addrs)?;
+    let a_addrs: Vec<usize> = sv.iter().map(|&v| v as usize).collect();
+    let vals = dmm.read_round(&a_addrs)?;
+    let b_addrs: Vec<usize> = dv.iter().map(|&v| n + v as usize).collect();
+    dmm.write_round(&b_addrs, &vals)?;
+    Ok(DmmRun {
+        output: dmm.memory()[n..2 * n].to_vec(),
+        time: dmm.total_time(),
+        rounds: dmm.ledger().len(),
+    })
+}
+
+/// The coloring-derived `(s, d)` slot schedule with `p(s[t]) = d[t]` and
+/// every aligned `width`-chunk of `s` (and of `d`) hitting distinct banks.
+pub fn conflict_free_schedule(p: &Permutation, width: usize) -> Result<(Vec<u32>, Vec<u32>)> {
+    let n = p.len();
+    let edges: Vec<(usize, usize)> = (0..n).map(|j| (j % width, p.apply(j) % width)).collect();
+    let graph = RegularBipartite::new(width, edges)?;
+    let coloring = edge_color(&graph)?;
+    let mut s = vec![0u32; n];
+    let mut d = vec![0u32; n];
+    for j in 0..n {
+        let slot = coloring.colors[j] * width + (j % width);
+        s[slot] = j as u32;
+        d[slot] = p.apply(j) as u32;
+    }
+    Ok((s, d))
+}
+
+fn check_inputs(width: usize, p: &Permutation, input: &[Word]) -> Result<usize> {
+    let n = p.len();
+    if input.len() != n {
+        return Err(crate::error::OffpermError::SizeMismatch {
+            expected: n,
+            got: input.len(),
+        });
+    }
+    if n == 0 || !n.is_multiple_of(width) {
+        return Err(crate::error::OffpermError::UnsupportedSize {
+            n,
+            reason: "DMM permutation needs n to be a positive multiple of the width",
+        });
+    }
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmm_perm::families;
+
+    const W: usize = 32;
+
+    fn reference(p: &Permutation, input: &[Word]) -> Vec<Word> {
+        let mut out = vec![0; input.len()];
+        p.permute(input, &mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn both_kernels_are_correct() {
+        let n = 1024;
+        let input: Vec<Word> = (0..n as Word).map(|v| v + 100).collect();
+        for fam in families::Family::ALL {
+            let p = fam.build(n, 41).unwrap();
+            let conv = dmm_conventional(W, 1, &p, &input).unwrap();
+            let cf = dmm_conflict_free(W, 1, &p, &input).unwrap();
+            let want = reference(&p, &input);
+            assert_eq!(conv.output, want, "conventional {}", fam.name());
+            assert_eq!(cf.output, want, "conflict-free {}", fam.name());
+        }
+    }
+
+    #[test]
+    fn conflict_free_never_conflicts() {
+        let n = 1024;
+        let input: Vec<Word> = (0..n as Word).collect();
+        let p = families::random(n, 42);
+        let cf = dmm_conflict_free(W, 1, &p, &input).unwrap();
+        // 4 rounds, each n/w stages: time = 4 n/w with latency 1.
+        assert_eq!(cf.rounds, 4);
+        assert_eq!(cf.time, 4 * (n / W) as u64);
+    }
+
+    #[test]
+    fn conflict_free_beats_conventional_on_random_permutations() {
+        // The paper's [9] experiment: random 1024 floats, conventional
+        // 246 ns vs conflict-free 165 ns (1.5x). On the model the same
+        // direction must hold.
+        let n = 1024;
+        let input: Vec<Word> = (0..n as Word).collect();
+        let mut wins = 0;
+        for seed in 0..10 {
+            let p = families::random(n, seed);
+            let conv = dmm_conventional(W, 1, &p, &input).unwrap();
+            let cf = dmm_conflict_free(W, 1, &p, &input).unwrap();
+            if cf.time < conv.time {
+                wins += 1;
+            }
+        }
+        assert!(wins >= 9, "conflict-free won only {wins}/10");
+    }
+
+    #[test]
+    fn conventional_wins_on_identity() {
+        let n = 1024;
+        let input: Vec<Word> = (0..n as Word).collect();
+        let p = families::identical(n);
+        let conv = dmm_conventional(W, 1, &p, &input).unwrap();
+        let cf = dmm_conflict_free(W, 1, &p, &input).unwrap();
+        // 3 conflict-free rounds beat 4.
+        assert_eq!(conv.time, 3 * (n / W) as u64);
+        assert!(conv.time < cf.time);
+    }
+
+    #[test]
+    fn schedule_is_conflict_free_and_consistent() {
+        let n = 512;
+        let p = families::bit_reversal(n).unwrap();
+        let (s, d) = conflict_free_schedule(&p, W).unwrap();
+        for t in 0..n {
+            assert_eq!(p.apply(s[t] as usize), d[t] as usize);
+        }
+        for chunk in s.chunks(W).chain(d.chunks(W)) {
+            let banks: std::collections::HashSet<usize> =
+                chunk.iter().map(|&v| v as usize % W).collect();
+            assert_eq!(banks.len(), W);
+        }
+    }
+
+    #[test]
+    fn bad_sizes_rejected() {
+        let p = families::random(100, 1); // not a multiple of 32
+        let input = vec![0; 100];
+        assert!(dmm_conventional(W, 1, &p, &input).is_err());
+        let p = families::random(64, 1);
+        assert!(dmm_conventional(W, 1, &p, &vec![0; 32]).is_err());
+    }
+}

@@ -1,0 +1,235 @@
+//! Matrix transpose on the HMM (Section V).
+//!
+//! The matrix is processed in `w × w` tiles. Each tile is staged through
+//! shared memory in the **diagonal arrangement** (Figure 4): tile element
+//! `(i, j)` is stored at shared index `i·w + (i + j) mod w`, which puts both
+//! every row *and* every column of the tile in pairwise-distinct banks, so
+//! the shared accesses of both passes are conflict-free while both global
+//! accesses stream full rows (coalesced).
+//!
+//! Per Table I the transpose costs exactly one coalesced read, one
+//! conflict-free write, one conflict-free read, and one coalesced write:
+//! `2(n/w + l − 1) + 2·n/w` time units.
+
+use crate::error::{OffpermError, Result};
+use crate::report::RunReport;
+use hmm_machine::{GlobalBuf, Hmm};
+use hmm_perm::MatrixShape;
+
+/// Shared index of tile element `(i, j)` under the diagonal arrangement.
+#[inline]
+pub fn diagonal_index(i: usize, j: usize, w: usize) -> usize {
+    i * w + ((i + j) & (w - 1))
+}
+
+/// Transpose the `shape.rows × shape.cols` matrix in `a` (row-major) into
+/// `b` as a `cols × rows` matrix (row-major). Both dimensions must be
+/// multiples of the machine width; `a` and `b` must not alias.
+pub fn transpose(
+    hmm: &mut Hmm,
+    shape: MatrixShape,
+    a: GlobalBuf,
+    b: GlobalBuf,
+) -> Result<RunReport> {
+    let w = hmm.config().width;
+    let elem_bytes = hmm.config().elem.bytes();
+    if !shape.tiles_by(w) {
+        return Err(OffpermError::UnsupportedSize {
+            n: shape.len(),
+            reason: "matrix dimensions must be multiples of the machine width",
+        });
+    }
+    for buf in [a, b] {
+        if buf.len() != shape.len() {
+            return Err(OffpermError::SizeMismatch {
+                expected: shape.len(),
+                got: buf.len(),
+            });
+        }
+    }
+    let (r, c) = (shape.rows, shape.cols);
+    let tiles_per_row = c / w;
+    let grid = (r / w) * tiles_per_row;
+    let lanes = w * w;
+    let mark = hmm.mark();
+    hmm.launch(grid, lanes, |blk| {
+        let tile = blk.block_id();
+        let tr = tile / tiles_per_row; // tile row in the input
+        let tc = tile % tiles_per_row; // tile col in the input
+        let s = blk.shared_alloc(w * w, elem_bytes)?;
+
+        // Pass 1: coalesced read of the input tile, conflict-free write
+        // into the diagonal arrangement. Lane (i, j) handles input element
+        // (tr·w + i, tc·w + j).
+        let mut addrs = Vec::with_capacity(lanes);
+        let mut sidx = Vec::with_capacity(lanes);
+        for i in 0..w {
+            for j in 0..w {
+                addrs.push(a.addr((tr * w + i) * c + tc * w + j));
+                sidx.push(diagonal_index(i, j, w));
+            }
+        }
+        let vals = blk.global_read(&addrs)?;
+        blk.shared_write(s, &sidx, &vals)?;
+
+        // Pass 2: conflict-free read of the transposed element, coalesced
+        // write of the output tile. Lane (i, j) writes output element
+        // (tc·w + i, tr·w + j) = input element (tr·w + j, tc·w + i), which
+        // pass 1 stored at diagonal_index(j, i).
+        let mut out_addrs = Vec::with_capacity(lanes);
+        let mut rd_idx = Vec::with_capacity(lanes);
+        for i in 0..w {
+            for j in 0..w {
+                rd_idx.push(diagonal_index(j, i, w));
+                out_addrs.push(b.addr((tc * w + i) * r + tr * w + j));
+            }
+        }
+        let tvals = blk.shared_read(s, &rd_idx)?;
+        blk.global_write(&out_addrs, &tvals)
+    })?;
+    Ok(RunReport::new(hmm.since(mark), 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmm_machine::{MachineConfig, Word};
+    use hmm_perm::families;
+
+    const W: usize = 8;
+    const L: usize = 16;
+
+    fn machine() -> Hmm {
+        Hmm::new(MachineConfig::pure(W, L)).unwrap()
+    }
+
+    fn host_transpose(shape: MatrixShape, data: &[Word]) -> Vec<Word> {
+        let mut out = vec![0; data.len()];
+        for i in 0..shape.rows {
+            for j in 0..shape.cols {
+                out[j * shape.rows + i] = data[i * shape.cols + j];
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn diagonal_arrangement_matches_figure4() {
+        // Figure 4 (w = 4): row 1 is stored as [1,3] [1,0] [1,1] [1,2],
+        // i.e. element (1, j) sits at column (1 + j) mod 4.
+        assert_eq!(diagonal_index(0, 0, 4), 0);
+        assert_eq!(diagonal_index(1, 3, 4), 4); // (1,3) -> slot 1*4+0
+        assert_eq!(diagonal_index(2, 2, 4), 8);
+        assert_eq!(diagonal_index(3, 1, 4), 12);
+    }
+
+    #[test]
+    fn diagonal_rows_and_columns_are_conflict_free() {
+        let w = 8;
+        for i in 0..w {
+            let banks: std::collections::HashSet<usize> =
+                (0..w).map(|j| diagonal_index(i, j, w) % w).collect();
+            assert_eq!(banks.len(), w, "row {i}");
+        }
+        for j in 0..w {
+            let banks: std::collections::HashSet<usize> =
+                (0..w).map(|i| diagonal_index(i, j, w) % w).collect();
+            assert_eq!(banks.len(), w, "col {j}");
+        }
+    }
+
+    #[test]
+    fn square_transpose_is_correct() {
+        let shape = MatrixShape::new(4 * W, 4 * W).unwrap();
+        let n = shape.len();
+        let mut hmm = machine();
+        let a = hmm.alloc_global(n);
+        let b = hmm.alloc_global(n);
+        let data: Vec<Word> = (0..n as Word).collect();
+        hmm.host_write(a, &data).unwrap();
+        transpose(&mut hmm, shape, a, b).unwrap();
+        assert_eq!(hmm.host_read(b), host_transpose(shape, &data));
+    }
+
+    #[test]
+    fn rectangular_transpose_is_correct() {
+        let shape = MatrixShape::new(2 * W, 6 * W).unwrap();
+        let n = shape.len();
+        let mut hmm = machine();
+        let a = hmm.alloc_global(n);
+        let b = hmm.alloc_global(n);
+        let data: Vec<Word> = (0..n as Word).map(|v| v * 3 + 5).collect();
+        hmm.host_write(a, &data).unwrap();
+        transpose(&mut hmm, shape, a, b).unwrap();
+        assert_eq!(hmm.host_read(b), host_transpose(shape, &data));
+    }
+
+    #[test]
+    fn transpose_matches_transpose_permutation() {
+        // The kernel must agree with the `transpose` permutation family.
+        let shape = MatrixShape::new(2 * W, 4 * W).unwrap();
+        let n = shape.len();
+        let p = families::transpose(shape.rows, shape.cols, n).unwrap();
+        let mut hmm = machine();
+        let a = hmm.alloc_global(n);
+        let b = hmm.alloc_global(n);
+        let data: Vec<Word> = (0..n as Word).map(|v| v + 11).collect();
+        hmm.host_write(a, &data).unwrap();
+        transpose(&mut hmm, shape, a, b).unwrap();
+        let mut want = vec![0; n];
+        p.permute(&data, &mut want).unwrap();
+        assert_eq!(hmm.host_read(b), want);
+    }
+
+    #[test]
+    fn round_counts_and_time_match_table1() {
+        let shape = MatrixShape::new(4 * W, 4 * W).unwrap();
+        let n = shape.len();
+        let mut hmm = machine();
+        let a = hmm.alloc_global(n);
+        let b = hmm.alloc_global(n);
+        let report = transpose(&mut hmm, shape, a, b).unwrap();
+        let s = &report.summary;
+        assert_eq!(s.coalesced_read.rounds, 1);
+        assert_eq!(s.coalesced_write.rounds, 1);
+        assert_eq!(s.conflict_free_read.rounds, 1);
+        assert_eq!(s.conflict_free_write.rounds, 1);
+        assert_eq!(s.shared_casual.rounds, 0, "bank conflict detected");
+        let nw = (n / W) as u64;
+        let l = L as u64;
+        assert_eq!(report.time, 2 * (nw + l - 1) + 2 * nw);
+    }
+
+    #[test]
+    fn double_transpose_is_identity() {
+        let shape = MatrixShape::new(2 * W, 3 * W).unwrap();
+        let n = shape.len();
+        let mut hmm = machine();
+        let a = hmm.alloc_global(n);
+        let b = hmm.alloc_global(n);
+        let c = hmm.alloc_global(n);
+        let data: Vec<Word> = (0..n as Word).map(|v| v ^ 0x5a).collect();
+        hmm.host_write(a, &data).unwrap();
+        transpose(&mut hmm, shape, a, b).unwrap();
+        transpose(&mut hmm, shape.transposed(), b, c).unwrap();
+        assert_eq!(hmm.host_read(c), data);
+    }
+
+    #[test]
+    fn rejects_untiled_shapes_and_bad_buffers() {
+        let mut hmm = machine();
+        let shape = MatrixShape::new(W + 1, W).unwrap();
+        let a = hmm.alloc_global(shape.len());
+        let b = hmm.alloc_global(shape.len());
+        assert!(matches!(
+            transpose(&mut hmm, shape, a, b),
+            Err(OffpermError::UnsupportedSize { .. })
+        ));
+        let good = MatrixShape::new(W, W).unwrap();
+        let small = hmm.alloc_global(W);
+        assert!(matches!(
+            transpose(&mut hmm, good, small, b),
+            Err(OffpermError::SizeMismatch { .. })
+        ));
+    }
+}

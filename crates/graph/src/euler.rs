@@ -1,0 +1,197 @@
+//! Euler partition: split an even-degree bipartite multigraph into two
+//! halves of equal degree.
+//!
+//! Walking an Eulerian circuit and assigning edges alternately to the two
+//! halves splits every vertex's degree exactly in half, because consecutive
+//! circuit edges share a vertex and every circuit in a bipartite graph has
+//! even length. Applied recursively this yields the classic
+//! `O(E log deg)` edge coloring for power-of-two degrees — the fast path
+//! exploited by the scheduled permutation, whose graphs have degree
+//! `√n / something` that is always a power of two.
+
+/// Split the sub-multigraph formed by `subset` (edge ids into `edges`) into
+/// two halves `(a, b)` such that every vertex has exactly half of its
+/// `subset`-degree in each half.
+///
+/// Every vertex must have **even** degree within `subset`; the caller (the
+/// coloring recursion) guarantees this. `nodes` is the number of vertices
+/// per side.
+pub fn euler_split(
+    nodes: usize,
+    edges: &[(usize, usize)],
+    subset: &[usize],
+) -> (Vec<usize>, Vec<usize>) {
+    // Vertices 0..nodes are the left side, nodes..2*nodes the right side.
+    let total_nodes = 2 * nodes;
+    let mut adj: Vec<Vec<(usize, usize)>> = vec![Vec::new(); total_nodes];
+    for &e in subset {
+        let (u, v) = edges[e];
+        let (u, v) = (u, v + nodes);
+        adj[u].push((e, v));
+        adj[v].push((e, u));
+    }
+    let mut used = vec![false; edges.len()];
+    let mut ptr = vec![0usize; total_nodes];
+    let mut half_a = Vec::with_capacity(subset.len() / 2);
+    let mut half_b = Vec::with_capacity(subset.len() - subset.len() / 2);
+
+    // Iterative Hierholzer: the pop order yields an Eulerian circuit of each
+    // connected component; alternate edges between the halves.
+    let mut stack: Vec<(usize, Option<usize>)> = Vec::new();
+    let mut circuit: Vec<usize> = Vec::new();
+    for start in 0..total_nodes {
+        if adj[start].is_empty() {
+            continue;
+        }
+        circuit.clear();
+        stack.push((start, None));
+        while let Some(&(v, e_in)) = stack.last() {
+            // Advance past edges already consumed via the other endpoint.
+            let mut advanced = false;
+            while ptr[v] < adj[v].len() {
+                let (e, to) = adj[v][ptr[v]];
+                ptr[v] += 1;
+                if !used[e] {
+                    used[e] = true;
+                    stack.push((to, Some(e)));
+                    advanced = true;
+                    break;
+                }
+            }
+            if !advanced {
+                stack.pop();
+                if let Some(e) = e_in {
+                    circuit.push(e);
+                }
+            }
+        }
+        for (i, &e) in circuit.iter().enumerate() {
+            if i % 2 == 0 {
+                half_a.push(e);
+            } else {
+                half_b.push(e);
+            }
+        }
+    }
+    (half_a, half_b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Degree of each (side, node) within a subset of edge ids.
+    fn degrees(
+        nodes: usize,
+        edges: &[(usize, usize)],
+        subset: &[usize],
+    ) -> (Vec<usize>, Vec<usize>) {
+        let mut l = vec![0usize; nodes];
+        let mut r = vec![0usize; nodes];
+        for &e in subset {
+            l[edges[e].0] += 1;
+            r[edges[e].1] += 1;
+        }
+        (l, r)
+    }
+
+    fn check_split(nodes: usize, edges: &[(usize, usize)]) {
+        let all: Vec<usize> = (0..edges.len()).collect();
+        let (l0, r0) = degrees(nodes, edges, &all);
+        let (a, b) = euler_split(nodes, edges, &all);
+        assert_eq!(a.len() + b.len(), edges.len());
+        let mut seen = vec![false; edges.len()];
+        for &e in a.iter().chain(&b) {
+            assert!(!seen[e], "edge {e} assigned twice");
+            seen[e] = true;
+        }
+        let (la, ra) = degrees(nodes, edges, &a);
+        let (lb, rb) = degrees(nodes, edges, &b);
+        for v in 0..nodes {
+            assert_eq!(la[v], l0[v] / 2, "left {v} uneven");
+            assert_eq!(lb[v], l0[v] / 2);
+            assert_eq!(ra[v], r0[v] / 2, "right {v} uneven");
+            assert_eq!(rb[v], r0[v] / 2);
+        }
+    }
+
+    #[test]
+    fn splits_double_cover_of_matching() {
+        // Degree 2: each node has the same two parallel edges.
+        check_split(3, &[(0, 1), (0, 1), (1, 2), (1, 2), (2, 0), (2, 0)]);
+    }
+
+    #[test]
+    fn splits_complete_bipartite_k22() {
+        check_split(2, &[(0, 0), (0, 1), (1, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn splits_complete_bipartite_k44() {
+        let mut edges = Vec::new();
+        for u in 0..4 {
+            for v in 0..4 {
+                edges.push((u, v));
+            }
+        }
+        check_split(4, &edges);
+    }
+
+    #[test]
+    fn splits_disconnected_components() {
+        // Two disjoint 2-cycles.
+        check_split(
+            4,
+            &[
+                (0, 0),
+                (0, 0),
+                (1, 1),
+                (1, 1),
+                (2, 3),
+                (2, 3),
+                (3, 2),
+                (3, 2),
+            ],
+        );
+    }
+
+    #[test]
+    fn splits_subset_only() {
+        // Full graph has odd degree, but the chosen subset has even degree.
+        let edges = vec![(0, 0), (0, 1), (1, 0), (1, 1), (0, 0), (1, 1)];
+        let subset = vec![0, 1, 2, 3]; // K22, degree 2
+        let (a, b) = euler_split(2, &edges, &subset);
+        assert_eq!(a.len(), 2);
+        assert_eq!(b.len(), 2);
+        for &e in a.iter().chain(&b) {
+            assert!(subset.contains(&e));
+        }
+    }
+
+    #[test]
+    fn splits_random_regular_multigraph() {
+        use rand::rngs::StdRng;
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        // Build a random 8-regular bipartite multigraph on 16+16 nodes as a
+        // union of 8 random perfect matchings.
+        let mut rng = StdRng::seed_from_u64(3);
+        let nodes = 16;
+        let mut edges = Vec::new();
+        for _ in 0..8 {
+            let mut rights: Vec<usize> = (0..nodes).collect();
+            rights.shuffle(&mut rng);
+            for (u, &v) in rights.iter().enumerate() {
+                edges.push((u, v));
+            }
+        }
+        check_split(nodes, &edges);
+    }
+
+    #[test]
+    fn empty_subset_yields_empty_halves() {
+        let (a, b) = euler_split(2, &[(0, 0), (1, 1)], &[]);
+        assert!(a.is_empty());
+        assert!(b.is_empty());
+    }
+}

@@ -1,0 +1,28 @@
+//! # hmm-graph — regular bipartite multigraph edge coloring
+//!
+//! The scheduled offline permutation algorithm of Kasagi–Nakano–Ito reduces
+//! schedule construction to **minimal edge coloring of regular bipartite
+//! multigraphs** (their Theorem 6 cites König's theorem: a `Δ`-regular
+//! bipartite graph is `Δ`-edge-colorable). This crate supplies that
+//! substrate:
+//!
+//! * [`RegularBipartite`] — validated regular bipartite multigraphs with
+//!   edge identities (parallel edges matter: one edge per data element);
+//! * [`euler::euler_split`] — Euler-partition degree halving;
+//! * [`matching::hopcroft_karp`] — maximum matching for odd-degree peeling;
+//! * [`edge_color`] — the hybrid `Δ`-coloring, plus a matching-only
+//!   baseline strategy for the ablation bench, and [`verify_coloring`].
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod coloring;
+pub mod error;
+pub mod euler;
+pub mod matching;
+pub mod multigraph;
+
+pub use coloring::{edge_color, edge_color_with, verify_coloring, EdgeColoring, Strategy};
+pub use error::{GraphError, Result};
+pub use matching::{hopcroft_karp, Matching};
+pub use multigraph::RegularBipartite;

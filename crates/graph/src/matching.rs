@@ -1,0 +1,205 @@
+//! Hopcroft–Karp maximum bipartite matching.
+//!
+//! Used by the edge-coloring recursion to peel one perfect matching (= one
+//! color class) off an odd-degree regular bipartite graph; regularity
+//! guarantees the matching is perfect (König/Hall), which
+//! [`crate::coloring::edge_color`] checks and reports as an internal error
+//! if violated.
+
+/// Result of a maximum-matching computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Matching {
+    /// `pair_left[u] = Some(v)` iff left `u` is matched to right `v`.
+    pub pair_left: Vec<Option<usize>>,
+    /// `pair_right[v] = Some(u)` iff right `v` is matched to left `u`.
+    pub pair_right: Vec<Option<usize>>,
+    /// Number of matched pairs.
+    pub size: usize,
+}
+
+const INF: u32 = u32::MAX;
+
+/// Compute a maximum matching of the bipartite graph given as left-side
+/// adjacency lists (`adj[u]` lists the right-side neighbours of `u`;
+/// parallel entries are tolerated). `O(E √V)`.
+pub fn hopcroft_karp(left: usize, right: usize, adj: &[Vec<usize>]) -> Matching {
+    assert_eq!(adj.len(), left, "adjacency list size mismatch");
+    let mut pair_left: Vec<Option<usize>> = vec![None; left];
+    let mut pair_right: Vec<Option<usize>> = vec![None; right];
+    let mut dist: Vec<u32> = vec![0; left];
+    let mut queue: Vec<usize> = Vec::with_capacity(left);
+    let mut size = 0usize;
+
+    loop {
+        // BFS phase: layer unmatched left vertices.
+        queue.clear();
+        for u in 0..left {
+            if pair_left[u].is_none() {
+                dist[u] = 0;
+                queue.push(u);
+            } else {
+                dist[u] = INF;
+            }
+        }
+        let mut found_augmenting = false;
+        let mut head = 0;
+        while head < queue.len() {
+            let u = queue[head];
+            head += 1;
+            for &v in &adj[u] {
+                match pair_right[v] {
+                    None => found_augmenting = true,
+                    Some(u2) => {
+                        if dist[u2] == INF {
+                            dist[u2] = dist[u] + 1;
+                            queue.push(u2);
+                        }
+                    }
+                }
+            }
+        }
+        if !found_augmenting {
+            break;
+        }
+        // DFS phase: find vertex-disjoint augmenting paths along layers.
+        for u in 0..left {
+            if pair_left[u].is_none() && dfs(u, adj, &mut pair_left, &mut pair_right, &mut dist) {
+                size += 1;
+            }
+        }
+    }
+
+    Matching {
+        pair_left,
+        pair_right,
+        size,
+    }
+}
+
+fn dfs(
+    u: usize,
+    adj: &[Vec<usize>],
+    pair_left: &mut [Option<usize>],
+    pair_right: &mut [Option<usize>],
+    dist: &mut [u32],
+) -> bool {
+    for i in 0..adj[u].len() {
+        let v = adj[u][i];
+        let ok = match pair_right[v] {
+            None => true,
+            Some(u2) => dist[u2] == dist[u] + 1 && dfs(u2, adj, pair_left, pair_right, dist),
+        };
+        if ok {
+            pair_left[u] = Some(v);
+            pair_right[v] = Some(u);
+            return true;
+        }
+    }
+    dist[u] = INF;
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn verify(m: &Matching, adj: &[Vec<usize>]) {
+        let mut used_right = std::collections::HashSet::new();
+        let mut count = 0;
+        for (u, pv) in m.pair_left.iter().enumerate() {
+            if let Some(v) = pv {
+                assert!(adj[u].contains(v), "matched pair ({u},{v}) is not an edge");
+                assert!(used_right.insert(*v), "right {v} matched twice");
+                assert_eq!(m.pair_right[*v], Some(u));
+                count += 1;
+            }
+        }
+        assert_eq!(count, m.size);
+    }
+
+    #[test]
+    fn perfect_matching_in_identity_graph() {
+        let adj: Vec<Vec<usize>> = (0..5).map(|u| vec![u]).collect();
+        let m = hopcroft_karp(5, 5, &adj);
+        assert_eq!(m.size, 5);
+        verify(&m, &adj);
+    }
+
+    #[test]
+    fn perfect_matching_in_complete_bipartite() {
+        let adj: Vec<Vec<usize>> = (0..6).map(|_| (0..6).collect()).collect();
+        let m = hopcroft_karp(6, 6, &adj);
+        assert_eq!(m.size, 6);
+        verify(&m, &adj);
+    }
+
+    #[test]
+    fn maximum_matching_in_path() {
+        // L0-R0, L1-R0, L1-R1: max matching 2 (L0-R0, L1-R1).
+        let adj = vec![vec![0], vec![0, 1]];
+        let m = hopcroft_karp(2, 2, &adj);
+        assert_eq!(m.size, 2);
+        verify(&m, &adj);
+    }
+
+    #[test]
+    fn deficient_graph_matches_less() {
+        // Both left vertices only see right 0.
+        let adj = vec![vec![0], vec![0]];
+        let m = hopcroft_karp(2, 2, &adj);
+        assert_eq!(m.size, 1);
+        verify(&m, &adj);
+    }
+
+    #[test]
+    fn parallel_entries_tolerated() {
+        let adj = vec![vec![0, 0, 1], vec![0, 0]];
+        let m = hopcroft_karp(2, 2, &adj);
+        assert_eq!(m.size, 2);
+        verify(&m, &adj);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let m = hopcroft_karp(0, 0, &[]);
+        assert_eq!(m.size, 0);
+    }
+
+    #[test]
+    fn isolated_vertices() {
+        let adj = vec![vec![], vec![1]];
+        let m = hopcroft_karp(2, 2, &adj);
+        assert_eq!(m.size, 1);
+        verify(&m, &adj);
+    }
+
+    #[test]
+    fn regular_random_graph_has_perfect_matching() {
+        use rand::rngs::StdRng;
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 64;
+        // 3-regular: union of 3 random permutations (may include parallels).
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for _ in 0..3 {
+            let mut rights: Vec<usize> = (0..n).collect();
+            rights.shuffle(&mut rng);
+            for (u, &v) in rights.iter().enumerate() {
+                adj[u].push(v);
+            }
+        }
+        let m = hopcroft_karp(n, n, &adj);
+        assert_eq!(m.size, n, "regular bipartite graphs have perfect matchings");
+        verify(&m, &adj);
+    }
+
+    #[test]
+    fn larger_sparse_graph_runs_fast() {
+        // Cycle-like structure: L_u -> {R_u, R_(u+1)}: perfect matching.
+        let n = 10_000;
+        let adj: Vec<Vec<usize>> = (0..n).map(|u| vec![u, (u + 1) % n]).collect();
+        let m = hopcroft_karp(n, n, &adj);
+        assert_eq!(m.size, n);
+    }
+}

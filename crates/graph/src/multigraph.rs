@@ -1,0 +1,153 @@
+//! Regular bipartite multigraphs.
+//!
+//! The scheduled permutation algorithm derives its conflict-free schedules
+//! from bipartite graphs in which **parallel edges are common**: an edge is
+//! drawn for every element to be moved, and many elements can share the same
+//! (source bank, destination bank) pair. Edges therefore carry identities
+//! (their index in the edge list), and colorings are reported per edge id.
+
+use crate::error::{GraphError, Result};
+
+/// A bipartite multigraph with `nodes` vertices on each side in which every
+/// vertex (on both sides) has the same degree.
+///
+/// König's theorem (Theorem 6 in the paper) guarantees such a graph is
+/// `degree`-edge-colorable; [`crate::coloring::edge_color`] produces the
+/// coloring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegularBipartite {
+    nodes: usize,
+    degree: usize,
+    /// `edges[e] = (left, right)`.
+    edges: Vec<(usize, usize)>,
+}
+
+impl RegularBipartite {
+    /// Build and validate: every endpoint in range and every vertex of both
+    /// sides with equal degree.
+    pub fn new(nodes: usize, edges: Vec<(usize, usize)>) -> Result<Self> {
+        if nodes == 0 {
+            return Err(GraphError::DegenerateGraph {
+                nodes,
+                edges: edges.len(),
+            });
+        }
+        if edges.is_empty() || !edges.len().is_multiple_of(nodes) {
+            return Err(GraphError::DegenerateGraph {
+                nodes,
+                edges: edges.len(),
+            });
+        }
+        let degree = edges.len() / nodes;
+        let mut left_deg = vec![0usize; nodes];
+        let mut right_deg = vec![0usize; nodes];
+        for &(u, v) in &edges {
+            if u >= nodes {
+                return Err(GraphError::NodeOutOfRange { node: u, nodes });
+            }
+            if v >= nodes {
+                return Err(GraphError::NodeOutOfRange { node: v, nodes });
+            }
+            left_deg[u] += 1;
+            right_deg[v] += 1;
+        }
+        for (node, &d) in left_deg.iter().enumerate() {
+            if d != degree {
+                return Err(GraphError::NotRegular {
+                    node,
+                    degree: d,
+                    expected: degree,
+                });
+            }
+        }
+        for (node, &d) in right_deg.iter().enumerate() {
+            if d != degree {
+                return Err(GraphError::NotRegular {
+                    node,
+                    degree: d,
+                    expected: degree,
+                });
+            }
+        }
+        Ok(RegularBipartite {
+            nodes,
+            degree,
+            edges,
+        })
+    }
+
+    /// Vertices per side.
+    #[inline]
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Common degree of every vertex.
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// All edges as `(left, right)` pairs, indexed by edge id.
+    #[inline]
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Number of edges (`nodes * degree`).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_regular_multigraph_with_parallel_edges() {
+        // 2 nodes per side, degree 2, with a doubled edge.
+        let g = RegularBipartite::new(2, vec![(0, 0), (0, 0), (1, 1), (1, 1)]).unwrap();
+        assert_eq!(g.nodes(), 2);
+        assert_eq!(g.degree(), 2);
+        assert_eq!(g.num_edges(), 4);
+    }
+
+    #[test]
+    fn rejects_irregular() {
+        // Left degrees 2 and 0.
+        let err = RegularBipartite::new(2, vec![(0, 0), (0, 1)]).unwrap_err();
+        assert!(matches!(err, GraphError::NotRegular { .. }));
+        // Left regular, right irregular.
+        let err = RegularBipartite::new(2, vec![(0, 0), (1, 0)]).unwrap_err();
+        assert!(matches!(
+            err,
+            GraphError::NotRegular {
+                node: 0,
+                degree: 2,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let err = RegularBipartite::new(2, vec![(0, 2), (1, 0)]).unwrap_err();
+        assert_eq!(err, GraphError::NodeOutOfRange { node: 2, nodes: 2 });
+    }
+
+    #[test]
+    fn rejects_degenerate() {
+        assert!(RegularBipartite::new(0, vec![]).is_err());
+        assert!(RegularBipartite::new(2, vec![]).is_err());
+        assert!(RegularBipartite::new(2, vec![(0, 0)]).is_err());
+    }
+
+    #[test]
+    fn permutation_graph_is_degree_one() {
+        // A permutation induces a perfect matching: degree 1.
+        let g = RegularBipartite::new(3, vec![(0, 2), (1, 0), (2, 1)]).unwrap();
+        assert_eq!(g.degree(), 1);
+    }
+}

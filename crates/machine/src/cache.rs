@@ -1,0 +1,332 @@
+//! Set-associative LRU cache model of the GTX-680 L2.
+//!
+//! The paper attributes the conventional algorithm's advantage for
+//! `n < 256K` to the GPU's 512 KB L2 cache absorbing the casual (scattered)
+//! writes (Section VIII). The pure HMM has no cache; this module supplies the
+//! empirical extension used by the `MachineConfig::gtx680` configuration to
+//! reproduce the crossover in Table II.
+//!
+//! The model is deliberately simple: a physically indexed, set-associative,
+//! LRU, write-allocate cache over fixed-size lines. A warp's global round is
+//! charged per *distinct line touched*: 1 stage on a hit, `miss_stages`
+//! stages on a miss (see [`crate::config::MachineConfig`]).
+
+use crate::error::{MachineError, Result};
+
+/// Geometry of the simulated cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub capacity_bytes: usize,
+    /// Line size in bytes.
+    pub line_bytes: usize,
+    /// Associativity (ways per set).
+    pub ways: usize,
+}
+
+impl CacheConfig {
+    /// The GTX-680 L2: 512 KB, 128-byte lines, 16-way.
+    pub const fn gtx680_l2() -> Self {
+        CacheConfig {
+            capacity_bytes: 512 * 1024,
+            line_bytes: 128,
+            ways: 16,
+        }
+    }
+
+    /// Number of lines the cache can hold.
+    #[inline]
+    pub const fn num_lines(&self) -> usize {
+        self.capacity_bytes / self.line_bytes
+    }
+
+    /// Number of sets.
+    #[inline]
+    pub const fn num_sets(&self) -> usize {
+        self.num_lines() / self.ways
+    }
+
+    /// Validate the geometry.
+    pub fn validate(&self) -> Result<()> {
+        if self.line_bytes == 0 || !self.line_bytes.is_power_of_two() {
+            return Err(MachineError::InvalidConfig(format!(
+                "cache line_bytes must be a power of two > 0, got {}",
+                self.line_bytes
+            )));
+        }
+        if self.ways == 0 {
+            return Err(MachineError::InvalidConfig(
+                "cache ways must be >= 1".into(),
+            ));
+        }
+        if self.capacity_bytes == 0 || !self.capacity_bytes.is_multiple_of(self.line_bytes) {
+            return Err(MachineError::InvalidConfig(format!(
+                "cache capacity {} not a multiple of line size {}",
+                self.capacity_bytes, self.line_bytes
+            )));
+        }
+        let lines = self.num_lines();
+        if !lines.is_multiple_of(self.ways) {
+            return Err(MachineError::InvalidConfig(format!(
+                "cache lines ({lines}) not divisible by ways ({})",
+                self.ways
+            )));
+        }
+        if !self.num_sets().is_power_of_two() {
+            return Err(MachineError::InvalidConfig(format!(
+                "cache set count {} must be a power of two",
+                self.num_sets()
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Hit/miss counters accumulated by a [`Cache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Number of probes that found the line resident.
+    pub hits: u64,
+    /// Number of probes that missed (and allocated the line).
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total probes.
+    #[inline]
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit rate in `[0, 1]`; 0 when no accesses were made.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A set-associative LRU cache keyed by line index.
+///
+/// Lines are identified by their line index (byte address / line size); the
+/// caller performs that division because it also needs the line index for
+/// stage counting.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    set_mask: usize,
+    /// `sets[s]` holds up to `ways` tags ordered most-recently-used first.
+    /// Associativity is small (16), so a linear scan over a `Vec` beats any
+    /// fancier structure.
+    sets: Vec<Vec<u64>>,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Build an empty cache with the given geometry.
+    pub fn new(cfg: CacheConfig) -> Result<Self> {
+        cfg.validate()?;
+        let num_sets = cfg.num_sets();
+        Ok(Cache {
+            cfg,
+            set_mask: num_sets - 1,
+            sets: vec![Vec::with_capacity(cfg.ways); num_sets],
+            stats: CacheStats::default(),
+        })
+    }
+
+    /// Geometry of this cache.
+    #[inline]
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Probe (and allocate on miss) the given line. Returns `true` on a hit.
+    ///
+    /// Dirtiness is not tracked because write-back traffic is not part of
+    /// the stage cost model.
+    pub fn access(&mut self, line: u64) -> bool {
+        self.access_with(line, true)
+    }
+
+    /// Probe the given line, allocating on miss only when
+    /// `allocate_on_miss` is set — the write path of a write-around cache
+    /// passes `false`. Returns `true` on a hit (hits still update recency).
+    pub fn access_with(&mut self, line: u64, allocate_on_miss: bool) -> bool {
+        let set = (line as usize) & self.set_mask;
+        let ways = &mut self.sets[set];
+        if let Some(pos) = ways.iter().position(|&t| t == line) {
+            // Move to MRU position.
+            ways[..=pos].rotate_right(1);
+            self.stats.hits += 1;
+            true
+        } else {
+            if allocate_on_miss {
+                if ways.len() == self.cfg.ways {
+                    ways.pop(); // evict LRU
+                }
+                ways.insert(0, line);
+            }
+            self.stats.misses += 1;
+            false
+        }
+    }
+
+    /// Probe without allocating or updating recency (for diagnostics).
+    pub fn contains(&self, line: u64) -> bool {
+        let set = (line as usize) & self.set_mask;
+        self.sets[set].contains(&line)
+    }
+
+    /// Counters accumulated so far.
+    #[inline]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Number of resident lines (diagnostics; `<= num_lines`).
+    pub fn resident_lines(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Drop all contents and counters.
+    pub fn reset(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+        self.stats = CacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cache(lines: usize, ways: usize) -> Cache {
+        Cache::new(CacheConfig {
+            capacity_bytes: lines * 64,
+            line_bytes: 64,
+            ways,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn gtx680_geometry() {
+        let cfg = CacheConfig::gtx680_l2();
+        cfg.validate().unwrap();
+        assert_eq!(cfg.num_lines(), 4096);
+        assert_eq!(cfg.num_sets(), 256);
+    }
+
+    #[test]
+    fn first_access_misses_second_hits() {
+        let mut c = small_cache(16, 4);
+        assert!(!c.access(42));
+        assert!(c.access(42));
+        assert_eq!(c.stats(), CacheStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        // 4 sets x 2 ways. Lines 0, 4, 8 map to set 0.
+        let mut c = small_cache(8, 2);
+        assert!(!c.access(0));
+        assert!(!c.access(4));
+        assert!(!c.access(8)); // evicts 0
+        assert!(!c.contains(0));
+        assert!(c.contains(4));
+        assert!(c.contains(8));
+        assert!(c.access(4)); // hit; 8 becomes LRU
+        assert!(!c.access(0)); // evicts 8
+        assert!(!c.contains(8));
+    }
+
+    #[test]
+    fn working_set_within_capacity_hits_after_warmup() {
+        let mut c = small_cache(64, 4);
+        for line in 0..64u64 {
+            c.access(line);
+        }
+        let before = c.stats();
+        for line in 0..64u64 {
+            assert!(c.access(line), "line {line} should be resident");
+        }
+        let after = c.stats();
+        assert_eq!(after.hits - before.hits, 64);
+    }
+
+    #[test]
+    fn working_set_beyond_capacity_thrashes_under_lru() {
+        // Sequential sweep over 2x capacity with LRU never hits.
+        let mut c = small_cache(64, 4);
+        for _ in 0..3 {
+            for line in 0..128u64 {
+                c.access(line);
+            }
+        }
+        assert_eq!(c.stats().hits, 0);
+    }
+
+    #[test]
+    fn stats_invariants() {
+        let mut c = small_cache(16, 4);
+        for line in 0..100u64 {
+            // 12 lines (3 per set) fit the 4-way sets: misses only on the
+            // first pass, hits afterwards.
+            c.access(line % 12);
+        }
+        let s = c.stats();
+        assert_eq!(s.accesses(), 100);
+        assert!(s.hit_rate() > 0.0 && s.hit_rate() < 1.0);
+        assert!(c.resident_lines() <= 16);
+    }
+
+    #[test]
+    fn write_around_probe_does_not_allocate() {
+        let mut c = small_cache(16, 4);
+        assert!(!c.access_with(7, false));
+        assert!(!c.contains(7), "write-around must not install the line");
+        assert!(!c.access_with(7, false), "still a miss");
+        // A read installs it; subsequent write probes hit.
+        assert!(!c.access_with(7, true));
+        assert!(c.access_with(7, false));
+        assert_eq!(c.stats().misses, 3);
+        assert_eq!(c.stats().hits, 1);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut c = small_cache(16, 4);
+        c.access(1);
+        c.access(1);
+        c.reset();
+        assert_eq!(c.stats(), CacheStats::default());
+        assert!(!c.contains(1));
+    }
+
+    #[test]
+    fn rejects_bad_geometry() {
+        assert!(Cache::new(CacheConfig {
+            capacity_bytes: 100,
+            line_bytes: 64,
+            ways: 2
+        })
+        .is_err());
+        assert!(Cache::new(CacheConfig {
+            capacity_bytes: 1024,
+            line_bytes: 64,
+            ways: 0
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn zero_access_hit_rate_is_zero() {
+        let c = small_cache(16, 4);
+        assert_eq!(c.stats().hit_rate(), 0.0);
+    }
+}

@@ -1,0 +1,281 @@
+//! Machine configuration: the `(w, l, d)` parameters of the paper plus the
+//! empirical extensions (element size, shared-memory capacity, L2 cache).
+
+use crate::cache::CacheConfig;
+use crate::error::{MachineError, Result};
+
+/// Width of a memory segment counted for global-memory stage costs.
+///
+/// The *pure* HMM of the paper charges one pipeline stage per **address
+/// group** of `w` consecutive elements, independent of element size
+/// (Section II). The *empirical* configuration instead charges per 128-byte
+/// memory segment, which is how GTX-680-class hardware actually coalesces:
+/// 32 floats fit one segment, but 32 doubles span two.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegmentRule {
+    /// One stage per group of `w` elements (the paper's theoretical model).
+    ElementGroup,
+    /// One stage per `line_bytes` segment (hardware-style; interacts with the
+    /// element size and the optional L2 cache model).
+    ByteSegment {
+        /// Segment (cache line) size in bytes; 128 on GTX-680.
+        line_bytes: usize,
+    },
+}
+
+/// Element width in bytes for the data arrays moved by permutation kernels.
+///
+/// Only affects the [`SegmentRule::ByteSegment`] cost rule and shared-memory
+/// capacity accounting; values are simulated as opaque 64-bit words either
+/// way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ElemWidth {
+    /// 32-bit elements (`float` in the paper's Table II(a)).
+    F32,
+    /// 64-bit elements (`double` in the paper's Table II(b)).
+    F64,
+}
+
+impl ElemWidth {
+    /// Size of one element in bytes.
+    #[inline]
+    pub const fn bytes(self) -> usize {
+        match self {
+            ElemWidth::F32 => 4,
+            ElemWidth::F64 => 8,
+        }
+    }
+}
+
+/// Full configuration of a simulated HMM (or of a standalone DMM / UMM).
+///
+/// The defaults model the machine used throughout the paper's analysis:
+/// width `w = 32`, global latency `l = 512` time units, `d = 8` DMMs, 48 KB
+/// of shared memory per DMM, 32-bit elements, the theoretical element-group
+/// segment rule, and no cache.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineConfig {
+    /// Width `w`: number of shared-memory banks, elements per address group,
+    /// and threads per warp. Must be a power of two `>= 2`.
+    pub width: usize,
+    /// Global-memory access latency `l >= 1` in time units.
+    pub latency: usize,
+    /// Number of DMMs `d >= 1` (streaming multiprocessors).
+    pub num_dmms: usize,
+    /// Per-DMM shared-memory capacity in bytes (48 KB on GTX-680).
+    pub shared_bytes: usize,
+    /// Element width of the data arrays.
+    pub elem: ElemWidth,
+    /// How global-memory pipeline stages are counted.
+    pub segment_rule: SegmentRule,
+    /// Optional L2 cache in front of the global memory (empirical model).
+    pub cache: Option<CacheConfig>,
+    /// Extra stages charged for a missing segment when `cache` is `Some`.
+    /// A hit costs 1 stage; a miss costs `miss_stages`. Ignored without a
+    /// cache. Must be `>= 1`.
+    pub miss_stages: usize,
+    /// Write policy of the cache model: `true` (default) allocates lines on
+    /// write misses like the GTX-680 L2 (write-allocate); `false` models a
+    /// write-around cache where scattered writes never populate the cache —
+    /// an ablation isolating how much of the conventional algorithm's
+    /// small-`n` advantage comes from write locality. Ignored without a
+    /// cache.
+    pub write_allocate: bool,
+    /// If `true`, shared-memory rounds are charged `p / (d * w)` instead of
+    /// the paper's `p / w` (the paper serializes warp dispatch across DMMs
+    /// even for shared accesses; see DESIGN.md §5). Default `false` to match
+    /// the paper's Table I formulas exactly.
+    pub parallel_shared_dispatch: bool,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            width: 32,
+            latency: 512,
+            num_dmms: 8,
+            shared_bytes: 48 * 1024,
+            elem: ElemWidth::F32,
+            segment_rule: SegmentRule::ElementGroup,
+            cache: None,
+            miss_stages: 4,
+            write_allocate: true,
+            parallel_shared_dispatch: false,
+        }
+    }
+}
+
+impl MachineConfig {
+    /// The pure theoretical HMM of the paper with the given width and
+    /// latency: element-group segments, no cache.
+    pub fn pure(width: usize, latency: usize) -> Self {
+        MachineConfig {
+            width,
+            latency,
+            ..Default::default()
+        }
+    }
+
+    /// An empirical GTX-680-flavoured configuration: 128-byte segments, a
+    /// 512 KB 16-way L2 cache, and a 4-stage miss penalty. Reproduces the
+    /// cache-induced crossover of Table II (see DESIGN.md §2).
+    pub fn gtx680(elem: ElemWidth) -> Self {
+        MachineConfig {
+            width: 32,
+            latency: 512,
+            num_dmms: 8,
+            shared_bytes: 48 * 1024,
+            elem,
+            segment_rule: SegmentRule::ByteSegment { line_bytes: 128 },
+            cache: Some(CacheConfig::gtx680_l2()),
+            miss_stages: 4,
+            write_allocate: true,
+            parallel_shared_dispatch: false,
+        }
+    }
+
+    /// Validate every field, returning a descriptive error on the first
+    /// violation.
+    pub fn validate(&self) -> Result<()> {
+        if self.width < 2 || !self.width.is_power_of_two() {
+            return Err(MachineError::InvalidConfig(format!(
+                "width must be a power of two >= 2, got {}",
+                self.width
+            )));
+        }
+        if self.latency == 0 {
+            return Err(MachineError::InvalidConfig("latency must be >= 1".into()));
+        }
+        if self.num_dmms == 0 {
+            return Err(MachineError::InvalidConfig("num_dmms must be >= 1".into()));
+        }
+        if self.shared_bytes == 0 {
+            return Err(MachineError::InvalidConfig(
+                "shared_bytes must be > 0".into(),
+            ));
+        }
+        if self.miss_stages == 0 {
+            return Err(MachineError::InvalidConfig(
+                "miss_stages must be >= 1".into(),
+            ));
+        }
+        if let SegmentRule::ByteSegment { line_bytes } = self.segment_rule {
+            if line_bytes == 0 || !line_bytes.is_power_of_two() {
+                return Err(MachineError::InvalidConfig(format!(
+                    "line_bytes must be a power of two > 0, got {line_bytes}"
+                )));
+            }
+            if line_bytes < self.elem.bytes() {
+                return Err(MachineError::InvalidConfig(format!(
+                    "line_bytes {} smaller than element size {}",
+                    line_bytes,
+                    self.elem.bytes()
+                )));
+            }
+        }
+        if let Some(cache) = &self.cache {
+            cache.validate()?;
+        }
+        Ok(())
+    }
+
+    /// Number of elements per global-memory segment under the active
+    /// segment rule.
+    #[inline]
+    pub fn segment_elems(&self) -> usize {
+        match self.segment_rule {
+            SegmentRule::ElementGroup => self.width,
+            SegmentRule::ByteSegment { line_bytes } => (line_bytes / self.elem.bytes()).max(1),
+        }
+    }
+
+    /// Global segment index of an element address.
+    #[inline]
+    pub fn segment_of(&self, addr: usize) -> usize {
+        addr / self.segment_elems()
+    }
+
+    /// Shared-memory bank of a shared-array index.
+    #[inline]
+    pub fn bank_of(&self, index: usize) -> usize {
+        index & (self.width - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        MachineConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn gtx680_config_is_valid() {
+        MachineConfig::gtx680(ElemWidth::F32).validate().unwrap();
+        MachineConfig::gtx680(ElemWidth::F64).validate().unwrap();
+    }
+
+    #[test]
+    fn rejects_non_power_of_two_width() {
+        let cfg = MachineConfig {
+            width: 24,
+            ..Default::default()
+        };
+        assert!(matches!(
+            cfg.validate(),
+            Err(MachineError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_zero_latency() {
+        let cfg = MachineConfig {
+            latency: 0,
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_tiny_line() {
+        let cfg = MachineConfig {
+            segment_rule: SegmentRule::ByteSegment { line_bytes: 2 },
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn segment_elems_element_group_rule() {
+        let cfg = MachineConfig::pure(32, 100);
+        assert_eq!(cfg.segment_elems(), 32);
+        assert_eq!(cfg.segment_of(0), 0);
+        assert_eq!(cfg.segment_of(31), 0);
+        assert_eq!(cfg.segment_of(32), 1);
+    }
+
+    #[test]
+    fn segment_elems_byte_rule_depends_on_elem_width() {
+        let f32cfg = MachineConfig::gtx680(ElemWidth::F32);
+        let f64cfg = MachineConfig::gtx680(ElemWidth::F64);
+        assert_eq!(f32cfg.segment_elems(), 32); // 128 B / 4 B
+        assert_eq!(f64cfg.segment_elems(), 16); // 128 B / 8 B
+    }
+
+    #[test]
+    fn bank_of_masks_low_bits() {
+        let cfg = MachineConfig::pure(4, 1);
+        assert_eq!(cfg.bank_of(7), 3);
+        assert_eq!(cfg.bank_of(5), 1);
+        assert_eq!(cfg.bank_of(15), 3);
+        assert_eq!(cfg.bank_of(0), 0);
+    }
+
+    #[test]
+    fn elem_width_bytes() {
+        assert_eq!(ElemWidth::F32.bytes(), 4);
+        assert_eq!(ElemWidth::F64.bytes(), 8);
+    }
+}

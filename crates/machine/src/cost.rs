@@ -1,0 +1,255 @@
+//! The cost ledger: accumulates [`RoundRecord`]s across kernel launches and
+//! summarizes them in the shape of the paper's Table I.
+
+use crate::round::{AccessClass, Dir, RoundRecord, Space};
+use core::fmt;
+
+/// Aggregated counts for one `(space, dir, class)` cell of Table I.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KindTotals {
+    /// Number of rounds of this kind.
+    pub rounds: u64,
+    /// Total time units charged to rounds of this kind.
+    pub time: u64,
+}
+
+/// Round-count summary in the layout of the paper's Table I.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoundSummary {
+    /// Global-memory casual reads.
+    pub casual_read: KindTotals,
+    /// Global-memory casual writes.
+    pub casual_write: KindTotals,
+    /// Global-memory coalesced reads.
+    pub coalesced_read: KindTotals,
+    /// Global-memory coalesced writes.
+    pub coalesced_write: KindTotals,
+    /// Shared-memory conflict-free reads.
+    pub conflict_free_read: KindTotals,
+    /// Shared-memory conflict-free writes.
+    pub conflict_free_write: KindTotals,
+    /// Shared-memory rounds with bank conflicts (none for the paper's
+    /// algorithms; tracked so violations are visible in tests).
+    pub shared_casual: KindTotals,
+}
+
+impl RoundSummary {
+    /// Total number of rounds.
+    pub fn total_rounds(&self) -> u64 {
+        self.casual_read.rounds
+            + self.casual_write.rounds
+            + self.coalesced_read.rounds
+            + self.coalesced_write.rounds
+            + self.conflict_free_read.rounds
+            + self.conflict_free_write.rounds
+            + self.shared_casual.rounds
+    }
+
+    /// Total time units.
+    pub fn total_time(&self) -> u64 {
+        self.casual_read.time
+            + self.casual_write.time
+            + self.coalesced_read.time
+            + self.coalesced_write.time
+            + self.conflict_free_read.time
+            + self.conflict_free_write.time
+            + self.shared_casual.time
+    }
+}
+
+impl fmt::Display for RoundSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<28} {:>7} {:>12}",
+            "round kind", "rounds", "time units"
+        )?;
+        let rows = [
+            ("global casual read", self.casual_read),
+            ("global casual write", self.casual_write),
+            ("global coalesced read", self.coalesced_read),
+            ("global coalesced write", self.coalesced_write),
+            ("shared conflict-free read", self.conflict_free_read),
+            ("shared conflict-free write", self.conflict_free_write),
+            ("shared with bank conflicts", self.shared_casual),
+        ];
+        for (name, t) in rows {
+            if t.rounds > 0 {
+                writeln!(f, "{:<28} {:>7} {:>12}", name, t.rounds, t.time)?;
+            }
+        }
+        write!(
+            f,
+            "{:<28} {:>7} {:>12}",
+            "total",
+            self.total_rounds(),
+            self.total_time()
+        )
+    }
+}
+
+/// Accumulates every round executed on a machine, across launches.
+///
+/// The ledger is append-only; [`CostLedger::mark`]/[`CostLedger::since`]
+/// let callers carve out the rounds belonging to one phase (e.g. the five
+/// kernels of the scheduled permutation).
+#[derive(Debug, Clone, Default)]
+pub struct CostLedger {
+    records: Vec<RoundRecord>,
+}
+
+impl CostLedger {
+    /// New empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a completed round.
+    pub fn push(&mut self, record: RoundRecord) {
+        self.records.push(record);
+    }
+
+    /// All records, in execution order.
+    pub fn records(&self) -> &[RoundRecord] {
+        &self.records
+    }
+
+    /// Number of rounds recorded.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// A bookmark for [`CostLedger::since`].
+    pub fn mark(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Summarize the rounds recorded after `mark`.
+    pub fn since(&self, mark: usize) -> RoundSummary {
+        Self::summarize_slice(&self.records[mark.min(self.records.len())..])
+    }
+
+    /// Summarize every recorded round.
+    pub fn summary(&self) -> RoundSummary {
+        Self::summarize_slice(&self.records)
+    }
+
+    /// Total time units across all recorded rounds.
+    pub fn total_time(&self) -> u64 {
+        self.records.iter().map(|r| r.time).sum()
+    }
+
+    /// Drop all records.
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+
+    fn summarize_slice(records: &[RoundRecord]) -> RoundSummary {
+        let mut s = RoundSummary::default();
+        for r in records {
+            let cell = match (r.space, r.dir, r.class) {
+                (Space::Global, Dir::Read, AccessClass::Casual) => &mut s.casual_read,
+                (Space::Global, Dir::Write, AccessClass::Casual) => &mut s.casual_write,
+                (Space::Global, Dir::Read, AccessClass::Coalesced) => &mut s.coalesced_read,
+                (Space::Global, Dir::Write, AccessClass::Coalesced) => &mut s.coalesced_write,
+                (Space::Shared, Dir::Read, AccessClass::ConflictFree) => &mut s.conflict_free_read,
+                (Space::Shared, Dir::Write, AccessClass::ConflictFree) => {
+                    &mut s.conflict_free_write
+                }
+                // Global rounds never classify as ConflictFree and shared
+                // rounds never classify as Coalesced (see Hmm round
+                // classification); anything else is a conflicted shared
+                // round.
+                _ => &mut s.shared_casual,
+            };
+            cell.rounds += 1;
+            cell.time += r.time;
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(seq: usize, space: Space, dir: Dir, class: AccessClass, time: u64) -> RoundRecord {
+        RoundRecord {
+            seq,
+            space,
+            dir,
+            class,
+            warps: 1,
+            stages: time,
+            time,
+        }
+    }
+
+    #[test]
+    fn summary_buckets_by_kind() {
+        let mut ledger = CostLedger::new();
+        ledger.push(rec(0, Space::Global, Dir::Read, AccessClass::Coalesced, 10));
+        ledger.push(rec(1, Space::Global, Dir::Read, AccessClass::Coalesced, 10));
+        ledger.push(rec(2, Space::Global, Dir::Write, AccessClass::Casual, 99));
+        ledger.push(rec(
+            3,
+            Space::Shared,
+            Dir::Write,
+            AccessClass::ConflictFree,
+            1,
+        ));
+        let s = ledger.summary();
+        assert_eq!(s.coalesced_read.rounds, 2);
+        assert_eq!(s.coalesced_read.time, 20);
+        assert_eq!(s.casual_write.rounds, 1);
+        assert_eq!(s.conflict_free_write.rounds, 1);
+        assert_eq!(s.total_rounds(), 4);
+        assert_eq!(s.total_time(), 120);
+        assert_eq!(ledger.total_time(), 120);
+    }
+
+    #[test]
+    fn mark_and_since_partition_phases() {
+        let mut ledger = CostLedger::new();
+        ledger.push(rec(0, Space::Global, Dir::Read, AccessClass::Coalesced, 5));
+        let mark = ledger.mark();
+        ledger.push(rec(0, Space::Global, Dir::Write, AccessClass::Coalesced, 7));
+        let phase = ledger.since(mark);
+        assert_eq!(phase.total_rounds(), 1);
+        assert_eq!(phase.coalesced_write.time, 7);
+        // Out-of-range marks are tolerated.
+        assert_eq!(ledger.since(1000).total_rounds(), 0);
+    }
+
+    #[test]
+    fn shared_conflicts_are_visible() {
+        let mut ledger = CostLedger::new();
+        ledger.push(rec(0, Space::Shared, Dir::Read, AccessClass::Casual, 32));
+        assert_eq!(ledger.summary().shared_casual.rounds, 1);
+    }
+
+    #[test]
+    fn display_contains_totals() {
+        let mut ledger = CostLedger::new();
+        ledger.push(rec(0, Space::Global, Dir::Read, AccessClass::Coalesced, 42));
+        let s = ledger.summary().to_string();
+        assert!(s.contains("coalesced read"));
+        assert!(s.contains("42"));
+        assert!(s.contains("total"));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut ledger = CostLedger::new();
+        ledger.push(rec(0, Space::Global, Dir::Read, AccessClass::Casual, 1));
+        assert!(!ledger.is_empty());
+        ledger.clear();
+        assert!(ledger.is_empty());
+        assert_eq!(ledger.len(), 0);
+    }
+}

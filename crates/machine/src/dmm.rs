@@ -1,0 +1,215 @@
+//! The standalone Discrete Memory Machine (Section II): one banked memory,
+//! `w`-thread warps dispatched round-robin, latency `l` (1 for the HMM's
+//! shared memory, but parameterized here as in the authors' follow-up work).
+//!
+//! Used directly by the single-SM conflict-free permutation experiment
+//! (`hmm-offperm::smallperm`) and by the Figure 3 reproduction.
+
+use crate::cost::CostLedger;
+use crate::error::{MachineError, Result};
+use crate::global::Word;
+use crate::pipeline;
+use crate::round::{AccessClass, Dir, RoundRecord, Space};
+
+/// A standalone DMM with `width` banks over a flat memory of `len` words.
+#[derive(Debug, Clone)]
+pub struct Dmm {
+    width: usize,
+    latency: usize,
+    data: Vec<Word>,
+    ledger: CostLedger,
+}
+
+impl Dmm {
+    /// Build a DMM of the given width (power of two >= 2), memory size, and
+    /// access latency.
+    pub fn new(width: usize, latency: usize, len: usize) -> Result<Self> {
+        if width < 2 || !width.is_power_of_two() {
+            return Err(MachineError::InvalidConfig(format!(
+                "width must be a power of two >= 2, got {width}"
+            )));
+        }
+        if latency == 0 {
+            return Err(MachineError::InvalidConfig("latency must be >= 1".into()));
+        }
+        Ok(Dmm {
+            width,
+            latency,
+            data: vec![0; len],
+            ledger: CostLedger::new(),
+        })
+    }
+
+    /// Bank count / warp width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Memory size in words.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the memory has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Cost-free host access to the whole memory.
+    pub fn memory(&self) -> &[Word] {
+        &self.data
+    }
+
+    /// Cost-free host mutation of the whole memory.
+    pub fn memory_mut(&mut self) -> &mut [Word] {
+        &mut self.data
+    }
+
+    /// Accumulated rounds.
+    pub fn ledger(&self) -> &CostLedger {
+        &self.ledger
+    }
+
+    /// Total time units charged so far.
+    pub fn total_time(&self) -> u64 {
+        self.ledger.total_time()
+    }
+
+    /// One round of reads: thread `t` loads `addrs[t]`; threads are grouped
+    /// into warps of `width` in slice order.
+    pub fn read_round(&mut self, addrs: &[usize]) -> Result<Vec<Word>> {
+        let mut out = Vec::with_capacity(addrs.len());
+        for &a in addrs {
+            out.push(
+                self.data
+                    .get(a)
+                    .copied()
+                    .ok_or(MachineError::GlobalOutOfBounds {
+                        addr: a,
+                        len: self.data.len(),
+                    })?,
+            );
+        }
+        self.account(Dir::Read, addrs);
+        Ok(out)
+    }
+
+    /// One round of writes: thread `t` stores `values[t]` at `addrs[t]`.
+    pub fn write_round(&mut self, addrs: &[usize], values: &[Word]) -> Result<()> {
+        if addrs.len() != values.len() {
+            return Err(MachineError::LengthMismatch {
+                expected: addrs.len(),
+                got: values.len(),
+            });
+        }
+        let len = self.data.len();
+        for (&a, &v) in addrs.iter().zip(values) {
+            *self
+                .data
+                .get_mut(a)
+                .ok_or(MachineError::GlobalOutOfBounds { addr: a, len })? = v;
+        }
+        self.account(Dir::Write, addrs);
+        Ok(())
+    }
+
+    fn account(&mut self, dir: Dir, addrs: &[usize]) {
+        let mut stages = 0u64;
+        let mut warps = 0u64;
+        let mut conflict_free = true;
+        for warp in addrs.chunks(self.width) {
+            let s = pipeline::dmm_stages(warp, self.width) as u64;
+            if s > 1 {
+                conflict_free = false;
+            }
+            stages += s;
+            warps += 1;
+        }
+        let time = if stages == 0 {
+            0
+        } else {
+            stages + self.latency as u64 - 1
+        };
+        self.ledger.push(RoundRecord {
+            seq: self.ledger.len(),
+            space: Space::Shared,
+            dir,
+            class: if conflict_free {
+                AccessClass::ConflictFree
+            } else {
+                AccessClass::Casual
+            },
+            warps,
+            stages,
+            time,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conflict_free_round_cost() {
+        // p = 16 threads, w = 4, latency 1: p/w = 4 time units (Lemma 1).
+        let mut dmm = Dmm::new(4, 1, 16).unwrap();
+        let addrs: Vec<usize> = (0..16).collect();
+        dmm.read_round(&addrs).unwrap();
+        let r = &dmm.ledger().records()[0];
+        assert_eq!(r.class, AccessClass::ConflictFree);
+        assert_eq!(r.time, 4);
+    }
+
+    #[test]
+    fn fully_conflicting_round_cost() {
+        // All 4 threads of each warp hit bank 0: 4 stages per warp.
+        let mut dmm = Dmm::new(4, 1, 64).unwrap();
+        let addrs: Vec<usize> = (0..16).map(|t| t * 4).collect();
+        dmm.read_round(&addrs).unwrap();
+        let r = &dmm.ledger().records()[0];
+        assert_eq!(r.class, AccessClass::Casual);
+        assert_eq!(r.time, 16);
+    }
+
+    #[test]
+    fn figure3_dmm_example() {
+        // Warps {7,5,15,0} and {10,11,12,13} with w=4, latency l: the round
+        // occupies 2+1 stages and completes in l+2 time units.
+        let l = 7;
+        let mut dmm = Dmm::new(4, l, 16).unwrap();
+        dmm.read_round(&[7, 5, 15, 0, 10, 11, 12, 13]).unwrap();
+        assert_eq!(dmm.total_time(), (l + 2) as u64);
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut dmm = Dmm::new(4, 1, 8).unwrap();
+        dmm.write_round(&[0, 1, 2, 3], &[10, 11, 12, 13]).unwrap();
+        let vals = dmm.read_round(&[3, 2, 1, 0]).unwrap();
+        assert_eq!(vals, vec![13, 12, 11, 10]);
+    }
+
+    #[test]
+    fn bounds_and_length_checks() {
+        let mut dmm = Dmm::new(4, 1, 4).unwrap();
+        assert!(dmm.read_round(&[4]).is_err());
+        assert!(dmm.write_round(&[0], &[1, 2]).is_err());
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(Dmm::new(3, 1, 8).is_err());
+        assert!(Dmm::new(4, 0, 8).is_err());
+        assert!(Dmm::new(0, 1, 8).is_err());
+    }
+
+    #[test]
+    fn host_memory_access() {
+        let mut dmm = Dmm::new(4, 1, 4).unwrap();
+        dmm.memory_mut().copy_from_slice(&[1, 2, 3, 4]);
+        assert_eq!(dmm.memory(), &[1, 2, 3, 4]);
+        assert_eq!(dmm.len(), 4);
+        assert!(!dmm.is_empty());
+    }
+}

@@ -1,0 +1,130 @@
+//! Typed errors for machine construction and kernel execution.
+
+use core::fmt;
+
+/// Errors raised by the memory-machine simulators.
+///
+/// All fallible operations in this crate return [`MachineError`] rather than
+/// panicking, so that harnesses can probe infeasible configurations (e.g. the
+/// paper's observation that the scheduled algorithm cannot run for 4M doubles
+/// because the per-block shared arrays exceed 48 KB).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MachineError {
+    /// A configuration parameter is invalid (zero width, non-power-of-two
+    /// width, zero latency, ...). The payload describes the offending field.
+    InvalidConfig(String),
+    /// A shared-memory allocation would exceed the per-DMM capacity.
+    SharedCapacityExceeded {
+        /// Bytes requested by the allocation.
+        requested: usize,
+        /// Bytes already allocated in the block.
+        in_use: usize,
+        /// Per-DMM capacity in bytes.
+        capacity: usize,
+    },
+    /// A global-memory access referenced an address outside the allocated
+    /// global space.
+    GlobalOutOfBounds {
+        /// The offending address (in elements).
+        addr: usize,
+        /// Size of the global memory (in elements).
+        len: usize,
+    },
+    /// A shared-memory access referenced an index outside the array.
+    SharedOutOfBounds {
+        /// The offending index (in elements).
+        index: usize,
+        /// Length of the shared array (in elements).
+        len: usize,
+    },
+    /// The per-thread address and value slices of a write round differ in
+    /// length, or a round was issued with more lanes than launched threads.
+    LengthMismatch {
+        /// What the round expected.
+        expected: usize,
+        /// What the caller supplied.
+        got: usize,
+    },
+    /// A kernel launch was requested with a zero-sized grid or block.
+    EmptyLaunch,
+    /// Two blocks of the same launch issued different round sequences, so the
+    /// lock-step cost aggregation is undefined. Kernels must be SPMD: every
+    /// block performs the same sequence of rounds.
+    DivergentRounds {
+        /// Index of the divergent block.
+        block: usize,
+        /// Round sequence number at which the divergence was detected.
+        round: usize,
+    },
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::InvalidConfig(msg) => write!(f, "invalid machine config: {msg}"),
+            MachineError::SharedCapacityExceeded {
+                requested,
+                in_use,
+                capacity,
+            } => write!(
+                f,
+                "shared memory capacity exceeded: requested {requested} B with {in_use} B in use \
+                 (capacity {capacity} B)"
+            ),
+            MachineError::GlobalOutOfBounds { addr, len } => {
+                write!(f, "global address {addr} out of bounds (len {len})")
+            }
+            MachineError::SharedOutOfBounds { index, len } => {
+                write!(f, "shared index {index} out of bounds (len {len})")
+            }
+            MachineError::LengthMismatch { expected, got } => {
+                write!(f, "length mismatch: expected {expected}, got {got}")
+            }
+            MachineError::EmptyLaunch => write!(f, "kernel launch with empty grid or block"),
+            MachineError::DivergentRounds { block, round } => write!(
+                f,
+                "block {block} diverged from the launch round sequence at round {round}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, MachineError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = MachineError::SharedCapacityExceeded {
+            requested: 1024,
+            in_use: 48_000,
+            capacity: 49_152,
+        };
+        let s = e.to_string();
+        assert!(s.contains("1024"));
+        assert!(s.contains("49152"));
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&MachineError::EmptyLaunch);
+    }
+
+    #[test]
+    fn equality_works() {
+        assert_eq!(
+            MachineError::GlobalOutOfBounds { addr: 5, len: 4 },
+            MachineError::GlobalOutOfBounds { addr: 5, len: 4 }
+        );
+        assert_ne!(
+            MachineError::EmptyLaunch,
+            MachineError::InvalidConfig("x".into())
+        );
+    }
+}

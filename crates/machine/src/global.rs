@@ -1,0 +1,227 @@
+//! The global memory of the UMM/HMM: a flat word array plus host-side
+//! (cost-free) access for staging inputs and reading back results.
+
+use crate::error::{MachineError, Result};
+
+/// The simulated word type. Elements of any width (`f32`, `f64`, 16-bit
+/// schedule entries, ...) are stored as opaque 64-bit words; the element
+/// width only enters the *cost* model via [`crate::MachineConfig`].
+pub type Word = u64;
+
+/// A handle to a contiguous allocation in global memory.
+///
+/// Handles are plain offset/length pairs: cheap to copy, independent of the
+/// machine's lifetime, and translated to absolute addresses with
+/// [`GlobalBuf::addr`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GlobalBuf {
+    offset: usize,
+    len: usize,
+}
+
+impl GlobalBuf {
+    /// Number of elements in the buffer.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the buffer holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Absolute global address of element `i`.
+    ///
+    /// Bounds are checked by the machine when the address is used, but an
+    /// assertion here catches index bugs closer to their source in debug
+    /// builds.
+    #[inline]
+    pub fn addr(&self, i: usize) -> usize {
+        debug_assert!(i < self.len, "index {i} out of buffer of len {}", self.len);
+        self.offset + i
+    }
+
+    /// Absolute address of the first element.
+    #[inline]
+    pub fn base(&self) -> usize {
+        self.offset
+    }
+}
+
+/// Flat global memory with bump allocation.
+#[derive(Debug, Clone, Default)]
+pub struct GlobalMemory {
+    data: Vec<Word>,
+}
+
+impl GlobalMemory {
+    /// New empty global memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocate `len` zero-initialized elements.
+    pub fn alloc(&mut self, len: usize) -> GlobalBuf {
+        let offset = self.data.len();
+        self.data.resize(offset + len, 0);
+        GlobalBuf { offset, len }
+    }
+
+    /// Total elements allocated.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when nothing has been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Roll the allocator back to `len` elements, freeing every buffer
+    /// allocated past that point. Handles into the freed region become
+    /// dangling: any round that touches them fails the bounds check (no
+    /// undefined behaviour, just an error). Used by engines that stage
+    /// per-run scratch after a persistent prefix.
+    ///
+    /// # Panics
+    /// Panics if `len` exceeds the current allocation size.
+    pub fn truncate(&mut self, len: usize) {
+        assert!(
+            len <= self.data.len(),
+            "cannot truncate {} to {len}",
+            self.data.len()
+        );
+        self.data.truncate(len);
+    }
+
+    /// Cost-free host write of a whole buffer (input staging).
+    pub fn host_write(&mut self, buf: GlobalBuf, values: &[Word]) -> Result<()> {
+        if values.len() != buf.len {
+            return Err(MachineError::LengthMismatch {
+                expected: buf.len,
+                got: values.len(),
+            });
+        }
+        self.data[buf.offset..buf.offset + buf.len].copy_from_slice(values);
+        Ok(())
+    }
+
+    /// Cost-free host read of a whole buffer (result readback).
+    pub fn host_read(&self, buf: GlobalBuf) -> Vec<Word> {
+        self.data[buf.offset..buf.offset + buf.len].to_vec()
+    }
+
+    /// Checked device-side load.
+    #[inline]
+    pub fn load(&self, addr: usize) -> Result<Word> {
+        self.data
+            .get(addr)
+            .copied()
+            .ok_or(MachineError::GlobalOutOfBounds {
+                addr,
+                len: self.data.len(),
+            })
+    }
+
+    /// Checked device-side store.
+    #[inline]
+    pub fn store(&mut self, addr: usize, value: Word) -> Result<()> {
+        let len = self.data.len();
+        match self.data.get_mut(addr) {
+            Some(slot) => {
+                *slot = value;
+                Ok(())
+            }
+            None => Err(MachineError::GlobalOutOfBounds { addr, len }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_is_contiguous_and_zeroed() {
+        let mut g = GlobalMemory::new();
+        let a = g.alloc(4);
+        let b = g.alloc(2);
+        assert_eq!(a.base(), 0);
+        assert_eq!(b.base(), 4);
+        assert_eq!(g.len(), 6);
+        assert_eq!(g.host_read(a), vec![0; 4]);
+    }
+
+    #[test]
+    fn host_roundtrip() {
+        let mut g = GlobalMemory::new();
+        let a = g.alloc(3);
+        g.host_write(a, &[7, 8, 9]).unwrap();
+        assert_eq!(g.host_read(a), vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn host_write_length_checked() {
+        let mut g = GlobalMemory::new();
+        let a = g.alloc(3);
+        assert_eq!(
+            g.host_write(a, &[1, 2]),
+            Err(MachineError::LengthMismatch {
+                expected: 3,
+                got: 2
+            })
+        );
+    }
+
+    #[test]
+    fn device_access_bounds_checked() {
+        let mut g = GlobalMemory::new();
+        let a = g.alloc(2);
+        g.store(a.addr(1), 5).unwrap();
+        assert_eq!(g.load(a.addr(1)).unwrap(), 5);
+        assert!(matches!(
+            g.load(2),
+            Err(MachineError::GlobalOutOfBounds { addr: 2, len: 2 })
+        ));
+        assert!(g.store(99, 0).is_err());
+    }
+
+    #[test]
+    fn truncate_frees_tail_allocations() {
+        let mut g = GlobalMemory::new();
+        let a = g.alloc(4);
+        let mark = g.len();
+        let b = g.alloc(4);
+        g.store(b.addr(0), 9).unwrap();
+        g.truncate(mark);
+        assert_eq!(g.len(), 4);
+        // The freed handle now fails bounds checks instead of aliasing.
+        assert!(g.load(b.addr(0)).is_err());
+        // The surviving buffer is intact and reusable.
+        g.store(a.addr(3), 7).unwrap();
+        let b2 = g.alloc(2);
+        assert_eq!(b2.base(), 4);
+        assert_eq!(g.load(b2.addr(0)).unwrap(), 0, "realloc is zeroed");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot truncate")]
+    fn truncate_beyond_length_panics() {
+        let mut g = GlobalMemory::new();
+        g.alloc(2);
+        g.truncate(5);
+    }
+
+    #[test]
+    fn buffer_addr_translation() {
+        let mut g = GlobalMemory::new();
+        let _pad = g.alloc(10);
+        let a = g.alloc(5);
+        assert_eq!(a.addr(0), 10);
+        assert_eq!(a.addr(4), 14);
+        assert_eq!(a.len(), 5);
+        assert!(!a.is_empty());
+    }
+}

@@ -1,0 +1,896 @@
+//! The Hierarchical Memory Machine: `d` DMMs sharing one UMM (Section II,
+//! Figure 2).
+//!
+//! Kernels are written as host closures over a [`BlockCtx`] and executed in
+//! SPMD lock-step: every block performs the same sequence of memory-access
+//! *rounds*, and the machine aggregates each round's pipeline stages across
+//! all blocks to charge the paper's cost,
+//! `time = total stages + latency − 1` (Lemma 1). Shared memory is
+//! per-block, capacity-checked, and banked; global memory is segmented into
+//! address groups and optionally fronted by the L2 cache model.
+//!
+//! ```
+//! use hmm_machine::{Hmm, MachineConfig};
+//!
+//! let mut hmm = Hmm::new(MachineConfig::pure(32, 128)).unwrap();
+//! let a = hmm.alloc_global(1024);
+//! let b = hmm.alloc_global(1024);
+//! hmm.host_write(a, &(0..1024).collect::<Vec<_>>()).unwrap();
+//!
+//! // One block of 256 threads copies a -> b; each thread moves 4 elements.
+//! hmm.launch(1, 256, |blk| {
+//!     for chunk in 0..4 {
+//!         let addrs: Vec<usize> =
+//!             (0..256).map(|t| a.addr(chunk * 256 + t)).collect();
+//!         let vals = blk.global_read(&addrs)?;
+//!         let out: Vec<usize> =
+//!             (0..256).map(|t| b.addr(chunk * 256 + t)).collect();
+//!         blk.global_write(&out, &vals)?;
+//!     }
+//!     Ok(())
+//! })
+//! .unwrap();
+//! assert_eq!(hmm.host_read(b), (0..1024).collect::<Vec<_>>());
+//! ```
+
+use crate::cache::{Cache, CacheStats};
+use crate::config::MachineConfig;
+use crate::cost::{CostLedger, RoundSummary};
+use crate::error::{MachineError, Result};
+use crate::global::{GlobalBuf, GlobalMemory, Word};
+use crate::pipeline;
+use crate::round::{AccessClass, Dir, RoundRecord, Space};
+use crate::shared::{SharedBuf, SharedSpace};
+
+/// Sanity bound on *model* threads per block.
+///
+/// The HMM itself has no block-size limit — the paper analyzes kernels with
+/// `n` threads. (Real CUDA blocks cap at 1024 threads and serialize a long
+/// row into chunks, which only adds `(chunks−1)(l−1)` pipeline-drain time;
+/// the model charges the single-round cost, and so do we.) The bound below
+/// merely catches runaway launches.
+pub const MAX_BLOCK_THREADS: usize = 1 << 22;
+
+/// Per-round aggregation while a launch is in flight.
+struct RoundAgg {
+    space: Space,
+    dir: Dir,
+    cost_stages: u64,
+    warps: u64,
+    class_ok: bool,
+    /// Shared-round stages per DMM (for `parallel_shared_dispatch`).
+    dmm_stages: Vec<u64>,
+}
+
+/// Result of one kernel launch.
+#[derive(Debug, Clone)]
+pub struct LaunchStats {
+    /// The rounds the kernel performed, in order.
+    pub rounds: Vec<RoundRecord>,
+    /// Total time units charged to the launch.
+    pub time: u64,
+    /// Cache hits/misses incurred by this launch alone (when the cache
+    /// model is active).
+    pub cache: Option<CacheStats>,
+}
+
+/// The simulated Hierarchical Memory Machine.
+pub struct Hmm {
+    cfg: MachineConfig,
+    global: GlobalMemory,
+    cache: Option<Cache>,
+    ledger: CostLedger,
+    trace: Option<crate::trace::AccessTrace>,
+}
+
+impl Hmm {
+    /// Build a machine from a validated configuration.
+    pub fn new(cfg: MachineConfig) -> Result<Self> {
+        cfg.validate()?;
+        let cache = match &cfg.cache {
+            Some(c) => Some(Cache::new(*c)?),
+            None => None,
+        };
+        Ok(Hmm {
+            cfg,
+            global: GlobalMemory::new(),
+            cache,
+            ledger: CostLedger::new(),
+            trace: None,
+        })
+    }
+
+    /// Start recording an access heatmap (see [`crate::trace`]). Any
+    /// previously collected trace is discarded.
+    pub fn start_trace(&mut self) {
+        self.trace = Some(crate::trace::AccessTrace {
+            global_segments: Vec::new(),
+            shared_banks: vec![0; self.cfg.width],
+        });
+    }
+
+    /// Stop tracing and take the collected [`crate::trace::AccessTrace`];
+    /// `None` if tracing was never started.
+    pub fn take_trace(&mut self) -> Option<crate::trace::AccessTrace> {
+        self.trace.take()
+    }
+
+    /// The machine's configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Allocate a zero-initialized global array.
+    pub fn alloc_global(&mut self, len: usize) -> GlobalBuf {
+        self.global.alloc(len)
+    }
+
+    /// Total elements currently allocated in global memory; pair with
+    /// [`Hmm::truncate_global`] to reclaim per-run scratch.
+    pub fn global_len(&self) -> usize {
+        self.global.len()
+    }
+
+    /// Free all global allocations past `len` elements (see
+    /// [`GlobalMemory::truncate`]).
+    pub fn truncate_global(&mut self, len: usize) {
+        self.global.truncate(len);
+    }
+
+    /// Cost-free host write (input staging).
+    pub fn host_write(&mut self, buf: GlobalBuf, values: &[Word]) -> Result<()> {
+        self.global.host_write(buf, values)
+    }
+
+    /// Cost-free host read (result readback).
+    pub fn host_read(&self, buf: GlobalBuf) -> Vec<Word> {
+        self.global.host_read(buf)
+    }
+
+    /// The accumulated cost ledger.
+    pub fn ledger(&self) -> &CostLedger {
+        &self.ledger
+    }
+
+    /// Bookmark into the ledger; combine with [`Hmm::since`].
+    pub fn mark(&self) -> usize {
+        self.ledger.mark()
+    }
+
+    /// Summary of rounds executed after `mark`.
+    pub fn since(&self, mark: usize) -> RoundSummary {
+        self.ledger.since(mark)
+    }
+
+    /// Total time units charged so far.
+    pub fn total_time(&self) -> u64 {
+        self.ledger.total_time()
+    }
+
+    /// Cache hit/miss counters, if the cache model is active.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(|c| c.stats())
+    }
+
+    /// Clear the ledger and (if present) the cache contents, keeping the
+    /// global memory intact. Useful between timed phases of a harness.
+    pub fn reset_costs(&mut self) {
+        self.ledger.clear();
+        if let Some(c) = &mut self.cache {
+            c.reset();
+        }
+    }
+
+    /// Execute a kernel over `grid` blocks of `block_threads` threads.
+    ///
+    /// The kernel closure runs once per block (sequentially — the simulation
+    /// is deterministic) and must issue the same sequence of rounds in every
+    /// block; cost is aggregated launch-wide per round as if all blocks'
+    /// warps streamed through the MMU pipeline together, which is exactly
+    /// the HMM's dispatch model.
+    pub fn launch<F>(
+        &mut self,
+        grid: usize,
+        block_threads: usize,
+        mut kernel: F,
+    ) -> Result<LaunchStats>
+    where
+        F: FnMut(&mut BlockCtx<'_>) -> Result<()>,
+    {
+        if grid == 0 || block_threads == 0 {
+            return Err(MachineError::EmptyLaunch);
+        }
+        if block_threads > MAX_BLOCK_THREADS {
+            return Err(MachineError::InvalidConfig(format!(
+                "block_threads {block_threads} exceeds the {MAX_BLOCK_THREADS}-thread limit"
+            )));
+        }
+        let cache_before = self.cache_stats();
+        let mut aggs: Vec<RoundAgg> = Vec::new();
+        let num_dmms = self.cfg.num_dmms;
+        for block in 0..grid {
+            let mut ctx = BlockCtx {
+                cfg: &self.cfg,
+                global: &mut self.global,
+                cache: &mut self.cache,
+                trace: &mut self.trace,
+                shared: SharedSpace::new(self.cfg.shared_bytes),
+                aggs: &mut aggs,
+                seq: 0,
+                block,
+                grid,
+                threads: block_threads,
+                dmm: block % num_dmms,
+            };
+            kernel(&mut ctx)?;
+            let rounds_issued = ctx.seq;
+            if block > 0 && rounds_issued != aggs.len() {
+                return Err(MachineError::DivergentRounds {
+                    block,
+                    round: rounds_issued.min(aggs.len()),
+                });
+            }
+        }
+        self.finalize(aggs, cache_before)
+    }
+
+    fn finalize(
+        &mut self,
+        aggs: Vec<RoundAgg>,
+        cache_before: Option<CacheStats>,
+    ) -> Result<LaunchStats> {
+        let mut rounds = Vec::with_capacity(aggs.len());
+        let mut total_time = 0u64;
+        let base_seq = self.ledger.len();
+        for (i, agg) in aggs.into_iter().enumerate() {
+            let (class, time) = match agg.space {
+                Space::Global => {
+                    let class = if agg.class_ok {
+                        AccessClass::Coalesced
+                    } else {
+                        AccessClass::Casual
+                    };
+                    let time = if agg.cost_stages == 0 {
+                        0
+                    } else {
+                        agg.cost_stages + self.cfg.latency as u64 - 1
+                    };
+                    (class, time)
+                }
+                Space::Shared => {
+                    let class = if agg.class_ok {
+                        AccessClass::ConflictFree
+                    } else {
+                        AccessClass::Casual
+                    };
+                    let stages = if self.cfg.parallel_shared_dispatch {
+                        agg.dmm_stages.iter().copied().max().unwrap_or(0)
+                    } else {
+                        agg.cost_stages
+                    };
+                    (class, stages)
+                }
+            };
+            total_time += time;
+            let record = RoundRecord {
+                seq: base_seq + i,
+                space: agg.space,
+                dir: agg.dir,
+                class,
+                warps: agg.warps,
+                stages: agg.cost_stages,
+                time,
+            };
+            rounds.push(record.clone());
+            self.ledger.push(record);
+        }
+        let cache = match (cache_before, self.cache_stats()) {
+            (Some(before), Some(after)) => Some(CacheStats {
+                hits: after.hits - before.hits,
+                misses: after.misses - before.misses,
+            }),
+            _ => None,
+        };
+        Ok(LaunchStats {
+            rounds,
+            time: total_time,
+            cache,
+        })
+    }
+}
+
+/// The view a kernel has of the machine while executing one block.
+pub struct BlockCtx<'m> {
+    cfg: &'m MachineConfig,
+    global: &'m mut GlobalMemory,
+    cache: &'m mut Option<Cache>,
+    trace: &'m mut Option<crate::trace::AccessTrace>,
+    shared: SharedSpace,
+    aggs: &'m mut Vec<RoundAgg>,
+    seq: usize,
+    block: usize,
+    grid: usize,
+    threads: usize,
+    dmm: usize,
+}
+
+impl BlockCtx<'_> {
+    /// This block's index in the grid.
+    #[inline]
+    pub fn block_id(&self) -> usize {
+        self.block
+    }
+
+    /// Number of blocks in the launch.
+    #[inline]
+    pub fn grid(&self) -> usize {
+        self.grid
+    }
+
+    /// Threads per block.
+    #[inline]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The DMM this block is resident on (`block % d`).
+    #[inline]
+    pub fn dmm(&self) -> usize {
+        self.dmm
+    }
+
+    /// The machine configuration (width, latency, ...).
+    #[inline]
+    pub fn config(&self) -> &MachineConfig {
+        self.cfg
+    }
+
+    /// Allocate a per-block shared array of `len` elements that occupy
+    /// `elem_bytes` each on the real device (the capacity check is in
+    /// bytes; values are simulated as words regardless).
+    pub fn shared_alloc(&mut self, len: usize, elem_bytes: usize) -> Result<SharedBuf> {
+        self.shared.alloc(len, elem_bytes)
+    }
+
+    /// One round of global-memory reads: lane `t` (thread `t` of this block)
+    /// loads `addrs[t]`. Fewer addresses than threads leaves trailing
+    /// threads idle for the round; more is an error. Elements are costed at
+    /// the machine's configured data width.
+    pub fn global_read(&mut self, addrs: &[usize]) -> Result<Vec<Word>> {
+        self.global_read_as(addrs, self.cfg.elem.bytes())
+    }
+
+    /// Like [`BlockCtx::global_read`], but the array's elements occupy
+    /// `elem_bytes` each for *cost* purposes — e.g. the scheduled
+    /// algorithm's `s`/`d` arrays hold 16-bit entries, so a warp streams
+    /// twice as many of them per 128-byte segment. Has no effect under the
+    /// pure element-group rule, which the paper defines width-independent.
+    pub fn global_read_as(&mut self, addrs: &[usize], elem_bytes: usize) -> Result<Vec<Word>> {
+        self.check_lanes(addrs.len())?;
+        let mut out = Vec::with_capacity(addrs.len());
+        for &a in addrs {
+            out.push(self.global.load(a)?);
+        }
+        self.account_global(Dir::Read, addrs, elem_bytes)?;
+        Ok(out)
+    }
+
+    /// One round of global-memory writes: lane `t` stores `values[t]` to
+    /// `addrs[t]`.
+    pub fn global_write(&mut self, addrs: &[usize], values: &[Word]) -> Result<()> {
+        self.global_write_as(addrs, values, self.cfg.elem.bytes())
+    }
+
+    /// Width-overriding variant of [`BlockCtx::global_write`]; see
+    /// [`BlockCtx::global_read_as`].
+    pub fn global_write_as(
+        &mut self,
+        addrs: &[usize],
+        values: &[Word],
+        elem_bytes: usize,
+    ) -> Result<()> {
+        self.check_lanes(addrs.len())?;
+        if values.len() != addrs.len() {
+            return Err(MachineError::LengthMismatch {
+                expected: addrs.len(),
+                got: values.len(),
+            });
+        }
+        for (&a, &v) in addrs.iter().zip(values) {
+            self.global.store(a, v)?;
+        }
+        self.account_global(Dir::Write, addrs, elem_bytes)
+    }
+
+    /// One round of shared-memory reads from `buf`: lane `t` loads
+    /// `buf[indices[t]]`.
+    pub fn shared_read(&mut self, buf: SharedBuf, indices: &[usize]) -> Result<Vec<Word>> {
+        self.check_lanes(indices.len())?;
+        let mut out = Vec::with_capacity(indices.len());
+        for &i in indices {
+            out.push(self.shared.load(buf, i)?);
+        }
+        self.account_shared(Dir::Read, indices)?;
+        Ok(out)
+    }
+
+    /// One round of shared-memory writes to `buf`: lane `t` stores
+    /// `values[t]` at `buf[indices[t]]`.
+    pub fn shared_write(
+        &mut self,
+        buf: SharedBuf,
+        indices: &[usize],
+        values: &[Word],
+    ) -> Result<()> {
+        self.check_lanes(indices.len())?;
+        if values.len() != indices.len() {
+            return Err(MachineError::LengthMismatch {
+                expected: indices.len(),
+                got: values.len(),
+            });
+        }
+        for (&i, &v) in indices.iter().zip(values) {
+            self.shared.store(buf, i, v)?;
+        }
+        self.account_shared(Dir::Write, indices)
+    }
+
+    fn check_lanes(&self, lanes: usize) -> Result<()> {
+        if lanes > self.threads {
+            return Err(MachineError::LengthMismatch {
+                expected: self.threads,
+                got: lanes,
+            });
+        }
+        Ok(())
+    }
+
+    /// Fetch (creating on block 0 / validating on later blocks) the
+    /// aggregation slot for the current round, then advance `seq`.
+    fn agg_slot(&mut self, space: Space, dir: Dir) -> Result<&mut RoundAgg> {
+        let seq = self.seq;
+        self.seq += 1;
+        if self.block == 0 {
+            debug_assert_eq!(seq, self.aggs.len());
+            self.aggs.push(RoundAgg {
+                space,
+                dir,
+                cost_stages: 0,
+                warps: 0,
+                class_ok: true,
+                dmm_stages: vec![0; self.cfg.num_dmms],
+            });
+        }
+        match self.aggs.get_mut(seq) {
+            Some(agg) if agg.space == space && agg.dir == dir => Ok(agg),
+            _ => Err(MachineError::DivergentRounds {
+                block: self.block,
+                round: seq,
+            }),
+        }
+    }
+
+    fn account_global(&mut self, dir: Dir, addrs: &[usize], elem_bytes: usize) -> Result<()> {
+        let width = self.cfg.width;
+        // Cost segments: the paper's pure rule charges per w-element group
+        // regardless of element width; the byte rule charges per cache line,
+        // keyed in (approximate) byte space so arrays of different element
+        // widths share one coherent line index space.
+        let seg_elems = match self.cfg.segment_rule {
+            crate::config::SegmentRule::ElementGroup => width,
+            crate::config::SegmentRule::ByteSegment { line_bytes } => {
+                (line_bytes / elem_bytes.max(1)).max(1)
+            }
+        };
+        let miss_stages = self.cfg.miss_stages as u64;
+        if let Some(trace) = self.trace.as_mut() {
+            for &a in addrs {
+                let seg = a / seg_elems;
+                if trace.global_segments.len() <= seg {
+                    trace.global_segments.resize(seg + 1, 0);
+                }
+                trace.global_segments[seg] += 1;
+            }
+        }
+        // Classification always uses the paper's w-element address groups.
+        let mut class_ok = true;
+        let mut cost_stages = 0u64;
+        let mut warps = 0u64;
+        for warp in addrs.chunks(width) {
+            warps += 1;
+            if pipeline::umm_stages(warp, width) > 1 {
+                class_ok = false;
+            }
+            match self.cache.as_mut() {
+                None => {
+                    cost_stages += pipeline::umm_stages(warp, seg_elems) as u64;
+                }
+                Some(cache) => {
+                    // Write misses allocate only under the write-allocate
+                    // policy (GTX-680-like; see MachineConfig).
+                    let allocate = dir == Dir::Read || self.cfg.write_allocate;
+                    for seg in pipeline::warp_segments(warp, seg_elems) {
+                        // Under the byte rule, `seg_elems` already maps the
+                        // element address into line granularity, so `seg`
+                        // *is* the line index (byte address / line size)
+                        // regardless of the round's element width.
+                        cost_stages += if cache.access_with(seg as u64, allocate) {
+                            1
+                        } else {
+                            miss_stages
+                        };
+                    }
+                }
+            }
+        }
+        let agg = self.agg_slot(Space::Global, dir)?;
+        agg.cost_stages += cost_stages;
+        agg.warps += warps;
+        agg.class_ok &= class_ok;
+        Ok(())
+    }
+
+    fn account_shared(&mut self, dir: Dir, indices: &[usize]) -> Result<()> {
+        let width = self.cfg.width;
+        if let Some(trace) = self.trace.as_mut() {
+            for &i in indices {
+                trace.shared_banks[i & (width - 1)] += 1;
+            }
+        }
+        let mut stages = 0u64;
+        let mut warps = 0u64;
+        let mut class_ok = true;
+        for warp in indices.chunks(width) {
+            warps += 1;
+            let s = pipeline::dmm_stages(warp, width) as u64;
+            if s > 1 {
+                class_ok = false;
+            }
+            stages += s;
+        }
+        let dmm = self.dmm;
+        let agg = self.agg_slot(Space::Shared, dir)?;
+        agg.cost_stages += stages;
+        agg.warps += warps;
+        agg.class_ok &= class_ok;
+        agg.dmm_stages[dmm] += stages;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SegmentRule;
+    use crate::round::AccessClass;
+
+    fn machine(width: usize, latency: usize) -> Hmm {
+        Hmm::new(MachineConfig::pure(width, latency)).unwrap()
+    }
+
+    #[test]
+    fn coalesced_copy_cost_matches_lemma1() {
+        // n = 1024 elements, w = 32, l = 100: one coalesced round of reads
+        // and one of writes, each n/w + l - 1 = 32 + 99 = 131 time units.
+        let mut hmm = machine(32, 100);
+        let a = hmm.alloc_global(1024);
+        let b = hmm.alloc_global(1024);
+        hmm.host_write(a, &(0..1024).collect::<Vec<_>>()).unwrap();
+        let stats = hmm
+            .launch(1, 1024, |blk| {
+                let addrs: Vec<usize> = (0..1024).map(|i| a.addr(i)).collect();
+                let vals = blk.global_read(&addrs)?;
+                let outs: Vec<usize> = (0..1024).map(|i| b.addr(i)).collect();
+                blk.global_write(&outs, &vals)
+            })
+            .unwrap();
+        assert_eq!(stats.rounds.len(), 2);
+        for r in &stats.rounds {
+            assert_eq!(r.class, AccessClass::Coalesced);
+            assert_eq!(r.stages, 32);
+            assert_eq!(r.time, 32 + 100 - 1);
+        }
+        assert_eq!(stats.time, 2 * 131);
+        assert_eq!(hmm.host_read(b), (0..1024).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn casual_round_costs_distribution_times_groups() {
+        // Each of the 2 warps writes to w distinct groups: gamma = w, so the
+        // round costs n + l - 1 time units (Lemma 4 with gamma = w).
+        let w = 32;
+        let l = 50;
+        let n = 2 * w;
+        let mut hmm = machine(w, l);
+        let a = hmm.alloc_global(n * w);
+        let stats = hmm
+            .launch(1, n, |blk| {
+                // Thread t writes address t*w: all in distinct groups.
+                let addrs: Vec<usize> = (0..n).map(|t| a.addr(t * w)).collect();
+                blk.global_write(&addrs, &vec![0; n])
+            })
+            .unwrap();
+        let r = &stats.rounds[0];
+        assert_eq!(r.class, AccessClass::Casual);
+        assert_eq!(r.stages, n as u64); // w groups per warp x n/w warps
+        assert_eq!(r.time, n as u64 + l as u64 - 1);
+    }
+
+    #[test]
+    fn multi_block_rounds_aggregate() {
+        // 4 blocks x 64 threads, coalesced: stages = 4 blocks x 2 warps.
+        let mut hmm = machine(32, 10);
+        let a = hmm.alloc_global(256);
+        let stats = hmm
+            .launch(4, 64, |blk| {
+                let base = blk.block_id() * 64;
+                let addrs: Vec<usize> = (0..64).map(|t| a.addr(base + t)).collect();
+                blk.global_read(&addrs).map(|_| ())
+            })
+            .unwrap();
+        assert_eq!(stats.rounds.len(), 1);
+        assert_eq!(stats.rounds[0].stages, 8);
+        assert_eq!(stats.rounds[0].warps, 8);
+        assert_eq!(stats.rounds[0].time, 8 + 9);
+    }
+
+    #[test]
+    fn shared_round_classification_and_cost() {
+        let mut hmm = machine(4, 10);
+        let stats = hmm
+            .launch(1, 4, |blk| {
+                let s = blk.shared_alloc(16, 4)?;
+                // Conflict-free: distinct banks 0..3.
+                blk.shared_write(s, &[0, 1, 2, 3], &[9, 9, 9, 9])?;
+                // Conflicted: 0, 4, 8, 12 all hit bank 0 -> 4 stages.
+                blk.shared_read(s, &[0, 4, 8, 12]).map(|_| ())
+            })
+            .unwrap();
+        assert_eq!(stats.rounds[0].class, AccessClass::ConflictFree);
+        assert_eq!(stats.rounds[0].time, 1);
+        assert_eq!(stats.rounds[1].class, AccessClass::Casual);
+        assert_eq!(stats.rounds[1].time, 4);
+    }
+
+    #[test]
+    fn shared_memory_is_per_block() {
+        let mut hmm = machine(4, 10);
+        let out = hmm.alloc_global(8);
+        hmm.launch(2, 4, |blk| {
+            let s = blk.shared_alloc(4, 8)?;
+            let vals: Vec<Word> = (0..4).map(|t| (blk.block_id() * 100 + t) as Word).collect();
+            blk.shared_write(s, &[0, 1, 2, 3], &vals)?;
+            let read = blk.shared_read(s, &[0, 1, 2, 3])?;
+            let addrs: Vec<usize> = (0..4).map(|t| out.addr(blk.block_id() * 4 + t)).collect();
+            blk.global_write(&addrs, &read)
+        })
+        .unwrap();
+        assert_eq!(hmm.host_read(out), vec![0, 1, 2, 3, 100, 101, 102, 103]);
+    }
+
+    #[test]
+    fn empty_launch_rejected() {
+        let mut hmm = machine(32, 10);
+        assert_eq!(
+            hmm.launch(0, 32, |_| Ok(())).unwrap_err(),
+            MachineError::EmptyLaunch
+        );
+        assert_eq!(
+            hmm.launch(1, 0, |_| Ok(())).unwrap_err(),
+            MachineError::EmptyLaunch
+        );
+    }
+
+    #[test]
+    fn oversized_block_rejected() {
+        let mut hmm = machine(32, 10);
+        assert!(hmm.launch(1, MAX_BLOCK_THREADS + 1, |_| Ok(())).is_err());
+        // Model blocks larger than a CUDA block are fine (see the
+        // MAX_BLOCK_THREADS docs).
+        assert!(hmm.launch(1, 2048, |_| Ok(())).is_ok());
+    }
+
+    #[test]
+    fn too_many_lanes_rejected() {
+        let mut hmm = machine(32, 10);
+        let a = hmm.alloc_global(64);
+        let err = hmm
+            .launch(1, 32, |blk| {
+                let addrs: Vec<usize> = (0..64).map(|i| a.addr(i)).collect();
+                blk.global_read(&addrs).map(|_| ())
+            })
+            .unwrap_err();
+        assert!(matches!(err, MachineError::LengthMismatch { .. }));
+    }
+
+    #[test]
+    fn divergent_round_counts_detected() {
+        let mut hmm = machine(32, 10);
+        let a = hmm.alloc_global(64);
+        let err = hmm
+            .launch(2, 32, |blk| {
+                let addrs: Vec<usize> = (0..32).map(|i| a.addr(i)).collect();
+                blk.global_read(&addrs)?;
+                if blk.block_id() == 1 {
+                    blk.global_read(&addrs)?; // extra round in block 1
+                }
+                Ok(())
+            })
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            MachineError::DivergentRounds { block: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn divergent_round_kind_detected() {
+        let mut hmm = machine(32, 10);
+        let a = hmm.alloc_global(64);
+        let err = hmm
+            .launch(2, 32, |blk| {
+                let addrs: Vec<usize> = (0..32).map(|i| a.addr(i)).collect();
+                if blk.block_id() == 0 {
+                    blk.global_read(&addrs)?;
+                } else {
+                    blk.global_write(&addrs, &vec![0; 32])?;
+                }
+                Ok(())
+            })
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            MachineError::DivergentRounds { block: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn ledger_accumulates_across_launches() {
+        let mut hmm = machine(32, 10);
+        let a = hmm.alloc_global(32);
+        for _ in 0..3 {
+            hmm.launch(1, 32, |blk| {
+                let addrs: Vec<usize> = (0..32).map(|i| a.addr(i)).collect();
+                blk.global_read(&addrs).map(|_| ())
+            })
+            .unwrap();
+        }
+        assert_eq!(hmm.ledger().len(), 3);
+        let mark = hmm.mark();
+        assert_eq!(hmm.since(mark).total_rounds(), 0);
+        assert_eq!(hmm.total_time(), 3 * (1 + 9));
+    }
+
+    #[test]
+    fn cache_model_reduces_repeat_access_cost() {
+        let cfg = MachineConfig {
+            width: 32,
+            latency: 10,
+            segment_rule: SegmentRule::ByteSegment { line_bytes: 128 },
+            cache: Some(crate::cache::CacheConfig {
+                capacity_bytes: 4096,
+                line_bytes: 128,
+                ways: 4,
+            }),
+            miss_stages: 4,
+            ..Default::default()
+        };
+        let mut hmm = Hmm::new(cfg).unwrap();
+        let a = hmm.alloc_global(32);
+        let addrs: Vec<usize> = (0..32).map(|i| a.addr(i)).collect();
+        // First access: 1 segment miss -> 4 stages.
+        let s1 = hmm
+            .launch(1, 32, |blk| blk.global_read(&addrs).map(|_| ()))
+            .unwrap();
+        assert_eq!(s1.rounds[0].stages, 4);
+        // Second access: hit -> 1 stage.
+        let s2 = hmm
+            .launch(1, 32, |blk| blk.global_read(&addrs).map(|_| ()))
+            .unwrap();
+        assert_eq!(s2.rounds[0].stages, 1);
+        let stats = hmm.cache_stats().unwrap();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        // Per-launch deltas: the first launch missed, the second hit.
+        assert_eq!(s1.cache, Some(CacheStats { hits: 0, misses: 1 }));
+        assert_eq!(s2.cache, Some(CacheStats { hits: 1, misses: 0 }));
+        hmm.reset_costs();
+        assert_eq!(hmm.cache_stats().unwrap().accesses(), 0);
+        assert!(hmm.ledger().is_empty());
+    }
+
+    #[test]
+    fn f64_doubles_coalesced_cost_under_byte_segments() {
+        use crate::config::ElemWidth;
+        let mut f32m = Hmm::new(MachineConfig {
+            cache: None,
+            ..MachineConfig::gtx680(ElemWidth::F32)
+        })
+        .unwrap();
+        let mut f64m = Hmm::new(MachineConfig {
+            cache: None,
+            ..MachineConfig::gtx680(ElemWidth::F64)
+        })
+        .unwrap();
+        for (m, want_stages) in [(&mut f32m, 1u64), (&mut f64m, 2u64)] {
+            let a = m.alloc_global(32);
+            let addrs: Vec<usize> = (0..32).map(|i| a.addr(i)).collect();
+            let s = m
+                .launch(1, 32, |blk| blk.global_read(&addrs).map(|_| ()))
+                .unwrap();
+            assert_eq!(s.rounds[0].stages, want_stages);
+            // Classification stays coalesced either way: it uses w-element
+            // address groups, not byte segments.
+            assert_eq!(s.rounds[0].class, AccessClass::Coalesced);
+        }
+    }
+
+    #[test]
+    fn parallel_shared_dispatch_divides_by_dmms() {
+        let mk = |flag: bool| {
+            Hmm::new(MachineConfig {
+                width: 4,
+                latency: 10,
+                num_dmms: 2,
+                parallel_shared_dispatch: flag,
+                ..Default::default()
+            })
+            .unwrap()
+        };
+        let run = |hmm: &mut Hmm| {
+            hmm.launch(2, 4, |blk| {
+                let s = blk.shared_alloc(4, 4)?;
+                blk.shared_write(s, &[0, 1, 2, 3], &[0, 0, 0, 0])
+            })
+            .unwrap()
+            .time
+        };
+        // Two blocks on two DMMs, one conflict-free warp each.
+        assert_eq!(run(&mut mk(false)), 2); // paper model: serialized
+        assert_eq!(run(&mut mk(true)), 1); // ablation: parallel DMMs
+    }
+
+    #[test]
+    fn trace_records_segments_and_banks() {
+        let mut hmm = machine(4, 10);
+        let a = hmm.alloc_global(16);
+        hmm.start_trace();
+        hmm.launch(1, 8, |blk| {
+            // Global: touch addresses 0..8 (segments 0 and 1), twice.
+            let addrs: Vec<usize> = (0..8).map(|i| a.addr(i)).collect();
+            blk.global_read(&addrs)?;
+            blk.global_read(&addrs)?;
+            // Shared: everything into bank 1.
+            let s = blk.shared_alloc(32, 4)?;
+            blk.shared_write(s, &[1, 5, 9, 13, 17, 21, 25, 29], &[0; 8])
+        })
+        .unwrap();
+        let trace = hmm.take_trace().unwrap();
+        assert_eq!(trace.global_total(), 16);
+        assert_eq!(trace.global_segments[0], 8); // segment 0: addrs 0..4 x2
+        assert_eq!(trace.global_segments[1], 8);
+        assert_eq!(trace.shared_total(), 8);
+        assert_eq!(trace.shared_banks, vec![0, 8, 0, 0]);
+        assert_eq!(trace.bank_imbalance(), 4.0);
+        // Tracing is one-shot: taken means gone.
+        assert!(hmm.take_trace().is_none());
+    }
+
+    #[test]
+    fn blocks_map_to_dmms_round_robin() {
+        let mut hmm = Hmm::new(MachineConfig {
+            num_dmms: 3,
+            ..MachineConfig::pure(32, 10)
+        })
+        .unwrap();
+        let seen = std::cell::RefCell::new(Vec::new());
+        hmm.launch(7, 32, |blk| {
+            seen.borrow_mut().push((blk.block_id(), blk.dmm()));
+            Ok(())
+        })
+        .unwrap();
+        for (b, d) in seen.into_inner() {
+            assert_eq!(d, b % 3);
+        }
+    }
+}

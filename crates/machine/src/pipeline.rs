@@ -1,0 +1,240 @@
+//! Pipeline-stage accounting for warp memory access (Section II, Figure 3).
+//!
+//! A warp of `w` threads sends up to `w` memory requests at once. The MMU
+//! moves requests towards the memory banks in a pipeline; how many pipeline
+//! stages the warp occupies determines how long the machine is busy:
+//!
+//! * **DMM (shared memory)** — each stage can carry at most one request per
+//!   *memory bank*, so a warp occupies `max_b |{requests in bank b}|` stages.
+//! * **UMM (global memory)** — each stage carries requests for a single
+//!   *address group* (segment) of `w` consecutive words, so a warp occupies
+//!   one stage per distinct group it touches.
+//!
+//! A round of memory access by `p` threads then takes
+//! `(total stages over all warps) + (latency - 1)` time units, because the
+//! stage streams overlap in the pipeline and only the last request pays the
+//! full latency (Lemma 1).
+//!
+//! [`dmm_stage_layout`] / [`umm_stage_layout`] additionally report *which*
+//! request lands in which stage, which is how the harness re-draws Figure 3.
+
+/// Number of DMM pipeline stages occupied by one warp accessing `addrs`
+/// through `width` banks: the maximum number of requests destined for any
+/// single bank.
+///
+/// `width` must be a power of two. An empty warp occupies zero stages.
+pub fn dmm_stages(addrs: &[usize], width: usize) -> usize {
+    debug_assert!(width.is_power_of_two());
+    let mut counts = vec![0usize; width];
+    let mut max = 0;
+    for &a in addrs {
+        let b = a & (width - 1);
+        counts[b] += 1;
+        if counts[b] > max {
+            max = counts[b];
+        }
+    }
+    max
+}
+
+/// Number of UMM pipeline stages occupied by one warp accessing `addrs` with
+/// address groups of `group_elems` consecutive words: the number of distinct
+/// groups touched.
+///
+/// An empty warp occupies zero stages.
+pub fn umm_stages(addrs: &[usize], group_elems: usize) -> usize {
+    debug_assert!(group_elems > 0);
+    distinct_keys(addrs, |a| a / group_elems)
+}
+
+/// Count distinct values of `key` over `addrs` without allocating a hash
+/// table: warps are tiny (`w <= 64` in practice), so a sorted scratch vector
+/// is faster and allocation-light.
+fn distinct_keys(addrs: &[usize], key: impl Fn(usize) -> usize) -> usize {
+    match addrs.len() {
+        0 => 0,
+        1 => 1,
+        _ => {
+            let mut keys: Vec<usize> = addrs.iter().map(|&a| key(a)).collect();
+            keys.sort_unstable();
+            keys.dedup();
+            keys.len()
+        }
+    }
+}
+
+/// Distinct global segments touched by one warp (used by the cost model to
+/// probe the cache once per segment).
+pub fn warp_segments(addrs: &[usize], group_elems: usize) -> Vec<usize> {
+    let mut keys: Vec<usize> = addrs.iter().map(|&a| a / group_elems).collect();
+    keys.sort_unstable();
+    keys.dedup();
+    keys
+}
+
+/// Assign each request of a warp to a DMM pipeline stage.
+///
+/// Returns `stages[s]` = the addresses carried by stage `s`, in the order the
+/// requests appear in `addrs`. Stage `s` receives the `(s+1)`-th request for
+/// each bank, matching the round-robin service order of the model.
+pub fn dmm_stage_layout(addrs: &[usize], width: usize) -> Vec<Vec<usize>> {
+    let mut seen = vec![0usize; width];
+    let mut stages: Vec<Vec<usize>> = Vec::new();
+    for &a in addrs {
+        let b = a & (width - 1);
+        let s = seen[b];
+        seen[b] += 1;
+        if stages.len() <= s {
+            stages.resize_with(s + 1, Vec::new);
+        }
+        stages[s].push(a);
+    }
+    stages
+}
+
+/// Assign each request of a warp to a UMM pipeline stage.
+///
+/// All requests for the same address group share one stage; groups are served
+/// in first-touch order.
+pub fn umm_stage_layout(addrs: &[usize], group_elems: usize) -> Vec<Vec<usize>> {
+    let mut group_order: Vec<usize> = Vec::new();
+    let mut stages: Vec<Vec<usize>> = Vec::new();
+    for &a in addrs {
+        let g = a / group_elems;
+        let s = match group_order.iter().position(|&x| x == g) {
+            Some(s) => s,
+            None => {
+                group_order.push(g);
+                stages.push(Vec::new());
+                group_order.len() - 1
+            }
+        };
+        stages[s].push(a);
+    }
+    stages
+}
+
+/// Total time units for a sequence of warps whose stage counts are given,
+/// with the given access latency: `sum(stages) + latency - 1` (Lemma 1's
+/// pipeline argument), or 0 if no warp issued any request.
+pub fn round_time(stage_counts: &[usize], latency: usize) -> u64 {
+    let total: u64 = stage_counts.iter().map(|&s| s as u64).sum();
+    if total == 0 {
+        0
+    } else {
+        total + latency as u64 - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Figure 3 example: width 4, warp W0 accesses {7,5,15,0} and warp
+    /// W1 accesses {10,11,12,13}.
+    const W0: [usize; 4] = [7, 5, 15, 0];
+    const W1: [usize; 4] = [10, 11, 12, 13];
+
+    #[test]
+    fn figure3_dmm_stage_counts() {
+        // 7 and 15 share bank 3 -> W0 takes 2 stages; W1 banks 2,3,0,1 -> 1.
+        assert_eq!(dmm_stages(&W0, 4), 2);
+        assert_eq!(dmm_stages(&W1, 4), 1);
+    }
+
+    #[test]
+    fn figure3_umm_stage_counts() {
+        // W0 groups {1,1,3,0} -> 3 stages; W1 groups {2,2,3,3} -> 2 stages.
+        assert_eq!(umm_stages(&W0, 4), 3);
+        assert_eq!(umm_stages(&W1, 4), 2);
+    }
+
+    #[test]
+    fn figure3_total_times() {
+        // DMM: 2+1 stages -> l+2 time units; UMM: 3+2 stages -> l+4.
+        let l = 10;
+        let dmm = round_time(&[dmm_stages(&W0, 4), dmm_stages(&W1, 4)], 1);
+        assert_eq!(dmm, 3); // shared latency 1: stages + 0
+        let umm = round_time(&[umm_stages(&W0, 4), umm_stages(&W1, 4)], l);
+        assert_eq!(umm, 5 + l as u64 - 1);
+    }
+
+    #[test]
+    fn dmm_layout_round_robin_per_bank() {
+        let layout = dmm_stage_layout(&W0, 4);
+        assert_eq!(layout.len(), 2);
+        assert_eq!(layout[0], vec![7, 5, 0]);
+        assert_eq!(layout[1], vec![15]);
+    }
+
+    #[test]
+    fn umm_layout_groups_by_segment() {
+        let layout = umm_stage_layout(&W0, 4);
+        assert_eq!(layout.len(), 3);
+        assert_eq!(layout[0], vec![7, 5]); // group 1
+        assert_eq!(layout[1], vec![15]); // group 3
+        assert_eq!(layout[2], vec![0]); // group 0
+    }
+
+    #[test]
+    fn empty_warp_occupies_no_stage() {
+        assert_eq!(dmm_stages(&[], 4), 0);
+        assert_eq!(umm_stages(&[], 4), 0);
+        assert_eq!(round_time(&[0, 0], 100), 0);
+        assert!(dmm_stage_layout(&[], 4).is_empty());
+        assert!(umm_stage_layout(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn single_request_is_one_stage() {
+        assert_eq!(dmm_stages(&[123], 32), 1);
+        assert_eq!(umm_stages(&[123], 32), 1);
+    }
+
+    #[test]
+    fn fully_conflicting_warp_takes_w_stages() {
+        // All requests in the same bank.
+        let addrs: Vec<usize> = (0..32).map(|i| i * 32).collect();
+        assert_eq!(dmm_stages(&addrs, 32), 32);
+        // ... and each in its own group for the UMM.
+        assert_eq!(umm_stages(&addrs, 32), 32);
+    }
+
+    #[test]
+    fn coalesced_warp_takes_one_stage() {
+        let addrs: Vec<usize> = (64..96).collect();
+        assert_eq!(dmm_stages(&addrs, 32), 1);
+        assert_eq!(umm_stages(&addrs, 32), 1);
+    }
+
+    #[test]
+    fn same_address_twice_conflicts_in_dmm_not_umm() {
+        // Two requests to the same address are in the same bank (2 stages on
+        // the DMM) but the same group (1 stage on the UMM).
+        assert_eq!(dmm_stages(&[5, 5], 4), 2);
+        assert_eq!(umm_stages(&[5, 5], 4), 1);
+    }
+
+    #[test]
+    fn layouts_cover_all_requests_exactly_once() {
+        let addrs: Vec<usize> = vec![3, 3, 7, 11, 2, 2, 2, 9];
+        for layout in [dmm_stage_layout(&addrs, 4), umm_stage_layout(&addrs, 4)] {
+            let mut flat: Vec<usize> = layout.into_iter().flatten().collect();
+            flat.sort_unstable();
+            let mut want = addrs.clone();
+            want.sort_unstable();
+            assert_eq!(flat, want);
+        }
+    }
+
+    #[test]
+    fn warp_segments_dedups_and_sorts() {
+        assert_eq!(warp_segments(&[130, 1, 65, 2, 64], 64), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn round_time_is_stage_sum_plus_latency_minus_one() {
+        assert_eq!(round_time(&[1, 1, 1, 1], 100), 4 + 99);
+        assert_eq!(round_time(&[4], 1), 4);
+    }
+}

@@ -1,0 +1,118 @@
+//! Machine presets for several GPU generations.
+//!
+//! The paper measures one card (GTX-680, Kepler). The model predicts that
+//! the conventional-vs-scheduled crossover tracks the L2 capacity — these
+//! presets let the harness ask how the result ages across generations
+//! (`repro generations`). Parameters are coarse public-spec values: width
+//! and shared capacity barely move across generations; the L2 grows by an
+//! order of magnitude.
+
+use crate::cache::CacheConfig;
+use crate::config::{ElemWidth, MachineConfig, SegmentRule};
+
+/// A named machine generation.
+#[derive(Debug, Clone)]
+pub struct Generation {
+    /// Marketing-ish name.
+    pub name: &'static str,
+    /// The machine configuration.
+    pub config: MachineConfig,
+}
+
+fn with_l2(elem: ElemWidth, num_dmms: usize, capacity_bytes: usize, ways: usize) -> MachineConfig {
+    MachineConfig {
+        width: 32,
+        latency: 512,
+        num_dmms,
+        shared_bytes: 48 * 1024,
+        elem,
+        segment_rule: SegmentRule::ByteSegment { line_bytes: 128 },
+        cache: Some(CacheConfig {
+            capacity_bytes,
+            line_bytes: 128,
+            ways,
+        }),
+        miss_stages: 4,
+        write_allocate: true,
+        parallel_shared_dispatch: false,
+    }
+}
+
+/// Fermi-class (GTX 580): 768 KB L2, 16 SMs. 12 ways keeps the set count a
+/// power of two.
+pub fn fermi(elem: ElemWidth) -> MachineConfig {
+    with_l2(elem, 16, 768 * 1024, 12)
+}
+
+/// Kepler-class (GTX 680) — the paper's card: 512 KB L2, 8 SMX.
+pub fn kepler(elem: ElemWidth) -> MachineConfig {
+    MachineConfig::gtx680(elem)
+}
+
+/// Maxwell-class (GTX 980): 2 MB L2, 16 SMs.
+pub fn maxwell(elem: ElemWidth) -> MachineConfig {
+    with_l2(elem, 16, 2 * 1024 * 1024, 16)
+}
+
+/// Pascal-class (GTX 1080-ish): 4 MB L2, 20 SMs (rounded to keep the cache
+/// geometry power-of-two).
+pub fn pascal(elem: ElemWidth) -> MachineConfig {
+    with_l2(elem, 20, 4 * 1024 * 1024, 16)
+}
+
+/// All presets, oldest first.
+pub fn all(elem: ElemWidth) -> Vec<Generation> {
+    vec![
+        Generation {
+            name: "Fermi (GTX 580, 768 KB L2)",
+            config: fermi(elem),
+        },
+        Generation {
+            name: "Kepler (GTX 680, 512 KB L2)",
+            config: kepler(elem),
+        },
+        Generation {
+            name: "Maxwell (GTX 980, 2 MB L2)",
+            config: maxwell(elem),
+        },
+        Generation {
+            name: "Pascal (GTX 1080, 4 MB L2)",
+            config: pascal(elem),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_presets_validate() {
+        for generation in all(ElemWidth::F32)
+            .into_iter()
+            .chain(all(ElemWidth::F64))
+        {
+            generation
+                .config
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", generation.name));
+        }
+    }
+
+    #[test]
+    fn l2_capacities_are_ordered() {
+        let caps: Vec<usize> = all(ElemWidth::F32)
+            .iter()
+            .map(|g| g.config.cache.expect("preset has L2").capacity_bytes)
+            .collect();
+        // Fermi(768K) > Kepler(512K); then monotone up.
+        assert_eq!(caps[1], 512 * 1024);
+        assert!(caps[2] > caps[0]);
+        assert!(caps[3] > caps[2]);
+    }
+
+    #[test]
+    fn kepler_is_the_paper_machine() {
+        assert_eq!(kepler(ElemWidth::F32), MachineConfig::gtx680(ElemWidth::F32));
+    }
+}

@@ -1,0 +1,169 @@
+//! Round records: what kind of memory access a kernel performed and what it
+//! cost (Section III of the paper).
+//!
+//! A **round** is one memory access by every active thread. The paper
+//! classifies rounds as *coalesced* (global, every warp inside one address
+//! group), *conflict-free* (shared, every warp hits distinct banks), or
+//! *casual* (no guarantee); Table I counts each algorithm's rounds by this
+//! classification, and Lemmas 1–4 price them.
+
+use core::fmt;
+
+/// Which memory a round accessed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Space {
+    /// The UMM's global memory (latency `l`).
+    Global,
+    /// A DMM's shared memory (latency 1).
+    Shared,
+}
+
+/// Whether a round read or wrote.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dir {
+    /// Memory-to-thread.
+    Read,
+    /// Thread-to-memory.
+    Write,
+}
+
+/// The paper's three access classes (Section III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessClass {
+    /// Every warp's requests fall in a single address group of the global
+    /// memory. (Classification always uses the paper's `w`-element groups,
+    /// regardless of the cost model's segment rule.)
+    Coalesced,
+    /// Every warp's requests hit pairwise-distinct shared-memory banks.
+    ConflictFree,
+    /// Neither guarantee holds.
+    Casual,
+}
+
+impl fmt::Display for AccessClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AccessClass::Coalesced => "coalesced",
+            AccessClass::ConflictFree => "conflict-free",
+            AccessClass::Casual => "casual",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One completed round of memory access, with its measured cost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundRecord {
+    /// Position of the round in its kernel (0-based).
+    pub seq: usize,
+    /// Which memory was accessed.
+    pub space: Space,
+    /// Read or write.
+    pub dir: Dir,
+    /// Observed classification over all warps of all blocks.
+    pub class: AccessClass,
+    /// Number of warps that issued at least one request.
+    pub warps: u64,
+    /// Total pipeline stages occupied (cost stages, i.e. including cache
+    /// miss penalties when the cache model is active).
+    pub stages: u64,
+    /// Time units charged: `stages + latency - 1` for global rounds,
+    /// `stages` for shared rounds (latency 1), possibly divided across DMMs
+    /// when `parallel_shared_dispatch` is set.
+    pub time: u64,
+}
+
+/// A `(space, dir, class)` triple — the row/column keys of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RoundKind {
+    /// Which memory.
+    pub space: Space,
+    /// Read or write.
+    pub dir: Dir,
+    /// Access class.
+    pub class: AccessClass,
+}
+
+impl RoundRecord {
+    /// The `(space, dir, class)` key of this record.
+    #[inline]
+    pub fn kind(&self) -> RoundKind {
+        RoundKind {
+            space: self.space,
+            dir: self.dir,
+            class: self.class,
+        }
+    }
+}
+
+impl fmt::Display for RoundRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "round {:>3}: {:6} {:5} {:13} warps={:<6} stages={:<8} time={}",
+            self.seq,
+            match self.space {
+                Space::Global => "global",
+                Space::Shared => "shared",
+            },
+            match self.dir {
+                Dir::Read => "read",
+                Dir::Write => "write",
+            },
+            self.class.to_string(),
+            self.warps,
+            self.stages,
+            self.time
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_all_fields() {
+        let r = RoundRecord {
+            seq: 7,
+            space: Space::Global,
+            dir: Dir::Write,
+            class: AccessClass::Casual,
+            warps: 4,
+            stages: 99,
+            time: 610,
+        };
+        let s = r.to_string();
+        for needle in ["7", "global", "write", "casual", "99", "610"] {
+            assert!(s.contains(needle), "missing {needle} in {s}");
+        }
+    }
+
+    #[test]
+    fn kind_extraction() {
+        let r = RoundRecord {
+            seq: 0,
+            space: Space::Shared,
+            dir: Dir::Read,
+            class: AccessClass::ConflictFree,
+            warps: 1,
+            stages: 1,
+            time: 1,
+        };
+        assert_eq!(
+            r.kind(),
+            RoundKind {
+                space: Space::Shared,
+                dir: Dir::Read,
+                class: AccessClass::ConflictFree
+            }
+        );
+    }
+
+    #[test]
+    fn class_display() {
+        assert_eq!(AccessClass::Coalesced.to_string(), "coalesced");
+        assert_eq!(AccessClass::ConflictFree.to_string(), "conflict-free");
+        assert_eq!(AccessClass::Casual.to_string(), "casual");
+    }
+}

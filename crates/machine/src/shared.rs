@@ -1,0 +1,174 @@
+//! Per-block shared memory: a capacity-limited arena of banked storage.
+//!
+//! Every block of a kernel launch receives a fresh [`SharedSpace`] (CUDA
+//! shared memory has block lifetime). Allocations record their element width
+//! so that the 48 KB capacity check reflects what the paper's implementation
+//! allocates — e.g. the row-wise permutation's `D` array holds 16-bit
+//! schedule entries while `A`/`B` hold data elements.
+
+use crate::error::{MachineError, Result};
+use crate::global::Word;
+
+/// Handle to a shared-memory array within one block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SharedBuf {
+    offset: usize,
+    len: usize,
+}
+
+impl SharedBuf {
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the array holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// One block's shared memory.
+#[derive(Debug, Clone)]
+pub struct SharedSpace {
+    data: Vec<Word>,
+    bytes_in_use: usize,
+    capacity_bytes: usize,
+}
+
+impl SharedSpace {
+    /// Fresh shared space with the given capacity.
+    pub fn new(capacity_bytes: usize) -> Self {
+        SharedSpace {
+            data: Vec::new(),
+            bytes_in_use: 0,
+            capacity_bytes,
+        }
+    }
+
+    /// Allocate `len` elements of `elem_bytes` each, zero-initialized.
+    ///
+    /// Fails with [`MachineError::SharedCapacityExceeded`] when the block
+    /// would exceed its capacity — this is exactly the limit that prevents
+    /// the paper's scheduled algorithm from handling 4M doubles (Table
+    /// II(b)).
+    pub fn alloc(&mut self, len: usize, elem_bytes: usize) -> Result<SharedBuf> {
+        let requested = len * elem_bytes;
+        if self.bytes_in_use + requested > self.capacity_bytes {
+            return Err(MachineError::SharedCapacityExceeded {
+                requested,
+                in_use: self.bytes_in_use,
+                capacity: self.capacity_bytes,
+            });
+        }
+        let offset = self.data.len();
+        self.data.resize(offset + len, 0);
+        self.bytes_in_use += requested;
+        Ok(SharedBuf { offset, len })
+    }
+
+    /// Bytes currently allocated.
+    #[inline]
+    pub fn bytes_in_use(&self) -> usize {
+        self.bytes_in_use
+    }
+
+    /// Checked load from a shared array.
+    #[inline]
+    pub fn load(&self, buf: SharedBuf, index: usize) -> Result<Word> {
+        if index >= buf.len {
+            return Err(MachineError::SharedOutOfBounds {
+                index,
+                len: buf.len,
+            });
+        }
+        Ok(self.data[buf.offset + index])
+    }
+
+    /// Checked store to a shared array.
+    #[inline]
+    pub fn store(&mut self, buf: SharedBuf, index: usize, value: Word) -> Result<()> {
+        if index >= buf.len {
+            return Err(MachineError::SharedOutOfBounds {
+                index,
+                len: buf.len,
+            });
+        }
+        self.data[buf.offset + index] = value;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_within_capacity() {
+        let mut s = SharedSpace::new(1024);
+        let a = s.alloc(64, 8).unwrap(); // 512 B
+        let b = s.alloc(128, 4).unwrap(); // 512 B
+        assert_eq!(a.len(), 64);
+        assert_eq!(b.len(), 128);
+        assert_eq!(s.bytes_in_use(), 1024);
+    }
+
+    #[test]
+    fn alloc_beyond_capacity_fails() {
+        let mut s = SharedSpace::new(100);
+        assert!(s.alloc(10, 8).is_ok()); // 80 B
+        let err = s.alloc(10, 8).unwrap_err();
+        assert_eq!(
+            err,
+            MachineError::SharedCapacityExceeded {
+                requested: 80,
+                in_use: 80,
+                capacity: 100
+            }
+        );
+    }
+
+    #[test]
+    fn elem_width_matters_for_capacity() {
+        // 48 KB holds 2 x 2048 doubles (32 KB) + 2048 u16 (4 KB) but not
+        // 3 x 2048 doubles + 2048 u16.
+        let mut s = SharedSpace::new(48 * 1024);
+        s.alloc(2048, 8).unwrap();
+        s.alloc(2048, 8).unwrap();
+        s.alloc(2048, 2).unwrap();
+        assert!(s.alloc(2048, 8).is_err());
+    }
+
+    #[test]
+    fn load_store_roundtrip() {
+        let mut s = SharedSpace::new(1024);
+        let a = s.alloc(4, 8).unwrap();
+        s.store(a, 2, 42).unwrap();
+        assert_eq!(s.load(a, 2).unwrap(), 42);
+        assert_eq!(s.load(a, 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn out_of_bounds_shared_access() {
+        let mut s = SharedSpace::new(1024);
+        let a = s.alloc(4, 8).unwrap();
+        assert!(matches!(
+            s.load(a, 4),
+            Err(MachineError::SharedOutOfBounds { index: 4, len: 4 })
+        ));
+        assert!(s.store(a, 9, 0).is_err());
+    }
+
+    #[test]
+    fn arrays_do_not_alias() {
+        let mut s = SharedSpace::new(1024);
+        let a = s.alloc(4, 8).unwrap();
+        let b = s.alloc(4, 8).unwrap();
+        s.store(a, 0, 1).unwrap();
+        s.store(b, 0, 2).unwrap();
+        assert_eq!(s.load(a, 0).unwrap(), 1);
+        assert_eq!(s.load(b, 0).unwrap(), 2);
+    }
+}

@@ -1,0 +1,127 @@
+//! Access tracing: where in the address space a kernel's traffic lands.
+//!
+//! When enabled on an [`crate::Hmm`], every global-memory access bumps a
+//! per-segment counter and every shared-memory access a per-bank counter.
+//! The resulting [`AccessTrace`] renders as a text heatmap — the quickest
+//! way to *see* the difference between the conventional algorithm's
+//! scattered writes and the scheduled algorithm's streaming passes, or a
+//! bank-conflict hot spot in a shared-memory kernel.
+
+/// Aggregated access counts collected while tracing was enabled.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AccessTrace {
+    /// Accesses per global cost segment (index = segment id).
+    pub global_segments: Vec<u64>,
+    /// Accesses per shared-memory bank.
+    pub shared_banks: Vec<u64>,
+}
+
+impl AccessTrace {
+    /// Total global accesses recorded.
+    pub fn global_total(&self) -> u64 {
+        self.global_segments.iter().sum()
+    }
+
+    /// Total shared accesses recorded.
+    pub fn shared_total(&self) -> u64 {
+        self.shared_banks.iter().sum()
+    }
+
+    /// Bucket the global-segment counts into `buckets` equal address
+    /// ranges (for rendering long traces compactly).
+    pub fn bucketed(&self, buckets: usize) -> Vec<u64> {
+        assert!(buckets > 0);
+        let n = self.global_segments.len();
+        if n == 0 {
+            return vec![0; buckets];
+        }
+        let per = n.div_ceil(buckets);
+        self.global_segments
+            .chunks(per)
+            .map(|c| c.iter().sum())
+            .collect()
+    }
+
+    /// Render the global heatmap as one text line per bucket, each with a
+    /// proportional bar of at most `bar_width` characters.
+    pub fn render_global(&self, buckets: usize, bar_width: usize) -> String {
+        let data = self.bucketed(buckets);
+        let max = data.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &v) in data.iter().enumerate() {
+            let bar = (v as usize * bar_width).div_ceil(max as usize);
+            out.push_str(&format!(
+                "seg bucket {i:>3} {:>10} {}\n",
+                v,
+                "#".repeat(if v == 0 { 0 } else { bar.max(1) })
+            ));
+        }
+        out
+    }
+
+    /// Ratio of the busiest shared bank to the mean — 1.0 means perfectly
+    /// balanced (conflict-free rounds), `w` means fully serialized.
+    pub fn bank_imbalance(&self) -> f64 {
+        let total = self.shared_total();
+        if total == 0 || self.shared_banks.is_empty() {
+            return 1.0;
+        }
+        let mean = total as f64 / self.shared_banks.len() as f64;
+        let max = *self.shared_banks.iter().max().expect("non-empty") as f64;
+        max / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(globals: Vec<u64>, banks: Vec<u64>) -> AccessTrace {
+        AccessTrace {
+            global_segments: globals,
+            shared_banks: banks,
+        }
+    }
+
+    #[test]
+    fn totals() {
+        let t = trace(vec![1, 2, 3], vec![4, 0]);
+        assert_eq!(t.global_total(), 6);
+        assert_eq!(t.shared_total(), 4);
+    }
+
+    #[test]
+    fn bucketing_preserves_total() {
+        let t = trace((0..100u64).collect(), vec![]);
+        for buckets in [1usize, 3, 10, 100, 200] {
+            let b = t.bucketed(buckets);
+            assert_eq!(b.iter().sum::<u64>(), t.global_total(), "{buckets}");
+            assert!(b.len() <= buckets.max(1));
+        }
+    }
+
+    #[test]
+    fn render_is_proportional() {
+        let t = trace(vec![10, 0, 5], vec![]);
+        let s = t.render_global(3, 20);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].matches('#').count() > lines[2].matches('#').count());
+        assert_eq!(lines[1].matches('#').count(), 0);
+    }
+
+    #[test]
+    fn bank_imbalance_bounds() {
+        assert_eq!(trace(vec![], vec![5, 5, 5, 5]).bank_imbalance(), 1.0);
+        assert_eq!(trace(vec![], vec![20, 0, 0, 0]).bank_imbalance(), 4.0);
+        assert_eq!(trace(vec![], vec![]).bank_imbalance(), 1.0);
+        assert_eq!(trace(vec![], vec![0, 0]).bank_imbalance(), 1.0);
+    }
+
+    #[test]
+    fn empty_trace_renders() {
+        let t = AccessTrace::default();
+        assert_eq!(t.bucketed(4), vec![0, 0, 0, 0]);
+        assert!(t.render_global(2, 10).contains("bucket"));
+    }
+}

@@ -1,0 +1,199 @@
+//! The standalone Unified Memory Machine (Section II): one memory organized
+//! in address groups of `w` consecutive words, `w`-thread warps, latency `l`.
+
+use crate::cost::CostLedger;
+use crate::error::{MachineError, Result};
+use crate::global::Word;
+use crate::pipeline;
+use crate::round::{AccessClass, Dir, RoundRecord, Space};
+
+/// A standalone UMM of the given width and latency over a flat memory.
+#[derive(Debug, Clone)]
+pub struct Umm {
+    width: usize,
+    latency: usize,
+    data: Vec<Word>,
+    ledger: CostLedger,
+}
+
+impl Umm {
+    /// Build a UMM of the given width (power of two >= 2), latency, and
+    /// memory size.
+    pub fn new(width: usize, latency: usize, len: usize) -> Result<Self> {
+        if width < 2 || !width.is_power_of_two() {
+            return Err(MachineError::InvalidConfig(format!(
+                "width must be a power of two >= 2, got {width}"
+            )));
+        }
+        if latency == 0 {
+            return Err(MachineError::InvalidConfig("latency must be >= 1".into()));
+        }
+        Ok(Umm {
+            width,
+            latency,
+            data: vec![0; len],
+            ledger: CostLedger::new(),
+        })
+    }
+
+    /// Warp width / address-group size.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Memory size in words.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the memory has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Cost-free host view of the memory.
+    pub fn memory(&self) -> &[Word] {
+        &self.data
+    }
+
+    /// Cost-free host mutation of the memory.
+    pub fn memory_mut(&mut self) -> &mut [Word] {
+        &mut self.data
+    }
+
+    /// Accumulated rounds.
+    pub fn ledger(&self) -> &CostLedger {
+        &self.ledger
+    }
+
+    /// Total time units charged so far.
+    pub fn total_time(&self) -> u64 {
+        self.ledger.total_time()
+    }
+
+    /// One round of reads: thread `t` loads `addrs[t]`.
+    pub fn read_round(&mut self, addrs: &[usize]) -> Result<Vec<Word>> {
+        let mut out = Vec::with_capacity(addrs.len());
+        for &a in addrs {
+            out.push(
+                self.data
+                    .get(a)
+                    .copied()
+                    .ok_or(MachineError::GlobalOutOfBounds {
+                        addr: a,
+                        len: self.data.len(),
+                    })?,
+            );
+        }
+        self.account(Dir::Read, addrs);
+        Ok(out)
+    }
+
+    /// One round of writes: thread `t` stores `values[t]` at `addrs[t]`.
+    pub fn write_round(&mut self, addrs: &[usize], values: &[Word]) -> Result<()> {
+        if addrs.len() != values.len() {
+            return Err(MachineError::LengthMismatch {
+                expected: addrs.len(),
+                got: values.len(),
+            });
+        }
+        let len = self.data.len();
+        for (&a, &v) in addrs.iter().zip(values) {
+            *self
+                .data
+                .get_mut(a)
+                .ok_or(MachineError::GlobalOutOfBounds { addr: a, len })? = v;
+        }
+        self.account(Dir::Write, addrs);
+        Ok(())
+    }
+
+    fn account(&mut self, dir: Dir, addrs: &[usize]) {
+        let mut stages = 0u64;
+        let mut warps = 0u64;
+        let mut coalesced = true;
+        for warp in addrs.chunks(self.width) {
+            let s = pipeline::umm_stages(warp, self.width) as u64;
+            if s > 1 {
+                coalesced = false;
+            }
+            stages += s;
+            warps += 1;
+        }
+        let time = if stages == 0 {
+            0
+        } else {
+            stages + self.latency as u64 - 1
+        };
+        self.ledger.push(RoundRecord {
+            seq: self.ledger.len(),
+            space: Space::Global,
+            dir,
+            class: if coalesced {
+                AccessClass::Coalesced
+            } else {
+                AccessClass::Casual
+            },
+            warps,
+            stages,
+            time,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure3_umm_example() {
+        // Warps {7,5,15,0} and {10,11,12,13} with w=4: 3+2 stages, l+4 time.
+        let l = 7;
+        let mut umm = Umm::new(4, l, 16).unwrap();
+        umm.read_round(&[7, 5, 15, 0, 10, 11, 12, 13]).unwrap();
+        assert_eq!(umm.total_time(), (l + 4) as u64);
+        assert_eq!(umm.ledger().records()[0].class, AccessClass::Casual);
+    }
+
+    #[test]
+    fn coalesced_round_cost_matches_lemma1() {
+        // p = 64 threads, w = 8, l = 20: p/w + l - 1 = 8 + 19 = 27.
+        let mut umm = Umm::new(8, 20, 64).unwrap();
+        let addrs: Vec<usize> = (0..64).collect();
+        umm.read_round(&addrs).unwrap();
+        let r = &umm.ledger().records()[0];
+        assert_eq!(r.class, AccessClass::Coalesced);
+        assert_eq!(r.time, 27);
+    }
+
+    #[test]
+    fn stride_w_round_is_casual_and_slow() {
+        // Each thread in its own group: p + l - 1 time units.
+        let mut umm = Umm::new(8, 20, 512).unwrap();
+        let addrs: Vec<usize> = (0..64).map(|t| t * 8).collect();
+        umm.read_round(&addrs).unwrap();
+        let r = &umm.ledger().records()[0];
+        assert_eq!(r.class, AccessClass::Casual);
+        assert_eq!(r.time, 64 + 19);
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut umm = Umm::new(4, 2, 8).unwrap();
+        umm.write_round(&[4, 5, 6, 7], &[1, 2, 3, 4]).unwrap();
+        assert_eq!(umm.read_round(&[4, 5, 6, 7]).unwrap(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn bounds_checked() {
+        let mut umm = Umm::new(4, 2, 4).unwrap();
+        assert!(umm.read_round(&[9]).is_err());
+        assert!(umm.write_round(&[0, 1], &[1]).is_err());
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(Umm::new(5, 1, 8).is_err());
+        assert!(Umm::new(4, 0, 8).is_err());
+    }
+}

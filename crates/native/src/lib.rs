@@ -1,0 +1,29 @@
+//! # hmm-native — wall-clock CPU backend for offline permutation
+//!
+//! The paper's evaluation runs on a GTX-680; this crate is the substitution
+//! for machines without one (see DESIGN.md §2): the same three algorithms
+//! executed with real parallelism on the host CPU, where cache lines and
+//! TLB entries play the role the paper's address groups play on the GPU.
+//!
+//! * [`scatter::scatter_permute`] / [`scatter::gather_permute`] — the
+//!   conventional D-/S-designated kernels (one scattered pass);
+//! * [`scheduled::NativeScheduled`] — the five-pass scheduled permutation
+//!   (row gather, blocked transpose, row gather, blocked transpose, row
+//!   gather), sharing its decomposition with the simulator build;
+//! * [`par`] — a minimal chunked parallel-for on crossbeam scoped threads
+//!   (`rayon` is not on this reproduction's offline dependency list).
+//!
+//! The criterion benches in `hmm-bench` compare the two approaches across
+//! the paper's permutation families and sizes.
+
+#![warn(missing_docs)]
+// `unsafe` appears exactly once, in the scatter kernel, with a documented
+// bijection-disjointness argument (see `scatter::ScatterTarget`).
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod par;
+pub mod scatter;
+pub mod scheduled;
+
+pub use scatter::{copy_baseline, gather_permute, scatter_permute};
+pub use scheduled::NativeScheduled;

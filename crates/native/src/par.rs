@@ -1,0 +1,160 @@
+//! A minimal chunked parallel-for on crossbeam scoped threads.
+//!
+//! The offline list for this reproduction does not include `rayon`, so this
+//! module provides the one primitive the wall-clock backend needs: split a
+//! mutable slice (or an index range) into contiguous chunks and process
+//! them on all available cores. Static chunking is the right shape here —
+//! every task in this crate is a uniform sweep over a dense array, so work
+//! stealing would buy nothing.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads to use: the machine's available parallelism,
+/// overridable with the `HMM_NATIVE_THREADS` environment variable (useful
+/// for scaling experiments).
+pub fn worker_threads() -> usize {
+    if let Ok(v) = std::env::var("HMM_NATIVE_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Run `f(chunk_start, chunk)` over contiguous chunks of `data` in
+/// parallel. Chunks are at least `min_chunk` long (except possibly the
+/// last); with a single worker or a small slice the call degenerates to a
+/// plain loop with no thread spawn.
+pub fn par_chunks_mut<T, F>(data: &mut [T], min_chunk: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let n = data.len();
+    if n == 0 {
+        return;
+    }
+    let workers = worker_threads();
+    let chunk = n.div_ceil(workers).max(min_chunk.max(1));
+    if workers == 1 || chunk >= n {
+        f(0, data);
+        return;
+    }
+    crossbeam::scope(|s| {
+        for (idx, piece) in data.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            s.spawn(move |_| f(idx * chunk, piece));
+        }
+    })
+    .expect("worker thread panicked");
+}
+
+/// Like [`par_chunks_mut`], but every chunk (except the last) is *exactly*
+/// `chunk_len` long — required when workers must own whole rows or tiles.
+/// Spawns one scoped thread per chunk; callers choose `chunk_len` so the
+/// chunk count stays near the worker count.
+pub fn par_chunks_mut_exact<T, F>(data: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let n = data.len();
+    if n == 0 {
+        return;
+    }
+    let chunk_len = chunk_len.max(1);
+    if worker_threads() == 1 || chunk_len >= n {
+        f(0, data);
+        return;
+    }
+    crossbeam::scope(|s| {
+        for (idx, piece) in data.chunks_mut(chunk_len).enumerate() {
+            let f = &f;
+            s.spawn(move |_| f(idx * chunk_len, piece));
+        }
+    })
+    .expect("worker thread panicked");
+}
+
+/// Run `f(start, end)` over contiguous sub-ranges of `0..n` in parallel.
+pub fn par_ranges<F>(n: usize, min_chunk: usize, f: F)
+where
+    F: Fn(usize, usize) + Sync,
+{
+    if n == 0 {
+        return;
+    }
+    let workers = worker_threads();
+    let chunk = n.div_ceil(workers).max(min_chunk.max(1));
+    if workers == 1 || chunk >= n {
+        f(0, n);
+        return;
+    }
+    crossbeam::scope(|s| {
+        let mut start = 0;
+        while start < n {
+            let end = (start + chunk).min(n);
+            let f = &f;
+            s.spawn(move |_| f(start, end));
+            start = end;
+        }
+    })
+    .expect("worker thread panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn par_chunks_mut_touches_every_element_once() {
+        let mut data = vec![0u64; 100_000];
+        par_chunks_mut(&mut data, 1, |start, chunk| {
+            for (i, v) in chunk.iter_mut().enumerate() {
+                *v += (start + i) as u64;
+            }
+        });
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, i as u64);
+        }
+    }
+
+    #[test]
+    fn par_ranges_covers_exactly() {
+        let n = 12_345;
+        let hits = AtomicUsize::new(0);
+        par_ranges(n, 1, |s, e| {
+            hits.fetch_add(e - s, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), n);
+    }
+
+    #[test]
+    fn empty_inputs_are_noops() {
+        let mut empty: Vec<u8> = vec![];
+        par_chunks_mut(&mut empty, 8, |_, _| panic!("should not run"));
+        par_ranges(0, 8, |_, _| panic!("should not run"));
+    }
+
+    #[test]
+    fn min_chunk_respected() {
+        // With min_chunk = n the closure runs exactly once, inline.
+        let n = 1000;
+        let calls = AtomicUsize::new(0);
+        par_ranges(n, n, |s, e| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            assert_eq!((s, e), (0, n));
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn worker_threads_is_positive() {
+        assert!(worker_threads() >= 1);
+    }
+}

@@ -1,0 +1,276 @@
+//! The scheduled permutation on a real CPU: the same five-pass structure
+//! as the GPU implementation (row pass, transpose, row pass, transpose,
+//! row pass), with cache-blocked transposes and row-local gathers.
+//!
+//! Every pass reads or writes memory sequentially (or within a row /
+//! blocked tile), so its cache-line and TLB behaviour is the CPU analog of
+//! coalesced access — whereas the direct scatter of
+//! [`crate::scatter::scatter_permute`] touches a new cache line per element
+//! for high-distribution permutations. This is the wall-clock counterpart
+//! of the paper's Table II comparison.
+
+use crate::par::{par_chunks_mut, par_chunks_mut_exact, worker_threads};
+use hmm_offperm::schedule::Decomposition;
+use hmm_offperm::Result;
+use hmm_perm::{MatrixShape, Permutation};
+
+/// Blocked-transpose tile side (elements). 64×64 u32 tiles are 16 KB —
+/// comfortably L1/L2-resident on anything current.
+const TILE: usize = 64;
+
+/// A CPU-executable scheduled permutation: the three-step decomposition
+/// with per-row *gather* maps (destination-ordered) precomputed.
+#[derive(Debug, Clone)]
+pub struct NativeScheduled {
+    shape: MatrixShape,
+    /// Pass 1 gather map, flattened `r × c`: `out[i][k] = in[i][g1[i*c+k]]`.
+    g1: Vec<u32>,
+    /// Pass 2 gather map on the transposed matrix, flattened `c × r`.
+    g2: Vec<u32>,
+    /// Pass 3 gather map, flattened `r × c`.
+    g3: Vec<u32>,
+}
+
+impl NativeScheduled {
+    /// Build from a permutation; `width` is the tiling constraint handed to
+    /// the decomposition (any power of two dividing both matrix dimensions
+    /// — 32 matches the GPU schedule and is always safe here).
+    pub fn build(p: &Permutation, width: usize) -> Result<Self> {
+        let d = Decomposition::build(p, width)?;
+        Ok(Self::from_decomposition(&d))
+    }
+
+    /// Build from an existing decomposition (shared with a simulator run).
+    pub fn from_decomposition(d: &Decomposition) -> Self {
+        let shape = d.shape;
+        let (r, c) = (shape.rows, shape.cols);
+        let row_gathers = |perms: &[Permutation], cols: usize| -> Vec<u32> {
+            let mut g = vec![0u32; perms.len() * cols];
+            for (i, p) in perms.iter().enumerate() {
+                let inv = p.inverse();
+                let row = &mut g[i * cols..(i + 1) * cols];
+                for (k, slot) in row.iter_mut().enumerate() {
+                    *slot = inv.apply(k) as u32;
+                }
+            }
+            g
+        };
+        NativeScheduled {
+            shape,
+            g1: row_gathers(&d.step1_rows, c),
+            g2: row_gathers(&d.step2_cols, r),
+            g3: row_gathers(&d.step3_rows, c),
+        }
+    }
+
+    /// The matrix shape of the passes.
+    pub fn shape(&self) -> MatrixShape {
+        self.shape
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// True for a zero-element schedule (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Execute `dst[P[i]] = src[i]`, allocating two scratch buffers.
+    ///
+    /// # Panics
+    /// Panics if `src` or `dst` length differs from the schedule's `n`.
+    pub fn run<T: Copy + Send + Sync + Default>(&self, src: &[T], dst: &mut [T]) {
+        let mut t1 = vec![T::default(); self.len()];
+        let mut t2 = vec![T::default(); self.len()];
+        self.run_with_scratch(src, dst, &mut t1, &mut t2);
+    }
+
+    /// Execute with caller-provided scratch (both of length `n`) to keep
+    /// benchmarks allocation-free.
+    pub fn run_with_scratch<T: Copy + Send + Sync>(
+        &self,
+        src: &[T],
+        dst: &mut [T],
+        t1: &mut [T],
+        t2: &mut [T],
+    ) {
+        let n = self.len();
+        assert_eq!(src.len(), n, "src length mismatch");
+        assert_eq!(dst.len(), n, "dst length mismatch");
+        assert_eq!(t1.len(), n, "t1 length mismatch");
+        assert_eq!(t2.len(), n, "t2 length mismatch");
+        let (r, c) = (self.shape.rows, self.shape.cols);
+        // Pass 1 (row-wise, r×c): src -> t1.
+        row_pass(src, &self.g1, c, t1);
+        // Pass 2a (transpose r×c -> c×r): t1 -> t2.
+        transpose_blocked(t1, r, c, t2);
+        // Pass 2b (row-wise on c×r): t2 -> t1.
+        row_pass(t2, &self.g2, r, t1);
+        // Pass 2c (transpose c×r -> r×c): t1 -> t2.
+        transpose_blocked(t1, c, r, t2);
+        // Pass 3 (row-wise, r×c): t2 -> dst.
+        row_pass(t2, &self.g3, c, dst);
+    }
+}
+
+/// Row-local gather: `out[row][k] = in[row][g[row*cols + k]]`, parallel
+/// over bands of rows.
+fn row_pass<T: Copy + Send + Sync>(input: &[T], g: &[u32], cols: usize, out: &mut [T]) {
+    debug_assert_eq!(input.len(), out.len());
+    debug_assert_eq!(g.len(), out.len());
+    let rows = out.len() / cols;
+    let band = rows_per_band(rows) * cols;
+    par_chunks_mut(out, band, |start, chunk| {
+        for (off, slot) in chunk.iter_mut().enumerate() {
+            let pos = start + off;
+            let row_base = pos - pos % cols;
+            *slot = input[row_base + g[pos] as usize];
+        }
+    });
+}
+
+/// Cache-blocked transpose of a `rows × cols` row-major matrix into a
+/// `cols × rows` one, parallel over bands of output rows.
+fn transpose_blocked<T: Copy + Send + Sync>(input: &[T], rows: usize, cols: usize, out: &mut [T]) {
+    debug_assert_eq!(input.len(), rows * cols);
+    debug_assert_eq!(out.len(), rows * cols);
+    // Each worker owns a band of output rows that is a multiple of TILE (or
+    // the ragged tail), so tile boundaries never straddle two workers.
+    let band_rows = rows_per_band(cols).next_multiple_of(TILE);
+    par_chunks_mut_exact(out, band_rows * rows, |start, chunk| {
+        let out_row0 = start / rows;
+        let out_rows = chunk.len() / rows;
+        // Tiles: output rows [out_row0, out_row0+out_rows) x input rows.
+        let mut j0 = out_row0;
+        while j0 < out_row0 + out_rows {
+            let jmax = (j0 + TILE).min(out_row0 + out_rows);
+            let mut i0 = 0;
+            while i0 < rows {
+                let imax = (i0 + TILE).min(rows);
+                for j in j0..jmax {
+                    let out_base = (j - out_row0) * rows;
+                    for i in i0..imax {
+                        chunk[out_base + i] = input[i * cols + j];
+                    }
+                }
+                i0 = imax;
+            }
+            j0 = jmax;
+        }
+    });
+}
+
+/// Rows per parallel band: enough rows that each worker gets a contiguous,
+/// reasonably large piece.
+fn rows_per_band(rows: usize) -> usize {
+    rows.div_ceil(worker_threads()).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmm_perm::families;
+
+    const W: usize = 32;
+
+    fn reference(p: &Permutation, src: &[u32]) -> Vec<u32> {
+        let mut out = vec![0; src.len()];
+        p.permute(src, &mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn correct_for_all_families() {
+        let n = 1 << 12;
+        let src: Vec<u32> = (0..n as u32).map(|v| v.wrapping_mul(2654435761)).collect();
+        for fam in families::Family::ALL {
+            let p = fam.build(n, 71).unwrap();
+            let sched = NativeScheduled::build(&p, W).unwrap();
+            let mut dst = vec![0u32; n];
+            sched.run(&src, &mut dst);
+            assert_eq!(dst, reference(&p, &src), "{}", fam.name());
+        }
+    }
+
+    #[test]
+    fn correct_for_rectangular_sizes() {
+        for n in [1 << 11, 1 << 13] {
+            let p = families::random(n, 72);
+            let src: Vec<u32> = (0..n as u32).collect();
+            let sched = NativeScheduled::build(&p, W).unwrap();
+            let mut dst = vec![0u32; n];
+            sched.run(&src, &mut dst);
+            assert_eq!(dst, reference(&p, &src), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_scatter_backend() {
+        let n = 1 << 14;
+        let p = families::random(n, 73);
+        let src: Vec<u32> = (0..n as u32).collect();
+        let sched = NativeScheduled::build(&p, W).unwrap();
+        let mut via_sched = vec![0u32; n];
+        sched.run(&src, &mut via_sched);
+        let mut via_scatter = vec![0u32; n];
+        crate::scatter::scatter_permute(&src, &p, &mut via_scatter);
+        assert_eq!(via_sched, via_scatter);
+    }
+
+    #[test]
+    fn run_with_scratch_reuses_buffers() {
+        let n = 1 << 12;
+        let p = families::bit_reversal(n).unwrap();
+        let sched = NativeScheduled::build(&p, W).unwrap();
+        let src: Vec<u64> = (0..n as u64).collect();
+        let mut dst = vec![0u64; n];
+        let mut t1 = vec![0u64; n];
+        let mut t2 = vec![0u64; n];
+        for _ in 0..3 {
+            sched.run_with_scratch(&src, &mut dst, &mut t1, &mut t2);
+        }
+        assert_eq!(dst, reference_u64(&p, &src));
+    }
+
+    fn reference_u64(p: &Permutation, src: &[u64]) -> Vec<u64> {
+        let mut out = vec![0; src.len()];
+        p.permute(src, &mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn transpose_blocked_is_correct() {
+        for (r, c) in [(64, 64), (64, 128), (128, 64), (192, 320)] {
+            let input: Vec<u32> = (0..(r * c) as u32).collect();
+            let mut out = vec![0u32; r * c];
+            transpose_blocked(&input, r, c, &mut out);
+            for i in 0..r {
+                for j in 0..c {
+                    assert_eq!(out[j * r + i], input[i * c + j], "({i},{j}) r={r} c={c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn size_mismatch_panics() {
+        let p = families::random(1 << 10, 1);
+        let sched = NativeScheduled::build(&p, W).unwrap();
+        let src = vec![0u32; 1 << 10];
+        let mut dst = vec![0u32; 512];
+        sched.run(&src, &mut dst);
+    }
+
+    #[test]
+    fn accessors() {
+        let p = families::random(1 << 10, 2);
+        let sched = NativeScheduled::build(&p, W).unwrap();
+        assert_eq!(sched.len(), 1 << 10);
+        assert!(!sched.is_empty());
+        assert_eq!(sched.shape().len(), 1 << 10);
+    }
+}

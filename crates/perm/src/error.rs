@@ -1,0 +1,100 @@
+//! Errors for permutation construction and use.
+
+use core::fmt;
+
+/// Errors raised when building or applying permutations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PermError {
+    /// The mapping is not a bijection on `0..n`.
+    NotABijection {
+        /// Size of the domain.
+        len: usize,
+        /// First index observed twice (or out of range) as an image.
+        offender: usize,
+    },
+    /// A slice passed to `permute`/`gather` does not match the permutation's
+    /// length.
+    LengthMismatch {
+        /// The permutation's length.
+        expected: usize,
+        /// The slice's length.
+        got: usize,
+    },
+    /// A family requires a power-of-two size (shuffle, bit-reversal, ...).
+    NotPowerOfTwo {
+        /// The offending size.
+        n: usize,
+    },
+    /// A matrix-shaped family was given a size that does not factor into the
+    /// requested shape.
+    BadShape {
+        /// Total elements.
+        n: usize,
+        /// Requested rows.
+        rows: usize,
+        /// Requested cols.
+        cols: usize,
+    },
+    /// No `rows x cols` factorization with both sides multiples of `w`
+    /// exists for this `n`.
+    NoValidShape {
+        /// Total elements.
+        n: usize,
+        /// The width both factors must be a multiple of.
+        width: usize,
+    },
+}
+
+impl fmt::Display for PermError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PermError::NotABijection { len, offender } => {
+                write!(f, "mapping on 0..{len} is not a bijection (at {offender})")
+            }
+            PermError::LengthMismatch { expected, got } => {
+                write!(
+                    f,
+                    "slice length {got} does not match permutation length {expected}"
+                )
+            }
+            PermError::NotPowerOfTwo { n } => {
+                write!(f, "size {n} is not a power of two")
+            }
+            PermError::BadShape { n, rows, cols } => {
+                write!(f, "{rows}x{cols} does not tile {n} elements")
+            }
+            PermError::NoValidShape { n, width } => {
+                write!(
+                    f,
+                    "no rows x cols factorization of {n} with both sides multiples of {width}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for PermError {}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, PermError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(PermError::NotABijection {
+            len: 4,
+            offender: 2
+        }
+        .to_string()
+        .contains("bijection"));
+        assert!(PermError::NotPowerOfTwo { n: 12 }
+            .to_string()
+            .contains("12"));
+        assert!(PermError::NoValidShape { n: 40, width: 16 }
+            .to_string()
+            .contains("16"));
+    }
+}

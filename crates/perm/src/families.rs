@@ -1,0 +1,340 @@
+//! The named permutation families used in the paper's evaluation (Section
+//! IV) plus a few classics from the same application domains (sorting
+//! networks, FFTs, hypercube emulation).
+
+use crate::error::{PermError, Result};
+use crate::permutation::Permutation;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Number of bits of a power-of-two size.
+fn log2_exact(n: usize) -> Result<u32> {
+    if n == 0 || !n.is_power_of_two() {
+        return Err(PermError::NotPowerOfTwo { n });
+    }
+    Ok(n.trailing_zeros())
+}
+
+/// Reverse the low `bits` bits of `i`.
+#[inline]
+pub fn reverse_bits(i: usize, bits: u32) -> usize {
+    if bits == 0 {
+        0
+    } else {
+        i.reverse_bits() >> (usize::BITS - bits)
+    }
+}
+
+/// The **identical** permutation: `P[i] = i`. Distribution `γ_w = 1`.
+pub fn identical(n: usize) -> Permutation {
+    Permutation::identity(n)
+}
+
+/// The **shuffle** permutation (Section IV): with `i = b_{k-1} ... b_1 b_0`,
+/// `shuffle(i) = b_{k-2} ... b_0 b_{k-1}` — a one-bit left rotation, used
+/// for shuffle-exchange in sorting networks. Requires a power-of-two `n`.
+/// Distribution `γ_w = 2`.
+pub fn shuffle(n: usize) -> Result<Permutation> {
+    let k = log2_exact(n)?;
+    if k == 0 {
+        return Ok(Permutation::identity(n));
+    }
+    let map = (0..n)
+        .map(|i| ((i << 1) | (i >> (k - 1))) & (n - 1))
+        .collect();
+    Ok(Permutation::from_vec_unchecked(map))
+}
+
+/// The inverse of [`shuffle`]: a one-bit right rotation (often called
+/// *unshuffle*). Requires a power-of-two `n`.
+pub fn unshuffle(n: usize) -> Result<Permutation> {
+    let k = log2_exact(n)?;
+    if k == 0 {
+        return Ok(Permutation::identity(n));
+    }
+    let map = (0..n).map(|i| (i >> 1) | ((i & 1) << (k - 1))).collect();
+    Ok(Permutation::from_vec_unchecked(map))
+}
+
+/// The **bit-reversal** permutation (Section IV): reverse the binary
+/// representation, as used by FFT data reordering. Requires a power-of-two
+/// `n`. Distribution `γ_w = w` for `n >= w²`.
+pub fn bit_reversal(n: usize) -> Result<Permutation> {
+    let k = log2_exact(n)?;
+    let map = (0..n).map(|i| reverse_bits(i, k)).collect();
+    Ok(Permutation::from_vec_unchecked(map))
+}
+
+/// The **transpose** permutation (Section IV) for a `rows × cols` row-major
+/// matrix: the element at `(i, j)` (index `i*cols + j`) moves to `(j, i)`
+/// (index `j*rows + i`). Distribution `γ_w = w` for `rows, cols >= w`.
+pub fn transpose(rows: usize, cols: usize, n: usize) -> Result<Permutation> {
+    if rows == 0 || cols == 0 || rows * cols != n {
+        return Err(PermError::BadShape { n, rows, cols });
+    }
+    let mut map = vec![0usize; n];
+    for i in 0..rows {
+        for j in 0..cols {
+            map[i * cols + j] = j * rows + i;
+        }
+    }
+    Ok(Permutation::from_vec_unchecked(map))
+}
+
+/// Square transpose: `√n × √n`; `n` must be an even power of two (or any
+/// perfect square).
+pub fn transpose_square(n: usize) -> Result<Permutation> {
+    let side = (n as f64).sqrt().round() as usize;
+    if side * side != n {
+        return Err(PermError::BadShape {
+            n,
+            rows: side,
+            cols: side,
+        });
+    }
+    transpose(side, side, n)
+}
+
+/// A uniformly **random** permutation drawn from a seeded generator, so the
+/// harness's "1000 random permutations" of Table III are reproducible.
+pub fn random(n: usize, seed: u64) -> Permutation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Permutation::random(n, &mut rng)
+}
+
+/// Cyclic **rotation** by `shift`: `P[i] = (i + shift) mod n`. Distribution
+/// `γ_w ≤ 2` — a cheap permutation the conventional algorithm is good at.
+pub fn rotation(n: usize, shift: usize) -> Permutation {
+    if n == 0 {
+        return Permutation::identity(0);
+    }
+    Permutation::from_vec_unchecked((0..n).map(|i| (i + shift) % n).collect())
+}
+
+/// One **butterfly** stage: `P[i] = i XOR (1 << stage)` — the exchange
+/// pattern of stage `stage` of an FFT or hypercube network. Requires a
+/// power-of-two `n` and `stage < log2 n`.
+pub fn butterfly(n: usize, stage: u32) -> Result<Permutation> {
+    let k = log2_exact(n)?;
+    if stage >= k {
+        return Err(PermError::BadShape {
+            n,
+            rows: 1 << stage,
+            cols: 0,
+        });
+    }
+    let mask = 1usize << stage;
+    Ok(Permutation::from_vec_unchecked(
+        (0..n).map(|i| i ^ mask).collect(),
+    ))
+}
+
+/// The binary-reflected **Gray code** ordering: `P[i] = i ^ (i >> 1)`.
+/// Requires a power-of-two `n`.
+pub fn gray_code(n: usize) -> Result<Permutation> {
+    log2_exact(n)?;
+    Ok(Permutation::from_vec_unchecked(
+        (0..n).map(|i| i ^ (i >> 1)).collect(),
+    ))
+}
+
+/// The five families evaluated in the paper's Table II, in table order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// `P[i] = i`.
+    Identical,
+    /// One-bit left rotation of the index bits.
+    Shuffle,
+    /// Uniformly random (seeded).
+    Random,
+    /// Index bit reversal.
+    BitReversal,
+    /// Square matrix transpose.
+    Transpose,
+}
+
+impl Family {
+    /// All five families in the paper's row order.
+    pub const ALL: [Family; 5] = [
+        Family::Identical,
+        Family::Shuffle,
+        Family::Random,
+        Family::BitReversal,
+        Family::Transpose,
+    ];
+
+    /// The family's name as printed in Table II.
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::Identical => "identical",
+            Family::Shuffle => "shuffle",
+            Family::Random => "random",
+            Family::BitReversal => "bit-reversal",
+            Family::Transpose => "transpose",
+        }
+    }
+
+    /// Build the family's permutation of size `n` (`seed` only affects
+    /// [`Family::Random`]). For [`Family::Transpose`] with non-square `n`
+    /// (odd power of two), a `√(n/2) × √(2n)` rectangular transpose is used
+    /// so every Table II size is covered.
+    pub fn build(self, n: usize, seed: u64) -> Result<Permutation> {
+        match self {
+            Family::Identical => Ok(identical(n)),
+            Family::Shuffle => shuffle(n),
+            Family::Random => Ok(random(n, seed)),
+            Family::BitReversal => bit_reversal(n),
+            Family::Transpose => {
+                let k = log2_exact(n)?;
+                let rows = 1usize << (k / 2);
+                transpose(rows, n / rows, n)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shuffle_rotates_left() {
+        // n = 8 (k = 3): 0b011 -> 0b110, 0b100 -> 0b001.
+        let p = shuffle(8).unwrap();
+        assert_eq!(p.apply(0b011), 0b110);
+        assert_eq!(p.apply(0b100), 0b001);
+        assert_eq!(p.apply(0), 0);
+        assert_eq!(p.apply(7), 7);
+    }
+
+    #[test]
+    fn unshuffle_inverts_shuffle() {
+        for n in [2usize, 4, 16, 64, 1024] {
+            let s = shuffle(n).unwrap();
+            let u = unshuffle(n).unwrap();
+            assert_eq!(s.compose(&u), Permutation::identity(n), "n = {n}");
+            assert_eq!(u.compose(&s), Permutation::identity(n), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn bit_reversal_is_an_involution() {
+        for n in [2usize, 8, 256, 4096] {
+            let p = bit_reversal(n).unwrap();
+            assert_eq!(p.compose(&p), Permutation::identity(n), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn bit_reversal_known_values() {
+        let p = bit_reversal(8).unwrap();
+        // 0b001 -> 0b100, 0b011 -> 0b110, 0b101 -> 0b101.
+        assert_eq!(p.apply(1), 4);
+        assert_eq!(p.apply(3), 6);
+        assert_eq!(p.apply(5), 5);
+    }
+
+    #[test]
+    fn transpose_square_is_an_involution() {
+        let p = transpose_square(16).unwrap();
+        assert_eq!(p.compose(&p), Permutation::identity(16));
+        // (0,1) at index 1 -> (1,0) at index 4.
+        assert_eq!(p.apply(1), 4);
+    }
+
+    #[test]
+    fn rectangular_transpose_roundtrips_via_swapped_shape() {
+        let p = transpose(4, 8, 32).unwrap();
+        let q = transpose(8, 4, 32).unwrap();
+        assert_eq!(q.compose(&p), Permutation::identity(32));
+    }
+
+    #[test]
+    fn transpose_rejects_bad_shapes() {
+        assert!(transpose(3, 5, 16).is_err());
+        assert!(transpose(0, 4, 0).is_err());
+        assert!(transpose_square(12).is_err());
+    }
+
+    #[test]
+    fn power_of_two_required_where_documented() {
+        assert!(shuffle(12).is_err());
+        assert!(unshuffle(0).is_err());
+        assert!(bit_reversal(24).is_err());
+        assert!(gray_code(3).is_err());
+        assert!(butterfly(12, 0).is_err());
+    }
+
+    #[test]
+    fn butterfly_is_an_involution_per_stage() {
+        for stage in 0..4 {
+            let p = butterfly(16, stage).unwrap();
+            assert_eq!(p.compose(&p), Permutation::identity(16));
+        }
+        assert!(butterfly(16, 4).is_err());
+    }
+
+    #[test]
+    fn gray_code_neighbors_differ_in_one_bit() {
+        let p = gray_code(64).unwrap();
+        for i in 0..63 {
+            let diff = p.apply(i) ^ p.apply(i + 1);
+            assert_eq!(diff.count_ones(), 1, "i = {i}");
+        }
+    }
+
+    #[test]
+    fn rotation_wraps() {
+        let p = rotation(5, 2);
+        assert_eq!(p.as_slice(), &[2, 3, 4, 0, 1]);
+        assert!(rotation(0, 3).is_empty());
+        assert!(rotation(5, 0).is_identity());
+        assert!(rotation(5, 5).is_identity());
+    }
+
+    #[test]
+    fn random_is_seed_deterministic() {
+        assert_eq!(random(128, 5), random(128, 5));
+        assert_ne!(random(128, 5), random(128, 6));
+    }
+
+    #[test]
+    fn family_builders_cover_table_sizes() {
+        // Table II uses powers of two from 256K to 4M; test miniatures with
+        // both even and odd exponents.
+        for n in [256usize, 512, 1024, 2048, 4096] {
+            for fam in Family::ALL {
+                let p = fam.build(n, 42).unwrap();
+                assert_eq!(p.len(), n, "{} n={n}", fam.name());
+            }
+        }
+    }
+
+    #[test]
+    fn family_names_match_paper() {
+        let names: Vec<&str> = Family::ALL.iter().map(|f| f.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "identical",
+                "shuffle",
+                "random",
+                "bit-reversal",
+                "transpose"
+            ]
+        );
+    }
+
+    #[test]
+    fn reverse_bits_edge_cases() {
+        assert_eq!(reverse_bits(0, 0), 0);
+        assert_eq!(reverse_bits(1, 1), 1);
+        assert_eq!(reverse_bits(0b0001, 4), 0b1000);
+    }
+
+    #[test]
+    fn shuffle_of_two_elements() {
+        let p = shuffle(2).unwrap();
+        assert!(p.is_identity()); // rotating 1 bit is the identity
+    }
+}

@@ -1,0 +1,165 @@
+//! Row-major matrix views of flat arrays.
+//!
+//! The scheduled permutation algorithm treats the arrays `a` and `b` as
+//! matrices of shape `√n × √n` (Section VII assumes square for simplicity;
+//! for odd powers of two we use the natural `r × 2r` rectangle). Both
+//! dimensions must be multiples of the machine width `w` so that rows tile
+//! into full warps and `w × w` transpose tiles.
+
+use crate::error::{PermError, Result};
+
+/// A `rows × cols` row-major shape over `rows*cols` elements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatrixShape {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+}
+
+impl MatrixShape {
+    /// Build a shape, checking that it is non-degenerate.
+    pub fn new(rows: usize, cols: usize) -> Result<Self> {
+        if rows == 0 || cols == 0 {
+            return Err(PermError::BadShape {
+                n: rows * cols,
+                rows,
+                cols,
+            });
+        }
+        Ok(MatrixShape { rows, cols })
+    }
+
+    /// Total elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// True when the shape covers no elements (never, by construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Flat index of `(row, col)`.
+    #[inline]
+    pub fn index(&self, row: usize, col: usize) -> usize {
+        debug_assert!(row < self.rows && col < self.cols);
+        row * self.cols + col
+    }
+
+    /// `(row, col)` of a flat index.
+    #[inline]
+    pub fn coords(&self, index: usize) -> (usize, usize) {
+        debug_assert!(index < self.len());
+        (index / self.cols, index % self.cols)
+    }
+
+    /// The transposed shape.
+    #[inline]
+    pub fn transposed(&self) -> MatrixShape {
+        MatrixShape {
+            rows: self.cols,
+            cols: self.rows,
+        }
+    }
+
+    /// True when both dimensions are multiples of `w`.
+    pub fn tiles_by(&self, w: usize) -> bool {
+        w > 0 && self.rows.is_multiple_of(w) && self.cols.is_multiple_of(w)
+    }
+}
+
+/// Choose the matrix shape the scheduled algorithm uses for an `n`-element
+/// array on a width-`w` machine: the most-square power-of-two factorization
+/// `r × c` with `r ≤ c` and both multiples of `w`.
+///
+/// Requires `n` to be a power of two with `n ≥ w²` (smaller arrays fit in a
+/// single DMM and don't need the three-pass algorithm).
+pub fn scheduled_shape(n: usize, w: usize) -> Result<MatrixShape> {
+    if !n.is_power_of_two() {
+        return Err(PermError::NotPowerOfTwo { n });
+    }
+    if w == 0 || !w.is_power_of_two() {
+        return Err(PermError::NotPowerOfTwo { n: w });
+    }
+    let k = n.trailing_zeros();
+    let rows = 1usize << (k / 2);
+    let cols = n / rows;
+    let shape = MatrixShape { rows, cols };
+    if !shape.tiles_by(w) {
+        return Err(PermError::NoValidShape { n, width: w });
+    }
+    Ok(shape)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_coords_roundtrip() {
+        let s = MatrixShape::new(4, 8).unwrap();
+        for i in 0..s.len() {
+            let (r, c) = s.coords(i);
+            assert_eq!(s.index(r, c), i);
+        }
+        assert_eq!(s.len(), 32);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn transposed_swaps_dims() {
+        let s = MatrixShape::new(4, 8).unwrap();
+        let t = s.transposed();
+        assert_eq!((t.rows, t.cols), (8, 4));
+    }
+
+    #[test]
+    fn zero_dims_rejected() {
+        assert!(MatrixShape::new(0, 5).is_err());
+        assert!(MatrixShape::new(5, 0).is_err());
+    }
+
+    #[test]
+    fn scheduled_shape_even_power() {
+        // n = 2^20, w = 32: 1024 x 1024.
+        let s = scheduled_shape(1 << 20, 32).unwrap();
+        assert_eq!((s.rows, s.cols), (1024, 1024));
+        assert!(s.tiles_by(32));
+    }
+
+    #[test]
+    fn scheduled_shape_odd_power() {
+        // n = 2^21: 1024 x 2048 (r <= c).
+        let s = scheduled_shape(1 << 21, 32).unwrap();
+        assert_eq!((s.rows, s.cols), (1024, 2048));
+    }
+
+    #[test]
+    fn scheduled_shape_minimum_size() {
+        // n = w^2 = 1024: 32 x 32 just tiles.
+        let s = scheduled_shape(1024, 32).unwrap();
+        assert_eq!((s.rows, s.cols), (32, 32));
+        // n = 512 = 16 x 32: rows=16 not a multiple of 32.
+        assert!(matches!(
+            scheduled_shape(512, 32),
+            Err(PermError::NoValidShape { .. })
+        ));
+    }
+
+    #[test]
+    fn scheduled_shape_rejects_non_power_of_two() {
+        assert!(scheduled_shape(1000, 32).is_err());
+        assert!(scheduled_shape(1024, 24).is_err());
+    }
+
+    #[test]
+    fn tiles_by_edge_cases() {
+        let s = MatrixShape::new(64, 64).unwrap();
+        assert!(s.tiles_by(32));
+        assert!(!s.tiles_by(48));
+        assert!(!s.tiles_by(0));
+    }
+}

@@ -1,0 +1,535 @@
+//! The validated [`Permutation`] type and its algebra.
+//!
+//! A permutation `P` of `{0, 1, ..., n-1}` is stored in **destination
+//! convention**, matching the paper's Section IV: `P[i]` is the index that
+//! element `i` of the source array moves *to*, i.e. the offline permutation
+//! task is `b[P[i]] = a[i]` for all `i`.
+
+use crate::error::{PermError, Result};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A validated permutation of `0..n` in destination convention.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Permutation {
+    map: Vec<usize>,
+}
+
+impl Permutation {
+    /// Build from an explicit mapping, validating that it is a bijection.
+    pub fn from_vec(map: Vec<usize>) -> Result<Self> {
+        let n = map.len();
+        let mut seen = vec![false; n];
+        for &dst in &map {
+            if dst >= n || seen[dst] {
+                return Err(PermError::NotABijection {
+                    len: n,
+                    offender: dst,
+                });
+            }
+            seen[dst] = true;
+        }
+        Ok(Permutation { map })
+    }
+
+    /// Build without validation. The caller must guarantee bijectivity; the
+    /// invariant is checked in debug builds.
+    pub fn from_vec_unchecked(map: Vec<usize>) -> Self {
+        debug_assert!(Self::from_vec(map.clone()).is_ok());
+        Permutation { map }
+    }
+
+    /// The identity permutation of size `n` ("identical" in the paper).
+    pub fn identity(n: usize) -> Self {
+        Permutation {
+            map: (0..n).collect(),
+        }
+    }
+
+    /// A uniformly random permutation of size `n`.
+    pub fn random<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Self {
+        let mut map: Vec<usize> = (0..n).collect();
+        map.shuffle(rng);
+        Permutation { map }
+    }
+
+    /// Domain size `n`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True for the (unique) permutation of the empty set.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Destination of source index `i`.
+    #[inline]
+    pub fn apply(&self, i: usize) -> usize {
+        self.map[i]
+    }
+
+    /// The raw destination map.
+    #[inline]
+    pub fn as_slice(&self) -> &[usize] {
+        &self.map
+    }
+
+    /// True if `P[i] == i` for all `i`.
+    pub fn is_identity(&self) -> bool {
+        self.map.iter().enumerate().all(|(i, &d)| i == d)
+    }
+
+    /// The inverse permutation `P⁻¹` (the paper's `q`, used by the
+    /// source-designated algorithm: `b[i] = a[P⁻¹[i]]`).
+    pub fn inverse(&self) -> Permutation {
+        let mut inv = vec![0usize; self.map.len()];
+        for (i, &d) in self.map.iter().enumerate() {
+            inv[d] = i;
+        }
+        Permutation { map: inv }
+    }
+
+    /// Composition `self ∘ other`: first move along `other`, then along
+    /// `self`. `(self ∘ other)[i] = self[other[i]]`.
+    ///
+    /// # Panics
+    /// Panics if the sizes differ (composition of different domains is a
+    /// type error, not a data error).
+    pub fn compose(&self, other: &Permutation) -> Permutation {
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "composing permutations of different sizes"
+        );
+        Permutation {
+            map: other.map.iter().map(|&mid| self.map[mid]).collect(),
+        }
+    }
+
+    /// Move `src` into `dst` along the permutation: `dst[P[i]] = src[i]`.
+    pub fn permute<T: Copy>(&self, src: &[T], dst: &mut [T]) -> Result<()> {
+        if src.len() != self.len() {
+            return Err(PermError::LengthMismatch {
+                expected: self.len(),
+                got: src.len(),
+            });
+        }
+        if dst.len() != self.len() {
+            return Err(PermError::LengthMismatch {
+                expected: self.len(),
+                got: dst.len(),
+            });
+        }
+        for (i, &v) in src.iter().enumerate() {
+            dst[self.map[i]] = v;
+        }
+        Ok(())
+    }
+
+    /// Gather formulation of the same data movement:
+    /// `dst[i] = src[P⁻¹[i]]`, computed without materializing the inverse.
+    /// Equivalent to [`Permutation::permute`] on the same `(src, dst)`.
+    pub fn permute_gather<T: Copy + Default>(&self, src: &[T]) -> Result<Vec<T>> {
+        if src.len() != self.len() {
+            return Err(PermError::LengthMismatch {
+                expected: self.len(),
+                got: src.len(),
+            });
+        }
+        let mut dst = vec![T::default(); src.len()];
+        self.permute(src, &mut dst)?;
+        Ok(dst)
+    }
+
+    /// Apply the permutation in place using O(1) extra space per cycle
+    /// (cycle-walking with a visited bitmap).
+    pub fn permute_in_place<T>(&self, data: &mut [T]) -> Result<()> {
+        if data.len() != self.len() {
+            return Err(PermError::LengthMismatch {
+                expected: self.len(),
+                got: data.len(),
+            });
+        }
+        let mut visited = vec![false; self.len()];
+        for start in 0..self.len() {
+            if visited[start] {
+                continue;
+            }
+            visited[start] = true;
+            // Walk the cycle containing `start`: after `data.swap(start,
+            // pos)`, slot `pos` holds its final value and slot `start`
+            // carries the element still in flight.
+            let mut pos = self.map[start];
+            while pos != start {
+                data.swap(start, pos);
+                visited[pos] = true;
+                pos = self.map[pos];
+            }
+        }
+        Ok(())
+    }
+
+    /// Cycle decomposition: each inner vector lists one cycle's indices in
+    /// traversal order, starting from its smallest element. Fixed points are
+    /// returned as singleton cycles.
+    pub fn cycles(&self) -> Vec<Vec<usize>> {
+        let mut visited = vec![false; self.len()];
+        let mut cycles = Vec::new();
+        for start in 0..self.len() {
+            if visited[start] {
+                continue;
+            }
+            let mut cycle = Vec::new();
+            let mut i = start;
+            while !visited[i] {
+                visited[i] = true;
+                cycle.push(i);
+                i = self.map[i];
+            }
+            cycles.push(cycle);
+        }
+        cycles
+    }
+
+    /// Number of fixed points (`P[i] == i`).
+    pub fn fixed_points(&self) -> usize {
+        self.map
+            .iter()
+            .enumerate()
+            .filter(|&(i, &d)| i == d)
+            .count()
+    }
+
+    /// Build from a cycle decomposition: each inner slice lists a cycle
+    /// `(c₀ c₁ ... c_k)` meaning `c₀ → c₁ → ... → c_k → c₀`. Indices not
+    /// mentioned are fixed points. Fails if any index is out of range or
+    /// repeated.
+    pub fn from_cycles(n: usize, cycles: &[&[usize]]) -> Result<Self> {
+        let mut map: Vec<usize> = (0..n).collect();
+        let mut seen = vec![false; n];
+        for cycle in cycles {
+            for (k, &i) in cycle.iter().enumerate() {
+                if i >= n || seen[i] {
+                    return Err(PermError::NotABijection {
+                        len: n,
+                        offender: i,
+                    });
+                }
+                seen[i] = true;
+                map[i] = cycle[(k + 1) % cycle.len()];
+            }
+        }
+        Permutation::from_vec(map)
+    }
+
+    /// The permutation's order: the smallest `k ≥ 1` with `Pᵏ = identity`
+    /// (the LCM of the cycle lengths). Saturates at `u128::MAX` for
+    /// pathological inputs. Returns 1 for the empty permutation.
+    pub fn order(&self) -> u128 {
+        fn gcd(a: u128, b: u128) -> u128 {
+            if b == 0 {
+                a
+            } else {
+                gcd(b, a % b)
+            }
+        }
+        self.cycles().iter().fold(1u128, |acc, c| {
+            let len = c.len() as u128;
+            let g = gcd(acc, len);
+            (acc / g).saturating_mul(len)
+        })
+    }
+
+    /// The permutation's sign: `+1` for even permutations, `-1` for odd
+    /// (parity of `n − #cycles`).
+    pub fn sign(&self) -> i8 {
+        let transpositions = self.len() - self.cycles().len();
+        if transpositions.is_multiple_of(2) {
+            1
+        } else {
+            -1
+        }
+    }
+
+    /// True if `P² = identity` (every cycle has length 1 or 2) — e.g.
+    /// bit-reversal and square transpose.
+    pub fn is_involution(&self) -> bool {
+        self.map.iter().enumerate().all(|(i, &d)| self.map[d] == i)
+    }
+
+    /// The `k`-th power `Pᵏ` (repeated application), computed by cycle
+    /// walking in `O(n)` regardless of `k`.
+    pub fn power(&self, k: u64) -> Permutation {
+        let n = self.len();
+        let mut map = vec![0usize; n];
+        for cycle in self.cycles() {
+            let len = cycle.len() as u64;
+            let shift = (k % len) as usize;
+            for (pos, &i) in cycle.iter().enumerate() {
+                map[i] = cycle[(pos + shift) % cycle.len()];
+            }
+        }
+        Permutation { map }
+    }
+
+    /// A uniformly random **derangement** (no fixed points) of size
+    /// `n ≥ 2`, by rejection sampling (expected ≈ e tries).
+    pub fn random_derangement<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Permutation {
+        assert!(n >= 2, "derangements need n >= 2");
+        loop {
+            let p = Permutation::random(n, rng);
+            if p.fixed_points() == 0 {
+                return p;
+            }
+        }
+    }
+}
+
+impl core::fmt::Display for Permutation {
+    /// Cycle notation for small permutations (`(0 2 1)(3)`), elided for
+    /// large ones.
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if self.len() > 64 {
+            return write!(f, "Permutation(n = {})", self.len());
+        }
+        if self.is_identity() {
+            return write!(f, "id({})", self.len());
+        }
+        for cycle in self.cycles() {
+            if cycle.len() == 1 {
+                continue; // conventional: omit fixed points
+            }
+            write!(f, "(")?;
+            for (k, i) in cycle.iter().enumerate() {
+                if k > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{i}")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn from_vec_accepts_bijections() {
+        let p = Permutation::from_vec(vec![2, 0, 1]).unwrap();
+        assert_eq!(p.apply(0), 2);
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn from_vec_rejects_duplicates_and_out_of_range() {
+        assert_eq!(
+            Permutation::from_vec(vec![0, 0, 1]),
+            Err(PermError::NotABijection {
+                len: 3,
+                offender: 0
+            })
+        );
+        assert_eq!(
+            Permutation::from_vec(vec![0, 3, 1]),
+            Err(PermError::NotABijection {
+                len: 3,
+                offender: 3
+            })
+        );
+    }
+
+    #[test]
+    fn identity_properties() {
+        let p = Permutation::identity(8);
+        assert!(p.is_identity());
+        assert_eq!(p.inverse(), p);
+        assert_eq!(p.fixed_points(), 8);
+    }
+
+    #[test]
+    fn inverse_composes_to_identity() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let p = Permutation::random(100, &mut rng);
+        assert!(p.compose(&p.inverse()).is_identity());
+        assert!(p.inverse().compose(&p).is_identity());
+    }
+
+    #[test]
+    fn permute_moves_to_destinations() {
+        let p = Permutation::from_vec(vec![2, 0, 1]).unwrap();
+        let src = [10, 20, 30];
+        let mut dst = [0; 3];
+        p.permute(&src, &mut dst).unwrap();
+        // b[P[i]] = a[i]: b[2]=10, b[0]=20, b[1]=30.
+        assert_eq!(dst, [20, 30, 10]);
+    }
+
+    #[test]
+    fn gather_equals_scatter() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let p = Permutation::random(64, &mut rng);
+        let src: Vec<u32> = (0..64).map(|i| i * 3).collect();
+        let mut scat = vec![0u32; 64];
+        p.permute(&src, &mut scat).unwrap();
+        assert_eq!(p.permute_gather(&src).unwrap(), scat);
+    }
+
+    #[test]
+    fn in_place_matches_out_of_place() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for n in [1usize, 2, 5, 17, 64, 100] {
+            let p = Permutation::random(n, &mut rng);
+            let src: Vec<u64> = (0..n as u64).collect();
+            let mut expect = vec![0u64; n];
+            p.permute(&src, &mut expect).unwrap();
+            let mut data = src.clone();
+            p.permute_in_place(&mut data).unwrap();
+            assert_eq!(data, expect, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn length_mismatches_rejected() {
+        let p = Permutation::identity(4);
+        let mut dst = [0u8; 3];
+        assert!(p.permute(&[1u8, 2, 3, 4], &mut dst).is_err());
+        assert!(p.permute(&[1u8, 2, 3], &mut [0u8; 4]).is_err());
+        assert!(p.permute_gather(&[1u8; 5]).is_err());
+        assert!(p.permute_in_place(&mut [0u8; 2]).is_err());
+    }
+
+    #[test]
+    fn cycles_partition_the_domain() {
+        // (0 2 1)(3)
+        let p = Permutation::from_vec(vec![2, 0, 1, 3]).unwrap();
+        let cycles = p.cycles();
+        assert_eq!(cycles, vec![vec![0, 2, 1], vec![3]]);
+        let total: usize = cycles.iter().map(Vec::len).sum();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn random_is_a_bijection_and_varies_by_seed() {
+        let mut rng1 = StdRng::seed_from_u64(1);
+        let mut rng2 = StdRng::seed_from_u64(2);
+        let p1 = Permutation::random(256, &mut rng1);
+        let p2 = Permutation::random(256, &mut rng2);
+        // Re-validates internally.
+        Permutation::from_vec(p1.as_slice().to_vec()).unwrap();
+        assert_ne!(p1, p2);
+    }
+
+    #[test]
+    fn empty_permutation() {
+        let p = Permutation::identity(0);
+        assert!(p.is_empty());
+        assert!(p.is_identity());
+        assert!(p.cycles().is_empty());
+        let mut nothing: [u8; 0] = [];
+        p.permute_in_place(&mut nothing).unwrap();
+    }
+
+    #[test]
+    fn from_cycles_builds_expected_map() {
+        let p = Permutation::from_cycles(4, &[&[0, 2, 1]]).unwrap();
+        assert_eq!(p.as_slice(), &[2, 0, 1, 3]);
+        // Out of range / repeated indices rejected.
+        assert!(Permutation::from_cycles(3, &[&[0, 3]]).is_err());
+        assert!(Permutation::from_cycles(3, &[&[0, 1], &[1, 2]]).is_err());
+        // Empty cycle list = identity.
+        assert!(Permutation::from_cycles(5, &[]).unwrap().is_identity());
+    }
+
+    #[test]
+    fn order_is_lcm_of_cycle_lengths() {
+        // (0 1 2)(3 4): order 6.
+        let p = Permutation::from_cycles(5, &[&[0, 1, 2], &[3, 4]]).unwrap();
+        assert_eq!(p.order(), 6);
+        assert_eq!(Permutation::identity(7).order(), 1);
+        assert_eq!(Permutation::identity(0).order(), 1);
+        // Applying P `order` times gives the identity.
+        assert!(p.power(6).is_identity());
+        assert!(!p.power(3).is_identity());
+    }
+
+    #[test]
+    fn sign_matches_transposition_parity() {
+        // A single transposition is odd.
+        let swap = Permutation::from_cycles(4, &[&[0, 1]]).unwrap();
+        assert_eq!(swap.sign(), -1);
+        // A 3-cycle is even.
+        let three = Permutation::from_cycles(4, &[&[0, 1, 2]]).unwrap();
+        assert_eq!(three.sign(), 1);
+        // Sign is multiplicative under composition.
+        let composed = swap.compose(&three);
+        assert_eq!(composed.sign(), swap.sign() * three.sign());
+        assert_eq!(Permutation::identity(9).sign(), 1);
+    }
+
+    #[test]
+    fn involutions_detected() {
+        assert!(Permutation::identity(4).is_involution());
+        assert!(Permutation::from_cycles(4, &[&[0, 1], &[2, 3]])
+            .unwrap()
+            .is_involution());
+        assert!(!Permutation::from_cycles(4, &[&[0, 1, 2]])
+            .unwrap()
+            .is_involution());
+    }
+
+    #[test]
+    fn power_agrees_with_repeated_composition() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let p = Permutation::random(40, &mut rng);
+        let mut by_compose = Permutation::identity(40);
+        for k in 0..8u64 {
+            assert_eq!(p.power(k), by_compose, "k = {k}");
+            by_compose = p.compose(&by_compose);
+        }
+        // Large exponents reduce modulo the order.
+        let ord = p.order() as u64;
+        assert!(p.power(ord * 1000).is_identity());
+    }
+
+    #[test]
+    fn derangements_have_no_fixed_points() {
+        let mut rng = StdRng::seed_from_u64(23);
+        for n in [2usize, 3, 10, 100] {
+            let p = Permutation::random_derangement(n, &mut rng);
+            assert_eq!(p.fixed_points(), 0, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn display_cycle_notation() {
+        let p = Permutation::from_cycles(4, &[&[0, 2, 1]]).unwrap();
+        assert_eq!(p.to_string(), "(0 2 1)");
+        assert_eq!(Permutation::identity(3).to_string(), "id(3)");
+        let big = Permutation::identity(100);
+        assert!(big.to_string().contains("n = 100"));
+    }
+
+    #[test]
+    #[should_panic(expected = "different sizes")]
+    fn compose_different_sizes_panics() {
+        let _ = Permutation::identity(3).compose(&Permutation::identity(4));
+    }
+
+    #[test]
+    fn compose_order_is_self_after_other() {
+        // other: 0->1->2->0 rotation; self: swap 0,1.
+        let other = Permutation::from_vec(vec![1, 2, 0]).unwrap();
+        let swap = Permutation::from_vec(vec![1, 0, 2]).unwrap();
+        let c = swap.compose(&other);
+        // c[i] = swap[other[i]]: c[0]=swap[1]=0, c[1]=swap[2]=2, c[2]=swap[0]=1.
+        assert_eq!(c.as_slice(), &[0, 2, 1]);
+    }
+}

@@ -1,0 +1,185 @@
+//! Tensor (Kronecker) structure on permutations: stride permutations and
+//! products.
+//!
+//! The structured permutation families of Section IV are all members of
+//! the *stride permutation* algebra used in FFT and sorting-network theory
+//! (cf. the paper's reference to shuffle/exchange-type networks): the
+//! shuffle is `L(n, n/2)`, the matrix transpose is `L(n, cols)`, and
+//! multistage networks factor into tensor products of small permutations.
+//! Having the algebra lets applications *compose* schedules instead of
+//! tabulating them.
+
+use crate::error::{PermError, Result};
+use crate::families;
+use crate::permutation::Permutation;
+
+/// The stride permutation `L(n, m)` ("load with stride `m`"): viewing the
+/// array as an `(n/m) × m` row-major matrix, transpose it. Index
+/// `i ↦ (i mod m)·(n/m) + ⌊i/m⌋`. Requires `m` to divide `n`.
+pub fn stride(n: usize, m: usize) -> Result<Permutation> {
+    match n.checked_div(m) {
+        Some(rows) if n > 0 && n.is_multiple_of(m) => families::transpose(rows, m, n),
+        _ => Err(PermError::BadShape {
+            n,
+            rows: n.checked_div(m).unwrap_or(0),
+            cols: m,
+        }),
+    }
+}
+
+/// The tensor (Kronecker) product `p ⊗ q`: acts on `|p|·|q|` elements by
+/// permuting the `|q|`-blocks with `p` and the contents of each block
+/// with `q`: `a·|q| + b ↦ p(a)·|q| + q(b)`.
+pub fn tensor(p: &Permutation, q: &Permutation) -> Permutation {
+    let (np, nq) = (p.len(), q.len());
+    let mut map = Vec::with_capacity(np * nq);
+    for a in 0..np {
+        let base = p.apply(a) * nq;
+        for b in 0..nq {
+            map.push(base + q.apply(b));
+        }
+    }
+    Permutation::from_vec_unchecked(map)
+}
+
+/// The direct sum `p ⊕ q`: `p` on the first `|p|` elements, `q` shifted
+/// onto the rest.
+pub fn direct_sum(p: &Permutation, q: &Permutation) -> Permutation {
+    let np = p.len();
+    let mut map = Vec::with_capacity(np + q.len());
+    map.extend(p.as_slice().iter().copied());
+    map.extend(q.as_slice().iter().map(|&d| d + np));
+    Permutation::from_vec_unchecked(map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stride_is_the_matrix_transpose() {
+        let l = stride(24, 6).unwrap();
+        let t = families::transpose(4, 6, 24).unwrap();
+        assert_eq!(l, t);
+        // Known values: L(6,2): 0,2,4 then 1,3,5 inverted... check directly:
+        let l62 = stride(6, 2).unwrap();
+        // i=0->0, i=1->3, i=2->1, i=3->4, i=4->2, i=5->5.
+        assert_eq!(l62.as_slice(), &[0, 3, 1, 4, 2, 5]);
+    }
+
+    #[test]
+    fn stride_inverse_identity() {
+        // L(n,m)⁻¹ = L(n, n/m).
+        for (n, m) in [(16usize, 2usize), (16, 4), (24, 6), (60, 5)] {
+            assert_eq!(
+                stride(n, m).unwrap().inverse(),
+                stride(n, n / m).unwrap(),
+                "n={n} m={m}"
+            );
+        }
+    }
+
+    #[test]
+    fn shuffle_is_stride_n_over_2() {
+        for n in [4usize, 16, 256] {
+            assert_eq!(
+                families::shuffle(n).unwrap(),
+                stride(n, n / 2).unwrap(),
+                "n = {n}"
+            );
+            assert_eq!(
+                families::unshuffle(n).unwrap(),
+                stride(n, 2).unwrap(),
+                "n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn tensor_of_identities_is_identity() {
+        let p = tensor(&Permutation::identity(4), &Permutation::identity(8));
+        assert!(p.is_identity());
+        assert_eq!(p.len(), 32);
+    }
+
+    #[test]
+    fn tensor_with_identity_acts_blockwise() {
+        let swap = Permutation::from_vec(vec![1, 0]).unwrap();
+        // swap ⊗ id_3 exchanges the two 3-blocks.
+        let p = tensor(&swap, &Permutation::identity(3));
+        assert_eq!(p.as_slice(), &[3, 4, 5, 0, 1, 2]);
+        // id_3 ⊗ swap swaps within each 2-block.
+        let q = tensor(&Permutation::identity(3), &swap);
+        assert_eq!(q.as_slice(), &[1, 0, 3, 2, 5, 4]);
+    }
+
+    #[test]
+    fn tensor_is_associative_and_respects_inverse() {
+        let p = families::random(4, 1);
+        let q = families::random(3, 2);
+        let r = families::random(5, 3);
+        assert_eq!(tensor(&tensor(&p, &q), &r), tensor(&p, &tensor(&q, &r)));
+        assert_eq!(tensor(&p, &q).inverse(), tensor(&p.inverse(), &q.inverse()));
+    }
+
+    #[test]
+    fn tensor_composition_is_componentwise() {
+        // (p1 ⊗ q1) ∘ (p2 ⊗ q2) = (p1∘p2) ⊗ (q1∘q2).
+        let p1 = families::random(4, 4);
+        let p2 = families::random(4, 5);
+        let q1 = families::random(6, 6);
+        let q2 = families::random(6, 7);
+        assert_eq!(
+            tensor(&p1, &q1).compose(&tensor(&p2, &q2)),
+            tensor(&p1.compose(&p2), &q1.compose(&q2))
+        );
+    }
+
+    #[test]
+    fn commutation_theorem() {
+        // The defining property of stride permutations: conjugating a
+        // tensor product by strides swaps the factors. In destination-map
+        // terms (compose applies its argument first):
+        // L(mn, n) ∘ (p ⊗ q) ∘ L(mn, m) = q ⊗ p.
+        let p = families::random(4, 8);
+        let q = families::random(8, 9);
+        let (m, n) = (p.len(), q.len());
+        let l_m = stride(m * n, m).unwrap(); // applied first
+        let l_n = stride(m * n, n).unwrap(); // applied last
+        let lhs = l_n.compose(&tensor(&p, &q)).compose(&l_m);
+        assert_eq!(lhs, tensor(&q, &p));
+    }
+
+    #[test]
+    fn direct_sum_blocks() {
+        let p = Permutation::from_vec(vec![1, 0]).unwrap();
+        let q = Permutation::from_vec(vec![2, 0, 1]).unwrap();
+        let s = direct_sum(&p, &q);
+        assert_eq!(s.as_slice(), &[1, 0, 4, 2, 3]);
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn stride_rejects_bad_args() {
+        assert!(stride(10, 3).is_err());
+        assert!(stride(0, 2).is_err());
+        assert!(stride(8, 0).is_err());
+    }
+
+    #[test]
+    fn bit_reversal_factors_into_shuffles() {
+        // Classic: R_{2^k} = Π_{s=0}^{k-1} (I_{2^s} ⊗ L(2^{k-s}, 2)).
+        let k = 6usize;
+        let n = 1usize << k;
+        let mut acc = Permutation::identity(n);
+        for s in 0..k {
+            let block = tensor(
+                &Permutation::identity(1 << s),
+                &stride(1 << (k - s), 2).unwrap(),
+            );
+            // Move along the coarsest stride first: acc = block ∘ acc.
+            acc = block.compose(&acc);
+        }
+        assert_eq!(acc, families::bit_reversal(n).unwrap());
+    }
+}

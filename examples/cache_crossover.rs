@@ -1,0 +1,76 @@
+//! Sweep the array size to find the crossover where the scheduled
+//! permutation starts beating the conventional one — the paper's central
+//! empirical observation ("our scheduled permutation algorithm runs faster
+//! than the conventional algorithm whenever n ≥ 256K"), which Section VIII
+//! attributes to the GPU's 512 KB L2 cache.
+//!
+//! The example runs the sweep twice: with the L2 model enabled (the
+//! crossover appears at the paper's size) and disabled (the pure model's
+//! crossover, driven only by the 32-vs-3 round counts).
+//!
+//! ```text
+//! cargo run --release -p hmm-bench --example cache_crossover
+//! ```
+
+use hmm_machine::{ElemWidth, Hmm, MachineConfig};
+use hmm_offperm::driver::{run_on, Algorithm};
+use hmm_perm::families;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let sizes: Vec<usize> = (12..=19).map(|k| 1usize << k).collect();
+    for cached in [true, false] {
+        println!(
+            "\n=== {} ===",
+            if cached {
+                "GTX-680-like machine (512 KB L2 model)"
+            } else {
+                "same machine, cache model disabled"
+            }
+        );
+        println!(
+            "{:>8} {:>14} {:>12} {:>9}  winner",
+            "n", "conventional", "scheduled", "ratio"
+        );
+        let mut crossover: Option<usize> = None;
+        for &n in &sizes {
+            let p = families::bit_reversal(n)?;
+            let input: Vec<u64> = (0..n as u64).collect();
+            let mut cfg = MachineConfig::gtx680(ElemWidth::F32);
+            if !cached {
+                cfg.cache = None;
+            }
+            let time = |alg| -> Result<u64, Box<dyn std::error::Error>> {
+                let mut hmm = Hmm::new(cfg.clone())?;
+                Ok(run_on(&mut hmm, alg, &p, &input)?.0.time)
+            };
+            let conv = time(Algorithm::DDesignated)?;
+            let sched = time(Algorithm::Scheduled)?;
+            let winner = if sched < conv {
+                "scheduled"
+            } else {
+                "conventional"
+            };
+            if sched < conv && crossover.is_none() {
+                crossover = Some(n);
+            }
+            println!(
+                "{:>8} {:>14} {:>12} {:>8.2}x  {winner}",
+                n,
+                conv,
+                sched,
+                conv as f64 / sched as f64
+            );
+        }
+        match crossover {
+            Some(n) => println!("crossover at n = {n} ({} KB of float data)", n * 4 / 1024),
+            None => println!("no crossover in this range"),
+        }
+    }
+    println!(
+        "\nWith the cache on, small arrays' scattered writes hit in L2 (conventional\n\
+         wins easily) and large arrays thrash it (scheduled wins ~2x, the paper's\n\
+         band); without the cache the two sides are nearly tied at every size.\n\
+         The decisive crossover is cache-made — the paper's Section VIII claim."
+    );
+    Ok(())
+}

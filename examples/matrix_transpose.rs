@@ -1,0 +1,69 @@
+//! Matrix transpose on the simulated HMM: the diagonal-arrangement kernel
+//! (Section V) against the conventional scatter, with a full round audit.
+//!
+//! Transpose is both a building block of the scheduled algorithm and the
+//! worst-case permutation for the conventional one (distribution exactly
+//! `w`), so this example shows the paper's effect in its purest form.
+//!
+//! ```text
+//! cargo run --release -p hmm-bench --example matrix_transpose
+//! ```
+
+use hmm_machine::{Hmm, MachineConfig, Word};
+use hmm_offperm::conventional::{d_designated, stage_destination_map};
+use hmm_offperm::transpose::transpose;
+use hmm_perm::{distribution, families, MatrixShape};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let side = 512;
+    let shape = MatrixShape::new(side, side)?;
+    let n = shape.len();
+    let cfg = MachineConfig::pure(32, 512);
+    println!("transposing a {side}x{side} matrix ({n} elements) on the pure HMM (w=32, l=512)\n");
+
+    let data: Vec<Word> = (0..n as Word).collect();
+    let p = families::transpose(side, side, n)?;
+    println!(
+        "transpose distribution γ_w(P) = {} (the maximum, w)",
+        distribution(&p, cfg.width)
+    );
+
+    // Conventional scatter.
+    let mut hmm = Hmm::new(cfg.clone())?;
+    let a = hmm.alloc_global(n);
+    let b = hmm.alloc_global(n);
+    hmm.host_write(a, &data)?;
+    let pb = stage_destination_map(&mut hmm, &p)?;
+    let conv = d_designated(&mut hmm, a, b, pb)?;
+    let conv_out = hmm.host_read(b);
+
+    // The diagonal-arrangement transpose kernel.
+    let mut hmm = Hmm::new(cfg)?;
+    let a = hmm.alloc_global(n);
+    let b = hmm.alloc_global(n);
+    hmm.host_write(a, &data)?;
+    let fast = transpose(&mut hmm, shape, a, b)?;
+    let fast_out = hmm.host_read(b);
+
+    assert_eq!(conv_out, fast_out, "kernels disagree");
+    let mut want = vec![0; n];
+    p.permute(&data, &mut want)?;
+    assert_eq!(fast_out, want, "transpose is wrong");
+
+    println!(
+        "\nconventional scatter   (3 rounds): {:>9} time units",
+        conv.time
+    );
+    print!("{}", conv.summary);
+    println!(
+        "\n\ndiagonal-tile transpose (4 rounds): {:>9} time units",
+        fast.time
+    );
+    print!("{}", fast.summary);
+    println!(
+        "\n\nspeedup: {:.1}x — four perfectly-behaved rounds beat three rounds with a\n\
+         casual scatter, exactly the trade the scheduled permutation generalizes.",
+        conv.time as f64 / fast.time as f64
+    );
+    Ok(())
+}

@@ -1,0 +1,84 @@
+//! Permutations as network traffic: why "casual" access costs what it
+//! costs.
+//!
+//! The paper's machines move memory requests through "a multistage
+//! interconnection network" (its MMU reference), and its introduction
+//! motivates offline permutation with processor-network emulation. This
+//! example puts numbers to both:
+//!
+//! 1. an **Omega network** — how few permutations route without blocking
+//!    (the structural reason a casual round serializes), and
+//! 2. a **hypercube** — how the adversarial bit-transpose congests
+//!    deterministic routing and how Valiant's random intermediates (or an
+//!    offline schedule, the paper's approach) flatten it.
+//!
+//! ```text
+//! cargo run --release -p hmm-bench --example network_routing
+//! ```
+
+use hmm_apps::{Hypercube, OmegaNetwork};
+use hmm_perm::families;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("--- Omega (shuffle-exchange) network: one-pass routability ---\n");
+    println!(
+        "{:>6} {:>10} {:>22}",
+        "n", "stages", "random perms routable"
+    );
+    for k in [2usize, 3, 4, 5, 6] {
+        let n = 1 << k;
+        let net = OmegaNetwork::new(n)?;
+        let frac = net.random_routability(300, 42);
+        println!("{:>6} {:>10} {:>21.1}%", n, net.stages(), frac * 100.0);
+    }
+    let net = OmegaNetwork::new(64)?;
+    for (name, p) in [
+        ("identity", families::identical(64)),
+        ("rotation+1", families::rotation(64, 1)),
+        ("bit-reversal", families::bit_reversal(64)?),
+        ("random", families::random(64, 1)),
+    ] {
+        let verdict = match net.route_permutation(&p) {
+            Ok(_) => "routes in one pass".to_string(),
+            Err(b) => format!("BLOCKS at stage {} switch {}", b.stage, b.switch),
+        };
+        println!("  {name:<13} {verdict}");
+    }
+
+    println!("\n--- Hypercube (d = 10, n = 1024): per-link congestion ---\n");
+    let h = Hypercube::new(10);
+    let mut rng = StdRng::seed_from_u64(7);
+    println!(
+        "{:<22} {:>10} {:>12} {:>12}",
+        "permutation", "max load", "mean load", "total hops"
+    );
+    let show = |name: &str, c: hmm_apps::Congestion| {
+        println!(
+            "{:<22} {:>10} {:>12.2} {:>12}",
+            name, c.max, c.mean, c.total_hops
+        );
+    };
+    show(
+        "identity (e-cube)",
+        h.route_ecube(&families::identical(1024)),
+    );
+    show(
+        "bit-complement (e-cube)",
+        h.route_ecube(&h.bit_complement()),
+    );
+    show("random (e-cube)", h.route_ecube(&families::random(1024, 3)));
+    show("bit-transpose (e-cube)", h.route_ecube(&h.bit_transpose()));
+    show(
+        "bit-transpose (Valiant)",
+        h.route_valiant(&h.bit_transpose(), &mut rng),
+    );
+    println!(
+        "\nThe transpose funnels sqrt(n) packets through shared nodes under\n\
+         deterministic routing; randomized (or offline-scheduled) routing pays\n\
+         ~2x the hops to eliminate the hot spot — the same trade the paper's\n\
+         scheduled permutation makes with its 32 perfectly-behaved rounds."
+    );
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! Quickstart: permute an array three ways on the simulated HMM and
+//! compare the model costs.
+//!
+//! ```text
+//! cargo run --release -p hmm-bench --example quickstart
+//! ```
+
+use hmm_machine::{ElemWidth, MachineConfig};
+use hmm_offperm::driver::{run_permutation, Algorithm};
+use hmm_perm::{distribution, families};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 256K elements moved along the bit-reversal permutation — the FFT
+    // reordering the paper uses as its headline workload, at the size
+    // where the paper first sees the scheduled algorithm win.
+    let n = 1 << 18;
+    let p = families::bit_reversal(n)?;
+    let input: Vec<u64> = (0..n as u64).collect();
+
+    // The GTX-680-flavoured empirical machine (width 32, latency 512,
+    // 512 KB L2 model).
+    let cfg = MachineConfig::gtx680(ElemWidth::F32);
+    println!("n = {n}, width = {}, latency = {}", cfg.width, cfg.latency);
+    println!(
+        "distribution γ_w(P) = {:.2} (max is w = {})\n",
+        distribution(&p, cfg.width),
+        cfg.width
+    );
+
+    for alg in Algorithm::ALL {
+        let outcome = run_permutation(&cfg, alg, &p, &input)?;
+        assert!(outcome.verified, "{} produced a wrong answer", alg.name());
+        println!(
+            "{:<14} {:>10} time units in {:>2} rounds ({} launches)",
+            alg.name(),
+            outcome.report.time,
+            outcome.report.rounds(),
+            outcome.report.launches,
+        );
+    }
+
+    println!(
+        "\nThe scheduled algorithm does 32 rounds instead of 3, yet its rounds are\n\
+         all coalesced/conflict-free, so for high-distribution permutations it\n\
+         beats the conventional one — the paper's headline result."
+    );
+    Ok(())
+}

@@ -1,0 +1,130 @@
+//! Shared-memory capacity: the constraint behind the paper's note that the
+//! scheduled algorithm could not run for 4M doubles in 48 KB of shared
+//! memory per SM (Table II(b) stops at 2M).
+//!
+//! Our row-wise kernel keeps only the two data arrays `A`/`B` in shared
+//! memory (the 16-bit schedules stream to registers), so its footprint is
+//! `2 · cols · elem_bytes`; the boundary therefore sits at `cols = 3072`
+//! for doubles (`48 KB / 16 B`), i.e. at n = 16M doubles for square
+//! shapes — a more frugal layout than the authors' (see EXPERIMENTS.md).
+//! These tests pin the footprint arithmetic by shrinking the capacity.
+
+use hmm_machine::{ElemWidth, Hmm, MachineConfig, MachineError, Word};
+use hmm_offperm::driver::{run_on, Algorithm};
+use hmm_offperm::{OffpermError, ScheduledPermutation};
+use hmm_perm::families;
+
+/// Run the scheduled algorithm with an explicit shared capacity; returns
+/// whether it was feasible.
+fn feasible(n: usize, elem: ElemWidth, shared_bytes: usize) -> bool {
+    let cfg = MachineConfig {
+        elem,
+        shared_bytes,
+        ..MachineConfig::pure(32, 8)
+    };
+    let p = families::random(n, 1);
+    let input: Vec<Word> = (0..n as Word).collect();
+    let mut hmm = Hmm::new(cfg).unwrap();
+    match run_on(&mut hmm, Algorithm::Scheduled, &p, &input) {
+        Ok((_, out)) => {
+            let mut want = vec![0; n];
+            p.permute(&input, &mut want).unwrap();
+            assert_eq!(out, want);
+            true
+        }
+        Err(OffpermError::Machine(MachineError::SharedCapacityExceeded { .. })) => false,
+        Err(e) => panic!("unexpected error: {e}"),
+    }
+}
+
+#[test]
+fn footprint_boundary_f32() {
+    // n = 64K floats -> cols = 256 -> A+B = 2 KB for the row-wise kernel,
+    // but the w×w transpose tile needs w²·4 = 4 KB, so that is the
+    // binding constraint at this size.
+    let n = 1 << 16;
+    assert!(feasible(n, ElemWidth::F32, 48 * 1024));
+    assert!(feasible(n, ElemWidth::F32, 4 * 1024));
+    assert!(!feasible(n, ElemWidth::F32, 4 * 1024 - 1));
+}
+
+#[test]
+fn footprint_boundary_f64() {
+    // Doubles double every footprint: the transpose tile becomes 8 KB.
+    let n = 1 << 16;
+    assert!(feasible(n, ElemWidth::F64, 48 * 1024));
+    assert!(!feasible(n, ElemWidth::F64, 8 * 1024 - 1));
+    // The same capacity that fits f32 fails f64 — the mechanism behind the
+    // paper's missing Table II(b) cell.
+    assert!(feasible(n, ElemWidth::F32, 6 * 1024));
+    assert!(!feasible(n, ElemWidth::F64, 6 * 1024));
+}
+
+#[test]
+fn transpose_tile_also_capacity_checked() {
+    // The w x w transpose tile needs w² elements; starve it.
+    let cfg = MachineConfig {
+        shared_bytes: 32 * 32 * 4 - 1,
+        ..MachineConfig::pure(32, 8)
+    };
+    let n = 1 << 12;
+    let p = families::bit_reversal(n).unwrap();
+    let input: Vec<Word> = (0..n as Word).collect();
+    let mut hmm = Hmm::new(cfg).unwrap();
+    let err = run_on(&mut hmm, Algorithm::Scheduled, &p, &input).unwrap_err();
+    assert!(matches!(
+        err,
+        OffpermError::Machine(MachineError::SharedCapacityExceeded { .. })
+    ));
+}
+
+#[test]
+fn conventional_algorithms_need_no_shared_memory() {
+    // Even 1 byte of shared memory suffices for the conventional kernels.
+    let cfg = MachineConfig {
+        shared_bytes: 1,
+        ..MachineConfig::pure(32, 8)
+    };
+    let n = 1 << 12;
+    let p = families::bit_reversal(n).unwrap();
+    let input: Vec<Word> = (0..n as Word).collect();
+    for alg in [Algorithm::DDesignated, Algorithm::SDesignated] {
+        let mut hmm = Hmm::new(cfg.clone()).unwrap();
+        let (_, out) = run_on(&mut hmm, alg, &p, &input).unwrap();
+        let mut want = vec![0; n];
+        p.permute(&input, &mut want).unwrap();
+        assert_eq!(out, want, "{}", alg.name());
+    }
+}
+
+#[test]
+fn build_does_not_require_capacity_only_run_does() {
+    // Schedule construction is host-side: it succeeds regardless of the
+    // machine; only staging + running hits the capacity wall.
+    let p = families::random(1 << 12, 2);
+    let sched = ScheduledPermutation::build(&p, 32).unwrap();
+    assert_eq!(sched.len(), 1 << 12);
+}
+
+#[test]
+fn error_reports_requested_and_capacity() {
+    let cfg = MachineConfig {
+        shared_bytes: 100,
+        ..MachineConfig::pure(32, 8)
+    };
+    let n = 1 << 12;
+    let p = families::random(n, 3);
+    let input: Vec<Word> = (0..n as Word).collect();
+    let mut hmm = Hmm::new(cfg).unwrap();
+    match run_on(&mut hmm, Algorithm::Scheduled, &p, &input) {
+        Err(OffpermError::Machine(MachineError::SharedCapacityExceeded {
+            requested,
+            capacity,
+            ..
+        })) => {
+            assert_eq!(capacity, 100);
+            assert!(requested > 0);
+        }
+        other => panic!("expected capacity error, got {other:?}"),
+    }
+}

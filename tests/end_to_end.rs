@@ -1,0 +1,151 @@
+//! Cross-crate integration: every backend (simulator algorithms, native
+//! CPU kernels, host reference) moves the same data to the same places,
+//! on pure and cached machines, across families and sizes.
+
+use hmm_machine::{ElemWidth, Hmm, MachineConfig, Word};
+use hmm_native::{gather_permute, scatter_permute, NativeScheduled};
+use hmm_offperm::driver::{run_on, run_permutation, Algorithm};
+use hmm_perm::{families, Permutation};
+
+fn reference(p: &Permutation, input: &[Word]) -> Vec<Word> {
+    let mut out = vec![0; input.len()];
+    p.permute(input, &mut out).unwrap();
+    out
+}
+
+#[test]
+fn all_backends_agree_on_all_families() {
+    let n = 1 << 12;
+    let input: Vec<Word> = (0..n as Word).map(|v| v.wrapping_mul(0x9e37)).collect();
+    let cfg = MachineConfig::pure(32, 64);
+    for fam in families::Family::ALL {
+        let p = fam.build(n, 99).unwrap();
+        let want = reference(&p, &input);
+        // Simulator, all three algorithms.
+        for alg in Algorithm::ALL {
+            let out = run_permutation(&cfg, alg, &p, &input).unwrap();
+            assert!(out.verified, "{} {}", alg.name(), fam.name());
+            assert_eq!(out.output, want, "{} {}", alg.name(), fam.name());
+        }
+        // Native scatter/gather.
+        let mut dst = vec![0; n];
+        scatter_permute(&input, &p, &mut dst);
+        assert_eq!(dst, want, "native scatter {}", fam.name());
+        gather_permute(&input, &p.inverse(), &mut dst);
+        assert_eq!(dst, want, "native gather {}", fam.name());
+        // Native scheduled.
+        let sched = NativeScheduled::build(&p, 32).unwrap();
+        sched.run(&input, &mut dst);
+        assert_eq!(dst, want, "native scheduled {}", fam.name());
+    }
+}
+
+#[test]
+fn cached_machine_costs_differ_but_data_does_not() {
+    let n = 1 << 12;
+    let input: Vec<Word> = (0..n as Word).collect();
+    let p = families::bit_reversal(n).unwrap();
+    let pure = run_permutation(
+        &MachineConfig::pure(32, 512),
+        Algorithm::DDesignated,
+        &p,
+        &input,
+    )
+    .unwrap();
+    let cached = run_permutation(
+        &MachineConfig::gtx680(ElemWidth::F32),
+        Algorithm::DDesignated,
+        &p,
+        &input,
+    )
+    .unwrap();
+    assert_eq!(pure.output, cached.output);
+    assert!(pure.verified && cached.verified);
+    assert_ne!(
+        pure.report.time, cached.report.time,
+        "cache model should change the cost"
+    );
+}
+
+#[test]
+fn simulation_is_deterministic() {
+    let n = 1 << 12;
+    let input: Vec<Word> = (0..n as Word).collect();
+    let p = families::random(n, 4);
+    let cfg = MachineConfig::gtx680(ElemWidth::F32);
+    let runs: Vec<u64> = (0..3)
+        .map(|_| {
+            run_permutation(&cfg, Algorithm::Scheduled, &p, &input)
+                .unwrap()
+                .report
+                .time
+        })
+        .collect();
+    assert_eq!(runs[0], runs[1]);
+    assert_eq!(runs[1], runs[2]);
+}
+
+#[test]
+fn composed_permutations_compose_outputs() {
+    // Running P then Q equals running Q∘P.
+    let n = 1 << 10;
+    let input: Vec<Word> = (0..n as Word).collect();
+    let p = families::random(n, 5);
+    let q = families::random(n, 6);
+    let cfg = MachineConfig::pure(8, 16);
+    let after_p = run_permutation(&cfg, Algorithm::Scheduled, &p, &input)
+        .unwrap()
+        .output;
+    let after_pq = run_permutation(&cfg, Algorithm::Scheduled, &q, &after_p)
+        .unwrap()
+        .output;
+    let composed = q.compose(&p);
+    let direct = run_permutation(&cfg, Algorithm::Scheduled, &composed, &input)
+        .unwrap()
+        .output;
+    assert_eq!(after_pq, direct);
+}
+
+#[test]
+fn inverse_permutation_round_trips() {
+    let n = 1 << 10;
+    let input: Vec<Word> = (0..n as Word).map(|v| v + 7).collect();
+    let p = families::random(n, 8);
+    let cfg = MachineConfig::pure(8, 16);
+    let forward = run_permutation(&cfg, Algorithm::Scheduled, &p, &input)
+        .unwrap()
+        .output;
+    let back = run_permutation(&cfg, Algorithm::Scheduled, &p.inverse(), &forward)
+        .unwrap()
+        .output;
+    assert_eq!(back, input);
+}
+
+#[test]
+fn one_machine_many_runs_ledger_accumulates() {
+    let n = 1 << 10;
+    let input: Vec<Word> = (0..n as Word).collect();
+    let cfg = MachineConfig::pure(8, 16);
+    let mut hmm = Hmm::new(cfg).unwrap();
+    let p = families::shuffle(n).unwrap();
+    let (r1, _) = run_on(&mut hmm, Algorithm::DDesignated, &p, &input).unwrap();
+    let (r2, _) = run_on(&mut hmm, Algorithm::SDesignated, &p, &input).unwrap();
+    assert_eq!(
+        hmm.ledger().len() as u64,
+        r1.rounds() + r2.rounds(),
+        "ledger accumulates across runs"
+    );
+    assert_eq!(hmm.total_time(), r1.time + r2.time);
+}
+
+#[test]
+fn scheduled_handles_many_sizes() {
+    let cfg = MachineConfig::pure(8, 16);
+    // Both parities of log2(n), from the minimum w² upwards.
+    for n in [64usize, 128, 256, 512, 1024, 2048, 4096] {
+        let p = families::random(n, n as u64);
+        let input: Vec<Word> = (0..n as Word).collect();
+        let out = run_permutation(&cfg, Algorithm::Scheduled, &p, &input).unwrap();
+        assert!(out.verified, "n = {n}");
+    }
+}

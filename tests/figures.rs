@@ -1,0 +1,104 @@
+//! Golden tests for the figure reproductions (Figures 3–6).
+
+use hmm_bench::experiments::figures;
+use hmm_perm::families;
+
+#[test]
+fn figure3_pipeline_times_match_paper() {
+    // The paper's example: same eight requests take l+2 on the DMM and l+4
+    // on the UMM.
+    for l in [1usize, 5, 100] {
+        let d = figures::fig3(l);
+        assert_eq!(d.dmm_time, (l + 2) as u64, "DMM at l={l}");
+        assert_eq!(d.umm_time, (l + 4) as u64, "UMM at l={l}");
+    }
+    let d = figures::fig3(5);
+    // Stage contents: DMM warp 0 splits {7,5,0} / {15} (bank 3 conflict).
+    assert_eq!(d.dmm_stages[0], vec![vec![7, 5, 0], vec![15]]);
+    assert_eq!(d.dmm_stages[1], vec![vec![10, 11, 12, 13]]);
+    // UMM warp 0 splits by group: {7,5} (g1), {15} (g3), {0} (g0).
+    assert_eq!(d.umm_stages[0], vec![vec![7, 5], vec![15], vec![0]]);
+    assert_eq!(d.umm_stages[1], vec![vec![10, 11], vec![12, 13]]);
+}
+
+#[test]
+fn figure4_diagonal_grid_matches_paper() {
+    let grid = figures::fig4_grid(4);
+    let want = [
+        [(0, 0), (0, 1), (0, 2), (0, 3)],
+        [(1, 3), (1, 0), (1, 1), (1, 2)],
+        [(2, 2), (2, 3), (2, 0), (2, 1)],
+        [(3, 1), (3, 2), (3, 3), (3, 0)],
+    ];
+    for (i, row) in want.iter().enumerate() {
+        assert_eq!(grid[i], row.to_vec(), "row {i}");
+    }
+}
+
+#[test]
+fn figure5_has_four_perfect_matchings() {
+    let (g, colors) = figures::fig5();
+    assert_eq!(g.degree(), 4);
+    for color in 0..4 {
+        let mut left = vec![false; g.nodes()];
+        let mut right = vec![false; g.nodes()];
+        for (e, &(u, v)) in g.edges().iter().enumerate() {
+            if colors[e] == color {
+                assert!(!left[u], "color {color} repeats left node {u}");
+                assert!(!right[v], "color {color} repeats right node {v}");
+                left[u] = true;
+                right[v] = true;
+            }
+        }
+        assert!(left.iter().all(|&x| x), "color {color} incomplete");
+    }
+}
+
+#[test]
+fn figure6_snapshots_respect_step_structure() {
+    let p = families::random(16, 2013);
+    let (d, snaps) = figures::fig6(&p, 4).unwrap();
+    let (r, c) = (d.shape.rows, d.shape.cols);
+    assert_eq!((r, c), (4, 4));
+    // Step 1 keeps row membership; step 2 keeps column membership; step 3
+    // keeps row membership; the final layout realizes P.
+    for i in 0..r {
+        for j in 0..c {
+            let src1 = snaps[1][i * c + j];
+            assert_eq!(src1 / c, i, "step 1 moved ({i},{j}) across rows");
+        }
+    }
+    for k in 0..c {
+        let mut before: Vec<usize> = (0..r).map(|i| snaps[1][i * c + k]).collect();
+        let mut after: Vec<usize> = (0..r).map(|i| snaps[2][i * c + k]).collect();
+        before.sort_unstable();
+        after.sort_unstable();
+        assert_eq!(before, after, "step 2 changed column {k} membership");
+    }
+    for (pos, &src) in snaps[3].iter().enumerate() {
+        assert_eq!(p.apply(src), pos, "final layout wrong at {pos}");
+    }
+}
+
+#[test]
+fn figure6_works_for_every_16_element_family() {
+    for fam in families::Family::ALL {
+        let p = fam.build(16, 3).unwrap();
+        let (_, snaps) = figures::fig6(&p, 4).unwrap();
+        for (pos, &src) in snaps[3].iter().enumerate() {
+            assert_eq!(p.apply(src), pos, "{}", fam.name());
+        }
+    }
+}
+
+#[test]
+fn renders_are_stable_smoke() {
+    assert!(figures::render_fig3(5).contains("total stages = 3"));
+    assert!(figures::render_fig3(5).contains("total stages = 5"));
+    assert!(figures::render_fig4(4).lines().count() >= 6);
+    assert!(figures::render_fig5().matches("perfect matching").count() == 4);
+    let p = families::random(16, 1);
+    let r6 = figures::render_fig6(&p, 4).unwrap();
+    assert!(r6.contains("Input"));
+    assert!(r6.contains("After Step 3"));
+}

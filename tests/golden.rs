@@ -1,0 +1,82 @@
+//! Golden-output tests: the harness's figure renderings are part of the
+//! deliverable, so pin their exact content (they depend only on fixed
+//! inputs and deterministic algorithms).
+
+use hmm_bench::experiments::figures;
+
+#[test]
+fn fig3_render_golden() {
+    let got = figures::render_fig3(5);
+    let want = "\
+Figure 3: memory access by warps W0=[7, 5, 15, 0] and W1=[10, 11, 12, 13], w=4, l=5
+
+DMM (banks):
+  W0 stage 0: [7, 5, 0]
+  W0 stage 1: [15]
+  W1 stage 0: [10, 11, 12, 13]
+  total stages = 3, time = 7 (= l + 2)
+
+UMM (address groups):
+  W0 stage 0: [7, 5]
+  W0 stage 1: [15]
+  W0 stage 2: [0]
+  W1 stage 0: [10, 11]
+  W1 stage 1: [12, 13]
+  total stages = 5, time = 9 (= l + 4)
+";
+    assert_eq!(got, want);
+}
+
+#[test]
+fn fig4_render_golden() {
+    let got = figures::render_fig4(4);
+    let want = "\
+Figure 4: diagonal arrangement of a 4x4 matrix
+(cell shows [row,col] of the stored element; banks are columns)
+ [0,0] [0,1] [0,2] [0,3]
+ [1,3] [1,0] [1,1] [1,2]
+ [2,2] [2,3] [2,0] [2,1]
+ [3,1] [3,2] [3,3] [3,0]
+";
+    assert_eq!(got, want);
+}
+
+#[test]
+fn fig5_render_structure_golden() {
+    // The coloring itself may permute colors between algorithm revisions;
+    // pin the structure: four classes, each printed as a perfect matching.
+    let got = figures::render_fig5();
+    let lines: Vec<&str> = got.lines().collect();
+    assert_eq!(
+        lines[0],
+        "Figure 5: a regular bipartite graph with degree 4 painted by 4 colors"
+    );
+    assert_eq!(lines.len(), 5);
+    for (i, line) in lines[1..].iter().enumerate() {
+        assert!(line.contains(&format!("color {i}:")));
+        assert!(line.contains("perfect matching"));
+        // Six pairs per class.
+        assert_eq!(line.matches('(').count(), 7, "6 edges + label paren");
+    }
+}
+
+#[test]
+fn table1_render_golden_counts() {
+    // Pin the full Table I round-count block (the time columns depend on
+    // (n, w, l), asserted exactly elsewhere).
+    let rows = hmm_bench::experiments::table1::measure(1 << 10, 8, 16).unwrap();
+    let rendered = hmm_bench::experiments::table1::render(&rows);
+    for needle in [
+        "D-designated permutation           0          1             2             0      0      0",
+        "S-designated permutation           1          0             1             1      0      0",
+        "Transpose                          0          0             1             1      1      1",
+        "Row-wise permutation               0          0             3             1      2      2",
+        "Column-wise permutation            0          0             5             3      4      4",
+        "Our scheduled permutation          0          0            11             5      8      8",
+    ] {
+        assert!(
+            rendered.contains(needle),
+            "missing row {needle:?} in:\n{rendered}"
+        );
+    }
+}

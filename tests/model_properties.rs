@@ -1,0 +1,158 @@
+//! Property tests of the cost model itself: invariants that must hold for
+//! *any* kernel on *any* machine configuration, independent of the
+//! algorithms built on top.
+
+use hmm_machine::{AccessClass, ElemWidth, Hmm, MachineConfig, Word};
+use hmm_offperm::analysis;
+use hmm_offperm::driver::{run_on, Algorithm};
+use hmm_perm::{distribution, families, Permutation};
+use proptest::prelude::*;
+
+fn perm_strategy() -> impl Strategy<Value = Permutation> {
+    (8u32..=12, any::<u64>()).prop_map(|(k, seed)| families::random(1 << k, seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Lemma 4 as an exact statement: the D-designated time on the pure
+    /// model equals the closed form with the *measured* distribution.
+    #[test]
+    fn lemma4_exact_for_random_permutations(p in perm_strategy()) {
+        let n = p.len();
+        let w = 32usize;
+        let l = 64usize;
+        let input: Vec<Word> = (0..n as Word).collect();
+        let mut hmm = Hmm::new(MachineConfig::pure(w, l)).unwrap();
+        let (report, _) = run_on(&mut hmm, Algorithm::DDesignated, &p, &input).unwrap();
+        let gamma = distribution(&p, w);
+        // The casual round's stages are the exact per-warp group sum =
+        // gamma * n/w (distribution is a mean over n/w warps).
+        let expected = analysis::conventional_time(n, w, l, gamma);
+        prop_assert_eq!(report.time, expected);
+    }
+
+    /// Theorem 9: scheduled time is a pure function of (n, w, l) — it
+    /// cannot depend on the permutation.
+    #[test]
+    fn theorem9_permutation_independence(p in perm_strategy(), l in 1usize..256) {
+        let n = p.len();
+        let w = 8usize;
+        let input: Vec<Word> = (0..n as Word).collect();
+        let mut hmm = Hmm::new(MachineConfig::pure(w, l)).unwrap();
+        let (report, _) = run_on(&mut hmm, Algorithm::Scheduled, &p, &input).unwrap();
+        prop_assert_eq!(report.time, analysis::scheduled_time(n, w, l));
+    }
+
+    /// The total ledger time is always the sum of its rounds' times, and
+    /// every algorithm respects the lower bound.
+    #[test]
+    fn ledger_consistency_and_lower_bound(p in perm_strategy()) {
+        let n = p.len();
+        let (w, l) = (8usize, 16usize);
+        let input: Vec<Word> = (0..n as Word).collect();
+        for alg in Algorithm::ALL {
+            let mut hmm = Hmm::new(MachineConfig::pure(w, l)).unwrap();
+            let (report, _) = run_on(&mut hmm, alg, &p, &input).unwrap();
+            let per_round: u64 = hmm.ledger().records().iter().map(|r| r.time).sum();
+            prop_assert_eq!(report.time, per_round);
+            prop_assert!(report.time >= analysis::lower_bound(n, w, l));
+        }
+    }
+
+    /// Cache-model sandwich: with the cache enabled, every global round's
+    /// stage count lies between the no-cache count (all hits) and
+    /// `miss_stages` times it (all misses).
+    #[test]
+    fn cached_cost_is_bounded_by_hit_and_miss_extremes(p in perm_strategy()) {
+        let n = p.len();
+        let input: Vec<Word> = (0..n as Word).collect();
+        let base = MachineConfig::gtx680(ElemWidth::F32);
+        let mut nocache = base.clone();
+        nocache.cache = None;
+        let run = |cfg: &MachineConfig| {
+            let mut hmm = Hmm::new(cfg.clone()).unwrap();
+            run_on(&mut hmm, Algorithm::DDesignated, &p, &input).unwrap();
+            hmm.ledger()
+                .records()
+                .iter()
+                .map(|r| r.stages)
+                .collect::<Vec<u64>>()
+        };
+        let plain = run(&nocache);
+        let cached = run(&base);
+        let m = base.miss_stages as u64;
+        for (i, (&c, &pl)) in cached.iter().zip(&plain).enumerate() {
+            prop_assert!(c >= pl, "round {i}: cached {c} < all-hit {pl}");
+            prop_assert!(c <= pl * m, "round {i}: cached {c} > all-miss {}", pl * m);
+        }
+    }
+
+    /// Classification invariants: coalesced rounds have exactly one
+    /// cost-segment per warp under the pure rule (stages == warps), and
+    /// casual rounds have more.
+    #[test]
+    fn coalesced_rounds_have_one_stage_per_warp(p in perm_strategy()) {
+        let n = p.len();
+        let input: Vec<Word> = (0..n as Word).collect();
+        let mut hmm = Hmm::new(MachineConfig::pure(32, 16)).unwrap();
+        run_on(&mut hmm, Algorithm::DDesignated, &p, &input).unwrap();
+        for r in hmm.ledger().records() {
+            match r.class {
+                AccessClass::Coalesced => prop_assert_eq!(r.stages, r.warps),
+                AccessClass::Casual => prop_assert!(r.stages > r.warps),
+                AccessClass::ConflictFree => prop_assert_eq!(r.stages, r.warps),
+            }
+        }
+    }
+
+    /// Element width monotonicity under the byte rule: f64 streaming never
+    /// costs less than f32 streaming for the same kernel.
+    #[test]
+    fn doubles_cost_at_least_floats(seed in any::<u64>()) {
+        let n = 1 << 10;
+        let p = families::random(n, seed);
+        let input: Vec<Word> = (0..n as Word).collect();
+        let time = |elem: ElemWidth| {
+            let mut cfg = MachineConfig::gtx680(elem);
+            cfg.cache = None;
+            let mut hmm = Hmm::new(cfg).unwrap();
+            run_on(&mut hmm, Algorithm::Scheduled, &p, &input).unwrap().0.time
+        };
+        prop_assert!(time(ElemWidth::F64) >= time(ElemWidth::F32));
+    }
+}
+
+/// Non-proptest: the shared-dispatch flag only rescales shared rounds.
+#[test]
+fn parallel_dispatch_affects_only_shared_rounds() {
+    let n = 1 << 12;
+    let p = families::bit_reversal(n).unwrap();
+    let input: Vec<Word> = (0..n as Word).collect();
+    let run = |flag: bool| {
+        let cfg = MachineConfig {
+            parallel_shared_dispatch: flag,
+            ..MachineConfig::pure(32, 64)
+        };
+        let mut hmm = Hmm::new(cfg).unwrap();
+        run_on(&mut hmm, Algorithm::Scheduled, &p, &input).unwrap();
+        let records: Vec<_> = hmm.ledger().records().to_vec();
+        records
+    };
+    let paper = run(false);
+    let parallel = run(true);
+    assert_eq!(paper.len(), parallel.len());
+    for (a, b) in paper.iter().zip(&parallel) {
+        match a.space {
+            hmm_machine::Space::Global => assert_eq!(a.time, b.time, "global round changed"),
+            hmm_machine::Space::Shared => {
+                assert!(
+                    b.time <= a.time,
+                    "shared round grew: {} > {}",
+                    b.time,
+                    a.time
+                )
+            }
+        }
+    }
+}

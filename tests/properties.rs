@@ -1,0 +1,175 @@
+//! Property-based tests (proptest) over the core invariants: permutation
+//! algebra, coloring propriety, schedule correctness, distribution bounds,
+//! and cost-model monotonicity.
+
+use hmm_graph::{edge_color, verify_coloring, RegularBipartite};
+use hmm_machine::{Hmm, MachineConfig, Word};
+use hmm_offperm::driver::{run_permutation, Algorithm};
+use hmm_offperm::schedule::Decomposition;
+use hmm_perm::{distribution, families, Permutation};
+use proptest::prelude::*;
+
+/// Strategy: a random permutation of a power-of-two size 64..=1024,
+/// encoded by (log2(n), seed).
+fn perm_strategy() -> impl Strategy<Value = Permutation> {
+    (6u32..=10, any::<u64>()).prop_map(|(k, seed)| families::random(1 << k, seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn permutation_inverse_involutes(p in perm_strategy()) {
+        let inv = p.inverse();
+        prop_assert_eq!(inv.inverse(), p.clone());
+        prop_assert!(p.compose(&inv).is_identity());
+    }
+
+    #[test]
+    fn permute_then_inverse_is_identity(p in perm_strategy()) {
+        let n = p.len();
+        let data: Vec<u32> = (0..n as u32).collect();
+        let mut moved = vec![0u32; n];
+        p.permute(&data, &mut moved).unwrap();
+        let mut back = vec![0u32; n];
+        p.inverse().permute(&moved, &mut back).unwrap();
+        prop_assert_eq!(back, data);
+    }
+
+    #[test]
+    fn in_place_matches_out_of_place(p in perm_strategy()) {
+        let n = p.len();
+        let data: Vec<u32> = (0..n as u32).collect();
+        let mut expect = vec![0u32; n];
+        p.permute(&data, &mut expect).unwrap();
+        let mut inplace = data;
+        p.permute_in_place(&mut inplace).unwrap();
+        prop_assert_eq!(inplace, expect);
+    }
+
+    #[test]
+    fn distribution_within_bounds(p in perm_strategy(), wlog in 2u32..=5) {
+        let w = 1usize << wlog;
+        let g = distribution(&p, w);
+        prop_assert!(g >= 1.0 - 1e-9, "γ = {}", g);
+        prop_assert!(g <= w as f64 + 1e-9, "γ = {}", g);
+        // Distribution of the identity is always 1.
+        prop_assert_eq!(distribution(&families::identical(p.len()), w), 1.0);
+    }
+
+    #[test]
+    fn coloring_of_random_regular_graph_is_proper(
+        nodes in 2usize..=16,
+        deg in 1usize..=12,
+        seed in any::<u64>(),
+    ) {
+        use rand::rngs::StdRng;
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut edges = Vec::with_capacity(nodes * deg);
+        for _ in 0..deg {
+            let mut rights: Vec<usize> = (0..nodes).collect();
+            rights.shuffle(&mut rng);
+            for (u, &v) in rights.iter().enumerate() {
+                edges.push((u, v));
+            }
+        }
+        let g = RegularBipartite::new(nodes, edges).unwrap();
+        let c = edge_color(&g).unwrap();
+        prop_assert_eq!(c.num_colors, deg);
+        prop_assert!(verify_coloring(&g, &c));
+    }
+
+    #[test]
+    fn decomposition_recomposes(p in perm_strategy()) {
+        let d = Decomposition::build(&p, 8).unwrap();
+        prop_assert_eq!(d.recompose(), p);
+    }
+
+    #[test]
+    fn scheduled_simulation_is_correct(p in perm_strategy()) {
+        let n = p.len();
+        let input: Vec<Word> = (0..n as Word).collect();
+        let cfg = MachineConfig::pure(8, 4);
+        let out = run_permutation(&cfg, Algorithm::Scheduled, &p, &input).unwrap();
+        prop_assert!(out.verified);
+    }
+
+    #[test]
+    fn conventional_simulation_is_correct(p in perm_strategy()) {
+        let n = p.len();
+        let input: Vec<Word> = (0..n as Word).collect();
+        let cfg = MachineConfig::pure(8, 4);
+        for alg in [Algorithm::DDesignated, Algorithm::SDesignated] {
+            let out = run_permutation(&cfg, alg, &p, &input).unwrap();
+            prop_assert!(out.verified);
+        }
+    }
+
+    #[test]
+    fn native_backends_agree(p in perm_strategy()) {
+        let n = p.len();
+        let src: Vec<u32> = (0..n as u32).collect();
+        let mut a = vec![0u32; n];
+        let mut b = vec![0u32; n];
+        hmm_native::scatter_permute(&src, &p, &mut a);
+        let sched = hmm_native::NativeScheduled::build(&p, 8).unwrap();
+        sched.run(&src, &mut b);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn coalesced_cost_is_monotone_in_latency(
+        l1 in 1usize..1000,
+        l2 in 1usize..1000,
+    ) {
+        let (lo, hi) = (l1.min(l2), l1.max(l2));
+        let run = |l: usize| {
+            let mut hmm = Hmm::new(MachineConfig::pure(32, l)).unwrap();
+            let a = hmm.alloc_global(1024);
+            let addrs: Vec<usize> = (0..1024).map(|i| a.addr(i)).collect();
+            hmm.launch(1, 1024, |blk| blk.global_read(&addrs).map(|_| ()))
+                .unwrap()
+                .time
+        };
+        prop_assert!(run(lo) <= run(hi));
+    }
+
+    #[test]
+    fn cache_hits_never_exceed_accesses(seed in any::<u64>()) {
+        use rand::rngs::StdRng;
+        use rand::Rng;
+        use rand::SeedableRng;
+        let mut cache = hmm_machine::Cache::new(hmm_machine::CacheConfig {
+            capacity_bytes: 4096,
+            line_bytes: 64,
+            ways: 4,
+        })
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..500 {
+            cache.access(rng.gen_range(0..256u64));
+        }
+        let stats = cache.stats();
+        prop_assert_eq!(stats.accesses(), 500);
+        prop_assert!(stats.hits <= 500);
+        prop_assert!(cache.resident_lines() <= 64);
+    }
+}
+
+/// Non-proptest sanity companion: the schedule slot invariant on a large
+/// random instance (more lanes than proptest sizes reach).
+#[test]
+fn schedule_slots_conflict_free_large() {
+    let p = families::random(1 << 14, 123);
+    let (s, d) = hmm_offperm::smallperm::conflict_free_schedule(&p, 32).unwrap();
+    for chunk in s.chunks(32).chain(d.chunks(32)) {
+        let banks: std::collections::HashSet<usize> =
+            chunk.iter().map(|&v| v as usize % 32).collect();
+        assert_eq!(banks.len(), 32);
+    }
+    for t in 0..p.len() {
+        assert_eq!(p.apply(s[t] as usize), d[t] as usize);
+    }
+}

@@ -1,0 +1,56 @@
+//! Integration test: Table I is reproduced exactly — measured round counts
+//! match the paper's table and measured times match the closed forms — for
+//! several machine configurations.
+
+use hmm_bench::experiments::table1;
+
+fn check(n: usize, w: usize, l: usize) {
+    let rows = table1::measure(n, w, l).unwrap();
+    assert_eq!(rows.len(), 6);
+    for r in &rows {
+        let (crd, cwr, cord, cowr, cfrd, cfwr) =
+            table1::paper_round_counts(r.name).expect("known row");
+        let s = &r.summary;
+        let ctx = format!("{} (n={n}, w={w}, l={l})", r.name);
+        assert_eq!(s.casual_read.rounds, crd, "{ctx}: casual reads");
+        assert_eq!(s.casual_write.rounds, cwr, "{ctx}: casual writes");
+        assert_eq!(s.coalesced_read.rounds, cord, "{ctx}: coalesced reads");
+        assert_eq!(s.coalesced_write.rounds, cowr, "{ctx}: coalesced writes");
+        assert_eq!(s.conflict_free_read.rounds, cfrd, "{ctx}: cf reads");
+        assert_eq!(s.conflict_free_write.rounds, cfwr, "{ctx}: cf writes");
+        assert_eq!(s.shared_casual.rounds, 0, "{ctx}: bank conflicts");
+        assert_eq!(r.measured_time, r.predicted_time, "{ctx}: time");
+    }
+}
+
+#[test]
+fn table1_exact_w8() {
+    check(1 << 10, 8, 16);
+}
+
+#[test]
+fn table1_exact_w32_paper_scale_latency() {
+    check(1 << 14, 32, 512);
+}
+
+#[test]
+fn table1_exact_rectangular_size() {
+    // Odd power of two: the matrix is r x 2r.
+    check(1 << 13, 16, 100);
+}
+
+#[test]
+fn table1_exact_latency_one() {
+    // Degenerate latency: formulas must still hold (l - 1 = 0).
+    check(1 << 10, 8, 1);
+}
+
+#[test]
+fn scheduled_round_total_is_32() {
+    let rows = table1::measure(1 << 10, 8, 16).unwrap();
+    let sched = rows
+        .iter()
+        .find(|r| r.name == "Our scheduled permutation")
+        .unwrap();
+    assert_eq!(sched.summary.total_rounds(), 32);
+}
