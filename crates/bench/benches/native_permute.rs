@@ -1,5 +1,6 @@
 //! Wall-clock Table II analog on the CPU backend: direct scatter/gather vs
-//! the five-pass scheduled permutation, per permutation family and size.
+//! the fused three-sweep scheduled permutation (plus the unfused five-pass
+//! reference), per permutation family and size.
 //!
 //! Sizes default to 64K–4M; set `HMM_BENCH_FULL=1` for 16M (the working
 //! set where the scheduled passes' cache behaviour matters most).
@@ -20,8 +21,7 @@ fn bench_native(c: &mut Criterion) {
     for n in sizes() {
         let src: Vec<u32> = (0..n as u32).collect();
         let mut dst = vec![0u32; n];
-        let mut t1 = vec![0u32; n];
-        let mut t2 = vec![0u32; n];
+        let mut scratch = vec![0u32; n];
 
         let mut group = c.benchmark_group(format!("native/{}", n));
         group.throughput(Throughput::Elements(n as u64));
@@ -41,7 +41,12 @@ fn bench_native(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new("scheduled", fam.name()),
                 &sched,
-                |b, sched| b.iter(|| sched.run_with_scratch(&src, &mut dst, &mut t1, &mut t2)),
+                |b, sched| b.iter(|| sched.run_with_scratch(&src, &mut dst, &mut scratch)),
+            );
+            group.bench_with_input(
+                BenchmarkId::new("scheduled_unfused", fam.name()),
+                &sched,
+                |b, sched| b.iter(|| sched.run_unfused(&src, &mut dst)),
             );
         }
         group.finish();

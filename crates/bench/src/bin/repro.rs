@@ -12,11 +12,13 @@
 //! repro apps [--n N]        # which application permutations need scheduling
 //! repro generations         # crossover size across GPU-generation presets
 //! repro heatmap [--n N]     # access-pattern heatmaps (trace support)
-//! repro native [--full]     # wall-clock CPU backend comparison
+//! repro native [--full] [--json]   # wall-clock CPU backend comparison
 //! ```
 //!
 //! `--full` uses the paper's sizes (256K–4M); expect minutes of simulation.
 //! `--csv DIR` additionally writes each table as `DIR/<table>.csv`.
+//! `--json` (native only) writes `results/BENCH_native.json` with
+//! elements/sec per backend, per size, per family.
 
 use hmm_bench::experiments::{
     ablation, applications, figures, generations, smallperm, sweep, table1, table2, table3,
@@ -30,6 +32,7 @@ struct Args {
     full: bool,
     f64_elems: bool,
     no_cache: bool,
+    json: bool,
     count: Option<usize>,
     n: Option<usize>,
     csv_dir: Option<std::path::PathBuf>,
@@ -55,6 +58,7 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         full: false,
         f64_elems: false,
         no_cache: false,
+        json: false,
         count: None,
         n: None,
         csv_dir: None,
@@ -65,6 +69,7 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
             "--full" => out.full = true,
             "--f64" => out.f64_elems = true,
             "--no-cache" => out.no_cache = true,
+            "--json" => out.json = true,
             "--count" => {
                 out.count = Some(
                     it.next()
@@ -99,8 +104,8 @@ fn main() -> ExitCode {
         None => {
             eprintln!(
                 "usage: repro <all|table1|table2|table3|fig3|fig4|fig5|fig6|smallperm|ablation|\
-                 sweep|apps|heatmap|native> [--full] [--f64] [--no-cache] [--count K] [--n N] \
-                 [--csv DIR]"
+                 sweep|apps|heatmap|native> [--full] [--f64] [--no-cache] [--json] [--count K] \
+                 [--n N] [--csv DIR]"
             );
             return ExitCode::FAILURE;
         }
@@ -326,14 +331,26 @@ fn run(cmd: &str, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             );
         }
         "native" => {
+            // --json defaults to the acceptance sizes 256K / 1M / 4M.
             let sizes: Vec<usize> = if args.full {
                 vec![1 << 18, 1 << 20, 1 << 22, 1 << 24]
+            } else if args.json {
+                vec![1 << 18, 1 << 20, 1 << 22]
             } else {
                 vec![1 << 16, 1 << 20]
             };
             println!("=== Native CPU backend: wall-clock (median of 5) ===\n");
-            let rows = native_experiments::run(&sizes, 5)?;
-            print!("{}", native_experiments::render(&rows));
+            let report = native_experiments::report(&sizes, 5)?;
+            print!("{}", native_experiments::render(&report.rows));
+            println!("\n=== Plan cache: cached Engine::permute vs rebuild-per-call ===\n");
+            print!("{}", native_experiments::render_plan(&report.plan_rows));
+            if args.json {
+                let dir = std::path::Path::new("results");
+                std::fs::create_dir_all(dir)?;
+                let path = dir.join("BENCH_native.json");
+                std::fs::write(&path, native_experiments::to_json(&report))?;
+                println!("\n(wrote {})", path.display());
+            }
         }
         other => return Err(format!("unknown subcommand {other}").into()),
     }

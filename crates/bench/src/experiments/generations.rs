@@ -31,7 +31,11 @@ pub fn crossover_size(cfg: &MachineConfig, sizes: &[usize]) -> Result<Option<usi
 pub fn render(sizes: &[usize]) -> Result<String> {
     let mut t = TextTable::new(vec!["generation", "L2", "crossover n", "working set"]);
     for generation in presets::all(ElemWidth::F32) {
-        let l2 = generation.config.cache.expect("preset has L2").capacity_bytes;
+        let l2 = generation
+            .config
+            .cache
+            .expect("preset has L2")
+            .capacity_bytes;
         let cross = crossover_size(&generation.config, sizes)?;
         t.row(vec![
             generation.name.to_string(),

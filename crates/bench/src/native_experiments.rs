@@ -1,16 +1,30 @@
 //! Wall-clock experiments on the CPU backend: the Table II comparison with
 //! real time instead of model time (see DESIGN.md §2 — this is the
 //! substitution for the paper's GPU measurements).
+//!
+//! Two experiment groups:
+//! * **kernels** — scatter / gather / fused 3-sweep scheduled / unfused
+//!   5-pass scheduled / copy, per family and size;
+//! * **plan cache** — steady-state `Engine::permute` (plan cached, pooled
+//!   scratch) versus rebuilding the plan on every call.
+//!
+//! [`to_json`] serialises a full report as `BENCH_native.json` (flat rows
+//! of `{family, n, backend, seconds, elements_per_sec}` — the format
+//! documented in EXPERIMENTS.md), written by `repro native --json`.
 
 use crate::tables::{size_label, TextTable};
-use hmm_native::{copy_baseline, gather_permute, scatter_permute, NativeScheduled};
+use hmm_native::par::worker_threads;
+use hmm_native::{copy_baseline, gather_permute, scatter_permute, Engine, NativeScheduled};
 use hmm_offperm::Result;
 use hmm_perm::families::Family;
 use std::time::{Duration, Instant};
 
+/// Schedule width used throughout (matches the GPU warp).
+const W: usize = 32;
+
 /// Median wall-clock of `reps` runs of `f`.
 fn median_time(reps: usize, mut f: impl FnMut()) -> Duration {
-    let mut times: Vec<Duration> = (0..reps)
+    let mut times: Vec<Duration> = (0..reps.max(1))
         .map(|_| {
             let t = Instant::now();
             f();
@@ -21,7 +35,7 @@ fn median_time(reps: usize, mut f: impl FnMut()) -> Duration {
     times[times.len() / 2]
 }
 
-/// One row of the native comparison.
+/// One row of the native kernel comparison.
 #[derive(Debug, Clone)]
 pub struct NativeRow {
     /// Permutation family.
@@ -32,29 +46,57 @@ pub struct NativeRow {
     pub scatter: Duration,
     /// Parallel gather (`dst[i] = src[q[i]]`).
     pub gather: Duration,
-    /// Five-pass scheduled permutation.
+    /// Fused three-sweep scheduled permutation (scratch reused).
     pub scheduled: Duration,
+    /// Unfused five-pass scheduled permutation (the seed execution).
+    pub unfused: Duration,
     /// Plain parallel copy (bandwidth ceiling).
     pub copy: Duration,
 }
 
-/// Measure all four kernels for every family at the given sizes.
+/// One row of the plan-cache comparison.
+#[derive(Debug, Clone)]
+pub struct PlanCacheRow {
+    /// Array size (family: random, the cache's target workload).
+    pub n: usize,
+    /// One plan build (König coloring + gather maps).
+    pub build: Duration,
+    /// Steady-state `Engine::permute` (cache hit, pooled scratch).
+    pub cached: Duration,
+    /// Rebuild-per-call: plan build + one run, no cache.
+    pub rebuild: Duration,
+}
+
+/// Everything `repro native` measures, plus the environment it ran in.
+#[derive(Debug, Clone)]
+pub struct NativeReport {
+    /// Worker-pool size the measurements used.
+    pub threads: usize,
+    /// Repetitions behind each median.
+    pub reps: usize,
+    /// Kernel comparison rows.
+    pub rows: Vec<NativeRow>,
+    /// Plan-cache comparison rows.
+    pub plan_rows: Vec<PlanCacheRow>,
+}
+
+/// Measure all kernels for every family at the given sizes.
 pub fn run(sizes: &[usize], reps: usize) -> Result<Vec<NativeRow>> {
     let mut rows = Vec::new();
     for &n in sizes {
         let src: Vec<u32> = (0..n as u32).collect();
         let mut dst = vec![0u32; n];
-        let mut t1 = vec![0u32; n];
-        let mut t2 = vec![0u32; n];
+        let mut scratch = vec![0u32; n];
         for fam in Family::ALL {
             let p = fam.build(n, 5)?;
             let q = p.inverse();
-            let sched = NativeScheduled::build(&p, 32)?;
+            let sched = NativeScheduled::build(&p, W)?;
             let scatter = median_time(reps, || scatter_permute(&src, &p, &mut dst));
             let gather = median_time(reps, || gather_permute(&src, &q, &mut dst));
             let scheduled = median_time(reps, || {
-                sched.run_with_scratch(&src, &mut dst, &mut t1, &mut t2)
+                sched.run_with_scratch(&src, &mut dst, &mut scratch)
             });
+            let unfused = median_time(reps, || sched.run_unfused(&src, &mut dst));
             let copy = median_time(reps, || copy_baseline(&src, &mut dst));
             rows.push(NativeRow {
                 family: fam.name(),
@@ -62,6 +104,7 @@ pub fn run(sizes: &[usize], reps: usize) -> Result<Vec<NativeRow>> {
                 scatter,
                 gather,
                 scheduled,
+                unfused,
                 copy,
             });
         }
@@ -69,14 +112,54 @@ pub fn run(sizes: &[usize], reps: usize) -> Result<Vec<NativeRow>> {
     Ok(rows)
 }
 
-/// Render the native comparison table.
+/// Measure the plan cache at the given sizes (random permutations — the
+/// high-γ workload the scheduled backend exists for).
+pub fn plan_cache(sizes: &[usize], reps: usize) -> Result<Vec<PlanCacheRow>> {
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let p = hmm_perm::families::random(n, 5);
+        let src: Vec<u32> = (0..n as u32).collect();
+        let mut dst = vec![0u32; n];
+        let build = median_time(reps.min(3), || {
+            let plan = NativeScheduled::build(&p, W).unwrap();
+            std::hint::black_box(&plan);
+        });
+        let mut engine: Engine<u32> = Engine::new(W);
+        engine.permute(&p, &src, &mut dst)?; // warm the cache
+        let cached = median_time(reps, || engine.permute(&p, &src, &mut dst).unwrap());
+        let rebuild = median_time(reps.min(3), || {
+            let plan = NativeScheduled::build(&p, W).unwrap();
+            plan.run(&src, &mut dst);
+        });
+        rows.push(PlanCacheRow {
+            n,
+            build,
+            cached,
+            rebuild,
+        });
+    }
+    Ok(rows)
+}
+
+/// Run both experiment groups and package them with the environment.
+pub fn report(sizes: &[usize], reps: usize) -> Result<NativeReport> {
+    Ok(NativeReport {
+        threads: worker_threads(),
+        reps,
+        rows: run(sizes, reps)?,
+        plan_rows: plan_cache(sizes, reps)?,
+    })
+}
+
+/// Render the native kernel comparison table.
 pub fn render(rows: &[NativeRow]) -> String {
     let mut t = TextTable::new(vec![
         "n",
         "permutation",
         "scatter",
         "gather",
-        "scheduled",
+        "sched(fused)",
+        "sched(5-pass)",
         "copy",
     ]);
     for r in rows {
@@ -86,10 +169,83 @@ pub fn render(rows: &[NativeRow]) -> String {
             format!("{:.2?}", r.scatter),
             format!("{:.2?}", r.gather),
             format!("{:.2?}", r.scheduled),
+            format!("{:.2?}", r.unfused),
             format!("{:.2?}", r.copy),
         ]);
     }
     t.render()
+}
+
+/// Render the plan-cache comparison table.
+pub fn render_plan(rows: &[PlanCacheRow]) -> String {
+    let mut t = TextTable::new(vec![
+        "n",
+        "plan build",
+        "cached run",
+        "rebuild+run",
+        "speedup",
+    ]);
+    for r in rows {
+        let speedup = r.rebuild.as_secs_f64() / r.cached.as_secs_f64().max(1e-12);
+        t.row(vec![
+            size_label(r.n),
+            format!("{:.2?}", r.build),
+            format!("{:.2?}", r.cached),
+            format!("{:.2?}", r.rebuild),
+            format!("{speedup:.1}x"),
+        ]);
+    }
+    t.render()
+}
+
+fn json_row(out: &mut String, family: &str, n: usize, backend: &str, d: Duration) {
+    let secs = d.as_secs_f64();
+    let eps = if secs > 0.0 { n as f64 / secs } else { 0.0 };
+    out.push_str(&format!(
+        "    {{\"family\": \"{family}\", \"n\": {n}, \"backend\": \"{backend}\", \
+         \"seconds\": {secs:.9}, \"elements_per_sec\": {eps:.1}}}"
+    ));
+}
+
+/// Serialise a report as the `BENCH_native.json` document (hand-rolled —
+/// serde is not on the offline dependency list).
+pub fn to_json(report: &NativeReport) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"native\",\n");
+    out.push_str(&format!("  \"threads\": {},\n", report.threads));
+    out.push_str(&format!("  \"reps\": {},\n", report.reps));
+    out.push_str("  \"rows\": [\n");
+    let mut first = true;
+    for r in &report.rows {
+        for (backend, d) in [
+            ("scatter", r.scatter),
+            ("gather", r.gather),
+            ("scheduled", r.scheduled),
+            ("scheduled_unfused", r.unfused),
+            ("copy", r.copy),
+        ] {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            json_row(&mut out, r.family, r.n, backend, d);
+        }
+    }
+    for r in &report.plan_rows {
+        for (backend, d) in [
+            ("plan_build", r.build),
+            ("engine_cached", r.cached),
+            ("rebuild_per_call", r.rebuild),
+        ] {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            json_row(&mut out, "random", r.n, backend, d);
+        }
+    }
+    out.push_str("\n  ]\n}\n");
+    out
 }
 
 #[cfg(test)]
@@ -102,6 +258,30 @@ mod tests {
         assert_eq!(rows.len(), 5);
         let s = render(&rows);
         assert!(s.contains("scatter"));
+        assert!(s.contains("fused"));
         assert!(s.contains("4K"));
+    }
+
+    #[test]
+    fn plan_cache_rows_and_json_shape() {
+        let report = report(&[1 << 12], 1).unwrap();
+        assert_eq!(report.plan_rows.len(), 1);
+        let plan_table = render_plan(&report.plan_rows);
+        assert!(plan_table.contains("rebuild"));
+        let json = to_json(&report);
+        // 5 families x 5 backends + 3 plan-cache rows.
+        assert_eq!(json.matches("\"backend\"").count(), 28);
+        for key in [
+            "\"bench\": \"native\"",
+            "\"threads\"",
+            "\"elements_per_sec\"",
+            "\"scheduled_unfused\"",
+            "\"engine_cached\"",
+            "\"rebuild_per_call\"",
+        ] {
+            assert!(json.contains(key), "missing {key}");
+        }
+        // Must be parseable by eye and by simple tooling: balanced braces.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 }

@@ -1,0 +1,377 @@
+//! Offline drop-in subset of the `criterion` 0.5 API.
+//!
+//! The workspace's benches use benchmark groups with throughput
+//! annotations, `bench_function` / `bench_with_input`, and the
+//! `criterion_group!` / `criterion_main!` macros. This crate implements
+//! that surface as a small real measurement harness (warmup, N timed
+//! samples, median/mean/min report with optional elements-per-second
+//! throughput), so `cargo bench` runs with no network access (see
+//! DESIGN.md §6).
+//!
+//! Statistical machinery (outlier classification, HTML reports, baselines)
+//! is intentionally absent. A `--filter` substring passed on the command
+//! line (as cargo-bench forwards extra args) restricts which benchmark ids
+//! run; all other flags are accepted and ignored.
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("gather", n)` → id `gather/n`.
+    pub fn new(function_id: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_id.into(), parameter),
+        }
+    }
+}
+
+/// Anything usable as a benchmark id (`&str` or [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// The rendered id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// The timing driver handed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    warmup: usize,
+}
+
+impl Bencher {
+    /// Time `sample_size` samples of `f` (after warmup), one call each.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..self.warmup {
+            black_box(f());
+        }
+        self.samples.clear();
+        self.samples.reserve(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            black_box(f());
+            self.samples.push(t.elapsed());
+        }
+    }
+}
+
+/// One measured benchmark, as recorded by the harness.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Full id (`group/function/param`).
+    pub id: String,
+    /// Median sample time.
+    pub median: Duration,
+    /// Mean sample time.
+    pub mean: Duration,
+    /// Fastest sample.
+    pub min: Duration,
+    /// Group throughput annotation, if any.
+    pub throughput: Option<Throughput>,
+}
+
+impl Measurement {
+    /// Elements (or bytes) per second at the median sample, if annotated.
+    pub fn per_second(&self) -> Option<f64> {
+        let units = match self.throughput? {
+            Throughput::Elements(e) => e,
+            Throughput::Bytes(b) => b,
+        };
+        let secs = self.median.as_secs_f64();
+        (secs > 0.0).then(|| units as f64 / secs)
+    }
+}
+
+fn human_rate(rate: f64) -> String {
+    if rate >= 1e9 {
+        format!("{:.3} G/s", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.3} M/s", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.3} K/s", rate / 1e3)
+    } else {
+        format!("{rate:.3} /s")
+    }
+}
+
+/// The harness: collects measurements and prints a per-benchmark line.
+pub struct Criterion {
+    filter: Option<String>,
+    default_sample_size: usize,
+    measurements: Vec<Measurement>,
+}
+
+impl Default for Criterion {
+    /// Reads a filter substring from the command line (first free
+    /// argument), as cargo-bench forwards it.
+    fn default() -> Self {
+        let mut filter = None;
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                // Flags cargo/criterion pass that we accept and ignore.
+                "--bench" | "--test" | "--nocapture" | "--quiet" | "--verbose" => {}
+                "--sample-size" | "--measurement-time" | "--warm-up-time" | "--save-baseline"
+                | "--baseline" | "--load-baseline" => {
+                    let _ = args.next();
+                }
+                other if other.starts_with("--") => {}
+                free => {
+                    filter.get_or_insert_with(|| free.to_string());
+                }
+            }
+        }
+        Criterion {
+            filter,
+            default_sample_size: 10,
+            measurements: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    /// Top-level `bench_function` (no group).
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_id();
+        let sample_size = self.default_sample_size;
+        self.run_one(id, None, sample_size, f);
+        self
+    }
+
+    /// All measurements recorded so far (used by harness-level tests).
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.measurements
+    }
+
+    fn run_one<F>(&mut self, id: String, throughput: Option<Throughput>, sample_size: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size,
+            warmup: (sample_size / 5).max(1),
+        };
+        f(&mut b);
+        if b.samples.is_empty() {
+            // Closure never called `iter`; nothing to report.
+            return;
+        }
+        let mut sorted = b.samples.clone();
+        sorted.sort();
+        let median = sorted[sorted.len() / 2];
+        let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+        let min = sorted[0];
+        let m = Measurement {
+            id,
+            median,
+            mean,
+            min,
+            throughput,
+        };
+        let mut line = format!(
+            "{:<48} median {:>10.2?}  mean {:>10.2?}  min {:>10.2?}",
+            m.id, m.median, m.mean, m.min
+        );
+        if let Some(rate) = m.per_second() {
+            let _ = write!(line, "  thrpt {}", human_rate(rate));
+        }
+        println!("{line}");
+        self.measurements.push(m);
+    }
+}
+
+/// A group of related benchmarks sharing throughput and sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate the group's per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Samples per benchmark (default 10).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Accepted for API compatibility; the stub sizes runs by sample count.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into_id());
+        let (t, s) = (
+            self.throughput,
+            self.sample_size
+                .unwrap_or(self.criterion.default_sample_size),
+        );
+        self.criterion.run_one(id, t, s, f);
+        self
+    }
+
+    /// Benchmark a closure over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = format!("{}/{}", self.name, id.id);
+        let (t, s) = (
+            self.throughput,
+            self.sample_size
+                .unwrap_or(self.criterion.default_sample_size),
+        );
+        self.criterion.run_one(id, t, s, |b| f(b, input));
+        self
+    }
+
+    /// End the group (prints nothing; measurements are already reported).
+    pub fn finish(&mut self) {}
+}
+
+/// Define a benchmark group function, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define the bench binary's `main`, as in criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_measure_and_report_throughput() {
+        let mut c = Criterion {
+            filter: None,
+            default_sample_size: 5,
+            measurements: Vec::new(),
+        };
+        {
+            let mut g = c.benchmark_group("demo");
+            g.throughput(Throughput::Elements(1000));
+            g.sample_size(5);
+            g.bench_function("sum", |b| {
+                b.iter(|| (0..1000u64).sum::<u64>())
+            });
+            g.bench_with_input(BenchmarkId::new("scaled", 4), &4u64, |b, &k| {
+                b.iter(|| (0..1000u64).map(|v| v * k).sum::<u64>())
+            });
+            g.finish();
+        }
+        assert_eq!(c.measurements().len(), 2);
+        assert_eq!(c.measurements()[0].id, "demo/sum");
+        assert_eq!(c.measurements()[1].id, "demo/scaled/4");
+        assert!(c.measurements()[0].per_second().unwrap() > 0.0);
+        assert!(c.measurements()[0].min <= c.measurements()[0].median);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching_ids() {
+        let mut c = Criterion {
+            filter: Some("wanted".into()),
+            default_sample_size: 3,
+            measurements: Vec::new(),
+        };
+        c.bench_function("unwanted", |b| b.iter(|| 1 + 1));
+        c.bench_function("wanted", |b| b.iter(|| 1 + 1));
+        assert_eq!(c.measurements().len(), 1);
+        assert_eq!(c.measurements()[0].id, "wanted");
+    }
+
+    #[test]
+    fn empty_bencher_is_skipped() {
+        let mut c = Criterion {
+            filter: None,
+            default_sample_size: 3,
+            measurements: Vec::new(),
+        };
+        c.bench_function("noop", |_b| {});
+        assert!(c.measurements().is_empty());
+    }
+}

@@ -10,6 +10,9 @@ use crate::conventional::{d_designated, s_designated, stage_destination_map, sta
 use crate::error::Result;
 use crate::padded::PaddedScheduled;
 use crate::report::RunReport;
+use crate::schedule::Decomposition;
+use crate::scheduled::ScheduledPermutation;
+use hmm_graph::Strategy;
 use hmm_machine::{Hmm, MachineConfig, Word};
 use hmm_perm::Permutation;
 
@@ -112,6 +115,38 @@ pub fn run_on(
         }
     };
     Ok((report, hmm.host_read(b)))
+}
+
+/// Run the scheduled algorithm on `hmm` from a **prebuilt** decomposition,
+/// so one König coloring can back both a simulator run and a native plan
+/// (`hmm-native`'s `NativeScheduled::from_decomposition` accepts the same
+/// `Decomposition`). The decomposition's size must be feasible for the
+/// machine (the shape `Decomposition::build` produces for a power-of-two
+/// `n ≥ width²`); for other sizes use [`Algorithm::Scheduled`] via
+/// [`run_on`], which pads.
+pub fn run_scheduled_decomposition(
+    hmm: &mut Hmm,
+    d: &Decomposition,
+    input: &[Word],
+) -> Result<(RunReport, Vec<Word>)> {
+    let n = d.shape.len();
+    if input.len() != n {
+        return Err(crate::error::OffpermError::SizeMismatch {
+            expected: n,
+            got: input.len(),
+        });
+    }
+    let sched = ScheduledPermutation::from_decomposition(d, hmm.config().width, Strategy::Hybrid)?;
+    let staged = sched.stage(hmm)?;
+    let bufs = [
+        hmm.alloc_global(n),
+        hmm.alloc_global(n),
+        hmm.alloc_global(n),
+        hmm.alloc_global(n),
+    ];
+    hmm.host_write(bufs[0], input)?;
+    let report = staged.run(hmm, bufs[0], bufs[1], bufs[2], bufs[3])?;
+    Ok((report, hmm.host_read(bufs[1])))
 }
 
 /// A reusable runner: one machine, persistent input/output buffers, and
@@ -220,6 +255,32 @@ mod tests {
             let out = run_permutation(&cfg, alg, &p, &input).unwrap();
             assert!(out.verified, "{}", alg.name());
         }
+    }
+
+    #[test]
+    fn shared_decomposition_run_matches_driver_run() {
+        let cfg = MachineConfig::pure(8, 16);
+        let n = 1 << 10;
+        let input: Vec<Word> = (0..n as Word).map(|v| v * 7 + 3).collect();
+        let p = families::random(n, 77);
+        // One decomposition, shared: drive the simulator from it...
+        let d = Decomposition::build(&p, cfg.width).unwrap();
+        let mut hmm = Hmm::new(cfg.clone()).unwrap();
+        let (report, out) = run_scheduled_decomposition(&mut hmm, &d, &input).unwrap();
+        assert_eq!(report.rounds(), 32);
+        // ...and it must agree with the one-call driver path.
+        let via_driver = run_permutation(&cfg, Algorithm::Scheduled, &p, &input).unwrap();
+        assert!(via_driver.verified);
+        assert_eq!(out, via_driver.output);
+    }
+
+    #[test]
+    fn shared_decomposition_rejects_wrong_input_len() {
+        let cfg = MachineConfig::pure(8, 16);
+        let p = families::random(256, 9);
+        let d = Decomposition::build(&p, cfg.width).unwrap();
+        let mut hmm = Hmm::new(cfg).unwrap();
+        assert!(run_scheduled_decomposition(&mut hmm, &d, &vec![0; 128]).is_err());
     }
 
     #[test]

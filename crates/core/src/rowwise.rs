@@ -99,9 +99,9 @@ impl RowSchedule {
                 .zip(d.chunks_mut(band * c))
                 .zip(perms.chunks(band))
             {
-                handles.push(scope.spawn(move || {
-                    schedule_rows(perm_band, width, strategy, s_band, d_band)
-                }));
+                handles.push(
+                    scope.spawn(move || schedule_rows(perm_band, width, strategy, s_band, d_band)),
+                );
             }
             handles
                 .into_iter()

@@ -88,10 +88,7 @@ mod tests {
 
     #[test]
     fn all_presets_validate() {
-        for generation in all(ElemWidth::F32)
-            .into_iter()
-            .chain(all(ElemWidth::F64))
-        {
+        for generation in all(ElemWidth::F32).into_iter().chain(all(ElemWidth::F64)) {
             generation
                 .config
                 .validate()
@@ -113,6 +110,9 @@ mod tests {
 
     #[test]
     fn kepler_is_the_paper_machine() {
-        assert_eq!(kepler(ElemWidth::F32), MachineConfig::gtx680(ElemWidth::F32));
+        assert_eq!(
+            kepler(ElemWidth::F32),
+            MachineConfig::gtx680(ElemWidth::F32)
+        );
     }
 }

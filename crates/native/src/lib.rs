@@ -7,23 +7,32 @@
 //!
 //! * [`scatter::scatter_permute`] / [`scatter::gather_permute`] — the
 //!   conventional D-/S-designated kernels (one scattered pass);
-//! * [`scheduled::NativeScheduled`] — the five-pass scheduled permutation
-//!   (row gather, blocked transpose, row gather, blocked transpose, row
-//!   gather), sharing its decomposition with the simulator build;
-//! * [`par`] — a minimal chunked parallel-for on crossbeam scoped threads
+//! * [`scheduled::NativeScheduled`] — the scheduled permutation executed
+//!   as three fused memory sweeps (gather-transpose, gather-transpose,
+//!   row gather), sharing its decomposition with the simulator build;
+//! * [`plan::Engine`] — the front door: an LRU plan cache keyed by
+//!   permutation fingerprint plus a scratch-buffer pool, with a
+//!   distribution-based scatter fallback;
+//! * [`pool`] / [`par`] — a persistent worker pool (created once per
+//!   process) and the chunked parallel-for primitives built on it
 //!   (`rayon` is not on this reproduction's offline dependency list).
 //!
-//! The criterion benches in `hmm-bench` compare the two approaches across
-//! the paper's permutation families and sizes.
+//! `unsafe` is confined to three audited disjointness arguments: the
+//! scatter kernel (`scatter::ScatterTarget`), the pool's type-erased task
+//! pointer (`pool::RawTask`), and the chunk splitter (`par::SliceParts`).
+//!
+//! The criterion benches in `hmm-bench` compare the approaches across the
+//! paper's permutation families and sizes.
 
 #![warn(missing_docs)]
-// `unsafe` appears exactly once, in the scatter kernel, with a documented
-// bijection-disjointness argument (see `scatter::ScatterTarget`).
 #![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod par;
+pub mod plan;
+pub mod pool;
 pub mod scatter;
 pub mod scheduled;
 
+pub use plan::{Backend, Engine, EngineStats, PermutePlan};
 pub use scatter::{copy_baseline, gather_permute, scatter_permute};
 pub use scheduled::NativeScheduled;

@@ -1,0 +1,485 @@
+//! Plan cache and throughput engine for repeated permutations.
+//!
+//! Building a scheduled plan is expensive — a König edge-coloring of the
+//! r×c transfer matrix plus three gather-map materialisations — while
+//! *executing* one is three memory sweeps. Offline permutation workloads
+//! (FFT reorderings, matrix layouts, routing tables) apply the same few
+//! permutations over and over, so the [`Engine`] front door caches built
+//! plans in an LRU keyed by a 64-bit fingerprint of the permutation, and
+//! keeps a small pool of scratch buffers so steady-state calls allocate
+//! nothing.
+//!
+//! The engine also chooses the backend per plan: the paper's Table II shows
+//! the conventional (scatter) kernel beating the scheduled one when the
+//! distribution `γ_w(P)` is small — few distinct destination groups per
+//! warp means the single scattered pass is nearly coalesced, and no
+//! three-sweep rewrite can beat one sweep. The same crossover exists on the
+//! CPU with cache lines in place of address groups, so plans are built with
+//! a measured-γ decision: `γ_w(P) ≤ threshold` → scatter, else scheduled.
+
+use crate::scheduled::NativeScheduled;
+use hmm_offperm::Result;
+use hmm_perm::distribution::distribution;
+use hmm_perm::Permutation;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Default LRU capacity (plans held at once).
+pub const DEFAULT_CAPACITY: usize = 8;
+
+/// Default γ_w crossover: at or below this measured distribution the
+/// scatter kernel wins. One scattered sweep costs about `γ/w` cache lines
+/// per element versus the fused path's three sequential sweeps, so the
+/// break-even sits in the low single digits; 4 matches the paper's
+/// Table II shape (scatter wins for identical/rotation/shuffle classes,
+/// scheduled for random/bit-reversal/transpose).
+pub const DEFAULT_GAMMA_THRESHOLD: f64 = 4.0;
+
+/// Scratch buffers retained for reuse.
+const SCRATCH_POOL_CAP: usize = 4;
+
+/// FNV-1a over the permutation image, mixed with the length. Two distinct
+/// permutations colliding on both fingerprint *and* length is a ~2⁻⁶⁴
+/// event; the cache treats the pair as identity, trading that risk for
+/// O(n) keying without storing the full image per entry.
+fn fingerprint(p: &Permutation) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &d in p.as_slice() {
+        let mut v = d as u64;
+        for _ in 0..8 {
+            h ^= v & 0xff;
+            h = h.wrapping_mul(PRIME);
+            v >>= 8;
+        }
+    }
+    h ^ (p.len() as u64).wrapping_mul(PRIME)
+}
+
+/// Cache key: permutation fingerprint + length + schedule width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct PlanKey {
+    fingerprint: u64,
+    len: usize,
+    width: usize,
+}
+
+/// How a cached plan executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Single scattered pass (`scatter_permute`) — wins at low γ_w.
+    Scatter,
+    /// Fused three-sweep scheduled permutation.
+    Scheduled,
+}
+
+/// A built, cached execution plan for one permutation.
+#[derive(Debug)]
+pub struct PermutePlan {
+    backend: Backend,
+    gamma: f64,
+    /// Present iff `backend == Scheduled`.
+    scheduled: Option<NativeScheduled>,
+    /// Kept for the scatter path (and for callers that want it back).
+    permutation: Permutation,
+}
+
+impl PermutePlan {
+    /// Build a plan, measuring γ_w(P) to pick the backend.
+    pub fn build(p: &Permutation, width: usize, gamma_threshold: f64) -> Result<Self> {
+        let gamma = distribution(p, width);
+        let backend = if gamma <= gamma_threshold {
+            Backend::Scatter
+        } else {
+            Backend::Scheduled
+        };
+        let scheduled = match backend {
+            Backend::Scatter => None,
+            Backend::Scheduled => Some(NativeScheduled::build(p, width)?),
+        };
+        Ok(PermutePlan {
+            backend,
+            gamma,
+            scheduled,
+            permutation: p.clone(),
+        })
+    }
+
+    /// The backend this plan executes with.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// The measured distribution γ_w(P) the decision was based on.
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    /// Number of elements the plan permutes.
+    pub fn len(&self) -> usize {
+        self.permutation.len()
+    }
+
+    /// True for the empty permutation.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The scheduled executable, when the scheduled backend was chosen.
+    pub fn scheduled(&self) -> Option<&NativeScheduled> {
+        self.scheduled.as_ref()
+    }
+
+    /// Execute `dst[P[i]] = src[i]` with caller-provided scratch (length
+    /// `n`; untouched on the scatter path).
+    pub fn run_with_scratch<T: Copy + Send + Sync>(
+        &self,
+        src: &[T],
+        dst: &mut [T],
+        scratch: &mut [T],
+    ) {
+        match &self.scheduled {
+            Some(sched) => sched.run_with_scratch(src, dst, scratch),
+            None => crate::scatter::scatter_permute(src, &self.permutation, dst),
+        }
+    }
+}
+
+/// Cache/engine counters, for tests and bench reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Cache hits (plan reused).
+    pub hits: u64,
+    /// Cache misses (plan built).
+    pub misses: u64,
+    /// Plans evicted to respect capacity.
+    pub evictions: u64,
+    /// Executions that took the scatter backend.
+    pub scatter_runs: u64,
+    /// Executions that took the scheduled backend.
+    pub scheduled_runs: u64,
+}
+
+struct Entry {
+    plan: Arc<PermutePlan>,
+    last_used: u64,
+}
+
+/// The throughput front door: an LRU plan cache plus a scratch-buffer pool.
+///
+/// ```
+/// use hmm_native::Engine;
+/// use hmm_perm::families;
+///
+/// let mut engine: Engine<u32> = Engine::new(32);
+/// let p = families::random(1 << 12, 1);
+/// let src: Vec<u32> = (0..1u32 << 12).collect();
+/// let mut dst = vec![0u32; 1 << 12];
+/// engine.permute(&p, &src, &mut dst).unwrap(); // builds + caches the plan
+/// engine.permute(&p, &src, &mut dst).unwrap(); // cache hit, no allocation
+/// assert_eq!(engine.stats().hits, 1);
+/// ```
+pub struct Engine<T> {
+    width: usize,
+    capacity: usize,
+    gamma_threshold: f64,
+    entries: HashMap<PlanKey, Entry>,
+    clock: u64,
+    scratch_pool: Vec<Vec<T>>,
+    stats: EngineStats,
+}
+
+impl<T: Copy + Send + Sync + Default> Engine<T> {
+    /// Engine with the given schedule width and default capacity/threshold.
+    pub fn new(width: usize) -> Self {
+        Self::with_capacity(width, DEFAULT_CAPACITY)
+    }
+
+    /// Engine with an explicit LRU capacity (≥ 1).
+    pub fn with_capacity(width: usize, capacity: usize) -> Self {
+        assert!(width > 0, "width must be positive");
+        assert!(capacity > 0, "capacity must be positive");
+        Engine {
+            width,
+            capacity,
+            gamma_threshold: DEFAULT_GAMMA_THRESHOLD,
+            entries: HashMap::new(),
+            clock: 0,
+            scratch_pool: Vec::new(),
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// Override the γ_w crossover below which scatter is chosen. Set to
+    /// `0.0` to force the scheduled backend, `f64::INFINITY` to force
+    /// scatter. Affects plans built after the call.
+    pub fn set_gamma_threshold(&mut self, threshold: f64) {
+        self.gamma_threshold = threshold;
+    }
+
+    /// The schedule width plans are built with.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Counters since construction.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Number of plans currently cached.
+    pub fn cached_plans(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Fetch (or build and cache) the plan for `p`.
+    pub fn plan(&mut self, p: &Permutation) -> Result<Arc<PermutePlan>> {
+        let key = PlanKey {
+            fingerprint: fingerprint(p),
+            len: p.len(),
+            width: self.width,
+        };
+        self.clock += 1;
+        if let Some(entry) = self.entries.get_mut(&key) {
+            entry.last_used = self.clock;
+            self.stats.hits += 1;
+            return Ok(Arc::clone(&entry.plan));
+        }
+        let plan = Arc::new(PermutePlan::build(p, self.width, self.gamma_threshold)?);
+        self.stats.misses += 1;
+        if self.entries.len() >= self.capacity {
+            if let Some(&victim) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k)
+            {
+                self.entries.remove(&victim);
+                self.stats.evictions += 1;
+            }
+        }
+        self.entries.insert(
+            key,
+            Entry {
+                plan: Arc::clone(&plan),
+                last_used: self.clock,
+            },
+        );
+        Ok(plan)
+    }
+
+    /// Execute `dst[P[i]] = src[i]` through the cache: plan lookup (or
+    /// build), pooled scratch, backend dispatch.
+    ///
+    /// # Panics
+    /// Panics if `src.len() != dst.len()` or either differs from `p.len()`.
+    pub fn permute(&mut self, p: &Permutation, src: &[T], dst: &mut [T]) -> Result<()> {
+        let plan = self.plan(p)?;
+        self.run_plan(&plan, src, dst);
+        Ok(())
+    }
+
+    /// Apply one permutation to many `(src, dst)` pairs: one plan lookup,
+    /// one scratch buffer, `jobs.len()` executions.
+    pub fn permute_batch<'a, I>(&mut self, p: &Permutation, jobs: I) -> Result<()>
+    where
+        I: IntoIterator<Item = (&'a [T], &'a mut [T])>,
+        T: 'a,
+    {
+        let plan = self.plan(p)?;
+        let mut scratch = self.take_scratch(plan.len());
+        for (src, dst) in jobs {
+            plan.run_with_scratch(src, dst, &mut scratch);
+            self.count_run(&plan);
+        }
+        self.put_scratch(scratch);
+        Ok(())
+    }
+
+    /// Execute an already-fetched plan with pooled scratch.
+    pub fn run_plan(&mut self, plan: &PermutePlan, src: &[T], dst: &mut [T]) {
+        let mut scratch = self.take_scratch(plan.len());
+        plan.run_with_scratch(src, dst, &mut scratch);
+        self.count_run(plan);
+        self.put_scratch(scratch);
+    }
+
+    fn count_run(&mut self, plan: &PermutePlan) {
+        match plan.backend() {
+            Backend::Scatter => self.stats.scatter_runs += 1,
+            Backend::Scheduled => self.stats.scheduled_runs += 1,
+        }
+    }
+
+    fn take_scratch(&mut self, n: usize) -> Vec<T> {
+        if let Some(pos) = self.scratch_pool.iter().position(|b| b.len() == n) {
+            self.scratch_pool.swap_remove(pos)
+        } else {
+            vec![T::default(); n]
+        }
+    }
+
+    fn put_scratch(&mut self, buf: Vec<T>) {
+        if self.scratch_pool.len() < SCRATCH_POOL_CAP {
+            self.scratch_pool.push(buf);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmm_perm::families;
+
+    const W: usize = 32;
+
+    fn reference(p: &Permutation, src: &[u32]) -> Vec<u32> {
+        let mut out = vec![0; src.len()];
+        p.permute(src, &mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn engine_is_correct_for_all_families() {
+        let n = 1 << 12;
+        let src: Vec<u32> = (0..n as u32).map(|v| v ^ 0xdead_beef).collect();
+        let mut engine: Engine<u32> = Engine::new(W);
+        for fam in families::Family::ALL {
+            let p = fam.build(n, 3).unwrap();
+            let mut dst = vec![0u32; n];
+            engine.permute(&p, &src, &mut dst).unwrap();
+            assert_eq!(dst, reference(&p, &src), "{}", fam.name());
+        }
+    }
+
+    #[test]
+    fn repeat_calls_hit_the_cache() {
+        let n = 1 << 12;
+        let p = families::random(n, 11);
+        let src: Vec<u32> = (0..n as u32).collect();
+        let mut dst = vec![0u32; n];
+        let mut engine: Engine<u32> = Engine::new(W);
+        for _ in 0..5 {
+            engine.permute(&p, &src, &mut dst).unwrap();
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 4);
+        assert_eq!(engine.cached_plans(), 1);
+        assert_eq!(dst, reference(&p, &src));
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used() {
+        let n = 1 << 10;
+        let mut engine: Engine<u32> = Engine::with_capacity(W, 2);
+        let perms: Vec<Permutation> = (0..3).map(|s| families::random(n, 100 + s)).collect();
+        let src: Vec<u32> = (0..n as u32).collect();
+        let mut dst = vec![0u32; n];
+        // Fill: p0, p1. Touch p0 so p1 becomes LRU. Insert p2 -> evict p1.
+        engine.permute(&perms[0], &src, &mut dst).unwrap();
+        engine.permute(&perms[1], &src, &mut dst).unwrap();
+        engine.permute(&perms[0], &src, &mut dst).unwrap();
+        engine.permute(&perms[2], &src, &mut dst).unwrap();
+        assert_eq!(engine.stats().evictions, 1);
+        assert_eq!(engine.cached_plans(), 2);
+        // p0 survived (hit), p1 was evicted (miss again), totals check out.
+        engine.permute(&perms[0], &src, &mut dst).unwrap();
+        engine.permute(&perms[1], &src, &mut dst).unwrap();
+        let stats = engine.stats();
+        assert_eq!(stats.misses, 4); // p0, p1, p2, p1-again
+        assert_eq!(stats.hits, 2); // p0 twice
+    }
+
+    #[test]
+    fn gamma_decision_picks_backends_like_table_ii() {
+        let n = 1 << 12;
+        let mut engine: Engine<u32> = Engine::new(W);
+        let ident = engine.plan(&families::identical(n)).unwrap();
+        assert_eq!(ident.backend(), Backend::Scatter);
+        assert!(ident.gamma() <= 2.0);
+        let rand = engine.plan(&families::random(n, 7)).unwrap();
+        assert_eq!(rand.backend(), Backend::Scheduled);
+        assert!(rand.gamma() > DEFAULT_GAMMA_THRESHOLD);
+        let bitrev = engine.plan(&families::bit_reversal(n).unwrap()).unwrap();
+        assert_eq!(bitrev.backend(), Backend::Scheduled);
+    }
+
+    #[test]
+    fn threshold_overrides_force_a_backend() {
+        let n = 1 << 10;
+        let p = families::random(n, 9);
+        let src: Vec<u32> = (0..n as u32).collect();
+        let mut dst = vec![0u32; n];
+
+        let mut force_scatter: Engine<u32> = Engine::new(W);
+        force_scatter.set_gamma_threshold(f64::INFINITY);
+        force_scatter.permute(&p, &src, &mut dst).unwrap();
+        assert_eq!(force_scatter.stats().scatter_runs, 1);
+        assert_eq!(dst, reference(&p, &src));
+
+        let mut force_sched: Engine<u32> = Engine::new(W);
+        force_sched.set_gamma_threshold(0.0);
+        force_sched.permute(&p, &src, &mut dst).unwrap();
+        assert_eq!(force_sched.stats().scheduled_runs, 1);
+        assert_eq!(dst, reference(&p, &src));
+    }
+
+    #[test]
+    fn batch_reuses_one_plan_lookup() {
+        let n = 1 << 11;
+        let p = families::random(n, 21);
+        let srcs: Vec<Vec<u32>> = (0..4)
+            .map(|k| (0..n as u32).map(|v| v.wrapping_add(k)).collect())
+            .collect();
+        let mut dsts: Vec<Vec<u32>> = vec![vec![0u32; n]; 4];
+        let mut engine: Engine<u32> = Engine::new(W);
+        engine
+            .permute_batch(
+                &p,
+                srcs.iter()
+                    .map(|s| s.as_slice())
+                    .zip(dsts.iter_mut().map(|d| d.as_mut_slice())),
+            )
+            .unwrap();
+        let stats = engine.stats();
+        assert_eq!(stats.misses + stats.hits, 1);
+        assert_eq!(stats.scheduled_runs + stats.scatter_runs, 4);
+        for (src, dst) in srcs.iter().zip(&dsts) {
+            assert_eq!(dst, &reference(&p, src));
+        }
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_permutations() {
+        let n = 1 << 10;
+        let a = fingerprint(&families::random(n, 1));
+        let b = fingerprint(&families::random(n, 2));
+        let ident = fingerprint(&Permutation::identity(n));
+        assert_ne!(a, b);
+        assert_ne!(a, ident);
+        // Deterministic: same permutation, same fingerprint.
+        assert_eq!(a, fingerprint(&families::random(n, 1)));
+        // Length participates even when images prefix-match.
+        assert_ne!(
+            fingerprint(&Permutation::identity(64)),
+            fingerprint(&Permutation::identity(128))
+        );
+    }
+
+    #[test]
+    fn scratch_pool_is_bounded_and_reused() {
+        let n = 1 << 10;
+        let p = families::random(n, 33);
+        let src: Vec<u32> = (0..n as u32).collect();
+        let mut dst = vec![0u32; n];
+        let mut engine: Engine<u32> = Engine::new(W);
+        for _ in 0..10 {
+            engine.permute(&p, &src, &mut dst).unwrap();
+        }
+        assert!(engine.scratch_pool.len() <= SCRATCH_POOL_CAP);
+        assert!(!engine.scratch_pool.is_empty());
+        assert_eq!(engine.scratch_pool[0].len(), n);
+    }
+}

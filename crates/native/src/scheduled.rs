@@ -1,13 +1,27 @@
-//! The scheduled permutation on a real CPU: the same five-pass structure
-//! as the GPU implementation (row pass, transpose, row pass, transpose,
-//! row pass), with cache-blocked transposes and row-local gathers.
+//! The scheduled permutation on a real CPU, executed as **three fused
+//! memory sweeps**.
 //!
-//! Every pass reads or writes memory sequentially (or within a row /
-//! blocked tile), so its cache-line and TLB behaviour is the CPU analog of
-//! coalesced access — whereas the direct scatter of
-//! [`crate::scatter::scatter_permute`] touches a new cache line per element
-//! for high-distribution permutations. This is the wall-clock counterpart
-//! of the paper's Table II comparison.
+//! The GPU implementation (and the simulator) run five passes: row gather,
+//! transpose, row gather, transpose, row gather. On the CPU the transposes
+//! are pure data movement, so each one is fused into the row gather that
+//! precedes it: a single *gather-transpose* sweep reads each input row in
+//! the gather order and writes the result transposed. That turns
+//!
+//! ```text
+//! row(g1); transpose; row(g2); transpose; row(g3)     (5 sweeps, 2 scratch)
+//! ```
+//!
+//! into
+//!
+//! ```text
+//! gather_transpose(g1); gather_transpose(g2); row(g3) (3 sweeps, 1 scratch)
+//! ```
+//!
+//! Every sweep still writes memory sequentially (within a blocked tile),
+//! and reads stay within one matrix row at a time — a row of a √n-sided
+//! matrix fits in L1/L2 — so cache-line and TLB behaviour remains the CPU
+//! analog of coalesced access. The unfused five-pass path is kept as
+//! [`NativeScheduled::run_unfused`] for benchmarking the fusion win.
 
 use crate::par::{par_chunks_mut, par_chunks_mut_exact, worker_threads};
 use hmm_offperm::schedule::Decomposition;
@@ -23,11 +37,12 @@ const TILE: usize = 64;
 #[derive(Debug, Clone)]
 pub struct NativeScheduled {
     shape: MatrixShape,
-    /// Pass 1 gather map, flattened `r × c`: `out[i][k] = in[i][g1[i*c+k]]`.
+    /// Sweep 1 gather map, flattened `r × c`: row `i` of the intermediate
+    /// is `in[i][g1[i*c + k]]` for `k` in `0..c`.
     g1: Vec<u32>,
-    /// Pass 2 gather map on the transposed matrix, flattened `c × r`.
+    /// Sweep 2 gather map on the transposed matrix, flattened `c × r`.
     g2: Vec<u32>,
-    /// Pass 3 gather map, flattened `r × c`.
+    /// Sweep 3 gather map, flattened `r × c`.
     g3: Vec<u32>,
 }
 
@@ -38,6 +53,15 @@ impl NativeScheduled {
     pub fn build(p: &Permutation, width: usize) -> Result<Self> {
         let d = Decomposition::build(p, width)?;
         Ok(Self::from_decomposition(&d))
+    }
+
+    /// Build and also hand back the decomposition, so the caller can reuse
+    /// it for a simulator run (see `hmm-offperm`'s driver) without paying
+    /// for the König coloring twice.
+    pub fn build_shared(p: &Permutation, width: usize) -> Result<(Self, Decomposition)> {
+        let d = Decomposition::build(p, width)?;
+        let sched = Self::from_decomposition(&d);
+        Ok((sched, d))
     }
 
     /// Build from an existing decomposition (shared with a simulator run).
@@ -78,47 +102,91 @@ impl NativeScheduled {
         self.len() == 0
     }
 
-    /// Execute `dst[P[i]] = src[i]`, allocating two scratch buffers.
+    /// Required scratch length for [`run_with_scratch`](Self::run_with_scratch).
+    pub fn scratch_len(&self) -> usize {
+        self.len()
+    }
+
+    /// Execute `dst[P[i]] = src[i]`, allocating one scratch buffer.
     ///
     /// # Panics
     /// Panics if `src` or `dst` length differs from the schedule's `n`.
     pub fn run<T: Copy + Send + Sync + Default>(&self, src: &[T], dst: &mut [T]) {
-        let mut t1 = vec![T::default(); self.len()];
-        let mut t2 = vec![T::default(); self.len()];
-        self.run_with_scratch(src, dst, &mut t1, &mut t2);
+        let mut scratch = vec![T::default(); self.scratch_len()];
+        self.run_with_scratch(src, dst, &mut scratch);
     }
 
-    /// Execute with caller-provided scratch (both of length `n`) to keep
-    /// benchmarks allocation-free.
+    /// Execute with a caller-provided scratch buffer of length `n`,
+    /// allocation-free: three fused sweeps, `src → dst → scratch → dst`.
     pub fn run_with_scratch<T: Copy + Send + Sync>(
         &self,
         src: &[T],
         dst: &mut [T],
-        t1: &mut [T],
-        t2: &mut [T],
+        scratch: &mut [T],
     ) {
         let n = self.len();
         assert_eq!(src.len(), n, "src length mismatch");
         assert_eq!(dst.len(), n, "dst length mismatch");
-        assert_eq!(t1.len(), n, "t1 length mismatch");
-        assert_eq!(t2.len(), n, "t2 length mismatch");
+        assert_eq!(scratch.len(), n, "scratch length mismatch");
         let (r, c) = (self.shape.rows, self.shape.cols);
-        // Pass 1 (row-wise, r×c): src -> t1.
-        row_pass(src, &self.g1, c, t1);
-        // Pass 2a (transpose r×c -> c×r): t1 -> t2.
-        transpose_blocked(t1, r, c, t2);
-        // Pass 2b (row-wise on c×r): t2 -> t1.
-        row_pass(t2, &self.g2, r, t1);
-        // Pass 2c (transpose c×r -> r×c): t1 -> t2.
-        transpose_blocked(t1, c, r, t2);
-        // Pass 3 (row-wise, r×c): t2 -> dst.
-        row_pass(t2, &self.g3, c, dst);
+        // Sweep 1: row gather (g1) fused with transpose; r×c -> c×r in dst.
+        gather_transpose(src, &self.g1, r, c, dst);
+        // Sweep 2: row gather (g2) fused with transpose; c×r -> r×c.
+        gather_transpose(dst, &self.g2, c, r, scratch);
+        // Sweep 3: plain row gather (g3) on the r×c matrix.
+        row_pass(scratch, &self.g3, c, dst);
+    }
+
+    /// The seed's five-pass execution, kept verbatim as the benchmark
+    /// reference the fused path is measured against: row gather (with the
+    /// per-element `pos % cols` row lookup the seed used), blocked
+    /// transpose, row gather, blocked transpose, row gather, with the two
+    /// scratch buffers the seed's `run` allocated per call.
+    pub fn run_unfused<T: Copy + Send + Sync + Default>(&self, src: &[T], dst: &mut [T]) {
+        let n = self.len();
+        assert_eq!(src.len(), n, "src length mismatch");
+        assert_eq!(dst.len(), n, "dst length mismatch");
+        let (r, c) = (self.shape.rows, self.shape.cols);
+        let mut t1 = vec![T::default(); n];
+        let mut t2 = vec![T::default(); n];
+        row_pass_seed(src, &self.g1, c, &mut t1);
+        transpose_blocked(&t1, r, c, &mut t2);
+        row_pass_seed(&t2, &self.g2, r, &mut t1);
+        transpose_blocked(&t1, c, r, &mut t2);
+        row_pass_seed(&t2, &self.g3, c, dst);
     }
 }
 
 /// Row-local gather: `out[row][k] = in[row][g[row*cols + k]]`, parallel
 /// over bands of rows.
+///
+/// Band chunks are always whole rows (the band length is a multiple of
+/// `cols`), so the row base is hoisted out of the inner loop — the seed
+/// computed `pos % cols` per element.
 fn row_pass<T: Copy + Send + Sync>(input: &[T], g: &[u32], cols: usize, out: &mut [T]) {
+    debug_assert_eq!(input.len(), out.len());
+    debug_assert_eq!(g.len(), out.len());
+    let rows = out.len() / cols;
+    let band = rows_per_band(rows) * cols;
+    par_chunks_mut(out, band, |start, chunk| {
+        debug_assert_eq!(start % cols, 0);
+        debug_assert_eq!(chunk.len() % cols, 0);
+        for (rr, out_row) in chunk.chunks_exact_mut(cols).enumerate() {
+            let base = start + rr * cols;
+            let in_row = &input[base..base + cols];
+            let g_row = &g[base..base + cols];
+            for (slot, &gi) in out_row.iter_mut().zip(g_row) {
+                *slot = in_row[gi as usize];
+            }
+        }
+    });
+}
+
+/// The seed's row-local gather, unchanged: recomputes the row base with a
+/// `pos % cols` division on every element. Used only by
+/// [`NativeScheduled::run_unfused`] so benchmarks measure the fused path
+/// against exactly what shipped before.
+fn row_pass_seed<T: Copy + Send + Sync>(input: &[T], g: &[u32], cols: usize, out: &mut [T]) {
     debug_assert_eq!(input.len(), out.len());
     debug_assert_eq!(g.len(), out.len());
     let rows = out.len() / cols;
@@ -132,18 +200,83 @@ fn row_pass<T: Copy + Send + Sync>(input: &[T], g: &[u32], cols: usize, out: &mu
     });
 }
 
-/// Cache-blocked transpose of a `rows × cols` row-major matrix into a
-/// `cols × rows` one, parallel over bands of output rows.
-fn transpose_blocked<T: Copy + Send + Sync>(input: &[T], rows: usize, cols: usize, out: &mut [T]) {
+/// Fused row-gather + transpose: for a `rows × cols` input,
+/// `out[j*rows + i] = input[i*cols + g[i*cols + j]]` — i.e. apply the
+/// per-row gather `g` and store the result transposed (`cols × rows`), in
+/// one sweep over memory.
+///
+/// The gather indices are arbitrary within a row, so unlike the plain
+/// transpose there is no cache-line reuse to tile for on the read side.
+/// Each worker instead processes its band in *input-row blocks* through a
+/// small cache-resident staging buffer:
+///
+/// 1. gather the block's rows into the buffer (reads stay inside one
+///    contiguous row — L1-resident for √n-sided shapes — and buffer writes
+///    are sequential, exactly the `row_pass` access pattern);
+/// 2. blocked-transpose the buffer into the output band (buffer reads hit
+///    L2; output writes are contiguous `block`-element runs).
+///
+/// The input and the gather map are streamed from memory exactly once and
+/// the output is written exactly once; the staging buffer (≤ ~256 KB)
+/// never leaves the cache.
+fn gather_transpose<T: Copy + Send + Sync>(
+    input: &[T],
+    g: &[u32],
+    rows: usize,
+    cols: usize,
+    out: &mut [T],
+) {
     debug_assert_eq!(input.len(), rows * cols);
     debug_assert_eq!(out.len(), rows * cols);
+    debug_assert_eq!(g.len(), rows * cols);
     // Each worker owns a band of output rows that is a multiple of TILE (or
     // the ragged tail), so tile boundaries never straddle two workers.
     let band_rows = rows_per_band(cols).next_multiple_of(TILE);
     par_chunks_mut_exact(out, band_rows * rows, |start, chunk| {
         let out_row0 = start / rows;
         let out_rows = chunk.len() / rows;
-        // Tiles: output rows [out_row0, out_row0+out_rows) x input rows.
+        // Input rows staged per block: block × out_rows elements ≤ ~256 KB.
+        let block = (262_144 / (out_rows * core::mem::size_of::<T>()).max(1)).clamp(1, rows);
+        let mut temp: Vec<T> = input[..block * out_rows].to_vec();
+        let mut i0 = 0;
+        while i0 < rows {
+            let imax = (i0 + block).min(rows);
+            // 1) Gather rows i0..imax into temp ((imax-i0) × out_rows, row-major).
+            for i in i0..imax {
+                let in_row = &input[i * cols..(i + 1) * cols];
+                let g_row = &g[i * cols + out_row0..i * cols + out_row0 + out_rows];
+                let t_row = &mut temp[(i - i0) * out_rows..(i - i0 + 1) * out_rows];
+                for (slot, &gi) in t_row.iter_mut().zip(g_row) {
+                    *slot = in_row[gi as usize];
+                }
+            }
+            // 2) Blocked transpose of temp into the band's columns i0..imax.
+            let mut jj0 = 0;
+            while jj0 < out_rows {
+                let jjmax = (jj0 + TILE).min(out_rows);
+                for jj in jj0..jjmax {
+                    let run = &mut chunk[jj * rows + i0..jj * rows + imax];
+                    for (k, slot) in run.iter_mut().enumerate() {
+                        *slot = temp[k * out_rows + jj];
+                    }
+                }
+                jj0 = jjmax;
+            }
+            i0 = imax;
+        }
+    });
+}
+
+/// Cache-blocked transpose of a `rows × cols` row-major matrix into a
+/// `cols × rows` one, parallel over bands of output rows. Used only by the
+/// unfused reference path.
+fn transpose_blocked<T: Copy + Send + Sync>(input: &[T], rows: usize, cols: usize, out: &mut [T]) {
+    debug_assert_eq!(input.len(), rows * cols);
+    debug_assert_eq!(out.len(), rows * cols);
+    let band_rows = rows_per_band(cols).next_multiple_of(TILE);
+    par_chunks_mut_exact(out, band_rows * rows, |start, chunk| {
+        let out_row0 = start / rows;
+        let out_rows = chunk.len() / rows;
         let mut j0 = out_row0;
         while j0 < out_row0 + out_rows {
             let jmax = (j0 + TILE).min(out_row0 + out_rows);
@@ -221,16 +354,30 @@ mod tests {
     }
 
     #[test]
+    fn fused_matches_unfused_for_all_families() {
+        let n = 1 << 13;
+        let src: Vec<u32> = (0..n as u32).map(|v| v.rotate_left(7)).collect();
+        for fam in families::Family::ALL {
+            let p = fam.build(n, 9).unwrap();
+            let sched = NativeScheduled::build(&p, W).unwrap();
+            let mut fused = vec![0u32; n];
+            sched.run(&src, &mut fused);
+            let mut unfused = vec![0u32; n];
+            sched.run_unfused(&src, &mut unfused);
+            assert_eq!(fused, unfused, "{}", fam.name());
+        }
+    }
+
+    #[test]
     fn run_with_scratch_reuses_buffers() {
         let n = 1 << 12;
         let p = families::bit_reversal(n).unwrap();
         let sched = NativeScheduled::build(&p, W).unwrap();
         let src: Vec<u64> = (0..n as u64).collect();
         let mut dst = vec![0u64; n];
-        let mut t1 = vec![0u64; n];
-        let mut t2 = vec![0u64; n];
+        let mut scratch = vec![0u64; sched.scratch_len()];
         for _ in 0..3 {
-            sched.run_with_scratch(&src, &mut dst, &mut t1, &mut t2);
+            sched.run_with_scratch(&src, &mut dst, &mut scratch);
         }
         assert_eq!(dst, reference_u64(&p, &src));
     }
@@ -239,6 +386,15 @@ mod tests {
         let mut out = vec![0; src.len()];
         p.permute(src, &mut out).unwrap();
         out
+    }
+
+    #[test]
+    fn build_shared_decomposition_recomposes() {
+        let n = 1 << 10;
+        let p = families::random(n, 5);
+        let (sched, d) = NativeScheduled::build_shared(&p, W).unwrap();
+        assert_eq!(sched.shape(), d.shape);
+        assert_eq!(d.recompose().as_slice(), p.as_slice());
     }
 
     #[test]
@@ -252,6 +408,19 @@ mod tests {
                     assert_eq!(out[j * r + i], input[i * c + j], "({i},{j}) r={r} c={c}");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn gather_transpose_with_identity_gather_is_transpose() {
+        for (r, c) in [(64, 64), (64, 128), (192, 320)] {
+            let input: Vec<u32> = (0..(r * c) as u32).collect();
+            let identity: Vec<u32> = (0..r).flat_map(|_| 0..c as u32).collect();
+            let mut fused = vec![0u32; r * c];
+            gather_transpose(&input, &identity, r, c, &mut fused);
+            let mut plain = vec![0u32; r * c];
+            transpose_blocked(&input, r, c, &mut plain);
+            assert_eq!(fused, plain, "r={r} c={c}");
         }
     }
 
@@ -272,5 +441,6 @@ mod tests {
         assert_eq!(sched.len(), 1 << 10);
         assert!(!sched.is_empty());
         assert_eq!(sched.shape().len(), 1 << 10);
+        assert_eq!(sched.scratch_len(), 1 << 10);
     }
 }
