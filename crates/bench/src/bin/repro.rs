@@ -12,13 +12,16 @@
 //! repro apps [--n N]        # which application permutations need scheduling
 //! repro generations         # crossover size across GPU-generation presets
 //! repro heatmap [--n N]     # access-pattern heatmaps (trace support)
-//! repro native [--full] [--json]   # wall-clock CPU backend comparison
+//! repro native [--full] [--json] [--contended T]  # wall-clock CPU backend comparison
 //! ```
 //!
 //! `--full` uses the paper's sizes (256K–4M); expect minutes of simulation.
 //! `--csv DIR` additionally writes each table as `DIR/<table>.csv`.
 //! `--json` (native only) writes `results/BENCH_native.json` with
-//! elements/sec per backend, per size, per family.
+//! elements/sec per backend, per size, per family — including the
+//! contended `SharedEngine` rows. `--contended T` (native only) sets the
+//! thread count of the contended measurement (default 4; oversubscribing
+//! a small machine is fine and still exercises the claiming logic).
 
 use hmm_bench::experiments::{
     ablation, applications, figures, generations, smallperm, sweep, table1, table2, table3,
@@ -33,6 +36,7 @@ struct Args {
     f64_elems: bool,
     no_cache: bool,
     json: bool,
+    contended: Option<usize>,
     count: Option<usize>,
     n: Option<usize>,
     csv_dir: Option<std::path::PathBuf>,
@@ -59,6 +63,7 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         f64_elems: false,
         no_cache: false,
         json: false,
+        contended: None,
         count: None,
         n: None,
         csv_dir: None,
@@ -70,6 +75,14 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
             "--f64" => out.f64_elems = true,
             "--no-cache" => out.no_cache = true,
             "--json" => out.json = true,
+            "--contended" => {
+                out.contended = Some(
+                    it.next()
+                        .ok_or("--contended needs a thread count")?
+                        .parse()
+                        .map_err(|e| format!("--contended: {e}"))?,
+                )
+            }
             "--count" => {
                 out.count = Some(
                     it.next()
@@ -105,7 +118,7 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: repro <all|table1|table2|table3|fig3|fig4|fig5|fig6|smallperm|ablation|\
                  sweep|apps|heatmap|native> [--full] [--f64] [--no-cache] [--json] [--count K] \
-                 [--n N] [--csv DIR]"
+                 [--n N] [--csv DIR] [--contended T]"
             );
             return ExitCode::FAILURE;
         }
@@ -340,10 +353,16 @@ fn run(cmd: &str, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
                 vec![1 << 16, 1 << 20]
             };
             println!("=== Native CPU backend: wall-clock (median of 5) ===\n");
-            let report = native_experiments::report(&sizes, 5)?;
+            let contended_threads = args.contended.unwrap_or(4);
+            let report = native_experiments::report(&sizes, 5, contended_threads)?;
             print!("{}", native_experiments::render(&report.rows));
             println!("\n=== Plan cache: cached Engine::permute vs rebuild-per-call ===\n");
             print!("{}", native_experiments::render_plan(&report.plan_rows));
+            println!("\n=== Contended SharedEngine: mixed families, warm cache ===\n");
+            print!(
+                "{}",
+                native_experiments::render_contended(&report.contended_rows)
+            );
             if args.json {
                 let dir = std::path::Path::new("results");
                 std::fs::create_dir_all(dir)?;

@@ -2,11 +2,14 @@
 //! real time instead of model time (see DESIGN.md §2 — this is the
 //! substitution for the paper's GPU measurements).
 //!
-//! Two experiment groups:
+//! Three experiment groups:
 //! * **kernels** — scatter / gather / fused 3-sweep scheduled / unfused
 //!   5-pass scheduled / copy, per family and size;
 //! * **plan cache** — steady-state `Engine::permute` (plan cached, pooled
-//!   scratch) versus rebuilding the plan on every call.
+//!   scratch) versus rebuilding the plan on every call;
+//! * **contended** — one `SharedEngine` hammered by T threads over a mix
+//!   of permutation families (the concurrent plan-service workload:
+//!   warm cache, per-thread outputs, aggregate throughput).
 //!
 //! [`to_json`] serialises a full report as `BENCH_native.json` (flat rows
 //! of `{family, n, backend, seconds, elements_per_sec}` — the format
@@ -14,9 +17,12 @@
 
 use crate::tables::{size_label, TextTable};
 use hmm_native::par::worker_threads;
-use hmm_native::{copy_baseline, gather_permute, scatter_permute, Engine, NativeScheduled};
+use hmm_native::{
+    copy_baseline, gather_permute, scatter_permute, Engine, NativeScheduled, SharedEngine,
+};
 use hmm_offperm::Result;
-use hmm_perm::families::Family;
+use hmm_perm::families::{self, Family};
+use hmm_perm::Permutation;
 use std::time::{Duration, Instant};
 
 /// Schedule width used throughout (matches the GPU warp).
@@ -67,6 +73,31 @@ pub struct PlanCacheRow {
     pub rebuild: Duration,
 }
 
+/// One row of the contended `SharedEngine` throughput measurement.
+#[derive(Debug, Clone)]
+pub struct ContendedRow {
+    /// Concurrent caller threads sharing the engine.
+    pub threads: usize,
+    /// Array size.
+    pub n: usize,
+    /// Total permutes completed across all threads.
+    pub total_runs: usize,
+    /// Wall-clock for the whole contended phase (cache pre-warmed).
+    pub seconds: Duration,
+}
+
+impl ContendedRow {
+    /// Aggregate elements permuted per second across all threads.
+    pub fn elements_per_sec(&self) -> f64 {
+        let secs = self.seconds.as_secs_f64();
+        if secs > 0.0 {
+            (self.total_runs * self.n) as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
 /// Everything `repro native` measures, plus the environment it ran in.
 #[derive(Debug, Clone)]
 pub struct NativeReport {
@@ -78,6 +109,9 @@ pub struct NativeReport {
     pub rows: Vec<NativeRow>,
     /// Plan-cache comparison rows.
     pub plan_rows: Vec<PlanCacheRow>,
+    /// Contended `SharedEngine` rows (1 thread and T threads, for the
+    /// scaling comparison).
+    pub contended_rows: Vec<ContendedRow>,
 }
 
 /// Measure all kernels for every family at the given sizes.
@@ -141,13 +175,92 @@ pub fn plan_cache(sizes: &[usize], reps: usize) -> Result<Vec<PlanCacheRow>> {
     Ok(rows)
 }
 
-/// Run both experiment groups and package them with the environment.
-pub fn report(sizes: &[usize], reps: usize) -> Result<NativeReport> {
+/// The permutation mix the contended benchmark cycles through: two
+/// low-γ (scatter-backed) and two high-γ (scheduled-backed) families,
+/// so the measurement exercises both backends and several cache keys.
+fn contended_mix(n: usize) -> Result<Vec<Permutation>> {
+    Ok(vec![
+        families::identical(n),
+        families::shuffle(n)?,
+        families::random(n, 5),
+        families::bit_reversal(n)?,
+    ])
+}
+
+/// Hammer one [`SharedEngine`] from `threads` concurrent callers over a
+/// mixed-family working set: plans are pre-warmed (steady-state cache),
+/// then every thread runs `runs_per_thread` permutes, cycling through the
+/// mix from a per-thread offset. Returns one row per size.
+pub fn contended(
+    sizes: &[usize],
+    threads: usize,
+    runs_per_thread: usize,
+) -> Result<Vec<ContendedRow>> {
+    let threads = threads.max(1);
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let engine: SharedEngine<u32> = SharedEngine::new(W);
+        let perms = contended_mix(n)?;
+        for p in &perms {
+            engine.plan(p)?; // warm: measure serving, not building
+        }
+        let src: Vec<u32> = (0..n as u32).collect();
+        let start = Instant::now();
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let engine = &engine;
+                let perms = &perms;
+                let src = &src;
+                s.spawn(move || {
+                    let mut dst = vec![0u32; n];
+                    for r in 0..runs_per_thread {
+                        let p = &perms[(t + r) % perms.len()];
+                        engine.permute(p, src, &mut dst).expect("contended permute");
+                    }
+                });
+            }
+        });
+        rows.push(ContendedRow {
+            threads,
+            n,
+            total_runs: threads * runs_per_thread,
+            seconds: start.elapsed(),
+        });
+    }
+    Ok(rows)
+}
+
+/// Largest size the contended phase runs at — the working set is capped so
+/// the contended rows stay cheap next to the kernel sweeps.
+const CONTENDED_MAX_N: usize = 1 << 20;
+
+/// Run all experiment groups and package them with the environment.
+/// Contended rows are measured at 1 thread and at `contended_threads`
+/// (sizes capped at 1M elements), so the JSON records a scaling pair.
+pub fn report(sizes: &[usize], reps: usize, contended_threads: usize) -> Result<NativeReport> {
+    let csizes: Vec<usize> = {
+        let kept: Vec<usize> = sizes
+            .iter()
+            .copied()
+            .filter(|&n| n <= CONTENDED_MAX_N)
+            .collect();
+        if kept.is_empty() {
+            sizes.iter().copied().min().into_iter().collect()
+        } else {
+            kept
+        }
+    };
+    let runs_per_thread = 16;
+    let mut contended_rows = contended(&csizes, 1, runs_per_thread)?;
+    if contended_threads > 1 {
+        contended_rows.extend(contended(&csizes, contended_threads, runs_per_thread)?);
+    }
     Ok(NativeReport {
         threads: worker_threads(),
         reps,
         rows: run(sizes, reps)?,
         plan_rows: plan_cache(sizes, reps)?,
+        contended_rows,
     })
 }
 
@@ -198,13 +311,38 @@ pub fn render_plan(rows: &[PlanCacheRow]) -> String {
     t.render()
 }
 
-fn json_row(out: &mut String, family: &str, n: usize, backend: &str, d: Duration) {
-    let secs = d.as_secs_f64();
-    let eps = if secs > 0.0 { n as f64 / secs } else { 0.0 };
+/// Render the contended `SharedEngine` throughput table.
+pub fn render_contended(rows: &[ContendedRow]) -> String {
+    let mut t = TextTable::new(vec![
+        "n",
+        "threads",
+        "permutes",
+        "wall",
+        "aggregate Melem/s",
+    ]);
+    for r in rows {
+        t.row(vec![
+            size_label(r.n),
+            r.threads.to_string(),
+            r.total_runs.to_string(),
+            format!("{:.2?}", r.seconds),
+            format!("{:.1}", r.elements_per_sec() / 1e6),
+        ]);
+    }
+    t.render()
+}
+
+fn json_row_raw(out: &mut String, family: &str, n: usize, backend: &str, secs: f64, eps: f64) {
     out.push_str(&format!(
         "    {{\"family\": \"{family}\", \"n\": {n}, \"backend\": \"{backend}\", \
          \"seconds\": {secs:.9}, \"elements_per_sec\": {eps:.1}}}"
     ));
+}
+
+fn json_row(out: &mut String, family: &str, n: usize, backend: &str, d: Duration) {
+    let secs = d.as_secs_f64();
+    let eps = if secs > 0.0 { n as f64 / secs } else { 0.0 };
+    json_row_raw(out, family, n, backend, secs, eps);
 }
 
 /// Serialise a report as the `BENCH_native.json` document (hand-rolled —
@@ -244,6 +382,22 @@ pub fn to_json(report: &NativeReport) -> String {
             json_row(&mut out, "random", r.n, backend, d);
         }
     }
+    for r in &report.contended_rows {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        // Aggregate throughput across all contending threads; the thread
+        // count is encoded in the backend name (schema stays flat).
+        json_row_raw(
+            &mut out,
+            "mixed",
+            r.n,
+            &format!("engine_contended_{}t", r.threads),
+            r.seconds.as_secs_f64(),
+            r.elements_per_sec(),
+        );
+    }
     out.push_str("\n  ]\n}\n");
     out
 }
@@ -264,13 +418,19 @@ mod tests {
 
     #[test]
     fn plan_cache_rows_and_json_shape() {
-        let report = report(&[1 << 12], 1).unwrap();
+        let report = report(&[1 << 12], 1, 2).unwrap();
         assert_eq!(report.plan_rows.len(), 1);
         let plan_table = render_plan(&report.plan_rows);
         assert!(plan_table.contains("rebuild"));
+        // Contended pair: 1 thread and 2 threads at the single size.
+        assert_eq!(report.contended_rows.len(), 2);
+        assert_eq!(report.contended_rows[0].threads, 1);
+        assert_eq!(report.contended_rows[1].threads, 2);
+        let contended_table = render_contended(&report.contended_rows);
+        assert!(contended_table.contains("threads"));
         let json = to_json(&report);
-        // 5 families x 5 backends + 3 plan-cache rows.
-        assert_eq!(json.matches("\"backend\"").count(), 28);
+        // 5 families x 5 backends + 3 plan-cache rows + 2 contended rows.
+        assert_eq!(json.matches("\"backend\"").count(), 30);
         for key in [
             "\"bench\": \"native\"",
             "\"threads\"",
@@ -278,10 +438,21 @@ mod tests {
             "\"scheduled_unfused\"",
             "\"engine_cached\"",
             "\"rebuild_per_call\"",
+            "\"engine_contended_1t\"",
+            "\"engine_contended_2t\"",
         ] {
             assert!(json.contains(key), "missing {key}");
         }
         // Must be parseable by eye and by simple tooling: balanced braces.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn contended_runs_complete_and_report_throughput() {
+        let rows = contended(&[1 << 12], 3, 4).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].threads, 3);
+        assert_eq!(rows[0].total_runs, 12);
+        assert!(rows[0].elements_per_sec() > 0.0);
     }
 }

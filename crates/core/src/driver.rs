@@ -92,6 +92,19 @@ pub fn run_on(
         });
     }
     let n = p.len();
+    // The scheduled arm stages its own (possibly padded) buffers, so the
+    // conventional a/b pair is allocated only where it is actually used —
+    // allocating it up front leaked 2n words of global memory per
+    // scheduled run and skewed `global_len` accounting.
+    if let Algorithm::Scheduled = algorithm {
+        // The padded form handles any n (it degenerates to the exact
+        // algorithm for feasible sizes).
+        let sched = PaddedScheduled::build(p, hmm.config().width)?;
+        let staged = sched.stage(hmm)?;
+        let bufs = staged.alloc_buffers(hmm);
+        let (report, out) = staged.run(hmm, &bufs, input)?;
+        return Ok((report, out));
+    }
     let a = hmm.alloc_global(n);
     let b = hmm.alloc_global(n);
     hmm.host_write(a, input)?;
@@ -104,15 +117,7 @@ pub fn run_on(
             let qb = stage_source_map(hmm, p)?;
             s_designated(hmm, a, b, qb)?
         }
-        Algorithm::Scheduled => {
-            // The padded form handles any n (it degenerates to the exact
-            // algorithm for feasible sizes).
-            let sched = PaddedScheduled::build(p, hmm.config().width)?;
-            let staged = sched.stage(hmm)?;
-            let bufs = staged.alloc_buffers(hmm);
-            let (report, out) = staged.run(hmm, &bufs, input)?;
-            return Ok((report, out));
-        }
+        Algorithm::Scheduled => unreachable!("handled above"),
     };
     Ok((report, hmm.host_read(b)))
 }
@@ -339,6 +344,18 @@ mod tests {
         }
         // cold_costs = true resets the ledger each run.
         assert_eq!(engine.machine().ledger().len(), 32);
+        // Footprint pin: the scheduled arm must allocate exactly what a
+        // manual stage allocates — not the 2n-word conventional a/b pair
+        // it never reads (that leak skewed global_len accounting).
+        let mut manual = Hmm::new(MachineConfig::pure(8, 16)).unwrap();
+        let sched = PaddedScheduled::build(&families::random(n, 1), 8).unwrap();
+        let staged = sched.stage(&mut manual).unwrap();
+        let _bufs = staged.alloc_buffers(&mut manual);
+        assert_eq!(
+            global_after_first,
+            manual.global_len(),
+            "scheduled run must not allocate the unused conventional a/b buffers"
+        );
     }
 
     #[test]

@@ -10,9 +10,12 @@
 //! * [`scheduled::NativeScheduled`] — the scheduled permutation executed
 //!   as three fused memory sweeps (gather-transpose, gather-transpose,
 //!   row gather), sharing its decomposition with the simulator build;
-//! * [`plan::Engine`] — the front door: an LRU plan cache keyed by
-//!   permutation fingerprint plus a scratch-buffer pool, with a
-//!   distribution-based scatter fallback;
+//! * [`plan::SharedEngine`] — the concurrent front door: a thread-safe
+//!   plan service (`&self` from any number of threads) with a sharded LRU
+//!   cache, single-flight plan construction, verified (collision-proof)
+//!   hits, a lock-free scratch pool, and a distribution-based scatter
+//!   fallback — [`plan::Engine`] keeps the original single-threaded API
+//!   as a thin wrapper over one shard;
 //! * [`pool`] / [`par`] — a persistent worker pool (created once per
 //!   process) and the chunked parallel-for primitives built on it
 //!   (`rayon` is not on this reproduction's offline dependency list).
@@ -33,6 +36,6 @@ pub mod pool;
 pub mod scatter;
 pub mod scheduled;
 
-pub use plan::{Backend, Engine, EngineStats, PermutePlan};
+pub use plan::{Backend, Engine, EngineStats, PermutePlan, SharedEngine};
 pub use scatter::{copy_baseline, gather_permute, scatter_permute};
 pub use scheduled::NativeScheduled;

@@ -19,19 +19,37 @@ pub fn worker_threads() -> usize {
     WorkerPool::global().threads()
 }
 
-/// Thread count read from the environment/machine — used once, when the
-/// global pool is first constructed.
-pub(crate) fn configured_threads() -> usize {
-    if let Ok(v) = std::env::var("HMM_NATIVE_THREADS") {
-        if let Ok(n) = v.parse::<usize>() {
-            if n >= 1 {
-                return n;
-            }
-        }
+/// Parse an `HMM_NATIVE_THREADS` override: a positive integer. Anything
+/// else (`0`, `abc`, empty) is invalid and yields `None`. Factored out of
+/// [`configured_threads`] so the parse rules are testable without racing
+/// on the process-global environment.
+fn parse_thread_override(v: &str) -> Option<usize> {
+    match v.parse::<usize>() {
+        Ok(n) if n >= 1 => Some(n),
+        _ => None,
     }
-    std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
+}
+
+/// Thread count read from the environment/machine — used once, when the
+/// global pool is first constructed. An *invalid* override is loudly
+/// ignored (a typo'd benchmark run must not silently measure hardware
+/// parallelism instead of the intended thread count).
+pub(crate) fn configured_threads() -> usize {
+    let hardware = || {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    };
+    match std::env::var("HMM_NATIVE_THREADS") {
+        Ok(v) => parse_thread_override(&v).unwrap_or_else(|| {
+            eprintln!(
+                "warning: ignoring invalid HMM_NATIVE_THREADS={v:?} \
+                 (expected a positive integer); using hardware parallelism"
+            );
+            hardware()
+        }),
+        Err(_) => hardware(),
+    }
 }
 
 /// Shared base pointer for handing disjoint chunks of one slice to pool
@@ -234,6 +252,21 @@ mod tests {
     #[test]
     fn worker_threads_is_positive() {
         assert!(worker_threads() >= 1);
+    }
+
+    #[test]
+    fn thread_override_parse_accepts_positive_integers_only() {
+        assert_eq!(parse_thread_override("1"), Some(1));
+        assert_eq!(parse_thread_override("4"), Some(4));
+        assert_eq!(parse_thread_override("128"), Some(128));
+        // Invalid values must be rejected (configured_threads then warns
+        // and falls back to hardware parallelism).
+        assert_eq!(parse_thread_override("0"), None);
+        assert_eq!(parse_thread_override("abc"), None);
+        assert_eq!(parse_thread_override(""), None);
+        assert_eq!(parse_thread_override("-2"), None);
+        assert_eq!(parse_thread_override("4 "), None);
+        assert_eq!(parse_thread_override("3.5"), None);
     }
 
     #[test]

@@ -4,10 +4,28 @@
 //! r×c transfer matrix plus three gather-map materialisations — while
 //! *executing* one is three memory sweeps. Offline permutation workloads
 //! (FFT reorderings, matrix layouts, routing tables) apply the same few
-//! permutations over and over, so the [`Engine`] front door caches built
-//! plans in an LRU keyed by a 64-bit fingerprint of the permutation, and
-//! keeps a small pool of scratch buffers so steady-state calls allocate
-//! nothing.
+//! permutations over and over, so the front door caches built plans in an
+//! LRU keyed by a 64-bit fingerprint of the permutation, and keeps a small
+//! pool of scratch buffers so steady-state calls allocate nothing.
+//!
+//! Two front doors share that machinery:
+//!
+//! * [`SharedEngine`] — the concurrent plan service: usable as `&self`
+//!   from any number of threads, with a **sharded** `RwLock` LRU (readers
+//!   never contend across shards), **single-flight** plan construction
+//!   (N threads requesting the same uncached permutation pay one König
+//!   coloring; the rest wait on that build, not on the cache), a
+//!   **lock-free** scratch-buffer pool, and [`EngineStats`] counters kept
+//!   on atomics so they are readable without locking.
+//! * [`Engine`] — the original single-threaded front door, kept as a thin
+//!   wrapper over a one-shard [`SharedEngine`] so existing call sites and
+//!   the exact LRU semantics are unchanged.
+//!
+//! Every cache hit verifies the stored permutation against the requested
+//! one (an O(n) memcmp, trivial next to the run): a 64-bit fingerprint
+//! collision is therefore *detected* rather than silently applying the
+//! wrong plan — the mismatch counts as [`EngineStats::collisions`] and the
+//! entry is rebuilt for the requested permutation.
 //!
 //! The engine also chooses the backend per plan: the paper's Table II shows
 //! the conventional (scatter) kernel beating the scheduled one when the
@@ -17,15 +35,22 @@
 //! CPU with cache lines in place of address groups, so plans are built with
 //! a measured-γ decision: `γ_w(P) ≤ threshold` → scatter, else scheduled.
 
+use crate::pool::WorkerPool;
 use crate::scheduled::NativeScheduled;
-use hmm_offperm::Result;
+use hmm_offperm::{OffpermError, Result};
 use hmm_perm::distribution::distribution;
 use hmm_perm::Permutation;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError, RwLock};
 
-/// Default LRU capacity (plans held at once).
+/// Default per-shard LRU capacity (plans held at once per shard; the
+/// single-shard [`Engine`] therefore defaults to 8 plans total).
 pub const DEFAULT_CAPACITY: usize = 8;
+
+/// Default shard count for [`SharedEngine::new`].
+pub const DEFAULT_SHARDS: usize = 8;
 
 /// Default γ_w crossover: at or below this measured distribution the
 /// scatter kernel wins. One scattered sweep costs about `γ/w` cache lines
@@ -40,8 +65,8 @@ const SCRATCH_POOL_CAP: usize = 4;
 
 /// FNV-1a over the permutation image, mixed with the length. Two distinct
 /// permutations colliding on both fingerprint *and* length is a ~2⁻⁶⁴
-/// event; the cache treats the pair as identity, trading that risk for
-/// O(n) keying without storing the full image per entry.
+/// event — and since every hit verifies the full image, a collision costs
+/// a rebuild rather than a wrong answer.
 fn fingerprint(p: &Permutation) -> u64 {
     const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
     const PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -81,7 +106,8 @@ pub struct PermutePlan {
     gamma: f64,
     /// Present iff `backend == Scheduled`.
     scheduled: Option<NativeScheduled>,
-    /// Kept for the scatter path (and for callers that want it back).
+    /// Kept for the scatter path, for hit verification, and for callers
+    /// that want it back.
     permutation: Permutation,
 }
 
@@ -126,13 +152,19 @@ impl PermutePlan {
         self.len() == 0
     }
 
+    /// The permutation this plan was built for.
+    pub fn permutation(&self) -> &Permutation {
+        &self.permutation
+    }
+
     /// The scheduled executable, when the scheduled backend was chosen.
     pub fn scheduled(&self) -> Option<&NativeScheduled> {
         self.scheduled.as_ref()
     }
 
     /// Execute `dst[P[i]] = src[i]` with caller-provided scratch (length
-    /// `n`; untouched on the scatter path).
+    /// `n` for scheduled plans; untouched — may be empty — on the scatter
+    /// path).
     pub fn run_with_scratch<T: Copy + Send + Sync>(
         &self,
         src: &[T],
@@ -146,27 +178,577 @@ impl PermutePlan {
     }
 }
 
-/// Cache/engine counters, for tests and bench reports.
+/// Cache/engine counters, for tests and bench reports. A snapshot of the
+/// engine's atomics — reading them never takes a lock.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineStats {
-    /// Cache hits (plan reused).
+    /// Cache hits (plan reused, full permutation verified).
     pub hits: u64,
-    /// Cache misses (plan built).
+    /// Cache misses (this caller built a plan).
     pub misses: u64,
     /// Plans evicted to respect capacity.
     pub evictions: u64,
+    /// Fingerprint collisions detected on hit verification (the stored
+    /// plan's permutation differed from the requested one; the entry was
+    /// rebuilt and the output stayed correct).
+    pub collisions: u64,
+    /// Builds avoided by single-flight: callers that waited for another
+    /// thread's in-flight construction of the same plan instead of
+    /// duplicating the work.
+    pub builds_deduped: u64,
     /// Executions that took the scatter backend.
     pub scatter_runs: u64,
     /// Executions that took the scheduled backend.
     pub scheduled_runs: u64,
 }
 
-struct Entry {
-    plan: Arc<PermutePlan>,
-    last_used: u64,
+/// The engine's live counters, on atomics so `&self` paths can bump them
+/// and `stats()` can snapshot without locking.
+#[derive(Default)]
+struct AtomicStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    collisions: AtomicU64,
+    builds_deduped: AtomicU64,
+    scatter_runs: AtomicU64,
+    scheduled_runs: AtomicU64,
 }
 
-/// The throughput front door: an LRU plan cache plus a scratch-buffer pool.
+impl AtomicStats {
+    fn snapshot(&self) -> EngineStats {
+        EngineStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            collisions: self.collisions.load(Ordering::Relaxed),
+            builds_deduped: self.builds_deduped.load(Ordering::Relaxed),
+            scatter_runs: self.scatter_runs.load(Ordering::Relaxed),
+            scheduled_runs: self.scheduled_runs.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Single-flight build slot: the first thread to miss inserts one in the
+/// `Building` state and constructs the plan outside every lock; later
+/// threads wait on the condvar instead of re-running the König coloring.
+struct BuildSlot {
+    state: Mutex<SlotState>,
+    cv: Condvar,
+}
+
+enum SlotState {
+    Building,
+    Ready(Arc<PermutePlan>),
+    Failed(OffpermError),
+}
+
+impl BuildSlot {
+    fn new() -> Self {
+        BuildSlot {
+            state: Mutex::new(SlotState::Building),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Block until the slot resolves. Returns the outcome and whether this
+    /// caller had to wait for an in-flight build (a deduped build).
+    fn wait(&self) -> (Result<Arc<PermutePlan>>, bool) {
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut waited = false;
+        loop {
+            match &*st {
+                SlotState::Building => {
+                    waited = true;
+                    st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+                }
+                SlotState::Ready(plan) => return (Ok(Arc::clone(plan)), waited),
+                SlotState::Failed(e) => return (Err(e.clone()), waited),
+            }
+        }
+    }
+
+    fn fill(&self, outcome: Result<Arc<PermutePlan>>) {
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        *st = match outcome {
+            Ok(plan) => SlotState::Ready(plan),
+            Err(e) => SlotState::Failed(e),
+        };
+        self.cv.notify_all();
+    }
+
+    fn is_building(&self) -> bool {
+        matches!(
+            &*self.state.lock().unwrap_or_else(PoisonError::into_inner),
+            SlotState::Building
+        )
+    }
+}
+
+/// Fills a slot with an error if the build panics, so waiters are not
+/// stranded in `Building` forever.
+struct FillOnPanic<'a> {
+    slot: &'a BuildSlot,
+    n: usize,
+    armed: bool,
+}
+
+impl Drop for FillOnPanic<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.slot.fill(Err(OffpermError::UnsupportedSize {
+                n: self.n,
+                reason: "plan construction panicked",
+            }));
+        }
+    }
+}
+
+struct ShardEntry {
+    slot: Arc<BuildSlot>,
+    /// Engine-clock timestamp of the last touch; an atomic so hits can
+    /// refresh it under the shard's *read* lock.
+    last_used: AtomicU64,
+}
+
+type Shard = RwLock<HashMap<PlanKey, ShardEntry>>;
+
+/// Lock-free pool of scratch buffers: a fixed array of `AtomicPtr` slots.
+/// `take` swaps a buffer out (or allocates), `put` swaps one back in (or
+/// drops it when every slot is occupied) — steady-state `permute` never
+/// takes an exclusive lock for scratch.
+struct ScratchPool<T> {
+    slots: [AtomicPtr<Vec<T>>; SCRATCH_POOL_CAP],
+}
+
+// SAFETY: the pool owns the pointed-to `Vec<T>`s exclusively (a buffer is
+// either in exactly one slot or checked out by exactly one caller — the
+// `swap`/`compare_exchange` transitions are atomic), so sharing the pool
+// is safe whenever the element type can move between threads.
+unsafe impl<T: Send> Send for ScratchPool<T> {}
+unsafe impl<T: Send> Sync for ScratchPool<T> {}
+
+impl<T: Copy + Default> ScratchPool<T> {
+    fn new() -> Self {
+        ScratchPool {
+            slots: std::array::from_fn(|_| AtomicPtr::new(ptr::null_mut())),
+        }
+    }
+
+    fn take(&self, n: usize) -> Vec<T> {
+        for slot in &self.slots {
+            let p = slot.swap(ptr::null_mut(), Ordering::AcqRel);
+            if !p.is_null() {
+                // SAFETY: the pointer came from `Box::into_raw` in `put`
+                // and the swap above made this thread its sole owner.
+                let mut buf = *unsafe { Box::from_raw(p) };
+                if buf.len() != n {
+                    buf.clear();
+                    buf.resize(n, T::default());
+                }
+                return buf;
+            }
+        }
+        vec![T::default(); n]
+    }
+
+    fn put(&self, buf: Vec<T>) {
+        let p = Box::into_raw(Box::new(buf));
+        for slot in &self.slots {
+            if slot
+                .compare_exchange(ptr::null_mut(), p, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                return;
+            }
+        }
+        // Pool full: release the buffer.
+        // SAFETY: `p` was just created by `Box::into_raw` and no slot
+        // accepted it, so this thread still owns it.
+        drop(unsafe { Box::from_raw(p) });
+    }
+
+    fn pooled(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| !s.load(Ordering::Acquire).is_null())
+            .count()
+    }
+}
+
+impl<T> Drop for ScratchPool<T> {
+    fn drop(&mut self) {
+        for slot in &self.slots {
+            let p = slot.swap(ptr::null_mut(), Ordering::AcqRel);
+            if !p.is_null() {
+                // SAFETY: sole owner at drop time; pointer from Box::into_raw.
+                drop(unsafe { Box::from_raw(p) });
+            }
+        }
+    }
+}
+
+/// Shared base pointer for handing disjoint batch jobs to pool tasks.
+///
+/// # Safety contract
+/// Tasks must index by a job id claimed exactly once from the pool's
+/// cursor, so no two tasks alias the same element.
+struct JobSlots<J>(*mut J);
+
+impl<J> JobSlots<J> {
+    fn base(&self) -> *mut J {
+        self.0
+    }
+}
+
+unsafe impl<J: Send> Sync for JobSlots<J> {}
+
+/// The concurrent plan service: a thread-safe [`Engine`] usable as `&self`
+/// from any number of threads.
+///
+/// * **Sharded LRU** — entries are distributed over [`SharedEngine::shards`]
+///   independent `RwLock`ed maps by fingerprint, so lookups from different
+///   threads rarely touch the same lock, and a hit takes only a read lock.
+/// * **Single-flight builds** — a miss publishes a `Building` slot before
+///   constructing the plan outside all locks; concurrent requests for the
+///   same permutation wait on that slot (counted in
+///   [`EngineStats::builds_deduped`]) instead of duplicating the König
+///   coloring, and requests for *other* permutations proceed unimpeded.
+/// * **Verified hits** — every hit compares the cached plan's full
+///   permutation image with the requested one; a fingerprint collision is
+///   counted ([`EngineStats::collisions`]) and treated as a miss that
+///   replaces the entry, so the output is always correct.
+/// * **Lock-free scratch** — scheduled runs borrow scratch from a
+///   fixed-slot [`AtomicPtr`] pool; scatter runs skip scratch entirely.
+/// * **Atomic stats** — [`SharedEngine::stats`] snapshots counters without
+///   locking anything.
+///
+/// ```
+/// use hmm_native::SharedEngine;
+/// use hmm_perm::families;
+///
+/// let engine: SharedEngine<u32> = SharedEngine::new(32);
+/// let p = families::random(1 << 12, 1);
+/// let src: Vec<u32> = (0..1u32 << 12).collect();
+/// std::thread::scope(|s| {
+///     for _ in 0..4 {
+///         s.spawn(|| {
+///             let mut dst = vec![0u32; 1 << 12];
+///             engine.permute(&p, &src, &mut dst).unwrap();
+///         });
+///     }
+/// });
+/// let stats = engine.stats();
+/// assert_eq!(stats.misses, 1, "single-flight: one build for four threads");
+/// ```
+pub struct SharedEngine<T> {
+    width: usize,
+    shards: Box<[Shard]>,
+    per_shard_capacity: usize,
+    /// γ_w crossover, stored as `f64` bits so it is settable via `&self`.
+    gamma_threshold: AtomicU64,
+    fingerprint_fn: fn(&Permutation) -> u64,
+    clock: AtomicU64,
+    scratch: ScratchPool<T>,
+    stats: AtomicStats,
+}
+
+impl<T: Copy + Send + Sync + Default> SharedEngine<T> {
+    /// Engine with the given schedule width and the default shard count
+    /// and per-shard capacity.
+    pub fn new(width: usize) -> Self {
+        Self::with_shards(width, DEFAULT_SHARDS, DEFAULT_CAPACITY)
+    }
+
+    /// Engine with explicit sharding: `shards` independent LRU maps of
+    /// `per_shard_capacity` plans each (both ≥ 1). One shard reproduces
+    /// the single-threaded [`Engine`]'s global LRU exactly.
+    pub fn with_shards(width: usize, shards: usize, per_shard_capacity: usize) -> Self {
+        assert!(width > 0, "width must be positive");
+        assert!(shards > 0, "shards must be positive");
+        assert!(per_shard_capacity > 0, "capacity must be positive");
+        SharedEngine {
+            width,
+            shards: (0..shards).map(|_| RwLock::new(HashMap::new())).collect(),
+            per_shard_capacity,
+            gamma_threshold: AtomicU64::new(DEFAULT_GAMMA_THRESHOLD.to_bits()),
+            fingerprint_fn: fingerprint,
+            clock: AtomicU64::new(0),
+            scratch: ScratchPool::new(),
+            stats: AtomicStats::default(),
+        }
+    }
+
+    /// Override the γ_w crossover below which scatter is chosen. Set to
+    /// `0.0` to force the scheduled backend, `f64::INFINITY` to force
+    /// scatter. Affects plans built after the call.
+    pub fn set_gamma_threshold(&self, threshold: f64) {
+        self.gamma_threshold
+            .store(threshold.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Test seam: replace the fingerprint function (e.g. with a constant
+    /// to force collisions). Call before caching anything — existing
+    /// entries were keyed with the previous function.
+    pub fn set_fingerprint_fn(&mut self, f: fn(&Permutation) -> u64) {
+        self.fingerprint_fn = f;
+    }
+
+    /// The schedule width plans are built with.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of cache shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Counters since construction — a lock-free snapshot.
+    pub fn stats(&self) -> EngineStats {
+        self.stats.snapshot()
+    }
+
+    /// Number of plans currently cached (in-flight builds included).
+    pub fn cached_plans(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().unwrap_or_else(PoisonError::into_inner).len())
+            .sum()
+    }
+
+    /// Scratch buffers currently parked in the lock-free pool.
+    pub fn pooled_scratch_buffers(&self) -> usize {
+        self.scratch.pooled()
+    }
+
+    fn gamma_threshold(&self) -> f64 {
+        f64::from_bits(self.gamma_threshold.load(Ordering::Relaxed))
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    fn shard_for(&self, fp: u64) -> &Shard {
+        // The low fingerprint bits feed the in-shard HashMap, so pick the
+        // shard from a multiplicative mix of the high bits.
+        let mixed = fp.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32;
+        &self.shards[(mixed % self.shards.len() as u64) as usize]
+    }
+
+    /// Fetch (or build and cache) the plan for `p`. Concurrent callers for
+    /// the same uncached permutation trigger exactly one build.
+    pub fn plan(&self, p: &Permutation) -> Result<Arc<PermutePlan>> {
+        let key = PlanKey {
+            fingerprint: (self.fingerprint_fn)(p),
+            len: p.len(),
+            width: self.width,
+        };
+        let shard = self.shard_for(key.fingerprint);
+        loop {
+            // Fast path: a read lock, a touch, a slot clone.
+            let existing = {
+                let map = shard.read().unwrap_or_else(PoisonError::into_inner);
+                map.get(&key).map(|e| {
+                    e.last_used.store(self.tick(), Ordering::Relaxed);
+                    Arc::clone(&e.slot)
+                })
+            };
+            let slot = match existing {
+                Some(slot) => slot,
+                None => {
+                    // Miss path: write lock, double-check (another thread
+                    // may have inserted since the read), publish Building.
+                    let mut map = shard.write().unwrap_or_else(PoisonError::into_inner);
+                    match map.get(&key) {
+                        Some(e) => {
+                            e.last_used.store(self.tick(), Ordering::Relaxed);
+                            Arc::clone(&e.slot)
+                        }
+                        None => {
+                            self.evict_to_fit(&mut map);
+                            let slot = Arc::new(BuildSlot::new());
+                            map.insert(
+                                key,
+                                ShardEntry {
+                                    slot: Arc::clone(&slot),
+                                    last_used: AtomicU64::new(self.tick()),
+                                },
+                            );
+                            drop(map);
+                            self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                            return self.build_into(&slot, shard, key, p);
+                        }
+                    }
+                }
+            };
+            let (outcome, waited) = slot.wait();
+            match outcome {
+                Ok(plan) => {
+                    if plan.permutation.as_slice() == p.as_slice() {
+                        let counter = if waited {
+                            &self.stats.builds_deduped
+                        } else {
+                            &self.stats.hits
+                        };
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        return Ok(plan);
+                    }
+                    // Fingerprint collision: the cached plan is for a
+                    // *different* permutation with the same key. Count it,
+                    // then treat it as a miss that replaces the entry.
+                    self.stats.collisions.fetch_add(1, Ordering::Relaxed);
+                    let replacement = {
+                        let mut map = shard.write().unwrap_or_else(PoisonError::into_inner);
+                        match map.get_mut(&key) {
+                            // Replace only the slot we verified against; a
+                            // concurrent replacement means the entry may
+                            // now match `p` — retry the lookup instead.
+                            Some(e) if Arc::ptr_eq(&e.slot, &slot) => {
+                                let fresh = Arc::new(BuildSlot::new());
+                                e.slot = Arc::clone(&fresh);
+                                e.last_used.store(self.tick(), Ordering::Relaxed);
+                                Some(fresh)
+                            }
+                            _ => None,
+                        }
+                    };
+                    match replacement {
+                        Some(fresh) => {
+                            self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                            return self.build_into(&fresh, shard, key, p);
+                        }
+                        None => continue,
+                    }
+                }
+                Err(e) => {
+                    // The owning build failed; it already unpublished the
+                    // entry, so waiters report the same error and later
+                    // calls start a fresh build.
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Construct the plan for a slot this thread owns, publish the result,
+    /// and unpublish the map entry on failure so the error is not sticky.
+    fn build_into(
+        &self,
+        slot: &Arc<BuildSlot>,
+        shard: &Shard,
+        key: PlanKey,
+        p: &Permutation,
+    ) -> Result<Arc<PermutePlan>> {
+        let mut guard = FillOnPanic {
+            slot,
+            n: p.len(),
+            armed: true,
+        };
+        let built = PermutePlan::build(p, self.width, self.gamma_threshold());
+        guard.armed = false;
+        match built {
+            Ok(plan) => {
+                let plan = Arc::new(plan);
+                slot.fill(Ok(Arc::clone(&plan)));
+                Ok(plan)
+            }
+            Err(e) => {
+                {
+                    let mut map = shard.write().unwrap_or_else(PoisonError::into_inner);
+                    if let Some(entry) = map.get(&key) {
+                        if Arc::ptr_eq(&entry.slot, slot) {
+                            map.remove(&key);
+                        }
+                    }
+                }
+                slot.fill(Err(e.clone()));
+                Err(e)
+            }
+        }
+    }
+
+    /// Evict least-recently-used resolved entries until an insert fits.
+    /// In-flight builds are skipped (their builder and waiters hold the
+    /// slot), so a shard can transiently exceed capacity while every
+    /// resident plan is still being constructed.
+    fn evict_to_fit(&self, map: &mut HashMap<PlanKey, ShardEntry>) {
+        while map.len() >= self.per_shard_capacity {
+            let victim = map
+                .iter()
+                .filter(|(_, e)| !e.slot.is_building())
+                .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
+                .map(|(k, _)| *k);
+            match victim {
+                Some(k) => {
+                    map.remove(&k);
+                    self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Execute `dst[P[i]] = src[i]` through the cache: plan lookup (or
+    /// single-flight build), pooled scratch, backend dispatch.
+    ///
+    /// # Panics
+    /// Panics if `src.len() != dst.len()` or either differs from `p.len()`.
+    pub fn permute(&self, p: &Permutation, src: &[T], dst: &mut [T]) -> Result<()> {
+        let plan = self.plan(p)?;
+        self.run_plan(&plan, src, dst);
+        Ok(())
+    }
+
+    /// Execute an already-fetched plan with pooled scratch. Scatter plans
+    /// never touch (or allocate) scratch.
+    pub fn run_plan(&self, plan: &PermutePlan, src: &[T], dst: &mut [T]) {
+        match plan.backend() {
+            Backend::Scatter => {
+                plan.run_with_scratch(src, dst, &mut []);
+                self.stats.scatter_runs.fetch_add(1, Ordering::Relaxed);
+            }
+            Backend::Scheduled => {
+                let mut scratch = self.scratch.take(plan.len());
+                plan.run_with_scratch(src, dst, &mut scratch);
+                self.scratch.put(scratch);
+                self.stats.scheduled_runs.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Apply one permutation to many `(src, dst)` pairs: one plan lookup,
+    /// then the jobs are dispatched **across the worker pool** — each
+    /// worker claims jobs from the pool's cursor and borrows its own
+    /// scratch from the lock-free pool. Called from inside a pool task,
+    /// the jobs run inline (the pool's nested-dispatch rule).
+    pub fn permute_batch<'a, I>(&self, p: &Permutation, jobs: I) -> Result<()>
+    where
+        I: IntoIterator<Item = (&'a [T], &'a mut [T])>,
+        T: 'a,
+    {
+        let plan = self.plan(p)?;
+        let mut jobs: Vec<(&'a [T], &'a mut [T])> = jobs.into_iter().collect();
+        if jobs.is_empty() {
+            return Ok(());
+        }
+        let slots = JobSlots(jobs.as_mut_ptr());
+        WorkerPool::global().run(jobs.len(), |i| {
+            // SAFETY: job `i` is claimed exactly once from the pool
+            // cursor, so this task has exclusive access to `jobs[i]`.
+            let job = unsafe { &mut *slots.base().add(i) };
+            self.run_plan(&plan, job.0, &mut *job.1);
+        });
+        Ok(())
+    }
+}
+
+/// The single-threaded throughput front door: an LRU plan cache plus a
+/// scratch-buffer pool. A thin wrapper over a one-shard [`SharedEngine`]
+/// (same cache, same LRU order, same counters) kept so existing `&mut
+/// self` call sites compile unchanged; new concurrent callers should use
+/// [`SharedEngine`] directly.
 ///
 /// ```
 /// use hmm_native::Engine;
@@ -181,13 +763,7 @@ struct Entry {
 /// assert_eq!(engine.stats().hits, 1);
 /// ```
 pub struct Engine<T> {
-    width: usize,
-    capacity: usize,
-    gamma_threshold: f64,
-    entries: HashMap<PlanKey, Entry>,
-    clock: u64,
-    scratch_pool: Vec<Vec<T>>,
-    stats: EngineStats,
+    inner: SharedEngine<T>,
 }
 
 impl<T: Copy + Send + Sync + Default> Engine<T> {
@@ -198,16 +774,8 @@ impl<T: Copy + Send + Sync + Default> Engine<T> {
 
     /// Engine with an explicit LRU capacity (≥ 1).
     pub fn with_capacity(width: usize, capacity: usize) -> Self {
-        assert!(width > 0, "width must be positive");
-        assert!(capacity > 0, "capacity must be positive");
         Engine {
-            width,
-            capacity,
-            gamma_threshold: DEFAULT_GAMMA_THRESHOLD,
-            entries: HashMap::new(),
-            clock: 0,
-            scratch_pool: Vec::new(),
-            stats: EngineStats::default(),
+            inner: SharedEngine::with_shards(width, 1, capacity),
         }
     }
 
@@ -215,58 +783,49 @@ impl<T: Copy + Send + Sync + Default> Engine<T> {
     /// `0.0` to force the scheduled backend, `f64::INFINITY` to force
     /// scatter. Affects plans built after the call.
     pub fn set_gamma_threshold(&mut self, threshold: f64) {
-        self.gamma_threshold = threshold;
+        self.inner.set_gamma_threshold(threshold);
+    }
+
+    /// Test seam: replace the fingerprint function (see
+    /// [`SharedEngine::set_fingerprint_fn`]).
+    pub fn set_fingerprint_fn(&mut self, f: fn(&Permutation) -> u64) {
+        self.inner.set_fingerprint_fn(f);
     }
 
     /// The schedule width plans are built with.
     pub fn width(&self) -> usize {
-        self.width
+        self.inner.width()
     }
 
     /// Counters since construction.
     pub fn stats(&self) -> EngineStats {
-        self.stats
+        self.inner.stats()
     }
 
     /// Number of plans currently cached.
     pub fn cached_plans(&self) -> usize {
-        self.entries.len()
+        self.inner.cached_plans()
+    }
+
+    /// Scratch buffers currently parked in the pool.
+    pub fn pooled_scratch_buffers(&self) -> usize {
+        self.inner.pooled_scratch_buffers()
+    }
+
+    /// The shared engine backing this wrapper, for callers migrating to
+    /// the concurrent `&self` API.
+    pub fn shared(&self) -> &SharedEngine<T> {
+        &self.inner
+    }
+
+    /// Consume the wrapper, keeping the cache and counters.
+    pub fn into_shared(self) -> SharedEngine<T> {
+        self.inner
     }
 
     /// Fetch (or build and cache) the plan for `p`.
     pub fn plan(&mut self, p: &Permutation) -> Result<Arc<PermutePlan>> {
-        let key = PlanKey {
-            fingerprint: fingerprint(p),
-            len: p.len(),
-            width: self.width,
-        };
-        self.clock += 1;
-        if let Some(entry) = self.entries.get_mut(&key) {
-            entry.last_used = self.clock;
-            self.stats.hits += 1;
-            return Ok(Arc::clone(&entry.plan));
-        }
-        let plan = Arc::new(PermutePlan::build(p, self.width, self.gamma_threshold)?);
-        self.stats.misses += 1;
-        if self.entries.len() >= self.capacity {
-            if let Some(&victim) = self
-                .entries
-                .iter()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(k, _)| k)
-            {
-                self.entries.remove(&victim);
-                self.stats.evictions += 1;
-            }
-        }
-        self.entries.insert(
-            key,
-            Entry {
-                plan: Arc::clone(&plan),
-                last_used: self.clock,
-            },
-        );
-        Ok(plan)
+        self.inner.plan(p)
     }
 
     /// Execute `dst[P[i]] = src[i]` through the cache: plan lookup (or
@@ -275,55 +834,23 @@ impl<T: Copy + Send + Sync + Default> Engine<T> {
     /// # Panics
     /// Panics if `src.len() != dst.len()` or either differs from `p.len()`.
     pub fn permute(&mut self, p: &Permutation, src: &[T], dst: &mut [T]) -> Result<()> {
-        let plan = self.plan(p)?;
-        self.run_plan(&plan, src, dst);
-        Ok(())
+        self.inner.permute(p, src, dst)
     }
 
     /// Apply one permutation to many `(src, dst)` pairs: one plan lookup,
-    /// one scratch buffer, `jobs.len()` executions.
+    /// jobs dispatched across the worker pool (see
+    /// [`SharedEngine::permute_batch`]).
     pub fn permute_batch<'a, I>(&mut self, p: &Permutation, jobs: I) -> Result<()>
     where
         I: IntoIterator<Item = (&'a [T], &'a mut [T])>,
         T: 'a,
     {
-        let plan = self.plan(p)?;
-        let mut scratch = self.take_scratch(plan.len());
-        for (src, dst) in jobs {
-            plan.run_with_scratch(src, dst, &mut scratch);
-            self.count_run(&plan);
-        }
-        self.put_scratch(scratch);
-        Ok(())
+        self.inner.permute_batch(p, jobs)
     }
 
     /// Execute an already-fetched plan with pooled scratch.
     pub fn run_plan(&mut self, plan: &PermutePlan, src: &[T], dst: &mut [T]) {
-        let mut scratch = self.take_scratch(plan.len());
-        plan.run_with_scratch(src, dst, &mut scratch);
-        self.count_run(plan);
-        self.put_scratch(scratch);
-    }
-
-    fn count_run(&mut self, plan: &PermutePlan) {
-        match plan.backend() {
-            Backend::Scatter => self.stats.scatter_runs += 1,
-            Backend::Scheduled => self.stats.scheduled_runs += 1,
-        }
-    }
-
-    fn take_scratch(&mut self, n: usize) -> Vec<T> {
-        if let Some(pos) = self.scratch_pool.iter().position(|b| b.len() == n) {
-            self.scratch_pool.swap_remove(pos)
-        } else {
-            vec![T::default(); n]
-        }
-    }
-
-    fn put_scratch(&mut self, buf: Vec<T>) {
-        if self.scratch_pool.len() < SCRATCH_POOL_CAP {
-            self.scratch_pool.push(buf);
-        }
+        self.inner.run_plan(plan, src, dst);
     }
 }
 
@@ -338,6 +865,13 @@ mod tests {
         let mut out = vec![0; src.len()];
         p.permute(src, &mut out).unwrap();
         out
+    }
+
+    #[test]
+    fn engines_are_send_and_sync() {
+        fn assert_sync_send<X: Sync + Send>() {}
+        assert_sync_send::<SharedEngine<u32>>();
+        assert_sync_send::<Engine<u64>>();
     }
 
     #[test]
@@ -366,6 +900,7 @@ mod tests {
         let stats = engine.stats();
         assert_eq!(stats.misses, 1);
         assert_eq!(stats.hits, 4);
+        assert_eq!(stats.collisions, 0);
         assert_eq!(engine.cached_plans(), 1);
         assert_eq!(dst, reference(&p, &src));
     }
@@ -469,17 +1004,165 @@ mod tests {
     }
 
     #[test]
+    fn collision_is_detected_counted_and_corrected() {
+        // Force every permutation onto one PlanKey: the cache must notice
+        // the full-image mismatch instead of running the wrong plan.
+        let n = 1 << 10;
+        let src: Vec<u32> = (0..n as u32).collect();
+        let mut dst = vec![0u32; n];
+        let mut engine: Engine<u32> = Engine::new(W);
+        engine.set_fingerprint_fn(|_| 0xdead_beef);
+        let p1 = families::random(n, 1);
+        let p2 = families::random(n, 2);
+
+        engine.permute(&p1, &src, &mut dst).unwrap();
+        assert_eq!(dst, reference(&p1, &src));
+        // Same key, different permutation: collision, rebuilt, correct.
+        engine.permute(&p2, &src, &mut dst).unwrap();
+        assert_eq!(dst, reference(&p2, &src), "collision must not corrupt");
+        let stats = engine.stats();
+        assert_eq!(stats.collisions, 1);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.hits, 0);
+        // p2 now owns the key: a repeat is a verified hit.
+        engine.permute(&p2, &src, &mut dst).unwrap();
+        assert_eq!(engine.stats().hits, 1);
+        assert_eq!(engine.cached_plans(), 1);
+    }
+
+    #[test]
     fn scratch_pool_is_bounded_and_reused() {
         let n = 1 << 10;
-        let p = families::random(n, 33);
+        let p = families::random(n, 33); // high γ -> scheduled -> scratch
         let src: Vec<u32> = (0..n as u32).collect();
         let mut dst = vec![0u32; n];
         let mut engine: Engine<u32> = Engine::new(W);
         for _ in 0..10 {
             engine.permute(&p, &src, &mut dst).unwrap();
         }
-        assert!(engine.scratch_pool.len() <= SCRATCH_POOL_CAP);
-        assert!(!engine.scratch_pool.is_empty());
-        assert_eq!(engine.scratch_pool[0].len(), n);
+        let pooled = engine.pooled_scratch_buffers();
+        assert!(pooled >= 1, "scheduled runs must park scratch for reuse");
+        assert!(pooled <= SCRATCH_POOL_CAP);
+    }
+
+    #[test]
+    fn scatter_plans_never_touch_the_scratch_pool() {
+        // A scatter-only engine must not allocate (or pool) n-element
+        // scratch buffers the backend never reads.
+        let n = 1 << 12;
+        let src: Vec<u32> = (0..n as u32).collect();
+        let mut dst = vec![0u32; n];
+        let mut engine: Engine<u32> = Engine::new(W);
+        engine.set_gamma_threshold(f64::INFINITY); // force scatter
+        for seed in 0..4 {
+            let p = families::random(n, seed);
+            engine.permute(&p, &src, &mut dst).unwrap();
+            assert_eq!(dst, reference(&p, &src));
+        }
+        assert_eq!(engine.stats().scatter_runs, 4);
+        assert_eq!(
+            engine.pooled_scratch_buffers(),
+            0,
+            "scatter-only engines keep an empty scratch pool"
+        );
+    }
+
+    #[test]
+    fn shared_engine_basic_reuse_and_stats() {
+        let n = 1 << 12;
+        let engine: SharedEngine<u32> = SharedEngine::new(W);
+        let p = families::random(n, 5);
+        let src: Vec<u32> = (0..n as u32).collect();
+        let mut dst = vec![0u32; n];
+        for _ in 0..3 {
+            engine.permute(&p, &src, &mut dst).unwrap();
+        }
+        assert_eq!(dst, reference(&p, &src));
+        let stats = engine.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 2);
+        assert_eq!(engine.cached_plans(), 1);
+        assert_eq!(engine.shards(), DEFAULT_SHARDS);
+    }
+
+    #[test]
+    fn shared_engine_single_flight_dedupes_concurrent_builds() {
+        let n = 1 << 12;
+        let engine: SharedEngine<u32> = SharedEngine::new(W);
+        let p = families::random(n, 77);
+        let src: Vec<u32> = (0..n as u32).collect();
+        let barrier = std::sync::Barrier::new(4);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let mut dst = vec![0u32; n];
+                    barrier.wait();
+                    engine.permute(&p, &src, &mut dst).unwrap();
+                    assert_eq!(dst, reference(&p, &src));
+                });
+            }
+        });
+        let stats = engine.stats();
+        assert_eq!(stats.misses, 1, "exactly one build, no matter the race");
+        assert_eq!(stats.hits + stats.builds_deduped, 3);
+    }
+
+    #[test]
+    fn shared_engine_batch_runs_jobs_across_the_pool() {
+        let n = 1 << 11;
+        let p = families::random(n, 21);
+        let srcs: Vec<Vec<u32>> = (0..6)
+            .map(|k| (0..n as u32).map(|v| v.rotate_left(k)).collect())
+            .collect();
+        let mut dsts: Vec<Vec<u32>> = vec![vec![0u32; n]; 6];
+        let engine: SharedEngine<u32> = SharedEngine::new(W);
+        engine
+            .permute_batch(
+                &p,
+                srcs.iter()
+                    .map(Vec::as_slice)
+                    .zip(dsts.iter_mut().map(Vec::as_mut_slice)),
+            )
+            .unwrap();
+        let stats = engine.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.scheduled_runs + stats.scatter_runs, 6);
+        for (src, dst) in srcs.iter().zip(&dsts) {
+            assert_eq!(dst, &reference(&p, src));
+        }
+    }
+
+    #[test]
+    fn shared_engine_per_shard_lru_evicts() {
+        let n = 1 << 10;
+        // One shard, capacity 2: global LRU semantics, concurrent API.
+        let engine: SharedEngine<u32> = SharedEngine::with_shards(W, 1, 2);
+        let src: Vec<u32> = (0..n as u32).collect();
+        let mut dst = vec![0u32; n];
+        for s in 0..3 {
+            engine
+                .permute(&families::random(n, s), &src, &mut dst)
+                .unwrap();
+        }
+        assert_eq!(engine.stats().evictions, 1);
+        assert_eq!(engine.cached_plans(), 2);
+    }
+
+    #[test]
+    fn failed_builds_are_not_sticky() {
+        // Length 0 is rejected by the permutation layer before any build;
+        // use a permutation the backend cannot schedule? All families
+        // build, so exercise the error path via a poisoned gamma choice:
+        // scheduled backend on a non-factorable size.
+        let p = Permutation::from_vec(vec![2, 0, 1]).unwrap(); // n = 3
+        let engine: SharedEngine<u32> = SharedEngine::new(W);
+        engine.set_gamma_threshold(0.0); // force scheduled backend
+        let err = engine.plan(&p);
+        if err.is_err() {
+            // The failure must not wedge the key: a scatter retry works.
+            engine.set_gamma_threshold(f64::INFINITY);
+            let plan = engine.plan(&p).unwrap();
+            assert_eq!(plan.backend(), Backend::Scatter);
+        }
     }
 }

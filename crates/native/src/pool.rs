@@ -381,6 +381,34 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_dispatch_from_many_external_threads() {
+        // Several non-pool threads hammer one pool with dispatches at
+        // once: run_lock must serialize jobs without losing or double-
+        // running tasks, and every dispatcher must see its own job drain.
+        let pool = WorkerPool::new(4);
+        let total = AtomicUsize::new(0);
+        const DISPATCHERS: usize = 6;
+        const ROUNDS: usize = 25;
+        const TASKS: usize = 64;
+        std::thread::scope(|s| {
+            for _ in 0..DISPATCHERS {
+                s.spawn(|| {
+                    for _ in 0..ROUNDS {
+                        let before = total.load(Ordering::SeqCst);
+                        pool.run(TASKS, |_| {
+                            total.fetch_add(1, Ordering::SeqCst);
+                        });
+                        // This dispatcher's job fully drained before run
+                        // returned (other dispatchers may add more).
+                        assert!(total.load(Ordering::SeqCst) >= before + TASKS);
+                    }
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::SeqCst), DISPATCHERS * ROUNDS * TASKS);
+    }
+
+    #[test]
     fn global_pool_is_a_singleton() {
         let a = WorkerPool::global() as *const _;
         let b = WorkerPool::global() as *const _;

@@ -1,0 +1,225 @@
+//! Concurrency stress tests for the shared plan service: one
+//! `SharedEngine` hammered from many threads over mixed permutation
+//! families, single-flight build dedup proven by the stats, fingerprint
+//! collisions injected through the test seam, and batch dispatch through
+//! the worker pool under external contention.
+
+use hmm_native::pool::WorkerPool;
+use hmm_native::{Engine, SharedEngine};
+use hmm_perm::families;
+use hmm_perm::Permutation;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Barrier;
+
+const W: usize = 32;
+
+fn reference(p: &Permutation, src: &[u32]) -> Vec<u32> {
+    let mut out = vec![0u32; src.len()];
+    p.permute(src, &mut out).unwrap();
+    out
+}
+
+/// The acceptance stress test: one engine, 8 threads, 5 distinct
+/// permutations across both backends, reference-equal output on every
+/// thread and every round, and stats that prove single-flight dedup.
+#[test]
+fn shared_engine_stress_eight_threads_mixed_families() {
+    const THREADS: usize = 8;
+    const ROUNDS: usize = 20;
+    let n = 1 << 12;
+    let engine: SharedEngine<u32> = SharedEngine::new(W);
+    let perms: Vec<Permutation> = vec![
+        families::identical(n),             // γ = 1  -> scatter
+        families::shuffle(n).unwrap(),      // low γ  -> scatter
+        families::random(n, 1),             // high γ -> scheduled
+        families::random(n, 2),             // high γ -> scheduled
+        families::bit_reversal(n).unwrap(), // γ = w  -> scheduled
+    ];
+    let src: Vec<u32> = (0..n as u32).map(|v| v.wrapping_mul(0x9e37_79b9)).collect();
+    let refs: Vec<Vec<u32>> = perms.iter().map(|p| reference(p, &src)).collect();
+
+    let barrier = Barrier::new(THREADS);
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let engine = &engine;
+            let perms = &perms;
+            let refs = &refs;
+            let src = &src;
+            let barrier = &barrier;
+            s.spawn(move || {
+                let mut dst = vec![0u32; n];
+                barrier.wait(); // maximise racing on the cold cache
+                for r in 0..ROUNDS {
+                    let k = (t + r) % perms.len();
+                    engine.permute(&perms[k], src, &mut dst).unwrap();
+                    assert_eq!(dst, refs[k], "thread {t} round {r} perm {k}");
+                }
+            });
+        }
+    });
+
+    let stats = engine.stats();
+    let total = (THREADS * ROUNDS) as u64;
+    let distinct = perms.len() as u64;
+    // Every call is accounted for exactly once.
+    assert_eq!(
+        stats.hits + stats.misses + stats.builds_deduped + stats.collisions,
+        total
+    );
+    assert_eq!(stats.scatter_runs + stats.scheduled_runs, total);
+    // Real fingerprints: no collisions among these permutations.
+    assert_eq!(stats.collisions, 0);
+    // Single-flight: each distinct permutation is built exactly once, no
+    // matter how many threads raced for it (the acceptance inequality).
+    assert_eq!(stats.misses, distinct);
+    assert!(stats.misses + stats.collisions <= distinct + stats.builds_deduped);
+    assert_eq!(stats.evictions, 0);
+    assert_eq!(engine.cached_plans(), perms.len());
+}
+
+/// All 8 threads request the *same* uncached permutation simultaneously:
+/// exactly one build may happen; everyone else hits or waits (dedups).
+#[test]
+fn shared_engine_single_flight_under_max_contention() {
+    const THREADS: usize = 8;
+    let n = 1 << 13;
+    let engine: SharedEngine<u32> = SharedEngine::new(W);
+    let p = families::random(n, 99);
+    let src: Vec<u32> = (0..n as u32).collect();
+    let want = reference(&p, &src);
+    let barrier = Barrier::new(THREADS);
+    std::thread::scope(|s| {
+        for _ in 0..THREADS {
+            let engine = &engine;
+            let p = &p;
+            let src = &src;
+            let want = &want;
+            let barrier = &barrier;
+            s.spawn(move || {
+                let mut dst = vec![0u32; n];
+                barrier.wait();
+                engine.permute(p, src, &mut dst).unwrap();
+                assert_eq!(&dst, want);
+            });
+        }
+    });
+    let stats = engine.stats();
+    assert_eq!(stats.misses, 1, "one König coloring for eight threads");
+    assert_eq!(stats.hits + stats.builds_deduped, (THREADS - 1) as u64);
+    assert_eq!(stats.collisions, 0);
+}
+
+/// A forced fingerprint collision through the public test seam: the cache
+/// must detect the full-image mismatch, rebuild, return the *correct*
+/// output, and count exactly one collision.
+#[test]
+fn shared_engine_detects_injected_fingerprint_collision() {
+    let n = 1 << 11;
+    let src: Vec<u32> = (0..n as u32).collect();
+    let mut dst = vec![0u32; n];
+    let mut engine: SharedEngine<u32> = SharedEngine::new(W);
+    engine.set_fingerprint_fn(|_| 0x5eed); // every permutation collides
+    let p1 = families::random(n, 7);
+    let p2 = families::random(n, 8);
+
+    engine.permute(&p1, &src, &mut dst).unwrap();
+    assert_eq!(dst, reference(&p1, &src));
+    engine.permute(&p2, &src, &mut dst).unwrap();
+    assert_eq!(
+        dst,
+        reference(&p2, &src),
+        "collision must be detected, not silently applied"
+    );
+    let stats = engine.stats();
+    assert_eq!(stats.collisions, 1);
+    assert_eq!(stats.misses, 2);
+}
+
+/// Same collision injection through the single-threaded `Engine` wrapper.
+#[test]
+fn engine_wrapper_detects_injected_fingerprint_collision() {
+    let n = 1 << 10;
+    let src: Vec<u32> = (0..n as u32).collect();
+    let mut dst = vec![0u32; n];
+    let mut engine: Engine<u32> = Engine::new(W);
+    engine.set_fingerprint_fn(|_| 1);
+    let p1 = families::random(n, 3);
+    let p2 = families::random(n, 4);
+    engine.permute(&p1, &src, &mut dst).unwrap();
+    engine.permute(&p2, &src, &mut dst).unwrap();
+    assert_eq!(dst, reference(&p2, &src));
+    assert_eq!(engine.stats().collisions, 1);
+    // The replacement is cached: repeating p2 is a verified hit.
+    engine.permute(&p2, &src, &mut dst).unwrap();
+    assert_eq!(engine.stats().hits, 1);
+}
+
+/// `permute_batch` dispatches its jobs across the worker pool; outputs
+/// must be reference-equal even when several batches run from different
+/// threads against one engine.
+#[test]
+fn shared_engine_concurrent_batches_are_correct() {
+    const THREADS: usize = 4;
+    const JOBS: usize = 6;
+    let n = 1 << 11;
+    let engine: SharedEngine<u32> = SharedEngine::new(W);
+    let p = families::random(n, 13);
+    let srcs: Vec<Vec<u32>> = (0..JOBS)
+        .map(|k| (0..n as u32).map(|v| v.wrapping_add(k as u32)).collect())
+        .collect();
+    let refs: Vec<Vec<u32>> = srcs.iter().map(|s| reference(&p, s)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..THREADS {
+            let engine = &engine;
+            let p = &p;
+            let srcs = &srcs;
+            let refs = &refs;
+            s.spawn(move || {
+                let mut dsts: Vec<Vec<u32>> = vec![vec![0u32; n]; JOBS];
+                engine
+                    .permute_batch(
+                        p,
+                        srcs.iter()
+                            .map(Vec::as_slice)
+                            .zip(dsts.iter_mut().map(Vec::as_mut_slice)),
+                    )
+                    .unwrap();
+                for (dst, want) in dsts.iter().zip(refs) {
+                    assert_eq!(dst, want);
+                }
+            });
+        }
+    });
+    let stats = engine.stats();
+    assert_eq!(stats.misses, 1);
+    assert_eq!(
+        stats.scatter_runs + stats.scheduled_runs,
+        (THREADS * JOBS) as u64
+    );
+}
+
+/// WorkerPool under dispatch contention from multiple non-pool threads
+/// (the integration-level cousin of the pool's unit test): permutation
+/// work dispatched concurrently from several OS threads stays correct.
+#[test]
+fn worker_pool_serves_concurrent_external_dispatchers() {
+    const DISPATCHERS: usize = 5;
+    const ROUNDS: usize = 10;
+    const TASKS: usize = 128;
+    let pool = WorkerPool::new(4);
+    let total = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..DISPATCHERS {
+            let pool = &pool;
+            let total = &total;
+            s.spawn(move || {
+                for _ in 0..ROUNDS {
+                    pool.run(TASKS, |_| {
+                        total.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }
+    });
+    assert_eq!(total.load(Ordering::Relaxed), DISPATCHERS * ROUNDS * TASKS);
+}
