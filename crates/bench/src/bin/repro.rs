@@ -13,6 +13,10 @@
 //! repro generations         # crossover size across GPU-generation presets
 //! repro heatmap [--n N]     # access-pattern heatmaps (trace support)
 //! repro native [--full] [--json] [--contended T]  # wall-clock CPU backend comparison
+//! repro plan build [--n N] [--family F] [--seed S] [--width W]
+//! repro plan save  --dir DIR [--n N] [--family F] [--seed S] [--width W]
+//! repro plan load  --dir DIR [--n N] [--family F] [--seed S] [--width W] [--assert-cold]
+//! repro plan stats --dir DIR
 //! ```
 //!
 //! `--full` uses the paper's sizes (256K–4M); expect minutes of simulation.
@@ -40,6 +44,11 @@ struct Args {
     count: Option<usize>,
     n: Option<usize>,
     csv_dir: Option<std::path::PathBuf>,
+    dir: Option<std::path::PathBuf>,
+    family: Option<String>,
+    seed: Option<u64>,
+    width: Option<usize>,
+    assert_cold: bool,
 }
 
 /// Write a CSV file into the `--csv` directory, if one was given.
@@ -67,6 +76,11 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         count: None,
         n: None,
         csv_dir: None,
+        dir: None,
+        family: None,
+        seed: None,
+        width: None,
+        assert_cold: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -104,6 +118,29 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
                     it.next().ok_or("--csv needs a directory")?,
                 ))
             }
+            "--dir" => {
+                out.dir = Some(std::path::PathBuf::from(
+                    it.next().ok_or("--dir needs a directory")?,
+                ))
+            }
+            "--family" => out.family = Some(it.next().ok_or("--family needs a name")?.clone()),
+            "--seed" => {
+                out.seed = Some(
+                    it.next()
+                        .ok_or("--seed needs a value")?
+                        .parse()
+                        .map_err(|e| format!("--seed: {e}"))?,
+                )
+            }
+            "--width" => {
+                out.width = Some(
+                    it.next()
+                        .ok_or("--width needs a value")?
+                        .parse()
+                        .map_err(|e| format!("--width: {e}"))?,
+                )
+            }
+            "--assert-cold" => out.assert_cold = true,
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -117,11 +154,26 @@ fn main() -> ExitCode {
         None => {
             eprintln!(
                 "usage: repro <all|table1|table2|table3|fig3|fig4|fig5|fig6|smallperm|ablation|\
-                 sweep|apps|heatmap|native> [--full] [--f64] [--no-cache] [--json] [--count K] \
-                 [--n N] [--csv DIR] [--contended T]"
+                 sweep|apps|heatmap|native|plan> [--full] [--f64] [--no-cache] [--json] \
+                 [--count K] [--n N] [--csv DIR] [--contended T]\n       \
+                 repro plan <build|save|load|stats> [--dir DIR] [--n N] [--family F] \
+                 [--seed S] [--width W] [--assert-cold]"
             );
             return ExitCode::FAILURE;
         }
+    };
+    // `plan` takes an action word before its flags: fold it into the
+    // command so `run` dispatches on `plan-build` etc.
+    let (cmd, rest) = if cmd == "plan" {
+        match rest.split_first() {
+            Some((a, r)) => (format!("plan-{a}"), r.to_vec()),
+            None => {
+                eprintln!("usage: repro plan <build|save|load|stats> [flags]");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        (cmd, rest)
     };
     let args = match parse_args(&rest) {
         Ok(a) => a,
@@ -358,6 +410,8 @@ fn run(cmd: &str, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             print!("{}", native_experiments::render(&report.rows));
             println!("\n=== Plan cache: cached Engine::permute vs rebuild-per-call ===\n");
             print!("{}", native_experiments::render_plan(&report.plan_rows));
+            println!("\n=== Plan store: cold build+save vs cold-engine load ===\n");
+            print!("{}", native_experiments::render_store(&report.store_rows));
             println!("\n=== Contended SharedEngine: mixed families, warm cache ===\n");
             print!(
                 "{}",
@@ -371,7 +425,122 @@ fn run(cmd: &str, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
                 println!("\n(wrote {})", path.display());
             }
         }
+        "plan-build" | "plan-save" | "plan-load" | "plan-stats" => plan_cmd(cmd, args)?,
         other => return Err(format!("unknown subcommand {other}").into()),
+    }
+    Ok(())
+}
+
+/// Build the permutation the `plan` subcommands operate on.
+fn plan_permutation(
+    args: &Args,
+) -> Result<(hmm_perm::Permutation, &'static str, usize), Box<dyn std::error::Error>> {
+    let n = args.n.unwrap_or(1 << 16);
+    let seed = args.seed.unwrap_or(5);
+    let name = args.family.as_deref().unwrap_or("random");
+    let fam = families::Family::ALL
+        .iter()
+        .find(|f| f.name() == name)
+        .ok_or_else(|| {
+            let known: Vec<&str> = families::Family::ALL.iter().map(|f| f.name()).collect();
+            format!("unknown family '{name}' (known: {})", known.join(", "))
+        })?;
+    Ok((fam.build(n, seed)?, fam.name(), n))
+}
+
+/// `repro plan <build|save|load|stats>` — inspect, persist, and reload
+/// backend-neutral plans through the on-disk store, exercising the same
+/// `SharedEngine::with_store` path a production process would use.
+fn plan_cmd(cmd: &str, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    use hmm_native::SharedEngine;
+    use hmm_plan::{encode, PlanIr, PlanStore};
+    use std::time::Instant;
+
+    let width = args.width.unwrap_or(32);
+    let need_dir = || {
+        args.dir
+            .clone()
+            .ok_or_else(|| format!("{cmd} needs --dir DIR"))
+    };
+    match cmd {
+        "plan-build" => {
+            let (p, fam, n) = plan_permutation(args)?;
+            let t0 = Instant::now();
+            let ir = PlanIr::build(&p, width)?;
+            let dt = t0.elapsed();
+            println!("plan: family={fam} n={n} width={width}");
+            println!("  shape        : {}x{}", ir.shape().rows, ir.shape().cols);
+            println!("  gamma_w      : {:.3}", ir.gamma());
+            println!("  fingerprint  : {:016x}", ir.fingerprint());
+            println!("  encoded bytes: {}", encode(&ir).len());
+            println!("  build time   : {dt:.2?}");
+        }
+        "plan-save" | "plan-load" => {
+            let dir = need_dir()?;
+            let (p, fam, n) = plan_permutation(args)?;
+            let engine: SharedEngine<u32> = SharedEngine::with_store(width, &dir)?;
+            let src: Vec<u32> = (0..n as u32).collect();
+            let mut dst = vec![0u32; n];
+            let t0 = Instant::now();
+            engine.permute(&p, &src, &mut dst)?;
+            let dt = t0.elapsed();
+            let mut want = vec![0u32; n];
+            p.permute(&src, &mut want)?;
+            let verified = dst == want;
+            let s = engine.stats();
+            println!(
+                "{}: family={fam} n={n} width={width} dir={} ({dt:.2?})",
+                if cmd == "plan-save" {
+                    "saved"
+                } else {
+                    "loaded"
+                },
+                dir.display()
+            );
+            println!(
+                "  builds={} store_hits={} store_rejects={} runs(scatter/scheduled)={}/{}",
+                s.builds, s.store_hits, s.store_rejects, s.scatter_runs, s.scheduled_runs
+            );
+            println!("  verified={verified}");
+            if !verified {
+                return Err("output verification failed".into());
+            }
+            if cmd == "plan-save" && s.scatter_runs > 0 {
+                println!("  note: γ_w under the threshold — scatter backend, nothing stored");
+            }
+            if args.assert_cold {
+                if s.builds != 0 {
+                    return Err(format!(
+                        "--assert-cold: expected 0 König builds from the warm store, got {}",
+                        s.builds
+                    )
+                    .into());
+                }
+                if s.store_hits == 0 {
+                    return Err("--assert-cold: expected at least one store hit".into());
+                }
+                println!(
+                    "  cold-start assertion: PASS (0 builds, {} store hit(s))",
+                    s.store_hits
+                );
+            }
+        }
+        "plan-stats" => {
+            let dir = need_dir()?;
+            let store = PlanStore::open(&dir)?;
+            let entries = store.entries()?;
+            println!("plan store at {}: {} plan(s)", dir.display(), entries.len());
+            let mut total = 0u64;
+            for e in &entries {
+                println!(
+                    "  {:016x}  n={:<10} w={:<4} {} bytes",
+                    e.key.fingerprint, e.key.n, e.key.width, e.bytes
+                );
+                total += e.bytes;
+            }
+            println!("  total bytes: {total}");
+        }
+        other => return Err(format!("unknown plan action {other}").into()),
     }
     Ok(())
 }

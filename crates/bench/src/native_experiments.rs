@@ -2,11 +2,14 @@
 //! real time instead of model time (see DESIGN.md §2 — this is the
 //! substitution for the paper's GPU measurements).
 //!
-//! Three experiment groups:
+//! Four experiment groups:
 //! * **kernels** — scatter / gather / fused 3-sweep scheduled / unfused
 //!   5-pass scheduled / copy, per family and size;
 //! * **plan cache** — steady-state `Engine::permute` (plan cached, pooled
 //!   scratch) versus rebuilding the plan on every call;
+//! * **plan store** — cold König build-and-save versus a cold engine
+//!   loading the same plan from a warm on-disk store (the cross-process
+//!   path: decode + verify instead of coloring);
 //! * **contended** — one `SharedEngine` hammered by T threads over a mix
 //!   of permutation families (the concurrent plan-service workload:
 //!   warm cache, per-thread outputs, aggregate throughput).
@@ -73,6 +76,54 @@ pub struct PlanCacheRow {
     pub rebuild: Duration,
 }
 
+/// One row of the plan-store comparison: the same scheduled plan produced
+/// by a cold König build (and persisted) versus materialised by a *cold
+/// engine* from a warm on-disk store — the cross-process reuse the store
+/// exists for.
+#[derive(Debug, Clone)]
+pub struct PlanStoreRow {
+    /// Array size (family: random).
+    pub n: usize,
+    /// Cold store: König coloring + gather maps + encode + atomic write.
+    pub build_and_save: Duration,
+    /// Warm store, fresh engine: read + checksum + decode + full-image
+    /// verification + gather-map derivation. No coloring.
+    pub cold_load: Duration,
+}
+
+/// Measure the plan store: build-and-save against a cold-engine load at
+/// each size. Every load is asserted to be a verified store hit (zero
+/// König builds) before its time is reported.
+pub fn plan_store(sizes: &[usize], reps: usize) -> Result<Vec<PlanStoreRow>> {
+    let dir = std::env::temp_dir().join(format!("hmm-bench-plan-store-{}", std::process::id()));
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let p = hmm_perm::families::random(n, 5);
+        let build_and_save = median_time(reps.min(3), || {
+            let _ = std::fs::remove_dir_all(&dir);
+            let engine: SharedEngine<u32> = SharedEngine::with_store(W, &dir).unwrap();
+            let plan = engine.plan(&p).unwrap();
+            std::hint::black_box(&plan);
+            assert_eq!(engine.stats().builds, 1, "cold store must build");
+        });
+        let cold_load = median_time(reps.min(3), || {
+            let engine: SharedEngine<u32> = SharedEngine::with_store(W, &dir).unwrap();
+            let plan = engine.plan(&p).unwrap();
+            std::hint::black_box(&plan);
+            let stats = engine.stats();
+            assert_eq!(stats.builds, 0, "warm store must not re-color");
+            assert_eq!(stats.store_hits, 1, "warm store must hit");
+        });
+        rows.push(PlanStoreRow {
+            n,
+            build_and_save,
+            cold_load,
+        });
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(rows)
+}
+
 /// One row of the contended `SharedEngine` throughput measurement.
 #[derive(Debug, Clone)]
 pub struct ContendedRow {
@@ -109,6 +160,8 @@ pub struct NativeReport {
     pub rows: Vec<NativeRow>,
     /// Plan-cache comparison rows.
     pub plan_rows: Vec<PlanCacheRow>,
+    /// Plan-store comparison rows (cold build+save vs cold-engine load).
+    pub store_rows: Vec<PlanStoreRow>,
     /// Contended `SharedEngine` rows (1 thread and T threads, for the
     /// scaling comparison).
     pub contended_rows: Vec<ContendedRow>,
@@ -260,6 +313,7 @@ pub fn report(sizes: &[usize], reps: usize, contended_threads: usize) -> Result<
         reps,
         rows: run(sizes, reps)?,
         plan_rows: plan_cache(sizes, reps)?,
+        store_rows: plan_store(sizes, reps)?,
         contended_rows,
     })
 }
@@ -305,6 +359,21 @@ pub fn render_plan(rows: &[PlanCacheRow]) -> String {
             format!("{:.2?}", r.build),
             format!("{:.2?}", r.cached),
             format!("{:.2?}", r.rebuild),
+            format!("{speedup:.1}x"),
+        ]);
+    }
+    t.render()
+}
+
+/// Render the plan-store comparison table.
+pub fn render_store(rows: &[PlanStoreRow]) -> String {
+    let mut t = TextTable::new(vec!["n", "build+save", "cold load", "speedup"]);
+    for r in rows {
+        let speedup = r.build_and_save.as_secs_f64() / r.cold_load.as_secs_f64().max(1e-12);
+        t.row(vec![
+            size_label(r.n),
+            format!("{:.2?}", r.build_and_save),
+            format!("{:.2?}", r.cold_load),
             format!("{speedup:.1}x"),
         ]);
     }
@@ -382,6 +451,18 @@ pub fn to_json(report: &NativeReport) -> String {
             json_row(&mut out, "random", r.n, backend, d);
         }
     }
+    for r in &report.store_rows {
+        for (backend, d) in [
+            ("plan_store_build", r.build_and_save),
+            ("plan_store_cold", r.cold_load),
+        ] {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            json_row(&mut out, "random", r.n, backend, d);
+        }
+    }
     for r in &report.contended_rows {
         if !first {
             out.push_str(",\n");
@@ -429,8 +510,9 @@ mod tests {
         let contended_table = render_contended(&report.contended_rows);
         assert!(contended_table.contains("threads"));
         let json = to_json(&report);
-        // 5 families x 5 backends + 3 plan-cache rows + 2 contended rows.
-        assert_eq!(json.matches("\"backend\"").count(), 30);
+        // 5 families x 5 backends + 3 plan-cache rows + 2 plan-store rows
+        // + 2 contended rows.
+        assert_eq!(json.matches("\"backend\"").count(), 32);
         for key in [
             "\"bench\": \"native\"",
             "\"threads\"",
@@ -438,6 +520,8 @@ mod tests {
             "\"scheduled_unfused\"",
             "\"engine_cached\"",
             "\"rebuild_per_call\"",
+            "\"plan_store_build\"",
+            "\"plan_store_cold\"",
             "\"engine_contended_1t\"",
             "\"engine_contended_2t\"",
         ] {

@@ -29,6 +29,9 @@ pub enum OffpermError {
         /// What it got.
         got: usize,
     },
+    /// A plan-layer failure that has no structural equivalent here (codec
+    /// or store errors surfacing through a simulator-facing API).
+    Plan(hmm_plan::PlanError),
 }
 
 impl fmt::Display for OffpermError {
@@ -43,6 +46,7 @@ impl fmt::Display for OffpermError {
             OffpermError::SizeMismatch { expected, got } => {
                 write!(f, "size mismatch: expected {expected}, got {got}")
             }
+            OffpermError::Plan(e) => write!(f, "plan error: {e}"),
         }
     }
 }
@@ -53,6 +57,7 @@ impl std::error::Error for OffpermError {
             OffpermError::Machine(e) => Some(e),
             OffpermError::Perm(e) => Some(e),
             OffpermError::Graph(e) => Some(e),
+            OffpermError::Plan(e) => Some(e),
             _ => None,
         }
     }
@@ -73,6 +78,24 @@ impl From<PermError> for OffpermError {
 impl From<GraphError> for OffpermError {
     fn from(e: GraphError) -> Self {
         OffpermError::Graph(e)
+    }
+}
+
+impl From<hmm_plan::PlanError> for OffpermError {
+    fn from(e: hmm_plan::PlanError) -> Self {
+        // Structural mapping where a twin variant exists, so callers that
+        // match on `OffpermError::SizeMismatch` etc. see the same shapes
+        // whether the failure arose here or in the plan layer.
+        use hmm_plan::PlanError;
+        match e {
+            PlanError::Perm(e) => OffpermError::Perm(e),
+            PlanError::Graph(e) => OffpermError::Graph(e),
+            PlanError::UnsupportedSize { n, reason } => OffpermError::UnsupportedSize { n, reason },
+            PlanError::SizeMismatch { expected, got } => {
+                OffpermError::SizeMismatch { expected, got }
+            }
+            e @ (PlanError::Codec { .. } | PlanError::Store { .. }) => OffpermError::Plan(e),
+        }
     }
 }
 

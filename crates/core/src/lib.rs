@@ -62,6 +62,7 @@ pub mod transpose;
 
 pub use driver::{run_permutation, Algorithm, Engine, RunOutcome};
 pub use error::{OffpermError, Result};
+pub use hmm_plan::PlanIr;
 pub use padded::{PaddedScheduled, StagedPadded};
 pub use report::RunReport;
 pub use scheduled::{ScheduledPermutation, StagedScheduled};

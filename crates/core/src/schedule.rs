@@ -1,5 +1,6 @@
 //! Offline construction of the three-step scheduled permutation
-//! (Section VII).
+//! (Section VII) — the simulator-side staging adapter over the
+//! backend-neutral plan IR.
 //!
 //! An arbitrary permutation `P` of `n = r·c` elements, viewed on an
 //! `r × c` matrix, is decomposed into
@@ -18,12 +19,18 @@
 //! permutation of its row) and (2) elements of one color have pairwise
 //! distinct destination rows (step 2 is a permutation of each column) —
 //! exactly the argument of Figure 6.
+//!
+//! The decomposition itself lives in [`hmm_plan::PlanIr`] (it is shared
+//! with the CPU backend and the on-disk plan store); [`Decomposition`]
+//! is the thin simulator-facing view: per-row [`Permutation`]s ready for
+//! schedule staging, plus the Figure 6 inspection helpers.
 
 use crate::colwise::ColSchedule;
-use crate::error::{OffpermError, Result};
+use crate::error::Result;
 use crate::rowwise::RowSchedule;
-use hmm_graph::{edge_color_with, RegularBipartite, Strategy};
-use hmm_perm::{scheduled_shape, MatrixShape, Permutation};
+use hmm_graph::Strategy;
+use hmm_perm::{MatrixShape, Permutation};
+pub use hmm_plan::PlanIr;
 
 /// The per-step row/column permutations of the decomposition — useful for
 /// inspection, golden tests, and the Figure 6 reproduction; the runnable
@@ -49,9 +56,7 @@ impl Decomposition {
 
     /// Decompose `p` with an explicit coloring strategy.
     pub fn build_with(p: &Permutation, width: usize, strategy: Strategy) -> Result<Self> {
-        let n = p.len();
-        let shape = scheduled_shape(n, width)?;
-        Self::build_for_shape(p, shape, strategy)
+        Ok(Self::from_ir(&PlanIr::build_with(p, width, strategy)?))
     }
 
     /// Decompose `p` on an explicit matrix shape (exposed for tests with
@@ -61,50 +66,25 @@ impl Decomposition {
         shape: MatrixShape,
         strategy: Strategy,
     ) -> Result<Self> {
-        let n = p.len();
-        if shape.len() != n {
-            return Err(OffpermError::SizeMismatch {
-                expected: n,
-                got: shape.len(),
-            });
+        // The nominal width only feeds the IR's recorded γ_w; the staging
+        // adapter has no width of its own.
+        let width = shape.rows.min(shape.cols).max(1);
+        Ok(Self::from_ir(&PlanIr::build_for_shape(
+            p, shape, width, strategy,
+        )?))
+    }
+
+    /// Stage an already-built backend-neutral plan for the simulator: the
+    /// IR's flat pass maps become one [`Permutation`] per row/column. This
+    /// is how one König coloring (or one plan-store load) backs a
+    /// simulator run and a native plan without being recomputed.
+    pub fn from_ir(ir: &PlanIr) -> Self {
+        Decomposition {
+            shape: ir.shape(),
+            step1_rows: ir.step1_row_perms(),
+            step2_cols: ir.step2_col_perms(),
+            step3_rows: ir.step3_row_perms(),
         }
-        let (r, c) = (shape.rows, shape.cols);
-
-        // Bipartite multigraph: source row -> destination row, one edge per
-        // element; c-regular since each row holds c elements and receives c.
-        let edges: Vec<(usize, usize)> = (0..n).map(|idx| (idx / c, p.apply(idx) / c)).collect();
-        let graph = RegularBipartite::new(r, edges)?;
-        let coloring = edge_color_with(&graph, strategy)?;
-        debug_assert_eq!(coloring.num_colors, c);
-
-        let mut step1 = vec![0usize; n]; // per row i: j -> color
-        let mut step2 = vec![0usize; n]; // per col k: i -> dest row
-        let mut step3 = vec![0usize; n]; // per row i': k -> dest col
-        for (idx, slot1) in step1.iter_mut().enumerate() {
-            let i = idx / c;
-            let dest = p.apply(idx);
-            let (di, dj) = (dest / c, dest % c);
-            let k = coloring.colors[idx];
-            *slot1 = k;
-            step2[k * r + i] = di;
-            step3[di * c + k] = dj;
-        }
-
-        let to_perms = |flat: Vec<usize>, rows: usize, cols: usize| -> Result<Vec<Permutation>> {
-            let mut out = Vec::with_capacity(rows);
-            for chunk in flat.chunks(cols) {
-                out.push(Permutation::from_vec(chunk.to_vec())?);
-            }
-            debug_assert_eq!(out.len(), rows);
-            Ok(out)
-        };
-
-        Ok(Decomposition {
-            shape,
-            step1_rows: to_perms(step1, r, c)?,
-            step2_cols: to_perms(step2, c, r)?,
-            step3_rows: to_perms(step3, r, c)?,
-        })
     }
 
     /// Compose the three steps back into a flat permutation — used by tests
@@ -171,6 +151,7 @@ impl Decomposition {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::OffpermError;
     use hmm_perm::families;
 
     const W: usize = 8;

@@ -9,13 +9,17 @@
 //!   conventional D-/S-designated kernels (one scattered pass);
 //! * [`scheduled::NativeScheduled`] — the scheduled permutation executed
 //!   as three fused memory sweeps (gather-transpose, gather-transpose,
-//!   row gather), sharing its decomposition with the simulator build;
+//!   row gather), built from the backend-neutral [`hmm_plan::PlanIr`]
+//!   shared with the simulator and the on-disk plan store;
 //! * [`plan::SharedEngine`] — the concurrent front door: a thread-safe
 //!   plan service (`&self` from any number of threads) with a sharded LRU
 //!   cache, single-flight plan construction, verified (collision-proof)
-//!   hits, a lock-free scratch pool, and a distribution-based scatter
-//!   fallback — [`plan::Engine`] keeps the original single-threaded API
-//!   as a thin wrapper over one shard;
+//!   hits, a lock-free scratch pool, a distribution-based scatter
+//!   fallback (optionally calibrated per host, `HMM_NATIVE_CALIBRATE=1`),
+//!   and an optional tier-2 on-disk plan store
+//!   ([`plan::SharedEngine::with_store`]) so a cold process skips the
+//!   König coloring — [`plan::Engine`] keeps the original single-threaded
+//!   API as a thin wrapper over one shard;
 //! * [`pool`] / [`par`] — a persistent worker pool (created once per
 //!   process) and the chunked parallel-for primitives built on it
 //!   (`rayon` is not on this reproduction's offline dependency list).
@@ -36,6 +40,7 @@ pub mod pool;
 pub mod scatter;
 pub mod scheduled;
 
-pub use plan::{Backend, Engine, EngineStats, PermutePlan, SharedEngine};
+pub use hmm_plan::{PlanIr, PlanStore, StoreKey};
+pub use plan::{Backend, Engine, EngineStats, PermutePlan, SharedEngine, CALIBRATE_ENV};
 pub use scatter::{copy_baseline, gather_permute, scatter_permute};
 pub use scheduled::NativeScheduled;

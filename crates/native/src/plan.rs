@@ -27,6 +27,15 @@
 //! wrong plan — the mismatch counts as [`EngineStats::collisions`] and the
 //! entry is rebuilt for the requested permutation.
 //!
+//! Below the in-memory LRU sits an optional **tier-2 on-disk store**
+//! ([`SharedEngine::with_store`]): scheduled plans are serialized through
+//! [`hmm_plan`]'s versioned codec and keyed by `(fingerprint, n, width)`,
+//! so a *cold process* pointed at a warm store skips the König coloring
+//! entirely ([`EngineStats::builds`] stays 0). Disk is never trusted:
+//! every load re-verifies the decoded plan against the requested
+//! permutation, and corrupt or colliding files are counted
+//! ([`EngineStats::store_rejects`]), deleted, and rebuilt.
+//!
 //! The engine also chooses the backend per plan: the paper's Table II shows
 //! the conventional (scatter) kernel beating the scheduled one when the
 //! distribution `γ_w(P)` is small — few distinct destination groups per
@@ -34,16 +43,22 @@
 //! three-sweep rewrite can beat one sweep. The same crossover exists on the
 //! CPU with cache lines in place of address groups, so plans are built with
 //! a measured-γ decision: `γ_w(P) ≤ threshold` → scatter, else scheduled.
+//! The threshold defaults to the static [`DEFAULT_GAMMA_THRESHOLD`]; set
+//! `HMM_NATIVE_CALIBRATE=1` (or call
+//! [`SharedEngine::calibrate_gamma_threshold`]) to replace it with a
+//! crossover measured on the running host.
 
 use crate::pool::WorkerPool;
 use crate::scheduled::NativeScheduled;
-use hmm_offperm::{OffpermError, Result};
 use hmm_perm::distribution::distribution;
-use hmm_perm::Permutation;
+use hmm_perm::{families, Permutation};
+use hmm_plan::{PlanError, PlanIr, PlanStore, Result, StoreKey};
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::ptr;
-use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError, RwLock};
+use std::time::{Duration, Instant};
 
 /// Default per-shard LRU capacity (plans held at once per shard; the
 /// single-shard [`Engine`] therefore defaults to 8 plans total).
@@ -63,23 +78,84 @@ pub const DEFAULT_GAMMA_THRESHOLD: f64 = 4.0;
 /// Scratch buffers retained for reuse.
 const SCRATCH_POOL_CAP: usize = 4;
 
-/// FNV-1a over the permutation image, mixed with the length. Two distinct
-/// permutations colliding on both fingerprint *and* length is a ~2⁻⁶⁴
-/// event — and since every hit verifies the full image, a collision costs
-/// a rebuild rather than a wrong answer.
-fn fingerprint(p: &Permutation) -> u64 {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut h = OFFSET;
-    for &d in p.as_slice() {
-        let mut v = d as u64;
-        for _ in 0..8 {
-            h ^= v & 0xff;
-            h = h.wrapping_mul(PRIME);
-            v >>= 8;
-        }
+/// Environment variable: set to `1` to run
+/// [`SharedEngine::calibrate_gamma_threshold`] automatically at engine
+/// construction, replacing [`DEFAULT_GAMMA_THRESHOLD`] with a crossover
+/// measured on this host.
+pub const CALIBRATE_ENV: &str = "HMM_NATIVE_CALIBRATE";
+
+/// The engine's default fingerprint: [`Permutation::fingerprint`] — the
+/// one identity shared by the in-memory cache, the on-disk store, the
+/// codec, and the CLI. Two distinct permutations colliding on both
+/// fingerprint *and* length is a ~2⁻⁶⁴ event — and since every hit
+/// verifies the full image, a collision costs a rebuild rather than a
+/// wrong answer.
+fn default_fingerprint(p: &Permutation) -> u64 {
+    p.fingerprint()
+}
+
+/// Best-of-`reps` wall-clock time of `f` — the minimum filters scheduler
+/// noise better than a mean at these sub-millisecond scales.
+fn min_time(reps: usize, mut f: impl FnMut()) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed());
     }
-    h ^ (p.len() as u64).wrapping_mul(PRIME)
+    best
+}
+
+/// Measure the γ_w crossover between the scatter and scheduled backends
+/// on this host, at a probe size large enough to spill the cache hierarchy
+/// the way real workloads do.
+///
+/// Model: a scattered pass costs `a + b·γ` (more destination groups per
+/// warp-sized window ⇒ more distinct cache lines touched), while the fused
+/// three-sweep costs a γ-independent constant. Two scatter samples (low-γ
+/// rotation, high-γ random) pin the line; one scheduled sample pins the
+/// constant; the intersection is the crossover. Returns `None` when the
+/// width cannot be scheduled at the probe size or the fitted slope is
+/// non-positive (timer noise) — callers keep the static default then.
+fn measured_crossover(width: usize) -> Option<f64> {
+    let n = width
+        .saturating_mul(width)
+        .next_power_of_two()
+        .clamp(1 << 14, 1 << 22);
+    let src: Vec<u32> = (0..n as u32).collect();
+    let mut dst = vec![0u32; n];
+    let mut scratch = vec![0u32; n];
+
+    let p_lo = families::rotation(n, width.max(2) / 2);
+    let p_hi = families::random(n, 0x5eed);
+    let g_lo = distribution(&p_lo, width);
+    let g_hi = distribution(&p_hi, width);
+    if g_hi <= g_lo + 1e-9 {
+        return None;
+    }
+
+    let sched = NativeScheduled::build(&p_hi, width).ok()?;
+    let reps = 3;
+    let t_sched = min_time(reps, || {
+        sched.run_with_scratch(&src, &mut dst, &mut scratch)
+    });
+    let t_lo = min_time(reps, || {
+        crate::scatter::scatter_permute(&src, &p_lo, &mut dst)
+    });
+    let t_hi = min_time(reps, || {
+        crate::scatter::scatter_permute(&src, &p_hi, &mut dst)
+    });
+
+    let b = (t_hi.as_secs_f64() - t_lo.as_secs_f64()) / (g_hi - g_lo);
+    if !(b.is_finite() && b > 0.0) {
+        return None;
+    }
+    let a = t_lo.as_secs_f64() - b * g_lo;
+    let crossover = (t_sched.as_secs_f64() - a) / b;
+    if !crossover.is_finite() {
+        return None;
+    }
+    Some(crossover.clamp(1.0, width as f64))
 }
 
 /// Cache key: permutation fingerprint + length + schedule width.
@@ -115,21 +191,35 @@ impl PermutePlan {
     /// Build a plan, measuring γ_w(P) to pick the backend.
     pub fn build(p: &Permutation, width: usize, gamma_threshold: f64) -> Result<Self> {
         let gamma = distribution(p, width);
-        let backend = if gamma <= gamma_threshold {
-            Backend::Scatter
+        if gamma <= gamma_threshold {
+            Ok(Self::scatter(p, gamma))
         } else {
-            Backend::Scheduled
-        };
-        let scheduled = match backend {
-            Backend::Scatter => None,
-            Backend::Scheduled => Some(NativeScheduled::build(p, width)?),
-        };
-        Ok(PermutePlan {
-            backend,
+            Ok(Self::from_ir(&PlanIr::build(p, width)?))
+        }
+    }
+
+    /// Wrap an already-built backend-neutral [`PlanIr`] as a scheduled
+    /// plan — no König coloring happens here. The permutation the plan
+    /// answers for is recomposed from the IR's own three passes, so the
+    /// wrapper is correct for exactly the permutation the IR encodes,
+    /// wherever the IR came from (a fresh build, another engine, or a
+    /// plan-store file).
+    pub fn from_ir(ir: &PlanIr) -> Self {
+        PermutePlan {
+            backend: Backend::Scheduled,
+            gamma: ir.gamma(),
+            scheduled: Some(NativeScheduled::from_plan(ir)),
+            permutation: ir.recompose(),
+        }
+    }
+
+    fn scatter(p: &Permutation, gamma: f64) -> Self {
+        PermutePlan {
+            backend: Backend::Scatter,
             gamma,
-            scheduled,
+            scheduled: None,
             permutation: p.clone(),
-        })
+        }
     }
 
     /// The backend this plan executes with.
@@ -180,7 +270,7 @@ impl PermutePlan {
 
 /// Cache/engine counters, for tests and bench reports. A snapshot of the
 /// engine's atomics — reading them never takes a lock.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct EngineStats {
     /// Cache hits (plan reused, full permutation verified).
     pub hits: u64,
@@ -200,6 +290,24 @@ pub struct EngineStats {
     pub scatter_runs: u64,
     /// Executions that took the scheduled backend.
     pub scheduled_runs: u64,
+    /// König colorings actually performed by this process: scheduled
+    /// plans constructed from scratch rather than served from the
+    /// on-disk store. A cold process running against a warm store
+    /// reports 0.
+    pub builds: u64,
+    /// Scheduled plans served from the on-disk store, each verified
+    /// against the requested permutation before use.
+    pub store_hits: u64,
+    /// Store files discarded: unreadable, corrupt, wrong format version,
+    /// or decoded fine but encoding a *different* permutation than the
+    /// requested one (a fingerprint collision). Each reject deletes the
+    /// file and falls through to a fresh build.
+    pub store_rejects: u64,
+    /// The γ_w scatter/scheduled crossover in effect at snapshot time.
+    pub gamma_threshold: f64,
+    /// True once [`SharedEngine::calibrate_gamma_threshold`] has replaced
+    /// the static default with a measured crossover.
+    pub calibrated: bool,
 }
 
 /// The engine's live counters, on atomics so `&self` paths can bump them
@@ -213,10 +321,13 @@ struct AtomicStats {
     builds_deduped: AtomicU64,
     scatter_runs: AtomicU64,
     scheduled_runs: AtomicU64,
+    builds: AtomicU64,
+    store_hits: AtomicU64,
+    store_rejects: AtomicU64,
 }
 
 impl AtomicStats {
-    fn snapshot(&self) -> EngineStats {
+    fn snapshot(&self, gamma_threshold: f64, calibrated: bool) -> EngineStats {
         EngineStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
@@ -225,6 +336,11 @@ impl AtomicStats {
             builds_deduped: self.builds_deduped.load(Ordering::Relaxed),
             scatter_runs: self.scatter_runs.load(Ordering::Relaxed),
             scheduled_runs: self.scheduled_runs.load(Ordering::Relaxed),
+            builds: self.builds.load(Ordering::Relaxed),
+            store_hits: self.store_hits.load(Ordering::Relaxed),
+            store_rejects: self.store_rejects.load(Ordering::Relaxed),
+            gamma_threshold,
+            calibrated,
         }
     }
 }
@@ -240,7 +356,7 @@ struct BuildSlot {
 enum SlotState {
     Building,
     Ready(Arc<PermutePlan>),
-    Failed(OffpermError),
+    Failed(PlanError),
 }
 
 impl BuildSlot {
@@ -296,7 +412,7 @@ struct FillOnPanic<'a> {
 impl Drop for FillOnPanic<'_> {
     fn drop(&mut self) {
         if self.armed {
-            self.slot.fill(Err(OffpermError::UnsupportedSize {
+            self.slot.fill(Err(PlanError::UnsupportedSize {
                 n: self.n,
                 reason: "plan construction panicked",
             }));
@@ -447,7 +563,14 @@ pub struct SharedEngine<T> {
     per_shard_capacity: usize,
     /// γ_w crossover, stored as `f64` bits so it is settable via `&self`.
     gamma_threshold: AtomicU64,
+    /// True once the threshold came from a measurement rather than the
+    /// static default.
+    calibrated: AtomicBool,
     fingerprint_fn: fn(&Permutation) -> u64,
+    /// Tier-2 cache: the on-disk plan store, when attached. Scheduled
+    /// plans are loaded from (and saved to) it; the in-memory LRU stays
+    /// tier 1.
+    store: Option<PlanStore>,
     clock: AtomicU64,
     scratch: ScratchPool<T>,
     stats: AtomicStats,
@@ -467,16 +590,68 @@ impl<T: Copy + Send + Sync + Default> SharedEngine<T> {
         assert!(width > 0, "width must be positive");
         assert!(shards > 0, "shards must be positive");
         assert!(per_shard_capacity > 0, "capacity must be positive");
-        SharedEngine {
+        let engine = SharedEngine {
             width,
             shards: (0..shards).map(|_| RwLock::new(HashMap::new())).collect(),
             per_shard_capacity,
             gamma_threshold: AtomicU64::new(DEFAULT_GAMMA_THRESHOLD.to_bits()),
-            fingerprint_fn: fingerprint,
+            calibrated: AtomicBool::new(false),
+            fingerprint_fn: default_fingerprint,
+            store: None,
             clock: AtomicU64::new(0),
             scratch: ScratchPool::new(),
             stats: AtomicStats::default(),
+        };
+        if std::env::var(CALIBRATE_ENV).as_deref() == Ok("1") {
+            engine.calibrate_gamma_threshold();
         }
+        engine
+    }
+
+    /// Engine with an on-disk **tier-2 plan store** at `dir` (created if
+    /// missing): scheduled plans built by any process land in the store,
+    /// and a cold process finds them there instead of re-running the
+    /// König coloring — with a warm store, [`EngineStats::builds`] stays
+    /// 0 while outputs still verify, because every disk hit is checked
+    /// against the requested permutation (corrupt or colliding files are
+    /// counted in [`EngineStats::store_rejects`], deleted, and rebuilt —
+    /// never trusted).
+    pub fn with_store(width: usize, dir: impl Into<PathBuf>) -> Result<Self> {
+        let mut engine = Self::with_shards(width, DEFAULT_SHARDS, DEFAULT_CAPACITY);
+        engine.store = Some(PlanStore::open(dir)?);
+        Ok(engine)
+    }
+
+    /// Attach (or replace) the on-disk plan store after construction.
+    pub fn set_store(&mut self, store: PlanStore) {
+        self.store = Some(store);
+    }
+
+    /// The attached on-disk plan store, if any.
+    pub fn store(&self) -> Option<&PlanStore> {
+        self.store.as_ref()
+    }
+
+    /// Measure the scatter/scheduled crossover on *this* host and adopt
+    /// it as the engine's γ_w threshold, replacing the static
+    /// [`DEFAULT_GAMMA_THRESHOLD`]. The measurement times one fused
+    /// three-sweep run (its cost is γ-independent) against scattered
+    /// runs at a low-γ and a high-γ point, fits the affine scatter cost
+    /// `a + b·γ`, and solves for the break-even γ, clamped to
+    /// `[1, width]`. Falls back to the default when the measurement is
+    /// degenerate (e.g. the width cannot be scheduled, or timer noise
+    /// swamps the slope).
+    ///
+    /// Off by default — construction runs it automatically only when the
+    /// environment variable [`CALIBRATE_ENV`] (`HMM_NATIVE_CALIBRATE`)
+    /// is set to `1`. Returns the threshold now in effect; the result is
+    /// surfaced as [`EngineStats::gamma_threshold`] /
+    /// [`EngineStats::calibrated`]. Affects plans built after the call.
+    pub fn calibrate_gamma_threshold(&self) -> f64 {
+        let t = measured_crossover(self.width).unwrap_or(DEFAULT_GAMMA_THRESHOLD);
+        self.set_gamma_threshold(t);
+        self.calibrated.store(true, Ordering::Relaxed);
+        t
     }
 
     /// Override the γ_w crossover below which scatter is chosen. Set to
@@ -506,7 +681,10 @@ impl<T: Copy + Send + Sync + Default> SharedEngine<T> {
 
     /// Counters since construction — a lock-free snapshot.
     pub fn stats(&self) -> EngineStats {
-        self.stats.snapshot()
+        self.stats.snapshot(
+            self.gamma_threshold(),
+            self.calibrated.load(Ordering::Relaxed),
+        )
     }
 
     /// Number of plans currently cached (in-flight builds included).
@@ -646,7 +824,7 @@ impl<T: Copy + Send + Sync + Default> SharedEngine<T> {
             n: p.len(),
             armed: true,
         };
-        let built = PermutePlan::build(p, self.width, self.gamma_threshold());
+        let built = self.construct_plan(p);
         guard.armed = false;
         match built {
             Ok(plan) => {
@@ -667,6 +845,46 @@ impl<T: Copy + Send + Sync + Default> SharedEngine<T> {
                 Err(e)
             }
         }
+    }
+
+    /// Produce the plan for `p` at this engine's width: the γ decision
+    /// first (scatter plans are cheap and never touch the store), then
+    /// the tier-2 store when attached, then a fresh König build — which
+    /// is counted in [`EngineStats::builds`] and saved back to the store.
+    fn construct_plan(&self, p: &Permutation) -> Result<PermutePlan> {
+        let gamma = distribution(p, self.width);
+        if gamma <= self.gamma_threshold() {
+            return Ok(PermutePlan::scatter(p, gamma));
+        }
+        if let Some(store) = &self.store {
+            let key = StoreKey {
+                fingerprint: (self.fingerprint_fn)(p),
+                n: p.len(),
+                width: self.width,
+            };
+            match store.load(&key) {
+                Ok(Some(ir)) if ir.matches(p) => {
+                    self.stats.store_hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(PermutePlan::from_ir(&ir));
+                }
+                Ok(None) => {}
+                // A decodable plan for a *different* permutation (a
+                // fingerprint collision) or an unreadable/corrupt file:
+                // count it, delete the file, fall through to a fresh
+                // build. A store file is never trusted past verification.
+                Ok(Some(_)) | Err(_) => {
+                    self.stats.store_rejects.fetch_add(1, Ordering::Relaxed);
+                    let _ = store.remove(&key);
+                }
+            }
+        }
+        let ir = PlanIr::build(p, self.width)?;
+        self.stats.builds.fetch_add(1, Ordering::Relaxed);
+        if let Some(store) = &self.store {
+            // Best effort: a failed save must never fail the permute.
+            let _ = store.save(&ir);
+        }
+        Ok(PermutePlan::from_ir(&ir))
     }
 
     /// Evict least-recently-used resolved entries until an insert fits.
@@ -777,6 +995,25 @@ impl<T: Copy + Send + Sync + Default> Engine<T> {
         Engine {
             inner: SharedEngine::with_shards(width, 1, capacity),
         }
+    }
+
+    /// Engine with an on-disk tier-2 plan store (see
+    /// [`SharedEngine::with_store`]).
+    pub fn with_store(width: usize, dir: impl Into<PathBuf>) -> Result<Self> {
+        let mut inner = SharedEngine::with_shards(width, 1, DEFAULT_CAPACITY);
+        inner.set_store(PlanStore::open(dir)?);
+        Ok(Engine { inner })
+    }
+
+    /// Measure and adopt this host's γ_w crossover (see
+    /// [`SharedEngine::calibrate_gamma_threshold`]).
+    pub fn calibrate_gamma_threshold(&mut self) -> f64 {
+        self.inner.calibrate_gamma_threshold()
+    }
+
+    /// The attached on-disk plan store, if any.
+    pub fn store(&self) -> Option<&PlanStore> {
+        self.inner.store()
     }
 
     /// Override the γ_w crossover below which scatter is chosen. Set to
@@ -988,18 +1225,20 @@ mod tests {
 
     #[test]
     fn fingerprint_distinguishes_permutations() {
+        // The engine keys by the shared `Permutation::fingerprint`; the
+        // FNV-1a properties themselves are tested in hmm-perm.
         let n = 1 << 10;
-        let a = fingerprint(&families::random(n, 1));
-        let b = fingerprint(&families::random(n, 2));
-        let ident = fingerprint(&Permutation::identity(n));
+        let a = default_fingerprint(&families::random(n, 1));
+        let b = default_fingerprint(&families::random(n, 2));
+        let ident = default_fingerprint(&Permutation::identity(n));
         assert_ne!(a, b);
         assert_ne!(a, ident);
         // Deterministic: same permutation, same fingerprint.
-        assert_eq!(a, fingerprint(&families::random(n, 1)));
+        assert_eq!(a, families::random(n, 1).fingerprint());
         // Length participates even when images prefix-match.
         assert_ne!(
-            fingerprint(&Permutation::identity(64)),
-            fingerprint(&Permutation::identity(128))
+            default_fingerprint(&Permutation::identity(64)),
+            default_fingerprint(&Permutation::identity(128))
         );
     }
 
@@ -1146,6 +1385,121 @@ mod tests {
         }
         assert_eq!(engine.stats().evictions, 1);
         assert_eq!(engine.cached_plans(), 2);
+    }
+
+    /// Fresh, empty temp directory for one store test.
+    fn temp_store_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("hmm-native-plan-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn warm_store_skips_the_koenig_build() {
+        let n = 1 << 12;
+        let dir = temp_store_dir("warm");
+        let p = families::random(n, 41); // high γ ⇒ scheduled ⇒ stored
+        let src: Vec<u32> = (0..n as u32).collect();
+        let mut dst = vec![0u32; n];
+
+        let first: SharedEngine<u32> = SharedEngine::with_store(W, &dir).unwrap();
+        first.permute(&p, &src, &mut dst).unwrap();
+        assert_eq!(dst, reference(&p, &src));
+        let s = first.stats();
+        assert_eq!(s.builds, 1, "cold store: the plan is built once");
+        assert_eq!(s.store_hits, 0);
+
+        // A second engine — standing in for a fresh process — must find
+        // the plan on disk and never run the coloring.
+        let second: SharedEngine<u32> = SharedEngine::with_store(W, &dir).unwrap();
+        dst.fill(0);
+        second.permute(&p, &src, &mut dst).unwrap();
+        assert_eq!(dst, reference(&p, &src));
+        let s = second.stats();
+        assert_eq!(s.builds, 0, "warm store: no König build");
+        assert_eq!(s.store_hits, 1);
+        assert_eq!(s.store_rejects, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scatter_plans_stay_out_of_the_store() {
+        let n = 1 << 12;
+        let dir = temp_store_dir("scatter");
+        let src: Vec<u32> = (0..n as u32).collect();
+        let mut dst = vec![0u32; n];
+        let engine: SharedEngine<u32> = SharedEngine::with_store(W, &dir).unwrap();
+        engine
+            .permute(&families::identical(n), &src, &mut dst)
+            .unwrap();
+        let s = engine.stats();
+        assert_eq!(s.scatter_runs, 1);
+        assert_eq!(s.builds, 0);
+        assert!(engine.store().unwrap().entries().unwrap().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_store_file_is_rejected_and_rebuilt() {
+        let n = 1 << 12;
+        let dir = temp_store_dir("corrupt");
+        let p = families::random(n, 43);
+        let src: Vec<u32> = (0..n as u32).collect();
+        let mut dst = vec![0u32; n];
+
+        let first: SharedEngine<u32> = SharedEngine::with_store(W, &dir).unwrap();
+        first.permute(&p, &src, &mut dst).unwrap();
+
+        // Flip one byte in the middle of the stored plan.
+        let file = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .find(|f| f.extension().is_some_and(|x| x == "hmmplan"))
+            .expect("the scheduled plan must be on disk");
+        let mut bytes = std::fs::read(&file).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&file, bytes).unwrap();
+
+        let second: SharedEngine<u32> = SharedEngine::with_store(W, &dir).unwrap();
+        dst.fill(0);
+        second.permute(&p, &src, &mut dst).unwrap();
+        assert_eq!(
+            dst,
+            reference(&p, &src),
+            "corruption must not corrupt output"
+        );
+        let s = second.stats();
+        assert_eq!(s.store_rejects, 1, "the damaged file is counted");
+        assert_eq!(s.builds, 1, "and the plan rebuilt from scratch");
+
+        // The rebuild re-saved a good file: a third engine hits it.
+        let third: SharedEngine<u32> = SharedEngine::with_store(W, &dir).unwrap();
+        dst.fill(0);
+        third.permute(&p, &src, &mut dst).unwrap();
+        assert_eq!(dst, reference(&p, &src));
+        assert_eq!(third.stats().store_hits, 1);
+        assert_eq!(third.stats().builds, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn calibration_sets_threshold_and_flag() {
+        let engine: SharedEngine<u32> = SharedEngine::new(W);
+        // A fresh engine is uncalibrated — unless the suite itself runs
+        // under HMM_NATIVE_CALIBRATE=1, which auto-calibrates at creation.
+        let env_calibrated = std::env::var(CALIBRATE_ENV).as_deref() == Ok("1");
+        let before = engine.stats();
+        assert_eq!(before.calibrated, env_calibrated);
+        if !env_calibrated {
+            assert_eq!(before.gamma_threshold, DEFAULT_GAMMA_THRESHOLD);
+        }
+        let t = engine.calibrate_gamma_threshold();
+        assert!((1.0..=W as f64).contains(&t) || t == DEFAULT_GAMMA_THRESHOLD);
+        let after = engine.stats();
+        assert!(after.calibrated);
+        assert_eq!(after.gamma_threshold, t);
     }
 
     #[test]

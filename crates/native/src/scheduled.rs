@@ -24,9 +24,8 @@
 //! [`NativeScheduled::run_unfused`] for benchmarking the fusion win.
 
 use crate::par::{par_chunks_mut, par_chunks_mut_exact, worker_threads};
-use hmm_offperm::schedule::Decomposition;
-use hmm_offperm::Result;
 use hmm_perm::{MatrixShape, Permutation};
+use hmm_plan::{PlanIr, Result};
 
 /// Blocked-transpose tile side (elements). 64×64 u32 tiles are 16 KB —
 /// comfortably L1/L2-resident on anything current.
@@ -51,39 +50,30 @@ impl NativeScheduled {
     /// the decomposition (any power of two dividing both matrix dimensions
     /// — 32 matches the GPU schedule and is always safe here).
     pub fn build(p: &Permutation, width: usize) -> Result<Self> {
-        let d = Decomposition::build(p, width)?;
-        Ok(Self::from_decomposition(&d))
+        let ir = PlanIr::build(p, width)?;
+        Ok(Self::from_plan(&ir))
     }
 
-    /// Build and also hand back the decomposition, so the caller can reuse
-    /// it for a simulator run (see `hmm-offperm`'s driver) without paying
-    /// for the König coloring twice.
-    pub fn build_shared(p: &Permutation, width: usize) -> Result<(Self, Decomposition)> {
-        let d = Decomposition::build(p, width)?;
-        let sched = Self::from_decomposition(&d);
-        Ok((sched, d))
+    /// Build and also hand back the backend-neutral plan IR, so the caller
+    /// can reuse it — stage a simulator run via `hmm-offperm`'s
+    /// `Decomposition::from_ir`, or persist it in an `hmm_plan::PlanStore`
+    /// — without paying for the König coloring twice.
+    pub fn build_shared(p: &Permutation, width: usize) -> Result<(Self, PlanIr)> {
+        let ir = PlanIr::build(p, width)?;
+        let sched = Self::from_plan(&ir);
+        Ok((sched, ir))
     }
 
-    /// Build from an existing decomposition (shared with a simulator run).
-    pub fn from_decomposition(d: &Decomposition) -> Self {
-        let shape = d.shape;
-        let (r, c) = (shape.rows, shape.cols);
-        let row_gathers = |perms: &[Permutation], cols: usize| -> Vec<u32> {
-            let mut g = vec![0u32; perms.len() * cols];
-            for (i, p) in perms.iter().enumerate() {
-                let inv = p.inverse();
-                let row = &mut g[i * cols..(i + 1) * cols];
-                for (k, slot) in row.iter_mut().enumerate() {
-                    *slot = inv.apply(k) as u32;
-                }
-            }
-            g
-        };
+    /// Build from an existing plan IR (shared with a simulator run, or
+    /// loaded from the on-disk plan store). The IR already carries the
+    /// flat gather maps, so this is three copies — no coloring, no
+    /// per-row inversion.
+    pub fn from_plan(ir: &PlanIr) -> Self {
         NativeScheduled {
-            shape,
-            g1: row_gathers(&d.step1_rows, c),
-            g2: row_gathers(&d.step2_cols, r),
-            g3: row_gathers(&d.step3_rows, c),
+            shape: ir.shape(),
+            g1: ir.gather1().to_vec(),
+            g2: ir.gather2().to_vec(),
+            g3: ir.gather3().to_vec(),
         }
     }
 
@@ -389,12 +379,28 @@ mod tests {
     }
 
     #[test]
-    fn build_shared_decomposition_recomposes() {
+    fn build_shared_plan_recomposes() {
         let n = 1 << 10;
         let p = families::random(n, 5);
-        let (sched, d) = NativeScheduled::build_shared(&p, W).unwrap();
-        assert_eq!(sched.shape(), d.shape);
-        assert_eq!(d.recompose().as_slice(), p.as_slice());
+        let (sched, ir) = NativeScheduled::build_shared(&p, W).unwrap();
+        assert_eq!(sched.shape(), ir.shape());
+        assert!(ir.matches(&p));
+        assert_eq!(ir.recompose().as_slice(), p.as_slice());
+    }
+
+    #[test]
+    fn from_plan_matches_direct_build() {
+        let n = 1 << 10;
+        let p = families::random(n, 6);
+        let ir = PlanIr::build(&p, W).unwrap();
+        let via_plan = NativeScheduled::from_plan(&ir);
+        let src: Vec<u32> = (0..n as u32).collect();
+        let mut a = vec![0u32; n];
+        let mut b = vec![0u32; n];
+        via_plan.run(&src, &mut a);
+        NativeScheduled::build(&p, W).unwrap().run(&src, &mut b);
+        assert_eq!(a, b);
+        assert_eq!(a, reference(&p, &src));
     }
 
     #[test]

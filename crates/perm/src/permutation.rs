@@ -286,6 +286,28 @@ impl Permutation {
             }
         }
     }
+
+    /// A 64-bit FNV-1a fingerprint of the permutation: the hash of the
+    /// destination map mixed with the length. This is the shared identity
+    /// used by the plan cache, the on-disk plan store, and the plan codec
+    /// (`hmm-plan`), so every layer keys the same permutation the same
+    /// way. Two distinct permutations colliding on both fingerprint *and*
+    /// length is a ~2⁻⁶⁴ event — and every consumer verifies the full
+    /// image on use, so a collision costs a rebuild, never a wrong answer.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        for &d in &self.map {
+            let mut v = d as u64;
+            for _ in 0..8 {
+                h ^= v & 0xff;
+                h = h.wrapping_mul(PRIME);
+                v >>= 8;
+            }
+        }
+        h ^ (self.map.len() as u64).wrapping_mul(PRIME)
+    }
 }
 
 impl core::fmt::Display for Permutation {
@@ -506,6 +528,20 @@ mod tests {
             let p = Permutation::random_derangement(n, &mut rng);
             assert_eq!(p.fixed_points(), 0, "n = {n}");
         }
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_and_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let a = Permutation::random(1 << 10, &mut rng);
+        let b = Permutation::random(1 << 10, &mut rng);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.fingerprint(), a.clone().fingerprint());
+        // Length participates even when images prefix-match.
+        assert_ne!(
+            Permutation::identity(64).fingerprint(),
+            Permutation::identity(128).fingerprint()
+        );
     }
 
     #[test]

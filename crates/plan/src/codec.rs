@@ -1,0 +1,344 @@
+//! Versioned, std-only binary codec for [`PlanIr`].
+//!
+//! The container this reproduction ships in is offline — no serde, no
+//! compression crates — so the wire format is a hand-rolled little-endian
+//! layout, built to be boring and hostile-input-proof:
+//!
+//! ```text
+//! magic      8 bytes  b"HMMPLAN\0"
+//! version    u32      FORMAT_VERSION
+//! width      u64      machine width the plan was built for
+//! rows       u64      matrix rows
+//! cols       u64      matrix cols
+//! gamma      u64      γ_w(P) as f64 bits
+//! fingerprint u64     Permutation::fingerprint() of the source
+//! section ×3          u64 entry count, then that many u32 entries
+//!                     (step1, step2, step3 destination maps)
+//! checksum   u64      FNV-1a over every preceding byte
+//! ```
+//!
+//! The gather maps are *not* serialised: they are per-row inverses of the
+//! steps and are re-derived on decode, which keeps files smaller and means
+//! a corrupt file cannot smuggle in gather entries inconsistent with its
+//! steps. Decoding never panics: truncation, a flipped byte, an unknown
+//! version, inconsistent section lengths, or non-permutation rows all
+//! surface as [`PlanError::Codec`].
+
+use crate::error::{PlanError, Result};
+use crate::ir::PlanIr;
+use hmm_perm::MatrixShape;
+
+/// Current wire-format version. Bump on any layout change; decoders reject
+/// versions they do not know.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// The 8-byte file magic.
+pub const MAGIC: [u8; 8] = *b"HMMPLAN\0";
+
+/// FNV-1a over a byte slice — the codec's integrity checksum (the same
+/// hash family as the permutation fingerprint; collision-resistance
+/// against *accidents*, which is all a checksum promises).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Serialised size in bytes of a plan for `n` elements (header + three
+/// length-prefixed `n`-entry sections + checksum).
+pub fn encoded_len(n: usize) -> usize {
+    8 + 4 + 5 * 8 + 3 * (8 + 4 * n) + 8
+}
+
+/// Encode a plan into its on-disk byte representation.
+pub fn encode(ir: &PlanIr) -> Vec<u8> {
+    let mut out = Vec::with_capacity(encoded_len(ir.len()));
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&(ir.width() as u64).to_le_bytes());
+    out.extend_from_slice(&(ir.shape().rows as u64).to_le_bytes());
+    out.extend_from_slice(&(ir.shape().cols as u64).to_le_bytes());
+    out.extend_from_slice(&ir.gamma().to_bits().to_le_bytes());
+    out.extend_from_slice(&ir.fingerprint().to_le_bytes());
+    for section in [ir.step1(), ir.step2(), ir.step3()] {
+        out.extend_from_slice(&(section.len() as u64).to_le_bytes());
+        for &v in section {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    let checksum = fnv1a(&out);
+    out.extend_from_slice(&checksum.to_le_bytes());
+    out
+}
+
+/// A bounds-checked little-endian reader over the input bytes.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, len: usize, what: &str) -> Result<&'a [u8]> {
+        let end = self.pos.checked_add(len).filter(|&e| e <= self.bytes.len());
+        match end {
+            Some(end) => {
+                let s = &self.bytes[self.pos..end];
+                self.pos = end;
+                Ok(s)
+            }
+            None => Err(PlanError::Codec {
+                reason: format!("truncated while reading {what}"),
+            }),
+        }
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    fn usize(&mut self, what: &str) -> Result<usize> {
+        let v = self.u64(what)?;
+        usize::try_from(v).map_err(|_| PlanError::Codec {
+            reason: format!("{what} value {v} exceeds this platform's usize"),
+        })
+    }
+}
+
+/// Decode a plan from bytes. Every malformed input — truncated, bit-flipped,
+/// wrong magic or version, inconsistent sections — yields
+/// [`PlanError::Codec`]; a successful decode is internally consistent (each
+/// step row validated as a permutation) but is **not** proof the plan is
+/// the one the caller wants: verify with [`PlanIr::matches`] before use.
+pub fn decode(bytes: &[u8]) -> Result<PlanIr> {
+    // Checksum first: it covers everything, so random corruption is caught
+    // before any field is interpreted.
+    if bytes.len() < MAGIC.len() + 4 + 8 {
+        return Err(PlanError::Codec {
+            reason: format!("{} bytes is too short for a plan file", bytes.len()),
+        });
+    }
+    let (body, tail) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(tail.try_into().unwrap());
+    let computed = fnv1a(body);
+    if stored != computed {
+        return Err(PlanError::Codec {
+            reason: format!("checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"),
+        });
+    }
+    let mut cur = Cursor {
+        bytes: body,
+        pos: 0,
+    };
+    let magic = cur.take(MAGIC.len(), "magic")?;
+    if magic != MAGIC {
+        return Err(PlanError::Codec {
+            reason: "bad magic: not a plan file".into(),
+        });
+    }
+    let version = cur.u32("version")?;
+    if version != FORMAT_VERSION {
+        return Err(PlanError::Codec {
+            reason: format!("unknown format version {version} (this build reads {FORMAT_VERSION})"),
+        });
+    }
+    let width = cur.usize("width")?;
+    let rows = cur.usize("rows")?;
+    let cols = cur.usize("cols")?;
+    let gamma = f64::from_bits(cur.u64("gamma")?);
+    let fingerprint = cur.u64("fingerprint")?;
+    let n = rows.checked_mul(cols).ok_or_else(|| PlanError::Codec {
+        reason: format!("shape {rows}×{cols} overflows"),
+    })?;
+    if rows == 0 || cols == 0 || width == 0 {
+        return Err(PlanError::Codec {
+            reason: format!("degenerate header: {rows}×{cols}, width {width}"),
+        });
+    }
+    let mut sections: [Vec<u32>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    for (idx, section) in sections.iter_mut().enumerate() {
+        let name = ["step1", "step2", "step3"][idx];
+        let len = cur.usize(name)?;
+        if len != n {
+            return Err(PlanError::Codec {
+                reason: format!("{name} declares {len} entries, shape needs {n}"),
+            });
+        }
+        let raw = cur.take(4 * len, name)?;
+        section.reserve_exact(len);
+        section.extend(
+            raw.chunks_exact(4)
+                .map(|c| u32::from_le_bytes(c.try_into().unwrap())),
+        );
+    }
+    if cur.pos != body.len() {
+        return Err(PlanError::Codec {
+            reason: format!(
+                "{} trailing bytes after the last section",
+                body.len() - cur.pos
+            ),
+        });
+    }
+    let shape = MatrixShape::new(rows, cols).map_err(|_| PlanError::Codec {
+        reason: format!("invalid shape {rows}×{cols}"),
+    })?;
+    let [step1, step2, step3] = sections;
+    PlanIr::from_steps(shape, width, step1, step2, step3, gamma, fingerprint)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmm_perm::families;
+
+    const W: usize = 8;
+
+    fn sample(n: usize, seed: u64) -> PlanIr {
+        PlanIr::build(&families::random(n, seed), W).unwrap()
+    }
+
+    #[test]
+    fn round_trips_bit_identically() {
+        for fam in families::Family::ALL {
+            let p = fam.build(1 << 10, 17).unwrap();
+            let ir = PlanIr::build(&p, W).unwrap();
+            let bytes = encode(&ir);
+            assert_eq!(bytes.len(), encoded_len(ir.len()));
+            let back = decode(&bytes).unwrap();
+            assert_eq!(back, ir, "{}", fam.name());
+            assert_eq!(encode(&back), bytes, "{}", fam.name());
+            assert!(back.matches(&p));
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_a_clean_error() {
+        let ir = sample(256, 1);
+        let bytes = encode(&ir);
+        // Cutting the file anywhere must error, never panic.
+        for cut in [0, 1, 7, 8, 11, 12, 40, 60, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                matches!(decode(&bytes[..cut]), Err(PlanError::Codec { .. })),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_caught() {
+        let ir = sample(256, 2);
+        let bytes = encode(&ir);
+        // Flip one byte at a time across the whole file (header, sections,
+        // checksum): the checksum (or, for checksum bytes, the mismatch
+        // with the recomputed body hash) must catch each one.
+        for pos in (0..bytes.len()).step_by(13) {
+            let mut corrupt = bytes.clone();
+            corrupt[pos] ^= 0x40;
+            assert!(
+                matches!(decode(&corrupt), Err(PlanError::Codec { .. })),
+                "flip at {pos}"
+            );
+        }
+    }
+
+    #[test]
+    fn bumped_version_is_rejected() {
+        let ir = sample(256, 3);
+        let mut bytes = encode(&ir);
+        bytes[8..12].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+        // Re-seal so the version check, not the checksum, fires.
+        let body_len = bytes.len() - 8;
+        let sum = fnv1a(&bytes[..body_len]);
+        bytes[body_len..].copy_from_slice(&sum.to_le_bytes());
+        let err = decode(&bytes).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    #[test]
+    fn wrong_magic_is_rejected() {
+        let ir = sample(256, 4);
+        let mut bytes = encode(&ir);
+        bytes[0] = b'X';
+        let body_len = bytes.len() - 8;
+        let sum = fnv1a(&bytes[..body_len]);
+        bytes[body_len..].copy_from_slice(&sum.to_le_bytes());
+        assert!(matches!(decode(&bytes), Err(PlanError::Codec { .. })));
+    }
+
+    #[test]
+    fn resealed_section_corruption_fails_validation() {
+        // Defense in depth: even if an attacker re-seals the checksum, a
+        // section that is not a per-row permutation is rejected.
+        let ir = sample(256, 5);
+        let mut bytes = encode(&ir);
+        let first_entry = 8 + 4 + 5 * 8 + 8;
+        bytes[first_entry..first_entry + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let body_len = bytes.len() - 8;
+        let sum = fnv1a(&bytes[..body_len]);
+        bytes[body_len..].copy_from_slice(&sum.to_le_bytes());
+        assert!(matches!(decode(&bytes), Err(PlanError::Codec { .. })));
+    }
+
+    #[test]
+    fn empty_and_garbage_inputs_error() {
+        assert!(decode(&[]).is_err());
+        assert!(decode(&[0u8; 19]).is_err());
+        let garbage: Vec<u8> = (0..4096u32)
+            .map(|v| (v.wrapping_mul(2654435761)) as u8)
+            .collect();
+        assert!(decode(&garbage).is_err());
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            /// Any family at any schedulable power-of-two size (even and
+            /// odd exponents: square and rectangular shapes) round-trips
+            /// bit-identically through the codec.
+            #[test]
+            fn round_trip_across_families_and_shapes(
+                f in 0usize..families::Family::ALL.len(),
+                k in 6u32..=12,
+                seed in any::<u64>(),
+            ) {
+                let n = 1usize << k;
+                let p = families::Family::ALL[f].build(n, seed).unwrap();
+                let ir = PlanIr::build(&p, W).unwrap();
+                let bytes = encode(&ir);
+                prop_assert_eq!(bytes.len(), encoded_len(n));
+                let back = decode(&bytes).unwrap();
+                prop_assert_eq!(&back, &ir);
+                prop_assert_eq!(encode(&back), bytes);
+                prop_assert!(back.matches(&p));
+            }
+
+            /// Any single-byte corruption anywhere in the file — header,
+            /// sections, or the checksum trailer itself — is a clean
+            /// decode error, never a panic and never a wrong plan.
+            #[test]
+            fn any_byte_flip_is_rejected(
+                seed in any::<u64>(),
+                pos_frac in 0.0f64..1.0,
+                mask in 1u8..=255,
+            ) {
+                let ir = sample(256, seed);
+                let mut bytes = encode(&ir);
+                let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
+                bytes[pos] ^= mask;
+                prop_assert!(decode(&bytes).is_err(), "flip {mask:#x} at {pos}");
+            }
+        }
+    }
+}

@@ -1,0 +1,430 @@
+//! The backend-neutral plan IR: the offline König decomposition of one
+//! permutation as a first-class, reusable artifact.
+//!
+//! The paper's premise is that schedule construction is *offline*: the
+//! expensive part of the scheduled permutation — edge-coloring the
+//! `c`-regular bipartite transfer multigraph so the three passes are
+//! conflict-free — is paid once and the result reused for every
+//! application of the permutation. [`PlanIr`] is that result, decoupled
+//! from any executor:
+//!
+//! * the matrix shape `r × c` and the machine width `w` the plan was
+//!   built for;
+//! * the three **pass permutations** (flat destination maps) produced by
+//!   the coloring: step 1 routes each element to the column named by its
+//!   edge color, step 2 to its destination row, step 3 to its destination
+//!   column (the Figure 6 argument);
+//! * the derived flat **gather maps** (per-row inverses) that sweep-based
+//!   executors consume directly;
+//! * the measured distribution `γ_w(P)` (the scatter/scheduled crossover
+//!   input) and the permutation's 64-bit fingerprint (the cache identity).
+//!
+//! The simulator (`hmm-offperm`) stages the pass permutations into its
+//! row/column schedules; the CPU backend (`hmm-native`) copies the gather
+//! maps into its fused sweeps; the codec (`crate::codec`) serialises the
+//! whole thing for the cross-process store (`crate::store`). None of them
+//! re-runs the coloring.
+
+use crate::error::{PlanError, Result};
+use hmm_graph::{edge_color_with, RegularBipartite, Strategy};
+use hmm_perm::distribution::distribution;
+use hmm_perm::{scheduled_shape, MatrixShape, Permutation};
+
+/// A built, backend-neutral permutation plan (see the module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanIr {
+    shape: MatrixShape,
+    width: usize,
+    /// Step 1 destination maps, flattened `r × c`: entry `i·c + j` is the
+    /// color (column) element `(i, j)` moves to. Each row is a permutation
+    /// of `0..c`.
+    step1: Vec<u32>,
+    /// Step 2 destination maps, flattened `c × r`: entry `k·r + i` is the
+    /// destination row of the color-`k` element in row `i`. Each row is a
+    /// permutation of `0..r`.
+    step2: Vec<u32>,
+    /// Step 3 destination maps, flattened `r × c`: entry `i'·c + k` is the
+    /// destination column of the color-`k` element now in row `i'`. Each
+    /// row is a permutation of `0..c`.
+    step3: Vec<u32>,
+    /// Derived gather map for pass 1 (`r × c`): per-row inverse of `step1`.
+    g1: Vec<u32>,
+    /// Derived gather map for pass 2 (`c × r`): per-row inverse of `step2`.
+    g2: Vec<u32>,
+    /// Derived gather map for pass 3 (`r × c`): per-row inverse of `step3`.
+    g3: Vec<u32>,
+    /// Measured distribution γ_w(P) at `width`.
+    gamma: f64,
+    /// `Permutation::fingerprint()` of the source permutation.
+    fingerprint: u64,
+}
+
+impl PlanIr {
+    /// Build the plan for `p` on a width-`width` machine with the default
+    /// coloring strategy.
+    pub fn build(p: &Permutation, width: usize) -> Result<Self> {
+        Self::build_with(p, width, Strategy::Hybrid)
+    }
+
+    /// [`PlanIr::build`] with an explicit coloring strategy.
+    pub fn build_with(p: &Permutation, width: usize, strategy: Strategy) -> Result<Self> {
+        let shape = scheduled_shape(p.len(), width)?;
+        Self::build_for_shape(p, shape, width, strategy)
+    }
+
+    /// Build on an explicit matrix shape (exposed for tests with
+    /// non-default shapes; `shape.len()` must equal `p.len()`).
+    pub fn build_for_shape(
+        p: &Permutation,
+        shape: MatrixShape,
+        width: usize,
+        strategy: Strategy,
+    ) -> Result<Self> {
+        let n = p.len();
+        if shape.len() != n {
+            return Err(PlanError::SizeMismatch {
+                expected: n,
+                got: shape.len(),
+            });
+        }
+        let (r, c) = (shape.rows, shape.cols);
+
+        // Bipartite multigraph: source row -> destination row, one edge per
+        // element; c-regular since each row holds c elements and receives c.
+        let edges: Vec<(usize, usize)> = (0..n).map(|idx| (idx / c, p.apply(idx) / c)).collect();
+        let graph = RegularBipartite::new(r, edges)?;
+        let coloring = edge_color_with(&graph, strategy)?;
+        debug_assert_eq!(coloring.num_colors, c);
+
+        let mut step1 = vec![0u32; n];
+        let mut step2 = vec![0u32; n];
+        let mut step3 = vec![0u32; n];
+        for (idx, slot1) in step1.iter_mut().enumerate() {
+            let i = idx / c;
+            let dest = p.apply(idx);
+            let (di, dj) = (dest / c, dest % c);
+            let k = coloring.colors[idx];
+            *slot1 = k as u32;
+            step2[k * r + i] = di as u32;
+            step3[di * c + k] = dj as u32;
+        }
+        let g1 = invert_rows(&step1, c);
+        let g2 = invert_rows(&step2, r);
+        let g3 = invert_rows(&step3, c);
+
+        Ok(PlanIr {
+            shape,
+            width,
+            step1,
+            step2,
+            step3,
+            g1,
+            g2,
+            g3,
+            gamma: distribution(p, width),
+            fingerprint: p.fingerprint(),
+        })
+    }
+
+    /// Reassemble a plan from raw parts — the codec's decode path. The
+    /// gather maps are re-derived (they are redundant with the steps, so
+    /// the wire format does not carry them), and every step row is
+    /// validated to be a permutation of its row: hostile bytes yield
+    /// [`PlanError::Codec`], never a panic or an out-of-range gather.
+    pub(crate) fn from_steps(
+        shape: MatrixShape,
+        width: usize,
+        step1: Vec<u32>,
+        step2: Vec<u32>,
+        step3: Vec<u32>,
+        gamma: f64,
+        fingerprint: u64,
+    ) -> Result<Self> {
+        let (r, c) = (shape.rows, shape.cols);
+        let n = shape.len();
+        for (name, flat, cols) in [
+            ("step1", &step1, c),
+            ("step2", &step2, r),
+            ("step3", &step3, c),
+        ] {
+            if flat.len() != n {
+                return Err(PlanError::Codec {
+                    reason: format!("{name} has {} entries, shape needs {n}", flat.len()),
+                });
+            }
+            if !rows_are_permutations(flat, cols) {
+                return Err(PlanError::Codec {
+                    reason: format!("{name} rows are not permutations of 0..{cols}"),
+                });
+            }
+        }
+        let g1 = invert_rows(&step1, c);
+        let g2 = invert_rows(&step2, r);
+        let g3 = invert_rows(&step3, c);
+        Ok(PlanIr {
+            shape,
+            width,
+            step1,
+            step2,
+            step3,
+            g1,
+            g2,
+            g3,
+            gamma,
+            fingerprint,
+        })
+    }
+
+    /// The matrix shape of the three passes.
+    pub fn shape(&self) -> MatrixShape {
+        self.shape
+    }
+
+    /// The machine width the plan was built for.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of elements the plan permutes.
+    pub fn len(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// True for a zero-element plan (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The measured distribution γ_w(P) recorded at build time.
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    /// The 64-bit fingerprint of the source permutation.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Step 1 flat destination map (`r × c`; entry = color).
+    pub fn step1(&self) -> &[u32] {
+        &self.step1
+    }
+
+    /// Step 2 flat destination map (`c × r`; entry = destination row).
+    pub fn step2(&self) -> &[u32] {
+        &self.step2
+    }
+
+    /// Step 3 flat destination map (`r × c`; entry = destination column).
+    pub fn step3(&self) -> &[u32] {
+        &self.step3
+    }
+
+    /// Pass 1 gather map (`r × c`): `out[i][k] = in[i][g1[i·c + k]]`.
+    pub fn gather1(&self) -> &[u32] {
+        &self.g1
+    }
+
+    /// Pass 2 gather map (`c × r`), on the transposed matrix.
+    pub fn gather2(&self) -> &[u32] {
+        &self.g2
+    }
+
+    /// Pass 3 gather map (`r × c`).
+    pub fn gather3(&self) -> &[u32] {
+        &self.g3
+    }
+
+    /// Flat destination of source index `idx` under the composed three
+    /// steps.
+    #[inline]
+    fn dest_of(&self, idx: usize) -> usize {
+        let (r, c) = (self.shape.rows, self.shape.cols);
+        let (i, j) = (idx / c, idx % c);
+        let k = self.step1[i * c + j] as usize;
+        let di = self.step2[k * r + i] as usize;
+        let dj = self.step3[di * c + k] as usize;
+        di * c + dj
+    }
+
+    /// Compose the three steps back into the flat permutation the plan
+    /// realises.
+    pub fn recompose(&self) -> Permutation {
+        let map: Vec<usize> = (0..self.len()).map(|idx| self.dest_of(idx)).collect();
+        Permutation::from_vec_unchecked(map)
+    }
+
+    /// True iff this plan realises exactly `p` — the collision check every
+    /// store hit runs before a decoded plan is trusted (an O(n) walk, no
+    /// allocation).
+    pub fn matches(&self, p: &Permutation) -> bool {
+        self.len() == p.len() && (0..self.len()).all(|idx| self.dest_of(idx) == p.apply(idx))
+    }
+
+    /// The step-1 destination maps as one [`Permutation`] per row — the
+    /// staging form the simulator's row-wise schedules consume.
+    pub fn step1_row_perms(&self) -> Vec<Permutation> {
+        rows_to_perms(&self.step1, self.shape.cols)
+    }
+
+    /// The step-2 destination maps as one [`Permutation`] per column.
+    pub fn step2_col_perms(&self) -> Vec<Permutation> {
+        rows_to_perms(&self.step2, self.shape.rows)
+    }
+
+    /// The step-3 destination maps as one [`Permutation`] per row.
+    pub fn step3_row_perms(&self) -> Vec<Permutation> {
+        rows_to_perms(&self.step3, self.shape.cols)
+    }
+}
+
+/// Per-row inverse of a flat destination map: `out[row·cols + flat[row·cols
+/// + j]] = j`. Requires each row to be a permutation of `0..cols`.
+fn invert_rows(flat: &[u32], cols: usize) -> Vec<u32> {
+    let mut out = vec![0u32; flat.len()];
+    for (row_idx, row) in flat.chunks_exact(cols).enumerate() {
+        let base = row_idx * cols;
+        for (j, &d) in row.iter().enumerate() {
+            out[base + d as usize] = j as u32;
+        }
+    }
+    out
+}
+
+/// True iff every `cols`-chunk of `flat` is a permutation of `0..cols`.
+fn rows_are_permutations(flat: &[u32], cols: usize) -> bool {
+    let mut seen = vec![false; cols];
+    for row in flat.chunks_exact(cols) {
+        seen.iter_mut().for_each(|s| *s = false);
+        for &d in row {
+            let d = d as usize;
+            if d >= cols || seen[d] {
+                return false;
+            }
+            seen[d] = true;
+        }
+    }
+    true
+}
+
+fn rows_to_perms(flat: &[u32], cols: usize) -> Vec<Permutation> {
+    flat.chunks_exact(cols)
+        .map(|chunk| Permutation::from_vec_unchecked(chunk.iter().map(|&d| d as usize).collect()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmm_perm::families;
+
+    const W: usize = 8;
+
+    #[test]
+    fn plan_recomposes_for_all_families() {
+        let n = 1 << 10;
+        for fam in families::Family::ALL {
+            let p = fam.build(n, 21).unwrap();
+            let ir = PlanIr::build(&p, W).unwrap();
+            assert_eq!(ir.recompose(), p, "{}", fam.name());
+            assert!(ir.matches(&p), "{}", fam.name());
+            assert_eq!(ir.fingerprint(), p.fingerprint());
+            assert_eq!(ir.width(), W);
+        }
+    }
+
+    #[test]
+    fn matches_rejects_other_permutations() {
+        let n = 1 << 10;
+        let ir = PlanIr::build(&families::random(n, 1), W).unwrap();
+        assert!(!ir.matches(&families::random(n, 2)));
+        assert!(!ir.matches(&families::random(n * 2, 1)));
+    }
+
+    #[test]
+    fn gather_maps_invert_the_steps() {
+        let n = 1 << 10;
+        let p = families::random(n, 9);
+        let ir = PlanIr::build(&p, W).unwrap();
+        let (r, c) = (ir.shape().rows, ir.shape().cols);
+        for i in 0..r {
+            for j in 0..c {
+                let k = ir.step1()[i * c + j] as usize;
+                assert_eq!(ir.gather1()[i * c + k] as usize, j);
+            }
+        }
+        for k in 0..c {
+            for i in 0..r {
+                let di = ir.step2()[k * r + i] as usize;
+                assert_eq!(ir.gather2()[k * r + di] as usize, i);
+            }
+        }
+    }
+
+    #[test]
+    fn row_perm_staging_matches_flat_steps() {
+        let n = 1 << 10;
+        let p = families::bit_reversal(n).unwrap();
+        let ir = PlanIr::build(&p, W).unwrap();
+        let (r, c) = (ir.shape().rows, ir.shape().cols);
+        let s1 = ir.step1_row_perms();
+        assert_eq!(s1.len(), r);
+        for (i, q) in s1.iter().enumerate() {
+            assert_eq!(q.len(), c);
+            for j in 0..c {
+                assert_eq!(q.apply(j), ir.step1()[i * c + j] as usize);
+            }
+        }
+        assert_eq!(ir.step2_col_perms().len(), c);
+        assert_eq!(ir.step3_row_perms().len(), r);
+    }
+
+    #[test]
+    fn explicit_shape_must_match_length() {
+        let p = families::random(64, 6);
+        let shape = MatrixShape::new(4, 8).unwrap();
+        assert!(matches!(
+            PlanIr::build_for_shape(&p, shape, W, Strategy::Hybrid),
+            Err(PlanError::SizeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn unsupported_sizes_are_rejected() {
+        assert!(PlanIr::build(&families::random(100, 7), W).is_err());
+        assert!(PlanIr::build(&families::random(32, 8), W).is_err());
+    }
+
+    #[test]
+    fn from_steps_validates_rows() {
+        let p = families::random(256, 3);
+        let ir = PlanIr::build(&p, W).unwrap();
+        let shape = ir.shape();
+        // A duplicated entry breaks the permutation property.
+        let mut bad = ir.step1().to_vec();
+        bad[1] = bad[0];
+        let err = PlanIr::from_steps(
+            shape,
+            W,
+            bad,
+            ir.step2().to_vec(),
+            ir.step3().to_vec(),
+            ir.gamma(),
+            ir.fingerprint(),
+        );
+        assert!(matches!(err, Err(PlanError::Codec { .. })));
+        // An out-of-range entry is caught, not indexed.
+        let mut oob = ir.step2().to_vec();
+        oob[0] = u32::MAX;
+        let err = PlanIr::from_steps(
+            shape,
+            W,
+            ir.step1().to_vec(),
+            oob,
+            ir.step3().to_vec(),
+            ir.gamma(),
+            ir.fingerprint(),
+        );
+        assert!(matches!(err, Err(PlanError::Codec { .. })));
+    }
+}

@@ -1,0 +1,35 @@
+//! # hmm-plan — the permutation plan IR and its persistent store
+//!
+//! The offline permutation algorithm's economics rest on one asymmetry:
+//! *building* a schedule (König edge-coloring of the transfer multigraph,
+//! Section VII of the paper) is expensive, while *running* one is three
+//! conflict-free passes. This crate owns the artifact that asymmetry
+//! produces, independent of any executor:
+//!
+//! * [`PlanIr`] — the backend-neutral plan: matrix shape, the three pass
+//!   permutations from the coloring, derived flat gather maps, the
+//!   measured distribution γ_w(P), and the permutation fingerprint. The
+//!   simulator (`hmm-offperm`) and the CPU backend (`hmm-native`) both
+//!   build *from* it instead of each re-deriving the coloring.
+//! * [`codec`] — a versioned, std-only binary format (length-prefixed
+//!   sections, FNV-1a checksum) that never panics on hostile bytes.
+//! * [`PlanStore`] — a directory of encoded plans keyed by
+//!   `(fingerprint, n, width)`: the cross-process cache tier that lets a
+//!   cold process skip the König build entirely. Loads are verified —
+//!   a corrupt or colliding file is reported for discard, never trusted.
+//!
+//! Dependency-wise the crate sits directly above the math (`hmm-perm`,
+//! `hmm-graph`): no simulator, no machine model, no cost accounting.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod codec;
+pub mod error;
+pub mod ir;
+pub mod store;
+
+pub use codec::{decode, encode, FORMAT_VERSION};
+pub use error::{PlanError, Result};
+pub use ir::PlanIr;
+pub use store::{PlanStore, StoreEntry, StoreKey};

@@ -1,0 +1,311 @@
+//! Persistent, versioned plan store: the cross-process tier of the plan
+//! cache.
+//!
+//! One directory, one file per plan, named by the cache identity
+//! `(fingerprint, n, width)` — the same key the in-memory engine shards
+//! by — so a cold process can skip the König build for any permutation a
+//! previous process already planned. The store is deliberately paranoid
+//! at the trust boundary:
+//!
+//! * **loads never trust the file name** — the decoded header's
+//!   fingerprint/shape/width must agree with the requested key, or the
+//!   load reports a mismatch;
+//! * **saves are atomic** — encode to a temp file in the same directory,
+//!   then rename over the target, so a crashed writer can never leave a
+//!   half-written plan where a reader will find it;
+//! * a corrupt, truncated, or colliding file is an *error to report and a
+//!   file to discard*, never a panic: callers (the engine) count it and
+//!   rebuild from scratch.
+
+use crate::codec;
+use crate::error::{PlanError, Result};
+use crate::ir::PlanIr;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// The identity a plan is filed under: permutation fingerprint, element
+/// count, and machine width (the same triple the in-memory cache keys by).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StoreKey {
+    /// `Permutation::fingerprint()` of the permutation.
+    pub fingerprint: u64,
+    /// Number of elements.
+    pub n: usize,
+    /// Machine width the plan was built for.
+    pub width: usize,
+}
+
+impl StoreKey {
+    /// The key a given plan files under.
+    pub fn of(ir: &PlanIr) -> Self {
+        StoreKey {
+            fingerprint: ir.fingerprint(),
+            n: ir.len(),
+            width: ir.width(),
+        }
+    }
+}
+
+/// One entry of a store listing: its key and on-disk size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreEntry {
+    /// The plan's identity.
+    pub key: StoreKey,
+    /// File size in bytes.
+    pub bytes: u64,
+}
+
+/// A directory of encoded plans, keyed by [`StoreKey`].
+#[derive(Debug, Clone)]
+pub struct PlanStore {
+    dir: PathBuf,
+}
+
+/// File extension for plan files.
+const EXT: &str = "hmmplan";
+
+fn store_err(path: &Path, e: std::io::Error) -> PlanError {
+    PlanError::Store {
+        path: path.display().to_string(),
+        reason: e.to_string(),
+    }
+}
+
+impl PlanStore {
+    /// Open (creating if needed) a plan store rooted at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|e| store_err(&dir, e))?;
+        Ok(PlanStore { dir })
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The file a key maps to.
+    pub fn path_for(&self, key: &StoreKey) -> PathBuf {
+        self.dir.join(format!(
+            "plan-{:016x}-n{}-w{}.{EXT}",
+            key.fingerprint, key.n, key.width
+        ))
+    }
+
+    /// Persist a plan atomically (temp file + rename). Returns the final
+    /// path. An existing plan under the same key is replaced.
+    pub fn save(&self, ir: &PlanIr) -> Result<PathBuf> {
+        let key = StoreKey::of(ir);
+        let path = self.path_for(&key);
+        let tmp = self.dir.join(format!(
+            ".tmp-{:016x}-n{}-w{}-{}.{EXT}",
+            key.fingerprint,
+            key.n,
+            key.width,
+            std::process::id()
+        ));
+        fs::write(&tmp, codec::encode(ir)).map_err(|e| store_err(&tmp, e))?;
+        fs::rename(&tmp, &path).map_err(|e| {
+            let _ = fs::remove_file(&tmp);
+            store_err(&path, e)
+        })?;
+        Ok(path)
+    }
+
+    /// Load the plan filed under `key`. Returns `Ok(None)` when no file
+    /// exists; `Err(PlanError::Codec)` when a file exists but is corrupt,
+    /// truncated, wrong-version, or its decoded identity disagrees with
+    /// `key` (a renamed or colliding file). A decoded plan is internally
+    /// consistent but still **must** be verified against the requested
+    /// permutation with [`PlanIr::matches`] before it is trusted.
+    pub fn load(&self, key: &StoreKey) -> Result<Option<PlanIr>> {
+        let path = self.path_for(key);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(store_err(&path, e)),
+        };
+        let ir = codec::decode(&bytes)?;
+        let found = StoreKey::of(&ir);
+        if found != *key {
+            return Err(PlanError::Codec {
+                reason: format!(
+                    "plan identity mismatch: file holds (fp {:#018x}, n {}, w {}), \
+                     requested (fp {:#018x}, n {}, w {})",
+                    found.fingerprint, found.n, found.width, key.fingerprint, key.n, key.width
+                ),
+            });
+        }
+        Ok(Some(ir))
+    }
+
+    /// Remove the plan filed under `key`, if present. Returns whether a
+    /// file was deleted.
+    pub fn remove(&self, key: &StoreKey) -> Result<bool> {
+        let path = self.path_for(key);
+        match fs::remove_file(&path) {
+            Ok(()) => Ok(true),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(false),
+            Err(e) => Err(store_err(&path, e)),
+        }
+    }
+
+    /// List every plan file in the store (keys parsed from file names;
+    /// non-plan files are ignored).
+    pub fn entries(&self) -> Result<Vec<StoreEntry>> {
+        let mut out = Vec::new();
+        let iter = fs::read_dir(&self.dir).map_err(|e| store_err(&self.dir, e))?;
+        for entry in iter {
+            let entry = entry.map_err(|e| store_err(&self.dir, e))?;
+            let name = entry.file_name();
+            let Some(key) = parse_file_name(&name.to_string_lossy()) else {
+                continue;
+            };
+            let meta = entry.metadata().map_err(|e| store_err(&entry.path(), e))?;
+            out.push(StoreEntry {
+                key,
+                bytes: meta.len(),
+            });
+        }
+        out.sort_by_key(|e| (e.key.n, e.key.width, e.key.fingerprint));
+        Ok(out)
+    }
+}
+
+/// Parse `plan-{fp:016x}-n{n}-w{w}.hmmplan` back into a key.
+fn parse_file_name(name: &str) -> Option<StoreKey> {
+    let rest = name
+        .strip_prefix("plan-")?
+        .strip_suffix(&format!(".{EXT}"))?;
+    let mut parts = rest.split('-');
+    let fingerprint = u64::from_str_radix(parts.next()?, 16).ok()?;
+    let n = parts.next()?.strip_prefix('n')?.parse().ok()?;
+    let width = parts.next()?.strip_prefix('w')?.parse().ok()?;
+    if parts.next().is_some() {
+        return None;
+    }
+    Some(StoreKey {
+        fingerprint,
+        n,
+        width,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmm_perm::families;
+    use hmm_perm::Permutation;
+
+    const W: usize = 8;
+
+    fn tmp_store(tag: &str) -> PlanStore {
+        let dir =
+            std::env::temp_dir().join(format!("hmm-plan-store-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        PlanStore::open(dir).unwrap()
+    }
+
+    #[test]
+    fn save_load_round_trip_and_listing() {
+        let store = tmp_store("roundtrip");
+        let p = families::random(1 << 10, 7);
+        let ir = PlanIr::build(&p, W).unwrap();
+        let path = store.save(&ir).unwrap();
+        assert!(path.exists());
+        let key = StoreKey::of(&ir);
+        let loaded = store.load(&key).unwrap().expect("plan present");
+        assert_eq!(loaded, ir);
+        assert!(loaded.matches(&p));
+        let entries = store.entries().unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].key, key);
+        assert_eq!(entries[0].bytes, codec::encoded_len(ir.len()) as u64);
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn missing_plan_is_none_and_remove_reports() {
+        let store = tmp_store("missing");
+        let key = StoreKey {
+            fingerprint: 42,
+            n: 1024,
+            width: W,
+        };
+        assert_eq!(store.load(&key).unwrap(), None);
+        assert!(!store.remove(&key).unwrap());
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn corrupt_file_is_a_codec_error_then_removable() {
+        let store = tmp_store("corrupt");
+        let ir = PlanIr::build(&families::random(256, 9), W).unwrap();
+        let key = StoreKey::of(&ir);
+        store.save(&ir).unwrap();
+        // Truncate the file behind the store's back.
+        let path = store.path_for(&key);
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(matches!(store.load(&key), Err(PlanError::Codec { .. })));
+        assert!(store.remove(&key).unwrap());
+        assert_eq!(store.load(&key).unwrap(), None);
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn renamed_file_fails_the_identity_check() {
+        let store = tmp_store("renamed");
+        let ir = PlanIr::build(&families::random(256, 11), W).unwrap();
+        store.save(&ir).unwrap();
+        // File a valid plan under a *different* key, as if an attacker (or
+        // a fingerprint collision) renamed it.
+        let victim = StoreKey {
+            fingerprint: ir.fingerprint() ^ 1,
+            ..StoreKey::of(&ir)
+        };
+        fs::rename(store.path_for(&StoreKey::of(&ir)), store.path_for(&victim)).unwrap();
+        assert!(matches!(store.load(&victim), Err(PlanError::Codec { .. })));
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn save_replaces_under_the_same_key() {
+        // Two different permutations forced under one key cannot happen
+        // through `save` (the key is derived from the plan), but saving
+        // the same plan twice must be idempotent.
+        let store = tmp_store("replace");
+        let ir = PlanIr::build(&families::random(256, 13), W).unwrap();
+        store.save(&ir).unwrap();
+        store.save(&ir).unwrap();
+        assert_eq!(store.entries().unwrap().len(), 1);
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn file_name_parsing_round_trips() {
+        let store = tmp_store("names");
+        let key = StoreKey {
+            fingerprint: 0xdead_beef_0123_4567,
+            n: 65536,
+            width: 32,
+        };
+        let path = store.path_for(&key);
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        assert_eq!(parse_file_name(&name), Some(key));
+        assert_eq!(parse_file_name("not-a-plan.txt"), None);
+        assert_eq!(parse_file_name("plan-zz-n4-w2.hmmplan"), None);
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn identity_permutation_plans_store_fine() {
+        let store = tmp_store("ident");
+        let p = Permutation::identity(1 << 10);
+        let ir = PlanIr::build(&p, W).unwrap();
+        store.save(&ir).unwrap();
+        let loaded = store.load(&StoreKey::of(&ir)).unwrap().unwrap();
+        assert!(loaded.matches(&p));
+        let _ = fs::remove_dir_all(store.dir());
+    }
+}

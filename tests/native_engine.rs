@@ -10,6 +10,7 @@ use hmm_offperm::driver::run_scheduled_decomposition;
 use hmm_offperm::schedule::Decomposition;
 use hmm_perm::families::{self, Family};
 use hmm_perm::Permutation;
+use hmm_plan::PlanIr;
 use proptest::prelude::*;
 
 const W: usize = 32;
@@ -68,19 +69,22 @@ fn fused_matches_scatter_on_rectangular_shapes() {
 }
 
 #[test]
-fn one_decomposition_drives_simulator_and_native_identically() {
+fn one_plan_ir_drives_simulator_and_native_identically() {
     let cfg = MachineConfig::pure(8, 16);
     let n = 1 << 10;
     let p = families::random(n, 2013);
     let input: Vec<Word> = (0..n as Word).map(|v| v * 5 + 1).collect();
 
-    // Built once, used twice: the simulator run...
-    let d = Decomposition::build(&p, cfg.width).unwrap();
+    // One König coloring, staged twice: the backend-neutral plan IR...
+    let ir = PlanIr::build(&p, cfg.width).unwrap();
+
+    // ...drives the simulator through the staging adapter...
+    let d = Decomposition::from_ir(&ir);
     let mut hmm = Hmm::new(cfg).unwrap();
     let (_, simulated) = run_scheduled_decomposition(&mut hmm, &d, &input).unwrap();
 
-    // ...and the native plan, with no second König coloring.
-    let native_plan = NativeScheduled::from_decomposition(&d);
+    // ...and the native backend directly, with no second coloring.
+    let native_plan = NativeScheduled::from_plan(&ir);
     let mut native_out = vec![0 as Word; n];
     native_plan.run(&input, &mut native_out);
 

@@ -1,8 +1,9 @@
 //! Concurrency stress tests for the shared plan service: one
 //! `SharedEngine` hammered from many threads over mixed permutation
 //! families, single-flight build dedup proven by the stats, fingerprint
-//! collisions injected through the test seam, and batch dispatch through
-//! the worker pool under external contention.
+//! collisions injected through the test seam, batch dispatch through
+//! the worker pool under external contention, and the on-disk tier-2
+//! plan store (cold-process reuse, corruption and collision rejection).
 
 use hmm_native::pool::WorkerPool;
 use hmm_native::{Engine, SharedEngine};
@@ -196,6 +197,138 @@ fn shared_engine_concurrent_batches_are_correct() {
         stats.scatter_runs + stats.scheduled_runs,
         (THREADS * JOBS) as u64
     );
+}
+
+/// Fresh, empty temp directory for one store test.
+fn temp_store_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "hmm-shared-engine-test-{}-{tag}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The cross-process acceptance path through the public API: an engine
+/// with a store builds and persists plans; a *second* engine (standing in
+/// for a cold process) serves the same permutations with **zero** König
+/// builds, and every output still verifies. Scatter-backed permutations
+/// never involve the store.
+#[test]
+fn cold_engine_with_warm_store_builds_nothing_and_verifies() {
+    let n = 1 << 12;
+    let dir = temp_store_dir("cold-start");
+    let perms = [
+        families::random(n, 1),             // scheduled
+        families::bit_reversal(n).unwrap(), // scheduled
+        families::identical(n),             // scatter: store not involved
+    ];
+    let src: Vec<u32> = (0..n as u32).map(|v| v.wrapping_mul(0x9e37_79b9)).collect();
+    let mut dst = vec![0u32; n];
+
+    let warm: SharedEngine<u32> = SharedEngine::with_store(W, &dir).unwrap();
+    for p in &perms {
+        warm.permute(p, &src, &mut dst).unwrap();
+        assert_eq!(dst, reference(p, &src));
+    }
+    assert_eq!(warm.stats().builds, 2, "two scheduled plans colored");
+    assert_eq!(warm.store().unwrap().entries().unwrap().len(), 2);
+
+    let cold: SharedEngine<u32> = SharedEngine::with_store(W, &dir).unwrap();
+    for p in &perms {
+        dst.fill(0);
+        cold.permute(p, &src, &mut dst).unwrap();
+        assert_eq!(dst, reference(p, &src), "store-served output must verify");
+    }
+    let stats = cold.stats();
+    assert_eq!(stats.builds, 0, "warm store: the cold process never colors");
+    assert_eq!(stats.store_hits, 2);
+    assert_eq!(stats.store_rejects, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A store file renamed onto another permutation's key — the on-disk
+/// equivalent of a fingerprint collision. The decoded identity check must
+/// reject it, delete the file, and rebuild; output stays correct.
+#[test]
+fn renamed_store_file_is_rejected_not_trusted() {
+    let n = 1 << 12;
+    let dir = temp_store_dir("renamed");
+    let p1 = families::random(n, 21);
+    let p2 = families::random(n, 22);
+    let src: Vec<u32> = (0..n as u32).collect();
+    let mut dst = vec![0u32; n];
+
+    let first: SharedEngine<u32> = SharedEngine::with_store(W, &dir).unwrap();
+    first.permute(&p1, &src, &mut dst).unwrap();
+
+    // Graft p1's plan file onto p2's store key.
+    let p1_file = dir.join(format!("plan-{:016x}-n{n}-w{W}.hmmplan", p1.fingerprint()));
+    let p2_file = dir.join(format!("plan-{:016x}-n{n}-w{W}.hmmplan", p2.fingerprint()));
+    std::fs::rename(&p1_file, &p2_file).unwrap();
+
+    let second: SharedEngine<u32> = SharedEngine::with_store(W, &dir).unwrap();
+    dst.fill(0);
+    second.permute(&p2, &src, &mut dst).unwrap();
+    assert_eq!(
+        dst,
+        reference(&p2, &src),
+        "wrong plan must never be applied"
+    );
+    let stats = second.stats();
+    assert_eq!(stats.store_rejects, 1, "the grafted file is rejected");
+    assert_eq!(stats.builds, 1, "and p2's plan rebuilt from scratch");
+    // The reject deleted the graft and the rebuild re-saved p2's real
+    // plan, so a third engine is a clean hit.
+    let third: SharedEngine<u32> = SharedEngine::with_store(W, &dir).unwrap();
+    dst.fill(0);
+    third.permute(&p2, &src, &mut dst).unwrap();
+    assert_eq!(dst, reference(&p2, &src));
+    assert_eq!(third.stats().store_hits, 1);
+    assert_eq!(third.stats().builds, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Concurrent cold start against a warm store: many threads race the
+/// single-flight slot, exactly one of them performs the disk load, and
+/// nobody colors.
+#[test]
+fn concurrent_cold_start_loads_from_store_once() {
+    const THREADS: usize = 8;
+    let n = 1 << 12;
+    let dir = temp_store_dir("concurrent");
+    let p = families::random(n, 31);
+    let src: Vec<u32> = (0..n as u32).collect();
+    let want = reference(&p, &src);
+
+    let warm: SharedEngine<u32> = SharedEngine::with_store(W, &dir).unwrap();
+    let mut dst = vec![0u32; n];
+    warm.permute(&p, &src, &mut dst).unwrap();
+
+    let cold: SharedEngine<u32> = SharedEngine::with_store(W, &dir).unwrap();
+    let barrier = Barrier::new(THREADS);
+    std::thread::scope(|s| {
+        for _ in 0..THREADS {
+            let cold = &cold;
+            let p = &p;
+            let src = &src;
+            let want = &want;
+            let barrier = &barrier;
+            s.spawn(move || {
+                let mut dst = vec![0u32; n];
+                barrier.wait();
+                cold.permute(p, src, &mut dst).unwrap();
+                assert_eq!(&dst, want);
+            });
+        }
+    });
+    let stats = cold.stats();
+    assert_eq!(stats.builds, 0);
+    assert_eq!(
+        stats.store_hits, 1,
+        "single-flight covers the disk load too"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// WorkerPool under dispatch contention from multiple non-pool threads
