@@ -12,7 +12,7 @@
 //! repro apps [--n N]        # which application permutations need scheduling
 //! repro generations         # crossover size across GPU-generation presets
 //! repro heatmap [--n N]     # access-pattern heatmaps (trace support)
-//! repro native [--full] [--json] [--contended T]  # wall-clock CPU backend comparison
+//! repro native [--full] [--json] [--contended T] [--queued T]  # wall-clock CPU backend comparison
 //! repro plan build [--n N] [--family F] [--seed S] [--width W]
 //! repro plan save  --dir DIR [--n N] [--family F] [--seed S] [--width W]
 //! repro plan load  --dir DIR [--n N] [--family F] [--seed S] [--width W] [--assert-cold]
@@ -26,6 +26,8 @@
 //! contended `SharedEngine` rows. `--contended T` (native only) sets the
 //! thread count of the contended measurement (default 4; oversubscribing
 //! a small machine is fine and still exercises the claiming logic).
+//! `--queued T` (native only) sets the submitter count of the queued-vs-
+//! blocking submission measurement (default 4; `0` skips it).
 
 use hmm_bench::experiments::{
     ablation, applications, figures, generations, smallperm, sweep, table1, table2, table3,
@@ -41,6 +43,7 @@ struct Args {
     no_cache: bool,
     json: bool,
     contended: Option<usize>,
+    queued: Option<usize>,
     count: Option<usize>,
     n: Option<usize>,
     csv_dir: Option<std::path::PathBuf>,
@@ -73,6 +76,7 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         no_cache: false,
         json: false,
         contended: None,
+        queued: None,
         count: None,
         n: None,
         csv_dir: None,
@@ -95,6 +99,14 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
                         .ok_or("--contended needs a thread count")?
                         .parse()
                         .map_err(|e| format!("--contended: {e}"))?,
+                )
+            }
+            "--queued" => {
+                out.queued = Some(
+                    it.next()
+                        .ok_or("--queued needs a submitter count")?
+                        .parse()
+                        .map_err(|e| format!("--queued: {e}"))?,
                 )
             }
             "--count" => {
@@ -155,7 +167,7 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: repro <all|table1|table2|table3|fig3|fig4|fig5|fig6|smallperm|ablation|\
                  sweep|apps|heatmap|native|plan> [--full] [--f64] [--no-cache] [--json] \
-                 [--count K] [--n N] [--csv DIR] [--contended T]\n       \
+                 [--count K] [--n N] [--csv DIR] [--contended T] [--queued T]\n       \
                  repro plan <build|save|load|stats> [--dir DIR] [--n N] [--family F] \
                  [--seed S] [--width W] [--assert-cold]"
             );
@@ -406,7 +418,8 @@ fn run(cmd: &str, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             };
             println!("=== Native CPU backend: wall-clock (median of 5) ===\n");
             let contended_threads = args.contended.unwrap_or(4);
-            let report = native_experiments::report(&sizes, 5, contended_threads)?;
+            let queued_threads = args.queued.unwrap_or(4);
+            let report = native_experiments::report(&sizes, 5, contended_threads, queued_threads)?;
             print!("{}", native_experiments::render(&report.rows));
             println!("\n=== Plan cache: cached Engine::permute vs rebuild-per-call ===\n");
             print!("{}", native_experiments::render_plan(&report.plan_rows));
@@ -417,6 +430,10 @@ fn run(cmd: &str, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
                 "{}",
                 native_experiments::render_contended(&report.contended_rows)
             );
+            if !report.queued_rows.is_empty() {
+                println!("\n=== Queued submission vs blocking batch convoy ===\n");
+                print!("{}", native_experiments::render_queued(&report.queued_rows));
+            }
             if args.json {
                 let dir = std::path::Path::new("results");
                 std::fs::create_dir_all(dir)?;

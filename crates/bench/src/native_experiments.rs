@@ -12,7 +12,12 @@
 //!   path: decode + verify instead of coloring);
 //! * **contended** — one `SharedEngine` hammered by T threads over a mix
 //!   of permutation families (the concurrent plan-service workload:
-//!   warm cache, per-thread outputs, aggregate throughput).
+//!   warm cache, per-thread outputs, aggregate throughput);
+//! * **queued** — T submitters pushing the same job mix through the
+//!   bounded submission queue (one `submit_batch` per submitter, every
+//!   job in flight at once, handles waited at the end) against the
+//!   blocking `permute_batch` convoy (sequential chunks, the submitter
+//!   parked until each chunk fully lands).
 //!
 //! [`to_json`] serialises a full report as `BENCH_native.json` (flat rows
 //! of `{family, n, backend, seconds, elements_per_sec}` — the format
@@ -26,6 +31,7 @@ use hmm_native::{
 use hmm_offperm::Result;
 use hmm_perm::families::{self, Family};
 use hmm_perm::Permutation;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Schedule width used throughout (matches the GPU warp).
@@ -149,6 +155,155 @@ impl ContendedRow {
     }
 }
 
+/// One row of the queued-vs-blocking submission comparison: the same
+/// `threads × jobs` workload pushed through `SharedEngine::submit_batch`
+/// (every job in flight at once, waited via the returned handles) and
+/// through blocking `SharedEngine::permute_batch` calls (sequential
+/// convoys per submitter thread).
+#[derive(Debug, Clone)]
+pub struct QueuedRow {
+    /// Concurrent submitter threads sharing the engine.
+    pub threads: usize,
+    /// Array size per job.
+    pub n: usize,
+    /// Total jobs across all submitters.
+    pub total_jobs: usize,
+    /// Wall-clock with queued submission (`submit` + wait-all).
+    pub queued: Duration,
+    /// Wall-clock with blocking `permute_batch` per submitter.
+    pub blocking: Duration,
+}
+
+impl QueuedRow {
+    /// Aggregate elements permuted per second for one mode's wall-clock.
+    fn eps(&self, d: Duration) -> f64 {
+        let secs = d.as_secs_f64();
+        if secs > 0.0 {
+            (self.total_jobs * self.n) as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Aggregate throughput of the queued-submission mode.
+    pub fn queued_elements_per_sec(&self) -> f64 {
+        self.eps(self.queued)
+    }
+
+    /// Aggregate throughput of the blocking-batch mode.
+    pub fn blocking_elements_per_sec(&self) -> f64 {
+        self.eps(self.blocking)
+    }
+}
+
+/// Jobs per chunk in the queued-vs-blocking measurement: each submitter
+/// thread issues its jobs as a sequence of chunks this big, the shape
+/// under which the two modes genuinely differ (see [`queued`]): every
+/// chunk boundary is a full convoy drain for the blocking mode and a
+/// seamless hand-off for the queued mode.
+const QUEUED_CHUNK: usize = 2;
+
+/// Measure queued submission against the blocking batch convoy: one
+/// engine, plans pre-warmed, `threads` submitters each pushing
+/// `jobs_per_thread` jobs of a mixed-family working set. The blocking
+/// mode is restricted by its API to sequential convoys: one
+/// `permute_batch` of [`QUEUED_CHUNK`] jobs at a time, the submitter
+/// parked until the whole chunk lands before it may issue the next, a
+/// fresh permutation hand-off per call. The queued mode exploits the
+/// asynchronous API: each submitter fires its entire workload in a
+/// single `submit_batch` (one permutation hand-off, every job in
+/// flight at once, interleaving with all other submitters on the
+/// shared queue) and waits the handles at the end.
+pub fn queued(
+    sizes: &[usize],
+    threads: usize,
+    jobs_per_thread: usize,
+    reps: usize,
+) -> Result<Vec<QueuedRow>> {
+    let threads = threads.max(1);
+    let chunks = jobs_per_thread.div_ceil(QUEUED_CHUNK).max(1);
+    let chunk = jobs_per_thread.clamp(1, QUEUED_CHUNK);
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let engine: SharedEngine<u32> = SharedEngine::new(W);
+        let perms = contended_mix(n)?;
+        for p in &perms {
+            engine.plan(p)?; // warm: measure serving, not building
+        }
+        let src: Vec<u32> = (0..n as u32).collect();
+        let shared: Arc<[u32]> = src.clone().into();
+        let run_blocking = || {
+            std::thread::scope(|s| {
+                for t in 0..threads {
+                    let engine = &engine;
+                    let p = &perms[t % perms.len()];
+                    let src = &src;
+                    s.spawn(move || {
+                        for _ in 0..chunks {
+                            let mut dsts: Vec<Vec<u32>> = vec![vec![0u32; n]; chunk];
+                            engine
+                                .permute_batch(
+                                    p,
+                                    std::iter::repeat_n(src.as_slice(), chunk)
+                                        .zip(dsts.iter_mut().map(Vec::as_mut_slice)),
+                                )
+                                .expect("blocking batch");
+                        }
+                    });
+                }
+            });
+        };
+        let run_queued = || {
+            std::thread::scope(|s| {
+                for t in 0..threads {
+                    let engine = &engine;
+                    let p = &perms[t % perms.len()];
+                    let shared = &shared;
+                    s.spawn(move || {
+                        let b = engine.submit_batch(
+                            p,
+                            (0..chunks * chunk).map(|_| (Arc::clone(shared), vec![0u32; n])),
+                        );
+                        for outcome in b.wait() {
+                            outcome.expect("queued job");
+                        }
+                    });
+                }
+            });
+        };
+        // Interleave the reps with alternating order so slow clock drift
+        // (thermal or hypervisor throttling over a long repro run) cannot
+        // systematically punish whichever mode is measured second.
+        let time_once = |f: &dyn Fn()| {
+            let t = Instant::now();
+            f();
+            t.elapsed()
+        };
+        let r = reps.clamp(1, 3);
+        let mut bt = Vec::with_capacity(r);
+        let mut qt = Vec::with_capacity(r);
+        for i in 0..r {
+            if i % 2 == 0 {
+                bt.push(time_once(&run_blocking));
+                qt.push(time_once(&run_queued));
+            } else {
+                qt.push(time_once(&run_queued));
+                bt.push(time_once(&run_blocking));
+            }
+        }
+        bt.sort();
+        qt.sort();
+        rows.push(QueuedRow {
+            threads,
+            n,
+            total_jobs: threads * chunks * chunk,
+            queued: qt[r / 2],
+            blocking: bt[r / 2],
+        });
+    }
+    Ok(rows)
+}
+
 /// Everything `repro native` measures, plus the environment it ran in.
 #[derive(Debug, Clone)]
 pub struct NativeReport {
@@ -165,6 +320,8 @@ pub struct NativeReport {
     /// Contended `SharedEngine` rows (1 thread and T threads, for the
     /// scaling comparison).
     pub contended_rows: Vec<ContendedRow>,
+    /// Queued-vs-blocking submission rows.
+    pub queued_rows: Vec<QueuedRow>,
 }
 
 /// Measure all kernels for every family at the given sizes.
@@ -290,7 +447,14 @@ const CONTENDED_MAX_N: usize = 1 << 20;
 /// Run all experiment groups and package them with the environment.
 /// Contended rows are measured at 1 thread and at `contended_threads`
 /// (sizes capped at 1M elements), so the JSON records a scaling pair.
-pub fn report(sizes: &[usize], reps: usize, contended_threads: usize) -> Result<NativeReport> {
+/// Queued rows are measured at `queued_threads` submitters over the same
+/// capped sizes (`0` skips the queued group).
+pub fn report(
+    sizes: &[usize],
+    reps: usize,
+    contended_threads: usize,
+    queued_threads: usize,
+) -> Result<NativeReport> {
     let csizes: Vec<usize> = {
         let kept: Vec<usize> = sizes
             .iter()
@@ -308,6 +472,11 @@ pub fn report(sizes: &[usize], reps: usize, contended_threads: usize) -> Result<
     if contended_threads > 1 {
         contended_rows.extend(contended(&csizes, contended_threads, runs_per_thread)?);
     }
+    let queued_rows = if queued_threads > 0 {
+        queued(&csizes, queued_threads, runs_per_thread, reps)?
+    } else {
+        Vec::new()
+    };
     Ok(NativeReport {
         threads: worker_threads(),
         reps,
@@ -315,6 +484,7 @@ pub fn report(sizes: &[usize], reps: usize, contended_threads: usize) -> Result<
         plan_rows: plan_cache(sizes, reps)?,
         store_rows: plan_store(sizes, reps)?,
         contended_rows,
+        queued_rows,
     })
 }
 
@@ -401,6 +571,31 @@ pub fn render_contended(rows: &[ContendedRow]) -> String {
     t.render()
 }
 
+/// Render the queued-vs-blocking submission table.
+pub fn render_queued(rows: &[QueuedRow]) -> String {
+    let mut t = TextTable::new(vec![
+        "n",
+        "submitters",
+        "jobs",
+        "queued wall",
+        "batch wall",
+        "queued Melem/s",
+        "batch Melem/s",
+    ]);
+    for r in rows {
+        t.row(vec![
+            size_label(r.n),
+            r.threads.to_string(),
+            r.total_jobs.to_string(),
+            format!("{:.2?}", r.queued),
+            format!("{:.2?}", r.blocking),
+            format!("{:.1}", r.queued_elements_per_sec() / 1e6),
+            format!("{:.1}", r.blocking_elements_per_sec() / 1e6),
+        ]);
+    }
+    t.render()
+}
+
 fn json_row_raw(out: &mut String, family: &str, n: usize, backend: &str, secs: f64, eps: f64) {
     out.push_str(&format!(
         "    {{\"family\": \"{family}\", \"n\": {n}, \"backend\": \"{backend}\", \
@@ -479,6 +674,26 @@ pub fn to_json(report: &NativeReport) -> String {
             r.elements_per_sec(),
         );
     }
+    for r in &report.queued_rows {
+        for (backend, d, eps) in [
+            (
+                format!("engine_queued_{}t", r.threads),
+                r.queued,
+                r.queued_elements_per_sec(),
+            ),
+            (
+                format!("engine_batch_blocking_{}t", r.threads),
+                r.blocking,
+                r.blocking_elements_per_sec(),
+            ),
+        ] {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            json_row_raw(&mut out, "mixed", r.n, &backend, d.as_secs_f64(), eps);
+        }
+    }
     out.push_str("\n  ]\n}\n");
     out
 }
@@ -499,7 +714,7 @@ mod tests {
 
     #[test]
     fn plan_cache_rows_and_json_shape() {
-        let report = report(&[1 << 12], 1, 2).unwrap();
+        let report = report(&[1 << 12], 1, 2, 2).unwrap();
         assert_eq!(report.plan_rows.len(), 1);
         let plan_table = render_plan(&report.plan_rows);
         assert!(plan_table.contains("rebuild"));
@@ -509,10 +724,15 @@ mod tests {
         assert_eq!(report.contended_rows[1].threads, 2);
         let contended_table = render_contended(&report.contended_rows);
         assert!(contended_table.contains("threads"));
+        // Queued pair at the single size: queued + blocking modes.
+        assert_eq!(report.queued_rows.len(), 1);
+        assert_eq!(report.queued_rows[0].threads, 2);
+        let queued_table = render_queued(&report.queued_rows);
+        assert!(queued_table.contains("submitters"));
         let json = to_json(&report);
         // 5 families x 5 backends + 3 plan-cache rows + 2 plan-store rows
-        // + 2 contended rows.
-        assert_eq!(json.matches("\"backend\"").count(), 32);
+        // + 2 contended rows + 2 queued rows.
+        assert_eq!(json.matches("\"backend\"").count(), 34);
         for key in [
             "\"bench\": \"native\"",
             "\"threads\"",
@@ -524,11 +744,23 @@ mod tests {
             "\"plan_store_cold\"",
             "\"engine_contended_1t\"",
             "\"engine_contended_2t\"",
+            "\"engine_queued_2t\"",
+            "\"engine_batch_blocking_2t\"",
         ] {
             assert!(json.contains(key), "missing {key}");
         }
         // Must be parseable by eye and by simple tooling: balanced braces.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn queued_rows_complete_and_report_throughput() {
+        let rows = queued(&[1 << 12], 2, 4, 1).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].threads, 2);
+        assert_eq!(rows[0].total_jobs, 8);
+        assert!(rows[0].queued_elements_per_sec() > 0.0);
+        assert!(rows[0].blocking_elements_per_sec() > 0.0);
     }
 
     #[test]

@@ -20,6 +20,12 @@
 //!   ([`plan::SharedEngine::with_store`]) so a cold process skips the
 //!   König coloring — [`plan::Engine`] keeps the original single-threaded
 //!   API as a thin wrapper over one shard;
+//! * [`queue`] — asynchronous queued submission on top of the engine:
+//!   [`plan::SharedEngine::submit`] / [`plan::SharedEngine::submit_batch`]
+//!   enqueue jobs on a bounded MPMC queue and return [`queue::JobHandle`]s
+//!   (`wait` / `try_wait` / `cancel`); plan resolution happens on the
+//!   drainer side, and build failures or panics resolve handles with a
+//!   [`queue::JobError`] instead of hanging waiters;
 //! * [`pool`] / [`par`] — a persistent worker pool (created once per
 //!   process) and the chunked parallel-for primitives built on it
 //!   (`rayon` is not on this reproduction's offline dependency list).
@@ -37,10 +43,12 @@
 pub mod par;
 pub mod plan;
 pub mod pool;
+pub mod queue;
 pub mod scatter;
 pub mod scheduled;
 
 pub use hmm_plan::{PlanIr, PlanStore, StoreKey};
 pub use plan::{Backend, Engine, EngineStats, PermutePlan, SharedEngine, CALIBRATE_ENV};
+pub use queue::{BatchHandle, JobError, JobHandle, JobReport, DEFAULT_QUEUE_CAPACITY};
 pub use scatter::{copy_baseline, gather_permute, scatter_permute};
 pub use scheduled::NativeScheduled;

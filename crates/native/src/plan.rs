@@ -48,16 +48,20 @@
 //! [`SharedEngine::calibrate_gamma_threshold`]) to replace it with a
 //! crossover measured on the running host.
 
-use crate::pool::WorkerPool;
+use crate::queue::{
+    BatchHandle, Bounded, JobError, JobHandle, JobReport, JobState, Payload, QueuedJob,
+    DEFAULT_QUEUE_CAPACITY,
+};
 use crate::scheduled::NativeScheduled;
 use hmm_perm::distribution::distribution;
 use hmm_perm::{families, Permutation};
 use hmm_plan::{PlanError, PlanIr, PlanStore, Result, StoreKey};
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::ptr;
-use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, PoisonError, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, PoisonError, RwLock, Weak};
 use std::time::{Duration, Instant};
 
 /// Default per-shard LRU capacity (plans held at once per shard; the
@@ -303,6 +307,22 @@ pub struct EngineStats {
     /// requested one (a fingerprint collision). Each reject deletes the
     /// file and falls through to a fresh build.
     pub store_rejects: u64,
+    /// Jobs accepted by [`SharedEngine::submit`] /
+    /// [`SharedEngine::submit_batch`] — queue-routed
+    /// [`SharedEngine::permute_batch`] members included. Every submitted
+    /// job eventually lands in exactly one of [`EngineStats::completed`]
+    /// or [`EngineStats::cancelled`].
+    pub submitted: u64,
+    /// Queued jobs resolved by a worker — successfully or with an error
+    /// (failed build, panic, shutdown). `submitted == completed +
+    /// cancelled` once every handle has resolved.
+    pub completed: u64,
+    /// Queued jobs cancelled (via [`JobHandle::cancel`]) before a worker
+    /// began executing them.
+    pub cancelled: u64,
+    /// Jobs sitting in the submission queue at snapshot time — a gauge,
+    /// not a counter (in-flight jobs a worker has claimed are excluded).
+    pub queue_depth: u64,
     /// The γ_w scatter/scheduled crossover in effect at snapshot time.
     pub gamma_threshold: f64,
     /// True once [`SharedEngine::calibrate_gamma_threshold`] has replaced
@@ -311,9 +331,11 @@ pub struct EngineStats {
 }
 
 /// The engine's live counters, on atomics so `&self` paths can bump them
-/// and `stats()` can snapshot without locking.
+/// and `stats()` can snapshot without locking. Shared (via `Arc`) with
+/// job handles and queue workers, so cancellation and completion stay
+/// countable after the engine itself is gone.
 #[derive(Default)]
-struct AtomicStats {
+pub(crate) struct AtomicStats {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
@@ -324,10 +346,13 @@ struct AtomicStats {
     builds: AtomicU64,
     store_hits: AtomicU64,
     store_rejects: AtomicU64,
+    pub(crate) submitted: AtomicU64,
+    pub(crate) completed: AtomicU64,
+    pub(crate) cancelled: AtomicU64,
 }
 
 impl AtomicStats {
-    fn snapshot(&self, gamma_threshold: f64, calibrated: bool) -> EngineStats {
+    fn snapshot(&self, gamma_threshold: f64, calibrated: bool, queue_depth: u64) -> EngineStats {
         EngineStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
@@ -339,6 +364,10 @@ impl AtomicStats {
             builds: self.builds.load(Ordering::Relaxed),
             store_hits: self.store_hits.load(Ordering::Relaxed),
             store_rejects: self.store_rejects.load(Ordering::Relaxed),
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+            queue_depth,
             gamma_threshold,
             calibrated,
         }
@@ -504,20 +533,32 @@ impl<T> Drop for ScratchPool<T> {
     }
 }
 
-/// Shared base pointer for handing disjoint batch jobs to pool tasks.
-///
-/// # Safety contract
-/// Tasks must index by a job id claimed exactly once from the pool's
-/// cursor, so no two tasks alias the same element.
-struct JobSlots<J>(*mut J);
-
-impl<J> JobSlots<J> {
-    fn base(&self) -> *mut J {
-        self.0
-    }
+/// The engine's queued-submission runtime: a lazily-started bounded MPMC
+/// queue plus its drainer threads. Nothing is spawned until the first
+/// queued job, so engines that only use the blocking `permute` path cost
+/// no threads.
+struct QueueRuntime<T> {
+    /// The queue, once started. Starting it freezes `capacity`/`workers`.
+    slot: OnceLock<Arc<Bounded<QueuedJob<T>>>>,
+    /// Capacity the queue will be created with.
+    capacity: AtomicUsize,
+    /// Drainer-thread count the queue will be started with (0 = match
+    /// the worker pool's thread count).
+    workers: AtomicUsize,
+    /// Monotonic job ids, in submission order.
+    next_job_id: AtomicU64,
 }
 
-unsafe impl<J: Send> Sync for JobSlots<J> {}
+impl<T> QueueRuntime<T> {
+    fn new() -> Self {
+        QueueRuntime {
+            slot: OnceLock::new(),
+            capacity: AtomicUsize::new(DEFAULT_QUEUE_CAPACITY),
+            workers: AtomicUsize::new(0),
+            next_job_id: AtomicU64::new(0),
+        }
+    }
+}
 
 /// The concurrent plan service: a thread-safe [`Engine`] usable as `&self`
 /// from any number of threads.
@@ -558,6 +599,27 @@ unsafe impl<J: Send> Sync for JobSlots<J> {}
 /// assert_eq!(stats.misses, 1, "single-flight: one build for four threads");
 /// ```
 pub struct SharedEngine<T> {
+    core: Arc<EngineCore<T>>,
+}
+
+/// Cloning a [`SharedEngine`] clones a cheap handle to the same engine:
+/// one cache, one scratch pool, one submission queue, one set of
+/// counters. The engine itself shuts down (closing the queue and
+/// resolving still-queued jobs with [`JobError::ShutDown`]) when the last
+/// handle drops.
+impl<T> Clone for SharedEngine<T> {
+    fn clone(&self) -> Self {
+        SharedEngine {
+            core: Arc::clone(&self.core),
+        }
+    }
+}
+
+/// The engine state every [`SharedEngine`] handle (and every queue
+/// drainer, via a `Weak`) shares. Dropping the last strong reference
+/// closes the submission queue, which lets the drainer threads exit after
+/// resolving whatever is still queued.
+struct EngineCore<T> {
     width: usize,
     shards: Box<[Shard]>,
     per_shard_capacity: usize,
@@ -573,10 +635,24 @@ pub struct SharedEngine<T> {
     store: Option<PlanStore>,
     clock: AtomicU64,
     scratch: ScratchPool<T>,
-    stats: AtomicStats,
+    /// Shared with job handles and queue drainers, so completion and
+    /// cancellation counting outlive the engine.
+    stats: Arc<AtomicStats>,
+    queue: QueueRuntime<T>,
 }
 
-impl<T: Copy + Send + Sync + Default> SharedEngine<T> {
+impl<T> Drop for EngineCore<T> {
+    fn drop(&mut self) {
+        // Refuse new jobs and wake blocked pushers/poppers; the drainers
+        // (holding only a `Weak` to this core) resolve remaining jobs
+        // with `JobError::ShutDown` and exit.
+        if let Some(q) = self.queue.slot.get() {
+            q.close();
+        }
+    }
+}
+
+impl<T: Copy + Send + Sync + Default + 'static> SharedEngine<T> {
     /// Engine with the given schedule width and the default shard count
     /// and per-shard capacity.
     pub fn new(width: usize) -> Self {
@@ -591,21 +667,35 @@ impl<T: Copy + Send + Sync + Default> SharedEngine<T> {
         assert!(shards > 0, "shards must be positive");
         assert!(per_shard_capacity > 0, "capacity must be positive");
         let engine = SharedEngine {
-            width,
-            shards: (0..shards).map(|_| RwLock::new(HashMap::new())).collect(),
-            per_shard_capacity,
-            gamma_threshold: AtomicU64::new(DEFAULT_GAMMA_THRESHOLD.to_bits()),
-            calibrated: AtomicBool::new(false),
-            fingerprint_fn: default_fingerprint,
-            store: None,
-            clock: AtomicU64::new(0),
-            scratch: ScratchPool::new(),
-            stats: AtomicStats::default(),
+            core: Arc::new(EngineCore {
+                width,
+                shards: (0..shards).map(|_| RwLock::new(HashMap::new())).collect(),
+                per_shard_capacity,
+                gamma_threshold: AtomicU64::new(DEFAULT_GAMMA_THRESHOLD.to_bits()),
+                calibrated: AtomicBool::new(false),
+                fingerprint_fn: default_fingerprint,
+                store: None,
+                clock: AtomicU64::new(0),
+                scratch: ScratchPool::new(),
+                stats: Arc::new(AtomicStats::default()),
+                queue: QueueRuntime::new(),
+            }),
         };
         if std::env::var(CALIBRATE_ENV).as_deref() == Ok("1") {
             engine.calibrate_gamma_threshold();
         }
         engine
+    }
+
+    /// Exclusive access to the core, for the few `&mut self` setters.
+    /// Valid only while this handle is the engine's sole owner — before
+    /// any clone, and before the first queued submission starts the
+    /// drainer threads (which hold weak references).
+    fn core_mut(&mut self) -> &mut EngineCore<T> {
+        Arc::get_mut(&mut self.core).expect(
+            "engine mutation requires sole ownership: call before cloning \
+             the engine or submitting queued jobs",
+        )
     }
 
     /// Engine with an on-disk **tier-2 plan store** at `dir` (created if
@@ -618,18 +708,20 @@ impl<T: Copy + Send + Sync + Default> SharedEngine<T> {
     /// never trusted).
     pub fn with_store(width: usize, dir: impl Into<PathBuf>) -> Result<Self> {
         let mut engine = Self::with_shards(width, DEFAULT_SHARDS, DEFAULT_CAPACITY);
-        engine.store = Some(PlanStore::open(dir)?);
+        engine.core_mut().store = Some(PlanStore::open(dir)?);
         Ok(engine)
     }
 
     /// Attach (or replace) the on-disk plan store after construction.
+    /// Requires sole ownership (call before cloning the engine or
+    /// submitting queued jobs).
     pub fn set_store(&mut self, store: PlanStore) {
-        self.store = Some(store);
+        self.core_mut().store = Some(store);
     }
 
     /// The attached on-disk plan store, if any.
     pub fn store(&self) -> Option<&PlanStore> {
-        self.store.as_ref()
+        self.core.store.as_ref()
     }
 
     /// Measure the scatter/scheduled crossover on *this* host and adopt
@@ -648,9 +740,9 @@ impl<T: Copy + Send + Sync + Default> SharedEngine<T> {
     /// surfaced as [`EngineStats::gamma_threshold`] /
     /// [`EngineStats::calibrated`]. Affects plans built after the call.
     pub fn calibrate_gamma_threshold(&self) -> f64 {
-        let t = measured_crossover(self.width).unwrap_or(DEFAULT_GAMMA_THRESHOLD);
+        let t = measured_crossover(self.core.width).unwrap_or(DEFAULT_GAMMA_THRESHOLD);
         self.set_gamma_threshold(t);
-        self.calibrated.store(true, Ordering::Relaxed);
+        self.core.calibrated.store(true, Ordering::Relaxed);
         t
     }
 
@@ -658,38 +750,43 @@ impl<T: Copy + Send + Sync + Default> SharedEngine<T> {
     /// `0.0` to force the scheduled backend, `f64::INFINITY` to force
     /// scatter. Affects plans built after the call.
     pub fn set_gamma_threshold(&self, threshold: f64) {
-        self.gamma_threshold
+        self.core
+            .gamma_threshold
             .store(threshold.to_bits(), Ordering::Relaxed);
     }
 
     /// Test seam: replace the fingerprint function (e.g. with a constant
-    /// to force collisions). Call before caching anything — existing
-    /// entries were keyed with the previous function.
+    /// to force collisions, or a panicking one to inject worker-side
+    /// failures). Call before caching anything — existing entries were
+    /// keyed with the previous function — and before cloning the engine
+    /// or submitting queued jobs (requires sole ownership).
     pub fn set_fingerprint_fn(&mut self, f: fn(&Permutation) -> u64) {
-        self.fingerprint_fn = f;
+        self.core_mut().fingerprint_fn = f;
     }
 
     /// The schedule width plans are built with.
     pub fn width(&self) -> usize {
-        self.width
+        self.core.width
     }
 
     /// Number of cache shards.
     pub fn shards(&self) -> usize {
-        self.shards.len()
+        self.core.shards.len()
     }
 
     /// Counters since construction — a lock-free snapshot.
     pub fn stats(&self) -> EngineStats {
-        self.stats.snapshot(
+        self.core.stats.snapshot(
             self.gamma_threshold(),
-            self.calibrated.load(Ordering::Relaxed),
+            self.core.calibrated.load(Ordering::Relaxed),
+            self.queue_depth() as u64,
         )
     }
 
     /// Number of plans currently cached (in-flight builds included).
     pub fn cached_plans(&self) -> usize {
-        self.shards
+        self.core
+            .shards
             .iter()
             .map(|s| s.read().unwrap_or_else(PoisonError::into_inner).len())
             .sum()
@@ -697,31 +794,31 @@ impl<T: Copy + Send + Sync + Default> SharedEngine<T> {
 
     /// Scratch buffers currently parked in the lock-free pool.
     pub fn pooled_scratch_buffers(&self) -> usize {
-        self.scratch.pooled()
+        self.core.scratch.pooled()
     }
 
     fn gamma_threshold(&self) -> f64 {
-        f64::from_bits(self.gamma_threshold.load(Ordering::Relaxed))
+        f64::from_bits(self.core.gamma_threshold.load(Ordering::Relaxed))
     }
 
     fn tick(&self) -> u64 {
-        self.clock.fetch_add(1, Ordering::Relaxed) + 1
+        self.core.clock.fetch_add(1, Ordering::Relaxed) + 1
     }
 
     fn shard_for(&self, fp: u64) -> &Shard {
         // The low fingerprint bits feed the in-shard HashMap, so pick the
         // shard from a multiplicative mix of the high bits.
         let mixed = fp.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32;
-        &self.shards[(mixed % self.shards.len() as u64) as usize]
+        &self.core.shards[(mixed % self.core.shards.len() as u64) as usize]
     }
 
     /// Fetch (or build and cache) the plan for `p`. Concurrent callers for
     /// the same uncached permutation trigger exactly one build.
     pub fn plan(&self, p: &Permutation) -> Result<Arc<PermutePlan>> {
         let key = PlanKey {
-            fingerprint: (self.fingerprint_fn)(p),
+            fingerprint: (self.core.fingerprint_fn)(p),
             len: p.len(),
-            width: self.width,
+            width: self.core.width,
         };
         let shard = self.shard_for(key.fingerprint);
         loop {
@@ -755,7 +852,7 @@ impl<T: Copy + Send + Sync + Default> SharedEngine<T> {
                                 },
                             );
                             drop(map);
-                            self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                            self.core.stats.misses.fetch_add(1, Ordering::Relaxed);
                             return self.build_into(&slot, shard, key, p);
                         }
                     }
@@ -766,9 +863,9 @@ impl<T: Copy + Send + Sync + Default> SharedEngine<T> {
                 Ok(plan) => {
                     if plan.permutation.as_slice() == p.as_slice() {
                         let counter = if waited {
-                            &self.stats.builds_deduped
+                            &self.core.stats.builds_deduped
                         } else {
-                            &self.stats.hits
+                            &self.core.stats.hits
                         };
                         counter.fetch_add(1, Ordering::Relaxed);
                         return Ok(plan);
@@ -776,7 +873,7 @@ impl<T: Copy + Send + Sync + Default> SharedEngine<T> {
                     // Fingerprint collision: the cached plan is for a
                     // *different* permutation with the same key. Count it,
                     // then treat it as a miss that replaces the entry.
-                    self.stats.collisions.fetch_add(1, Ordering::Relaxed);
+                    self.core.stats.collisions.fetch_add(1, Ordering::Relaxed);
                     let replacement = {
                         let mut map = shard.write().unwrap_or_else(PoisonError::into_inner);
                         match map.get_mut(&key) {
@@ -794,7 +891,7 @@ impl<T: Copy + Send + Sync + Default> SharedEngine<T> {
                     };
                     match replacement {
                         Some(fresh) => {
-                            self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                            self.core.stats.misses.fetch_add(1, Ordering::Relaxed);
                             return self.build_into(&fresh, shard, key, p);
                         }
                         None => continue,
@@ -852,19 +949,19 @@ impl<T: Copy + Send + Sync + Default> SharedEngine<T> {
     /// the tier-2 store when attached, then a fresh König build — which
     /// is counted in [`EngineStats::builds`] and saved back to the store.
     fn construct_plan(&self, p: &Permutation) -> Result<PermutePlan> {
-        let gamma = distribution(p, self.width);
+        let gamma = distribution(p, self.core.width);
         if gamma <= self.gamma_threshold() {
             return Ok(PermutePlan::scatter(p, gamma));
         }
-        if let Some(store) = &self.store {
+        if let Some(store) = &self.core.store {
             let key = StoreKey {
-                fingerprint: (self.fingerprint_fn)(p),
+                fingerprint: (self.core.fingerprint_fn)(p),
                 n: p.len(),
-                width: self.width,
+                width: self.core.width,
             };
             match store.load(&key) {
                 Ok(Some(ir)) if ir.matches(p) => {
-                    self.stats.store_hits.fetch_add(1, Ordering::Relaxed);
+                    self.core.stats.store_hits.fetch_add(1, Ordering::Relaxed);
                     return Ok(PermutePlan::from_ir(&ir));
                 }
                 Ok(None) => {}
@@ -873,14 +970,17 @@ impl<T: Copy + Send + Sync + Default> SharedEngine<T> {
                 // count it, delete the file, fall through to a fresh
                 // build. A store file is never trusted past verification.
                 Ok(Some(_)) | Err(_) => {
-                    self.stats.store_rejects.fetch_add(1, Ordering::Relaxed);
+                    self.core
+                        .stats
+                        .store_rejects
+                        .fetch_add(1, Ordering::Relaxed);
                     let _ = store.remove(&key);
                 }
             }
         }
-        let ir = PlanIr::build(p, self.width)?;
-        self.stats.builds.fetch_add(1, Ordering::Relaxed);
-        if let Some(store) = &self.store {
+        let ir = PlanIr::build(p, self.core.width)?;
+        self.core.stats.builds.fetch_add(1, Ordering::Relaxed);
+        if let Some(store) = &self.core.store {
             // Best effort: a failed save must never fail the permute.
             let _ = store.save(&ir);
         }
@@ -892,7 +992,7 @@ impl<T: Copy + Send + Sync + Default> SharedEngine<T> {
     /// slot), so a shard can transiently exceed capacity while every
     /// resident plan is still being constructed.
     fn evict_to_fit(&self, map: &mut HashMap<PlanKey, ShardEntry>) {
-        while map.len() >= self.per_shard_capacity {
+        while map.len() >= self.core.per_shard_capacity {
             let victim = map
                 .iter()
                 .filter(|(_, e)| !e.slot.is_building())
@@ -901,7 +1001,7 @@ impl<T: Copy + Send + Sync + Default> SharedEngine<T> {
             match victim {
                 Some(k) => {
                     map.remove(&k);
-                    self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+                    self.core.stats.evictions.fetch_add(1, Ordering::Relaxed);
                 }
                 None => break,
             }
@@ -925,40 +1025,310 @@ impl<T: Copy + Send + Sync + Default> SharedEngine<T> {
         match plan.backend() {
             Backend::Scatter => {
                 plan.run_with_scratch(src, dst, &mut []);
-                self.stats.scatter_runs.fetch_add(1, Ordering::Relaxed);
+                self.core.stats.scatter_runs.fetch_add(1, Ordering::Relaxed);
             }
             Backend::Scheduled => {
-                let mut scratch = self.scratch.take(plan.len());
+                let mut scratch = self.core.scratch.take(plan.len());
                 plan.run_with_scratch(src, dst, &mut scratch);
-                self.scratch.put(scratch);
-                self.stats.scheduled_runs.fetch_add(1, Ordering::Relaxed);
+                self.core.scratch.put(scratch);
+                self.core
+                    .stats
+                    .scheduled_runs
+                    .fetch_add(1, Ordering::Relaxed);
             }
         }
     }
 
-    /// Apply one permutation to many `(src, dst)` pairs: one plan lookup,
-    /// then the jobs are dispatched **across the worker pool** — each
-    /// worker claims jobs from the pool's cursor and borrows its own
-    /// scratch from the lock-free pool. Called from inside a pool task,
-    /// the jobs run inline (the pool's nested-dispatch rule).
+    /// Apply one permutation to many `(src, dst)` pairs.
+    ///
+    /// The members are routed through the **submission queue** (see
+    /// [`SharedEngine::submit`]) and this call blocks until every one has
+    /// resolved — so concurrent `permute_batch` calls and [`submit`]ters
+    /// interleave their jobs across the same drainer threads instead of
+    /// convoying behind one caller's batch. Plan resolution happens once
+    /// under the single-flight machinery no matter how many members the
+    /// batch has. Called from inside a worker-pool task, the jobs run
+    /// inline instead (waiting on the queue there could deadlock the
+    /// pool's dispatch lock).
+    ///
+    /// [`submit`]: SharedEngine::submit
+    ///
+    /// # Panics
+    /// Panics if any job's `src.len()` or `dst.len()` differs from
+    /// `p.len()`, or if a queued member's execution panics.
     pub fn permute_batch<'a, I>(&self, p: &Permutation, jobs: I) -> Result<()>
     where
         I: IntoIterator<Item = (&'a [T], &'a mut [T])>,
         T: 'a,
     {
-        let plan = self.plan(p)?;
-        let mut jobs: Vec<(&'a [T], &'a mut [T])> = jobs.into_iter().collect();
+        let jobs: Vec<(&'a [T], &'a mut [T])> = jobs.into_iter().collect();
         if jobs.is_empty() {
             return Ok(());
         }
-        let slots = JobSlots(jobs.as_mut_ptr());
-        WorkerPool::global().run(jobs.len(), |i| {
-            // SAFETY: job `i` is claimed exactly once from the pool
-            // cursor, so this task has exclusive access to `jobs[i]`.
-            let job = unsafe { &mut *slots.base().add(i) };
-            self.run_plan(&plan, job.0, &mut *job.1);
-        });
-        Ok(())
+        // Validate every member before any pointer is enqueued, so the
+        // borrowed payloads below never outlive a panicking caller.
+        for (src, dst) in &jobs {
+            assert!(
+                src.len() == p.len() && dst.len() == p.len(),
+                "permute_batch: job buffers must match the permutation length"
+            );
+        }
+        if crate::pool::in_pool_task() {
+            // Blocking on queue drainers from inside a pool task would
+            // deadlock the pool's run lock; run the members inline.
+            let plan = self.plan(p)?;
+            for (src, dst) in jobs {
+                self.run_plan(&plan, src, dst);
+            }
+            return Ok(());
+        }
+        let p = Arc::new(p.clone());
+        let handles: Vec<JobHandle<T>> = jobs
+            .into_iter()
+            .map(|(src, dst)| {
+                self.submit_payload(
+                    Arc::clone(&p),
+                    Payload::Borrowed {
+                        src: src.as_ptr(),
+                        dst: dst.as_mut_ptr(),
+                        len: src.len(),
+                    },
+                )
+            })
+            .collect();
+        // Wait for EVERY member before returning — even after an error —
+        // because the queue holds raw pointers into the caller's slices
+        // until each job resolves.
+        let mut first_err: Option<JobError> = None;
+        for h in handles {
+            if let Err(e) = h.wait() {
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            None => Ok(()),
+            Some(JobError::Plan(e)) => Err(e),
+            Some(JobError::Panicked(msg)) => panic!("queued batch job panicked: {msg}"),
+            // Cancelled/ShutDown/AlreadyRetrieved cannot reach these
+            // private handles while `&self` keeps the engine alive.
+            Some(other) => panic!("unexpected queued batch outcome: {other}"),
+        }
+    }
+
+    /// The submission queue, started (with its drainer threads) on first
+    /// use. The drainers hold a `Weak` to the engine core, so they never
+    /// keep a dropped engine alive — they drain, resolve, and exit.
+    fn queue(&self) -> &Arc<Bounded<QueuedJob<T>>> {
+        self.core.queue.slot.get_or_init(|| {
+            let cap = self.core.queue.capacity.load(Ordering::Relaxed);
+            let queue = Arc::new(Bounded::new(cap));
+            let drainers = match self.core.queue.workers.load(Ordering::Relaxed) {
+                0 => crate::par::worker_threads(),
+                w => w,
+            };
+            for i in 0..drainers {
+                let q = Arc::clone(&queue);
+                let weak = Arc::downgrade(&self.core);
+                let stats = Arc::clone(&self.core.stats);
+                std::thread::Builder::new()
+                    .name(format!("hmm-native-queue-{i}"))
+                    .spawn(move || queue_drainer_loop(&q, &weak, &stats))
+                    .expect("failed to spawn queue drainer");
+            }
+            queue
+        })
+    }
+
+    /// Configure the submission queue **before its first use**: `capacity`
+    /// bounds how many jobs may wait (pushes beyond it block — that is the
+    /// backpressure the stress suite leans on), and `drainers` sets the
+    /// drainer-thread count (`0` = match the worker pool). Returns `false`
+    /// (and changes nothing) once the queue has already started.
+    pub fn set_queue_config(&self, capacity: usize, drainers: usize) -> bool {
+        if self.core.queue.slot.get().is_some() {
+            return false;
+        }
+        self.core
+            .queue
+            .capacity
+            .store(capacity.max(1), Ordering::Relaxed);
+        self.core.queue.workers.store(drainers, Ordering::Relaxed);
+        self.core.queue.slot.get().is_none()
+    }
+
+    /// Jobs currently waiting in the submission queue (a gauge; 0 when
+    /// the queue has never been used). Jobs a drainer has already claimed
+    /// are not counted.
+    pub fn queue_depth(&self) -> usize {
+        self.core.queue.slot.get().map_or(0, |q| q.len())
+    }
+
+    /// The submission queue's bounded capacity (the configured value
+    /// until the queue starts, the frozen one after).
+    pub fn queue_capacity(&self) -> usize {
+        self.core
+            .queue
+            .slot
+            .get()
+            .map(|q| q.capacity())
+            .unwrap_or_else(|| self.core.queue.capacity.load(Ordering::Relaxed))
+    }
+
+    /// Enqueue one permutation job and return immediately with a
+    /// [`JobHandle`]. The job's plan is resolved **on the drainer side**
+    /// (cache → store → König build, under the engine's single-flight
+    /// machinery), so a dispatcher can enqueue hundreds of heterogeneous
+    /// permutations without ever blocking on a build. `submit` blocks
+    /// only when the bounded queue is full (backpressure).
+    ///
+    /// The handle always resolves: success carries the permuted `dst`
+    /// back in a [`JobReport`]; a failed build, a drainer panic, a
+    /// cancellation, or an engine shutdown resolve it with the matching
+    /// [`JobError`] instead of hanging the waiter. A size mismatch
+    /// between `p`, `src`, and `dst` resolves the handle immediately
+    /// with [`PlanError::SizeMismatch`] (the blocking [`permute`] panics
+    /// instead).
+    ///
+    /// [`permute`]: SharedEngine::permute
+    ///
+    /// ```
+    /// use hmm_native::SharedEngine;
+    /// use hmm_perm::families;
+    ///
+    /// let engine: SharedEngine<u32> = SharedEngine::new(32);
+    /// let p = families::random(1 << 10, 1);
+    /// let src: Vec<u32> = (0..1u32 << 10).collect();
+    /// let handle = engine.submit(&p, src.clone(), vec![0u32; 1 << 10]);
+    /// let report = handle.wait().unwrap();
+    /// let mut expect = vec![0u32; 1 << 10];
+    /// p.permute(&src, &mut expect).unwrap();
+    /// assert_eq!(report.dst, expect);
+    /// ```
+    pub fn submit(&self, p: &Permutation, src: impl Into<Arc<[T]>>, dst: Vec<T>) -> JobHandle<T> {
+        self.submit_payload(
+            Arc::new(p.clone()),
+            Payload::Owned {
+                src: src.into(),
+                dst,
+            },
+        )
+    }
+
+    /// Enqueue one permutation applied to many `(src, dst)` pairs and
+    /// return immediately with a [`BatchHandle`] (one [`JobHandle`] per
+    /// member, in submission order). Unlike the blocking
+    /// [`permute_batch`], the caller keeps running while the members
+    /// execute — and members interleave with every other submitter's
+    /// jobs on the same queue.
+    ///
+    /// [`permute_batch`]: SharedEngine::permute_batch
+    pub fn submit_batch<I>(&self, p: &Permutation, jobs: I) -> BatchHandle<T>
+    where
+        I: IntoIterator<Item = (Arc<[T]>, Vec<T>)>,
+    {
+        let p = Arc::new(p.clone());
+        BatchHandle::new(
+            jobs.into_iter()
+                .map(|(src, dst)| self.submit_payload(Arc::clone(&p), Payload::Owned { src, dst }))
+                .collect(),
+        )
+    }
+
+    /// Common submission path: count the job, validate sizes, enqueue.
+    fn submit_payload(&self, p: Arc<Permutation>, payload: Payload<T>) -> JobHandle<T> {
+        let stats = &self.core.stats;
+        let id = self.core.queue.next_job_id.fetch_add(1, Ordering::Relaxed);
+        stats.submitted.fetch_add(1, Ordering::Relaxed);
+        let state = JobState::new();
+        let handle = JobHandle::new(Arc::clone(&state), Arc::clone(stats), id);
+        let (src_len, dst_len) = (payload.src_len(), payload.dst_len());
+        if src_len != p.len() || dst_len != p.len() {
+            // Resolve without a queue round-trip; counters stay balanced
+            // (`submitted == completed + cancelled`).
+            let got = if src_len != p.len() { src_len } else { dst_len };
+            stats.completed.fetch_add(1, Ordering::Relaxed);
+            state.begin();
+            state.finish(Err(JobError::Plan(PlanError::SizeMismatch {
+                expected: p.len(),
+                got,
+            })));
+            return handle;
+        }
+        let job = QueuedJob { p, payload, state };
+        if let Err(job) = self.queue().push(job) {
+            // Only reachable if the queue closed mid-push — a teardown
+            // race; resolve the handle instead of losing the job.
+            job.resolve_shutdown(stats);
+        }
+        handle
+    }
+
+    /// Drainer-side execution of one claimed job: resolve the plan, run
+    /// it, and resolve the handle — with panics caught so a failed build
+    /// (or an injected fingerprint panic) resolves waiters instead of
+    /// stranding them, and the drainer thread keeps serving.
+    fn execute_job(&self, job: QueuedJob<T>) {
+        let QueuedJob { p, payload, state } = job;
+        if !state.begin() {
+            // Cancelled while queued; `cancel()` already counted it.
+            return;
+        }
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let plan = self.plan(&p)?;
+            let backend = plan.backend();
+            let dst = match payload {
+                Payload::Owned { src, mut dst } => {
+                    self.run_plan(&plan, &src, &mut dst);
+                    dst
+                }
+                Payload::Borrowed { src, dst, len } => {
+                    // SAFETY: the `permute_batch` caller that erased these
+                    // borrows blocks until this job's state resolves, and
+                    // each member's dst slice is exclusive to one job.
+                    let src = unsafe { std::slice::from_raw_parts(src, len) };
+                    let dst = unsafe { std::slice::from_raw_parts_mut(dst, len) };
+                    self.run_plan(&plan, src, dst);
+                    Vec::new()
+                }
+            };
+            Ok(JobReport { dst, backend })
+        }));
+        let result = match outcome {
+            Ok(done) => done,
+            Err(panic) => Err(JobError::Panicked(panic_message(panic.as_ref()))),
+        };
+        // Count before notifying, so a waiter that wakes immediately
+        // already sees the job accounted for in the stats.
+        self.core.stats.completed.fetch_add(1, Ordering::Relaxed);
+        state.finish(result);
+    }
+}
+
+/// Render a caught panic payload for [`JobError::Panicked`].
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// One queue drainer: claim jobs until the queue closes and drains. The
+/// engine is reached through a `Weak` so drainers never keep a dropped
+/// engine alive; once the last handle is gone, remaining jobs resolve
+/// with [`JobError::ShutDown`].
+fn queue_drainer_loop<T: Copy + Send + Sync + Default + 'static>(
+    queue: &Bounded<QueuedJob<T>>,
+    core: &Weak<EngineCore<T>>,
+    stats: &Arc<AtomicStats>,
+) {
+    while let Some(job) = queue.pop() {
+        match core.upgrade() {
+            Some(core) => SharedEngine { core }.execute_job(job),
+            None => job.resolve_shutdown(stats),
+        }
     }
 }
 
@@ -984,7 +1354,7 @@ pub struct Engine<T> {
     inner: SharedEngine<T>,
 }
 
-impl<T: Copy + Send + Sync + Default> Engine<T> {
+impl<T: Copy + Send + Sync + Default + 'static> Engine<T> {
     /// Engine with the given schedule width and default capacity/threshold.
     pub fn new(width: usize) -> Self {
         Self::with_capacity(width, DEFAULT_CAPACITY)
@@ -1216,8 +1586,12 @@ mod tests {
             )
             .unwrap();
         let stats = engine.stats();
-        assert_eq!(stats.misses + stats.hits, 1);
+        // Queue-routed members each call plan(), but single-flight plus
+        // the cache keep the build count at one.
+        assert_eq!(stats.misses, 1);
         assert_eq!(stats.scheduled_runs + stats.scatter_runs, 4);
+        assert_eq!(stats.submitted, 4, "batch members route through the queue");
+        assert_eq!(stats.completed, 4);
         for (src, dst) in srcs.iter().zip(&dsts) {
             assert_eq!(dst, &reference(&p, src));
         }

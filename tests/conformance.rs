@@ -1,0 +1,158 @@
+//! Differential conformance suite for every engine front door.
+//!
+//! The paper defines offline permutation as `b[P[i]] = a[i]` (equivalently
+//! `b[i] = a[P⁻¹[i]]`); this suite pins all three engine entry points —
+//! blocking [`SharedEngine::permute`], blocking (queue-routed)
+//! [`SharedEngine::permute_batch`], and asynchronous
+//! [`SharedEngine::submit`] — against a naive index-loop reference that
+//! shares no code with the permutation layer, the plan builder, or the
+//! backends. Coverage is the cross product of:
+//!
+//! * the five paper permutation families: identity, shuffle, transpose,
+//!   bit-reversal, and random;
+//! * n ∈ {1K, 64K, 256K};
+//! * both backends, each **forced** via `set_gamma_threshold` (`0.0` →
+//!   scheduled, `∞` → scatter) so the γ decision cannot quietly collapse
+//!   the matrix onto one kernel.
+//!
+//! Every run also asserts the plan actually executed on the forced
+//! backend, so a regression in the forcing seam itself cannot hide.
+
+use hmm_native::{Backend, SharedEngine};
+use hmm_perm::{families, Permutation};
+use std::sync::Arc;
+
+const W: usize = 32;
+
+/// n ∈ {1K, 64K, 256K}: all are `r·c` with both factors multiples of
+/// `W = 32`, so the scheduled backend is constructible at every size.
+const SIZES: [usize; 3] = [1 << 10, 1 << 16, 1 << 18];
+
+/// The five paper families at size `n`.
+fn paper_families(n: usize) -> Vec<(&'static str, Permutation)> {
+    vec![
+        ("identity", families::identical(n)),
+        ("shuffle", families::shuffle(n).unwrap()),
+        ("transpose", families::transpose_square(n).unwrap()),
+        ("bit-reversal", families::bit_reversal(n).unwrap()),
+        ("random", families::random(n, 0xc0ffee ^ n as u64)),
+    ]
+}
+
+/// Naive reference: the definition applied with a plain loop,
+/// `b[P[i]] = a[i]` — no shared code with any code path under test.
+fn naive_reference(p: &Permutation, a: &[u32]) -> Vec<u32> {
+    let mut b = vec![0u32; a.len()];
+    for (i, &pi) in p.as_slice().iter().enumerate() {
+        b[pi] = a[i];
+    }
+    b
+}
+
+/// Input that is not the identity ramp, so index/value confusions show.
+fn input(n: usize) -> Vec<u32> {
+    (0..n as u32)
+        .map(|v| v.wrapping_mul(0x9e37_79b9) ^ 0x5eed)
+        .collect()
+}
+
+/// One engine per forced backend; γ threshold `0.0` forces scheduled,
+/// `∞` forces scatter.
+fn forced_engine(backend: Backend) -> SharedEngine<u32> {
+    let engine: SharedEngine<u32> = SharedEngine::new(W);
+    engine.set_gamma_threshold(match backend {
+        Backend::Scheduled => 0.0,
+        Backend::Scatter => f64::INFINITY,
+    });
+    engine
+}
+
+/// Differential check of all three front doors for one (family, n,
+/// backend) cell, on one shared engine so the plan is built once.
+fn check_cell(engine: &SharedEngine<u32>, name: &str, p: &Permutation, backend: Backend) {
+    let n = p.len();
+    let src = input(n);
+    let want = naive_reference(p, &src);
+    let ctx = format!("{name} n={n} backend={backend:?}");
+
+    // The plan must actually execute on the forced backend.
+    let plan = engine.plan(p).unwrap();
+    assert_eq!(plan.backend(), backend, "{ctx}: forcing seam regressed");
+
+    // Front door 1: blocking permute.
+    let mut dst = vec![0u32; n];
+    engine.permute(p, &src, &mut dst).unwrap();
+    assert_eq!(dst, want, "{ctx}: permute diverged from naive reference");
+
+    // Front door 2: blocking permute_batch (queue-routed members).
+    let srcs: Vec<Vec<u32>> = (0..3)
+        .map(|k| src.iter().map(|v| v.wrapping_add(k)).collect())
+        .collect();
+    let mut dsts: Vec<Vec<u32>> = vec![vec![0u32; n]; srcs.len()];
+    engine
+        .permute_batch(
+            p,
+            srcs.iter()
+                .map(Vec::as_slice)
+                .zip(dsts.iter_mut().map(Vec::as_mut_slice)),
+        )
+        .unwrap();
+    for (k, (s, d)) in srcs.iter().zip(&dsts).enumerate() {
+        assert_eq!(
+            d,
+            &naive_reference(p, s),
+            "{ctx}: permute_batch member {k} diverged"
+        );
+    }
+
+    // Front door 3: queued submit.
+    let shared: Arc<[u32]> = src.clone().into();
+    let report = engine
+        .submit(p, Arc::clone(&shared), vec![0u32; n])
+        .wait()
+        .unwrap();
+    assert_eq!(report.backend, backend, "{ctx}: queued job ran off-backend");
+    assert_eq!(
+        report.dst, want,
+        "{ctx}: submit diverged from naive reference"
+    );
+}
+
+fn run_backend(backend: Backend) {
+    for n in SIZES {
+        let engine = forced_engine(backend);
+        for (name, p) in paper_families(n) {
+            check_cell(&engine, name, &p, backend);
+        }
+    }
+}
+
+/// Scatter backend: all five families × {1K, 64K, 256K} × three front
+/// doors against the naive reference.
+#[test]
+fn conformance_scatter_backend_all_families_all_sizes() {
+    run_backend(Backend::Scatter);
+}
+
+/// Scheduled backend: same matrix, γ threshold 0 forcing the three-sweep
+/// König-scheduled path even for identity/shuffle.
+#[test]
+fn conformance_scheduled_backend_all_families_all_sizes() {
+    run_backend(Backend::Scheduled);
+}
+
+/// The γ decision itself (no forcing): whatever backend the engine picks,
+/// outputs still match the naive reference for every family and size.
+#[test]
+fn conformance_default_gamma_decision_is_correct() {
+    for n in SIZES {
+        let engine: SharedEngine<u32> = SharedEngine::new(W);
+        for (name, p) in paper_families(n) {
+            let src = input(n);
+            let want = naive_reference(&p, &src);
+            let mut dst = vec![0u32; n];
+            engine.permute(&p, &src, &mut dst).unwrap();
+            assert_eq!(dst, want, "{name} n={n}: default γ decision diverged");
+        }
+    }
+}
