@@ -2,7 +2,7 @@
 //! König edge coloring across degrees (DESIGN.md §8.2).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use hmm_graph::{edge_color_with, RegularBipartite, Strategy};
+use hmm_graph::{edge_color_par, edge_color_with, Parallelism, RegularBipartite, Strategy};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -29,6 +29,11 @@ fn bench_coloring(c: &mut Criterion) {
         group.throughput(Throughput::Elements(g.num_edges() as u64));
         group.bench_with_input(BenchmarkId::new("euler-hybrid", deg), &g, |b, g| {
             b.iter(|| edge_color_with(g, Strategy::Hybrid).unwrap())
+        });
+        // The parallel compiler's coloring at a 4-thread budget; output is
+        // identical to euler-hybrid, so any delta is pure orchestration.
+        group.bench_with_input(BenchmarkId::new("euler-hybrid-par4", deg), &g, |b, g| {
+            b.iter(|| edge_color_par(g, Strategy::Hybrid, Parallelism::threads(4)).unwrap())
         });
         // Matching-only is O(deg) matchings; skip the biggest shape to keep
         // the suite fast.

@@ -12,7 +12,8 @@
 //! repro apps [--n N]        # which application permutations need scheduling
 //! repro generations         # crossover size across GPU-generation presets
 //! repro heatmap [--n N]     # access-pattern heatmaps (trace support)
-//! repro native [--full] [--json] [--contended T] [--queued T]  # wall-clock CPU backend comparison
+//! repro native [--full] [--json] [--contended T] [--queued T] [--plan-threads T]
+//!                           # wall-clock CPU backend comparison
 //! repro plan build [--n N] [--family F] [--seed S] [--width W]
 //! repro plan save  --dir DIR [--n N] [--family F] [--seed S] [--width W]
 //! repro plan load  --dir DIR [--n N] [--family F] [--seed S] [--width W] [--assert-cold]
@@ -28,6 +29,10 @@
 //! a small machine is fine and still exercises the claiming logic).
 //! `--queued T` (native only) sets the submitter count of the queued-vs-
 //! blocking submission measurement (default 4; `0` skips it).
+//! `--plan-threads T` (native only) sets the thread budget of the parallel
+//! plan-compiler measurement, emitting `plan_build_1t` / `plan_build_{T}t`
+//! rows (default 4; `0` skips it). The two builds are asserted
+//! byte-identical through the codec before any time is reported.
 
 use hmm_bench::experiments::{
     ablation, applications, figures, generations, smallperm, sweep, table1, table2, table3,
@@ -44,6 +49,7 @@ struct Args {
     json: bool,
     contended: Option<usize>,
     queued: Option<usize>,
+    plan_threads: Option<usize>,
     count: Option<usize>,
     n: Option<usize>,
     csv_dir: Option<std::path::PathBuf>,
@@ -77,6 +83,7 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         json: false,
         contended: None,
         queued: None,
+        plan_threads: None,
         count: None,
         n: None,
         csv_dir: None,
@@ -107,6 +114,14 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
                         .ok_or("--queued needs a submitter count")?
                         .parse()
                         .map_err(|e| format!("--queued: {e}"))?,
+                )
+            }
+            "--plan-threads" => {
+                out.plan_threads = Some(
+                    it.next()
+                        .ok_or("--plan-threads needs a thread count")?
+                        .parse()
+                        .map_err(|e| format!("--plan-threads: {e}"))?,
                 )
             }
             "--count" => {
@@ -167,7 +182,8 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: repro <all|table1|table2|table3|fig3|fig4|fig5|fig6|smallperm|ablation|\
                  sweep|apps|heatmap|native|plan> [--full] [--f64] [--no-cache] [--json] \
-                 [--count K] [--n N] [--csv DIR] [--contended T] [--queued T]\n       \
+                 [--count K] [--n N] [--csv DIR] [--contended T] [--queued T] \
+                 [--plan-threads T]\n       \
                  repro plan <build|save|load|stats> [--dir DIR] [--n N] [--family F] \
                  [--seed S] [--width W] [--assert-cold]"
             );
@@ -419,12 +435,26 @@ fn run(cmd: &str, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             println!("=== Native CPU backend: wall-clock (median of 5) ===\n");
             let contended_threads = args.contended.unwrap_or(4);
             let queued_threads = args.queued.unwrap_or(4);
-            let report = native_experiments::report(&sizes, 5, contended_threads, queued_threads)?;
+            let plan_threads = args.plan_threads.unwrap_or(4);
+            let report = native_experiments::report(
+                &sizes,
+                5,
+                contended_threads,
+                queued_threads,
+                plan_threads,
+            )?;
             print!("{}", native_experiments::render(&report.rows));
             println!("\n=== Plan cache: cached Engine::permute vs rebuild-per-call ===\n");
             print!("{}", native_experiments::render_plan(&report.plan_rows));
             println!("\n=== Plan store: cold build+save vs cold-engine load ===\n");
             print!("{}", native_experiments::render_store(&report.store_rows));
+            if !report.plan_build_rows.is_empty() {
+                println!("\n=== Plan compiler: sequential vs parallel König build ===\n");
+                print!(
+                    "{}",
+                    native_experiments::render_plan_build(&report.plan_build_rows)
+                );
+            }
             println!("\n=== Contended SharedEngine: mixed families, warm cache ===\n");
             print!(
                 "{}",

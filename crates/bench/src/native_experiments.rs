@@ -82,6 +82,62 @@ pub struct PlanCacheRow {
     pub rebuild: Duration,
 }
 
+/// One row of the plan-compiler scaling measurement: the sequential König
+/// build against the parallel compiler at a fixed thread budget, over the
+/// same random permutation.
+#[derive(Debug, Clone)]
+pub struct PlanBuildRow {
+    /// Array size (family: random).
+    pub n: usize,
+    /// Thread budget of the parallel build.
+    pub threads: usize,
+    /// Sequential `PlanIr::build`.
+    pub seq: Duration,
+    /// Parallel `PlanIr::build_par` at `threads`.
+    pub par: Duration,
+}
+
+/// Measure the plan compiler: sequential build against the parallel
+/// builder at `threads`, per size. Before timing, the two builds are
+/// checked **byte-identical through the codec** at every size — the
+/// determinism contract the plan cache and store rely on — so a scaling
+/// number can never be quoted for a compiler that diverged.
+pub fn plan_build_scaling(
+    sizes: &[usize],
+    reps: usize,
+    threads: usize,
+) -> Result<Vec<PlanBuildRow>> {
+    use hmm_plan::PlanIr;
+    let threads = threads.max(1);
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let p = hmm_perm::families::random(n, 5);
+        let seq_ir = PlanIr::build(&p, W)?;
+        let par_ir = PlanIr::build_par(&p, W, threads)?;
+        assert_eq!(
+            hmm_plan::encode(&par_ir),
+            hmm_plan::encode(&seq_ir),
+            "parallel plan diverged from sequential at n={n}, {threads} threads"
+        );
+        drop((seq_ir, par_ir));
+        let seq = median_time(reps.min(3), || {
+            let ir = PlanIr::build(&p, W).unwrap();
+            std::hint::black_box(&ir);
+        });
+        let par = median_time(reps.min(3), || {
+            let ir = PlanIr::build_par(&p, W, threads).unwrap();
+            std::hint::black_box(&ir);
+        });
+        rows.push(PlanBuildRow {
+            n,
+            threads,
+            seq,
+            par,
+        });
+    }
+    Ok(rows)
+}
+
 /// One row of the plan-store comparison: the same scheduled plan produced
 /// by a cold König build (and persisted) versus materialised by a *cold
 /// engine* from a warm on-disk store — the cross-process reuse the store
@@ -317,6 +373,8 @@ pub struct NativeReport {
     pub plan_rows: Vec<PlanCacheRow>,
     /// Plan-store comparison rows (cold build+save vs cold-engine load).
     pub store_rows: Vec<PlanStoreRow>,
+    /// Plan-compiler scaling rows (sequential vs `plan_threads`).
+    pub plan_build_rows: Vec<PlanBuildRow>,
     /// Contended `SharedEngine` rows (1 thread and T threads, for the
     /// scaling comparison).
     pub contended_rows: Vec<ContendedRow>,
@@ -448,12 +506,15 @@ const CONTENDED_MAX_N: usize = 1 << 20;
 /// Contended rows are measured at 1 thread and at `contended_threads`
 /// (sizes capped at 1M elements), so the JSON records a scaling pair.
 /// Queued rows are measured at `queued_threads` submitters over the same
-/// capped sizes (`0` skips the queued group).
+/// capped sizes (`0` skips the queued group). Plan-compiler rows pair the
+/// sequential builder with `plan_threads` threads at every size (`0`
+/// skips the group).
 pub fn report(
     sizes: &[usize],
     reps: usize,
     contended_threads: usize,
     queued_threads: usize,
+    plan_threads: usize,
 ) -> Result<NativeReport> {
     let csizes: Vec<usize> = {
         let kept: Vec<usize> = sizes
@@ -477,12 +538,18 @@ pub fn report(
     } else {
         Vec::new()
     };
+    let plan_build_rows = if plan_threads > 0 {
+        plan_build_scaling(sizes, reps, plan_threads)?
+    } else {
+        Vec::new()
+    };
     Ok(NativeReport {
         threads: worker_threads(),
         reps,
         rows: run(sizes, reps)?,
         plan_rows: plan_cache(sizes, reps)?,
         store_rows: plan_store(sizes, reps)?,
+        plan_build_rows,
         contended_rows,
         queued_rows,
     })
@@ -545,6 +612,22 @@ pub fn render_store(rows: &[PlanStoreRow]) -> String {
             format!("{:.2?}", r.build_and_save),
             format!("{:.2?}", r.cold_load),
             format!("{speedup:.1}x"),
+        ]);
+    }
+    t.render()
+}
+
+/// Render the plan-compiler scaling table.
+pub fn render_plan_build(rows: &[PlanBuildRow]) -> String {
+    let mut t = TextTable::new(vec!["n", "threads", "seq build", "par build", "speedup"]);
+    for r in rows {
+        let speedup = r.seq.as_secs_f64() / r.par.as_secs_f64().max(1e-12);
+        t.row(vec![
+            size_label(r.n),
+            r.threads.to_string(),
+            format!("{:.2?}", r.seq),
+            format!("{:.2?}", r.par),
+            format!("{speedup:.2}x"),
         ]);
     }
     t.render()
@@ -658,6 +741,22 @@ pub fn to_json(report: &NativeReport) -> String {
             json_row(&mut out, "random", r.n, backend, d);
         }
     }
+    for r in &report.plan_build_rows {
+        // Thread count in the backend name, like the contended rows; the
+        // sequential arm is always reported as `plan_build_1t` so a pair
+        // exists even when `threads` == 1 collapses them.
+        let mut arms = vec![("plan_build_1t".to_string(), r.seq)];
+        if r.threads > 1 {
+            arms.push((format!("plan_build_{}t", r.threads), r.par));
+        }
+        for (backend, d) in arms {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            json_row(&mut out, "random", r.n, &backend, d);
+        }
+    }
     for r in &report.contended_rows {
         if !first {
             out.push_str(",\n");
@@ -714,8 +813,13 @@ mod tests {
 
     #[test]
     fn plan_cache_rows_and_json_shape() {
-        let report = report(&[1 << 12], 1, 2, 2).unwrap();
+        let report = report(&[1 << 12], 1, 2, 2, 2).unwrap();
         assert_eq!(report.plan_rows.len(), 1);
+        // Plan-compiler pair: sequential + 2-thread arms at the single size.
+        assert_eq!(report.plan_build_rows.len(), 1);
+        assert_eq!(report.plan_build_rows[0].threads, 2);
+        let build_table = render_plan_build(&report.plan_build_rows);
+        assert!(build_table.contains("par build"));
         let plan_table = render_plan(&report.plan_rows);
         assert!(plan_table.contains("rebuild"));
         // Contended pair: 1 thread and 2 threads at the single size.
@@ -731,8 +835,8 @@ mod tests {
         assert!(queued_table.contains("submitters"));
         let json = to_json(&report);
         // 5 families x 5 backends + 3 plan-cache rows + 2 plan-store rows
-        // + 2 contended rows + 2 queued rows.
-        assert_eq!(json.matches("\"backend\"").count(), 34);
+        // + 2 plan-build rows + 2 contended rows + 2 queued rows.
+        assert_eq!(json.matches("\"backend\"").count(), 36);
         for key in [
             "\"bench\": \"native\"",
             "\"threads\"",
@@ -742,6 +846,8 @@ mod tests {
             "\"rebuild_per_call\"",
             "\"plan_store_build\"",
             "\"plan_store_cold\"",
+            "\"plan_build_1t\"",
+            "\"plan_build_2t\"",
             "\"engine_contended_1t\"",
             "\"engine_contended_2t\"",
             "\"engine_queued_2t\"",

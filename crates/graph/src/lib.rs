@@ -11,7 +11,9 @@
 //! * [`euler::euler_split`] — Euler-partition degree halving;
 //! * [`matching::hopcroft_karp`] — maximum matching for odd-degree peeling;
 //! * [`edge_color`] — the hybrid `Δ`-coloring, plus a matching-only
-//!   baseline strategy for the ablation bench, and [`verify_coloring`].
+//!   baseline strategy for the ablation bench, and [`verify_coloring`];
+//! * [`edge_color_par`] — the same coloring fanned out over scoped
+//!   threads ([`exec::Parallelism`]), byte-identical at any thread count.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -19,10 +21,14 @@
 pub mod coloring;
 pub mod error;
 pub mod euler;
+pub mod exec;
 pub mod matching;
 pub mod multigraph;
 
-pub use coloring::{edge_color, edge_color_with, verify_coloring, EdgeColoring, Strategy};
+pub use coloring::{
+    edge_color, edge_color_par, edge_color_with, verify_coloring, EdgeColoring, Strategy,
+};
 pub use error::{GraphError, Result};
+pub use exec::Parallelism;
 pub use matching::{hopcroft_karp, Matching};
 pub use multigraph::RegularBipartite;

@@ -1,0 +1,98 @@
+//! Determinism of the parallel plan-compiler coloring: for any regular
+//! bipartite multigraph and any thread budget, [`edge_color_par`] must
+//! produce **exactly** the coloring of the sequential [`edge_color_with`].
+//! This is the property `hmm-plan` relies on for byte-identical plan
+//! output, so it is pinned here over randomized graphs, both strategies,
+//! and budgets beyond the host's core count.
+
+use hmm_graph::{
+    edge_color_par, edge_color_with, verify_coloring, Parallelism, RegularBipartite, Strategy,
+};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Union of `deg` random perfect matchings: a `deg`-regular bipartite
+/// multigraph with parallel edges possible. A second knob (`clustered`)
+/// wires each matching within blocks of 4 nodes instead, which produces
+/// many small connected components and exercises the per-component
+/// fan-out + local vertex relabeling.
+fn random_regular(nodes: usize, deg: usize, clustered: bool, seed: u64) -> RegularBipartite {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(nodes * deg);
+    let block = if clustered { 4.min(nodes) } else { nodes };
+    for _ in 0..deg {
+        let mut start = 0;
+        while start < nodes {
+            let end = (start + block).min(nodes);
+            let mut rights: Vec<usize> = (start..end).collect();
+            rights.shuffle(&mut rng);
+            for (i, &v) in rights.iter().enumerate() {
+                edges.push((start + i, v));
+            }
+            start = end;
+        }
+    }
+    RegularBipartite::new(nodes, edges).unwrap()
+}
+
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+    // The proptest prelude also globs a `Strategy` trait; ours wins.
+    use hmm_graph::Strategy;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Hybrid coloring: parallel == sequential, bit for bit, at any
+        /// thread budget — even/odd degrees, connected and clustered.
+        #[test]
+        fn hybrid_parallel_equals_sequential(
+            nodes_exp in 2u32..=6,
+            deg in 1usize..=17,
+            clustered in 0u8..2,
+            threads in 2usize..=9,
+            seed in any::<u64>(),
+        ) {
+            let nodes = 1usize << nodes_exp;
+            let g = random_regular(nodes, deg, clustered == 1, seed);
+            let seq = edge_color_with(&g, Strategy::Hybrid).unwrap();
+            prop_assert!(verify_coloring(&g, &seq));
+            let par = edge_color_par(&g, Strategy::Hybrid, Parallelism::threads(threads)).unwrap();
+            prop_assert_eq!(par, seq);
+        }
+
+        /// The matching-only baseline obeys the same contract (its
+        /// parallelism is per-component only).
+        #[test]
+        fn matching_only_parallel_equals_sequential(
+            nodes in 4usize..=24,
+            deg in 1usize..=8,
+            clustered in 0u8..2,
+            threads in 2usize..=6,
+            seed in any::<u64>(),
+        ) {
+            let g = random_regular(nodes, deg, clustered == 1, seed);
+            let seq = edge_color_with(&g, Strategy::MatchingOnly).unwrap();
+            prop_assert!(verify_coloring(&g, &seq));
+            let par =
+                edge_color_par(&g, Strategy::MatchingOnly, Parallelism::threads(threads)).unwrap();
+            prop_assert_eq!(par, seq);
+        }
+    }
+}
+
+/// One deterministic large case that actually crosses the fork threshold
+/// (8K edges), so the scoped-thread path is exercised even when the
+/// proptest cases stay small.
+#[test]
+fn hybrid_parallel_equals_sequential_above_fork_threshold() {
+    let g = random_regular(1024, 32, false, 7); // 32768 edges
+    let seq = edge_color_with(&g, Strategy::Hybrid).unwrap();
+    for t in [2, 4, 8] {
+        let par = edge_color_par(&g, Strategy::Hybrid, Parallelism::threads(t)).unwrap();
+        assert_eq!(par, seq, "threads {t}");
+    }
+    assert!(verify_coloring(&g, &seq));
+}

@@ -198,7 +198,11 @@ impl PermutePlan {
         if gamma <= gamma_threshold {
             Ok(Self::scatter(p, gamma))
         } else {
-            Ok(Self::from_ir(&PlanIr::build(p, width)?))
+            Ok(Self::from_ir(&PlanIr::build_par(
+                p,
+                width,
+                crate::par::worker_threads(),
+            )?))
         }
     }
 
@@ -978,7 +982,11 @@ impl<T: Copy + Send + Sync + Default + 'static> SharedEngine<T> {
                 }
             }
         }
-        let ir = PlanIr::build(p, self.core.width)?;
+        // Cold build: route through the parallel plan compiler on the
+        // engine's thread budget. Output is byte-identical to the
+        // sequential builder at any budget, so cached, stored, and
+        // freshly-built plans can never disagree.
+        let ir = PlanIr::build_par(p, self.core.width, crate::par::worker_threads())?;
         self.core.stats.builds.fetch_add(1, Ordering::Relaxed);
         if let Some(store) = &self.core.store {
             // Best effort: a failed save must never fail the permute.

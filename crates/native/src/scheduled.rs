@@ -50,7 +50,7 @@ impl NativeScheduled {
     /// the decomposition (any power of two dividing both matrix dimensions
     /// — 32 matches the GPU schedule and is always safe here).
     pub fn build(p: &Permutation, width: usize) -> Result<Self> {
-        let ir = PlanIr::build(p, width)?;
+        let ir = PlanIr::build_par(p, width, worker_threads())?;
         Ok(Self::from_plan(&ir))
     }
 
@@ -59,7 +59,7 @@ impl NativeScheduled {
     /// `Decomposition::from_ir`, or persist it in an `hmm_plan::PlanStore`
     /// — without paying for the König coloring twice.
     pub fn build_shared(p: &Permutation, width: usize) -> Result<(Self, PlanIr)> {
-        let ir = PlanIr::build(p, width)?;
+        let ir = PlanIr::build_par(p, width, worker_threads())?;
         let sched = Self::from_plan(&ir);
         Ok((sched, ir))
     }

@@ -26,7 +26,7 @@
 //! re-runs the coloring.
 
 use crate::error::{PlanError, Result};
-use hmm_graph::{edge_color_with, RegularBipartite, Strategy};
+use hmm_graph::{edge_color_par, edge_color_with, Parallelism, RegularBipartite, Strategy};
 use hmm_perm::distribution::distribution;
 use hmm_perm::{scheduled_shape, MatrixShape, Permutation};
 
@@ -70,6 +70,136 @@ impl PlanIr {
     pub fn build_with(p: &Permutation, width: usize, strategy: Strategy) -> Result<Self> {
         let shape = scheduled_shape(p.len(), width)?;
         Self::build_for_shape(p, shape, width, strategy)
+    }
+
+    /// The parallel plan compiler: [`PlanIr::build`] fanned out over a
+    /// scoped-thread budget of `threads`. Every stage parallelises — the
+    /// König coloring forks its split tree (and colors connected
+    /// components of the transfer graph independently), and the step
+    /// fills, row inversions, and γ_w measurement chunk over rows. The
+    /// result is **byte-identical** to the sequential builder at any
+    /// thread count: the budget relocates work, it never reorders the
+    /// deterministic partitions (pinned by `tests/parallel.rs` and the
+    /// `hmm-graph` determinism suite). `threads <= 1` *is* the sequential
+    /// builder.
+    pub fn build_par(p: &Permutation, width: usize, threads: usize) -> Result<Self> {
+        let shape = scheduled_shape(p.len(), width)?;
+        Self::build_for_shape_par(p, shape, width, Strategy::Hybrid, threads)
+    }
+
+    /// [`PlanIr::build_par`] on an explicit shape with an explicit
+    /// strategy — the parallel analogue of [`PlanIr::build_for_shape`].
+    pub fn build_for_shape_par(
+        p: &Permutation,
+        shape: MatrixShape,
+        width: usize,
+        strategy: Strategy,
+        threads: usize,
+    ) -> Result<Self> {
+        if threads <= 1 {
+            return Self::build_for_shape(p, shape, width, strategy);
+        }
+        let n = p.len();
+        if shape.len() != n {
+            return Err(PlanError::SizeMismatch {
+                expected: n,
+                got: shape.len(),
+            });
+        }
+        let (r, c) = (shape.rows, shape.cols);
+        let par = Parallelism::threads(threads);
+
+        let mut edges: Vec<(usize, usize)> = vec![(0, 0); n];
+        par.run_rows(&mut edges, c, |first_row, chunk| {
+            let base = first_row * c;
+            for (off, e) in chunk.iter_mut().enumerate() {
+                let idx = base + off;
+                *e = (idx / c, p.apply(idx) / c);
+            }
+        });
+        let graph = RegularBipartite::new(r, edges)?;
+        let coloring = edge_color_par(&graph, strategy, par)?;
+        debug_assert_eq!(coloring.num_colors, c);
+
+        // The sequential fill scatters into step2 (`c × r`) and step3
+        // (`r × c`) from a single walk of the source rows. To keep the
+        // parallel fill free of cross-chunk writes (and of `unsafe`), it
+        // instead stages two row-major `r × c` temporaries — `s2t[i][k] =
+        // destination row` and `dcol[i][k] = destination column` of row
+        // `i`'s color-`k` element — whose writes stay inside the walked
+        // row (each row's colors are a permutation of `0..c`), then
+        // derives step2/step3 with chunk-owned transposing passes.
+        let mut step1 = vec![0u32; n];
+        let mut s2t = vec![0u32; n];
+        let mut dcol = vec![0u32; n];
+        let colors = &coloring.colors;
+        par_rows3(
+            par,
+            0,
+            c,
+            &mut step1,
+            &mut s2t,
+            &mut dcol,
+            &|first_row, s1, s2, dc| {
+                let rows = s1.len() / c;
+                for rr in 0..rows {
+                    let i = first_row + rr;
+                    for j in 0..c {
+                        let idx = i * c + j;
+                        let dest = p.apply(idx);
+                        let k = colors[idx];
+                        s1[rr * c + j] = k as u32;
+                        s2[rr * c + k] = (dest / c) as u32;
+                        dc[rr * c + k] = (dest % c) as u32;
+                    }
+                }
+            },
+        );
+
+        let mut step2 = vec![0u32; n];
+        {
+            let s2t = &s2t;
+            par.run_rows(&mut step2, r, |first_k, chunk| {
+                for (kk, row) in chunk.chunks_exact_mut(r).enumerate() {
+                    let k = first_k + kk;
+                    for (i, slot) in row.iter_mut().enumerate() {
+                        *slot = s2t[i * c + k];
+                    }
+                }
+            });
+        }
+        drop(s2t);
+        let g2 = invert_rows_par(&step2, r, par);
+
+        let mut step3 = vec![0u32; n];
+        {
+            let (g2, dcol) = (&g2, &dcol);
+            par.run_rows(&mut step3, c, |first_di, chunk| {
+                for (dd, row) in chunk.chunks_exact_mut(c).enumerate() {
+                    let di = first_di + dd;
+                    for (k, slot) in row.iter_mut().enumerate() {
+                        let i = g2[k * r + di] as usize;
+                        *slot = dcol[i * c + k];
+                    }
+                }
+            });
+        }
+        drop(dcol);
+        let g1 = invert_rows_par(&step1, c, par);
+        let g3 = invert_rows_par(&step3, c, par);
+
+        Ok(PlanIr {
+            shape,
+            width,
+            step1,
+            step2,
+            step3,
+            g1,
+            g2,
+            g3,
+            gamma: distribution_par(p, width, par),
+            fingerprint: p.fingerprint(),
+        })
     }
 
     /// Build on an explicit matrix shape (exposed for tests with
@@ -291,6 +421,82 @@ fn invert_rows(flat: &[u32], cols: usize) -> Vec<u32> {
     out
 }
 
+/// Per-row inverse over a thread budget: identical output to
+/// [`invert_rows`] (each output row is owned by exactly one chunk).
+fn invert_rows_par(flat: &[u32], cols: usize, par: Parallelism) -> Vec<u32> {
+    let mut out = vec![0u32; flat.len()];
+    par.run_rows(&mut out, cols, |first_row, chunk| {
+        for (rr, orow) in chunk.chunks_exact_mut(cols).enumerate() {
+            let base = (first_row + rr) * cols;
+            for (j, &d) in flat[base..base + cols].iter().enumerate() {
+                orow[d as usize] = j as u32;
+            }
+        }
+    });
+    out
+}
+
+/// The filler a [`par_rows3`] pass runs on each aligned three-buffer row
+/// chunk: `(first_row, rows_of_a, rows_of_b, rows_of_c)`.
+type Rows3Fill<'a> = &'a (dyn Fn(usize, &mut [u32], &mut [u32], &mut [u32]) + Sync);
+
+/// Fork/join three equally-shaped row-major buffers into aligned row
+/// chunks, so one pass can fill all three without cross-thread writes.
+fn par_rows3(
+    par: Parallelism,
+    first_row: usize,
+    cols: usize,
+    a: &mut [u32],
+    b: &mut [u32],
+    c: &mut [u32],
+    f: Rows3Fill<'_>,
+) {
+    let rows = a.len() / cols;
+    debug_assert!(b.len() == a.len() && c.len() == a.len());
+    if !par.is_parallel() || rows <= 1 {
+        if rows > 0 {
+            f(first_row, a, b, c);
+        }
+        return;
+    }
+    let cut = (rows / 2) * cols;
+    let (a1, a2) = a.split_at_mut(cut);
+    let (b1, b2) = b.split_at_mut(cut);
+    let (c1, c2) = c.split_at_mut(cut);
+    let mid = first_row + rows / 2;
+    par.join(
+        |p| par_rows3(p, first_row, cols, a1, b1, c1, f),
+        |p| par_rows3(p, mid, cols, a2, b2, c2, f),
+    );
+}
+
+/// γ_w(P) over a thread budget: per-warp distinct-group counts are
+/// independent, so chunk sums (integers, summed in range order) combine
+/// into exactly the sequential [`distribution`] value.
+fn distribution_par(p: &Permutation, width: usize, par: Parallelism) -> f64 {
+    let n = p.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let warps = n.div_ceil(width);
+    let slice = p.as_slice();
+    let parts = par.map_ranges(warps, 256, |w0, w1| {
+        let mut groups = 0usize;
+        let mut scratch: Vec<usize> = Vec::with_capacity(width);
+        for w in w0..w1 {
+            let warp = &slice[w * width..((w + 1) * width).min(n)];
+            scratch.clear();
+            scratch.extend(warp.iter().map(|&d| d / width));
+            scratch.sort_unstable();
+            scratch.dedup();
+            groups += scratch.len();
+        }
+        groups
+    });
+    let total: usize = parts.iter().sum();
+    total as f64 / warps as f64
+}
+
 /// True iff every `cols`-chunk of `flat` is a permutation of `0..cols`.
 fn rows_are_permutations(flat: &[u32], cols: usize) -> bool {
     let mut seen = vec![false; cols];
@@ -331,6 +537,28 @@ mod tests {
             assert_eq!(ir.fingerprint(), p.fingerprint());
             assert_eq!(ir.width(), W);
         }
+    }
+
+    #[test]
+    fn parallel_builder_equals_sequential_for_all_families() {
+        let n = 1 << 10;
+        for fam in families::Family::ALL {
+            let p = fam.build(n, 5).unwrap();
+            let seq = PlanIr::build(&p, W).unwrap();
+            for t in [2usize, 3, 8] {
+                let par = PlanIr::build_par(&p, W, t).unwrap();
+                assert_eq!(par, seq, "{} threads={t}", fam.name());
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_builder_with_one_thread_is_the_sequential_builder() {
+        let p = families::random(1 << 10, 44);
+        assert_eq!(
+            PlanIr::build_par(&p, W, 1).unwrap(),
+            PlanIr::build(&p, W).unwrap()
+        );
     }
 
     #[test]

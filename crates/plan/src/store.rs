@@ -104,7 +104,21 @@ impl PlanStore {
             key.width,
             std::process::id()
         ));
-        fs::write(&tmp, codec::encode(ir)).map_err(|e| store_err(&tmp, e))?;
+        // Stream the encoding straight to disk (`codec::encode_to`): the
+        // old `fs::write(codec::encode(ir))` materialised a second ~48 MiB
+        // copy of a 4M-element plan and was the bulk of the
+        // `plan_store_build` > `plan_build` inversion in BENCH_native.
+        let write = |tmp: &Path| -> std::io::Result<()> {
+            let file = fs::File::create(tmp)?;
+            let mut w = std::io::BufWriter::new(file);
+            codec::encode_to(ir, &mut w)?;
+            use std::io::Write;
+            w.flush()
+        };
+        write(&tmp).map_err(|e| {
+            let _ = fs::remove_file(&tmp);
+            store_err(&tmp, e)
+        })?;
         fs::rename(&tmp, &path).map_err(|e| {
             let _ = fs::remove_file(&tmp);
             store_err(&path, e)
