@@ -444,6 +444,8 @@ fn run(cmd: &str, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
                 plan_threads,
             )?;
             print!("{}", native_experiments::render(&report.rows));
+            println!("\n=== Per-sweep: SIMD double-buffered pipeline vs scalar (random) ===\n");
+            print!("{}", native_experiments::render_sweeps(&report.sweep_rows));
             println!("\n=== Plan cache: cached Engine::permute vs rebuild-per-call ===\n");
             print!("{}", native_experiments::render_plan(&report.plan_rows));
             println!("\n=== Plan store: cold build+save vs cold-engine load ===\n");

@@ -26,7 +26,8 @@
 use crate::tables::{size_label, TextTable};
 use hmm_native::par::worker_threads;
 use hmm_native::{
-    copy_baseline, gather_permute, scatter_permute, Engine, NativeScheduled, SharedEngine,
+    copy_baseline, gather_permute, scatter_permute, Engine, KernelConfig, NativeScheduled,
+    SharedEngine,
 };
 use hmm_offperm::Result;
 use hmm_perm::families::{self, Family};
@@ -67,6 +68,67 @@ pub struct NativeRow {
     pub unfused: Duration,
     /// Plain parallel copy (bandwidth ceiling).
     pub copy: Duration,
+}
+
+/// One row of the per-sweep kernel comparison: the three fused sweeps of
+/// the scheduled path timed individually (`NativeScheduled::
+/// run_sweeps_timed`), once with the vectorized double-buffered pipeline
+/// and once with the scalar reference config, over the same plan.
+#[derive(Debug, Clone)]
+pub struct SweepRow {
+    /// Array size (family: random — the scheduled backend's workload).
+    pub n: usize,
+    /// `[gather-transpose 1, gather-transpose 2, row pass]` with the
+    /// default (SIMD, double-buffered, prefetching) config.
+    pub simd_on: [Duration; 3],
+    /// The same sweeps with `KernelConfig::scalar()`.
+    pub simd_off: [Duration; 3],
+}
+
+impl SweepRow {
+    /// Total fused-path time with the vectorized pipeline.
+    pub fn total_on(&self) -> Duration {
+        self.simd_on.iter().sum()
+    }
+
+    /// Total fused-path time with the scalar reference config.
+    pub fn total_off(&self) -> Duration {
+        self.simd_off.iter().sum()
+    }
+}
+
+/// Elementwise median of repeated `[Duration; 3]` sweep measurements.
+fn median_sweeps(reps: usize, mut f: impl FnMut() -> [Duration; 3]) -> [Duration; 3] {
+    let samples: Vec<[Duration; 3]> = (0..reps.max(1)).map(|_| f()).collect();
+    std::array::from_fn(|k| {
+        let mut col: Vec<Duration> = samples.iter().map(|s| s[k]).collect();
+        col.sort();
+        col[col.len() / 2]
+    })
+}
+
+/// Time each of the three sweeps with the SIMD pipeline on and off, per
+/// size, over one shared plan (random family) — the before/after data
+/// behind EXPERIMENTS.md's per-sweep table.
+pub fn sweeps(sizes: &[usize], reps: usize) -> Result<Vec<SweepRow>> {
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let p = hmm_perm::families::random(n, 5);
+        let ir = hmm_plan::PlanIr::build_par(&p, W, worker_threads())?;
+        let on = NativeScheduled::from_plan_with(&ir, KernelConfig::default());
+        let off = NativeScheduled::from_plan_with(&ir, KernelConfig::scalar());
+        let src: Vec<u32> = (0..n as u32).collect();
+        let mut dst = vec![0u32; n];
+        let mut scratch = vec![0u32; n];
+        let simd_on = median_sweeps(reps, || on.run_sweeps_timed(&src, &mut dst, &mut scratch));
+        let simd_off = median_sweeps(reps, || off.run_sweeps_timed(&src, &mut dst, &mut scratch));
+        rows.push(SweepRow {
+            n,
+            simd_on,
+            simd_off,
+        });
+    }
+    Ok(rows)
 }
 
 /// One row of the plan-cache comparison.
@@ -369,6 +431,8 @@ pub struct NativeReport {
     pub reps: usize,
     /// Kernel comparison rows.
     pub rows: Vec<NativeRow>,
+    /// Per-sweep SIMD on/off rows.
+    pub sweep_rows: Vec<SweepRow>,
     /// Plan-cache comparison rows.
     pub plan_rows: Vec<PlanCacheRow>,
     /// Plan-store comparison rows (cold build+save vs cold-engine load).
@@ -547,6 +611,7 @@ pub fn report(
         threads: worker_threads(),
         reps,
         rows: run(sizes, reps)?,
+        sweep_rows: sweeps(sizes, reps)?,
         plan_rows: plan_cache(sizes, reps)?,
         store_rows: plan_store(sizes, reps)?,
         plan_build_rows,
@@ -575,6 +640,35 @@ pub fn render(rows: &[NativeRow]) -> String {
             format!("{:.2?}", r.scheduled),
             format!("{:.2?}", r.unfused),
             format!("{:.2?}", r.copy),
+        ]);
+    }
+    t.render()
+}
+
+/// Render the per-sweep SIMD on/off comparison table.
+pub fn render_sweeps(rows: &[SweepRow]) -> String {
+    let mut t = TextTable::new(vec!["n", "sweep", "simd+pipeline", "scalar", "speedup"]);
+    for r in rows {
+        for (k, sweep) in ["gather-transpose-1", "gather-transpose-2", "row-pass"]
+            .iter()
+            .enumerate()
+        {
+            let speedup = r.simd_off[k].as_secs_f64() / r.simd_on[k].as_secs_f64().max(1e-12);
+            t.row(vec![
+                size_label(r.n),
+                sweep.to_string(),
+                format!("{:.2?}", r.simd_on[k]),
+                format!("{:.2?}", r.simd_off[k]),
+                format!("{speedup:.2}x"),
+            ]);
+        }
+        let speedup = r.total_off().as_secs_f64() / r.total_on().as_secs_f64().max(1e-12);
+        t.row(vec![
+            size_label(r.n),
+            "total".to_string(),
+            format!("{:.2?}", r.total_on()),
+            format!("{:.2?}", r.total_off()),
+            format!("{speedup:.2}x"),
         ]);
     }
     t.render()
@@ -716,6 +810,24 @@ pub fn to_json(report: &NativeReport) -> String {
             json_row(&mut out, r.family, r.n, backend, d);
         }
     }
+    for r in &report.sweep_rows {
+        for (backend, d) in [
+            ("sweep_gather", r.simd_on[0]),
+            ("sweep_transpose", r.simd_on[1]),
+            ("sweep_row", r.simd_on[2]),
+            ("sweep_gather_scalar", r.simd_off[0]),
+            ("sweep_transpose_scalar", r.simd_off[1]),
+            ("sweep_row_scalar", r.simd_off[2]),
+            ("engine_simd_on", r.total_on()),
+            ("engine_simd_off", r.total_off()),
+        ] {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            json_row(&mut out, "random", r.n, backend, d);
+        }
+    }
     for r in &report.plan_rows {
         for (backend, d) in [
             ("plan_build", r.build),
@@ -833,15 +945,26 @@ mod tests {
         assert_eq!(report.queued_rows[0].threads, 2);
         let queued_table = render_queued(&report.queued_rows);
         assert!(queued_table.contains("submitters"));
+        // Per-sweep rows: one SweepRow at the single size.
+        assert_eq!(report.sweep_rows.len(), 1);
+        let sweep_table = render_sweeps(&report.sweep_rows);
+        assert!(sweep_table.contains("row-pass"));
+        assert!(sweep_table.contains("total"));
         let json = to_json(&report);
-        // 5 families x 5 backends + 3 plan-cache rows + 2 plan-store rows
-        // + 2 plan-build rows + 2 contended rows + 2 queued rows.
-        assert_eq!(json.matches("\"backend\"").count(), 36);
+        // 5 families x 5 backends + 8 sweep rows + 3 plan-cache rows
+        // + 2 plan-store rows + 2 plan-build rows + 2 contended rows
+        // + 2 queued rows.
+        assert_eq!(json.matches("\"backend\"").count(), 44);
         for key in [
             "\"bench\": \"native\"",
             "\"threads\"",
             "\"elements_per_sec\"",
             "\"scheduled_unfused\"",
+            "\"sweep_gather\"",
+            "\"sweep_transpose_scalar\"",
+            "\"sweep_row\"",
+            "\"engine_simd_on\"",
+            "\"engine_simd_off\"",
             "\"engine_cached\"",
             "\"rebuild_per_call\"",
             "\"plan_store_build\"",

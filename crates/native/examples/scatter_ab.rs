@@ -1,0 +1,43 @@
+//! A/B timing harness for the raw scatter/gather kernels under the
+//! process-global [`hmm_native::KernelConfig`]. Run twice —
+//! `HMM_NATIVE_SIMD=1` (default tiers + prefetch) and `HMM_NATIVE_SIMD=0`
+//! (seed scalar loops) — and compare; `repro native` medians fold host
+//! noise across minutes, this isolates the kernels in seconds.
+
+use hmm_native::{gather_permute, scatter_permute};
+use hmm_perm::families;
+use std::time::{Duration, Instant};
+
+fn median(reps: usize, mut f: impl FnMut()) -> Duration {
+    let mut t: Vec<Duration> = (0..reps)
+        .map(|_| {
+            let s = Instant::now();
+            f();
+            s.elapsed()
+        })
+        .collect();
+    t.sort();
+    t[t.len() / 2]
+}
+
+fn main() {
+    let simd = std::env::var("HMM_NATIVE_SIMD").unwrap_or_else(|_| "1".into());
+    println!("HMM_NATIVE_SIMD={simd}");
+    for n in [1usize << 20, 1 << 22] {
+        let src: Vec<u32> = (0..n as u32).collect();
+        let mut dst = vec![0u32; n];
+        for fam in families::Family::ALL {
+            let p = fam.build(n, 7).unwrap();
+            let q = p.inverse();
+            let s = median(9, || scatter_permute(&src, &p, &mut dst));
+            let g = median(9, || gather_permute(&src, &q, &mut dst));
+            println!(
+                "n=2^{} {:<14} scatter {:>10.3?}  gather {:>10.3?}",
+                n.trailing_zeros(),
+                fam.name(),
+                s,
+                g
+            );
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Tuning knobs for the sweep kernels — the `KernelConfig` seam.
+//!
+//! The seed hard-coded the staging-buffer budget (256 KB) and the
+//! transpose tile side (64) for one cache size, and its inner loops were
+//! scalar. This module centralises those constants, adds the
+//! double-buffering depth and the SIMD/prefetch toggles, and gives every
+//! front door ([`crate::scheduled::NativeScheduled`], the engines in
+//! [`crate::plan`], and the queue drainers) one place to read them from:
+//!
+//! * [`KernelConfig::default`] — the seed's values, SIMD on;
+//! * [`KernelConfig::from_env`] — the default with [`SIMD_ENV`]
+//!   (`HMM_NATIVE_SIMD`) applied, so a deployment can force the scalar
+//!   reference path without recompiling;
+//! * [`KernelConfig::global`] — the process-wide snapshot engines use
+//!   unless a caller threads an explicit config through
+//!   (`NativeScheduled::from_plan_with`,
+//!   `SharedEngine::set_kernel_config`);
+//! * [`KernelConfig::scalar`] — the always-available scalar reference:
+//!   no SIMD, no prefetch, single staging buffer. The differential suite
+//!   uses it as the correctness oracle for every other config point.
+
+use std::sync::OnceLock;
+
+/// Environment variable: set to `0` to disable the SIMD kernel tiers
+/// process-wide (any other value, or unset, leaves them on; the
+/// `core::arch` tier additionally requires runtime CPU support).
+pub const SIMD_ENV: &str = "HMM_NATIVE_SIMD";
+
+/// Default per-worker staging-buffer budget in bytes (the seed's
+/// `262_144`): one gathered input block must fit in the last-level
+/// private cache alongside the output tile being written.
+pub const DEFAULT_STAGE_BYTES: usize = 262_144;
+
+/// Default blocked-transpose tile side in elements (the seed's `64`):
+/// 64×64 u32 tiles are 16 KB, comfortably L1/L2-resident.
+pub const DEFAULT_TILE: usize = 64;
+
+/// Default staging-buffer count per worker: two, so block *k+1* streams
+/// into one buffer while block *k* transposes out of the other.
+pub const DEFAULT_STAGING_DEPTH: usize = 2;
+
+/// Tuning parameters for the three fused sweep kernels.
+///
+/// All fields are plain data; a config is cheap to copy and carries no
+/// invariants beyond "non-zero where zero makes no sense" — the kernels
+/// clamp degenerate values (`tile` to ≥ 8, `depth` to 1..=2,
+/// `stage_bytes` to at least one input row) instead of panicking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelConfig {
+    /// Per-worker staging-buffer budget in bytes. Bounds how many input
+    /// rows one gather block stages before transposing out;
+    /// `HMM_NATIVE_CALIBRATE=1` replaces the default with a measured
+    /// value (see `SharedEngine::calibrate_gamma_threshold`).
+    pub stage_bytes: usize,
+    /// Blocked-transpose tile side in elements.
+    pub tile: usize,
+    /// Staging buffers per worker: `2` double-buffers the gather and
+    /// transpose stages, `1` degenerates to the strict
+    /// gather-then-transpose alternation (a config point the
+    /// differential suite exercises). Values outside `1..=2` are
+    /// clamped.
+    pub depth: usize,
+    /// Enable the vectorized kernel tiers: the width-specialized
+    /// no-bounds-check chunked paths everywhere, plus the `core::arch`
+    /// AVX2 paths on x86-64 hosts that support them (runtime-detected).
+    /// `false` selects the scalar reference kernels.
+    pub simd: bool,
+    /// Software-prefetch the gather map one block ahead while the
+    /// current block is being gathered.
+    pub prefetch: bool,
+}
+
+impl Default for KernelConfig {
+    fn default() -> Self {
+        KernelConfig {
+            stage_bytes: DEFAULT_STAGE_BYTES,
+            tile: DEFAULT_TILE,
+            depth: DEFAULT_STAGING_DEPTH,
+            simd: true,
+            prefetch: true,
+        }
+    }
+}
+
+impl KernelConfig {
+    /// The default config with [`SIMD_ENV`] applied: `HMM_NATIVE_SIMD=0`
+    /// turns both the SIMD tiers and the prefetch hints off (the full
+    /// scalar reference pipeline), anything else leaves the default.
+    pub fn from_env() -> Self {
+        let mut cfg = Self::default();
+        if std::env::var(SIMD_ENV).as_deref() == Ok("0") {
+            cfg.simd = false;
+            cfg.prefetch = false;
+        }
+        cfg
+    }
+
+    /// The process-wide config: [`KernelConfig::from_env`] evaluated
+    /// once, at first use. Callers that need a different config per
+    /// plan thread one through explicitly instead.
+    pub fn global() -> Self {
+        static GLOBAL: OnceLock<KernelConfig> = OnceLock::new();
+        *GLOBAL.get_or_init(Self::from_env)
+    }
+
+    /// The scalar reference configuration: no SIMD, no prefetch, one
+    /// staging buffer. This is the correctness oracle every vectorized
+    /// config point is differentially tested against, and the "before"
+    /// side of the bench's `engine_simd_off` rows.
+    pub fn scalar() -> Self {
+        KernelConfig {
+            simd: false,
+            prefetch: false,
+            depth: 1,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_seed_constants() {
+        let cfg = KernelConfig::default();
+        assert_eq!(cfg.stage_bytes, 262_144);
+        assert_eq!(cfg.tile, 64);
+        assert_eq!(cfg.depth, 2);
+        assert!(cfg.simd);
+        assert!(cfg.prefetch);
+    }
+
+    #[test]
+    fn scalar_is_the_reference_point() {
+        let cfg = KernelConfig::scalar();
+        assert!(!cfg.simd);
+        assert!(!cfg.prefetch);
+        assert_eq!(cfg.depth, 1);
+        assert_eq!(cfg.stage_bytes, DEFAULT_STAGE_BYTES);
+    }
+}

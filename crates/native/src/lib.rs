@@ -26,13 +26,21 @@
 //!   (`wait` / `try_wait` / `cancel`); plan resolution happens on the
 //!   drainer side, and build failures or panics resolve handles with a
 //!   [`queue::JobError`] instead of hanging waiters;
+//! * [`config::KernelConfig`] — the sweep-kernel tuning seam (staging
+//!   block size, double-buffer depth, SIMD and prefetch switches,
+//!   `HMM_NATIVE_SIMD=0` to force the scalar reference) threaded through
+//!   every front door: blocking calls, the shared engine, and the queue
+//!   drainers;
 //! * [`pool`] / [`par`] — a persistent worker pool (created once per
 //!   process) and the chunked parallel-for primitives built on it
 //!   (`rayon` is not on this reproduction's offline dependency list).
 //!
-//! `unsafe` is confined to three audited disjointness arguments: the
-//! scatter kernel (`scatter::ScatterTarget`), the pool's type-erased task
-//! pointer (`pool::RawTask`), and the chunk splitter (`par::SliceParts`).
+//! `unsafe` is confined to five audited sites: the scatter kernel's
+//! disjointness argument (`scatter::ScatterTarget`), the pool's
+//! type-erased task pointer (`pool::RawTask`), the chunk splitter
+//! (`par::SliceParts`), the seed-initialized per-thread staging arena
+//! (`stage`), and the clamped-index vector kernels (`simd` — the one
+//! module allowed to touch `core::arch`).
 //!
 //! The criterion benches in `hmm-bench` compare the approaches across the
 //! paper's permutation families and sizes.
@@ -40,13 +48,17 @@
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod config;
 pub mod par;
 pub mod plan;
 pub mod pool;
 pub mod queue;
 pub mod scatter;
 pub mod scheduled;
+mod simd;
+mod stage;
 
+pub use config::{KernelConfig, SIMD_ENV};
 pub use hmm_plan::{PlanIr, PlanStore, StoreKey};
 pub use plan::{Backend, Engine, EngineStats, PermutePlan, SharedEngine, CALIBRATE_ENV};
 pub use queue::{BatchHandle, JobError, JobHandle, JobReport, DEFAULT_QUEUE_CAPACITY};

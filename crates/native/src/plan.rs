@@ -48,6 +48,7 @@
 //! [`SharedEngine::calibrate_gamma_threshold`]) to replace it with a
 //! crossover measured on the running host.
 
+use crate::config::KernelConfig;
 use crate::queue::{
     BatchHandle, Bounded, JobError, JobHandle, JobReport, JobState, Payload, QueuedJob,
     DEFAULT_QUEUE_CAPACITY,
@@ -162,6 +163,35 @@ fn measured_crossover(width: usize) -> Option<f64> {
     Some(crossover.clamp(1.0, width as f64))
 }
 
+/// Time the fused three-sweep path over a small grid of staging-block
+/// budgets and return the fastest, or `None` when the width cannot be
+/// scheduled at the probe size. Candidates bracket the default 256 KB:
+/// hosts with small private caches win at 64–128 KB, large-L2 parts at
+/// 512 KB.
+fn measured_stage_bytes(width: usize, base: KernelConfig) -> Option<usize> {
+    let n = width
+        .saturating_mul(width)
+        .next_power_of_two()
+        .clamp(1 << 16, 1 << 22);
+    let p = families::random(n, 0x57a9e);
+    let sched = NativeScheduled::build(&p, width).ok()?;
+    let src: Vec<u32> = (0..n as u32).collect();
+    let mut dst = vec![0u32; n];
+    let mut scratch = vec![0u32; n];
+    let mut best: Option<(Duration, usize)> = None;
+    for stage_bytes in [1 << 16, 1 << 17, 1 << 18, 1 << 19] {
+        let tuned = sched.clone().with_config(KernelConfig {
+            stage_bytes,
+            ..base
+        });
+        let t = min_time(3, || tuned.run_with_scratch(&src, &mut dst, &mut scratch));
+        if best.is_none_or(|(bt, _)| t < bt) {
+            best = Some((t, stage_bytes));
+        }
+    }
+    best.map(|(_, stage_bytes)| stage_bytes)
+}
+
 /// Cache key: permutation fingerprint + length + schedule width.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct PlanKey {
@@ -211,12 +241,22 @@ impl PermutePlan {
     /// answers for is recomposed from the IR's own three passes, so the
     /// wrapper is correct for exactly the permutation the IR encodes,
     /// wherever the IR came from (a fresh build, another engine, or a
-    /// plan-store file).
+    /// plan-store file). Sweeps run with the process-wide
+    /// [`KernelConfig::global`].
     pub fn from_ir(ir: &PlanIr) -> Self {
+        Self::from_ir_with(ir, KernelConfig::global())
+    }
+
+    /// [`from_ir`](Self::from_ir) with an explicit kernel config — the
+    /// seam through which the engines thread their (possibly calibrated
+    /// or caller-overridden) config into every scheduled execution,
+    /// whichever front door ran it: blocking `permute`, `permute_batch`,
+    /// or the queue drainers behind `submit`.
+    pub fn from_ir_with(ir: &PlanIr, config: KernelConfig) -> Self {
         PermutePlan {
             backend: Backend::Scheduled,
             gamma: ir.gamma(),
-            scheduled: Some(NativeScheduled::from_plan(ir)),
+            scheduled: Some(NativeScheduled::from_plan_with(ir, config)),
             permutation: ir.recompose(),
         }
     }
@@ -332,6 +372,12 @@ pub struct EngineStats {
     /// True once [`SharedEngine::calibrate_gamma_threshold`] has replaced
     /// the static default with a measured crossover.
     pub calibrated: bool,
+    /// Staging-block budget (bytes) of the kernel config scheduled plans
+    /// are built with at snapshot time — the default, a calibrated value,
+    /// or a [`SharedEngine::set_kernel_config`] override.
+    pub kernel_stage_bytes: usize,
+    /// Whether the kernel config enables the vectorized sweep tiers.
+    pub kernel_simd: bool,
 }
 
 /// The engine's live counters, on atomics so `&self` paths can bump them
@@ -356,7 +402,13 @@ pub(crate) struct AtomicStats {
 }
 
 impl AtomicStats {
-    fn snapshot(&self, gamma_threshold: f64, calibrated: bool, queue_depth: u64) -> EngineStats {
+    fn snapshot(
+        &self,
+        gamma_threshold: f64,
+        calibrated: bool,
+        queue_depth: u64,
+        kernel: KernelConfig,
+    ) -> EngineStats {
         EngineStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
@@ -374,6 +426,8 @@ impl AtomicStats {
             queue_depth,
             gamma_threshold,
             calibrated,
+            kernel_stage_bytes: kernel.stage_bytes,
+            kernel_simd: kernel.simd,
         }
     }
 }
@@ -632,6 +686,9 @@ struct EngineCore<T> {
     /// True once the threshold came from a measurement rather than the
     /// static default.
     calibrated: AtomicBool,
+    /// Kernel config scheduled plans are built with. A plain mutex — it
+    /// is read once per plan *build*, never on the run path.
+    kernel: Mutex<KernelConfig>,
     fingerprint_fn: fn(&Permutation) -> u64,
     /// Tier-2 cache: the on-disk plan store, when attached. Scheduled
     /// plans are loaded from (and saved to) it; the in-memory LRU stays
@@ -677,6 +734,7 @@ impl<T: Copy + Send + Sync + Default + 'static> SharedEngine<T> {
                 per_shard_capacity,
                 gamma_threshold: AtomicU64::new(DEFAULT_GAMMA_THRESHOLD.to_bits()),
                 calibrated: AtomicBool::new(false),
+                kernel: Mutex::new(KernelConfig::global()),
                 fingerprint_fn: default_fingerprint,
                 store: None,
                 clock: AtomicU64::new(0),
@@ -738,6 +796,12 @@ impl<T: Copy + Send + Sync + Default + 'static> SharedEngine<T> {
     /// degenerate (e.g. the width cannot be scheduled, or timer noise
     /// swamps the slope).
     ///
+    /// The calibration also tunes the sweep kernels' staging-block size:
+    /// it times the fused path over a small grid of `stage_bytes`
+    /// candidates and adopts the fastest into this engine's
+    /// [`KernelConfig`] (surfaced as [`EngineStats::kernel_stage_bytes`]),
+    /// leaving every other kernel knob untouched.
+    ///
     /// Off by default — construction runs it automatically only when the
     /// environment variable [`CALIBRATE_ENV`] (`HMM_NATIVE_CALIBRATE`)
     /// is set to `1`. Returns the threshold now in effect; the result is
@@ -746,8 +810,33 @@ impl<T: Copy + Send + Sync + Default + 'static> SharedEngine<T> {
     pub fn calibrate_gamma_threshold(&self) -> f64 {
         let t = measured_crossover(self.core.width).unwrap_or(DEFAULT_GAMMA_THRESHOLD);
         self.set_gamma_threshold(t);
+        if let Some(stage_bytes) = measured_stage_bytes(self.core.width, self.kernel_config()) {
+            let mut cfg = self.kernel_config();
+            cfg.stage_bytes = stage_bytes;
+            self.set_kernel_config(cfg);
+        }
         self.core.calibrated.store(true, Ordering::Relaxed);
         t
+    }
+
+    /// Override the kernel config scheduled plans are built with (block
+    /// size, staging depth, SIMD/prefetch). Affects plans built after the
+    /// call; already-cached plans keep the config they were built with.
+    pub fn set_kernel_config(&self, config: KernelConfig) {
+        *self
+            .core
+            .kernel
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = config;
+    }
+
+    /// The kernel config scheduled plans are currently built with.
+    pub fn kernel_config(&self) -> KernelConfig {
+        *self
+            .core
+            .kernel
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Override the γ_w crossover below which scatter is chosen. Set to
@@ -784,6 +873,7 @@ impl<T: Copy + Send + Sync + Default + 'static> SharedEngine<T> {
             self.gamma_threshold(),
             self.core.calibrated.load(Ordering::Relaxed),
             self.queue_depth() as u64,
+            self.kernel_config(),
         )
     }
 
@@ -966,7 +1056,7 @@ impl<T: Copy + Send + Sync + Default + 'static> SharedEngine<T> {
             match store.load(&key) {
                 Ok(Some(ir)) if ir.matches(p) => {
                     self.core.stats.store_hits.fetch_add(1, Ordering::Relaxed);
-                    return Ok(PermutePlan::from_ir(&ir));
+                    return Ok(PermutePlan::from_ir_with(&ir, self.kernel_config()));
                 }
                 Ok(None) => {}
                 // A decodable plan for a *different* permutation (a
@@ -992,7 +1082,7 @@ impl<T: Copy + Send + Sync + Default + 'static> SharedEngine<T> {
             // Best effort: a failed save must never fail the permute.
             let _ = store.save(&ir);
         }
-        Ok(PermutePlan::from_ir(&ir))
+        Ok(PermutePlan::from_ir_with(&ir, self.kernel_config()))
     }
 
     /// Evict least-recently-used resolved entries until an insert fits.
@@ -1401,6 +1491,17 @@ impl<T: Copy + Send + Sync + Default + 'static> Engine<T> {
         self.inner.set_gamma_threshold(threshold);
     }
 
+    /// Override the kernel config scheduled plans are built with (see
+    /// [`SharedEngine::set_kernel_config`]).
+    pub fn set_kernel_config(&mut self, config: KernelConfig) {
+        self.inner.set_kernel_config(config);
+    }
+
+    /// The kernel config scheduled plans are currently built with.
+    pub fn kernel_config(&self) -> KernelConfig {
+        self.inner.kernel_config()
+    }
+
     /// Test seam: replace the fingerprint function (see
     /// [`SharedEngine::set_fingerprint_fn`]).
     pub fn set_fingerprint_fn(&mut self, f: fn(&Permutation) -> u64) {
@@ -1573,6 +1674,30 @@ mod tests {
         force_sched.set_gamma_threshold(0.0);
         force_sched.permute(&p, &src, &mut dst).unwrap();
         assert_eq!(force_sched.stats().scheduled_runs, 1);
+        assert_eq!(dst, reference(&p, &src));
+    }
+
+    #[test]
+    fn kernel_config_threads_through_plans() {
+        let n = 1 << 10;
+        let p = families::random(n, 44);
+        let mut engine: Engine<u32> = Engine::new(W);
+        engine.set_gamma_threshold(0.0); // force the scheduled backend
+        let cfg = KernelConfig {
+            stage_bytes: 8192,
+            simd: false,
+            ..KernelConfig::default()
+        };
+        engine.set_kernel_config(cfg);
+        assert_eq!(engine.kernel_config(), cfg);
+        let plan = engine.plan(&p).unwrap();
+        assert_eq!(plan.scheduled().unwrap().kernel_config(), cfg);
+        let stats = engine.stats();
+        assert_eq!(stats.kernel_stage_bytes, 8192);
+        assert!(!stats.kernel_simd);
+        let src: Vec<u32> = (0..n as u32).collect();
+        let mut dst = vec![0u32; n];
+        engine.run_plan(&plan, &src, &mut dst);
         assert_eq!(dst, reference(&p, &src));
     }
 

@@ -5,8 +5,24 @@
 //! entries: the gather/scatter side with random indices misses on nearly
 //! every access once the array outgrows the last-level cache, exactly like
 //! the casual round of the conventional GPU algorithm.
+//!
+//! Both kernels are allocation-free (they never stage through a temporary
+//! buffer — audited for this PR's staging cleanup). The gather side runs
+//! the clamped tiers from `crate::simd` under the process-wide
+//! [`KernelConfig`]: `HMM_NATIVE_SIMD=0` restores the seed's plain
+//! bounds-checked loops, which the tests pin against the default path.
+//! Neither kernel software-prefetches: an A/B on these loops showed
+//! per-element target hints *lose* 1.4–5× on cache-resident families and
+//! win nothing on miss-heavy ones — the out-of-order window already
+//! extracts the available memory-level parallelism from the simple loop,
+//! and the hint's address computation is pure overhead on top. (The
+//! sweep kernels in `scheduled` prefetch their *sequential* gather-map
+//! rows one block ahead, which is a different access pattern and does
+//! pay.)
 
+use crate::config::KernelConfig;
 use crate::par::{par_chunks_mut, par_ranges};
+use crate::simd;
 use hmm_perm::Permutation;
 
 /// Minimum elements per worker chunk; below this, threading overhead
@@ -32,6 +48,9 @@ unsafe impl<T: Send> Sync for ScatterTarget<T> {}
 pub fn scatter_permute<T: Copy + Send + Sync>(src: &[T], p: &Permutation, dst: &mut [T]) {
     assert_eq!(src.len(), p.len(), "src length != permutation length");
     assert_eq!(dst.len(), p.len(), "dst length != permutation length");
+    if src.is_empty() {
+        return;
+    }
     let target = ScatterTarget(dst.as_mut_ptr());
     let map = p.as_slice();
     par_ranges(src.len(), MIN_CHUNK, |start, end| {
@@ -57,11 +76,13 @@ pub fn scatter_permute<T: Copy + Send + Sync>(src: &[T], p: &Permutation, dst: &
 pub fn gather_permute<T: Copy + Send + Sync>(src: &[T], q: &Permutation, dst: &mut [T]) {
     assert_eq!(src.len(), q.len(), "src length != permutation length");
     assert_eq!(dst.len(), q.len(), "dst length != permutation length");
+    if dst.is_empty() {
+        return;
+    }
     let map = q.as_slice();
+    let tier = simd::select::<T>(KernelConfig::global().simd);
     par_chunks_mut(dst, MIN_CHUNK, |start, chunk| {
-        for (off, slot) in chunk.iter_mut().enumerate() {
-            *slot = src[map[start + off]];
-        }
+        simd::gather_map_usize(tier, src, &map[start..start + chunk.len()], chunk);
     });
 }
 

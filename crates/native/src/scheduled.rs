@@ -20,22 +20,68 @@
 //! Every sweep still writes memory sequentially (within a blocked tile),
 //! and reads stay within one matrix row at a time — a row of a √n-sided
 //! matrix fits in L1/L2 — so cache-line and TLB behaviour remains the CPU
-//! analog of coalesced access. The unfused five-pass path is kept as
-//! [`NativeScheduled::run_unfused`] for benchmarking the fusion win.
+//! analog of coalesced access.
+//!
+//! # The two-stage, double-buffered block pipeline
+//!
+//! Each gather-transpose worker processes its output band in *input-row
+//! blocks* through per-thread staging buffers ([`crate::stage`] — pooled
+//! for the life of the worker, replacing the seed's per-band
+//! `to_vec()` copy-allocation):
+//!
+//! ```text
+//!           ┌── gather block k+1 ──► staging buffer B ──┐
+//! input ────┤                                           ├──► output band
+//!           └── staging buffer A ──► transpose block k ─┘
+//! ```
+//!
+//! 1. **Gather stage**: block *k+1*'s rows are gathered into the idle
+//!    staging buffer (reads stay inside one contiguous row — L1-resident
+//!    for √n-sided shapes — and buffer writes are sequential), while the
+//!    next block's slice of the gather map is software-prefetched;
+//! 2. **Transpose stage**: block *k* is transposed out of the other
+//!    buffer into the output band (buffer reads hit L2; output writes are
+//!    contiguous runs).
+//!
+//! Issuing block *k+1*'s cache-missing gathers *before* block *k*'s
+//! transpose stores gives the out-of-order core a full block of
+//! independent work to overlap the misses with. With
+//! [`KernelConfig::depth`] `= 1` the pipeline degenerates to the seed's
+//! strict gather-then-transpose alternation over a single buffer — a
+//! config point the differential suite pins against the default.
+//!
+//! Determinism and parallel safety are unchanged from the seed: workers
+//! own **disjoint output bands** (whole output rows), every output
+//! element is written exactly once, and which buffer a value stages
+//! through cannot affect the value written — so every config point
+//! (SIMD on/off, any depth, any block size) produces byte-identical
+//! output.
+//!
+//! The inner loops are vectorized per [`KernelConfig::simd`]: clamped,
+//! unrolled width-specialized paths by default and `core::arch` AVX2
+//! gathers/tile-transposes behind runtime detection, with the scalar
+//! loops kept as the always-available reference ([`crate::simd`] — the
+//! only module that touches `core::arch`). The unfused five-pass path is
+//! kept as [`NativeScheduled::run_unfused`] for benchmarking the fusion
+//! win.
 
+use crate::config::KernelConfig;
 use crate::par::{par_chunks_mut, par_chunks_mut_exact, worker_threads};
+use crate::simd::{self, Tier};
+use crate::stage;
+use core::mem::size_of;
 use hmm_perm::{MatrixShape, Permutation};
-use hmm_plan::{PlanIr, Result};
-
-/// Blocked-transpose tile side (elements). 64×64 u32 tiles are 16 KB —
-/// comfortably L1/L2-resident on anything current.
-const TILE: usize = 64;
+use hmm_plan::{PassLayout, PlanIr, Result};
+use std::time::{Duration, Instant};
 
 /// A CPU-executable scheduled permutation: the three-step decomposition
-/// with per-row *gather* maps (destination-ordered) precomputed.
+/// with per-row *gather* maps (destination-ordered) precomputed, plus
+/// the kernel tuning the sweeps run with.
 #[derive(Debug, Clone)]
 pub struct NativeScheduled {
     shape: MatrixShape,
+    /// Per-pass geometry, derived from the plan (`PlanIr::pass_layouts`).
+    layouts: [PassLayout; 3],
     /// Sweep 1 gather map, flattened `r × c`: row `i` of the intermediate
     /// is `in[i][g1[i*c + k]]` for `k` in `0..c`.
     g1: Vec<u32>,
@@ -43,12 +89,15 @@ pub struct NativeScheduled {
     g2: Vec<u32>,
     /// Sweep 3 gather map, flattened `r × c`.
     g3: Vec<u32>,
+    /// Kernel tuning (block size, staging depth, SIMD, prefetch).
+    config: KernelConfig,
 }
 
 impl NativeScheduled {
     /// Build from a permutation; `width` is the tiling constraint handed to
     /// the decomposition (any power of two dividing both matrix dimensions
-    /// — 32 matches the GPU schedule and is always safe here).
+    /// — 32 matches the GPU schedule and is always safe here). Kernels run
+    /// with the process-wide [`KernelConfig::global`].
     pub fn build(p: &Permutation, width: usize) -> Result<Self> {
         let ir = PlanIr::build_par(p, width, worker_threads())?;
         Ok(Self::from_plan(&ir))
@@ -65,16 +114,37 @@ impl NativeScheduled {
     }
 
     /// Build from an existing plan IR (shared with a simulator run, or
-    /// loaded from the on-disk plan store). The IR already carries the
-    /// flat gather maps, so this is three copies — no coloring, no
-    /// per-row inversion.
+    /// loaded from the on-disk plan store) with the process-wide
+    /// [`KernelConfig::global`]. The IR already carries the flat gather
+    /// maps, so this is three copies — no coloring, no per-row inversion.
     pub fn from_plan(ir: &PlanIr) -> Self {
+        Self::from_plan_with(ir, KernelConfig::global())
+    }
+
+    /// Build from an existing plan IR with an explicit kernel config —
+    /// the seam the engines ([`crate::plan::SharedEngine`]), the bench's
+    /// SIMD on/off rows, and the differential suite thread their configs
+    /// through.
+    pub fn from_plan_with(ir: &PlanIr, config: KernelConfig) -> Self {
         NativeScheduled {
             shape: ir.shape(),
+            layouts: ir.pass_layouts(),
             g1: ir.gather1().to_vec(),
             g2: ir.gather2().to_vec(),
             g3: ir.gather3().to_vec(),
+            config,
         }
+    }
+
+    /// This schedule with a different kernel config.
+    pub fn with_config(mut self, config: KernelConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The kernel config the sweeps run with.
+    pub fn kernel_config(&self) -> KernelConfig {
+        self.config
     }
 
     /// The matrix shape of the passes.
@@ -107,42 +177,68 @@ impl NativeScheduled {
     }
 
     /// Execute with a caller-provided scratch buffer of length `n`,
-    /// allocation-free: three fused sweeps, `src → dst → scratch → dst`.
+    /// allocation-free after worker warm-up: three fused sweeps,
+    /// `src → dst → scratch → dst`.
     pub fn run_with_scratch<T: Copy + Send + Sync>(
         &self,
         src: &[T],
         dst: &mut [T],
         scratch: &mut [T],
     ) {
+        self.check_lengths(src, dst, scratch);
+        // Sweep 1: row gather (g1) fused with transpose; r×c -> c×r in dst.
+        gather_transpose(src, &self.g1, self.layouts[0], dst, &self.config);
+        // Sweep 2: row gather (g2) fused with transpose; c×r -> r×c.
+        gather_transpose(dst, &self.g2, self.layouts[1], scratch, &self.config);
+        // Sweep 3: plain row gather (g3) on the r×c matrix.
+        row_pass(scratch, &self.g3, self.layouts[2], dst, &self.config);
+    }
+
+    /// [`run_with_scratch`](Self::run_with_scratch), timing each of the
+    /// three sweeps: `[gather-transpose 1, gather-transpose 2, row pass]`.
+    /// The output is identical; the bench's `sweep_gather` /
+    /// `sweep_transpose` / `sweep_row` rows come from here.
+    pub fn run_sweeps_timed<T: Copy + Send + Sync>(
+        &self,
+        src: &[T],
+        dst: &mut [T],
+        scratch: &mut [T],
+    ) -> [Duration; 3] {
+        self.check_lengths(src, dst, scratch);
+        let t0 = Instant::now();
+        gather_transpose(src, &self.g1, self.layouts[0], dst, &self.config);
+        let t1 = Instant::now();
+        gather_transpose(dst, &self.g2, self.layouts[1], scratch, &self.config);
+        let t2 = Instant::now();
+        row_pass(scratch, &self.g3, self.layouts[2], dst, &self.config);
+        [t1 - t0, t2 - t1, t2.elapsed()]
+    }
+
+    fn check_lengths<T>(&self, src: &[T], dst: &[T], scratch: &[T]) {
         let n = self.len();
         assert_eq!(src.len(), n, "src length mismatch");
         assert_eq!(dst.len(), n, "dst length mismatch");
         assert_eq!(scratch.len(), n, "scratch length mismatch");
-        let (r, c) = (self.shape.rows, self.shape.cols);
-        // Sweep 1: row gather (g1) fused with transpose; r×c -> c×r in dst.
-        gather_transpose(src, &self.g1, r, c, dst);
-        // Sweep 2: row gather (g2) fused with transpose; c×r -> r×c.
-        gather_transpose(dst, &self.g2, c, r, scratch);
-        // Sweep 3: plain row gather (g3) on the r×c matrix.
-        row_pass(scratch, &self.g3, c, dst);
     }
 
-    /// The seed's five-pass execution, kept verbatim as the benchmark
-    /// reference the fused path is measured against: row gather (with the
+    /// The seed's five-pass execution, kept as the benchmark reference
+    /// the fused path is measured against: row gather (with the
     /// per-element `pos % cols` row lookup the seed used), blocked
     /// transpose, row gather, blocked transpose, row gather, with the two
-    /// scratch buffers the seed's `run` allocated per call.
+    /// scratch buffers the seed's `run` allocated per call. Runs the
+    /// scalar kernel tier regardless of this schedule's config.
     pub fn run_unfused<T: Copy + Send + Sync + Default>(&self, src: &[T], dst: &mut [T]) {
         let n = self.len();
         assert_eq!(src.len(), n, "src length mismatch");
         assert_eq!(dst.len(), n, "dst length mismatch");
         let (r, c) = (self.shape.rows, self.shape.cols);
+        let scalar = KernelConfig::scalar();
         let mut t1 = vec![T::default(); n];
         let mut t2 = vec![T::default(); n];
         row_pass_seed(src, &self.g1, c, &mut t1);
-        transpose_blocked(&t1, r, c, &mut t2);
+        transpose_blocked(&t1, r, c, &mut t2, &scalar);
         row_pass_seed(&t2, &self.g2, r, &mut t1);
-        transpose_blocked(&t1, c, r, &mut t2);
+        transpose_blocked(&t1, c, r, &mut t2, &scalar);
         row_pass_seed(&t2, &self.g3, c, dst);
     }
 }
@@ -152,22 +248,40 @@ impl NativeScheduled {
 ///
 /// Band chunks are always whole rows (the band length is a multiple of
 /// `cols`), so the row base is hoisted out of the inner loop — the seed
-/// computed `pos % cols` per element.
-fn row_pass<T: Copy + Send + Sync>(input: &[T], g: &[u32], cols: usize, out: &mut [T]) {
+/// computed `pos % cols` per element. The inner gather runs the
+/// config-selected kernel tier, and the next row's slice of the gather
+/// map is prefetched while the current row is gathered.
+fn row_pass<T: Copy + Send + Sync>(
+    input: &[T],
+    g: &[u32],
+    layout: PassLayout,
+    out: &mut [T],
+    cfg: &KernelConfig,
+) {
     debug_assert_eq!(input.len(), out.len());
     debug_assert_eq!(g.len(), out.len());
+    debug_assert!(!layout.fused_transpose);
+    let cols = layout.cols;
     let rows = out.len() / cols;
+    debug_assert_eq!(rows, layout.rows);
+    let tier = simd::select::<T>(cfg.simd);
     let band = rows_per_band(rows) * cols;
     par_chunks_mut(out, band, |start, chunk| {
         debug_assert_eq!(start % cols, 0);
         debug_assert_eq!(chunk.len() % cols, 0);
         for (rr, out_row) in chunk.chunks_exact_mut(cols).enumerate() {
             let base = start + rr * cols;
-            let in_row = &input[base..base + cols];
-            let g_row = &g[base..base + cols];
-            for (slot, &gi) in out_row.iter_mut().zip(g_row) {
-                *slot = in_row[gi as usize];
+            if cfg.prefetch {
+                if let Some(next_map) = g.get(base + cols..base + 2 * cols) {
+                    simd::prefetch_lines(next_map);
+                }
             }
+            simd::gather_row(
+                tier,
+                &input[base..base + cols],
+                &g[base..base + cols],
+                out_row,
+            );
         }
     });
 }
@@ -193,95 +307,264 @@ fn row_pass_seed<T: Copy + Send + Sync>(input: &[T], g: &[u32], cols: usize, out
 /// Fused row-gather + transpose: for a `rows × cols` input,
 /// `out[j*rows + i] = input[i*cols + g[i*cols + j]]` — i.e. apply the
 /// per-row gather `g` and store the result transposed (`cols × rows`), in
-/// one sweep over memory.
-///
-/// The gather indices are arbitrary within a row, so unlike the plain
-/// transpose there is no cache-line reuse to tile for on the read side.
-/// Each worker instead processes its band in *input-row blocks* through a
-/// small cache-resident staging buffer:
-///
-/// 1. gather the block's rows into the buffer (reads stay inside one
-///    contiguous row — L1-resident for √n-sided shapes — and buffer writes
-///    are sequential, exactly the `row_pass` access pattern);
-/// 2. blocked-transpose the buffer into the output band (buffer reads hit
-///    L2; output writes are contiguous `block`-element runs).
+/// one sweep over memory, through the double-buffered block pipeline
+/// described in the module docs.
 ///
 /// The input and the gather map are streamed from memory exactly once and
-/// the output is written exactly once; the staging buffer (≤ ~256 KB)
-/// never leaves the cache.
+/// the output is written exactly once; the staging buffers
+/// (≤ `cfg.stage_bytes` each) never leave the cache.
 fn gather_transpose<T: Copy + Send + Sync>(
     input: &[T],
     g: &[u32],
-    rows: usize,
-    cols: usize,
+    layout: PassLayout,
     out: &mut [T],
+    cfg: &KernelConfig,
 ) {
+    let (rows, cols) = (layout.rows, layout.cols);
+    debug_assert!(layout.fused_transpose);
     debug_assert_eq!(input.len(), rows * cols);
     debug_assert_eq!(out.len(), rows * cols);
     debug_assert_eq!(g.len(), rows * cols);
-    // Each worker owns a band of output rows that is a multiple of TILE (or
-    // the ragged tail), so tile boundaries never straddle two workers.
-    let band_rows = rows_per_band(cols).next_multiple_of(TILE);
+    if input.is_empty() {
+        return;
+    }
+    let tile = cfg.tile.max(8);
+    let tier = simd::select::<T>(cfg.simd);
+    // Each worker owns a band of output rows that is a multiple of the
+    // tile (or the ragged tail), so tile boundaries never straddle two
+    // workers.
+    let band_rows = rows_per_band(cols).next_multiple_of(tile);
+    let seed = input[0];
     par_chunks_mut_exact(out, band_rows * rows, |start, chunk| {
         let out_row0 = start / rows;
         let out_rows = chunk.len() / rows;
-        // Input rows staged per block: block × out_rows elements ≤ ~256 KB.
-        let block = (262_144 / (out_rows * core::mem::size_of::<T>()).max(1)).clamp(1, rows);
-        let mut temp: Vec<T> = input[..block * out_rows].to_vec();
-        let mut i0 = 0;
-        while i0 < rows {
-            let imax = (i0 + block).min(rows);
-            // 1) Gather rows i0..imax into temp ((imax-i0) × out_rows, row-major).
-            for i in i0..imax {
-                let in_row = &input[i * cols..(i + 1) * cols];
-                let g_row = &g[i * cols + out_row0..i * cols + out_row0 + out_rows];
-                let t_row = &mut temp[(i - i0) * out_rows..(i - i0 + 1) * out_rows];
-                for (slot, &gi) in t_row.iter_mut().zip(g_row) {
-                    *slot = in_row[gi as usize];
-                }
-            }
-            // 2) Blocked transpose of temp into the band's columns i0..imax.
-            let mut jj0 = 0;
-            while jj0 < out_rows {
-                let jjmax = (jj0 + TILE).min(out_rows);
-                for jj in jj0..jjmax {
-                    let run = &mut chunk[jj * rows + i0..jj * rows + imax];
-                    for (k, slot) in run.iter_mut().enumerate() {
-                        *slot = temp[k * out_rows + jj];
+        // Input rows staged per block: block × out_rows elements, sized
+        // by the plan's layout hint against the staging budget.
+        let block = layout.staging_rows(size_of::<T>(), cfg.stage_bytes, out_rows);
+        let buf_len = block * out_rows;
+        // A single block needs no second buffer regardless of depth.
+        let depth = if block >= rows {
+            1
+        } else {
+            cfg.depth.clamp(1, 2)
+        };
+        stage::with_stage(buf_len * depth, seed, |stage_buf| {
+            if depth == 2 {
+                // Double-buffered: gather block k+1 into the idle buffer
+                // *before* transposing block k out of the other, so the
+                // core overlaps the next block's gather misses with this
+                // block's transpose stores.
+                gather_block(GatherArgs {
+                    input,
+                    g,
+                    rows,
+                    cols,
+                    out_row0,
+                    out_rows,
+                    i0: 0,
+                    imax: block.min(rows),
+                    tier,
+                    prefetch: cfg.prefetch,
+                    temp: &mut stage_buf[..buf_len],
+                });
+                let mut parity = 0usize;
+                let mut i0 = 0;
+                while i0 < rows {
+                    let imax = (i0 + block).min(rows);
+                    let (a, b) = stage_buf.split_at_mut(buf_len);
+                    let (cur, next) = if parity == 0 { (a, b) } else { (b, a) };
+                    if imax < rows {
+                        let nmax = (imax + block).min(rows);
+                        gather_block(GatherArgs {
+                            input,
+                            g,
+                            rows,
+                            cols,
+                            out_row0,
+                            out_rows,
+                            i0: imax,
+                            imax: nmax,
+                            tier,
+                            prefetch: cfg.prefetch,
+                            temp: &mut next[..(nmax - imax) * out_rows],
+                        });
                     }
+                    transpose_block(
+                        &cur[..(imax - i0) * out_rows],
+                        out_rows,
+                        i0,
+                        rows,
+                        tile,
+                        tier,
+                        chunk,
+                    );
+                    parity ^= 1;
+                    i0 = imax;
                 }
-                jj0 = jjmax;
+            } else {
+                // Single buffer: the seed's strict alternation.
+                let mut i0 = 0;
+                while i0 < rows {
+                    let imax = (i0 + block).min(rows);
+                    let blk = imax - i0;
+                    gather_block(GatherArgs {
+                        input,
+                        g,
+                        rows,
+                        cols,
+                        out_row0,
+                        out_rows,
+                        i0,
+                        imax,
+                        tier,
+                        prefetch: cfg.prefetch,
+                        temp: &mut stage_buf[..blk * out_rows],
+                    });
+                    transpose_block(
+                        &stage_buf[..blk * out_rows],
+                        out_rows,
+                        i0,
+                        rows,
+                        tile,
+                        tier,
+                        chunk,
+                    );
+                    i0 = imax;
+                }
             }
-            i0 = imax;
-        }
+        });
     });
 }
 
+/// Arguments for one gather stage: rows `i0..imax` of the band into the
+/// staging buffer (a struct, because nine positional parameters invite
+/// transposition bugs).
+struct GatherArgs<'a, T> {
+    input: &'a [T],
+    g: &'a [u32],
+    rows: usize,
+    cols: usize,
+    out_row0: usize,
+    out_rows: usize,
+    i0: usize,
+    imax: usize,
+    tier: Tier,
+    prefetch: bool,
+    temp: &'a mut [T],
+}
+
+/// Gather stage: stage rows `i0..imax` (this worker's `out_rows`-wide
+/// slice of each) into `temp`, row-major. While row `i` is gathered, the
+/// same row of the *next* block's gather-map slice is prefetched — the
+/// map is the one stream the hardware prefetcher cannot anticipate
+/// across the block-strided access pattern.
+fn gather_block<T: Copy>(args: GatherArgs<'_, T>) {
+    let GatherArgs {
+        input,
+        g,
+        rows,
+        cols,
+        out_row0,
+        out_rows,
+        i0,
+        imax,
+        tier,
+        prefetch,
+        temp,
+    } = args;
+    debug_assert_eq!(temp.len(), (imax - i0) * out_rows);
+    let block = imax - i0;
+    for i in i0..imax {
+        if prefetch {
+            let pi = i + block;
+            if pi < rows {
+                simd::prefetch_lines(&g[pi * cols + out_row0..pi * cols + out_row0 + out_rows]);
+            }
+        }
+        let in_row = &input[i * cols..(i + 1) * cols];
+        let g_row = &g[i * cols + out_row0..i * cols + out_row0 + out_rows];
+        let t_row = &mut temp[(i - i0) * out_rows..(i - i0 + 1) * out_rows];
+        simd::gather_row(tier, in_row, g_row, t_row);
+    }
+}
+
+/// Transpose stage: `blk × out_rows` staging buffer `temp` out into the
+/// band's columns `i0..i0+blk` — vector tiles when the tier has them,
+/// the seed's tile loop otherwise.
+fn transpose_block<T: Copy>(
+    temp: &[T],
+    out_rows: usize,
+    i0: usize,
+    rows: usize,
+    tile: usize,
+    tier: Tier,
+    chunk: &mut [T],
+) {
+    let blk = temp.len() / out_rows.max(1);
+    if simd::transpose_strided(tier, temp, 0, out_rows, chunk, i0, rows, blk, out_rows) {
+        return;
+    }
+    let mut jj0 = 0;
+    while jj0 < out_rows {
+        let jjmax = (jj0 + tile).min(out_rows);
+        for jj in jj0..jjmax {
+            let run = &mut chunk[jj * rows + i0..jj * rows + i0 + blk];
+            for (k, slot) in run.iter_mut().enumerate() {
+                *slot = temp[k * out_rows + jj];
+            }
+        }
+        jj0 = jjmax;
+    }
+}
+
 /// Cache-blocked transpose of a `rows × cols` row-major matrix into a
-/// `cols × rows` one, parallel over bands of output rows. Used only by the
-/// unfused reference path.
-fn transpose_blocked<T: Copy + Send + Sync>(input: &[T], rows: usize, cols: usize, out: &mut [T]) {
+/// `cols × rows` one, parallel over bands of output rows, with vector
+/// tiles inside each cache block when the config's tier has them. Used
+/// only by the unfused reference path (which passes the scalar config)
+/// and its tests.
+fn transpose_blocked<T: Copy + Send + Sync>(
+    input: &[T],
+    rows: usize,
+    cols: usize,
+    out: &mut [T],
+    cfg: &KernelConfig,
+) {
     debug_assert_eq!(input.len(), rows * cols);
     debug_assert_eq!(out.len(), rows * cols);
-    let band_rows = rows_per_band(cols).next_multiple_of(TILE);
+    let tile = cfg.tile.max(1);
+    let tier = simd::select::<T>(cfg.simd);
+    let band_rows = rows_per_band(cols).next_multiple_of(tile);
     par_chunks_mut_exact(out, band_rows * rows, |start, chunk| {
         let out_row0 = start / rows;
         let out_rows = chunk.len() / rows;
-        let mut j0 = out_row0;
-        while j0 < out_row0 + out_rows {
-            let jmax = (j0 + TILE).min(out_row0 + out_rows);
+        let mut jr0 = 0;
+        while jr0 < out_rows {
+            let jrmax = (jr0 + tile).min(out_rows);
             let mut i0 = 0;
             while i0 < rows {
-                let imax = (i0 + TILE).min(rows);
-                for j in j0..jmax {
-                    let out_base = (j - out_row0) * rows;
-                    for i in i0..imax {
-                        chunk[out_base + i] = input[i * cols + j];
+                let imax = (i0 + tile).min(rows);
+                // chunk[jr*rows + i] = input[i*cols + out_row0 + jr]
+                if !simd::transpose_strided(
+                    tier,
+                    input,
+                    i0 * cols + out_row0 + jr0,
+                    cols,
+                    chunk,
+                    jr0 * rows + i0,
+                    rows,
+                    imax - i0,
+                    jrmax - jr0,
+                ) {
+                    for jr in jr0..jrmax {
+                        let out_base = jr * rows;
+                        for i in i0..imax {
+                            chunk[out_base + i] = input[i * cols + out_row0 + jr];
+                        }
                     }
                 }
                 i0 = imax;
             }
-            j0 = jmax;
+            jr0 = jrmax;
         }
     });
 }
@@ -303,6 +586,14 @@ mod tests {
         let mut out = vec![0; src.len()];
         p.permute(src, &mut out).unwrap();
         out
+    }
+
+    fn fused_layout(rows: usize, cols: usize) -> PassLayout {
+        PassLayout {
+            rows,
+            cols,
+            fused_transpose: true,
+        }
     }
 
     #[test]
@@ -404,14 +695,64 @@ mod tests {
     }
 
     #[test]
+    fn every_config_point_is_byte_identical() {
+        let n = 1 << 12;
+        let p = families::random(n, 77);
+        let ir = PlanIr::build(&p, W).unwrap();
+        let src: Vec<u32> = (0..n as u32).map(|v| v ^ 0x5a5a).collect();
+        let want = reference(&p, &src);
+        let configs = [
+            KernelConfig::scalar(),
+            KernelConfig::default(),
+            KernelConfig {
+                depth: 1,
+                ..Default::default()
+            },
+            KernelConfig {
+                stage_bytes: 4096, // many block tails
+                tile: 8,
+                ..Default::default()
+            },
+            KernelConfig {
+                simd: false,
+                depth: 2,
+                prefetch: true,
+                ..Default::default()
+            },
+        ];
+        for cfg in configs {
+            let sched = NativeScheduled::from_plan_with(&ir, cfg);
+            assert_eq!(sched.kernel_config(), cfg);
+            let mut dst = vec![0u32; n];
+            sched.run(&src, &mut dst);
+            assert_eq!(dst, want, "{cfg:?}");
+        }
+    }
+
+    #[test]
+    fn run_sweeps_timed_matches_run() {
+        let n = 1 << 12;
+        let p = families::random(n, 78);
+        let sched = NativeScheduled::build(&p, W).unwrap();
+        let src: Vec<u32> = (0..n as u32).collect();
+        let mut dst = vec![0u32; n];
+        let mut scratch = vec![0u32; n];
+        let sweeps = sched.run_sweeps_timed(&src, &mut dst, &mut scratch);
+        assert_eq!(dst, reference(&p, &src));
+        assert!(sweeps.iter().all(|d| *d > Duration::ZERO));
+    }
+
+    #[test]
     fn transpose_blocked_is_correct() {
-        for (r, c) in [(64, 64), (64, 128), (128, 64), (192, 320)] {
-            let input: Vec<u32> = (0..(r * c) as u32).collect();
-            let mut out = vec![0u32; r * c];
-            transpose_blocked(&input, r, c, &mut out);
-            for i in 0..r {
-                for j in 0..c {
-                    assert_eq!(out[j * r + i], input[i * c + j], "({i},{j}) r={r} c={c}");
+        for cfg in [KernelConfig::scalar(), KernelConfig::default()] {
+            for (r, c) in [(64, 64), (64, 128), (128, 64), (192, 320), (33, 57)] {
+                let input: Vec<u32> = (0..(r * c) as u32).collect();
+                let mut out = vec![0u32; r * c];
+                transpose_blocked(&input, r, c, &mut out, &cfg);
+                for i in 0..r {
+                    for j in 0..c {
+                        assert_eq!(out[j * r + i], input[i * c + j], "({i},{j}) r={r} c={c}");
+                    }
                 }
             }
         }
@@ -419,14 +760,16 @@ mod tests {
 
     #[test]
     fn gather_transpose_with_identity_gather_is_transpose() {
-        for (r, c) in [(64, 64), (64, 128), (192, 320)] {
-            let input: Vec<u32> = (0..(r * c) as u32).collect();
-            let identity: Vec<u32> = (0..r).flat_map(|_| 0..c as u32).collect();
-            let mut fused = vec![0u32; r * c];
-            gather_transpose(&input, &identity, r, c, &mut fused);
-            let mut plain = vec![0u32; r * c];
-            transpose_blocked(&input, r, c, &mut plain);
-            assert_eq!(fused, plain, "r={r} c={c}");
+        for cfg in [KernelConfig::scalar(), KernelConfig::default()] {
+            for (r, c) in [(64, 64), (64, 128), (192, 320)] {
+                let input: Vec<u32> = (0..(r * c) as u32).collect();
+                let identity: Vec<u32> = (0..r).flat_map(|_| 0..c as u32).collect();
+                let mut fused = vec![0u32; r * c];
+                gather_transpose(&input, &identity, fused_layout(r, c), &mut fused, &cfg);
+                let mut plain = vec![0u32; r * c];
+                transpose_blocked(&input, r, c, &mut plain, &cfg);
+                assert_eq!(fused, plain, "r={r} c={c} {cfg:?}");
+            }
         }
     }
 
@@ -448,5 +791,9 @@ mod tests {
         assert!(!sched.is_empty());
         assert_eq!(sched.shape().len(), 1 << 10);
         assert_eq!(sched.scratch_len(), 1 << 10);
+        let cfg = sched.kernel_config();
+        let scalar = sched.clone().with_config(KernelConfig::scalar());
+        assert_eq!(scalar.kernel_config(), KernelConfig::scalar());
+        assert_eq!(cfg.tile, KernelConfig::global().tile);
     }
 }

@@ -1,0 +1,608 @@
+//! Vector micro-kernels for the sweep pipelines — the **only** module in
+//! the crate that touches `core::arch`.
+//!
+//! Three tiers, selected once per sweep by [`select`]:
+//!
+//! * [`Tier::Scalar`] — plain bounds-checked loops, the always-available
+//!   fallback and the correctness oracle the differential suite compares
+//!   everything else against;
+//! * [`Tier::Unrolled`] — width-agnostic chunked gathers with the bounds
+//!   check replaced by a branch-free clamp (a `cmov`, not a branch), so
+//!   LLVM unrolls the load/store chain. Works on every architecture;
+//! * [`Tier::Avx2`] — `core::arch` x86-64 paths behind **runtime**
+//!   feature detection: hardware gathers (`vpgatherdd`/`vpgatherdq`) for
+//!   4-/8-byte elements and 8×8 / 4×4 in-register tile transposes.
+//!
+//! # Safety
+//!
+//! Every public-to-the-crate entry point here is a *safe* function:
+//!
+//! * gather indices are clamped into range before any unchecked access,
+//!   so a contract violation (an index ≥ the row length — impossible for
+//!   the validated plan rows the callers pass) yields a wrong element,
+//!   never an out-of-bounds access. Debug builds still assert the
+//!   contract;
+//! * the AVX2 tier is only reachable through [`Tier::Avx2`], whose sole
+//!   constructor is gated on `is_x86_feature_detected!("avx2")`;
+//! * strided-transpose windows are bounds-asserted up front, and tile
+//!   offsets stay inside the asserted window by construction.
+//!
+//! Non-x86-64 builds compile none of the `core::arch` code: the `Avx2`
+//! tier variant still exists but is never constructed, and the remaining
+//! `unsafe` is the architecture-independent clamped-gather tier.
+
+#[cfg(target_arch = "x86_64")]
+use core::arch::x86_64 as arch;
+
+use core::mem::size_of;
+
+/// Proof that the running CPU supports AVX2: the only constructor is
+/// [`avx2_token`], which consults runtime feature detection. Carrying the
+/// token (inside [`Tier::Avx2`]) is what makes calling the
+/// `#[target_feature(enable = "avx2")]` kernels sound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Avx2Token(());
+
+/// `Some` iff the running CPU supports AVX2 (cached by `std`'s detection
+/// machinery; on non-x86-64 targets, always `None`).
+pub(crate) fn avx2_token() -> Option<Avx2Token> {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return Some(Avx2Token(()));
+        }
+    }
+    None
+}
+
+/// The kernel tier a sweep runs at (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Tier {
+    /// Bounds-checked scalar loops — the reference.
+    Scalar,
+    /// Clamped, unrolled chunked loops — any width, any architecture.
+    Unrolled,
+    /// Hardware gather + register transposes for 4-/8-byte elements.
+    Avx2(Avx2Token),
+}
+
+/// Pick the tier for element type `T` under the `simd` toggle: scalar
+/// when SIMD is off, the AVX2 tier for 4-/8-byte elements when the CPU
+/// has it, the clamped unrolled tier otherwise.
+pub(crate) fn select<T>(simd: bool) -> Tier {
+    if !simd {
+        return Tier::Scalar;
+    }
+    if size_of::<T>() == 4 || size_of::<T>() == 8 {
+        if let Some(token) = avx2_token() {
+            return Tier::Avx2(token);
+        }
+    }
+    Tier::Unrolled
+}
+
+/// Hint the cache to pull every line of `data` toward L1. Used to stream
+/// the next block's slice of the gather map in while the current block
+/// is being processed; a no-op off x86-64.
+pub(crate) fn prefetch_lines<T>(data: &[T]) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        const LINE: usize = 64;
+        let bytes = core::mem::size_of_val(data);
+        let base = data.as_ptr() as *const i8;
+        let mut off = 0;
+        while off < bytes {
+            // SAFETY: `base + off` stays inside `data` (off < bytes);
+            // prefetch is a hint and never faults regardless.
+            #[allow(unsafe_code)]
+            unsafe {
+                arch::_mm_prefetch::<{ arch::_MM_HINT_T0 }>(base.add(off))
+            };
+            off += LINE;
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = data;
+    }
+}
+
+/// Row-local gather: `out[j] = in_row[g_row[j]]`.
+///
+/// Contract (debug-asserted; the callers' maps are rows of a validated
+/// permutation plan, so it holds by construction): `g_row.len() ==
+/// out.len()`, `in_row` non-empty, and every index `< in_row.len()`.
+/// Release builds clamp indices instead of checking them, so a violated
+/// contract mis-gathers but stays in bounds.
+pub(crate) fn gather_row<T: Copy>(tier: Tier, in_row: &[T], g_row: &[u32], out: &mut [T]) {
+    assert_eq!(g_row.len(), out.len(), "gather map / output length");
+    assert!(!in_row.is_empty(), "gather from an empty row");
+    debug_assert!(g_row.iter().all(|&gi| (gi as usize) < in_row.len()));
+    match tier {
+        Tier::Scalar => {
+            for (slot, &gi) in out.iter_mut().zip(g_row) {
+                *slot = in_row[gi as usize];
+            }
+        }
+        Tier::Unrolled => gather_row_clamped(in_row, g_row, out),
+        Tier::Avx2(token) => gather_row_avx2(token, in_row, g_row, out),
+    }
+}
+
+/// Full-slice gather with a `usize` map: `out[j] = src[map[j]]` — the
+/// γ_w scatter-fallback's hot loop. Same clamping contract as
+/// [`gather_row`]. Deliberately *not* software-prefetched: the map is
+/// read sequentially and the hardware stride prefetcher covers it, while
+/// per-element hints on the scattered targets measured as a 1.4–5× loss
+/// on cache-resident families and no win on miss-heavy ones (the
+/// out-of-order window already saturates the available memory-level
+/// parallelism on this loop shape).
+pub(crate) fn gather_map_usize<T: Copy>(tier: Tier, src: &[T], map: &[usize], out: &mut [T]) {
+    assert_eq!(map.len(), out.len(), "gather map / output length");
+    assert!(!src.is_empty(), "gather from an empty slice");
+    debug_assert!(map.iter().all(|&m| m < src.len()));
+    if matches!(tier, Tier::Scalar) {
+        for (slot, &m) in out.iter_mut().zip(map) {
+            *slot = src[m];
+        }
+        return;
+    }
+    let limit = src.len() - 1;
+    let base = src.as_ptr();
+    for (slot, &m) in out.iter_mut().zip(map) {
+        // SAFETY: `m.min(limit) <= limit < src.len()`.
+        #[allow(unsafe_code)]
+        unsafe {
+            *slot = *base.add(m.min(limit));
+        }
+    }
+}
+
+/// The clamped, unrolled gather tier: four independent load/store chains
+/// per iteration, no bounds-check branches in the loop body.
+fn gather_row_clamped<T: Copy>(in_row: &[T], g_row: &[u32], out: &mut [T]) {
+    let limit = (in_row.len() - 1) as u32;
+    let base = in_row.as_ptr();
+    let n = out.len();
+    let o = out.as_mut_ptr();
+    let g = g_row.as_ptr();
+    let mut j = 0;
+    // SAFETY (both loops): indices are clamped to `limit < in_row.len()`
+    // before the read; `j + k < n == out.len() == g_row.len()` bounds
+    // the map reads and output writes.
+    #[allow(unsafe_code)]
+    unsafe {
+        while j + 4 <= n {
+            let i0 = (*g.add(j)).min(limit) as usize;
+            let i1 = (*g.add(j + 1)).min(limit) as usize;
+            let i2 = (*g.add(j + 2)).min(limit) as usize;
+            let i3 = (*g.add(j + 3)).min(limit) as usize;
+            *o.add(j) = *base.add(i0);
+            *o.add(j + 1) = *base.add(i1);
+            *o.add(j + 2) = *base.add(i2);
+            *o.add(j + 3) = *base.add(i3);
+            j += 4;
+        }
+        while j < n {
+            *o.add(j) = *base.add((*g.add(j)).min(limit) as usize);
+            j += 1;
+        }
+    }
+}
+
+/// AVX2 gather dispatch on the element width. Widths other than 4/8
+/// can't reach here ([`select`] routes them to [`Tier::Unrolled`]), but
+/// fall back to the clamped tier defensively.
+fn gather_row_avx2<T: Copy>(token: Avx2Token, in_row: &[T], g_row: &[u32], out: &mut [T]) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        match size_of::<T>() {
+            // SAFETY: the token proves AVX2; width 4/8 makes the
+            // pointer reinterpretations plain bit copies (all accesses
+            // use unaligned intrinsics); indices are clamped inside.
+            #[allow(unsafe_code)]
+            4 => unsafe {
+                gather_row_u32(
+                    in_row.as_ptr() as *const u32,
+                    in_row.len(),
+                    g_row,
+                    out.as_mut_ptr() as *mut u32,
+                    out.len(),
+                );
+                return;
+            },
+            #[allow(unsafe_code)]
+            8 => unsafe {
+                gather_row_u64(
+                    in_row.as_ptr() as *const u64,
+                    in_row.len(),
+                    g_row,
+                    out.as_mut_ptr() as *mut u64,
+                    out.len(),
+                );
+                return;
+            },
+            _ => {}
+        }
+    }
+    let _ = token;
+    gather_row_clamped(in_row, g_row, out);
+}
+
+/// `vpgatherdd`: eight 32-bit elements per step, indices clamped in the
+/// vector domain so the hardware gather never leaves `base[0..n_in]`.
+///
+/// # Safety
+/// Caller proves AVX2 (token upstream) and that `base[0..n_in]` and
+/// `out[0..n_out]` are valid, with `g_row.len() == n_out` and
+/// `n_in > 0`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn gather_row_u32(
+    base: *const u32,
+    n_in: usize,
+    g_row: &[u32],
+    out: *mut u32,
+    n_out: usize,
+) {
+    let limit = arch::_mm256_set1_epi32((n_in - 1) as i32);
+    let g = g_row.as_ptr();
+    let mut j = 0;
+    while j + 8 <= n_out {
+        // SAFETY: `j + 8 <= n_out == g_row.len()` bounds the index load
+        // and the store; `min_epu32` against `n_in - 1` bounds every
+        // gathered address within `base[0..n_in]`.
+        unsafe {
+            let idx = arch::_mm256_loadu_si256(g.add(j) as *const arch::__m256i);
+            let idx = arch::_mm256_min_epu32(idx, limit);
+            let v = arch::_mm256_i32gather_epi32::<4>(base as *const i32, idx);
+            arch::_mm256_storeu_si256(out.add(j) as *mut arch::__m256i, v);
+        }
+        j += 8;
+    }
+    let lim = (n_in - 1) as u32;
+    while j < n_out {
+        // SAFETY: clamped index, `j < n_out`.
+        unsafe {
+            *out.add(j) = *base.add((*g.add(j)).min(lim) as usize);
+        }
+        j += 1;
+    }
+}
+
+/// `vpgatherdq`: four 64-bit elements per step (32-bit indices), same
+/// clamping contract as [`gather_row_u32`].
+///
+/// # Safety
+/// As [`gather_row_u32`], with 8-byte elements.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn gather_row_u64(
+    base: *const u64,
+    n_in: usize,
+    g_row: &[u32],
+    out: *mut u64,
+    n_out: usize,
+) {
+    let limit = arch::_mm_set1_epi32((n_in - 1) as i32);
+    let g = g_row.as_ptr();
+    let mut j = 0;
+    while j + 4 <= n_out {
+        // SAFETY: `j + 4 <= n_out` bounds the index load and the store;
+        // the epu32 clamp bounds every gathered address.
+        unsafe {
+            let idx = arch::_mm_loadu_si128(g.add(j) as *const arch::__m128i);
+            let idx = arch::_mm_min_epu32(idx, limit);
+            let v = arch::_mm256_i32gather_epi64::<8>(base as *const i64, idx);
+            arch::_mm256_storeu_si256(out.add(j) as *mut arch::__m256i, v);
+        }
+        j += 4;
+    }
+    let lim = (n_in - 1) as u32;
+    while j < n_out {
+        // SAFETY: clamped index, `j < n_out`.
+        unsafe {
+            *out.add(j) = *base.add((*g.add(j)).min(lim) as usize);
+        }
+        j += 1;
+    }
+}
+
+/// Strided 2-D transpose, vector tier:
+/// `dst[dst_off + c·dst_stride + r] = src[src_off + r·src_stride + c]`
+/// for `r in 0..nr`, `c in 0..nc`, using 8×8 (4-byte) or 4×4 (8-byte)
+/// in-register tiles with scalar edges. Returns `false` without touching
+/// `dst` when the tier has no vector transpose (scalar/unrolled tiers,
+/// or an element width without one) — the caller then runs its own
+/// scalar tile loop.
+///
+/// # Panics
+/// Panics if the strided windows don't fit their slices or a stride is
+/// smaller than its row length.
+// The nine parameters are two symmetric (slice, offset, stride) windows
+// plus the tier and extent — a params struct would just rename the same
+// tuple without making call sites harder to transpose-proof, unlike the
+// heterogeneous `GatherArgs` bundle in `scheduled`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn transpose_strided<T: Copy>(
+    tier: Tier,
+    src: &[T],
+    src_off: usize,
+    src_stride: usize,
+    dst: &mut [T],
+    dst_off: usize,
+    dst_stride: usize,
+    nr: usize,
+    nc: usize,
+) -> bool {
+    let token = match tier {
+        Tier::Avx2(token) if size_of::<T>() == 4 || size_of::<T>() == 8 => token,
+        _ => return false,
+    };
+    if nr == 0 || nc == 0 {
+        return true;
+    }
+    assert!(src_stride >= nc && dst_stride >= nr, "stride < row length");
+    assert!(
+        src_off + (nr - 1) * src_stride + nc <= src.len(),
+        "src window out of bounds"
+    );
+    assert!(
+        dst_off + (nc - 1) * dst_stride + nr <= dst.len(),
+        "dst window out of bounds"
+    );
+    #[cfg(target_arch = "x86_64")]
+    {
+        let side = if size_of::<T>() == 4 { 8 } else { 4 };
+        let r_full = nr - nr % side;
+        let c_full = nc - nc % side;
+        for c0 in (0..c_full).step_by(side) {
+            for r0 in (0..r_full).step_by(side) {
+                let s = src_off + r0 * src_stride + c0;
+                let d = dst_off + c0 * dst_stride + r0;
+                // SAFETY: the window asserts above bound the whole
+                // region; this tile's farthest element, row `side-1`,
+                // column `side-1` from (r0, c0), stays inside it. The
+                // token proves AVX2, and width 4/8 makes the pointer
+                // casts bit-level reinterpretations read/written only
+                // via unaligned intrinsics.
+                #[allow(unsafe_code)]
+                unsafe {
+                    if size_of::<T>() == 4 {
+                        transpose_tile_8x8_u32(
+                            src.as_ptr().add(s) as *const u32,
+                            src_stride,
+                            dst.as_mut_ptr().add(d) as *mut u32,
+                            dst_stride,
+                        );
+                    } else {
+                        transpose_tile_4x4_u64(
+                            src.as_ptr().add(s) as *const u64,
+                            src_stride,
+                            dst.as_mut_ptr().add(d) as *mut u64,
+                            dst_stride,
+                        );
+                    }
+                }
+            }
+            // r tail for these `side` destination rows.
+            for c in c0..c0 + side {
+                for r in r_full..nr {
+                    dst[dst_off + c * dst_stride + r] = src[src_off + r * src_stride + c];
+                }
+            }
+        }
+        // c tail across every row.
+        for c in c_full..nc {
+            for r in 0..nr {
+                dst[dst_off + c * dst_stride + r] = src[src_off + r * src_stride + c];
+            }
+        }
+        let _ = token;
+        true
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        // `Avx2` is unconstructible off x86-64 (no token constructor),
+        // so this arm is unreachable; keep the fallback honest anyway.
+        let _ = token;
+        false
+    }
+}
+
+/// 8×8 u32 tile transpose through ymm registers: unpack 32-bit pairs,
+/// unpack 64-bit pairs, then recombine 128-bit halves.
+///
+/// # Safety
+/// Caller proves AVX2 and that rows `src + k·src_stride` (8 elements
+/// each) and `dst + k·dst_stride` for `k in 0..8` are all in bounds.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn transpose_tile_8x8_u32(
+    src: *const u32,
+    src_stride: usize,
+    dst: *mut u32,
+    dst_stride: usize,
+) {
+    // SAFETY: row pointers in bounds per the function contract; loads
+    // and stores are unaligned intrinsics.
+    unsafe {
+        let ld =
+            |k: usize| arch::_mm256_loadu_si256(src.add(k * src_stride) as *const arch::__m256i);
+        let (r0, r1, r2, r3) = (ld(0), ld(1), ld(2), ld(3));
+        let (r4, r5, r6, r7) = (ld(4), ld(5), ld(6), ld(7));
+        let t0 = arch::_mm256_unpacklo_epi32(r0, r1);
+        let t1 = arch::_mm256_unpackhi_epi32(r0, r1);
+        let t2 = arch::_mm256_unpacklo_epi32(r2, r3);
+        let t3 = arch::_mm256_unpackhi_epi32(r2, r3);
+        let t4 = arch::_mm256_unpacklo_epi32(r4, r5);
+        let t5 = arch::_mm256_unpackhi_epi32(r4, r5);
+        let t6 = arch::_mm256_unpacklo_epi32(r6, r7);
+        let t7 = arch::_mm256_unpackhi_epi32(r6, r7);
+        let u0 = arch::_mm256_unpacklo_epi64(t0, t2);
+        let u1 = arch::_mm256_unpackhi_epi64(t0, t2);
+        let u2 = arch::_mm256_unpacklo_epi64(t1, t3);
+        let u3 = arch::_mm256_unpackhi_epi64(t1, t3);
+        let u4 = arch::_mm256_unpacklo_epi64(t4, t6);
+        let u5 = arch::_mm256_unpackhi_epi64(t4, t6);
+        let u6 = arch::_mm256_unpacklo_epi64(t5, t7);
+        let u7 = arch::_mm256_unpackhi_epi64(t5, t7);
+        let st = |k: usize, v: arch::__m256i| {
+            arch::_mm256_storeu_si256(dst.add(k * dst_stride) as *mut arch::__m256i, v)
+        };
+        st(0, arch::_mm256_permute2x128_si256::<0x20>(u0, u4));
+        st(1, arch::_mm256_permute2x128_si256::<0x20>(u1, u5));
+        st(2, arch::_mm256_permute2x128_si256::<0x20>(u2, u6));
+        st(3, arch::_mm256_permute2x128_si256::<0x20>(u3, u7));
+        st(4, arch::_mm256_permute2x128_si256::<0x31>(u0, u4));
+        st(5, arch::_mm256_permute2x128_si256::<0x31>(u1, u5));
+        st(6, arch::_mm256_permute2x128_si256::<0x31>(u2, u6));
+        st(7, arch::_mm256_permute2x128_si256::<0x31>(u3, u7));
+    }
+}
+
+/// 4×4 u64 tile transpose through ymm registers.
+///
+/// # Safety
+/// As [`transpose_tile_8x8_u32`], with 4-element rows of u64.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn transpose_tile_4x4_u64(
+    src: *const u64,
+    src_stride: usize,
+    dst: *mut u64,
+    dst_stride: usize,
+) {
+    // SAFETY: row pointers in bounds per the function contract.
+    unsafe {
+        let ld =
+            |k: usize| arch::_mm256_loadu_si256(src.add(k * src_stride) as *const arch::__m256i);
+        let (r0, r1, r2, r3) = (ld(0), ld(1), ld(2), ld(3));
+        let t0 = arch::_mm256_unpacklo_epi64(r0, r1);
+        let t1 = arch::_mm256_unpackhi_epi64(r0, r1);
+        let t2 = arch::_mm256_unpacklo_epi64(r2, r3);
+        let t3 = arch::_mm256_unpackhi_epi64(r2, r3);
+        let st = |k: usize, v: arch::__m256i| {
+            arch::_mm256_storeu_si256(dst.add(k * dst_stride) as *mut arch::__m256i, v)
+        };
+        st(0, arch::_mm256_permute2x128_si256::<0x20>(t0, t2));
+        st(1, arch::_mm256_permute2x128_si256::<0x20>(t1, t3));
+        st(2, arch::_mm256_permute2x128_si256::<0x31>(t0, t2));
+        st(3, arch::_mm256_permute2x128_si256::<0x31>(t1, t3));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiers() -> Vec<Tier> {
+        let mut tiers = vec![Tier::Scalar, Tier::Unrolled];
+        if let Some(token) = avx2_token() {
+            tiers.push(Tier::Avx2(token));
+        }
+        tiers
+    }
+
+    #[test]
+    fn gather_row_matches_scalar_on_every_tier() {
+        let in_row: Vec<u32> = (0..301u32).map(|v| v.wrapping_mul(2654435761)).collect();
+        let g_row: Vec<u32> = (0..301u32).map(|j| (j * 7 + 3) % 301).collect();
+        let mut want = vec![0u32; 301];
+        gather_row(Tier::Scalar, &in_row, &g_row, &mut want);
+        for tier in tiers() {
+            let mut got = vec![0u32; 301];
+            gather_row(tier, &in_row, &g_row, &mut got);
+            assert_eq!(got, want, "{tier:?}");
+        }
+    }
+
+    #[test]
+    fn gather_row_u64_and_u128_match_scalar() {
+        let row64: Vec<u64> = (0..77u64).map(|v| v << 32 | v).collect();
+        let row128: Vec<u128> = (0..77u128).map(|v| v << 64 | v).collect();
+        let g_row: Vec<u32> = (0..77u32).map(|j| 76 - j).collect();
+        for tier in tiers() {
+            let mut got64 = vec![0u64; 77];
+            gather_row(tier, &row64, &g_row, &mut got64);
+            assert!(got64.iter().enumerate().all(|(j, &v)| v == row64[76 - j]));
+            let mut got128 = vec![0u128; 77];
+            gather_row(tier, &row128, &g_row, &mut got128);
+            assert!(got128.iter().enumerate().all(|(j, &v)| v == row128[76 - j]));
+        }
+    }
+
+    #[test]
+    fn gather_map_usize_matches_scalar() {
+        let src: Vec<u64> = (0..1000u64).map(|v| v * 3).collect();
+        let map: Vec<usize> = (0..1000).map(|j| (j * 31 + 17) % 1000).collect();
+        let mut want = vec![0u64; 1000];
+        gather_map_usize(Tier::Scalar, &src, &map, &mut want);
+        for tier in tiers() {
+            let mut got = vec![0u64; 1000];
+            gather_map_usize(tier, &src, &map, &mut got);
+            assert_eq!(got, want, "{tier:?}");
+        }
+    }
+
+    #[test]
+    fn transpose_strided_matches_scalar_when_it_applies() {
+        // Deliberately ragged: 19×13 window inside larger strides.
+        let (nr, nc, ss, ds) = (19usize, 13usize, 23usize, 29usize);
+        let src: Vec<u32> = (0..(nr * ss) as u32).collect();
+        for tier in tiers() {
+            let mut dst = vec![u32::MAX; nc * ds + nr];
+            if !transpose_strided(tier, &src, 0, ss, &mut dst, 0, ds, nr, nc) {
+                continue;
+            }
+            for r in 0..nr {
+                for c in 0..nc {
+                    assert_eq!(dst[c * ds + r], src[r * ss + c], "({r},{c}) {tier:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_strided_u64_tiles() {
+        let (nr, nc) = (12usize, 20usize);
+        let src: Vec<u64> = (0..(nr * nc) as u64).collect();
+        for tier in tiers() {
+            let mut dst = vec![0u64; nr * nc];
+            if !transpose_strided(tier, &src, 0, nc, &mut dst, 0, nr, nr, nc) {
+                continue;
+            }
+            for r in 0..nr {
+                for c in 0..nc {
+                    assert_eq!(dst[c * nr + r], src[r * nc + c], "({r},{c}) {tier:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_tier_never_claims_the_transpose() {
+        let src = [1u32, 2, 3, 4];
+        let mut dst = [0u32; 4];
+        assert!(!transpose_strided(
+            Tier::Scalar,
+            &src,
+            0,
+            2,
+            &mut dst,
+            0,
+            2,
+            2,
+            2
+        ));
+        assert_eq!(dst, [0; 4], "declined tier must not touch dst");
+    }
+
+    #[test]
+    fn prefetch_is_a_safe_no_op_semantically() {
+        let data: Vec<u32> = (0..4096).collect();
+        prefetch_lines(&data);
+        prefetch_lines(&data[..1]);
+        prefetch_lines::<u32>(&[]);
+    }
+}

@@ -1,0 +1,204 @@
+//! Kernel differential suite: the double-buffered, vectorized sweep
+//! pipeline against the retained scalar reference, across every config
+//! point the seams expose.
+//!
+//! The contract under test is the one DESIGN.md's determinism argument
+//! makes: for a fixed plan, **every** kernel config — SIMD on or off,
+//! staging depth 1 or 2, any block size or tile — produces output
+//! byte-identical to the `Permutation::permute` oracle, over all five
+//! paper families × element widths {u32, u64, [u8; 16]} × ragged shapes
+//! (non-multiple bands, block tails, n smaller than one block).
+//!
+//! CI runs this suite under `HMM_NATIVE_SIMD={0,1}` ×
+//! `HMM_NATIVE_THREADS={1,4}`, so the process-global config path and the
+//! band-parallel splits get the same coverage as the explicit
+//! `from_plan_with` seam exercised here.
+
+use hmm_native::{KernelConfig, NativeScheduled, PlanIr};
+use hmm_perm::{families, Permutation};
+use proptest::prelude::*;
+
+const W: usize = 32;
+
+/// The config points under test. `scalar` is the oracle-equivalent
+/// reference; the rest turn the pipeline's knobs one at a time plus the
+/// kitchen-sink default.
+fn config_points() -> Vec<(&'static str, KernelConfig)> {
+    vec![
+        ("scalar", KernelConfig::scalar()),
+        ("default", KernelConfig::default()),
+        (
+            "simd-depth1",
+            KernelConfig {
+                depth: 1,
+                ..KernelConfig::default()
+            },
+        ),
+        (
+            // Tiny staging budget: every band runs many blocks with a
+            // ragged tail; tile 8 forces non-multiple tile edges too.
+            "simd-tiny-blocks",
+            KernelConfig {
+                stage_bytes: 4096,
+                tile: 8,
+                ..KernelConfig::default()
+            },
+        ),
+        (
+            // Odd tile: bands are padded to a non-power-of-two multiple.
+            "simd-tile48",
+            KernelConfig {
+                tile: 48,
+                ..KernelConfig::default()
+            },
+        ),
+        (
+            // Double-buffered but scalar inner loops (prefetch still on):
+            // isolates the pipeline restructure from the vector paths.
+            "scalar-depth2",
+            KernelConfig {
+                simd: false,
+                depth: 2,
+                prefetch: true,
+                ..KernelConfig::default()
+            },
+        ),
+    ]
+}
+
+/// Run one permutation through every config point at element type `T`
+/// and demand byte-identical agreement with the safe oracle.
+fn check_all_configs<T>(p: &Permutation, label: &str, make: impl Fn(usize) -> T)
+where
+    T: Copy + Send + Sync + Default + PartialEq + std::fmt::Debug,
+{
+    let n = p.len();
+    let src: Vec<T> = (0..n).map(make).collect();
+    let mut want = vec![T::default(); n];
+    p.permute(&src, &mut want).unwrap();
+    let ir = PlanIr::build(p, W).unwrap();
+    for (name, cfg) in config_points() {
+        let sched = NativeScheduled::from_plan_with(&ir, cfg);
+        let mut dst = vec![T::default(); n];
+        sched.run(&src, &mut dst);
+        assert!(
+            dst == want,
+            "config {name} diverged from the oracle: {label}, n = {n}"
+        );
+    }
+}
+
+#[test]
+fn all_families_u32() {
+    for n in [1 << 10, 1 << 11, 1 << 13] {
+        for fam in families::Family::ALL {
+            let p = fam.build(n, 0xd1ff).unwrap();
+            check_all_configs(&p, fam.name(), |i| (i as u32).wrapping_mul(2654435761));
+        }
+    }
+}
+
+#[test]
+fn all_families_u64() {
+    for n in [1 << 10, 1 << 11, 1 << 13] {
+        for fam in families::Family::ALL {
+            let p = fam.build(n, 0xd1ff).unwrap();
+            check_all_configs(&p, fam.name(), |i| {
+                (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            });
+        }
+    }
+}
+
+#[test]
+fn all_families_16_byte_elements() {
+    // 16-byte elements have no AVX2 gather/transpose — they exercise the
+    // unrolled clamped tier and the widest staging-arena stride.
+    for n in [1 << 10, 1 << 11] {
+        for fam in families::Family::ALL {
+            let p = fam.build(n, 0xd1ff).unwrap();
+            check_all_configs(&p, fam.name(), |i| {
+                ((i as u128).wrapping_mul(0x0123_4567_89ab_cdef)).to_le_bytes()
+            });
+        }
+    }
+}
+
+#[test]
+fn n_smaller_than_one_block() {
+    // With the default 256 KB budget a whole 2^10-element matrix fits in
+    // one staging block: depth collapses to 1 regardless of the config.
+    let n = 1 << 10;
+    let p = families::random(n, 99);
+    check_all_configs(&p, "random-small", |i| i as u32);
+}
+
+#[test]
+fn tiny_matrices_every_width() {
+    // 2^6..2^9: rows smaller than a tile, bands smaller than a block —
+    // the all-edges regime. Width 8 keeps these schedulable.
+    for exp in 6..=9 {
+        let n = 1usize << exp;
+        let p = families::random(n, exp as u64);
+        let src: Vec<u32> = (0..n as u32).collect();
+        let mut want = vec![0u32; n];
+        p.permute(&src, &mut want).unwrap();
+        let ir = PlanIr::build(&p, 8).unwrap();
+        for (name, cfg) in config_points() {
+            let mut dst = vec![0u32; n];
+            NativeScheduled::from_plan_with(&ir, cfg).run(&src, &mut dst);
+            assert_eq!(dst, want, "config {name}, n = {n}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random family × random size × random payload: every config point
+    /// agrees with the oracle.
+    #[test]
+    fn random_shapes_agree_everywhere(
+        n_exp in 10u32..=13,
+        fam_idx in 0usize..families::Family::ALL.len(),
+        seed in any::<u64>(),
+    ) {
+        let n = 1usize << n_exp;
+        let fam = families::Family::ALL[fam_idx];
+        let p = fam.build(n, seed).unwrap();
+        let src: Vec<u32> = (0..n as u32).map(|v| v.wrapping_mul(seed as u32 | 1)).collect();
+        let mut want = vec![0u32; n];
+        p.permute(&src, &mut want).unwrap();
+        let ir = PlanIr::build(&p, W).unwrap();
+        for (name, cfg) in config_points() {
+            let mut dst = vec![0u32; n];
+            NativeScheduled::from_plan_with(&ir, cfg).run(&src, &mut dst);
+            prop_assert_eq!(&dst, &want, "config {}, {}, n = {}", name, fam.name(), n);
+        }
+    }
+
+    /// Config points also agree pairwise on u64 payloads (not just with
+    /// the oracle): pins byte-identity of the *outputs*, the property the
+    /// determinism argument claims.
+    #[test]
+    fn configs_agree_pairwise_u64(
+        n_exp in 10u32..=12,
+        seed in any::<u64>(),
+    ) {
+        let n = 1usize << n_exp;
+        let p = families::random(n, seed);
+        let src: Vec<u64> = (0..n as u64).map(|v| v.rotate_left((seed % 63) as u32)).collect();
+        let ir = PlanIr::build(&p, W).unwrap();
+        let outs: Vec<Vec<u64>> = config_points()
+            .into_iter()
+            .map(|(_, cfg)| {
+                let mut dst = vec![0u64; n];
+                NativeScheduled::from_plan_with(&ir, cfg).run(&src, &mut dst);
+                dst
+            })
+            .collect();
+        for pair in outs.windows(2) {
+            prop_assert_eq!(&pair[0], &pair[1]);
+        }
+    }
+}

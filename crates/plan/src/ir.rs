@@ -365,6 +365,36 @@ impl PlanIr {
         &self.g3
     }
 
+    /// Per-pass geometry hints for sweep executors: the matrix view each
+    /// of the three passes runs over, in execution order (pass 2 runs on
+    /// the transposed matrix), and whether a fused executor folds a
+    /// transpose into the pass's write side.
+    ///
+    /// The layouts are **derived** from the stored shape — like the
+    /// gather maps, they are never serialised, so exposing them changes
+    /// no wire byte (`codec::FORMAT_VERSION` stays 1) and a decoded plan
+    /// reports exactly the layouts of the plan that was encoded.
+    pub fn pass_layouts(&self) -> [PassLayout; 3] {
+        let MatrixShape { rows: r, cols: c } = self.shape;
+        [
+            PassLayout {
+                rows: r,
+                cols: c,
+                fused_transpose: true,
+            },
+            PassLayout {
+                rows: c,
+                cols: r,
+                fused_transpose: true,
+            },
+            PassLayout {
+                rows: r,
+                cols: c,
+                fused_transpose: false,
+            },
+        ]
+    }
+
     /// Flat destination of source index `idx` under the composed three
     /// steps.
     #[inline]
@@ -405,6 +435,32 @@ impl PlanIr {
     /// The step-3 destination maps as one [`Permutation`] per row.
     pub fn step3_row_perms(&self) -> Vec<Permutation> {
         rows_to_perms(&self.step3, self.shape.cols)
+    }
+}
+
+/// Geometry of one executor sweep, derived from the plan shape (see
+/// [`PlanIr::pass_layouts`]): the `rows × cols` matrix view the pass
+/// iterates, where every gather map indexes within one `cols`-element
+/// row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PassLayout {
+    /// Input rows of this pass's matrix view.
+    pub rows: usize,
+    /// Row length — the range the pass's gather indices live in.
+    pub cols: usize,
+    /// True when a fused executor writes this pass's output transposed
+    /// (passes 1 and 2 of the three-sweep CPU executor).
+    pub fused_transpose: bool,
+}
+
+impl PassLayout {
+    /// How many of this pass's input rows a staging buffer of
+    /// `stage_bytes` holds, when each staged row carries `band_cols`
+    /// elements of `elem_bytes` bytes (a fused executor stages only its
+    /// worker's band of the row): as many as fit, clamped to
+    /// `1..=rows`.
+    pub fn staging_rows(&self, elem_bytes: usize, stage_bytes: usize, band_cols: usize) -> usize {
+        (stage_bytes / (band_cols * elem_bytes).max(1)).clamp(1, self.rows.max(1))
     }
 }
 
@@ -654,5 +710,44 @@ mod tests {
             ir.fingerprint(),
         );
         assert!(matches!(err, Err(PlanError::Codec { .. })));
+    }
+
+    #[test]
+    fn pass_layouts_follow_the_shape() {
+        let p = families::random(1 << 11, 41); // rectangular (odd exponent)
+        let ir = PlanIr::build(&p, W).unwrap();
+        let MatrixShape { rows: r, cols: c } = ir.shape();
+        let [l1, l2, l3] = ir.pass_layouts();
+        assert_eq!((l1.rows, l1.cols, l1.fused_transpose), (r, c, true));
+        assert_eq!((l2.rows, l2.cols, l2.fused_transpose), (c, r, true));
+        assert_eq!((l3.rows, l3.cols, l3.fused_transpose), (r, c, false));
+    }
+
+    #[test]
+    fn pass_layouts_are_codec_stable() {
+        // Derived hints must neither change the wire bytes nor differ
+        // between a built plan and its decoded round-trip.
+        let p = families::random(1 << 10, 42);
+        let ir = PlanIr::build(&p, W).unwrap();
+        let bytes = crate::codec::encode(&ir);
+        let layouts = ir.pass_layouts();
+        assert_eq!(crate::codec::encode(&ir), bytes, "pass_layouts mutated");
+        let decoded = crate::codec::decode(&bytes).unwrap();
+        assert_eq!(decoded.pass_layouts(), layouts);
+    }
+
+    #[test]
+    fn staging_rows_fills_the_budget() {
+        let layout = PassLayout {
+            rows: 2048,
+            cols: 2048,
+            fused_transpose: true,
+        };
+        // 256 KB of 1024-element u32 band rows: 64 fit.
+        assert_eq!(layout.staging_rows(4, 262_144, 1024), 64);
+        // Never more rows than the pass has...
+        assert_eq!(layout.staging_rows(4, usize::MAX, 1), 2048);
+        // ...and always at least one, even when a row outsizes the budget.
+        assert_eq!(layout.staging_rows(8, 1024, 1 << 20), 1);
     }
 }

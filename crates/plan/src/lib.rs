@@ -31,5 +31,5 @@ pub mod store;
 
 pub use codec::{decode, encode, encode_to, FORMAT_VERSION};
 pub use error::{PlanError, Result};
-pub use ir::PlanIr;
+pub use ir::{PassLayout, PlanIr};
 pub use store::{PlanStore, StoreEntry, StoreKey};
