@@ -170,6 +170,38 @@ impl FftPlan {
     }
 }
 
+/// The six-step FFT's data-reordering chain for an `rows × (n/rows)`
+/// factoring of an `n`-point transform, in **application order**: the
+/// decimation-in-time bit-reversal first, then the row-major →
+/// column-major transpose that regroups each length-`n/rows` column for
+/// the second butterfly pass.
+///
+/// Feed the chain to `SharedEngine::permute_fused` (or collapse it
+/// yourself with [`six_step_reorder_fused`]) to pay **one** memory round
+/// trip for the whole reorder instead of one per link. Both links are
+/// affine over GF(2), so the composite is again affine and the planner's
+/// structured fast path emits its plan in closed form — no König
+/// coloring.
+///
+/// `n` and `rows` must be powers of two with `rows` dividing `n`.
+pub fn six_step_reorder_chain(n: usize, rows: usize) -> Result<Vec<Permutation>, PermError> {
+    if rows == 0 || !n.is_multiple_of(rows) {
+        return Err(PermError::NotPowerOfTwo { n: rows });
+    }
+    Ok(vec![
+        families::bit_reversal(n)?,
+        families::transpose(rows, n / rows, n)?,
+    ])
+}
+
+/// [`six_step_reorder_chain`] collapsed into the single composite
+/// permutation it realises, via [`Permutation::compose_chain`].
+pub fn six_step_reorder_fused(n: usize, rows: usize) -> Result<Permutation, PermError> {
+    let chain = six_step_reorder_chain(n, rows)?;
+    let refs: Vec<&Permutation> = chain.iter().collect();
+    Permutation::compose_chain(&refs)
+}
+
 /// Circular convolution of two real sequences of equal power-of-two
 /// length via the FFT.
 pub fn circular_convolve(a: &[f64], b: &[f64]) -> Result<Vec<f64>, PermError> {
@@ -326,6 +358,53 @@ mod tests {
     fn non_power_of_two_rejected() {
         assert!(FftPlan::new(100).is_err());
         assert!(FftPlan::new(0).is_err());
+    }
+
+    #[test]
+    fn six_step_chain_fuses_to_one_affine_permutation() {
+        let n = 1 << 12;
+        let rows = 1 << 5;
+        let chain = six_step_reorder_chain(n, rows).unwrap();
+        let fused = six_step_reorder_fused(n, rows).unwrap();
+        // Fused-once equals link-by-link.
+        let src: Vec<u32> = (0..n as u32).map(|v| v.wrapping_mul(2654435761)).collect();
+        let mut mid = vec![0u32; n];
+        let mut two_step = vec![0u32; n];
+        chain[0].permute(&src, &mut mid).unwrap();
+        chain[1].permute(&mid, &mut two_step).unwrap();
+        let mut one_step = vec![0u32; n];
+        fused.permute(&src, &mut one_step).unwrap();
+        assert_eq!(one_step, two_step);
+        // Both links are affine, so the composite must be recognised by
+        // the structured planner (bit-reversal ∘ transpose is BMMC).
+        assert!(fused.as_bmmc().is_some());
+        assert!(six_step_reorder_chain(n, 0).is_err());
+        assert!(six_step_reorder_chain(n, 3).is_err());
+    }
+
+    #[test]
+    fn engine_plans_fused_reorder_without_koenig() {
+        use hmm_native::SharedEngine;
+        let n = 1 << 12;
+        let chain = six_step_reorder_chain(n, 1 << 6).unwrap();
+        let refs: Vec<&hmm_perm::Permutation> = chain.iter().collect();
+        let engine: SharedEngine<u32> = SharedEngine::new(32);
+        // Force the scheduled backend so the plan construction path (and
+        // its structured/König split) is what's measured.
+        engine.set_gamma_threshold(0.0);
+        let src: Vec<u32> = (0..n as u32).collect();
+        let mut fused_out = vec![0u32; n];
+        engine.permute_fused(&refs, &src, &mut fused_out).unwrap();
+        let mut mid = vec![0u32; n];
+        let mut chained_out = vec![0u32; n];
+        engine.permute(&chain[0], &src, &mut mid).unwrap();
+        engine.permute(&chain[1], &mid, &mut chained_out).unwrap();
+        assert_eq!(fused_out, chained_out);
+        let stats = engine.stats();
+        // Every plan this test built (the fused composite and both
+        // links) is affine: the König colorer must never have run.
+        assert!(stats.plans_structured >= 3, "{stats:?}");
+        assert_eq!(stats.builds, 0, "{stats:?}");
     }
 
     #[test]

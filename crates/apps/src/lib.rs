@@ -32,9 +32,11 @@ pub mod omega;
 pub mod onhmm;
 pub mod sortnet;
 
-pub use fft::{circular_convolve, Complex, FftPlan};
+pub use fft::{
+    circular_convolve, six_step_reorder_chain, six_step_reorder_fused, Complex, FftPlan,
+};
 pub use hypercube::{Congestion, Hypercube};
 pub use mesh::Mesh;
 pub use omega::{Blocking, OmegaNetwork, SwitchSchedule};
 pub use onhmm::{application_permutations, PermVerdict};
-pub use sortnet::{bitonic, odd_even_mergesort, Network};
+pub use sortnet::{bitonic, fused_layer_permutation, odd_even_mergesort, Network};

@@ -180,6 +180,26 @@ pub fn bitonic_layer_permutation(n: usize, stage: u32) -> Result<Permutation, Pe
     families::butterfly(n, stage)
 }
 
+/// The fused partner permutation for a run of consecutive bitonic
+/// exchange layers with distances `2^stages[0]`, `2^stages[1]`, … applied
+/// in that order. Butterflies compose by XOR-ing their masks, so any
+/// run collapses to the single exchange `i ↦ i XOR (2^s₀ ⊕ 2^s₁ ⊕ …)` —
+/// one offline permutation (and one memory round trip through
+/// `SharedEngine::permute_fused`) where the unfused pipeline pays one
+/// per layer. The composite is linear over GF(2), so the planner's
+/// structured fast path applies.
+///
+/// Errors on an empty `stages` (via [`Permutation::compose_chain`]) or
+/// an out-of-range stage.
+pub fn fused_layer_permutation(n: usize, stages: &[u32]) -> Result<Permutation, PermError> {
+    let links = stages
+        .iter()
+        .map(|&s| families::butterfly(n, s))
+        .collect::<Result<Vec<_>, _>>()?;
+    let refs: Vec<&Permutation> = links.iter().collect();
+    Permutation::compose_chain(&refs)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -260,6 +280,33 @@ mod tests {
                 assert_eq!(p.apply(c.hi), c.lo);
             }
         }
+    }
+
+    #[test]
+    fn fused_layer_run_collapses_to_one_exchange() {
+        let n = 256;
+        // Three consecutive exchange layers, distances 4, 2, 1 (the tail
+        // of a bitonic merge phase).
+        let stages = [2u32, 1, 0];
+        let fused = fused_layer_permutation(n, &stages).unwrap();
+        let src: Vec<u32> = (0..n as u32).map(|v| v ^ 0xa5).collect();
+        let mut step = src.clone();
+        for &s in &stages {
+            let p = bitonic_layer_permutation(n, s).unwrap();
+            let prev = step.clone();
+            p.permute(&prev, &mut step).unwrap();
+        }
+        let mut once = vec![0u32; n];
+        fused.permute(&src, &mut once).unwrap();
+        assert_eq!(once, step);
+        // XOR-of-masks: the run is the single butterfly with mask 0b111.
+        for i in 0..n {
+            assert_eq!(fused.apply(i), i ^ 0b111);
+        }
+        // Linear over GF(2) ⇒ structured-plannable.
+        assert!(fused.as_bmmc().is_some());
+        assert!(fused_layer_permutation(n, &[]).is_err());
+        assert!(fused_layer_permutation(n, &[31]).is_err());
     }
 
     #[test]

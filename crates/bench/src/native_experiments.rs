@@ -115,8 +115,8 @@ pub fn sweeps(sizes: &[usize], reps: usize) -> Result<Vec<SweepRow>> {
     for &n in sizes {
         let p = hmm_perm::families::random(n, 5);
         let ir = hmm_plan::PlanIr::build_par(&p, W, worker_threads())?;
-        let on = NativeScheduled::from_plan_with(&ir, KernelConfig::default());
-        let off = NativeScheduled::from_plan_with(&ir, KernelConfig::scalar());
+        let on = NativeScheduled::from_plan_with(&ir, KernelConfig::default())?;
+        let off = NativeScheduled::from_plan_with(&ir, KernelConfig::scalar())?;
         let src: Vec<u32> = (0..n as u32).collect();
         let mut dst = vec![0u32; n];
         let mut scratch = vec![0u32; n];
@@ -195,6 +195,120 @@ pub fn plan_build_scaling(
             threads,
             seq,
             par,
+        });
+    }
+    Ok(rows)
+}
+
+/// One row of the structured-planner comparison: the closed-form BMMC
+/// emitter against the general König coloring, over the same affine
+/// permutation.
+#[derive(Debug, Clone)]
+pub struct StructuredRow {
+    /// Permutation family (affine: the recognizer must catch it).
+    pub family: &'static str,
+    /// Array size.
+    pub n: usize,
+    /// `PlanIr::build` — detection plus the closed-form emitter.
+    pub structured: Duration,
+    /// `PlanIr::build_for_shape` with the Hybrid strategy — the general
+    /// multigraph coloring, forced.
+    pub koenig: Duration,
+}
+
+/// Measure the structured fast path: closed-form plan emission against
+/// the forced König coloring, per affine family and size. Both plans are
+/// checked to realise the same permutation before any time is reported.
+pub fn structured_plan_build(sizes: &[usize], reps: usize) -> Result<Vec<StructuredRow>> {
+    use hmm_plan::PlanIr;
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let cases: [(&'static str, Permutation); 3] = [
+            ("shuffle", families::shuffle(n)?),
+            ("transpose", families::transpose_square(n)?),
+            ("bit-reversal", families::bit_reversal(n)?),
+        ];
+        for (family, p) in cases {
+            let shape = hmm_perm::scheduled_shape(n, W)?;
+            let fast = PlanIr::build(&p, W)?;
+            let slow = PlanIr::build_for_shape(&p, shape, W, hmm_graph::Strategy::Hybrid)?;
+            assert!(fast.matches(&p) && slow.matches(&p), "{family} n={n}");
+            drop((fast, slow));
+            let structured = median_time(reps.min(3), || {
+                let ir = PlanIr::build(&p, W).unwrap();
+                std::hint::black_box(&ir);
+            });
+            let koenig = median_time(reps.min(3), || {
+                let ir =
+                    PlanIr::build_for_shape(&p, shape, W, hmm_graph::Strategy::Hybrid).unwrap();
+                std::hint::black_box(&ir);
+            });
+            rows.push(StructuredRow {
+                family,
+                n,
+                structured,
+                koenig,
+            });
+        }
+    }
+    Ok(rows)
+}
+
+/// One row of the fusion comparison: a bit-reversal → transpose pipeline
+/// executed as one fused plan (three sweeps, one memory round trip)
+/// versus the unfused two-plan chain (six sweeps, an intermediate
+/// buffer).
+#[derive(Debug, Clone)]
+pub struct FusedRow {
+    /// Array size.
+    pub n: usize,
+    /// Scheduled sweeps the fused plan executes (always 3).
+    pub fused_sweeps: usize,
+    /// Scheduled sweeps the unfused chain executes (3 per link).
+    pub chained_sweeps: usize,
+    /// One `permute_fused` of the 2-chain, plan warm.
+    pub fused: Duration,
+    /// The two `permute` calls plus the intermediate buffer, plans warm.
+    pub chained: Duration,
+}
+
+/// Measure plan fusion on the bit-reversal → transpose 2-chain (the
+/// six-step FFT's reorder). Sweep counts are taken from the engine's
+/// `scheduled_runs` counter — 1 plan × 3 sweeps fused vs 2 × 3 chained —
+/// and outputs are checked equal before any time is reported.
+pub fn fused_chain(sizes: &[usize], reps: usize) -> Result<Vec<FusedRow>> {
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let p1 = families::bit_reversal(n)?;
+        let p2 = families::transpose_square(n)?;
+        let chain = [&p1, &p2];
+        let engine: SharedEngine<u32> = SharedEngine::new(W);
+        engine.set_gamma_threshold(0.0); // force the scheduled backend
+        let src: Vec<u32> = (0..n as u32).map(|v| v.wrapping_mul(0x9e37_79b9)).collect();
+        let mut fused_out = vec![0u32; n];
+        let mut mid = vec![0u32; n];
+        let mut chained_out = vec![0u32; n];
+        // Warm both plans and verify the fusion before timing.
+        let runs0 = engine.stats().scheduled_runs;
+        engine.permute_fused(&chain, &src, &mut fused_out)?;
+        let fused_runs = engine.stats().scheduled_runs - runs0;
+        engine.permute(&p1, &src, &mut mid)?;
+        engine.permute(&p2, &mid, &mut chained_out)?;
+        let chained_runs = engine.stats().scheduled_runs - runs0 - fused_runs;
+        assert_eq!(fused_out, chained_out, "fusion diverged at n={n}");
+        let fused = median_time(reps.min(5), || {
+            engine.permute_fused(&chain, &src, &mut fused_out).unwrap();
+        });
+        let chained = median_time(reps.min(5), || {
+            engine.permute(&p1, &src, &mut mid).unwrap();
+            engine.permute(&p2, &mid, &mut chained_out).unwrap();
+        });
+        rows.push(FusedRow {
+            n,
+            fused_sweeps: fused_runs as usize * 3,
+            chained_sweeps: chained_runs as usize * 3,
+            fused,
+            chained,
         });
     }
     Ok(rows)
@@ -721,6 +835,46 @@ pub fn render_plan_build(rows: &[PlanBuildRow]) -> String {
             r.threads.to_string(),
             format!("{:.2?}", r.seq),
             format!("{:.2?}", r.par),
+            format!("{speedup:.2}x"),
+        ]);
+    }
+    t.render()
+}
+
+/// Render the structured-vs-König plan-build table.
+pub fn render_structured(rows: &[StructuredRow]) -> String {
+    let mut t = TextTable::new(vec!["family", "n", "structured", "König", "speedup"]);
+    for r in rows {
+        let speedup = r.koenig.as_secs_f64() / r.structured.as_secs_f64().max(1e-12);
+        t.row(vec![
+            r.family.to_string(),
+            size_label(r.n),
+            format!("{:.2?}", r.structured),
+            format!("{:.2?}", r.koenig),
+            format!("{speedup:.0}x"),
+        ]);
+    }
+    t.render()
+}
+
+/// Render the fused-vs-chained pipeline table.
+pub fn render_fused(rows: &[FusedRow]) -> String {
+    let mut t = TextTable::new(vec![
+        "n",
+        "fused sweeps",
+        "chained sweeps",
+        "fused wall",
+        "chained wall",
+        "speedup",
+    ]);
+    for r in rows {
+        let speedup = r.chained.as_secs_f64() / r.fused.as_secs_f64().max(1e-12);
+        t.row(vec![
+            size_label(r.n),
+            r.fused_sweeps.to_string(),
+            r.chained_sweeps.to_string(),
+            format!("{:.2?}", r.fused),
+            format!("{:.2?}", r.chained),
             format!("{speedup:.2}x"),
         ]);
     }

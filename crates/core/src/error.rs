@@ -94,7 +94,9 @@ impl From<hmm_plan::PlanError> for OffpermError {
             PlanError::SizeMismatch { expected, got } => {
                 OffpermError::SizeMismatch { expected, got }
             }
-            e @ (PlanError::Codec { .. } | PlanError::Store { .. }) => OffpermError::Plan(e),
+            e @ (PlanError::Codec { .. } | PlanError::Store { .. } | PlanError::Invalid { .. }) => {
+                OffpermError::Plan(e)
+            }
         }
     }
 }

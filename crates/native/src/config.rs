@@ -19,11 +19,14 @@
 //!   no SIMD, no prefetch, single staging buffer. The differential suite
 //!   uses it as the correctness oracle for every other config point.
 
-use std::sync::OnceLock;
+use std::sync::{Once, OnceLock};
 
-/// Environment variable: set to `0` to disable the SIMD kernel tiers
-/// process-wide (any other value, or unset, leaves them on; the
-/// `core::arch` tier additionally requires runtime CPU support).
+/// Environment variable: set to `0`/`off`/`false` to disable the SIMD
+/// kernel tiers process-wide, `1`/`on`/`true` to leave them enabled
+/// (also the unset default; the `core::arch` tier additionally requires
+/// runtime CPU support). Anything else is loudly ignored — like
+/// `HMM_NATIVE_THREADS`, a typo'd override must never silently select
+/// the wrong kernels.
 pub const SIMD_ENV: &str = "HMM_NATIVE_SIMD";
 
 /// Default per-worker staging-buffer budget in bytes (the seed's
@@ -83,14 +86,29 @@ impl Default for KernelConfig {
 }
 
 impl KernelConfig {
-    /// The default config with [`SIMD_ENV`] applied: `HMM_NATIVE_SIMD=0`
-    /// turns both the SIMD tiers and the prefetch hints off (the full
-    /// scalar reference pipeline), anything else leaves the default.
+    /// The default config with [`SIMD_ENV`] applied: a disabling value
+    /// (`0`/`off`/`false`) turns both the SIMD tiers and the prefetch
+    /// hints off (the full scalar reference pipeline), an enabling value
+    /// (`1`/`on`/`true`) or unset keeps the default, and anything else
+    /// warns once and keeps the default.
     pub fn from_env() -> Self {
         let mut cfg = Self::default();
-        if std::env::var(SIMD_ENV).as_deref() == Ok("0") {
-            cfg.simd = false;
-            cfg.prefetch = false;
+        if let Ok(v) = std::env::var(SIMD_ENV) {
+            match parse_simd_override(&v) {
+                Some(simd) => {
+                    cfg.simd = simd;
+                    cfg.prefetch = simd;
+                }
+                None => {
+                    static WARN_ONCE: Once = Once::new();
+                    WARN_ONCE.call_once(|| {
+                        eprintln!(
+                            "warning: ignoring invalid {SIMD_ENV}={v:?} \
+                             (expected 0/1/on/off/true/false); keeping SIMD enabled"
+                        );
+                    });
+                }
+            }
         }
         cfg
     }
@@ -117,6 +135,20 @@ impl KernelConfig {
     }
 }
 
+/// Parse an `HMM_NATIVE_SIMD` override: `1`/`on`/`true` enable,
+/// `0`/`off`/`false` disable (ASCII case-insensitive, surrounding
+/// whitespace ignored); anything else is invalid and yields `None`.
+/// Factored out of [`KernelConfig::from_env`] so the parse rules are
+/// testable without racing on the process-global environment (the same
+/// split `HMM_NATIVE_THREADS` uses in `par.rs`).
+fn parse_simd_override(v: &str) -> Option<bool> {
+    match v.trim().to_ascii_lowercase().as_str() {
+        "1" | "on" | "true" => Some(true),
+        "0" | "off" | "false" => Some(false),
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,5 +170,22 @@ mod tests {
         assert!(!cfg.prefetch);
         assert_eq!(cfg.depth, 1);
         assert_eq!(cfg.stage_bytes, DEFAULT_STAGE_BYTES);
+    }
+
+    #[test]
+    fn simd_override_parse_matrix() {
+        // Disabling spellings — the old code only honored the literal "0",
+        // so "off"/"false" silently *enabled* SIMD.
+        for v in ["0", "off", "false", "OFF", "False", " 0 ", "\toff\n"] {
+            assert_eq!(parse_simd_override(v), Some(false), "{v:?}");
+        }
+        for v in ["1", "on", "true", "ON", "True", " 1 "] {
+            assert_eq!(parse_simd_override(v), Some(true), "{v:?}");
+        }
+        // Invalid values are rejected (from_env warns and keeps the
+        // default) rather than being treated as "enable".
+        for v in ["", "2", "yes", "no", "garbage", "0x1", "-1"] {
+            assert_eq!(parse_simd_override(v), None, "{v:?}");
+        }
     }
 }

@@ -228,11 +228,7 @@ impl PermutePlan {
         if gamma <= gamma_threshold {
             Ok(Self::scatter(p, gamma))
         } else {
-            Ok(Self::from_ir(&PlanIr::build_par(
-                p,
-                width,
-                crate::par::worker_threads(),
-            )?))
+            Self::from_ir(&PlanIr::build_par(p, width, crate::par::worker_threads())?)
         }
     }
 
@@ -242,8 +238,10 @@ impl PermutePlan {
     /// wrapper is correct for exactly the permutation the IR encodes,
     /// wherever the IR came from (a fresh build, another engine, or a
     /// plan-store file). Sweeps run with the process-wide
-    /// [`KernelConfig::global`].
-    pub fn from_ir(ir: &PlanIr) -> Self {
+    /// [`KernelConfig::global`]. Fails with a typed error when the IR
+    /// violates its contract (`PlanIr::validate` — see
+    /// [`NativeScheduled::from_plan`]).
+    pub fn from_ir(ir: &PlanIr) -> Result<Self> {
         Self::from_ir_with(ir, KernelConfig::global())
     }
 
@@ -252,13 +250,13 @@ impl PermutePlan {
     /// or caller-overridden) config into every scheduled execution,
     /// whichever front door ran it: blocking `permute`, `permute_batch`,
     /// or the queue drainers behind `submit`.
-    pub fn from_ir_with(ir: &PlanIr, config: KernelConfig) -> Self {
-        PermutePlan {
+    pub fn from_ir_with(ir: &PlanIr, config: KernelConfig) -> Result<Self> {
+        Ok(PermutePlan {
             backend: Backend::Scheduled,
             gamma: ir.gamma(),
-            scheduled: Some(NativeScheduled::from_plan_with(ir, config)),
+            scheduled: Some(NativeScheduled::from_plan_with(ir, config)?),
             permutation: ir.recompose(),
-        }
+        })
     }
 
     fn scatter(p: &Permutation, gamma: f64) -> Self {
@@ -343,6 +341,11 @@ pub struct EngineStats {
     /// on-disk store. A cold process running against a warm store
     /// reports 0.
     pub builds: u64,
+    /// Scheduled plans emitted by the structured (BMMC) fast path: the
+    /// permutation was recognised as affine over GF(2) and its three
+    /// pass permutations were produced in closed form, with no König
+    /// coloring. Disjoint from [`EngineStats::builds`].
+    pub plans_structured: u64,
     /// Scheduled plans served from the on-disk store, each verified
     /// against the requested permutation before use.
     pub store_hits: u64,
@@ -394,6 +397,7 @@ pub(crate) struct AtomicStats {
     scatter_runs: AtomicU64,
     scheduled_runs: AtomicU64,
     builds: AtomicU64,
+    plans_structured: AtomicU64,
     store_hits: AtomicU64,
     store_rejects: AtomicU64,
     pub(crate) submitted: AtomicU64,
@@ -418,6 +422,7 @@ impl AtomicStats {
             scatter_runs: self.scatter_runs.load(Ordering::Relaxed),
             scheduled_runs: self.scheduled_runs.load(Ordering::Relaxed),
             builds: self.builds.load(Ordering::Relaxed),
+            plans_structured: self.plans_structured.load(Ordering::Relaxed),
             store_hits: self.store_hits.load(Ordering::Relaxed),
             store_rejects: self.store_rejects.load(Ordering::Relaxed),
             submitted: self.submitted.load(Ordering::Relaxed),
@@ -1040,8 +1045,12 @@ impl<T: Copy + Send + Sync + Default + 'static> SharedEngine<T> {
 
     /// Produce the plan for `p` at this engine's width: the γ decision
     /// first (scatter plans are cheap and never touch the store), then
-    /// the tier-2 store when attached, then a fresh König build — which
-    /// is counted in [`EngineStats::builds`] and saved back to the store.
+    /// the tier-2 store when attached, then the structured (BMMC) fast
+    /// path — a closed-form plan counted in
+    /// [`EngineStats::plans_structured`] — and only for genuinely
+    /// unstructured permutations a fresh König build, counted in
+    /// [`EngineStats::builds`]. Both kinds of built plan are saved back
+    /// to the store.
     fn construct_plan(&self, p: &Permutation) -> Result<PermutePlan> {
         let gamma = distribution(p, self.core.width);
         if gamma <= self.gamma_threshold() {
@@ -1056,7 +1065,7 @@ impl<T: Copy + Send + Sync + Default + 'static> SharedEngine<T> {
             match store.load(&key) {
                 Ok(Some(ir)) if ir.matches(p) => {
                     self.core.stats.store_hits.fetch_add(1, Ordering::Relaxed);
-                    return Ok(PermutePlan::from_ir_with(&ir, self.kernel_config()));
+                    return PermutePlan::from_ir_with(&ir, self.kernel_config());
                 }
                 Ok(None) => {}
                 // A decodable plan for a *different* permutation (a
@@ -1072,17 +1081,39 @@ impl<T: Copy + Send + Sync + Default + 'static> SharedEngine<T> {
                 }
             }
         }
+        // Structured fast path: affine/BMMC permutations (transpose,
+        // bit-reversal, shuffle, hypercube, ...) get their pass
+        // permutations emitted in closed form — milliseconds where the
+        // coloring below takes seconds at 4M. Counted separately so the
+        // `builds` seam keeps meaning "König colorings actually
+        // performed".
+        if let Some(built) =
+            PlanIr::build_structured_par(p, self.core.width, crate::par::worker_threads())
+        {
+            let ir = built?;
+            self.core
+                .stats
+                .plans_structured
+                .fetch_add(1, Ordering::Relaxed);
+            if let Some(store) = &self.core.store {
+                // Saved like any built plan, so cross-process cold starts
+                // stay store-driven for every family.
+                let _ = store.save(&ir);
+            }
+            return PermutePlan::from_ir_with(&ir, self.kernel_config());
+        }
         // Cold build: route through the parallel plan compiler on the
         // engine's thread budget. Output is byte-identical to the
         // sequential builder at any budget, so cached, stored, and
-        // freshly-built plans can never disagree.
+        // freshly-built plans can never disagree. (Detection above
+        // already said no, so this is always a genuine coloring.)
         let ir = PlanIr::build_par(p, self.core.width, crate::par::worker_threads())?;
         self.core.stats.builds.fetch_add(1, Ordering::Relaxed);
         if let Some(store) = &self.core.store {
             // Best effort: a failed save must never fail the permute.
             let _ = store.save(&ir);
         }
-        Ok(PermutePlan::from_ir_with(&ir, self.kernel_config()))
+        PermutePlan::from_ir_with(&ir, self.kernel_config())
     }
 
     /// Evict least-recently-used resolved entries until an insert fits.
@@ -1113,6 +1144,41 @@ impl<T: Copy + Send + Sync + Default + 'static> SharedEngine<T> {
     /// Panics if `src.len() != dst.len()` or either differs from `p.len()`.
     pub fn permute(&self, p: &Permutation, src: &[T], dst: &mut [T]) -> Result<()> {
         let plan = self.plan(p)?;
+        self.run_plan(&plan, src, dst);
+        Ok(())
+    }
+
+    /// Fetch (or build and cache) one plan for the whole `chain` of
+    /// permutations, given in **application order**: the plan realises
+    /// `chain[k-1] ∘ … ∘ chain[0]`, i.e. applying it once equals
+    /// applying `chain[0]` first and `chain[k-1]` last. The composite is
+    /// keyed into the same fingerprint→plan cache as any other
+    /// permutation, so repeated pipelines (a bitonic exchange stage, the
+    /// six-step FFT's transpose∘bit-reversal) pay composition once and
+    /// hit thereafter. When every link is affine the composite is too,
+    /// and planning takes the structured fast path: one memory round
+    /// trip per fused chain, three sweeps instead of `3·k`.
+    ///
+    /// Errors with [`PermError::LengthMismatch`] (via
+    /// [`Permutation::compose_chain`]) on an empty chain or mismatched
+    /// lengths.
+    ///
+    /// [`PermError::LengthMismatch`]: hmm_perm::PermError::LengthMismatch
+    pub fn plan_fused(&self, chain: &[&Permutation]) -> Result<Arc<PermutePlan>> {
+        let composite = Permutation::compose_chain(chain).map_err(hmm_plan::PlanError::from)?;
+        self.plan(&composite)
+    }
+
+    /// Execute an entire permutation `chain` (application order, see
+    /// [`SharedEngine::plan_fused`]) in one pass: `dst` receives what
+    /// applying every link in sequence would have produced, without the
+    /// intermediate round trips.
+    ///
+    /// # Panics
+    /// Panics if `src.len() != dst.len()` or either differs from the
+    /// chain's length.
+    pub fn permute_fused(&self, chain: &[&Permutation], src: &[T], dst: &mut [T]) -> Result<()> {
+        let plan = self.plan_fused(chain)?;
         self.run_plan(&plan, src, dst);
         Ok(())
     }
@@ -1551,6 +1617,23 @@ impl<T: Copy + Send + Sync + Default + 'static> Engine<T> {
     /// Panics if `src.len() != dst.len()` or either differs from `p.len()`.
     pub fn permute(&mut self, p: &Permutation, src: &[T], dst: &mut [T]) -> Result<()> {
         self.inner.permute(p, src, dst)
+    }
+
+    /// Fetch (or build and cache) one plan for a whole permutation chain
+    /// in application order (see [`SharedEngine::plan_fused`]).
+    pub fn plan_fused(&mut self, chain: &[&Permutation]) -> Result<Arc<PermutePlan>> {
+        self.inner.plan_fused(chain)
+    }
+
+    /// Execute a permutation chain in one pass (see
+    /// [`SharedEngine::permute_fused`]).
+    pub fn permute_fused(
+        &mut self,
+        chain: &[&Permutation],
+        src: &[T],
+        dst: &mut [T],
+    ) -> Result<()> {
+        self.inner.permute_fused(chain, src, dst)
     }
 
     /// Apply one permutation to many `(src, dst)` pairs: one plan lookup,

@@ -100,7 +100,7 @@ impl NativeScheduled {
     /// with the process-wide [`KernelConfig::global`].
     pub fn build(p: &Permutation, width: usize) -> Result<Self> {
         let ir = PlanIr::build_par(p, width, worker_threads())?;
-        Ok(Self::from_plan(&ir))
+        Self::from_plan(&ir)
     }
 
     /// Build and also hand back the backend-neutral plan IR, so the caller
@@ -109,15 +109,16 @@ impl NativeScheduled {
     /// — without paying for the König coloring twice.
     pub fn build_shared(p: &Permutation, width: usize) -> Result<(Self, PlanIr)> {
         let ir = PlanIr::build_par(p, width, worker_threads())?;
-        let sched = Self::from_plan(&ir);
+        let sched = Self::from_plan(&ir)?;
         Ok((sched, ir))
     }
 
     /// Build from an existing plan IR (shared with a simulator run, or
     /// loaded from the on-disk plan store) with the process-wide
     /// [`KernelConfig::global`]. The IR already carries the flat gather
-    /// maps, so this is three copies — no coloring, no per-row inversion.
-    pub fn from_plan(ir: &PlanIr) -> Self {
+    /// maps, so this is a validation pass plus three copies — no
+    /// coloring, no per-row inversion.
+    pub fn from_plan(ir: &PlanIr) -> Result<Self> {
         Self::from_plan_with(ir, KernelConfig::global())
     }
 
@@ -125,15 +126,23 @@ impl NativeScheduled {
     /// the seam the engines ([`crate::plan::SharedEngine`]), the bench's
     /// SIMD on/off rows, and the differential suite thread their configs
     /// through.
-    pub fn from_plan_with(ir: &PlanIr, config: KernelConfig) -> Self {
-        NativeScheduled {
+    ///
+    /// The plan contract is checked here (`PlanIr::validate`): the SIMD
+    /// gather tiers *clamp* indices instead of bounds-checking them
+    /// (`crate::simd`), so a corrupted plan that got past the codec and
+    /// store front doors would otherwise mis-gather silently. A violated
+    /// contract is a typed [`PlanError::Invalid`](hmm_plan::PlanError)
+    /// error, never wrong output.
+    pub fn from_plan_with(ir: &PlanIr, config: KernelConfig) -> Result<Self> {
+        ir.validate()?;
+        Ok(NativeScheduled {
             shape: ir.shape(),
             layouts: ir.pass_layouts(),
             g1: ir.gather1().to_vec(),
             g2: ir.gather2().to_vec(),
             g3: ir.gather3().to_vec(),
             config,
-        }
+        })
     }
 
     /// This schedule with a different kernel config.
@@ -684,7 +693,7 @@ mod tests {
         let n = 1 << 10;
         let p = families::random(n, 6);
         let ir = PlanIr::build(&p, W).unwrap();
-        let via_plan = NativeScheduled::from_plan(&ir);
+        let via_plan = NativeScheduled::from_plan(&ir).unwrap();
         let src: Vec<u32> = (0..n as u32).collect();
         let mut a = vec![0u32; n];
         let mut b = vec![0u32; n];
@@ -721,7 +730,7 @@ mod tests {
             },
         ];
         for cfg in configs {
-            let sched = NativeScheduled::from_plan_with(&ir, cfg);
+            let sched = NativeScheduled::from_plan_with(&ir, cfg).unwrap();
             assert_eq!(sched.kernel_config(), cfg);
             let mut dst = vec![0u32; n];
             sched.run(&src, &mut dst);

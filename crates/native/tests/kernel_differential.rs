@@ -78,7 +78,7 @@ where
     p.permute(&src, &mut want).unwrap();
     let ir = PlanIr::build(p, W).unwrap();
     for (name, cfg) in config_points() {
-        let sched = NativeScheduled::from_plan_with(&ir, cfg);
+        let sched = NativeScheduled::from_plan_with(&ir, cfg).unwrap();
         let mut dst = vec![T::default(); n];
         sched.run(&src, &mut dst);
         assert!(
@@ -146,7 +146,9 @@ fn tiny_matrices_every_width() {
         let ir = PlanIr::build(&p, 8).unwrap();
         for (name, cfg) in config_points() {
             let mut dst = vec![0u32; n];
-            NativeScheduled::from_plan_with(&ir, cfg).run(&src, &mut dst);
+            NativeScheduled::from_plan_with(&ir, cfg)
+                .unwrap()
+                .run(&src, &mut dst);
             assert_eq!(dst, want, "config {name}, n = {n}");
         }
     }
@@ -172,7 +174,7 @@ proptest! {
         let ir = PlanIr::build(&p, W).unwrap();
         for (name, cfg) in config_points() {
             let mut dst = vec![0u32; n];
-            NativeScheduled::from_plan_with(&ir, cfg).run(&src, &mut dst);
+            NativeScheduled::from_plan_with(&ir, cfg).unwrap().run(&src, &mut dst);
             prop_assert_eq!(&dst, &want, "config {}, {}, n = {}", name, fam.name(), n);
         }
     }
@@ -193,7 +195,7 @@ proptest! {
             .into_iter()
             .map(|(_, cfg)| {
                 let mut dst = vec![0u64; n];
-                NativeScheduled::from_plan_with(&ir, cfg).run(&src, &mut dst);
+                NativeScheduled::from_plan_with(&ir, cfg).unwrap().run(&src, &mut dst);
                 dst
             })
             .collect();

@@ -43,6 +43,12 @@ pub enum PermError {
         /// The width both factors must be a multiple of.
         width: usize,
     },
+    /// A GF(2) bit matrix is not invertible, so the affine index map it
+    /// defines cannot be a permutation.
+    SingularMatrix {
+        /// Number of index bits (the matrix is `bits × bits`).
+        bits: u32,
+    },
 }
 
 impl fmt::Display for PermError {
@@ -68,6 +74,9 @@ impl fmt::Display for PermError {
                     f,
                     "no rows x cols factorization of {n} with both sides multiples of {width}"
                 )
+            }
+            PermError::SingularMatrix { bits } => {
+                write!(f, "{bits}x{bits} GF(2) bit matrix is not invertible")
             }
         }
     }

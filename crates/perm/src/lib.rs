@@ -11,7 +11,10 @@
 //! * the warp [`distribution`](mod@distribution) metric `γ_w(P)` of Section IV that predicts
 //!   the conventional algorithm's running time (Lemma 4);
 //! * [`matrix`] shape helpers for viewing a flat array as the `√n × √n`
-//!   (or `r × 2r`) matrix the scheduled algorithm operates on.
+//!   (or `r × 2r`) matrix the scheduled algorithm operates on, and the
+//!   affine bit-matrix [`Bmmc`] family (with the
+//!   [`Permutation::as_bmmc`] recognizer) behind the structured-plan
+//!   fast paths in `hmm-plan`.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -29,6 +32,6 @@ pub use distribution::{
 };
 pub use error::{PermError, Result};
 pub use families::Family;
-pub use matrix::{scheduled_shape, MatrixShape};
+pub use matrix::{scheduled_shape, Bmmc, MatrixShape};
 pub use permutation::Permutation;
 pub use tensor::{direct_sum, stride, tensor};

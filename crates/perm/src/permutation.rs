@@ -6,6 +6,7 @@
 //! task is `b[P[i]] = a[i]` for all `i`.
 
 use crate::error::{PermError, Result};
+use crate::matrix::Bmmc;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -287,6 +288,66 @@ impl Permutation {
         }
     }
 
+    /// Recognize an affine bit-matrix (BMMC) structure: returns the
+    /// [`Bmmc`] with `self.apply(x) == bmmc.apply(x)` for all `x`, or
+    /// `None` when the permutation is not affine over GF(2) (or its size
+    /// is not a power of two).
+    ///
+    /// The candidate is solved from O(log n) probes — `dest(0)` gives the
+    /// offset, `dest(2^j) ⊕ dest(0)` gives matrix column `j` — and then
+    /// verified against every entry with an incremental Gray-style walk
+    /// (each step XORs only the columns of the bits that changed), so the
+    /// whole recognizer is O(n) with a tiny constant. All of the paper's
+    /// structured benchmark families (transpose, bit-reversal, shuffle /
+    /// omega, hypercube exchange, Gray code) are detected; random
+    /// permutations fail the verification at the first mismatching entry.
+    pub fn as_bmmc(&self) -> Option<Bmmc> {
+        let n = self.len();
+        if n == 0 || !n.is_power_of_two() {
+            return None;
+        }
+        let bits = n.trailing_zeros();
+        let offset = self.map[0];
+        let cols: Vec<usize> = (0..bits).map(|j| self.map[1usize << j] ^ offset).collect();
+        // Verify the candidate over the full domain.
+        let mut val = offset;
+        for i in 1..n {
+            let mut changed = (i - 1) ^ i;
+            while changed != 0 {
+                val ^= cols[changed.trailing_zeros() as usize];
+                changed &= changed - 1;
+            }
+            if self.map[i] != val {
+                return None;
+            }
+        }
+        // The affine map agrees with a verified bijection on every point,
+        // so its linear part is invertible and construction cannot fail.
+        Some(Bmmc::from_cols(cols, offset).expect("verified bijection has invertible linear part"))
+    }
+
+    /// Compose a chain of permutations **in application order**:
+    /// `compose_chain(&[p1, p2, p3])` is the single permutation whose
+    /// effect equals applying `p1`, then `p2`, then `p3` — i.e.
+    /// `p3 ∘ p2 ∘ p1`. Fails on an empty chain or mismatched sizes.
+    pub fn compose_chain(chain: &[&Permutation]) -> Result<Permutation> {
+        let first = chain.first().ok_or(PermError::LengthMismatch {
+            expected: 1,
+            got: 0,
+        })?;
+        let mut acc = (*first).clone();
+        for p in &chain[1..] {
+            if p.len() != acc.len() {
+                return Err(PermError::LengthMismatch {
+                    expected: acc.len(),
+                    got: p.len(),
+                });
+            }
+            acc = p.compose(&acc);
+        }
+        Ok(acc)
+    }
+
     /// A 64-bit FNV-1a fingerprint of the permutation: the hash of the
     /// destination map mixed with the length. This is the shared identity
     /// used by the plan cache, the on-disk plan store, and the plan codec
@@ -557,6 +618,68 @@ mod tests {
     #[should_panic(expected = "different sizes")]
     fn compose_different_sizes_panics() {
         let _ = Permutation::identity(3).compose(&Permutation::identity(4));
+    }
+
+    #[test]
+    fn as_bmmc_recognizes_structured_families() {
+        use crate::families;
+        let n = 1 << 10;
+        let structured: Vec<(&str, Permutation)> = vec![
+            ("identity", Permutation::identity(n)),
+            ("shuffle", families::shuffle(n).unwrap()),
+            ("unshuffle", families::unshuffle(n).unwrap()),
+            ("bit_reversal", families::bit_reversal(n).unwrap()),
+            ("transpose", families::transpose(32, 32, n).unwrap()),
+            ("rect_transpose", families::transpose(16, 64, n).unwrap()),
+            ("butterfly", families::butterfly(n, 3).unwrap()),
+            ("gray_code", families::gray_code(n).unwrap()),
+            // Rotation by n/2 is the affine map x ⊕ (n/2).
+            ("half_rotation", families::rotation(n, n / 2)),
+        ];
+        for (name, p) in structured {
+            let bmmc = p.as_bmmc().unwrap_or_else(|| panic!("{name} not detected"));
+            for x in 0..n {
+                assert_eq!(bmmc.apply(x), p.apply(x), "{name} at {x}");
+            }
+            assert_eq!(bmmc.to_permutation(), p, "{name}");
+        }
+    }
+
+    #[test]
+    fn as_bmmc_rejects_non_affine() {
+        use crate::families;
+        let n = 1 << 10;
+        // Cyclic rotation by 1 carries between bits: not GF(2)-affine.
+        assert!(families::rotation(n, 1).as_bmmc().is_none());
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(Permutation::random(n, &mut rng).as_bmmc().is_none());
+        // Non-power-of-two sizes are never BMMC.
+        assert!(Permutation::identity(12).as_bmmc().is_none());
+        assert!(Permutation::identity(0).as_bmmc().is_none());
+    }
+
+    #[test]
+    fn compose_chain_applies_left_to_right() {
+        use crate::families;
+        let n = 1 << 8;
+        let p1 = families::shuffle(n).unwrap();
+        let p2 = families::bit_reversal(n).unwrap();
+        let p3 = families::butterfly(n, 2).unwrap();
+        let fused = Permutation::compose_chain(&[&p1, &p2, &p3]).unwrap();
+        // Applying the chain to data equals applying the fused permutation.
+        let src: Vec<u32> = (0..n as u32).collect();
+        let mut a = vec![0u32; n];
+        let mut b = vec![0u32; n];
+        p1.permute(&src, &mut a).unwrap();
+        p2.permute(&a, &mut b).unwrap();
+        p3.permute(&b, &mut a).unwrap();
+        let mut direct = vec![0u32; n];
+        fused.permute(&src, &mut direct).unwrap();
+        assert_eq!(direct, a);
+        // Singleton chain is the permutation itself; empty chain errors.
+        assert_eq!(Permutation::compose_chain(&[&p1]).unwrap(), p1);
+        assert!(Permutation::compose_chain(&[]).is_err());
+        assert!(Permutation::compose_chain(&[&p1, &Permutation::identity(4)]).is_err());
     }
 
     #[test]

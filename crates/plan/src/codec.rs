@@ -244,7 +244,15 @@ pub fn decode(bytes: &[u8]) -> Result<PlanIr> {
         reason: format!("invalid shape {rows}×{cols}"),
     })?;
     let [step1, step2, step3] = sections;
-    PlanIr::from_steps(shape, width, step1, step2, step3, gamma, fingerprint)
+    let ir = PlanIr::from_steps(shape, width, step1, step2, step3, gamma, fingerprint)?;
+    // Belt-and-braces: `from_steps` has already validated the step rows
+    // and re-derived the gather maps, so this cannot fail on any byte
+    // stream — but decode is a front door to the clamped gather kernels,
+    // and the full contract check is what keeps "corrupt plan" a typed
+    // error rather than silently wrong output if either invariant ever
+    // drifts.
+    ir.validate()?;
+    Ok(ir)
 }
 
 #[cfg(test)]

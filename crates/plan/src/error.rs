@@ -40,6 +40,15 @@ pub enum PlanError {
         /// The underlying I/O failure, rendered.
         reason: String,
     },
+    /// A plan violates its internal contract (step rows or gather maps
+    /// are not the permutations they must be) — raised by
+    /// [`PlanIr::validate`](crate::PlanIr::validate) before a corrupted
+    /// plan can reach the clamped gather kernels and mis-route data
+    /// silently.
+    Invalid {
+        /// Which invariant failed.
+        reason: String,
+    },
 }
 
 impl fmt::Display for PlanError {
@@ -56,6 +65,9 @@ impl fmt::Display for PlanError {
             PlanError::Codec { reason } => write!(f, "plan codec error: {reason}"),
             PlanError::Store { path, reason } => {
                 write!(f, "plan store error at {path}: {reason}")
+            }
+            PlanError::Invalid { reason } => {
+                write!(f, "plan violates its contract: {reason}")
             }
         }
     }

@@ -28,7 +28,7 @@
 use crate::error::{PlanError, Result};
 use hmm_graph::{edge_color_par, edge_color_with, Parallelism, RegularBipartite, Strategy};
 use hmm_perm::distribution::distribution;
-use hmm_perm::{scheduled_shape, MatrixShape, Permutation};
+use hmm_perm::{scheduled_shape, Bmmc, MatrixShape, Permutation};
 
 /// A built, backend-neutral permutation plan (see the module docs).
 #[derive(Debug, Clone, PartialEq)]
@@ -60,9 +60,18 @@ pub struct PlanIr {
 }
 
 impl PlanIr {
-    /// Build the plan for `p` on a width-`width` machine with the default
-    /// coloring strategy.
+    /// Build the plan for `p` on a width-`width` machine. Consults the
+    /// BMMC recognizer first: structured permutations (transpose,
+    /// bit-reversal, shuffle/omega, hypercube, ...) get their three pass
+    /// permutations emitted in closed form — pure index arithmetic, no
+    /// transfer multigraph, no König coloring — which turns a multi-second
+    /// cold build at 4M into milliseconds. Everything else falls back to
+    /// the general coloring pipeline with the default strategy. Use
+    /// [`PlanIr::build_with`] to force the general pipeline.
     pub fn build(p: &Permutation, width: usize) -> Result<Self> {
+        if let Some(plan) = Self::build_structured(p, width) {
+            return plan;
+        }
         Self::build_with(p, width, Strategy::Hybrid)
     }
 
@@ -82,9 +91,189 @@ impl PlanIr {
     /// deterministic partitions (pinned by `tests/parallel.rs` and the
     /// `hmm-graph` determinism suite). `threads <= 1` *is* the sequential
     /// builder.
+    /// Like [`PlanIr::build`], the recognizer runs first: structured
+    /// permutations take the closed-form path (also fanned out over the
+    /// budget) and skip the coloring entirely.
     pub fn build_par(p: &Permutation, width: usize, threads: usize) -> Result<Self> {
+        if let Some(plan) = Self::build_structured_par(p, width, threads) {
+            return plan;
+        }
         let shape = scheduled_shape(p.len(), width)?;
         Self::build_for_shape_par(p, shape, width, Strategy::Hybrid, threads)
+    }
+
+    /// The structured fast path alone: `Some(plan)` when `p` is a BMMC
+    /// (affine bit-matrix) permutation, `None` otherwise. The plan's
+    /// three pass permutations are emitted in closed form from the bit
+    /// matrix — see [`PlanIr::build_bmmc`] for the construction — so no
+    /// transfer multigraph or König coloring is ever built. Exposed so
+    /// engines can count structured builds separately from colorings.
+    pub fn build_structured(p: &Permutation, width: usize) -> Option<Result<Self>> {
+        Self::build_structured_par(p, width, 1)
+    }
+
+    /// [`PlanIr::build_structured`] over a scoped-thread budget. Like
+    /// [`PlanIr::build_par`], the result is byte-identical at any thread
+    /// count (every fill is a pure function of the output position).
+    pub fn build_structured_par(
+        p: &Permutation,
+        width: usize,
+        threads: usize,
+    ) -> Option<Result<Self>> {
+        let bmmc = p.as_bmmc()?;
+        Some(Self::build_bmmc_par(p, &bmmc, width, threads))
+    }
+
+    /// Emit the closed-form plan of a recognized BMMC permutation
+    /// (`bmmc` must realise `p`; pass the recognizer's output).
+    ///
+    /// Split each index into `ρ = log r` row bits and `γ = log c` column
+    /// bits, partitioning the bit matrix `M` into blocks `[A B; C D]`
+    /// (`A`: row→row, `B`: col→row). Element `(i, j)` is colored
+    /// `k = G·i ⊕ j`, where the γ×ρ mixer `G` is completed greedily so
+    /// that `A ⊕ B·G` is invertible — such a `G` always exists because
+    /// `[A B]` has full row rank (`M` is invertible). Then for a fixed
+    /// color `k`, the destination row of row `i`'s color-`k` element is
+    /// `(A ⊕ B·G)·i ⊕ B·k ⊕ b_hi`: affine in `i` with invertible linear
+    /// part, i.e. each step-2 row is a permutation — exactly the
+    /// conflict-freedom the König coloring buys for general
+    /// permutations, obtained here by index arithmetic alone. For the
+    /// square transpose `G = I`, recovering the classic diagonal
+    /// staging of the paper's Figure 4.
+    pub fn build_bmmc(p: &Permutation, bmmc: &Bmmc, width: usize) -> Result<Self> {
+        Self::build_bmmc_par(p, bmmc, width, 1)
+    }
+
+    /// [`PlanIr::build_bmmc`] over a scoped-thread budget (byte-identical
+    /// at any thread count).
+    pub fn build_bmmc_par(
+        p: &Permutation,
+        bmmc: &Bmmc,
+        width: usize,
+        threads: usize,
+    ) -> Result<Self> {
+        let n = p.len();
+        if bmmc.len() != n {
+            return Err(PlanError::SizeMismatch {
+                expected: n,
+                got: bmmc.len(),
+            });
+        }
+        let shape = scheduled_shape(n, width)?;
+        let par = Parallelism::threads(threads);
+        let (r, c) = (shape.rows, shape.cols);
+        debug_assert!(r.is_power_of_two() && c.is_power_of_two());
+        let cb = c.trailing_zeros();
+
+        // Per-row color mix `mix[i] = G·i` and the two halves of the
+        // destination map `dest(i·c + j) = rowm[i] ⊕ colm[j] ⊕ offset`,
+        // each filled by an incremental Gray-style walk (consecutive
+        // indices differ in few bits).
+        let g = color_mixer(bmmc, r.trailing_zeros(), cb);
+        let mix = gray_table(r, |t| g[t]);
+        let rowm = gray_table(r, |t| bmmc.col(cb + t as u32));
+        let colm = gray_table(c, |t| bmmc.col(t as u32));
+        let off = bmmc.offset();
+        let cmask = c - 1;
+
+        // Step 1 routes element (i, j) to color k = mix[i] ⊕ j. XOR by a
+        // row constant is an involution, so step 1 is its own gather map.
+        let mut step1 = vec![0u32; n];
+        {
+            let mix = &mix;
+            par.run_rows(&mut step1, c, |first_row, chunk| {
+                for (rr, row) in chunk.chunks_exact_mut(c).enumerate() {
+                    let m = mix[first_row + rr];
+                    for (j, slot) in row.iter_mut().enumerate() {
+                        *slot = (m ^ j) as u32;
+                    }
+                }
+            });
+        }
+        let g1 = step1.clone();
+
+        // Step 2 (`c × r`): the color-k element of row i sits at column
+        // j = k ⊕ mix[i]; its destination row is the high half of the
+        // affine map.
+        let mut step2 = vec![0u32; n];
+        {
+            let (mix, rowm, colm) = (&mix, &rowm, &colm);
+            par.run_rows(&mut step2, r, |first_k, chunk| {
+                for (kk, row) in chunk.chunks_exact_mut(r).enumerate() {
+                    let k = first_k + kk;
+                    for (i, slot) in row.iter_mut().enumerate() {
+                        let dest = rowm[i] ^ colm[k ^ mix[i]] ^ off;
+                        *slot = (dest >> cb) as u32;
+                    }
+                }
+            });
+        }
+        let g2 = invert_rows_par(&step2, r, par);
+
+        // Step 3 (`r × c`): recover the source row of the color-k element
+        // now in destination row di, and emit its destination column.
+        let mut step3 = vec![0u32; n];
+        {
+            let (mix, rowm, colm, g2) = (&mix, &rowm, &colm, &g2);
+            par.run_rows(&mut step3, c, |first_di, chunk| {
+                for (dd, row) in chunk.chunks_exact_mut(c).enumerate() {
+                    let di = first_di + dd;
+                    for (k, slot) in row.iter_mut().enumerate() {
+                        let i = g2[k * r + di] as usize;
+                        let dest = rowm[i] ^ colm[k ^ mix[i]] ^ off;
+                        *slot = (dest & cmask) as u32;
+                    }
+                }
+            });
+        }
+        let g3 = invert_rows_par(&step3, c, par);
+
+        debug_assert!(rows_are_permutations(&step1, c));
+        debug_assert!(rows_are_permutations(&step2, r));
+        debug_assert!(rows_are_permutations(&step3, c));
+
+        Ok(PlanIr {
+            shape,
+            width,
+            step1,
+            step2,
+            step3,
+            g1,
+            g2,
+            g3,
+            gamma: distribution_par(p, width, par),
+            fingerprint: p.fingerprint(),
+        })
+    }
+
+    /// The plan of the composite permutation "apply `first`, then
+    /// `self`" — plan fusion. A fused chain costs one 3-sweep memory
+    /// round trip where executing the plans back to back costs one per
+    /// link. When both plans realise BMMC permutations the composite is
+    /// computed as a GF(2) matrix product and emitted closed-form;
+    /// otherwise the permutations are composed and the composite planned
+    /// once (at most one König build per fused chain). The result is
+    /// keyed by the composite permutation's own fingerprint, so engine
+    /// caches treat it like any other plan.
+    pub fn compose(&self, first: &PlanIr) -> Result<PlanIr> {
+        self.compose_par(first, 1)
+    }
+
+    /// [`PlanIr::compose`] over a scoped-thread budget.
+    pub fn compose_par(&self, first: &PlanIr, threads: usize) -> Result<PlanIr> {
+        if first.len() != self.len() {
+            return Err(PlanError::SizeMismatch {
+                expected: self.len(),
+                got: first.len(),
+            });
+        }
+        let p2 = self.recompose();
+        let p1 = first.recompose();
+        if let (Some(b2), Some(b1)) = (p2.as_bmmc(), p1.as_bmmc()) {
+            let fused = b2.compose(&b1);
+            return Self::build_bmmc_par(&fused.to_permutation(), &fused, self.width, threads);
+        }
+        Self::build_par(&p2.compose(&p1), self.width, threads)
     }
 
     /// [`PlanIr::build_par`] on an explicit shape with an explicit
@@ -421,6 +610,78 @@ impl PlanIr {
         self.len() == p.len() && (0..self.len()).all(|idx| self.dest_of(idx) == p.apply(idx))
     }
 
+    /// Check the plan's internal contract: all six arrays sized to the
+    /// shape, every step row a permutation of its row, and every gather
+    /// map the exact per-row inverse of its step. Violations yield
+    /// [`PlanError::Invalid`].
+    ///
+    /// This is the one-time guard between a `PlanIr` of unknown
+    /// provenance and the sweep executors: the SIMD gather tiers clamp
+    /// indices instead of bounds-checking them (`hmm-native`'s
+    /// `simd.rs`), so a plan with out-of-range or colliding entries
+    /// would produce **wrong output silently**. Every front door that
+    /// admits foreign plan state — `codec::decode`, `PlanStore::load`,
+    /// `NativeScheduled::from_plan` — runs this check so corruption
+    /// surfaces as a typed error, never as wrong data.
+    pub fn validate(&self) -> Result<()> {
+        let (r, c) = (self.shape.rows, self.shape.cols);
+        let n = self.shape.len();
+        let arrays: [(&str, &[u32], usize); 6] = [
+            ("step1", &self.step1, c),
+            ("step2", &self.step2, r),
+            ("step3", &self.step3, c),
+            ("gather1", &self.g1, c),
+            ("gather2", &self.g2, r),
+            ("gather3", &self.g3, c),
+        ];
+        for (name, flat, cols) in arrays {
+            if flat.len() != n {
+                return Err(PlanError::Invalid {
+                    reason: format!("{name} has {} entries, shape needs {n}", flat.len()),
+                });
+            }
+            if !rows_are_permutations(flat, cols) {
+                return Err(PlanError::Invalid {
+                    reason: format!("{name} rows are not permutations of 0..{cols}"),
+                });
+            }
+        }
+        for (name, step, gather, cols) in [
+            ("gather1", &self.step1, &self.g1, c),
+            ("gather2", &self.step2, &self.g2, r),
+            ("gather3", &self.step3, &self.g3, c),
+        ] {
+            for (row_idx, row) in step.chunks_exact(cols).enumerate() {
+                let base = row_idx * cols;
+                for (j, &d) in row.iter().enumerate() {
+                    if gather[base + d as usize] as usize != j {
+                        return Err(PlanError::Invalid {
+                            reason: format!(
+                                "{name} is not the row inverse of its step at row {row_idx}"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Test seam: flip one bit of a derived gather-map entry, violating
+    /// the plan contract the way in-memory corruption would (the codec
+    /// cannot produce this state — gather maps are re-derived on decode).
+    /// Pass is 1-based; out-of-range arguments are clamped.
+    #[doc(hidden)]
+    pub fn corrupt_gather_entry_for_tests(&mut self, pass: usize, idx: usize) {
+        let map = match pass {
+            1 => &mut self.g1,
+            2 => &mut self.g2,
+            _ => &mut self.g3,
+        };
+        let idx = idx.min(map.len().saturating_sub(1));
+        map[idx] ^= 1;
+    }
+
     /// The step-1 destination maps as one [`Permutation`] per row — the
     /// staging form the simulator's row-wise schedules consume.
     pub fn step1_row_perms(&self) -> Vec<Permutation> {
@@ -462,6 +723,81 @@ impl PassLayout {
     pub fn staging_rows(&self, elem_bytes: usize, stage_bytes: usize, band_cols: usize) -> usize {
         (stage_bytes / (band_cols * elem_bytes).max(1)).clamp(1, self.rows.max(1))
     }
+}
+
+/// Derive the γ×ρ color mixer `G` of the closed-form BMMC plan (see
+/// [`PlanIr::build_bmmc`]): one γ-bit column per row bit, chosen so that
+/// `A ⊕ B·G` is invertible, where `A`/`B` are the row-part blocks of the
+/// bit matrix over the row/column bits.
+///
+/// Greedy GF(2) rank completion: columns of `A` that extend the running
+/// basis keep `g_t = 0`; each dependent column is repaired with the first
+/// column of `B` that restores independence (`g_t = e_u`). `[A B]` has
+/// full row rank ρ because the whole matrix is invertible, so while the
+/// basis is deficient some unused `B` column is always independent —
+/// `col_a[t] ⊕ col_b[u]` extends the basis exactly when `col_b[u]` does,
+/// since `col_a[t]` already lies in its span.
+fn color_mixer(bmmc: &Bmmc, row_bits: u32, col_bits: u32) -> Vec<usize> {
+    let rb = row_bits as usize;
+    let col_a: Vec<usize> = (0..row_bits)
+        .map(|t| bmmc.col(col_bits + t) >> col_bits)
+        .collect();
+    let col_b: Vec<usize> = (0..col_bits).map(|u| bmmc.col(u) >> col_bits).collect();
+    // Leading-bit echelon basis of GF(2)^ρ: by_msb[b] is the inserted
+    // vector whose highest set bit is b (or 0 when that slot is free).
+    let mut by_msb = vec![0usize; rb.max(1)];
+    fn reduce(by_msb: &[usize], mut v: usize) -> usize {
+        while v != 0 {
+            let b = by_msb[v.ilog2() as usize];
+            if b == 0 {
+                return v;
+            }
+            v ^= b;
+        }
+        0
+    }
+    let mut g = vec![0usize; rb];
+    let mut deferred = Vec::new();
+    for (t, &ca) in col_a.iter().enumerate() {
+        let red = reduce(&by_msb, ca);
+        if red != 0 {
+            by_msb[red.ilog2() as usize] = red;
+        } else {
+            deferred.push(t);
+        }
+    }
+    let mut u = 0usize;
+    for t in deferred {
+        loop {
+            debug_assert!(u < col_b.len(), "invertible BMMC always completes");
+            let red = reduce(&by_msb, col_a[t] ^ col_b[u]);
+            u += 1;
+            if red != 0 {
+                by_msb[red.ilog2() as usize] = red;
+                g[t] = 1usize << (u - 1);
+                break;
+            }
+        }
+    }
+    g
+}
+
+/// Tabulate `f_fold(x) = XOR of col(t) over the set bits t of x` for
+/// `x` in `0..len` by an incremental Gray-style walk: each step XORs
+/// only the columns of the bits that changed, so the fill is O(len)
+/// amortized.
+fn gray_table(len: usize, col: impl Fn(usize) -> usize) -> Vec<usize> {
+    let mut out = vec![0usize; len];
+    let mut val = 0usize;
+    for (i, slot) in out.iter_mut().enumerate().skip(1) {
+        let mut changed = (i - 1) ^ i;
+        while changed != 0 {
+            val ^= col(changed.trailing_zeros() as usize);
+            changed &= changed - 1;
+        }
+        *slot = val;
+    }
+    out
 }
 
 /// Per-row inverse of a flat destination map: `out[row·cols + flat[row·cols
@@ -734,6 +1070,134 @@ mod tests {
         assert_eq!(crate::codec::encode(&ir), bytes, "pass_layouts mutated");
         let decoded = crate::codec::decode(&bytes).unwrap();
         assert_eq!(decoded.pass_layouts(), layouts);
+    }
+
+    #[test]
+    fn structured_plans_realise_their_permutations() {
+        let n = 1 << 12;
+        let cases: Vec<(&str, hmm_perm::Permutation)> = vec![
+            ("identity", hmm_perm::Permutation::identity(n)),
+            ("shuffle", families::shuffle(n).unwrap()),
+            ("bit_reversal", families::bit_reversal(n).unwrap()),
+            ("transpose", families::transpose_square(n).unwrap()),
+            ("butterfly", families::butterfly(n, 5).unwrap()),
+            ("gray", families::gray_code(n).unwrap()),
+        ];
+        for (name, p) in cases {
+            let ir = PlanIr::build_structured(&p, W)
+                .unwrap_or_else(|| panic!("{name} not structured"))
+                .unwrap();
+            assert!(ir.matches(&p), "{name}");
+            assert_eq!(ir.recompose(), p, "{name}");
+            assert_eq!(ir.fingerprint(), p.fingerprint(), "{name}");
+            ir.validate().unwrap();
+            // Same derived identity as the general König plan.
+            let shape = scheduled_shape(n, W).unwrap();
+            let general = PlanIr::build_for_shape(&p, shape, W, Strategy::Hybrid).unwrap();
+            assert_eq!(ir.shape(), general.shape(), "{name}");
+            assert_eq!(ir.width(), general.width(), "{name}");
+            assert_eq!(ir.gamma(), general.gamma(), "{name}");
+            assert_eq!(ir.fingerprint(), general.fingerprint(), "{name}");
+            assert_eq!(general.recompose(), ir.recompose(), "{name}");
+        }
+    }
+
+    #[test]
+    fn structured_detection_skips_random_permutations() {
+        assert!(PlanIr::build_structured(&families::random(1 << 10, 3), W).is_none());
+        // Rectangular shapes (odd exponent) take the fast path too.
+        let p = families::shuffle(1 << 11).unwrap();
+        let ir = PlanIr::build_structured(&p, W).unwrap().unwrap();
+        assert!(ir.matches(&p));
+        assert_ne!(ir.shape().rows, ir.shape().cols);
+    }
+
+    #[test]
+    fn structured_builder_is_thread_invariant() {
+        for n in [1 << 10, 1 << 13] {
+            let p = families::bit_reversal(n).unwrap();
+            let seq = PlanIr::build(&p, W).unwrap();
+            for t in [2usize, 5, 16] {
+                assert_eq!(PlanIr::build_par(&p, W, t).unwrap(), seq, "n={n} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn bmmc_builder_rejects_mismatched_sizes() {
+        let p = families::shuffle(1 << 10).unwrap();
+        let small = families::shuffle(1 << 8).unwrap().as_bmmc().unwrap();
+        assert!(matches!(
+            PlanIr::build_bmmc(&p, &small, W),
+            Err(PlanError::SizeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn compose_fuses_two_plans_into_one() {
+        let n = 1 << 10;
+        // BMMC ∘ BMMC: matrix-product path.
+        let p1 = families::shuffle(n).unwrap();
+        let p2 = families::bit_reversal(n).unwrap();
+        let plan1 = PlanIr::build(&p1, W).unwrap();
+        let plan2 = PlanIr::build(&p2, W).unwrap();
+        let fused = plan2.compose(&plan1).unwrap();
+        let expect = p2.compose(&p1);
+        assert!(fused.matches(&expect));
+        assert_eq!(fused.fingerprint(), expect.fingerprint());
+        // General ∘ general: compose-then-plan-once path.
+        let q1 = families::random(n, 61);
+        let q2 = families::random(n, 62);
+        let fused = PlanIr::build(&q2, W)
+            .unwrap()
+            .compose(&PlanIr::build(&q1, W).unwrap())
+            .unwrap();
+        assert!(fused.matches(&q2.compose(&q1)));
+        // Mixed structured/general works through the general path.
+        let fused = PlanIr::build(&q2, W).unwrap().compose(&plan1).unwrap();
+        assert!(fused.matches(&q2.compose(&p1)));
+        // Size mismatch is a typed error.
+        let other = PlanIr::build(&families::random(1 << 12, 8), W).unwrap();
+        assert!(matches!(
+            other.compose(&plan1),
+            Err(PlanError::SizeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn compose_applied_once_equals_applying_both() {
+        let n = 1 << 10;
+        let p1 = families::random(n, 71);
+        let p2 = families::bit_reversal(n).unwrap();
+        let fused = PlanIr::build(&p2, W)
+            .unwrap()
+            .compose_par(&PlanIr::build(&p1, W).unwrap(), 4)
+            .unwrap();
+        let src: Vec<u32> = (0..n as u32).collect();
+        let mut mid = vec![0u32; n];
+        let mut two_step = vec![0u32; n];
+        p1.permute(&src, &mut mid).unwrap();
+        p2.permute(&mid, &mut two_step).unwrap();
+        let mut one_step = vec![0u32; n];
+        fused.recompose().permute(&src, &mut one_step).unwrap();
+        assert_eq!(one_step, two_step);
+    }
+
+    #[test]
+    fn validate_accepts_built_plans_and_catches_corruption() {
+        let p = families::random(1 << 10, 17);
+        let ir = PlanIr::build(&p, W).unwrap();
+        ir.validate().unwrap();
+        // A flipped gather entry breaks row bijectivity or inverse
+        // consistency — either way validate reports it.
+        for pass in 1..=3 {
+            let mut bad = ir.clone();
+            bad.corrupt_gather_entry_for_tests(pass, 5);
+            assert!(
+                matches!(bad.validate(), Err(PlanError::Invalid { .. })),
+                "pass {pass}"
+            );
+        }
     }
 
     #[test]

@@ -22,6 +22,7 @@ use crate::error::{PlanError, Result};
 use crate::ir::PlanIr;
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::time::{Duration, SystemTime};
 
 /// The identity a plan is filed under: permutation fingerprint, element
 /// count, and machine width (the same triple the in-memory cache keys by).
@@ -71,12 +72,22 @@ fn store_err(path: &Path, e: std::io::Error) -> PlanError {
     }
 }
 
+/// Temp files older than this at open time are considered orphaned by a
+/// crashed writer and swept — generous enough that no live writer (a
+/// save streams one encode, seconds at worst) can be raced.
+const STALE_TMP_GRACE: Duration = Duration::from_secs(15 * 60);
+
 impl PlanStore {
-    /// Open (creating if needed) a plan store rooted at `dir`.
+    /// Open (creating if needed) a plan store rooted at `dir`, sweeping
+    /// any temp files orphaned by a writer that crashed between
+    /// temp-write and rename (best-effort: sweep failures never fail the
+    /// open).
     pub fn open(dir: impl Into<PathBuf>) -> Result<Self> {
         let dir = dir.into();
         fs::create_dir_all(&dir).map_err(|e| store_err(&dir, e))?;
-        Ok(PlanStore { dir })
+        let store = PlanStore { dir };
+        let _ = store.sweep_stale_tmps(STALE_TMP_GRACE);
+        Ok(store)
     }
 
     /// The store's root directory.
@@ -140,6 +151,11 @@ impl PlanStore {
             Err(e) => return Err(store_err(&path, e)),
         };
         let ir = codec::decode(&bytes)?;
+        // Decode has already re-derived and checked the plan's internals;
+        // validate here as well so the store's contract ("a loaded plan
+        // never reaches the clamped gathers malformed") does not depend
+        // on the codec's.
+        ir.validate()?;
         let found = StoreKey::of(&ir);
         if found != *key {
             return Err(PlanError::Codec {
@@ -183,6 +199,74 @@ impl PlanStore {
         }
         out.sort_by_key(|e| (e.key.n, e.key.width, e.key.fingerprint));
         Ok(out)
+    }
+
+    /// Delete temp files last modified more than `grace` ago. A process
+    /// killed between temp-write and rename leaks its `.tmp-*` file
+    /// forever; anything older than the grace period cannot belong to a
+    /// live writer (saves stream one encode and rename immediately).
+    /// Called by [`PlanStore::open`] with a conservative default; exposed
+    /// for explicit housekeeping. Returns how many files were removed.
+    pub fn sweep_stale_tmps(&self, grace: Duration) -> Result<usize> {
+        let now = SystemTime::now();
+        let mut removed = 0usize;
+        let iter = fs::read_dir(&self.dir).map_err(|e| store_err(&self.dir, e))?;
+        for entry in iter {
+            let entry = entry.map_err(|e| store_err(&self.dir, e))?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if !name.starts_with(".tmp-") || !name.ends_with(&format!(".{EXT}")) {
+                continue;
+            }
+            let path = entry.path();
+            let Ok(meta) = entry.metadata() else { continue };
+            let Ok(mtime) = meta.modified() else { continue };
+            let age = now.duration_since(mtime).unwrap_or(Duration::ZERO);
+            if age >= grace && fs::remove_file(&path).is_ok() {
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
+
+    /// Cap the store at `max_bytes` of plan files by deleting the
+    /// oldest-modified plans first (file-name tiebreak, so the order is
+    /// deterministic under equal timestamps) until the remainder fits.
+    /// Unparseable files are ignored, and a file that vanishes mid-prune
+    /// (a concurrent prune or remove) is not an error. Returns how many
+    /// plans were deleted.
+    pub fn prune(&self, max_bytes: u64) -> Result<usize> {
+        // (mtime, name, size, path) for every plan file.
+        let mut files: Vec<(SystemTime, String, u64, PathBuf)> = Vec::new();
+        let mut total: u64 = 0;
+        let iter = fs::read_dir(&self.dir).map_err(|e| store_err(&self.dir, e))?;
+        for entry in iter {
+            let entry = entry.map_err(|e| store_err(&self.dir, e))?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if parse_file_name(&name).is_none() {
+                continue;
+            }
+            let meta = entry.metadata().map_err(|e| store_err(&entry.path(), e))?;
+            let mtime = meta.modified().unwrap_or(SystemTime::UNIX_EPOCH);
+            total += meta.len();
+            files.push((mtime, name, meta.len(), entry.path()));
+        }
+        files.sort();
+        let mut removed = 0usize;
+        for (_, _, bytes, path) in files {
+            if total <= max_bytes {
+                break;
+            }
+            match fs::remove_file(&path) {
+                Ok(()) => {
+                    total -= bytes;
+                    removed += 1;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => total -= bytes,
+                Err(e) => return Err(store_err(&path, e)),
+            }
+        }
+        Ok(removed)
     }
 }
 
@@ -310,6 +394,74 @@ mod tests {
         assert_eq!(parse_file_name("not-a-plan.txt"), None);
         assert_eq!(parse_file_name("plan-zz-n4-w2.hmmplan"), None);
         let _ = fs::remove_dir_all(store.dir());
+    }
+
+    fn backdate(path: &Path, secs_ago: u64) {
+        let when = SystemTime::now() - Duration::from_secs(secs_ago);
+        let times = fs::FileTimes::new().set_accessed(when).set_modified(when);
+        fs::File::options()
+            .write(true)
+            .open(path)
+            .unwrap()
+            .set_times(times)
+            .unwrap();
+    }
+
+    #[test]
+    fn prune_evicts_oldest_first_until_under_budget() {
+        let store = tmp_store("prune");
+        let plans: Vec<PlanIr> = (0..4)
+            .map(|s| PlanIr::build(&families::random(256, 100 + s), W).unwrap())
+            .collect();
+        let per_plan = codec::encoded_len(256) as u64;
+        for (age, ir) in plans.iter().enumerate() {
+            let path = store.save(ir).unwrap();
+            // plans[0] oldest, plans[3] newest.
+            backdate(&path, 1000 * (4 - age as u64));
+        }
+        // Budget for two plans: the two oldest go.
+        let removed = store.prune(2 * per_plan).unwrap();
+        assert_eq!(removed, 2);
+        assert!(store.load(&StoreKey::of(&plans[0])).unwrap().is_none());
+        assert!(store.load(&StoreKey::of(&plans[1])).unwrap().is_none());
+        assert!(store.load(&StoreKey::of(&plans[2])).unwrap().is_some());
+        assert!(store.load(&StoreKey::of(&plans[3])).unwrap().is_some());
+        // Already under budget: nothing to do.
+        assert_eq!(store.prune(2 * per_plan).unwrap(), 0);
+        // Zero budget empties the store.
+        assert_eq!(store.prune(0).unwrap(), 2);
+        assert!(store.entries().unwrap().is_empty());
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn prune_ignores_foreign_files() {
+        let store = tmp_store("prune-foreign");
+        fs::write(store.dir().join("notes.txt"), b"keep me").unwrap();
+        assert_eq!(store.prune(0).unwrap(), 0);
+        assert!(store.dir().join("notes.txt").exists());
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn stale_tmps_swept_fresh_ones_kept() {
+        let store = tmp_store("tmpsweep");
+        let stale = store.dir().join(".tmp-deadbeef-n256-w8-999.hmmplan");
+        let fresh = store.dir().join(".tmp-cafef00d-n256-w8-998.hmmplan");
+        let foreign = store.dir().join("unrelated.tmp");
+        for p in [&stale, &fresh, &foreign] {
+            fs::write(p, b"half-written").unwrap();
+        }
+        backdate(&stale, 3600);
+        assert_eq!(store.sweep_stale_tmps(Duration::from_secs(900)).unwrap(), 1);
+        assert!(!stale.exists());
+        assert!(fresh.exists(), "live writer's tmp must survive");
+        assert!(foreign.exists(), "non-store files are not touched");
+        // Re-opening the same directory sweeps with the default grace.
+        backdate(&fresh, 3600);
+        let reopened = PlanStore::open(store.dir()).unwrap();
+        assert!(!fresh.exists(), "open-time sweep collects stale tmps");
+        let _ = fs::remove_dir_all(reopened.dir());
     }
 
     #[test]

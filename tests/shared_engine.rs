@@ -234,7 +234,13 @@ fn cold_engine_with_warm_store_builds_nothing_and_verifies() {
         warm.permute(p, &src, &mut dst).unwrap();
         assert_eq!(dst, reference(p, &src));
     }
-    assert_eq!(warm.stats().builds, 2, "two scheduled plans colored");
+    let warm_stats = warm.stats();
+    assert_eq!(warm_stats.builds, 1, "random is the only König coloring");
+    assert_eq!(
+        warm_stats.plans_structured, 1,
+        "bit-reversal takes the closed-form BMMC path"
+    );
+    // Both scheduled plans — colored and structured — are persisted.
     assert_eq!(warm.store().unwrap().entries().unwrap().len(), 2);
 
     let cold: SharedEngine<u32> = SharedEngine::with_store(W, &dir).unwrap();
