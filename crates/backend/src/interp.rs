@@ -1,0 +1,317 @@
+//! The deterministic CPU interpreter — the IR's reference consumer and
+//! the second registered backend.
+//!
+//! [`InterpBackend`] prepares scheduled plans by lowering them to
+//! [`SweepIr`] and then *interpreting* the five steps literally: single
+//! thread, no SIMD, the tiled transpose staged through an explicit
+//! `(tile + pad) × tile` buffer with the same layout a GPU's shared
+//! memory tile would have. It exists to be read and trusted, not to be
+//! fast — the conformance suite pins it byte-identical against the
+//! native fused executor and the naive reference, which makes it the
+//! oracle that transitively certifies the WGSL the code generator emits
+//! (the shaders encode the same IR this module executes).
+//!
+//! Scatter plans interpret as the one-line serial loop
+//! (`dst[p[i]] = src[i]`), so the backend covers both routes and can be
+//! dropped into every engine test unchanged.
+
+use crate::config::KernelConfig;
+use crate::sweep::{BufferId, SweepIr, SweepKernel, SweepStep};
+use crate::traits::{Backend, Capabilities, ExecPlan, Executable, Route};
+use hmm_perm::Permutation;
+use hmm_plan::Result;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Registry name of the interpreter backend.
+pub const INTERP_BACKEND_NAME: &str = "interp";
+
+/// The interpreter backend: zero-sized, both routes supported.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InterpBackend;
+
+impl<T: Copy + Default + Send + Sync + 'static> Backend<T> for InterpBackend {
+    fn name(&self) -> &'static str {
+        INTERP_BACKEND_NAME
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities::all()
+    }
+
+    fn prepare(&self, plan: ExecPlan<'_>, config: KernelConfig) -> Result<Box<dyn Executable<T>>> {
+        match plan {
+            ExecPlan::Scatter(p) => Ok(Box::new(InterpScatterExec {
+                perm: p.clone(),
+                config,
+                runs: AtomicU64::new(0),
+            })),
+            ExecPlan::Scheduled(ir) => {
+                ir.validate()?;
+                Ok(Box::new(InterpExec {
+                    ir: SweepIr::lower(ir, &config),
+                    config,
+                    runs: AtomicU64::new(0),
+                }))
+            }
+        }
+    }
+}
+
+/// A prepared scheduled plan: the lowered program plus the config it was
+/// lowered under.
+pub struct InterpExec {
+    ir: SweepIr,
+    config: KernelConfig,
+    runs: AtomicU64,
+}
+
+impl InterpExec {
+    /// The lowered program this executable interprets — the seam the
+    /// snapshot tests and the WGSL generator share.
+    pub fn sweep_ir(&self) -> &SweepIr {
+        &self.ir
+    }
+}
+
+impl<T: Copy + Default + Send + Sync + 'static> Executable<T> for InterpExec {
+    fn run(&self, src: &[T], dst: &mut [T], scratch: &mut [T]) {
+        let n = self.ir.len();
+        assert_eq!(src.len(), n, "src length mismatch");
+        assert_eq!(dst.len(), n, "dst length mismatch");
+        assert_eq!(scratch.len(), 2 * n, "scratch length mismatch");
+        let (a, b) = scratch.split_at_mut(n);
+        for step in self.ir.steps() {
+            // Borrow exactly the two buffers the step names. Input/Output
+            // never alias the scratch halves, and the lowering never emits
+            // A→A or B→B, so every arm below is a disjoint pair.
+            match (step.src, step.dst) {
+                (BufferId::Input, BufferId::ScratchA) => exec_step(&self.ir, step, src, a),
+                (BufferId::ScratchA, BufferId::ScratchB) => exec_step(&self.ir, step, a, b),
+                (BufferId::ScratchB, BufferId::ScratchA) => exec_step(&self.ir, step, b, a),
+                (BufferId::ScratchB, BufferId::Output) => exec_step(&self.ir, step, b, dst),
+                (src_id, dst_id) => {
+                    unreachable!("lowering never emits a {src_id:?} -> {dst_id:?} step")
+                }
+            }
+        }
+        self.runs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn scratch_len(&self) -> usize {
+        2 * self.ir.len()
+    }
+
+    fn len(&self) -> usize {
+        self.ir.len()
+    }
+
+    fn route(&self) -> Route {
+        Route::Scheduled
+    }
+
+    fn backend_name(&self) -> &'static str {
+        INTERP_BACKEND_NAME
+    }
+
+    fn kernel_config(&self) -> KernelConfig {
+        self.config
+    }
+
+    fn runs(&self) -> u64 {
+        self.runs.load(Ordering::Relaxed)
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+/// A prepared scatter plan: the serial reference loop.
+pub struct InterpScatterExec {
+    perm: Permutation,
+    config: KernelConfig,
+    runs: AtomicU64,
+}
+
+impl<T: Copy + Default + Send + Sync + 'static> Executable<T> for InterpScatterExec {
+    fn run(&self, src: &[T], dst: &mut [T], _scratch: &mut [T]) {
+        let n = self.perm.len();
+        assert_eq!(src.len(), n, "src length mismatch");
+        assert_eq!(dst.len(), n, "dst length mismatch");
+        for (i, &d) in self.perm.as_slice().iter().enumerate() {
+            dst[d] = src[i];
+        }
+        self.runs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn scratch_len(&self) -> usize {
+        0
+    }
+
+    fn len(&self) -> usize {
+        self.perm.len()
+    }
+
+    fn route(&self) -> Route {
+        Route::Scatter
+    }
+
+    fn backend_name(&self) -> &'static str {
+        INTERP_BACKEND_NAME
+    }
+
+    fn kernel_config(&self) -> KernelConfig {
+        self.config
+    }
+
+    fn runs(&self) -> u64 {
+        self.runs.load(Ordering::Relaxed)
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+/// Interpret one step: `inp` is the step's `rows × cols` source matrix,
+/// `out` its destination (same length; the transpose writes it as
+/// `cols × rows`).
+fn exec_step<T: Copy + Default>(ir: &SweepIr, step: &SweepStep, inp: &[T], out: &mut [T]) {
+    match step.kernel {
+        SweepKernel::Gather { map } | SweepKernel::RowPermute { map } => {
+            let g = ir.map(map);
+            let cols = step.cols;
+            debug_assert_eq!(g.len(), out.len());
+            for (i, slot) in out.iter_mut().enumerate() {
+                let base = (i / cols) * cols;
+                *slot = inp[base + g[i] as usize];
+            }
+        }
+        SweepKernel::TiledTranspose { tile, bank_pad } => {
+            tiled_transpose(inp, step.rows, step.cols, tile, bank_pad, out);
+        }
+    }
+}
+
+/// Transpose `rows × cols` → `cols × rows` through an explicit staging
+/// tile of `(tile + bank_pad)` columns — the same padded layout the WGSL
+/// kernel declares as its workgroup array, so the interpreter exercises
+/// the exact buffer geometry the shader does (on a CPU the pad buys
+/// nothing; it is kept for fidelity, not speed).
+fn tiled_transpose<T: Copy + Default>(
+    inp: &[T],
+    rows: usize,
+    cols: usize,
+    tile: usize,
+    bank_pad: usize,
+    out: &mut [T],
+) {
+    debug_assert_eq!(inp.len(), rows * cols);
+    debug_assert_eq!(out.len(), rows * cols);
+    let stride = tile + bank_pad;
+    let mut stage = vec![T::default(); stride * tile];
+    for i0 in (0..rows).step_by(tile) {
+        let ih = tile.min(rows - i0);
+        for j0 in (0..cols).step_by(tile) {
+            let jw = tile.min(cols - j0);
+            // Load phase: stage[ti][tj] = in[i0+ti][j0+tj].
+            for ti in 0..ih {
+                let row = &inp[(i0 + ti) * cols + j0..(i0 + ti) * cols + j0 + jw];
+                stage[ti * stride..ti * stride + jw].copy_from_slice(row);
+            }
+            // Store phase (after the barrier, on a GPU): read the stage
+            // transposed — the access the pad de-conflicts.
+            for tj in 0..jw {
+                for ti in 0..ih {
+                    out[(j0 + tj) * rows + (i0 + ti)] = stage[ti * stride + tj];
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmm_perm::families;
+    use hmm_plan::PlanIr;
+
+    fn naive_reference(p: &Permutation, src: &[u32]) -> Vec<u32> {
+        let mut out = vec![0u32; src.len()];
+        for (i, &d) in p.as_slice().iter().enumerate() {
+            out[d] = src[i];
+        }
+        out
+    }
+
+    fn run_scheduled(p: &Permutation, cfg: KernelConfig) -> Vec<u32> {
+        let ir = PlanIr::build(p, 32).unwrap();
+        let exec: Box<dyn Executable<u32>> = InterpBackend
+            .prepare(ExecPlan::Scheduled(&ir), cfg)
+            .unwrap();
+        let n = p.len();
+        let src: Vec<u32> = (0..n as u32).collect();
+        let mut dst = vec![0u32; n];
+        let mut scratch = vec![0u32; exec.scratch_len()];
+        exec.run(&src, &mut dst, &mut scratch);
+        assert_eq!(exec.runs(), 1);
+        assert_eq!(dst, naive_reference(p, &src));
+        dst
+    }
+
+    #[test]
+    fn scheduled_interpretation_matches_the_naive_reference() {
+        for n in [1usize << 10, 1 << 12, 1 << 14] {
+            for seed in [1, 7] {
+                let p = families::random(n, seed);
+                run_scheduled(&p, KernelConfig::default());
+            }
+        }
+    }
+
+    #[test]
+    fn tile_geometry_does_not_change_the_answer() {
+        let p = families::random(1 << 12, 3);
+        let base = run_scheduled(&p, KernelConfig::default());
+        for tile in [8, 16, 33, 64, 100] {
+            let cfg = KernelConfig {
+                tile,
+                ..KernelConfig::default()
+            };
+            assert_eq!(run_scheduled(&p, cfg), base, "tile={tile}");
+        }
+    }
+
+    #[test]
+    fn scatter_interpretation_matches_the_naive_reference() {
+        let p = families::random(1 << 10, 9);
+        let exec: Box<dyn Executable<u64>> = InterpBackend
+            .prepare(ExecPlan::Scatter(&p), KernelConfig::default())
+            .unwrap();
+        assert_eq!(exec.scratch_len(), 0);
+        assert_eq!(exec.route(), Route::Scatter);
+        let src: Vec<u64> = (0..1u64 << 10).map(|v| v.wrapping_mul(0x9E37)).collect();
+        let mut dst = vec![0u64; src.len()];
+        exec.run(&src, &mut dst, &mut []);
+        let mut want = vec![0u64; src.len()];
+        for (i, &d) in p.as_slice().iter().enumerate() {
+            want[d] = src[i];
+        }
+        assert_eq!(dst, want);
+        assert_eq!(exec.runs(), 1);
+    }
+
+    #[test]
+    fn bare_transpose_is_exact_on_ragged_tiles() {
+        // 5×7 with tile 4 exercises partial tiles on both edges.
+        let (rows, cols, tile) = (5usize, 7usize, 4usize);
+        let inp: Vec<u32> = (0..(rows * cols) as u32).collect();
+        let mut out = vec![0u32; rows * cols];
+        tiled_transpose(&inp, rows, cols, tile, 1, &mut out);
+        for i in 0..rows {
+            for j in 0..cols {
+                assert_eq!(out[j * rows + i], inp[i * cols + j]);
+            }
+        }
+    }
+}

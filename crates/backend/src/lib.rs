@@ -1,0 +1,53 @@
+//! # hmm-backend — the backend-neutral execution layer
+//!
+//! The paper's headline claim is a *GPU* implementation of the 3-pass
+//! offline permutation, but this reproduction's execution stack was
+//! hardwired to the CPU executor inside `hmm-native`. This crate is the
+//! seam that unhardwires it, split into three layers (DESIGN.md §13):
+//!
+//! 1. **Traits** — [`Backend`] turns a backend-neutral plan
+//!    ([`ExecPlan`]: a scatter permutation or a scheduled
+//!    [`hmm_plan::PlanIr`]) plus a [`KernelConfig`] into a boxed
+//!    [`Executable`]; the engines in `hmm-native` dispatch every
+//!    execution through these two traits and never name a concrete
+//!    executor again. [`Capabilities`] lets a backend opt out of a route
+//!    (a GPU backend with no scatter kernel, say) and
+//!    [`Executable::runs`] is the per-executable stats hook.
+//! 2. **Sweep-kernel IR** — [`SweepIr`] lowers a validated `PlanIr` +
+//!    its pass layouts into five steps of three kernel kinds
+//!    ([`SweepKernel`]: row-local gather, tiled transpose with an
+//!    explicit bank-offset pad, row permute) over four logical buffers
+//!    ([`BufferId`]). The tile side and bank pad are explicit IR
+//!    parameters, not executor folklore.
+//! 3. **Consumers** — [`wgsl::module_wgsl`] emits WGSL compute-shader
+//!    text from the IR (kubecl-style monomorphised lowering,
+//!    golden-snapshot tested), and [`InterpBackend`] interprets the same
+//!    IR deterministically on the CPU — a second registered backend the
+//!    conformance suite pins byte-identical against `hmm-native` and
+//!    the naive reference.
+//!
+//! The crate also owns the strict environment-override helper
+//! ([`env::parse_env`]): every `HMM_*` knob (`HMM_NATIVE_SIMD`,
+//! `HMM_NATIVE_THREADS`, `HMM_BACKEND`) parses strictly and warns once
+//! per variable on garbage instead of silently guessing.
+//!
+//! No `unsafe` anywhere in this crate: the interpreter is the *reference*
+//! executor, so it stays trivially auditable.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod env;
+pub mod interp;
+pub mod sweep;
+pub mod traits;
+pub mod wgsl;
+
+pub use config::{
+    KernelConfig, DEFAULT_STAGE_BYTES, DEFAULT_STAGING_DEPTH, DEFAULT_TILE, SIMD_ENV,
+};
+pub use interp::InterpBackend;
+pub use sweep::{BufferId, GatherMap, SweepIr, SweepKernel, SweepStep};
+pub use traits::{Backend, Capabilities, ExecPlan, Executable, Route};
+pub use wgsl::{kernel_wgsl, module_wgsl, WgslElem};

@@ -1,0 +1,121 @@
+// Offline permutation sweep module (generated — do not edit).
+//
+// Plan geometry: 256x256 = 65536 elements of u32; transpose tile
+// 64 (+1 pad). Five passes: gather_g1, transpose_s2, gather_g2,
+// transpose_s4, row_permute_g3 — dispatch them in that order with the
+// per-kernel geometry noted above each entry point, with a buffer
+// barrier between passes. The host uploads the plan's three gather maps
+// into map1/map2/map3; scratch_a/scratch_b are 65536-element device
+// temporaries.
+
+@group(0) @binding(0) var<storage, read> src: array<u32>;
+@group(0) @binding(1) var<storage, read_write> scratch_a: array<u32>;
+@group(0) @binding(2) var<storage, read_write> scratch_b: array<u32>;
+@group(0) @binding(3) var<storage, read_write> dst: array<u32>;
+@group(0) @binding(4) var<storage, read> map1: array<u32>;
+@group(0) @binding(5) var<storage, read> map2: array<u32>;
+@group(0) @binding(6) var<storage, read> map3: array<u32>;
+
+// 0u is this module's element zero; shared tiles start undefined in
+// WGSL, and the kernels never read a slot they did not write, so no
+// explicit clear is emitted.
+
+// Step 1: row-local gather over a 256x256 matrix,
+// src -> scratch_a via map1; one thread per element.
+// Dispatch: (1024, 1, 1) workgroups of 64.
+@compute @workgroup_size(64)
+fn gather_g1(@builtin(global_invocation_id) gid: vec3<u32>) {
+    let i = gid.x;
+    if (i < 65536u) {
+        let base = (i / 256u) * 256u;
+        scratch_a[i] = src[base + map1[i]];
+    }
+}
+
+// Step 2: tiled transpose of a 256x256 matrix, scratch_a -> scratch_b.
+// 64x64 tiles staged in workgroup memory with a +1
+// column pad (stride 65) so the transposed read hits 65
+// distinct banks instead of one. Each workgroup moves one tile with
+// 64x4 threads, striding 4 rows per iteration.
+// Dispatch: (4, 4, 1) workgroups of 64x4.
+var<workgroup> tile_2: array<u32, 4160u>;
+
+@compute @workgroup_size(64, 4)
+fn transpose_s2(@builtin(workgroup_id) wid: vec3<u32>,
+          @builtin(local_invocation_id) lid: vec3<u32>) {
+    let j0 = wid.x * 64u;
+    let i0 = wid.y * 64u;
+    // Load phase: tile[ti][tj] = src[i0 + ti][j0 + tj].
+    for (var ti = lid.y; ti < 64u; ti = ti + 4u) {
+        let i = i0 + ti;
+        let j = j0 + lid.x;
+        if (i < 256u && j < 256u) {
+            tile_2[ti * 65u + lid.x] = scratch_a[i * 256u + j];
+        }
+    }
+    workgroupBarrier();
+    // Store phase: dst[j0 + ti][i0 + tj] = tile[tj][ti] (transposed read).
+    for (var ti = lid.y; ti < 64u; ti = ti + 4u) {
+        let j = j0 + ti;
+        let i = i0 + lid.x;
+        if (j < 256u && i < 256u) {
+            scratch_b[j * 256u + i] = tile_2[lid.x * 65u + ti];
+        }
+    }
+}
+
+// Step 3: row-local gather over a 256x256 matrix,
+// scratch_b -> scratch_a via map2; one thread per element.
+// Dispatch: (1024, 1, 1) workgroups of 64.
+@compute @workgroup_size(64)
+fn gather_g2(@builtin(global_invocation_id) gid: vec3<u32>) {
+    let i = gid.x;
+    if (i < 65536u) {
+        let base = (i / 256u) * 256u;
+        scratch_a[i] = scratch_b[base + map2[i]];
+    }
+}
+
+// Step 4: tiled transpose of a 256x256 matrix, scratch_a -> scratch_b.
+// 64x64 tiles staged in workgroup memory with a +1
+// column pad (stride 65) so the transposed read hits 65
+// distinct banks instead of one. Each workgroup moves one tile with
+// 64x4 threads, striding 4 rows per iteration.
+// Dispatch: (4, 4, 1) workgroups of 64x4.
+var<workgroup> tile_4: array<u32, 4160u>;
+
+@compute @workgroup_size(64, 4)
+fn transpose_s4(@builtin(workgroup_id) wid: vec3<u32>,
+          @builtin(local_invocation_id) lid: vec3<u32>) {
+    let j0 = wid.x * 64u;
+    let i0 = wid.y * 64u;
+    // Load phase: tile[ti][tj] = src[i0 + ti][j0 + tj].
+    for (var ti = lid.y; ti < 64u; ti = ti + 4u) {
+        let i = i0 + ti;
+        let j = j0 + lid.x;
+        if (i < 256u && j < 256u) {
+            tile_4[ti * 65u + lid.x] = scratch_a[i * 256u + j];
+        }
+    }
+    workgroupBarrier();
+    // Store phase: dst[j0 + ti][i0 + tj] = tile[tj][ti] (transposed read).
+    for (var ti = lid.y; ti < 64u; ti = ti + 4u) {
+        let j = j0 + ti;
+        let i = i0 + lid.x;
+        if (j < 256u && i < 256u) {
+            scratch_b[j * 256u + i] = tile_4[lid.x * 65u + ti];
+        }
+    }
+}
+
+// Step 5: row-local gather over a 256x256 matrix,
+// scratch_b -> dst via map3; one thread per element.
+// Dispatch: (1024, 1, 1) workgroups of 64.
+@compute @workgroup_size(64)
+fn row_permute_g3(@builtin(global_invocation_id) gid: vec3<u32>) {
+    let i = gid.x;
+    if (i < 65536u) {
+        let base = (i / 256u) * 256u;
+        dst[i] = scratch_b[base + map3[i]];
+    }
+}

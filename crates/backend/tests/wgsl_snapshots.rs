@@ -1,0 +1,97 @@
+//! Golden-snapshot tests for the WGSL generator.
+//!
+//! The generator is a deterministic text lowering: for a given plan
+//! geometry (rows × cols, tile, element type) the module text is fully
+//! decided, so the right regression net is a byte-level snapshot. Each
+//! case renders [`module_wgsl`] for one (n, tile, element) cell —
+//! covering all three kernel templates (row gather, tiled transpose, row
+//! permute) across square and rectangular shapes and both element
+//! widths — and compares against a checked-in `.wgsl` file.
+//!
+//! To regenerate after an intentional generator change:
+//!
+//! ```text
+//! UPDATE_SNAPSHOTS=1 cargo test -p hmm-backend --test wgsl_snapshots
+//! ```
+//!
+//! then review the diff like any other source change.
+
+use hmm_backend::{module_wgsl, KernelConfig, SweepIr, WgslElem};
+use hmm_perm::families;
+use hmm_plan::PlanIr;
+use std::path::PathBuf;
+
+/// The snapshot matrix: (case name, n, tile, element type). Sizes pick
+/// three distinct geometries — 32×32 (tile spans the whole matrix),
+/// 128×64 rectangular, and 256×256 with the default 64-tile — and the
+/// first shape repeats at u64 to pin the `vec2<u32>` lowering.
+fn cases() -> Vec<(&'static str, usize, usize, WgslElem)> {
+    vec![
+        ("square_1k_tile16_u32", 1 << 10, 16, WgslElem::U32),
+        ("rect_8k_tile32_u32", 1 << 13, 32, WgslElem::U32),
+        ("square_64k_tile64_u32", 1 << 16, 64, WgslElem::U32),
+        ("square_1k_tile16_u64", 1 << 10, 16, WgslElem::U64),
+    ]
+}
+
+fn render(n: usize, tile: usize, elem: WgslElem) -> String {
+    // The permutation only sets the maps (data, not code): any valid
+    // permutation of size n yields the same module text.
+    let p = families::random(n, 0x5eed);
+    let ir = PlanIr::build(&p, 32).unwrap();
+    let cfg = KernelConfig {
+        tile,
+        ..KernelConfig::default()
+    };
+    module_wgsl(&SweepIr::lower(&ir, &cfg), elem)
+}
+
+fn snapshot_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/snapshots")
+        .join(format!("{name}.wgsl"))
+}
+
+#[test]
+fn generated_wgsl_matches_golden_snapshots() {
+    let update = std::env::var_os("UPDATE_SNAPSHOTS").is_some();
+    let mut mismatches = Vec::new();
+    for (name, n, tile, elem) in cases() {
+        let got = render(n, tile, elem);
+        let path = snapshot_path(name);
+        if update {
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            std::fs::write(&path, &got).unwrap();
+            continue;
+        }
+        let want = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing snapshot {}: {e}", path.display()));
+        if got != want {
+            mismatches.push(name);
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "WGSL generator output diverged from golden snapshots {mismatches:?}; \
+         if the change is intentional, regenerate with UPDATE_SNAPSHOTS=1 and \
+         review the diff"
+    );
+}
+
+/// Each snapshot embeds its own geometry: the tile and shape constants
+/// named in the header must match the case that generated it, so a
+/// snapshot can never silently pin the wrong case.
+#[test]
+fn snapshots_are_self_describing() {
+    for (name, n, tile, elem) in cases() {
+        let text = render(n, tile, elem);
+        assert!(
+            text.contains(&format!("= {n} elements of {}", elem.type_name())),
+            "{name}: header lost the element count/type"
+        );
+        assert!(
+            text.contains(&format!("transpose tile\n// {tile} ")),
+            "{name}: header lost the tile side"
+        );
+    }
+}

@@ -14,6 +14,8 @@
 //! repro heatmap [--n N]     # access-pattern heatmaps (trace support)
 //! repro native [--full] [--json] [--contended T] [--queued T] [--plan-threads T]
 //!                           # wall-clock CPU backend comparison
+//! repro backends [--full] [--json]
+//!                           # backend registry: native vs sweep-IR interpreter
 //! repro plan build [--n N] [--family F] [--seed S] [--width W]
 //! repro plan save  --dir DIR [--n N] [--family F] [--seed S] [--width W]
 //! repro plan load  --dir DIR [--n N] [--family F] [--seed S] [--width W] [--assert-cold]
@@ -33,6 +35,9 @@
 //! plan-compiler measurement, emitting `plan_build_1t` / `plan_build_{T}t`
 //! rows (default 4; `0` skips it). The two builds are asserted
 //! byte-identical through the codec before any time is reported.
+//! `--json` (backends) merges `backend_native` / `backend_interp` rows
+//! into `results/BENCH_native.json`, replacing any stale backend rows and
+//! leaving every other row untouched.
 
 use hmm_bench::experiments::{
     ablation, applications, figures, generations, smallperm, sweep, table1, table2, table3,
@@ -181,7 +186,7 @@ fn main() -> ExitCode {
         None => {
             eprintln!(
                 "usage: repro <all|table1|table2|table3|fig3|fig4|fig5|fig6|smallperm|ablation|\
-                 sweep|apps|heatmap|native|structured|plan> [--full] [--f64] [--no-cache] [--json] \
+                 sweep|apps|heatmap|native|backends|structured|plan> [--full] [--f64] [--no-cache] [--json] \
                  [--count K] [--n N] [--csv DIR] [--contended T] [--queued T] \
                  [--plan-threads T]\n       \
                  repro plan <build|save|load|stats> [--dir DIR] [--n N] [--family F] \
@@ -472,6 +477,36 @@ fn run(cmd: &str, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
                 let path = dir.join("BENCH_native.json");
                 std::fs::write(&path, native_experiments::to_json(&report))?;
                 println!("\n(wrote {})", path.display());
+            }
+        }
+        "backends" => {
+            // Acceptance sizes 256K–4M; quick mode stops at 1M because
+            // the interpreter is serial by design.
+            let sizes: Vec<usize> = if args.full {
+                vec![1 << 18, 1 << 20, 1 << 22]
+            } else {
+                vec![1 << 18, 1 << 20]
+            };
+            let reps = if args.full { 5 } else { 3 };
+            println!("=== Backend registry: one scheduled plan on every backend ===\n");
+            let rows = native_experiments::backends(&sizes, reps)?;
+            print!("{}", native_experiments::render_backends(&rows));
+            println!(
+                "\n(Both backends are pinned byte-identical to the reference before\n\
+                 timing. `interp` executes the five-step sweep IR literally and\n\
+                 serially — it is the correctness oracle behind the WGSL codegen,\n\
+                 not a throughput contender; see EXPERIMENTS.md.)"
+            );
+            if args.json {
+                let dir = std::path::Path::new("results");
+                std::fs::create_dir_all(dir)?;
+                let path = dir.join("BENCH_native.json");
+                let existing = std::fs::read_to_string(&path).ok();
+                std::fs::write(
+                    &path,
+                    native_experiments::merge_backends_json(existing.as_deref(), &rows),
+                )?;
+                println!("\n(merged backend rows into {})", path.display());
             }
         }
         "structured" => {

@@ -26,8 +26,8 @@
 use crate::tables::{size_label, TextTable};
 use hmm_native::par::worker_threads;
 use hmm_native::{
-    copy_baseline, gather_permute, scatter_permute, Engine, KernelConfig, NativeScheduled,
-    SharedEngine,
+    copy_baseline, gather_permute, scatter_permute, Engine, ExecPlan, KernelConfig,
+    NativeScheduled, SharedEngine,
 };
 use hmm_offperm::Result;
 use hmm_perm::families::{self, Family};
@@ -788,6 +788,82 @@ pub fn render_sweeps(rows: &[SweepRow]) -> String {
     t.render()
 }
 
+/// One row of the backend comparison: one registered backend executing
+/// the same scheduled plan (random family) at one size.
+#[derive(Debug, Clone)]
+pub struct BackendRow {
+    /// Registry name of the backend (`native`, `interp`).
+    pub name: &'static str,
+    /// Array size.
+    pub n: usize,
+    /// Median wall-clock of one prepared-plan execution.
+    pub seconds: Duration,
+}
+
+impl BackendRow {
+    /// The `backend` label the JSON rows use (`backend_native`,
+    /// `backend_interp`) — prefixed so the backend comparison is
+    /// filterable among the kernel rows of `BENCH_native.json`.
+    pub fn label(&self) -> String {
+        format!("backend_{}", self.name)
+    }
+
+    /// Elements moved per second.
+    pub fn elements_per_sec(&self) -> f64 {
+        self.n as f64 / self.seconds.as_secs_f64().max(1e-12)
+    }
+}
+
+/// Execute one scheduled plan on **every registered backend** through the
+/// `Backend` registry and time each prepared executable. Each backend's
+/// output is asserted byte-identical to the `Permutation::permute`
+/// reference before timing, so a row can never report the speed of a
+/// wrong answer. The interpreter is a serial correctness oracle, not a
+/// contender — EXPERIMENTS.md documents the expected slowdown.
+pub fn backends(sizes: &[usize], reps: usize) -> Result<Vec<BackendRow>> {
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let p = families::random(n, 5);
+        let ir = hmm_plan::PlanIr::build_par(&p, W, worker_threads())?;
+        let src: Vec<u32> = (0..n as u32).collect();
+        let mut want = vec![0u32; n];
+        p.permute(&src, &mut want).expect("reference permute");
+        for name in hmm_native::backend_names() {
+            let backend = hmm_native::by_name::<u32>(name).expect("registered backend");
+            let exec = backend.prepare(ExecPlan::Scheduled(&ir), KernelConfig::default())?;
+            let mut dst = vec![0u32; n];
+            let mut scratch = vec![0u32; exec.scratch_len()];
+            exec.run(&src, &mut dst, &mut scratch);
+            assert_eq!(dst, want, "{name}: backend diverged from the reference");
+            let seconds = median_time(reps, || exec.run(&src, &mut dst, &mut scratch));
+            rows.push(BackendRow { name, n, seconds });
+        }
+    }
+    Ok(rows)
+}
+
+/// Render the backend comparison table (slowdown is relative to the
+/// native backend at the same size).
+pub fn render_backends(rows: &[BackendRow]) -> String {
+    let mut t = TextTable::new(vec!["n", "backend", "time", "Melem/s", "vs native"]);
+    for r in rows {
+        let native = rows
+            .iter()
+            .find(|o| o.n == r.n && o.name == "native")
+            .map(|o| o.seconds.as_secs_f64())
+            .unwrap_or(0.0);
+        let rel = r.seconds.as_secs_f64() / native.max(1e-12);
+        t.row(vec![
+            size_label(r.n),
+            r.name.to_string(),
+            format!("{:.2?}", r.seconds),
+            format!("{:.1}", r.elements_per_sec() / 1e6),
+            format!("{rel:.2}x"),
+        ]);
+    }
+    t.render()
+}
+
 /// Render the plan-cache comparison table.
 pub fn render_plan(rows: &[PlanCacheRow]) -> String {
     let mut t = TextTable::new(vec![
@@ -1063,6 +1139,51 @@ pub fn to_json(report: &NativeReport) -> String {
     out
 }
 
+/// Merge backend-comparison rows into an existing `BENCH_native.json`
+/// document (or start a fresh one when `existing` is `None`): previous
+/// `backend_*` rows are dropped, every other row is kept verbatim, and
+/// the new rows are appended. The parse is the line discipline [`to_json`]
+/// emits — one row object per line under `"rows": [` — so a full
+/// `repro native --json` run and a quick `repro backends --json` run can
+/// update the same file in either order without clobbering each other.
+pub fn merge_backends_json(existing: Option<&str>, rows: &[BackendRow]) -> String {
+    let new_rows: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            let mut s = String::new();
+            json_row(&mut s, "random", r.n, &r.label(), r.seconds);
+            s
+        })
+        .collect();
+    let rebuild = |head: &str, kept: Vec<String>| {
+        let mut out = String::from(head);
+        out.push('\n');
+        let all: Vec<String> = kept.into_iter().chain(new_rows.iter().cloned()).collect();
+        out.push_str(&all.join(",\n"));
+        out.push_str("\n  ]\n}\n");
+        out
+    };
+    match existing.and_then(|doc| doc.find("\"rows\": [").map(|at| (doc, at))) {
+        Some((doc, at)) => {
+            let start = at + "\"rows\": [".len();
+            let kept: Vec<String> = doc[start..]
+                .lines()
+                .filter(|l| l.trim_start().starts_with('{'))
+                .filter(|l| !l.contains("\"backend\": \"backend_"))
+                .map(|l| l.trim_end().trim_end_matches(',').to_string())
+                .collect();
+            rebuild(&doc[..start], kept)
+        }
+        None => rebuild(
+            &format!(
+                "{{\n  \"bench\": \"native\",\n  \"threads\": {},\n  \"reps\": 0,\n  \"rows\": [",
+                worker_threads()
+            ),
+            Vec::new(),
+        ),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1153,5 +1274,47 @@ mod tests {
         assert_eq!(rows[0].threads, 3);
         assert_eq!(rows[0].total_runs, 12);
         assert!(rows[0].elements_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn backends_measures_every_registered_backend() {
+        let rows = backends(&[1 << 12], 1).unwrap();
+        assert_eq!(rows.len(), hmm_native::backend_names().len());
+        for r in &rows {
+            assert!(r.elements_per_sec() > 0.0, "{}", r.name);
+        }
+        let table = render_backends(&rows);
+        assert!(table.contains("native"));
+        assert!(table.contains("interp"));
+        assert!(table.contains("vs native"));
+    }
+
+    #[test]
+    fn merge_backends_json_replaces_only_backend_rows() {
+        let rows = backends(&[1 << 12], 1).unwrap();
+        // Fresh document: standalone but the same shape as to_json's.
+        let fresh = merge_backends_json(None, &rows);
+        assert!(fresh.contains("\"backend\": \"backend_native\""));
+        assert!(fresh.contains("\"backend\": \"backend_interp\""));
+        assert_eq!(fresh.matches('{').count(), fresh.matches('}').count());
+
+        // Merging into a full report keeps every non-backend row and
+        // replaces stale backend rows instead of duplicating them.
+        let report = report(&[1 << 12], 1, 0, 0, 0).unwrap();
+        let base = to_json(&report);
+        let once = merge_backends_json(Some(&base), &rows);
+        let twice = merge_backends_json(Some(&once), &rows);
+        assert_eq!(
+            once.matches("\"backend\": \"backend_").count(),
+            twice.matches("\"backend\": \"backend_").count(),
+            "re-merging must not duplicate backend rows"
+        );
+        assert_eq!(
+            base.matches("\"backend\"").count() + rows.len(),
+            once.matches("\"backend\"").count(),
+            "non-backend rows must survive the merge"
+        );
+        assert!(once.contains("\"scheduled_unfused\""));
+        assert_eq!(twice.matches('{').count(), twice.matches('}').count());
     }
 }

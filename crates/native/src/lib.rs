@@ -26,11 +26,17 @@
 //!   (`wait` / `try_wait` / `cancel`); plan resolution happens on the
 //!   drainer side, and build failures or panics resolve handles with a
 //!   [`queue::JobError`] instead of hanging waiters;
+//! * [`backend`] — the process backend registry over `hmm-backend`'s
+//!   [`Backend`] trait: [`backend::NativeBackend`] (this crate's kernels)
+//!   and the `hmm-backend` sweep-IR interpreter are both registered, the
+//!   engines dispatch every execution through the trait, and
+//!   `HMM_BACKEND=interp` redirects a whole process without a recompile;
 //! * [`config::KernelConfig`] — the sweep-kernel tuning seam (staging
 //!   block size, double-buffer depth, SIMD and prefetch switches,
-//!   `HMM_NATIVE_SIMD=0` to force the scalar reference) threaded through
-//!   every front door: blocking calls, the shared engine, and the queue
-//!   drainers;
+//!   `HMM_NATIVE_SIMD=0` to force the scalar reference; re-exported from
+//!   `hmm-backend`, where the strict warn-once env parsing lives) threaded
+//!   through every front door: blocking calls, the shared engine, and the
+//!   queue drainers;
 //! * [`pool`] / [`par`] — a persistent worker pool (created once per
 //!   process) and the chunked parallel-for primitives built on it
 //!   (`rayon` is not on this reproduction's offline dependency list).
@@ -48,6 +54,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod backend;
 pub mod config;
 pub mod par;
 pub mod plan;
@@ -58,9 +65,15 @@ pub mod scheduled;
 mod simd;
 mod stage;
 
+pub use backend::{
+    as_native_scheduled, backend_names, by_name, default_backend, forced_engine, forced_engine_on,
+    NativeBackend, BACKEND_ENV, NATIVE_BACKEND_NAME,
+};
 pub use config::{KernelConfig, SIMD_ENV};
+pub use hmm_backend::{Backend, Capabilities, ExecPlan, Executable, InterpBackend, Route};
 pub use hmm_plan::{PlanIr, PlanStore, StoreKey};
-pub use plan::{Backend, Engine, EngineStats, PermutePlan, SharedEngine, CALIBRATE_ENV};
+pub use par::THREADS_ENV;
+pub use plan::{Engine, EngineStats, PermutePlan, SharedEngine, CALIBRATE_ENV};
 pub use queue::{BatchHandle, JobError, JobHandle, JobReport, DEFAULT_QUEUE_CAPACITY};
 pub use scatter::{copy_baseline, gather_permute, scatter_permute};
 pub use scheduled::NativeScheduled;

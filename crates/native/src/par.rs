@@ -11,9 +11,16 @@
 use crate::pool::WorkerPool;
 use std::num::NonZeroUsize;
 
+/// Environment variable overriding the worker-thread count: a positive
+/// integer, read once when the global pool is first constructed. Invalid
+/// values warn once and fall back to hardware parallelism — the same
+/// strict, warn-once policy [`hmm_backend::env::parse_env`] applies to
+/// `HMM_NATIVE_SIMD` and `HMM_BACKEND`.
+pub const THREADS_ENV: &str = "HMM_NATIVE_THREADS";
+
 /// Number of worker threads the pool was (or will be) built with: the
 /// machine's available parallelism, overridable with the
-/// `HMM_NATIVE_THREADS` environment variable **before first use** (the
+/// [`THREADS_ENV`] environment variable **before first use** (the
 /// pool is created once per process).
 pub fn worker_threads() -> usize {
     WorkerPool::global().threads()
@@ -32,24 +39,19 @@ fn parse_thread_override(v: &str) -> Option<usize> {
 
 /// Thread count read from the environment/machine — used once, when the
 /// global pool is first constructed. An *invalid* override is loudly
-/// ignored (a typo'd benchmark run must not silently measure hardware
-/// parallelism instead of the intended thread count).
+/// ignored, once per process (a typo'd benchmark run must not silently
+/// measure hardware parallelism instead of the intended thread count).
 pub(crate) fn configured_threads() -> usize {
-    let hardware = || {
+    hmm_backend::env::parse_env(
+        THREADS_ENV,
+        "a positive integer; using hardware parallelism",
+        parse_thread_override,
+    )
+    .unwrap_or_else(|| {
         std::thread::available_parallelism()
             .map(NonZeroUsize::get)
             .unwrap_or(1)
-    };
-    match std::env::var("HMM_NATIVE_THREADS") {
-        Ok(v) => parse_thread_override(&v).unwrap_or_else(|| {
-            eprintln!(
-                "warning: ignoring invalid HMM_NATIVE_THREADS={v:?} \
-                 (expected a positive integer); using hardware parallelism"
-            );
-            hardware()
-        }),
-        Err(_) => hardware(),
-    }
+    })
 }
 
 /// Shared base pointer for handing disjoint chunks of one slice to pool

@@ -53,7 +53,7 @@ use crate::queue::{
     BatchHandle, Bounded, JobError, JobHandle, JobReport, JobState, Payload, QueuedJob,
     DEFAULT_QUEUE_CAPACITY,
 };
-use crate::scheduled::NativeScheduled;
+use hmm_backend::{Backend, ExecPlan, Executable, Route};
 use hmm_perm::distribution::distribution;
 use hmm_perm::{families, Permutation};
 use hmm_plan::{PlanError, PlanIr, PlanStore, Result, StoreKey};
@@ -111,25 +111,34 @@ fn min_time(reps: usize, mut f: impl FnMut()) -> Duration {
     best
 }
 
-/// Measure the γ_w crossover between the scatter and scheduled backends
+/// Measure the γ_w crossover between the scatter and scheduled routes
 /// on this host, at a probe size large enough to spill the cache hierarchy
-/// the way real workloads do.
+/// the way real workloads do. Probes run on `backend` — the crossover
+/// belongs to whichever implementation will actually execute the plans.
 ///
 /// Model: a scattered pass costs `a + b·γ` (more destination groups per
 /// warp-sized window ⇒ more distinct cache lines touched), while the fused
 /// three-sweep costs a γ-independent constant. Two scatter samples (low-γ
 /// rotation, high-γ random) pin the line; one scheduled sample pins the
 /// constant; the intersection is the crossover. Returns `None` when the
-/// width cannot be scheduled at the probe size or the fitted slope is
-/// non-positive (timer noise) — callers keep the static default then.
-fn measured_crossover(width: usize) -> Option<f64> {
+/// width cannot be scheduled at the probe size, the backend lacks a
+/// route, or the fitted slope is non-positive (timer noise) — callers
+/// keep the static default then.
+fn measured_crossover(
+    backend: &dyn Backend<u32>,
+    width: usize,
+    config: KernelConfig,
+) -> Option<f64> {
+    let caps = backend.capabilities();
+    if !(caps.scatter && caps.scheduled) {
+        return None;
+    }
     let n = width
         .saturating_mul(width)
         .next_power_of_two()
         .clamp(1 << 14, 1 << 22);
     let src: Vec<u32> = (0..n as u32).collect();
     let mut dst = vec![0u32; n];
-    let mut scratch = vec![0u32; n];
 
     let p_lo = families::rotation(n, width.max(2) / 2);
     let p_hi = families::random(n, 0x5eed);
@@ -139,17 +148,15 @@ fn measured_crossover(width: usize) -> Option<f64> {
         return None;
     }
 
-    let sched = NativeScheduled::build(&p_hi, width).ok()?;
+    let ir = PlanIr::build_par(&p_hi, width, crate::par::worker_threads()).ok()?;
+    let sched = backend.prepare(ExecPlan::Scheduled(&ir), config).ok()?;
+    let scatter_lo = backend.prepare(ExecPlan::Scatter(&p_lo), config).ok()?;
+    let scatter_hi = backend.prepare(ExecPlan::Scatter(&p_hi), config).ok()?;
+    let mut scratch = vec![0u32; sched.scratch_len()];
     let reps = 3;
-    let t_sched = min_time(reps, || {
-        sched.run_with_scratch(&src, &mut dst, &mut scratch)
-    });
-    let t_lo = min_time(reps, || {
-        crate::scatter::scatter_permute(&src, &p_lo, &mut dst)
-    });
-    let t_hi = min_time(reps, || {
-        crate::scatter::scatter_permute(&src, &p_hi, &mut dst)
-    });
+    let t_sched = min_time(reps, || sched.run(&src, &mut dst, &mut scratch));
+    let t_lo = min_time(reps, || scatter_lo.run(&src, &mut dst, &mut []));
+    let t_hi = min_time(reps, || scatter_hi.run(&src, &mut dst, &mut []));
 
     let b = (t_hi.as_secs_f64() - t_lo.as_secs_f64()) / (g_hi - g_lo);
     if !(b.is_finite() && b > 0.0) {
@@ -163,28 +170,42 @@ fn measured_crossover(width: usize) -> Option<f64> {
     Some(crossover.clamp(1.0, width as f64))
 }
 
-/// Time the fused three-sweep path over a small grid of staging-block
-/// budgets and return the fastest, or `None` when the width cannot be
-/// scheduled at the probe size. Candidates bracket the default 256 KB:
-/// hosts with small private caches win at 64–128 KB, large-L2 parts at
-/// 512 KB.
-fn measured_stage_bytes(width: usize, base: KernelConfig) -> Option<usize> {
+/// Time the scheduled route over a small grid of staging-block budgets
+/// and return the fastest, or `None` when the width cannot be scheduled
+/// at the probe size or the backend has no scheduled route. Candidates
+/// bracket the default 256 KB: hosts with small private caches win at
+/// 64–128 KB, large-L2 parts at 512 KB. Each candidate is a fresh
+/// [`Backend::prepare`], so the measurement exercises exactly the
+/// executable the engine would build at that config.
+fn measured_stage_bytes(
+    backend: &dyn Backend<u32>,
+    width: usize,
+    base: KernelConfig,
+) -> Option<usize> {
+    if !backend.capabilities().scheduled {
+        return None;
+    }
     let n = width
         .saturating_mul(width)
         .next_power_of_two()
         .clamp(1 << 16, 1 << 22);
     let p = families::random(n, 0x57a9e);
-    let sched = NativeScheduled::build(&p, width).ok()?;
+    let ir = PlanIr::build_par(&p, width, crate::par::worker_threads()).ok()?;
     let src: Vec<u32> = (0..n as u32).collect();
     let mut dst = vec![0u32; n];
-    let mut scratch = vec![0u32; n];
     let mut best: Option<(Duration, usize)> = None;
     for stage_bytes in [1 << 16, 1 << 17, 1 << 18, 1 << 19] {
-        let tuned = sched.clone().with_config(KernelConfig {
-            stage_bytes,
-            ..base
-        });
-        let t = min_time(3, || tuned.run_with_scratch(&src, &mut dst, &mut scratch));
+        let tuned = backend
+            .prepare(
+                ExecPlan::Scheduled(&ir),
+                KernelConfig {
+                    stage_bytes,
+                    ..base
+                },
+            )
+            .ok()?;
+        let mut scratch = vec![0u32; tuned.scratch_len()];
+        let t = min_time(3, || tuned.run(&src, &mut dst, &mut scratch));
         if best.is_none_or(|(bt, _)| t < bt) {
             best = Some((t, stage_bytes));
         }
@@ -200,35 +221,44 @@ struct PlanKey {
     width: usize,
 }
 
-/// How a cached plan executes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Backend {
-    /// Single scattered pass (`scatter_permute`) — wins at low γ_w.
-    Scatter,
-    /// Fused three-sweep scheduled permutation.
-    Scheduled,
-}
-
-/// A built, cached execution plan for one permutation.
-#[derive(Debug)]
-pub struct PermutePlan {
-    backend: Backend,
+/// A built, cached execution plan for one permutation: the route
+/// decision (γ_w against the engine's threshold) plus the [`Executable`]
+/// some [`Backend`] prepared for it. The engines never name a concrete
+/// executor — scatter and scheduled plans alike run through the boxed
+/// trait object.
+pub struct PermutePlan<T> {
+    route: Route,
     gamma: f64,
-    /// Present iff `backend == Scheduled`.
-    scheduled: Option<NativeScheduled>,
-    /// Kept for the scatter path, for hit verification, and for callers
-    /// that want it back.
+    exec: Box<dyn Executable<T>>,
+    /// Kept for hit verification and for callers that want it back.
     permutation: Permutation,
 }
 
-impl PermutePlan {
-    /// Build a plan, measuring γ_w(P) to pick the backend.
+impl<T> std::fmt::Debug for PermutePlan<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PermutePlan")
+            .field("route", &self.route)
+            .field("gamma", &self.gamma)
+            .field("backend", &self.exec.backend_name())
+            .field("len", &self.permutation.len())
+            .finish()
+    }
+}
+
+impl<T: Copy + Send + Sync + Default + 'static> PermutePlan<T> {
+    /// Build a plan on the process-default backend, measuring γ_w(P) to
+    /// pick the route.
     pub fn build(p: &Permutation, width: usize, gamma_threshold: f64) -> Result<Self> {
+        let backend = crate::backend::default_backend::<T>();
         let gamma = distribution(p, width);
-        if gamma <= gamma_threshold {
-            Ok(Self::scatter(p, gamma))
+        if gamma <= gamma_threshold && backend.capabilities().scatter {
+            Self::scatter_on(&*backend, p, gamma, KernelConfig::global())
         } else {
-            Self::from_ir(&PlanIr::build_par(p, width, crate::par::worker_threads())?)
+            Self::from_ir_on(
+                &*backend,
+                &PlanIr::build_par(p, width, crate::par::worker_threads())?,
+                KernelConfig::global(),
+            )
         }
     }
 
@@ -237,10 +267,9 @@ impl PermutePlan {
     /// answers for is recomposed from the IR's own three passes, so the
     /// wrapper is correct for exactly the permutation the IR encodes,
     /// wherever the IR came from (a fresh build, another engine, or a
-    /// plan-store file). Sweeps run with the process-wide
-    /// [`KernelConfig::global`]. Fails with a typed error when the IR
-    /// violates its contract (`PlanIr::validate` — see
-    /// [`NativeScheduled::from_plan`]).
+    /// plan-store file). Prepared on the process-default backend with the
+    /// process-wide [`KernelConfig::global`]. Fails with a typed error
+    /// when the IR violates its contract (`PlanIr::validate`).
     pub fn from_ir(ir: &PlanIr) -> Result<Self> {
         Self::from_ir_with(ir, KernelConfig::global())
     }
@@ -251,26 +280,40 @@ impl PermutePlan {
     /// whichever front door ran it: blocking `permute`, `permute_batch`,
     /// or the queue drainers behind `submit`.
     pub fn from_ir_with(ir: &PlanIr, config: KernelConfig) -> Result<Self> {
+        Self::from_ir_on(&*crate::backend::default_backend::<T>(), ir, config)
+    }
+
+    /// Prepare a scheduled plan for this IR on an explicit backend — the
+    /// one construction path every engine plan build funnels through.
+    pub fn from_ir_on(backend: &dyn Backend<T>, ir: &PlanIr, config: KernelConfig) -> Result<Self> {
         Ok(PermutePlan {
-            backend: Backend::Scheduled,
+            route: Route::Scheduled,
             gamma: ir.gamma(),
-            scheduled: Some(NativeScheduled::from_plan_with(ir, config)?),
+            exec: backend.prepare(ExecPlan::Scheduled(ir), config)?,
             permutation: ir.recompose(),
         })
     }
 
-    fn scatter(p: &Permutation, gamma: f64) -> Self {
-        PermutePlan {
-            backend: Backend::Scatter,
+    /// Prepare a scatter plan on an explicit backend.
+    pub fn scatter_on(
+        backend: &dyn Backend<T>,
+        p: &Permutation,
+        gamma: f64,
+        config: KernelConfig,
+    ) -> Result<Self> {
+        Ok(PermutePlan {
+            route: Route::Scatter,
             gamma,
-            scheduled: None,
+            exec: backend.prepare(ExecPlan::Scatter(p), config)?,
             permutation: p.clone(),
-        }
+        })
     }
+}
 
-    /// The backend this plan executes with.
-    pub fn backend(&self) -> Backend {
-        self.backend
+impl<T> PermutePlan<T> {
+    /// The route (scatter or scheduled) this plan executes with.
+    pub fn route(&self) -> Route {
+        self.route
     }
 
     /// The measured distribution γ_w(P) the decision was based on.
@@ -293,24 +336,25 @@ impl PermutePlan {
         &self.permutation
     }
 
-    /// The scheduled executable, when the scheduled backend was chosen.
-    pub fn scheduled(&self) -> Option<&NativeScheduled> {
-        self.scheduled.as_ref()
+    /// The prepared executable behind this plan — the seam for
+    /// capability checks, stats ([`Executable::runs`]), and
+    /// backend-specific downcasts
+    /// ([`crate::backend::as_native_scheduled`]).
+    pub fn executable(&self) -> &dyn Executable<T> {
+        &*self.exec
     }
 
-    /// Execute `dst[P[i]] = src[i]` with caller-provided scratch (length
-    /// `n` for scheduled plans; untouched — may be empty — on the scatter
-    /// path).
-    pub fn run_with_scratch<T: Copy + Send + Sync>(
-        &self,
-        src: &[T],
-        dst: &mut [T],
-        scratch: &mut [T],
-    ) {
-        match &self.scheduled {
-            Some(sched) => sched.run_with_scratch(src, dst, scratch),
-            None => crate::scatter::scatter_permute(src, &self.permutation, dst),
-        }
+    /// Scratch elements [`PermutePlan::run_with_scratch`] requires (0
+    /// for scatter plans).
+    pub fn scratch_len(&self) -> usize {
+        self.exec.scratch_len()
+    }
+
+    /// Execute `dst[P[i]] = src[i]` with caller-provided scratch of
+    /// exactly [`PermutePlan::scratch_len`] elements (scatter plans take
+    /// an empty slice).
+    pub fn run_with_scratch(&self, src: &[T], dst: &mut [T], scratch: &mut [T]) {
+        self.exec.run(src, dst, scratch);
     }
 }
 
@@ -381,6 +425,10 @@ pub struct EngineStats {
     pub kernel_stage_bytes: usize,
     /// Whether the kernel config enables the vectorized sweep tiers.
     pub kernel_simd: bool,
+    /// Registry name of the backend this engine prepares plans on
+    /// (`"native"`, `"interp"`, ...). Empty in a default-constructed
+    /// snapshot.
+    pub backend: &'static str,
 }
 
 /// The engine's live counters, on atomics so `&self` paths can bump them
@@ -412,6 +460,7 @@ impl AtomicStats {
         calibrated: bool,
         queue_depth: u64,
         kernel: KernelConfig,
+        backend: &'static str,
     ) -> EngineStats {
         EngineStats {
             hits: self.hits.load(Ordering::Relaxed),
@@ -433,6 +482,7 @@ impl AtomicStats {
             calibrated,
             kernel_stage_bytes: kernel.stage_bytes,
             kernel_simd: kernel.simd,
+            backend,
         }
     }
 }
@@ -440,18 +490,18 @@ impl AtomicStats {
 /// Single-flight build slot: the first thread to miss inserts one in the
 /// `Building` state and constructs the plan outside every lock; later
 /// threads wait on the condvar instead of re-running the König coloring.
-struct BuildSlot {
-    state: Mutex<SlotState>,
+struct BuildSlot<T> {
+    state: Mutex<SlotState<T>>,
     cv: Condvar,
 }
 
-enum SlotState {
+enum SlotState<T> {
     Building,
-    Ready(Arc<PermutePlan>),
+    Ready(Arc<PermutePlan<T>>),
     Failed(PlanError),
 }
 
-impl BuildSlot {
+impl<T> BuildSlot<T> {
     fn new() -> Self {
         BuildSlot {
             state: Mutex::new(SlotState::Building),
@@ -461,7 +511,7 @@ impl BuildSlot {
 
     /// Block until the slot resolves. Returns the outcome and whether this
     /// caller had to wait for an in-flight build (a deduped build).
-    fn wait(&self) -> (Result<Arc<PermutePlan>>, bool) {
+    fn wait(&self) -> (Result<Arc<PermutePlan<T>>>, bool) {
         let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         let mut waited = false;
         loop {
@@ -476,7 +526,7 @@ impl BuildSlot {
         }
     }
 
-    fn fill(&self, outcome: Result<Arc<PermutePlan>>) {
+    fn fill(&self, outcome: Result<Arc<PermutePlan<T>>>) {
         let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         *st = match outcome {
             Ok(plan) => SlotState::Ready(plan),
@@ -495,13 +545,13 @@ impl BuildSlot {
 
 /// Fills a slot with an error if the build panics, so waiters are not
 /// stranded in `Building` forever.
-struct FillOnPanic<'a> {
-    slot: &'a BuildSlot,
+struct FillOnPanic<'a, T> {
+    slot: &'a BuildSlot<T>,
     n: usize,
     armed: bool,
 }
 
-impl Drop for FillOnPanic<'_> {
+impl<T> Drop for FillOnPanic<'_, T> {
     fn drop(&mut self) {
         if self.armed {
             self.slot.fill(Err(PlanError::UnsupportedSize {
@@ -512,14 +562,14 @@ impl Drop for FillOnPanic<'_> {
     }
 }
 
-struct ShardEntry {
-    slot: Arc<BuildSlot>,
+struct ShardEntry<T> {
+    slot: Arc<BuildSlot<T>>,
     /// Engine-clock timestamp of the last touch; an atomic so hits can
     /// refresh it under the shard's *read* lock.
     last_used: AtomicU64,
 }
 
-type Shard = RwLock<HashMap<PlanKey, ShardEntry>>;
+type Shard<T> = RwLock<HashMap<PlanKey, ShardEntry<T>>>;
 
 /// Lock-free pool of scratch buffers: a fixed array of `AtomicPtr` slots.
 /// `take` swaps a buffer out (or allocates), `put` swaps one back in (or
@@ -684,7 +734,11 @@ impl<T> Clone for SharedEngine<T> {
 /// resolving whatever is still queued.
 struct EngineCore<T> {
     width: usize,
-    shards: Box<[Shard]>,
+    /// The execution backend every plan is prepared on. Swappable
+    /// ([`SharedEngine::with_backend`]) but fixed per engine: cached
+    /// executables belong to this backend.
+    backend: Arc<dyn Backend<T>>,
+    shards: Box<[Shard<T>]>,
     per_shard_capacity: usize,
     /// γ_w crossover, stored as `f64` bits so it is settable via `&self`.
     gamma_threshold: AtomicU64,
@@ -725,16 +779,39 @@ impl<T: Copy + Send + Sync + Default + 'static> SharedEngine<T> {
         Self::with_shards(width, DEFAULT_SHARDS, DEFAULT_CAPACITY)
     }
 
+    /// Engine on an explicit execution backend (see
+    /// [`crate::backend::by_name`] for the registry) with the default
+    /// shard count and per-shard capacity. Plans cached by this engine
+    /// are prepared — and therefore executed — by `backend`.
+    pub fn with_backend(width: usize, backend: Arc<dyn Backend<T>>) -> Self {
+        Self::with_parts(width, DEFAULT_SHARDS, DEFAULT_CAPACITY, backend)
+    }
+
     /// Engine with explicit sharding: `shards` independent LRU maps of
     /// `per_shard_capacity` plans each (both ≥ 1). One shard reproduces
     /// the single-threaded [`Engine`]'s global LRU exactly.
     pub fn with_shards(width: usize, shards: usize, per_shard_capacity: usize) -> Self {
+        Self::with_parts(
+            width,
+            shards,
+            per_shard_capacity,
+            crate::backend::default_backend::<T>(),
+        )
+    }
+
+    fn with_parts(
+        width: usize,
+        shards: usize,
+        per_shard_capacity: usize,
+        backend: Arc<dyn Backend<T>>,
+    ) -> Self {
         assert!(width > 0, "width must be positive");
         assert!(shards > 0, "shards must be positive");
         assert!(per_shard_capacity > 0, "capacity must be positive");
         let engine = SharedEngine {
             core: Arc::new(EngineCore {
                 width,
+                backend,
                 shards: (0..shards).map(|_| RwLock::new(HashMap::new())).collect(),
                 per_shard_capacity,
                 gamma_threshold: AtomicU64::new(DEFAULT_GAMMA_THRESHOLD.to_bits()),
@@ -813,9 +890,17 @@ impl<T: Copy + Send + Sync + Default + 'static> SharedEngine<T> {
     /// surfaced as [`EngineStats::gamma_threshold`] /
     /// [`EngineStats::calibrated`]. Affects plans built after the call.
     pub fn calibrate_gamma_threshold(&self) -> f64 {
-        let t = measured_crossover(self.core.width).unwrap_or(DEFAULT_GAMMA_THRESHOLD);
+        // Probes run over u32 payloads; re-resolve this engine's backend
+        // (by registry name) at that element type so the measurement
+        // times the implementation that will actually execute the plans.
+        let probe = crate::backend::by_name::<u32>(self.core.backend.name())
+            .unwrap_or_else(crate::backend::default_backend::<u32>);
+        let t = measured_crossover(&*probe, self.core.width, self.kernel_config())
+            .unwrap_or(DEFAULT_GAMMA_THRESHOLD);
         self.set_gamma_threshold(t);
-        if let Some(stage_bytes) = measured_stage_bytes(self.core.width, self.kernel_config()) {
+        if let Some(stage_bytes) =
+            measured_stage_bytes(&*probe, self.core.width, self.kernel_config())
+        {
             let mut cfg = self.kernel_config();
             cfg.stage_bytes = stage_bytes;
             self.set_kernel_config(cfg);
@@ -872,6 +957,19 @@ impl<T: Copy + Send + Sync + Default + 'static> SharedEngine<T> {
         self.core.shards.len()
     }
 
+    /// Registry name of the backend this engine prepares plans on.
+    pub fn backend_name(&self) -> &'static str {
+        self.core.backend.name()
+    }
+
+    /// Replace the execution backend. Requires sole ownership (call
+    /// before cloning the engine, caching plans, or submitting queued
+    /// jobs) — cached plans belong to the backend that prepared them, so
+    /// swapping mid-flight would mix executables across backends.
+    pub fn set_backend(&mut self, backend: Arc<dyn Backend<T>>) {
+        self.core_mut().backend = backend;
+    }
+
     /// Counters since construction — a lock-free snapshot.
     pub fn stats(&self) -> EngineStats {
         self.core.stats.snapshot(
@@ -879,6 +977,7 @@ impl<T: Copy + Send + Sync + Default + 'static> SharedEngine<T> {
             self.core.calibrated.load(Ordering::Relaxed),
             self.queue_depth() as u64,
             self.kernel_config(),
+            self.core.backend.name(),
         )
     }
 
@@ -904,7 +1003,7 @@ impl<T: Copy + Send + Sync + Default + 'static> SharedEngine<T> {
         self.core.clock.fetch_add(1, Ordering::Relaxed) + 1
     }
 
-    fn shard_for(&self, fp: u64) -> &Shard {
+    fn shard_for(&self, fp: u64) -> &Shard<T> {
         // The low fingerprint bits feed the in-shard HashMap, so pick the
         // shard from a multiplicative mix of the high bits.
         let mixed = fp.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32;
@@ -913,7 +1012,7 @@ impl<T: Copy + Send + Sync + Default + 'static> SharedEngine<T> {
 
     /// Fetch (or build and cache) the plan for `p`. Concurrent callers for
     /// the same uncached permutation trigger exactly one build.
-    pub fn plan(&self, p: &Permutation) -> Result<Arc<PermutePlan>> {
+    pub fn plan(&self, p: &Permutation) -> Result<Arc<PermutePlan<T>>> {
         let key = PlanKey {
             fingerprint: (self.core.fingerprint_fn)(p),
             len: p.len(),
@@ -1010,11 +1109,11 @@ impl<T: Copy + Send + Sync + Default + 'static> SharedEngine<T> {
     /// and unpublish the map entry on failure so the error is not sticky.
     fn build_into(
         &self,
-        slot: &Arc<BuildSlot>,
-        shard: &Shard,
+        slot: &Arc<BuildSlot<T>>,
+        shard: &Shard<T>,
         key: PlanKey,
         p: &Permutation,
-    ) -> Result<Arc<PermutePlan>> {
+    ) -> Result<Arc<PermutePlan<T>>> {
         let mut guard = FillOnPanic {
             slot,
             n: p.len(),
@@ -1050,11 +1149,15 @@ impl<T: Copy + Send + Sync + Default + 'static> SharedEngine<T> {
     /// [`EngineStats::plans_structured`] — and only for genuinely
     /// unstructured permutations a fresh König build, counted in
     /// [`EngineStats::builds`]. Both kinds of built plan are saved back
-    /// to the store.
-    fn construct_plan(&self, p: &Permutation) -> Result<PermutePlan> {
+    /// to the store. Every arm ends in a [`Backend::prepare`] on the
+    /// engine's backend — the γ decision only picks the *route*, gated
+    /// by what the backend can execute ([`Backend::capabilities`]).
+    fn construct_plan(&self, p: &Permutation) -> Result<PermutePlan<T>> {
+        let backend = &*self.core.backend;
+        let caps = backend.capabilities();
         let gamma = distribution(p, self.core.width);
-        if gamma <= self.gamma_threshold() {
-            return Ok(PermutePlan::scatter(p, gamma));
+        if caps.scatter && (gamma <= self.gamma_threshold() || !caps.scheduled) {
+            return PermutePlan::scatter_on(backend, p, gamma, self.kernel_config());
         }
         if let Some(store) = &self.core.store {
             let key = StoreKey {
@@ -1065,7 +1168,7 @@ impl<T: Copy + Send + Sync + Default + 'static> SharedEngine<T> {
             match store.load(&key) {
                 Ok(Some(ir)) if ir.matches(p) => {
                     self.core.stats.store_hits.fetch_add(1, Ordering::Relaxed);
-                    return PermutePlan::from_ir_with(&ir, self.kernel_config());
+                    return PermutePlan::from_ir_on(backend, &ir, self.kernel_config());
                 }
                 Ok(None) => {}
                 // A decodable plan for a *different* permutation (a
@@ -1100,7 +1203,7 @@ impl<T: Copy + Send + Sync + Default + 'static> SharedEngine<T> {
                 // stay store-driven for every family.
                 let _ = store.save(&ir);
             }
-            return PermutePlan::from_ir_with(&ir, self.kernel_config());
+            return PermutePlan::from_ir_on(backend, &ir, self.kernel_config());
         }
         // Cold build: route through the parallel plan compiler on the
         // engine's thread budget. Output is byte-identical to the
@@ -1113,14 +1216,14 @@ impl<T: Copy + Send + Sync + Default + 'static> SharedEngine<T> {
             // Best effort: a failed save must never fail the permute.
             let _ = store.save(&ir);
         }
-        PermutePlan::from_ir_with(&ir, self.kernel_config())
+        PermutePlan::from_ir_on(backend, &ir, self.kernel_config())
     }
 
     /// Evict least-recently-used resolved entries until an insert fits.
     /// In-flight builds are skipped (their builder and waiters hold the
     /// slot), so a shard can transiently exceed capacity while every
     /// resident plan is still being constructed.
-    fn evict_to_fit(&self, map: &mut HashMap<PlanKey, ShardEntry>) {
+    fn evict_to_fit(&self, map: &mut HashMap<PlanKey, ShardEntry<T>>) {
         while map.len() >= self.core.per_shard_capacity {
             let victim = map
                 .iter()
@@ -1164,7 +1267,7 @@ impl<T: Copy + Send + Sync + Default + 'static> SharedEngine<T> {
     /// lengths.
     ///
     /// [`PermError::LengthMismatch`]: hmm_perm::PermError::LengthMismatch
-    pub fn plan_fused(&self, chain: &[&Permutation]) -> Result<Arc<PermutePlan>> {
+    pub fn plan_fused(&self, chain: &[&Permutation]) -> Result<Arc<PermutePlan<T>>> {
         let composite = Permutation::compose_chain(chain).map_err(hmm_plan::PlanError::from)?;
         self.plan(&composite)
     }
@@ -1183,24 +1286,25 @@ impl<T: Copy + Send + Sync + Default + 'static> SharedEngine<T> {
         Ok(())
     }
 
-    /// Execute an already-fetched plan with pooled scratch. Scatter plans
-    /// never touch (or allocate) scratch.
-    pub fn run_plan(&self, plan: &PermutePlan, src: &[T], dst: &mut [T]) {
-        match plan.backend() {
-            Backend::Scatter => {
-                plan.run_with_scratch(src, dst, &mut []);
-                self.core.stats.scatter_runs.fetch_add(1, Ordering::Relaxed);
-            }
-            Backend::Scheduled => {
-                let mut scratch = self.core.scratch.take(plan.len());
-                plan.run_with_scratch(src, dst, &mut scratch);
-                self.core.scratch.put(scratch);
-                self.core
-                    .stats
-                    .scheduled_runs
-                    .fetch_add(1, Ordering::Relaxed);
-            }
+    /// Execute an already-fetched plan with pooled scratch. Plans that
+    /// need no scratch ([`PermutePlan::scratch_len`] of 0 — every
+    /// scatter plan) never touch (or allocate) the pool; others borrow a
+    /// buffer of exactly the executable's declared size, whatever
+    /// backend prepared it.
+    pub fn run_plan(&self, plan: &PermutePlan<T>, src: &[T], dst: &mut [T]) {
+        let scratch_len = plan.scratch_len();
+        if scratch_len == 0 {
+            plan.run_with_scratch(src, dst, &mut []);
+        } else {
+            let mut scratch = self.core.scratch.take(scratch_len);
+            plan.run_with_scratch(src, dst, &mut scratch);
+            self.core.scratch.put(scratch);
         }
+        let counter = match plan.route() {
+            Route::Scatter => &self.core.stats.scatter_runs,
+            Route::Scheduled => &self.core.stats.scheduled_runs,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Apply one permutation to many `(src, dst)` pairs.
@@ -1439,7 +1543,7 @@ impl<T: Copy + Send + Sync + Default + 'static> SharedEngine<T> {
         }
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             let plan = self.plan(&p)?;
-            let backend = plan.backend();
+            let route = plan.route();
             let dst = match payload {
                 Payload::Owned { src, mut dst } => {
                     self.run_plan(&plan, &src, &mut dst);
@@ -1455,7 +1559,7 @@ impl<T: Copy + Send + Sync + Default + 'static> SharedEngine<T> {
                     Vec::new()
                 }
             };
-            Ok(JobReport { dst, backend })
+            Ok(JobReport { dst, route })
         }));
         let result = match outcome {
             Ok(done) => done,
@@ -1606,7 +1710,7 @@ impl<T: Copy + Send + Sync + Default + 'static> Engine<T> {
     }
 
     /// Fetch (or build and cache) the plan for `p`.
-    pub fn plan(&mut self, p: &Permutation) -> Result<Arc<PermutePlan>> {
+    pub fn plan(&mut self, p: &Permutation) -> Result<Arc<PermutePlan<T>>> {
         self.inner.plan(p)
     }
 
@@ -1621,7 +1725,7 @@ impl<T: Copy + Send + Sync + Default + 'static> Engine<T> {
 
     /// Fetch (or build and cache) one plan for a whole permutation chain
     /// in application order (see [`SharedEngine::plan_fused`]).
-    pub fn plan_fused(&mut self, chain: &[&Permutation]) -> Result<Arc<PermutePlan>> {
+    pub fn plan_fused(&mut self, chain: &[&Permutation]) -> Result<Arc<PermutePlan<T>>> {
         self.inner.plan_fused(chain)
     }
 
@@ -1648,7 +1752,7 @@ impl<T: Copy + Send + Sync + Default + 'static> Engine<T> {
     }
 
     /// Execute an already-fetched plan with pooled scratch.
-    pub fn run_plan(&mut self, plan: &PermutePlan, src: &[T], dst: &mut [T]) {
+    pub fn run_plan(&mut self, plan: &PermutePlan<T>, src: &[T], dst: &mut [T]) {
         self.inner.run_plan(plan, src, dst);
     }
 }
@@ -1731,13 +1835,13 @@ mod tests {
         let n = 1 << 12;
         let mut engine: Engine<u32> = Engine::new(W);
         let ident = engine.plan(&families::identical(n)).unwrap();
-        assert_eq!(ident.backend(), Backend::Scatter);
+        assert_eq!(ident.route(), Route::Scatter);
         assert!(ident.gamma() <= 2.0);
         let rand = engine.plan(&families::random(n, 7)).unwrap();
-        assert_eq!(rand.backend(), Backend::Scheduled);
+        assert_eq!(rand.route(), Route::Scheduled);
         assert!(rand.gamma() > DEFAULT_GAMMA_THRESHOLD);
         let bitrev = engine.plan(&families::bit_reversal(n).unwrap()).unwrap();
-        assert_eq!(bitrev.backend(), Backend::Scheduled);
+        assert_eq!(bitrev.route(), Route::Scheduled);
     }
 
     #[test]
@@ -1774,10 +1878,13 @@ mod tests {
         engine.set_kernel_config(cfg);
         assert_eq!(engine.kernel_config(), cfg);
         let plan = engine.plan(&p).unwrap();
-        assert_eq!(plan.scheduled().unwrap().kernel_config(), cfg);
+        assert_eq!(plan.executable().kernel_config(), cfg);
         let stats = engine.stats();
         assert_eq!(stats.kernel_stage_bytes, 8192);
         assert!(!stats.kernel_simd);
+        // The snapshot names whatever backend the engine resolved
+        // (HMM_BACKEND can redirect a whole test run).
+        assert_eq!(stats.backend, plan.executable().backend_name());
         let src: Vec<u32> = (0..n as u32).collect();
         let mut dst = vec![0u32; n];
         engine.run_plan(&plan, &src, &mut dst);
@@ -2106,7 +2213,7 @@ mod tests {
             // The failure must not wedge the key: a scatter retry works.
             engine.set_gamma_threshold(f64::INFINITY);
             let plan = engine.plan(&p).unwrap();
-            assert_eq!(plan.backend(), Backend::Scatter);
+            assert_eq!(plan.route(), Route::Scatter);
         }
     }
 }

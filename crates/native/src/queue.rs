@@ -32,7 +32,8 @@
 //! [`SharedEngine::permute`]: crate::plan::SharedEngine::permute
 //! [`SharedEngine::submit`]: crate::plan::SharedEngine::submit
 
-use crate::plan::{AtomicStats, Backend};
+use crate::plan::AtomicStats;
+use hmm_backend::Route;
 use hmm_perm::Permutation;
 use hmm_plan::PlanError;
 use std::collections::VecDeque;
@@ -103,8 +104,8 @@ pub struct JobReport<T> {
     /// (`permute_batch` members), whose output landed in the caller's
     /// slice directly.
     pub dst: Vec<T>,
-    /// The backend the plan executed with.
-    pub backend: Backend,
+    /// The route (scatter or scheduled) the plan executed with.
+    pub route: Route,
 }
 
 /// Job payload: the buffers a queue worker reads and writes.
@@ -617,7 +618,7 @@ mod tests {
         assert!(!st.cancel(), "running job is not cancellable");
         st.finish(Ok(JobReport {
             dst: vec![1, 2, 3],
-            backend: Backend::Scatter,
+            route: Route::Scatter,
         }));
     }
 

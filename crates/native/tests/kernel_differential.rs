@@ -7,14 +7,18 @@
 //! staging depth 1 or 2, any block size or tile — produces output
 //! byte-identical to the `Permutation::permute` oracle, over all five
 //! paper families × element widths {u32, u64, [u8; 16]} × ragged shapes
-//! (non-multiple bands, block tails, n smaller than one block).
+//! (non-multiple bands, block tails, n smaller than one block). Every
+//! (config, plan) cell runs on **every registered backend** through the
+//! `hmm_backend::Backend` registry — the same seam the conformance suite
+//! forces routes through — so the native fused pipeline and the sweep-IR
+//! interpreter are pinned to the oracle at once.
 //!
 //! CI runs this suite under `HMM_NATIVE_SIMD={0,1}` ×
 //! `HMM_NATIVE_THREADS={1,4}`, so the process-global config path and the
 //! band-parallel splits get the same coverage as the explicit
-//! `from_plan_with` seam exercised here.
+//! per-config `Backend::prepare` seam exercised here.
 
-use hmm_native::{KernelConfig, NativeScheduled, PlanIr};
+use hmm_native::{backend_names, by_name, ExecPlan, KernelConfig, PlanIr};
 use hmm_perm::{families, Permutation};
 use proptest::prelude::*;
 
@@ -66,25 +70,40 @@ fn config_points() -> Vec<(&'static str, KernelConfig)> {
     ]
 }
 
-/// Run one permutation through every config point at element type `T`
-/// and demand byte-identical agreement with the safe oracle.
+/// Prepare a scheduled plan on a named registry backend at config `cfg`
+/// and run it once — the shared per-config seam (no test names a
+/// concrete executor type).
+fn exec_scheduled<T>(backend: &str, ir: &PlanIr, cfg: KernelConfig, src: &[T]) -> Vec<T>
+where
+    T: Copy + Send + Sync + Default + 'static,
+{
+    let b = by_name::<T>(backend).expect("registered backend");
+    let exec = b.prepare(ExecPlan::Scheduled(ir), cfg).unwrap();
+    let mut dst = vec![T::default(); src.len()];
+    let mut scratch = vec![T::default(); exec.scratch_len()];
+    exec.run(src, &mut dst, &mut scratch);
+    dst
+}
+
+/// Run one permutation through every (backend, config) point at element
+/// type `T` and demand byte-identical agreement with the safe oracle.
 fn check_all_configs<T>(p: &Permutation, label: &str, make: impl Fn(usize) -> T)
 where
-    T: Copy + Send + Sync + Default + PartialEq + std::fmt::Debug,
+    T: Copy + Send + Sync + Default + PartialEq + std::fmt::Debug + 'static,
 {
     let n = p.len();
     let src: Vec<T> = (0..n).map(make).collect();
     let mut want = vec![T::default(); n];
     p.permute(&src, &mut want).unwrap();
     let ir = PlanIr::build(p, W).unwrap();
-    for (name, cfg) in config_points() {
-        let sched = NativeScheduled::from_plan_with(&ir, cfg).unwrap();
-        let mut dst = vec![T::default(); n];
-        sched.run(&src, &mut dst);
-        assert!(
-            dst == want,
-            "config {name} diverged from the oracle: {label}, n = {n}"
-        );
+    for backend in backend_names() {
+        for (name, cfg) in config_points() {
+            let dst = exec_scheduled(backend, &ir, cfg, &src);
+            assert!(
+                dst == want,
+                "{backend}/{name} diverged from the oracle: {label}, n = {n}"
+            );
+        }
     }
 }
 
@@ -144,12 +163,11 @@ fn tiny_matrices_every_width() {
         let mut want = vec![0u32; n];
         p.permute(&src, &mut want).unwrap();
         let ir = PlanIr::build(&p, 8).unwrap();
-        for (name, cfg) in config_points() {
-            let mut dst = vec![0u32; n];
-            NativeScheduled::from_plan_with(&ir, cfg)
-                .unwrap()
-                .run(&src, &mut dst);
-            assert_eq!(dst, want, "config {name}, n = {n}");
+        for backend in backend_names() {
+            for (name, cfg) in config_points() {
+                let dst = exec_scheduled(backend, &ir, cfg, &src);
+                assert_eq!(dst, want, "{backend}/{name}, n = {n}");
+            }
         }
     }
 }
@@ -172,10 +190,11 @@ proptest! {
         let mut want = vec![0u32; n];
         p.permute(&src, &mut want).unwrap();
         let ir = PlanIr::build(&p, W).unwrap();
-        for (name, cfg) in config_points() {
-            let mut dst = vec![0u32; n];
-            NativeScheduled::from_plan_with(&ir, cfg).unwrap().run(&src, &mut dst);
-            prop_assert_eq!(&dst, &want, "config {}, {}, n = {}", name, fam.name(), n);
+        for backend in backend_names() {
+            for (name, cfg) in config_points() {
+                let dst = exec_scheduled(backend, &ir, cfg, &src);
+                prop_assert_eq!(&dst, &want, "{}/{}, {}, n = {}", backend, name, fam.name(), n);
+            }
         }
     }
 
@@ -191,13 +210,14 @@ proptest! {
         let p = families::random(n, seed);
         let src: Vec<u64> = (0..n as u64).map(|v| v.rotate_left((seed % 63) as u32)).collect();
         let ir = PlanIr::build(&p, W).unwrap();
-        let outs: Vec<Vec<u64>> = config_points()
+        let outs: Vec<Vec<u64>> = backend_names()
             .into_iter()
-            .map(|(_, cfg)| {
-                let mut dst = vec![0u64; n];
-                NativeScheduled::from_plan_with(&ir, cfg).unwrap().run(&src, &mut dst);
-                dst
+            .flat_map(|backend| {
+                config_points()
+                    .into_iter()
+                    .map(move |(_, cfg)| (backend, cfg))
             })
+            .map(|(backend, cfg)| exec_scheduled(backend, &ir, cfg, &src))
             .collect();
         for pair in outs.windows(2) {
             prop_assert_eq!(&pair[0], &pair[1]);

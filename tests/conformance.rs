@@ -11,21 +11,22 @@
 //! * the five paper permutation families: identity, shuffle, transpose,
 //!   bit-reversal, and random;
 //! * n ∈ {1K, 64K, 256K};
-//! * both backends, each **forced** via `set_gamma_threshold` (`0.0` →
+//! * every registered backend (`native`, `interp`) × both routes, each
+//!   **forced** via [`hmm_native::forced_engine_on`] (γ threshold `0.0` →
 //!   scheduled, `∞` → scatter) so the γ decision cannot quietly collapse
 //!   the matrix onto one kernel.
 //!
-//! Every run also asserts the plan actually executed on the forced
-//! backend, so a regression in the forcing seam itself cannot hide.
+//! Every run also asserts the plan actually executed on the forced route
+//! and backend, so a regression in the forcing seam itself cannot hide.
 
-use hmm_native::{Backend, SharedEngine};
+use hmm_native::{backend_names, forced_engine_on, Route, SharedEngine};
 use hmm_perm::{families, Permutation};
 use std::sync::Arc;
 
 const W: usize = 32;
 
 /// n ∈ {1K, 64K, 256K}: all are `r·c` with both factors multiples of
-/// `W = 32`, so the scheduled backend is constructible at every size.
+/// `W = 32`, so the scheduled route is constructible at every size.
 const SIZES: [usize; 3] = [1 << 10, 1 << 16, 1 << 18];
 
 /// The five paper families at size `n`.
@@ -56,28 +57,25 @@ fn input(n: usize) -> Vec<u32> {
         .collect()
 }
 
-/// One engine per forced backend; γ threshold `0.0` forces scheduled,
-/// `∞` forces scatter.
-fn forced_engine(backend: Backend) -> SharedEngine<u32> {
-    let engine: SharedEngine<u32> = SharedEngine::new(W);
-    engine.set_gamma_threshold(match backend {
-        Backend::Scheduled => 0.0,
-        Backend::Scatter => f64::INFINITY,
-    });
-    engine
-}
-
 /// Differential check of all three front doors for one (family, n,
-/// backend) cell, on one shared engine so the plan is built once.
-fn check_cell(engine: &SharedEngine<u32>, name: &str, p: &Permutation, backend: Backend) {
+/// backend, route) cell, on one shared engine so the plan is built once.
+fn check_cell(engine: &SharedEngine<u32>, name: &str, p: &Permutation, route: Route) {
     let n = p.len();
     let src = input(n);
     let want = naive_reference(p, &src);
-    let ctx = format!("{name} n={n} backend={backend:?}");
+    let ctx = format!(
+        "{name} n={n} backend={} route={route:?}",
+        engine.backend_name()
+    );
 
-    // The plan must actually execute on the forced backend.
+    // The plan must actually execute on the forced backend and route.
     let plan = engine.plan(p).unwrap();
-    assert_eq!(plan.backend(), backend, "{ctx}: forcing seam regressed");
+    assert_eq!(plan.route(), route, "{ctx}: forcing seam regressed");
+    assert_eq!(
+        plan.executable().backend_name(),
+        engine.backend_name(),
+        "{ctx}: plan prepared off-backend"
+    );
 
     // Front door 1: blocking permute.
     let mut dst = vec![0u32; n];
@@ -111,37 +109,44 @@ fn check_cell(engine: &SharedEngine<u32>, name: &str, p: &Permutation, backend: 
         .submit(p, Arc::clone(&shared), vec![0u32; n])
         .wait()
         .unwrap();
-    assert_eq!(report.backend, backend, "{ctx}: queued job ran off-backend");
+    assert_eq!(report.route, route, "{ctx}: queued job ran off-route");
     assert_eq!(
         report.dst, want,
         "{ctx}: submit diverged from naive reference"
     );
 }
 
-fn run_backend(backend: Backend) {
+/// Full family × size sweep for one (backend name, route) pair.
+fn run_route(backend: &str, route: Route) {
     for n in SIZES {
-        let engine = forced_engine(backend);
+        let engine = forced_engine_on::<u32>(backend, W, route)
+            .unwrap_or_else(|| panic!("backend {backend} not registered"));
         for (name, p) in paper_families(n) {
-            check_cell(&engine, name, &p, backend);
+            check_cell(&engine, name, &p, route);
         }
     }
 }
 
-/// Scatter backend: all five families × {1K, 64K, 256K} × three front
-/// doors against the naive reference.
+/// Scatter route on every registered backend: all five families ×
+/// {1K, 64K, 256K} × three front doors against the naive reference.
 #[test]
-fn conformance_scatter_backend_all_families_all_sizes() {
-    run_backend(Backend::Scatter);
+fn conformance_scatter_route_all_backends_all_families_all_sizes() {
+    for backend in backend_names() {
+        run_route(backend, Route::Scatter);
+    }
 }
 
-/// Scheduled backend: same matrix, γ threshold 0 forcing the three-sweep
-/// König-scheduled path even for identity/shuffle.
+/// Scheduled route, same matrix: γ threshold 0 forces the three-pass
+/// König-scheduled plan even for identity/shuffle — executed as the fused
+/// sweeps on `native` and as the five-step sweep IR on `interp`.
 #[test]
-fn conformance_scheduled_backend_all_families_all_sizes() {
-    run_backend(Backend::Scheduled);
+fn conformance_scheduled_route_all_backends_all_families_all_sizes() {
+    for backend in backend_names() {
+        run_route(backend, Route::Scheduled);
+    }
 }
 
-/// The γ decision itself (no forcing): whatever backend the engine picks,
+/// The γ decision itself (no forcing): whatever route the engine picks,
 /// outputs still match the naive reference for every family and size.
 #[test]
 fn conformance_default_gamma_decision_is_correct() {

@@ -5,7 +5,7 @@
 
 use hmm_machine::{Hmm, MachineConfig, Word};
 use hmm_native::par::{par_chunks_mut, worker_threads};
-use hmm_native::{scatter_permute, Backend, Engine, NativeScheduled};
+use hmm_native::{scatter_permute, Engine, NativeScheduled, Route};
 use hmm_offperm::driver::run_scheduled_decomposition;
 use hmm_offperm::schedule::Decomposition;
 use hmm_perm::families::{self, Family};
@@ -119,10 +119,10 @@ fn engine_gamma_fallback_picks_scatter_for_coalesced_families() {
     let mut engine: Engine<u32> = Engine::new(W);
     // identical: γ = 1 — one address group per warp, scatter wins.
     let scatter_plan = engine.plan(&families::identical(n)).unwrap();
-    assert_eq!(scatter_plan.backend(), Backend::Scatter);
+    assert_eq!(scatter_plan.route(), Route::Scatter);
     // bit-reversal: γ = w — the scheduled algorithm's home turf.
     let sched_plan = engine.plan(&families::bit_reversal(n).unwrap()).unwrap();
-    assert_eq!(sched_plan.backend(), Backend::Scheduled);
+    assert_eq!(sched_plan.route(), Route::Scheduled);
 }
 
 #[test]

@@ -18,7 +18,7 @@
 //!   a typed error at every front door: `decode`, `PlanStore::load`, and
 //!   `NativeScheduled::from_plan`.
 
-use hmm_native::{Backend, NativeScheduled, SharedEngine};
+use hmm_native::{as_native_scheduled, NativeScheduled, Route, SharedEngine};
 use hmm_perm::{families, Permutation};
 use hmm_plan::{PlanError, PlanIr, PlanStore, StoreKey};
 
@@ -49,31 +49,27 @@ fn input(n: usize) -> Vec<u32> {
         .collect()
 }
 
-fn forced_engine(backend: Backend) -> SharedEngine<u32> {
-    let engine: SharedEngine<u32> = SharedEngine::new(W);
-    engine.set_gamma_threshold(match backend {
-        Backend::Scheduled => 0.0,
-        Backend::Scatter => f64::INFINITY,
-    });
-    engine
+/// Route-forcing through the shared registry seam ([`hmm_native::forced_engine`]).
+fn forced_engine(route: Route) -> SharedEngine<u32> {
+    hmm_native::forced_engine::<u32>(W, route)
 }
 
-/// Structured families × sizes × both forced backends: the fast-path
+/// Structured families × sizes × both forced routes: the fast-path
 /// engine output is byte-identical to the naive reference (and therefore
 /// to the König-planned engines the conformance suite already pins).
 #[test]
-fn structured_output_is_byte_identical_on_both_backends() {
-    for backend in [Backend::Scatter, Backend::Scheduled] {
+fn structured_output_is_byte_identical_on_both_routes() {
+    for route in [Route::Scatter, Route::Scheduled] {
         for n in SIZES {
-            let engine = forced_engine(backend);
+            let engine = forced_engine(route);
             for (name, p) in affine_families(n) {
                 let src = input(n);
                 let want = naive_reference(&p, &src);
                 let plan = engine.plan(&p).unwrap();
-                assert_eq!(plan.backend(), backend, "{name} n={n}");
+                assert_eq!(plan.route(), route, "{name} n={n}");
                 let mut dst = vec![0u32; n];
                 engine.permute(&p, &src, &mut dst).unwrap();
-                assert_eq!(dst, want, "{name} n={n} backend={backend:?}");
+                assert_eq!(dst, want, "{name} n={n} route={route:?}");
             }
         }
     }
@@ -84,7 +80,7 @@ fn structured_output_is_byte_identical_on_both_backends() {
 #[test]
 fn structured_families_plan_without_koenig() {
     let n = 1 << 14;
-    let engine = forced_engine(Backend::Scheduled);
+    let engine = forced_engine(Route::Scheduled);
     let families = affine_families(n);
     for (_, p) in &families {
         engine.plan(p).unwrap();
@@ -93,7 +89,7 @@ fn structured_families_plan_without_koenig() {
     assert_eq!(s.builds, 0, "affine families must never König-color");
     assert_eq!(s.plans_structured, families.len() as u64);
 
-    let engine = forced_engine(Backend::Scheduled);
+    let engine = forced_engine(Route::Scheduled);
     engine.plan(&families::random(n, 99)).unwrap();
     let s = engine.stats();
     assert_eq!(s.builds, 1, "random permutations still König-color");
@@ -107,7 +103,7 @@ fn fused_chain_costs_one_plan_of_three_sweeps() {
     let n = 1 << 14;
     let p1 = families::bit_reversal(n).unwrap();
     let p2 = families::transpose_square(n).unwrap();
-    let engine = forced_engine(Backend::Scheduled);
+    let engine = forced_engine(Route::Scheduled);
 
     let src = input(n);
     let mut fused_out = vec![0u32; n];
@@ -127,9 +123,8 @@ fn fused_chain_costs_one_plan_of_three_sweeps() {
     // `run_sweeps_timed` call (which times exactly the three passes)
     // reproduces the result. The unfused pipeline needs two such calls.
     let fused_plan = engine.plan_fused(&[&p1, &p2]).unwrap();
-    let sched = fused_plan
-        .scheduled()
-        .expect("fused affine chain takes the scheduled backend");
+    let sched = as_native_scheduled(&fused_plan)
+        .expect("fused affine chain takes the native scheduled route");
     let mut dst = vec![0u32; n];
     let mut scratch = vec![0u32; n];
     let sweeps = sched.run_sweeps_timed(&src, &mut dst, &mut scratch);
@@ -149,7 +144,7 @@ fn fused_chain_of_general_permutations_is_correct() {
     let n = 1 << 12;
     let p1 = families::random(n, 7);
     let p2 = families::random(n, 8);
-    let engine = forced_engine(Backend::Scheduled);
+    let engine = forced_engine(Route::Scheduled);
     let src = input(n);
     let mut fused_out = vec![0u32; n];
     engine
