@@ -21,4 +21,5 @@
 
 pub mod experiments;
 pub mod native_experiments;
+pub mod serve_experiments;
 pub mod tables;

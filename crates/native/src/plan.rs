@@ -411,6 +411,13 @@ pub struct EngineStats {
     /// Queued jobs cancelled (via [`JobHandle::cancel`]) before a worker
     /// began executing them.
     pub cancelled: u64,
+    /// Jobs or registrations an admission-control layer refused *before*
+    /// submission (never enqueued, so disjoint from every queue counter).
+    /// The engine itself admits everything; front doors with quotas —
+    /// the `hmm-server` per-client limits — report their rejections here
+    /// via [`SharedEngine::note_admission_reject`] so one snapshot tells
+    /// the whole story.
+    pub admission_rejects: u64,
     /// Jobs sitting in the submission queue at snapshot time — a gauge,
     /// not a counter (in-flight jobs a worker has claimed are excluded).
     pub queue_depth: u64,
@@ -451,6 +458,7 @@ pub(crate) struct AtomicStats {
     pub(crate) submitted: AtomicU64,
     pub(crate) completed: AtomicU64,
     pub(crate) cancelled: AtomicU64,
+    pub(crate) admission_rejects: AtomicU64,
 }
 
 impl AtomicStats {
@@ -477,6 +485,7 @@ impl AtomicStats {
             submitted: self.submitted.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
             cancelled: self.cancelled.load(Ordering::Relaxed),
+            admission_rejects: self.admission_rejects.load(Ordering::Relaxed),
             queue_depth,
             gamma_threshold,
             calibrated,
@@ -1440,6 +1449,49 @@ impl<T: Copy + Send + Sync + Default + 'static> SharedEngine<T> {
             .get()
             .map(|q| q.capacity())
             .unwrap_or_else(|| self.core.queue.capacity.load(Ordering::Relaxed))
+    }
+
+    /// Record one admission-control rejection in this engine's stats
+    /// ([`EngineStats::admission_rejects`]). The engine never rejects
+    /// anything itself — this is the reporting seam for front doors that
+    /// gate submissions with their own quotas (the `hmm-server`
+    /// per-client plan and in-flight limits), so operators read one
+    /// counter set for the whole service.
+    pub fn note_admission_reject(&self) {
+        self.core
+            .stats
+            .admission_rejects
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Block until every job ever submitted to this engine has resolved
+    /// (`submitted == completed + cancelled`) — the flush half of a
+    /// graceful shutdown: stop feeding the engine, `drain()`, then drop
+    /// it. Returns immediately when the queue was never used. The
+    /// balance is re-read until it holds on two consecutive sleeps, so a
+    /// drainer mid-`finish` cannot satisfy the check transiently.
+    ///
+    /// `drain` only waits for jobs already counted in
+    /// [`EngineStats::submitted`]; the caller owns the guarantee that no
+    /// new `submit` races the drain (in `hmm-server`, the accept loop is
+    /// closed and every connection refuses new work first).
+    pub fn drain(&self) {
+        let mut stable = 0u32;
+        loop {
+            let s = &self.core.stats;
+            let submitted = s.submitted.load(Ordering::Relaxed);
+            let resolved =
+                s.completed.load(Ordering::Relaxed) + s.cancelled.load(Ordering::Relaxed);
+            if submitted == resolved {
+                stable += 1;
+                if stable >= 2 {
+                    return;
+                }
+            } else {
+                stable = 0;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
     }
 
     /// Enqueue one permutation job and return immediately with a

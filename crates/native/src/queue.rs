@@ -219,11 +219,20 @@ impl<T> JobState<T> {
 
     /// Caller-side cancellation: `Queued → Cancelled`. Returns whether
     /// this call won (the job had not started).
-    fn cancel(&self) -> bool {
+    ///
+    /// The `cancelled` counter is bumped **under the phase lock, before
+    /// the notify** — mirroring the count-before-`finish` rule on the
+    /// completion path — so any waiter that wakes on the `Cancelled`
+    /// phase (and any drainer whose `begin` loses to this cancel)
+    /// already sees the job accounted for in the stats. Counting after
+    /// the lock dropped (the previous layout) left a window where a
+    /// woken waiter could observe `submitted > completed + cancelled`.
+    fn cancel(&self, stats: &AtomicStats) -> bool {
         let mut ph = self.phase.lock().unwrap_or_else(PoisonError::into_inner);
         match *ph {
             Phase::Queued => {
                 *ph = Phase::Cancelled;
+                stats.cancelled.fetch_add(1, Ordering::Relaxed);
                 self.cv.notify_all();
                 true
             }
@@ -286,12 +295,7 @@ impl<T> JobHandle<T> {
     /// [`JobError::Cancelled`] and the engine counts it in
     /// [`EngineStats::cancelled`](crate::plan::EngineStats::cancelled).
     pub fn cancel(&self) -> bool {
-        if self.state.cancel() {
-            self.stats.cancelled.fetch_add(1, Ordering::Relaxed);
-            true
-        } else {
-            false
-        }
+        self.state.cancel(&self.stats)
     }
 
     /// True once the job has resolved (completed, failed, or cancelled) —
@@ -608,18 +612,89 @@ mod tests {
 
     #[test]
     fn job_state_cancel_beats_begin_and_loses_after() {
+        let stats = AtomicStats::default();
         let st: Arc<JobState<u32>> = JobState::new();
-        assert!(st.cancel(), "queued job is cancellable");
+        assert!(st.cancel(&stats), "queued job is cancellable");
         assert!(!st.begin(), "worker must skip a cancelled job");
-        assert!(!st.cancel(), "second cancel loses");
+        assert!(!st.cancel(&stats), "second cancel loses");
+        assert_eq!(stats.cancelled.load(Ordering::Relaxed), 1);
 
         let st: Arc<JobState<u32>> = JobState::new();
         assert!(st.begin(), "queued job is claimable");
-        assert!(!st.cancel(), "running job is not cancellable");
+        assert!(!st.cancel(&stats), "running job is not cancellable");
+        assert_eq!(stats.cancelled.load(Ordering::Relaxed), 1);
         st.finish(Ok(JobReport {
             dst: vec![1, 2, 3],
             route: Route::Scatter,
         }));
+    }
+
+    /// The cancel-vs-drainer race, pinned deterministically at the seam:
+    /// the drainer has already *dequeued* the job (it is out of the
+    /// `Bounded` queue, so queue-level bookkeeping can no longer see it)
+    /// but has not yet claimed it with `begin` when the cancel lands.
+    /// The cancel must win, the drainer must skip the carcass, and —
+    /// the window this test pins — a waiter that wakes on the
+    /// `Cancelled` phase must already observe the `cancelled` counter,
+    /// so `submitted == completed + cancelled` holds at every moment a
+    /// resolved handle is observable.
+    #[test]
+    fn cancel_racing_a_drainer_that_already_dequeued_stays_balanced() {
+        use hmm_perm::Permutation;
+
+        let stats = Arc::new(AtomicStats::default());
+        let q: Bounded<QueuedJob<u32>> = Bounded::new(4);
+        let state: Arc<JobState<u32>> = JobState::new();
+        let src: Arc<[u32]> = vec![0u32; 4].into();
+        stats.submitted.fetch_add(1, Ordering::Relaxed);
+        let pushed = q.push(QueuedJob {
+            p: Arc::new(Permutation::identity(4)),
+            payload: Payload::Owned {
+                src,
+                dst: vec![0u32; 4],
+            },
+            state: Arc::clone(&state),
+        });
+        assert!(pushed.is_ok());
+
+        // Drainer side, step 1: the job leaves the queue…
+        let job = q.pop().expect("the queued job");
+        assert_eq!(q.len(), 0, "job is out of the queue, not yet claimed");
+
+        // …and before the drainer claims it, a waiter parks on the
+        // handle and the caller cancels. The waiter asserts the counter
+        // the *instant* `wait` resolves — pre-fix, the count landed
+        // after the notify and this assert was a race.
+        let handle = JobHandle::new(Arc::clone(&state), Arc::clone(&stats), 0);
+        let waiter = std::thread::spawn({
+            let stats = Arc::clone(&stats);
+            move || {
+                let outcome = handle.wait();
+                assert!(matches!(outcome, Err(JobError::Cancelled)));
+                let (submitted, completed, cancelled) = (
+                    stats.submitted.load(Ordering::Relaxed),
+                    stats.completed.load(Ordering::Relaxed),
+                    stats.cancelled.load(Ordering::Relaxed),
+                );
+                assert_eq!(
+                    submitted,
+                    completed + cancelled,
+                    "woken waiter observed an unbalanced ledger"
+                );
+            }
+        });
+        assert!(
+            state.cancel(&stats),
+            "cancel must win against a dequeued-but-unclaimed job"
+        );
+        waiter.join().unwrap();
+
+        // Drainer side, step 2: the claim loses and the job is skipped —
+        // exactly once, with no second count from the skip.
+        assert!(!job.state.begin(), "drainer must skip the cancelled job");
+        drop(job);
+        assert_eq!(stats.cancelled.load(Ordering::Relaxed), 1);
+        assert_eq!(stats.completed.load(Ordering::Relaxed), 0);
     }
 
     #[test]

@@ -36,18 +36,23 @@ pub const FORMAT_VERSION: u32 = 1;
 /// The 8-byte file magic.
 pub const MAGIC: [u8; 8] = *b"HMMPLAN\0";
 
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a offset basis — the initial state [`fnv1a_update`] folds bytes
+/// into. Public alongside the helpers so incremental (streaming) hashers
+/// outside this crate start from the standard seed.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
 /// FNV-1a over a byte slice — the codec's integrity checksum (the same
 /// hash family as the permutation fingerprint; collision-resistance
-/// against *accidents*, which is all a checksum promises).
-fn fnv1a(bytes: &[u8]) -> u64 {
+/// against *accidents*, which is all a checksum promises). Public so the
+/// other wire formats in the workspace (the `hmm-server` TCP framing)
+/// seal their frames with the same hash instead of growing a second one.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
     fnv1a_update(FNV_OFFSET, bytes)
 }
 
 /// One incremental FNV-1a step, so streaming writers can hash on the fly.
-fn fnv1a_update(mut h: u64, bytes: &[u8]) -> u64 {
+pub fn fnv1a_update(mut h: u64, bytes: &[u8]) -> u64 {
     for &b in bytes {
         h ^= b as u64;
         h = h.wrapping_mul(FNV_PRIME);

@@ -29,7 +29,7 @@ pub mod error;
 pub mod ir;
 pub mod store;
 
-pub use codec::{decode, encode, encode_to, FORMAT_VERSION};
+pub use codec::{decode, encode, encode_to, fnv1a, fnv1a_update, FNV_OFFSET, FORMAT_VERSION};
 pub use error::{PlanError, Result};
 pub use ir::{PassLayout, PlanIr};
 pub use store::{PlanStore, StoreEntry, StoreKey};

@@ -1,0 +1,627 @@
+//! The server: a thread-per-connection accept loop draining into the
+//! two `SharedEngine` queues (one per element width).
+//!
+//! Shape of the thing:
+//!
+//! * [`Server::bind`] binds a `TcpListener`, builds one
+//!   `SharedEngine<u32>` and one `SharedEngine<u64>` (optionally
+//!   sharing a single on-disk [`PlanStore`](hmm_plan::PlanStore)
+//!   directory — `PlanIr` is element-agnostic, so both widths reuse
+//!   the same plan files), and spawns the accept thread.
+//! * Each accepted connection gets its own handler thread and its own
+//!   *session*: a private handle namespace mapping `u64` handles to
+//!   registered permutations. Handles never leak across connections,
+//!   and a disconnect releases everything the session registered.
+//! * `PERMUTE`/`PERMUTE_BATCH` route through
+//!   [`SharedEngine::submit`]/[`submit_batch`] — the same bounded MPMC
+//!   queue, backpressure, and panic isolation every in-process caller
+//!   gets. A frame is read *completely* before anything is submitted,
+//!   so a client dying mid-payload can never strand a queue slot: the
+//!   partial frame surfaces as an I/O error and the handler just reaps
+//!   the connection.
+//! * `DRAIN` (or [`Server::drain`]) stops the accept loop, waits for
+//!   `submitted == completed + cancelled` on both engines, then
+//!   answers `DRAIN_OK` and closes.
+//!
+//! [`SharedEngine::submit`]: hmm_native::SharedEngine::submit
+//! [`submit_batch`]: hmm_native::SharedEngine::submit_batch
+
+use std::collections::HashMap;
+use std::fmt;
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use hmm_native::{JobError, SharedEngine};
+use hmm_perm::{Bmmc, Permutation};
+
+use crate::admission::AdmissionConfig;
+use crate::framing::{read_frame, write_frame};
+use crate::proto::{
+    bytes_to_elems, elems_to_bytes, Elem, ErrCode, Frame, PermRepr, ProtoError, ServerStats,
+    MAX_BMMC_BITS,
+};
+
+/// Server construction / runtime errors.
+#[derive(Debug)]
+pub enum ServerError {
+    /// Socket-level failure binding or accepting.
+    Io(std::io::Error),
+    /// Engine construction failed (e.g. the plan-store directory).
+    Plan(hmm_plan::PlanError),
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::Io(e) => write!(f, "server i/o error: {e}"),
+            ServerError::Plan(e) => write!(f, "server engine error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+impl From<std::io::Error> for ServerError {
+    fn from(e: std::io::Error) -> Self {
+        ServerError::Io(e)
+    }
+}
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Schedule width `w` for both engines (the paper's warp width).
+    pub width: usize,
+    /// Per-session quotas.
+    pub admission: AdmissionConfig,
+    /// Optional `PlanStore` directory shared by both engines; restarts
+    /// against a warm store complete registrations with `builds == 0`.
+    pub store_dir: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            width: 32,
+            admission: AdmissionConfig::default(),
+            store_dir: None,
+        }
+    }
+}
+
+/// State shared by the accept loop, every connection handler, and the
+/// owning [`Server`] handle.
+struct Shared {
+    addr: SocketAddr,
+    engine_u32: SharedEngine<u32>,
+    engine_u64: SharedEngine<u64>,
+    admission: AdmissionConfig,
+    draining: AtomicBool,
+    drained: Mutex<bool>,
+    drained_cv: Condvar,
+    registered_plans: AtomicU64,
+    active_clients: AtomicU64,
+    accept: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Shared {
+    fn stats(&self) -> ServerStats {
+        let a = self.engine_u32.stats();
+        let b = self.engine_u64.stats();
+        ServerStats {
+            hits: a.hits + b.hits,
+            misses: a.misses + b.misses,
+            builds: a.builds + b.builds,
+            plans_structured: a.plans_structured + b.plans_structured,
+            store_hits: a.store_hits + b.store_hits,
+            store_rejects: a.store_rejects + b.store_rejects,
+            submitted: a.submitted + b.submitted,
+            completed: a.completed + b.completed,
+            cancelled: a.cancelled + b.cancelled,
+            admission_rejects: a.admission_rejects + b.admission_rejects,
+            registered_plans: self.registered_plans.load(Ordering::Relaxed),
+            active_clients: self.active_clients.load(Ordering::Relaxed),
+            draining: self.draining.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stop accepting, then block until both engine queues have fully
+    /// flushed (`submitted == completed + cancelled`). Idempotent; safe
+    /// to call from a handler thread (it joins the *accept* thread, not
+    /// itself). Does NOT signal [`Server::wait_drained`] — callers do
+    /// that via [`Shared::mark_drained`] once any pending `DRAIN_OK`
+    /// reply is on the wire, so a `serve` process cannot exit between
+    /// the flush and the acknowledgement.
+    fn flush_for_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+        // The accept thread is parked in `accept()`; a throwaway
+        // connection to ourselves wakes it so it can observe the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self
+            .accept
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take()
+        {
+            let _ = handle.join();
+        }
+        self.engine_u32.drain();
+        self.engine_u64.drain();
+    }
+
+    /// Wake [`Server::wait_drained`] waiters. Only call after
+    /// [`Shared::flush_for_drain`].
+    fn mark_drained(&self) {
+        let mut done = self
+            .drained
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        *done = true;
+        self.drained_cv.notify_all();
+    }
+}
+
+/// A running permutation server. Dropping the handle stops the accept
+/// loop (without flushing); call [`Server::drain`] first for a graceful
+/// shutdown.
+pub struct Server {
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Bind `addr` (use port 0 for an OS-assigned port), build both
+    /// engines, and start accepting.
+    pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> Result<Server, ServerError> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let (engine_u32, engine_u64) = match &config.store_dir {
+            Some(dir) => (
+                SharedEngine::with_store(config.width, dir.clone()).map_err(ServerError::Plan)?,
+                SharedEngine::with_store(config.width, dir.clone()).map_err(ServerError::Plan)?,
+            ),
+            None => (
+                SharedEngine::new(config.width),
+                SharedEngine::new(config.width),
+            ),
+        };
+        let shared = Arc::new(Shared {
+            addr,
+            engine_u32,
+            engine_u64,
+            admission: config.admission,
+            draining: AtomicBool::new(false),
+            drained: Mutex::new(false),
+            drained_cv: Condvar::new(),
+            registered_plans: AtomicU64::new(0),
+            active_clients: AtomicU64::new(0),
+            accept: Mutex::new(None),
+        });
+
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::Builder::new()
+            .name("hmm-server-accept".into())
+            .spawn(move || accept_loop(accept_shared, listener))?;
+        *shared
+            .accept
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(accept);
+        Ok(Server { shared })
+    }
+
+    /// The bound address (with the OS-assigned port resolved).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Snapshot of the aggregated server counters.
+    pub fn stats(&self) -> ServerStats {
+        self.shared.stats()
+    }
+
+    /// Graceful shutdown: stop accepting, flush both queues, then
+    /// return. Equivalent to a client sending `DRAIN`.
+    pub fn drain(&self) {
+        self.shared.flush_for_drain();
+        self.shared.mark_drained();
+    }
+
+    /// Block until a drain (from any source — [`Server::drain`] or a
+    /// client's `DRAIN` frame) has completed.
+    pub fn wait_drained(&self) {
+        let mut done = self
+            .shared
+            .drained
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        while !*done {
+            done = self
+                .shared
+                .drained_cv
+                .wait(done)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        // Stop the accept loop so the listener port is released; no
+        // flush — `drain()` is the graceful path.
+        self.shared.draining.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.shared.addr);
+        if let Some(handle) = self
+            .shared
+            .accept
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take()
+        {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn accept_loop(shared: Arc<Shared>, listener: TcpListener) {
+    for stream in listener.incoming() {
+        if shared.draining.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match stream {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        shared.active_clients.fetch_add(1, Ordering::Relaxed);
+        let conn_shared = Arc::clone(&shared);
+        let spawned = std::thread::Builder::new()
+            .name("hmm-server-conn".into())
+            .spawn(move || session_loop(conn_shared, stream));
+        if spawned.is_err() {
+            shared.active_clients.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// One registered plan in a session's private namespace.
+struct Registered {
+    perm: Arc<Permutation>,
+    elem_width: u8,
+}
+
+/// Per-connection state: the handle namespace. Handles are dense
+/// session-scoped integers; nothing a client sends can reach another
+/// session's plans.
+struct Session {
+    plans: HashMap<u64, Registered>,
+    next_handle: u64,
+}
+
+/// What the dispatcher decided to do with the connection after a reply.
+enum After {
+    KeepOpen,
+    Close,
+}
+
+fn session_loop(shared: Arc<Shared>, stream: TcpStream) {
+    let mut session = Session {
+        plans: HashMap::new(),
+        next_handle: 1,
+    };
+    let reader_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => {
+            shared.active_clients.fetch_sub(1, Ordering::Relaxed);
+            return;
+        }
+    };
+    let mut reader = BufReader::new(reader_stream);
+    let mut writer = BufWriter::new(stream);
+
+    loop {
+        let frame = match read_frame(&mut reader) {
+            Ok(f) => f,
+            // Clean close between frames, or the socket died (including
+            // mid-payload). Nothing was submitted for a partial frame —
+            // frames are fully read before dispatch — so there is no
+            // queue slot to reap; just release the session.
+            Err(ProtoError::Closed) | Err(ProtoError::Io { .. }) => break,
+            // Stream-level corruption: the byte stream can no longer be
+            // trusted to be frame-aligned. Diagnose, then close.
+            Err(
+                e @ (ProtoError::BadMagic
+                | ProtoError::BadVersion { .. }
+                | ProtoError::ChecksumMismatch { .. }
+                | ProtoError::Oversized { .. }),
+            ) => {
+                let _ = write_frame(
+                    &mut writer,
+                    &Frame::Err {
+                        code: ErrCode::BadFrame,
+                        message: e.to_string(),
+                    },
+                );
+                break;
+            }
+            // Body-level violation: the frame was fully consumed, the
+            // stream is still aligned — diagnose and keep serving.
+            Err(e) => {
+                if write_frame(
+                    &mut writer,
+                    &Frame::Err {
+                        code: ErrCode::Malformed,
+                        message: e.to_string(),
+                    },
+                )
+                .is_err()
+                {
+                    break;
+                }
+                continue;
+            }
+        };
+
+        // DRAIN is special-cased so the `DRAIN_OK` is flushed to the
+        // socket *before* `wait_drained` waiters (e.g. the `serve`
+        // binary's main thread) can exit the process.
+        if matches!(frame, Frame::Drain) {
+            shared.flush_for_drain();
+            let _ = write_frame(&mut writer, &Frame::DrainOk);
+            shared.mark_drained();
+            break;
+        }
+
+        let (reply, after) = respond(&shared, &mut session, frame);
+        if write_frame(&mut writer, &reply).is_err() {
+            break;
+        }
+        if matches!(after, After::Close) {
+            break;
+        }
+    }
+
+    shared
+        .registered_plans
+        .fetch_sub(session.plans.len() as u64, Ordering::Relaxed);
+    shared.active_clients.fetch_sub(1, Ordering::Relaxed);
+}
+
+fn err(code: ErrCode, message: impl Into<String>) -> (Frame, After) {
+    (
+        Frame::Err {
+            code,
+            message: message.into(),
+        },
+        After::KeepOpen,
+    )
+}
+
+fn respond(shared: &Shared, session: &mut Session, frame: Frame) -> (Frame, After) {
+    match frame {
+        Frame::Register {
+            fingerprint,
+            n,
+            elem_width,
+            perm,
+        } => register(shared, session, fingerprint, n, elem_width, perm),
+        Frame::Permute { handle, payload } => {
+            permute(shared, session, handle, vec![payload], false)
+        }
+        Frame::PermuteBatch { handle, payloads } => {
+            permute(shared, session, handle, payloads, true)
+        }
+        Frame::Stats => (Frame::StatsReport(shared.stats()), After::KeepOpen),
+        // Handled in `session_loop` (reply-ordering constraint).
+        Frame::Drain => (Frame::DrainOk, After::Close),
+        other => err(
+            ErrCode::Malformed,
+            format!("unexpected {} frame from client", other.kind_name()),
+        ),
+    }
+}
+
+fn register(
+    shared: &Shared,
+    session: &mut Session,
+    fingerprint: u64,
+    n: u64,
+    elem_width: u8,
+    perm: PermRepr,
+) -> (Frame, After) {
+    if shared.draining.load(Ordering::SeqCst) {
+        return err(ErrCode::Draining, "server is draining");
+    }
+    if elem_width != 4 && elem_width != 8 {
+        return err(
+            ErrCode::Unsupported,
+            format!("element width {elem_width} (serve 4 and 8)"),
+        );
+    }
+    let note_reject = || {
+        if elem_width == 4 {
+            shared.engine_u32.note_admission_reject();
+        } else {
+            shared.engine_u64.note_admission_reject();
+        }
+    };
+    if let Err(e) = shared.admission.admit_plan(session.plans.len()) {
+        note_reject();
+        return err(e.code(), e.to_string());
+    }
+
+    let p = match build_permutation(n, perm) {
+        Ok(p) => p,
+        Err((code, msg)) => return err(code, msg),
+    };
+    // Server-side integrity check: a nonzero claim must match what the
+    // bytes actually decode to (the same fingerprint the engine keys
+    // its verified cache on).
+    let computed = p.fingerprint();
+    if fingerprint != 0 && fingerprint != computed {
+        return err(
+            ErrCode::FingerprintMismatch,
+            format!("claimed {fingerprint:#018x}, permutation hashes to {computed:#018x}"),
+        );
+    }
+
+    // Warm the verified plan cache now, so the first PERMUTE is pure
+    // execution and registration errors surface at registration time.
+    let planned = match elem_width {
+        4 => shared.engine_u32.plan(&p).map(|_| ()),
+        _ => shared.engine_u64.plan(&p).map(|_| ()),
+    };
+    if let Err(e) = planned {
+        return err(ErrCode::Plan, e.to_string());
+    }
+
+    let handle = session.next_handle;
+    session.next_handle += 1;
+    session.plans.insert(
+        handle,
+        Registered {
+            perm: Arc::new(p),
+            elem_width,
+        },
+    );
+    shared.registered_plans.fetch_add(1, Ordering::Relaxed);
+    (Frame::Registered { handle }, After::KeepOpen)
+}
+
+fn build_permutation(n: u64, perm: PermRepr) -> Result<Permutation, (ErrCode, String)> {
+    match perm {
+        PermRepr::Index(map) => {
+            let map: Vec<usize> = map.into_iter().map(|v| v as usize).collect();
+            debug_assert_eq!(map.len() as u64, n, "decoder enforces entries == n");
+            Permutation::from_vec(map).map_err(|e| {
+                (
+                    ErrCode::Malformed,
+                    format!("index map is not a permutation: {e}"),
+                )
+            })
+        }
+        PermRepr::Bmmc { bits, offset, cols } => {
+            if bits > MAX_BMMC_BITS {
+                return Err((
+                    ErrCode::Unsupported,
+                    format!("bmmc bits {bits} exceeds cap {MAX_BMMC_BITS}"),
+                ));
+            }
+            let cols: Vec<usize> = cols.into_iter().map(|c| c as usize).collect();
+            let m = Bmmc::from_cols(cols, offset as usize)
+                .map_err(|e| (ErrCode::Malformed, format!("bmmc matrix rejected: {e}")))?;
+            let p = m.to_permutation();
+            if p.len() as u64 != n {
+                return Err((
+                    ErrCode::SizeMismatch,
+                    format!("bmmc expands to n={}, header claims n={n}", p.len()),
+                ));
+            }
+            Ok(p)
+        }
+    }
+}
+
+fn permute(
+    shared: &Shared,
+    session: &mut Session,
+    handle: u64,
+    payloads: Vec<Vec<u8>>,
+    batch: bool,
+) -> (Frame, After) {
+    if shared.draining.load(Ordering::SeqCst) {
+        return err(ErrCode::Draining, "server is draining");
+    }
+    let registered = match session.plans.get(&handle) {
+        Some(r) => r,
+        None => {
+            return err(
+                ErrCode::UnknownHandle,
+                format!("handle {handle} is not registered on this connection"),
+            )
+        }
+    };
+    if let Err(e) = shared.admission.admit_jobs(payloads.len()) {
+        if registered.elem_width == 4 {
+            shared.engine_u32.note_admission_reject();
+        } else {
+            shared.engine_u64.note_admission_reject();
+        }
+        return err(e.code(), e.to_string());
+    }
+
+    let perm = Arc::clone(&registered.perm);
+    let outcome = if registered.elem_width == 4 {
+        run_jobs::<u32>(&shared.engine_u32, &perm, payloads)
+    } else {
+        run_jobs::<u64>(&shared.engine_u64, &perm, payloads)
+    };
+    match outcome {
+        Ok(mut outputs) => {
+            if batch {
+                (Frame::PermutedBatch { payloads: outputs }, After::KeepOpen)
+            } else {
+                (
+                    Frame::Permuted {
+                        payload: outputs.pop().unwrap_or_default(),
+                    },
+                    After::KeepOpen,
+                )
+            }
+        }
+        Err((code, msg)) => err(code, msg),
+    }
+}
+
+fn job_err(e: JobError) -> (ErrCode, String) {
+    (ErrCode::Plan, format!("job failed: {e}"))
+}
+
+/// Decode payloads, route them through the engine's submission queue,
+/// and re-encode the outputs. The queue path — not a direct `permute`
+/// call — so network tenants share backpressure, stats, and panic
+/// isolation with every in-process submitter.
+fn run_jobs<T: Elem>(
+    engine: &SharedEngine<T>,
+    perm: &Permutation,
+    payloads: Vec<Vec<u8>>,
+) -> Result<Vec<Vec<u8>>, (ErrCode, String)> {
+    let n = perm.len();
+    let mut srcs: Vec<Vec<T>> = Vec::with_capacity(payloads.len());
+    for (i, bytes) in payloads.iter().enumerate() {
+        if bytes.len() != n * T::WIDTH {
+            return Err((
+                ErrCode::SizeMismatch,
+                format!(
+                    "payload {i} is {} bytes, plan needs n×width = {}×{} = {}",
+                    bytes.len(),
+                    n,
+                    T::WIDTH,
+                    n * T::WIDTH
+                ),
+            ));
+        }
+        srcs.push(bytes_to_elems::<T>(bytes).expect("length checked above"));
+    }
+
+    if srcs.len() == 1 {
+        let src = srcs.pop().expect("len == 1");
+        let report = engine
+            .submit(perm, src, vec![T::default(); n])
+            .wait()
+            .map_err(job_err)?;
+        return Ok(vec![elems_to_bytes(&report.dst)]);
+    }
+
+    let jobs: Vec<(Arc<[T]>, Vec<T>)> = srcs
+        .into_iter()
+        .map(|s| (Arc::from(s), vec![T::default(); n]))
+        .collect();
+    let reports = engine.submit_batch(perm, jobs).wait();
+    let mut outputs = Vec::with_capacity(reports.len());
+    for report in reports {
+        outputs.push(elems_to_bytes(&report.map_err(job_err)?.dst));
+    }
+    Ok(outputs)
+}
