@@ -9,8 +9,10 @@
 //!
 //! * [`KernelConfig::default`] — the seed's values, SIMD on;
 //! * [`KernelConfig::from_env`] — the default with [`SIMD_ENV`]
-//!   (`HMM_NATIVE_SIMD`) applied, so a deployment can force the scalar
-//!   reference path without recompiling;
+//!   (`HMM_NATIVE_SIMD`) and [`COMPUTED_INDEX_ENV`]
+//!   (`HMM_NATIVE_COMPUTED_INDEX`) applied, so a deployment can force
+//!   the scalar reference path or the materialized-map gather path
+//!   without recompiling;
 //! * [`KernelConfig::global`] — the process-wide snapshot engines use
 //!   unless a caller threads an explicit config through;
 //! * [`KernelConfig::scalar`] — the always-available scalar reference:
@@ -33,6 +35,14 @@ use std::sync::OnceLock;
 /// `HMM_NATIVE_THREADS`, a typo'd override must never silently select
 /// the wrong kernels.
 pub const SIMD_ENV: &str = "HMM_NATIVE_SIMD";
+
+/// Environment variable: set to `0`/`off`/`false` to disable the
+/// computed-index (affine-fold) kernel path for structured plans —
+/// forcing every gather sweep back onto materialized map loads — or
+/// `1`/`on`/`true` to leave it enabled (also the unset default). Parsed
+/// with the same strict warn-once rules as [`SIMD_ENV`]: a typo'd value
+/// never silently selects a kernel path.
+pub const COMPUTED_INDEX_ENV: &str = "HMM_NATIVE_COMPUTED_INDEX";
 
 /// Default per-worker staging-buffer budget in bytes (the seed's
 /// `262_144`): one gathered input block must fit in the last-level
@@ -78,6 +88,11 @@ pub struct KernelConfig {
     /// Software-prefetch the gather map one block ahead while the
     /// current block is being gathered.
     pub prefetch: bool,
+    /// Compute gather indices in registers (the affine XOR-fold) for
+    /// plans that carry verified descriptors, instead of loading the
+    /// materialized map alongside the data. Plans without descriptors
+    /// (König-colored) always use map loads regardless of this flag.
+    pub computed_index: bool,
 }
 
 impl Default for KernelConfig {
@@ -88,6 +103,7 @@ impl Default for KernelConfig {
             depth: DEFAULT_STAGING_DEPTH,
             simd: true,
             prefetch: true,
+            computed_index: true,
         }
     }
 }
@@ -108,6 +124,13 @@ impl KernelConfig {
             cfg.simd = simd;
             cfg.prefetch = simd;
         }
+        if let Some(computed) = parse_env(
+            COMPUTED_INDEX_ENV,
+            "0/1/on/off/true/false; keeping computed-index enabled",
+            parse_simd_override,
+        ) {
+            cfg.computed_index = computed;
+        }
         cfg
     }
 
@@ -120,7 +143,8 @@ impl KernelConfig {
     }
 
     /// The scalar reference configuration: no SIMD, no prefetch, one
-    /// staging buffer. This is the correctness oracle every vectorized
+    /// staging buffer, map-loaded indices (no computed-index fold).
+    /// This is the correctness oracle every vectorized or computed
     /// config point is differentially tested against, and the "before"
     /// side of the bench's `engine_simd_off` rows.
     pub fn scalar() -> Self {
@@ -128,6 +152,7 @@ impl KernelConfig {
             simd: false,
             prefetch: false,
             depth: 1,
+            computed_index: false,
             ..Self::default()
         }
     }
@@ -159,6 +184,7 @@ mod tests {
         assert_eq!(cfg.depth, 2);
         assert!(cfg.simd);
         assert!(cfg.prefetch);
+        assert!(cfg.computed_index);
     }
 
     #[test]
@@ -166,6 +192,7 @@ mod tests {
         let cfg = KernelConfig::scalar();
         assert!(!cfg.simd);
         assert!(!cfg.prefetch);
+        assert!(!cfg.computed_index);
         assert_eq!(cfg.depth, 1);
         assert_eq!(cfg.stage_bytes, DEFAULT_STAGE_BYTES);
     }

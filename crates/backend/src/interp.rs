@@ -16,7 +16,7 @@
 //! dropped into every engine test unchanged.
 
 use crate::config::KernelConfig;
-use crate::sweep::{BufferId, SweepIr, SweepKernel, SweepStep};
+use crate::sweep::{BufferId, IndexSource, SweepIr, SweepKernel, SweepStep};
 use crate::traits::{Backend, Capabilities, ExecPlan, Executable, Route};
 use hmm_perm::Permutation;
 use hmm_plan::Result;
@@ -179,12 +179,39 @@ impl<T: Copy + Default + Send + Sync + 'static> Executable<T> for InterpScatterE
 fn exec_step<T: Copy + Default>(ir: &SweepIr, step: &SweepStep, inp: &[T], out: &mut [T]) {
     match step.kernel {
         SweepKernel::Gather { map } | SweepKernel::RowPermute { map } => {
-            let g = ir.map(map);
             let cols = step.cols;
-            debug_assert_eq!(g.len(), out.len());
-            for (i, slot) in out.iter_mut().enumerate() {
-                let base = (i / cols) * cols;
-                *slot = inp[base + g[i] as usize];
+            match ir.index_source(map) {
+                IndexSource::Materialized(g) => {
+                    debug_assert_eq!(g.len(), out.len());
+                    for (i, slot) in out.iter_mut().enumerate() {
+                        let base = (i / cols) * cols;
+                        *slot = inp[base + g[i] as usize];
+                    }
+                }
+                IndexSource::Affine(step_a) => {
+                    // Computed-index form: within a row the gather index
+                    // is an XOR-fold of the descriptor's low masks, so
+                    // walk positions in Gray-delta style — consecutive k
+                    // differ in the masks selected by the bits that flip
+                    // between k and k+1. The interpreter keeps the
+                    // simpler direct fold per element (it is the oracle,
+                    // not the fast path).
+                    debug_assert_eq!(step_a.col_bits(), cols.trailing_zeros());
+                    for (row, out_row) in out.chunks_mut(cols).enumerate() {
+                        let base = row * cols;
+                        let row_base = step_a.row_base(row);
+                        for (k, slot) in out_row.iter_mut().enumerate() {
+                            let mut idx = row_base;
+                            let mut rest = k;
+                            while rest != 0 {
+                                let b = rest.trailing_zeros();
+                                idx ^= step_a.lo_masks()[b as usize];
+                                rest &= rest - 1;
+                            }
+                            *slot = inp[base + idx as usize];
+                        }
+                    }
+                }
             }
         }
         SweepKernel::TiledTranspose { tile, bank_pad } => {
@@ -279,6 +306,44 @@ mod tests {
                 ..KernelConfig::default()
             };
             assert_eq!(run_scheduled(&p, cfg), base, "tile={tile}");
+        }
+    }
+
+    #[test]
+    fn computed_index_interpretation_is_byte_identical() {
+        // Structured plans carry affine descriptors, so the default
+        // (computed-index) config interprets them map-free; the scalar
+        // config forces materialized maps. Both must match the naive
+        // reference bit-for-bit — run_scheduled asserts that — and each
+        // other.
+        for n in [1usize << 10, 1 << 12] {
+            for p in [
+                families::bit_reversal(n).unwrap(),
+                families::shuffle(n).unwrap(),
+                families::transpose_square(n).unwrap(),
+            ] {
+                let computed = run_scheduled(&p, KernelConfig::default());
+                let materialized = run_scheduled(&p, KernelConfig::scalar());
+                assert_eq!(computed, materialized);
+            }
+        }
+    }
+
+    #[test]
+    fn computed_index_executions_really_lower_map_free() {
+        let p = families::bit_reversal(1 << 12).unwrap();
+        let ir = PlanIr::build(&p, 32).unwrap();
+        let exec: Box<dyn Executable<u32>> = InterpBackend
+            .prepare(ExecPlan::Scheduled(&ir), KernelConfig::default())
+            .unwrap();
+        let exec = exec.as_any().downcast_ref::<InterpExec>().unwrap();
+        assert!(exec.sweep_ir().affine().is_some(), "descriptors carried");
+        for which in [
+            crate::sweep::GatherMap::G1,
+            crate::sweep::GatherMap::G2,
+            crate::sweep::GatherMap::G3,
+        ] {
+            assert!(exec.sweep_ir().map(which).is_empty(), "maps elided");
         }
     }
 

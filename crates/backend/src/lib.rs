@@ -45,9 +45,10 @@ pub mod traits;
 pub mod wgsl;
 
 pub use config::{
-    KernelConfig, DEFAULT_STAGE_BYTES, DEFAULT_STAGING_DEPTH, DEFAULT_TILE, SIMD_ENV,
+    KernelConfig, COMPUTED_INDEX_ENV, DEFAULT_STAGE_BYTES, DEFAULT_STAGING_DEPTH, DEFAULT_TILE,
+    SIMD_ENV,
 };
 pub use interp::InterpBackend;
-pub use sweep::{BufferId, GatherMap, SweepIr, SweepKernel, SweepStep};
+pub use sweep::{BufferId, GatherMap, IndexSource, SweepIr, SweepKernel, SweepStep};
 pub use traits::{Backend, Capabilities, ExecPlan, Executable, Route};
 pub use wgsl::{kernel_wgsl, module_wgsl, WgslElem};

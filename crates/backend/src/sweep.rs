@@ -35,7 +35,7 @@
 //! so the interpreted execution is step-for-step the program a GPU runs.
 
 use crate::config::KernelConfig;
-use hmm_plan::PlanIr;
+use hmm_plan::{AffineStep, PlanIr};
 
 /// Smallest tile side the lowering will emit. A degenerate configured
 /// tile (0 or 1) would turn the tiled transpose into a scalar loop with
@@ -128,8 +128,24 @@ impl SweepStep {
     }
 }
 
-/// A lowered sweep program: five [`SweepStep`]s plus owned copies of the
-/// three gather maps they reference.
+/// How a gather step's indices reach the kernel: loaded from a
+/// materialized plan-sized map, or computed in registers from an affine
+/// descriptor (an XOR-fold over O(log n) masks). Both describe the same
+/// row-local function `k ↦ g[k]`; the computed form trades a dependent
+/// memory load per element for a handful of register ops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexSource<'a> {
+    /// Indices are loaded from this plan-sized map.
+    Materialized(&'a [u32]),
+    /// Indices are computed from this verified affine descriptor.
+    Affine(&'a AffineStep),
+}
+
+/// A lowered sweep program: five [`SweepStep`]s plus the index data the
+/// gather steps reference — owned copies of the three materialized maps
+/// and, for structured plans lowered under a computed-index config, the
+/// three affine descriptors (in which case the map copies are elided:
+/// the program carries O(log² n) bytes of index data instead of O(n)).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SweepIr {
     rows: usize,
@@ -138,6 +154,7 @@ pub struct SweepIr {
     g1: Vec<u32>,
     g2: Vec<u32>,
     g3: Vec<u32>,
+    affine: Option<[AffineStep; 3]>,
 }
 
 impl SweepIr {
@@ -149,9 +166,20 @@ impl SweepIr {
     /// Backends validate (`PlanIr::validate`) in `prepare` before
     /// lowering, so a corrupt IR is rejected with a typed error rather
     /// than lowered into a program that would gather out of bounds.
+    ///
+    /// When the plan carries affine descriptors and
+    /// `config.computed_index` is set, the map copies are elided and the
+    /// gather steps resolve to [`IndexSource::Affine`]; otherwise the
+    /// maps are copied and the steps resolve to
+    /// [`IndexSource::Materialized`].
     pub fn lower(ir: &PlanIr, config: &KernelConfig) -> Self {
         let shape = ir.shape();
         let (r, c) = (shape.rows, shape.cols);
+        let affine = if config.computed_index {
+            ir.affine().cloned()
+        } else {
+            None
+        };
         let tile = config.tile.max(MIN_TILE);
         let transpose = SweepKernel::TiledTranspose {
             tile,
@@ -193,9 +221,22 @@ impl SweepIr {
                     Output,
                 ),
             ],
-            g1: ir.gather1().to_vec(),
-            g2: ir.gather2().to_vec(),
-            g3: ir.gather3().to_vec(),
+            g1: if affine.is_some() {
+                Vec::new()
+            } else {
+                ir.gather1().to_vec()
+            },
+            g2: if affine.is_some() {
+                Vec::new()
+            } else {
+                ir.gather2().to_vec()
+            },
+            g3: if affine.is_some() {
+                Vec::new()
+            } else {
+                ir.gather3().to_vec()
+            },
+            affine,
         }
     }
 
@@ -224,13 +265,36 @@ impl SweepIr {
         &self.steps
     }
 
-    /// Resolve a [`GatherMap`] name to the map's data.
+    /// Resolve a [`GatherMap`] name to the materialized map's data.
+    /// Empty when the program was lowered computed-index (the maps were
+    /// elided) — consumers that execute either form go through
+    /// [`SweepIr::index_source`] instead.
     pub fn map(&self, which: GatherMap) -> &[u32] {
         match which {
             GatherMap::G1 => &self.g1,
             GatherMap::G2 => &self.g2,
             GatherMap::G3 => &self.g3,
         }
+    }
+
+    /// Resolve a [`GatherMap`] name to the form the program carries:
+    /// the affine descriptor when lowered computed-index, the
+    /// materialized map otherwise.
+    pub fn index_source(&self, which: GatherMap) -> IndexSource<'_> {
+        match &self.affine {
+            Some(steps) => IndexSource::Affine(match which {
+                GatherMap::G1 => &steps[0],
+                GatherMap::G2 => &steps[1],
+                GatherMap::G3 => &steps[2],
+            }),
+            None => IndexSource::Materialized(self.map(which)),
+        }
+    }
+
+    /// The affine descriptors the program carries, if it was lowered
+    /// computed-index from a structured plan (order `g1, g2, g3`).
+    pub fn affine(&self) -> Option<&[AffineStep; 3]> {
+        self.affine.as_ref()
     }
 
     /// The transpose tile side the program was lowered with.
@@ -325,6 +389,52 @@ mod tests {
         match lowered(1 << 10, 64).steps()[1].kernel {
             SweepKernel::TiledTranspose { bank_pad, .. } => assert_eq!(bank_pad, BANK_PAD),
             _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn structured_plans_lower_map_free_under_computed_index() {
+        let p = families::bit_reversal(1 << 12).unwrap();
+        let ir = PlanIr::build(&p, 32).unwrap();
+        assert!(ir.affine().is_some(), "structured plan carries descriptors");
+
+        // Computed-index config: maps elided, steps resolve to Affine,
+        // and each descriptor reproduces the plan's gather exactly.
+        let computed = SweepIr::lower(&ir, &KernelConfig::default());
+        assert!(computed.affine().is_some());
+        for (which, gather) in [
+            (GatherMap::G1, ir.gather1()),
+            (GatherMap::G2, ir.gather2()),
+            (GatherMap::G3, ir.gather3()),
+        ] {
+            assert!(computed.map(which).is_empty(), "map copies are elided");
+            match computed.index_source(which) {
+                IndexSource::Affine(step) => assert!(step.matches_map(gather)),
+                IndexSource::Materialized(_) => panic!("expected affine source"),
+            }
+        }
+
+        // Scalar (reference) config: same plan lowers to materialized
+        // maps — the flag, not the plan, picks the form.
+        let materialized = SweepIr::lower(&ir, &KernelConfig::scalar());
+        assert!(materialized.affine().is_none());
+        for which in [GatherMap::G1, GatherMap::G2, GatherMap::G3] {
+            match materialized.index_source(which) {
+                IndexSource::Materialized(map) => assert_eq!(map.len(), 1 << 12),
+                IndexSource::Affine(_) => panic!("expected materialized source"),
+            }
+        }
+    }
+
+    #[test]
+    fn unstructured_plans_always_lower_materialized() {
+        let ir = lowered(1 << 10, 64);
+        assert!(ir.affine().is_none());
+        for which in [GatherMap::G1, GatherMap::G2, GatherMap::G3] {
+            match ir.index_source(which) {
+                IndexSource::Materialized(map) => assert_eq!(map.len(), 1 << 10),
+                IndexSource::Affine(_) => panic!("random plans have no descriptors"),
+            }
         }
     }
 }

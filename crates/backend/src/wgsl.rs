@@ -8,9 +8,13 @@
 //! tiled transpose, row permute). The style is a monomorphising text
 //! lowering, kubecl-style: no runtime uniforms, no specialisation
 //! constants — every shape, tile side, and pad is a `const` in the
-//! source, so the shader text *is* the program and two plans with the
-//! same geometry produce byte-identical modules. That determinism is
-//! what the golden-snapshot tests pin.
+//! source, so the shader text *is* the program and two map-lowered
+//! plans with the same geometry produce byte-identical modules. That
+//! determinism is what the golden-snapshot tests pin. Computed-index
+//! programs (structured plans lowered with their affine descriptors)
+//! additionally bake the descriptor's masks into the gather kernels,
+//! so their text is keyed by the *permutation*, not just the geometry
+//! — still deterministic, snapshot-pinned per structured family.
 //!
 //! WGSL has no 64-bit integer type, so 8-byte elements lower to
 //! `vec2<u32>` ([`WgslElem::U64`]) — the kernels only move values, never
@@ -18,11 +22,13 @@
 //!
 //! The gather maps are *not* embedded in the text (they are plan-sized
 //! data); a host runtime uploads them into the `map1/map2/map3` storage
-//! buffers the module declares. Dispatch geometry for each entry point
-//! is derivable from the baked constants and is restated in the header
-//! comment the generator emits.
+//! buffers the module declares. Computed-index programs skip the upload
+//! entirely — their gather kernels never read the map bindings, which
+//! are kept declared so both module forms share one bind-group layout.
+//! Dispatch geometry for each entry point is derivable from the baked
+//! constants and is restated in the header comment the generator emits.
 
-use crate::sweep::{BufferId, GatherMap, SweepIr, SweepKernel, SweepStep};
+use crate::sweep::{BufferId, GatherMap, IndexSource, SweepIr, SweepKernel, SweepStep};
 use std::fmt::Write;
 
 /// Workgroup size of the one-thread-per-element gather kernels.
@@ -127,11 +133,13 @@ pub fn kernel_wgsl(ir: &SweepIr, step: &SweepStep, idx: usize, elem: WgslElem) -
     let dst = buffer_var(step.dst);
     match step.kernel {
         SweepKernel::Gather { map } | SweepKernel::RowPermute { map } => {
-            let map = map_var(map);
             let groups = n.div_ceil(GATHER_WG);
-            let _ = write!(
-                s,
-                "\
+            match ir.index_source(map) {
+                IndexSource::Materialized(_) => {
+                    let map = map_var(map);
+                    let _ = write!(
+                        s,
+                        "\
 // Step {pass}: row-local gather over a {rows}x{cols} matrix,
 // {src} -> {dst} via {map}; one thread per element.
 // Dispatch: ({groups}, 1, 1) workgroups of {wg}.
@@ -144,9 +152,47 @@ fn {name}(@builtin(global_invocation_id) gid: vec3<u32>) {{
     }}
 }}
 ",
-                pass = idx + 1,
-                wg = GATHER_WG,
-            );
+                        pass = idx + 1,
+                        wg = GATHER_WG,
+                    );
+                }
+                IndexSource::Affine(step_a) => {
+                    // Computed-index form: the gather index is the plan's
+                    // affine GF(2) fold, unrolled into one XOR per non-zero
+                    // mask with every mask baked as a literal — no map
+                    // load, no uniform, no loop. `mask * bit` is a
+                    // branch-free select (bit is 0 or 1).
+                    let map = map_var(map);
+                    let mut fold = String::new();
+                    for (b, &m) in step_a.masks().iter().enumerate() {
+                        if m != 0 {
+                            let _ = writeln!(fold, "        v = v ^ ({m}u * ((i >> {b}u) & 1u));");
+                        }
+                    }
+                    let _ = write!(
+                        s,
+                        "\
+// Step {pass}: computed-index row gather over a {rows}x{cols} matrix,
+// {src} -> {dst}; one thread per element. The gather index is the
+// plan's affine fold evaluated in registers; the {map} binding is
+// declared but never read by this kernel.
+// Dispatch: ({groups}, 1, 1) workgroups of {wg}.
+@compute @workgroup_size({wg})
+fn {name}(@builtin(global_invocation_id) gid: vec3<u32>) {{
+    let i = gid.x;
+    if (i < {n}u) {{
+        let base = (i / {cols}u) * {cols}u;
+        var v = {offset}u;
+{fold}        {dst}[i] = {src}[base + v];
+    }}
+}}
+",
+                        pass = idx + 1,
+                        wg = GATHER_WG,
+                        offset = step_a.offset(),
+                    );
+                }
+            }
         }
         SweepKernel::TiledTranspose { tile, bank_pad } => {
             let wg_rows = transpose_wg_rows(tile);
@@ -204,6 +250,18 @@ pub fn module_wgsl(ir: &SweepIr, elem: WgslElem) -> String {
     let (rows, cols) = (ir.rows(), ir.cols());
     let n = ir.len();
     let tile = ir.tile();
+    let maps_note = if ir.affine().is_some() {
+        "// barrier between passes. This plan's gathers are computed-index
+// (affine folds baked into the kernels): map1/map2/map3 are declared
+// for binding-layout compatibility but never read, so the host may
+// bind any placeholder buffers; scratch_a/scratch_b are {n}-element
+// device temporaries."
+    } else {
+        "// barrier between passes. The host uploads the plan's three gather maps
+// into map1/map2/map3; scratch_a/scratch_b are {n}-element device
+// temporaries."
+    };
+    let maps_note = maps_note.replace("{n}", &n.to_string());
     let mut s = String::new();
     let _ = write!(
         s,
@@ -214,9 +272,7 @@ pub fn module_wgsl(ir: &SweepIr, elem: WgslElem) -> String {
 // {tile} (+{pad} pad). Five passes: gather_g1, transpose_s2, gather_g2,
 // transpose_s4, row_permute_g3 — dispatch them in that order with the
 // per-kernel geometry noted above each entry point, with a buffer
-// barrier between passes. The host uploads the plan's three gather maps
-// into map1/map2/map3; scratch_a/scratch_b are {n}-element device
-// temporaries.
+{maps_note}
 
 @group(0) @binding(0) var<storage, read> src: array<{ty}>;
 @group(0) @binding(1) var<storage, read_write> scratch_a: array<{ty}>;
@@ -322,5 +378,84 @@ mod tests {
         };
         let c = module_wgsl(&SweepIr::lower(&ir2, &cfg), WgslElem::U32);
         assert_eq!(a, c);
+    }
+
+    fn lowered_structured(n: usize) -> SweepIr {
+        let p = families::bit_reversal(n).unwrap();
+        let ir = PlanIr::build(&p, 32).unwrap();
+        SweepIr::lower(&ir, &KernelConfig::default())
+    }
+
+    #[test]
+    fn computed_index_modules_fold_in_registers() {
+        let ir = lowered_structured(1 << 10);
+        assert!(ir.affine().is_some());
+        let text = module_wgsl(&ir, WgslElem::U32);
+        // The gather kernels compute `v` instead of loading a map entry...
+        assert!(text.contains("var v = "));
+        assert!(text.contains("v = v ^ ("));
+        assert!(text.contains("computed-index row gather"));
+        // ...and never index the map bindings, which stay declared so the
+        // bind-group layout is shared with map-lowered modules.
+        for m in ["map1[", "map2[", "map3["] {
+            assert!(!text.contains(m), "no {m} load in computed module");
+        }
+        for m in ["map1", "map2", "map3"] {
+            assert!(
+                text.contains(&format!("var<storage, read> {m}: array<u32>")),
+                "{m} binding kept"
+            );
+        }
+        // Transposes are untouched by the index form.
+        assert!(text.contains("fn transpose_s2("));
+        assert!(text.contains("workgroupBarrier()"));
+    }
+
+    #[test]
+    fn computed_index_folds_match_the_descriptor() {
+        // Every baked `mask * ((i >> b) & 1)` line must reproduce the
+        // descriptor: re-parse the g1 kernel's fold and evaluate it at
+        // every position, comparing against the plan's materialized map.
+        let p = families::shuffle(1 << 10).unwrap();
+        let plan = PlanIr::build(&p, 32).unwrap();
+        let ir = SweepIr::lower(&plan, &KernelConfig::default());
+        let text = kernel_wgsl(&ir, &ir.steps()[0], 0, WgslElem::U32);
+        let offset: u32 = text
+            .lines()
+            .find_map(|l| {
+                l.trim()
+                    .strip_prefix("var v = ")?
+                    .strip_suffix("u;")?
+                    .parse()
+                    .ok()
+            })
+            .expect("baked offset");
+        let terms: Vec<(u32, u32)> = text
+            .lines()
+            .filter_map(|l| {
+                let l = l.trim().strip_prefix("v = v ^ (")?;
+                let (m, rest) = l.split_once("u * ((i >> ")?;
+                let b = rest.strip_suffix("u) & 1u));")?;
+                Some((m.parse().ok()?, b.parse().ok()?))
+            })
+            .collect();
+        assert!(!terms.is_empty());
+        for (i, &want) in plan.gather1().iter().enumerate() {
+            let mut v = offset;
+            for &(m, b) in &terms {
+                v ^= m * ((i as u32 >> b) & 1);
+            }
+            assert_eq!(v, want, "i={i}");
+        }
+    }
+
+    #[test]
+    fn scalar_config_keeps_structured_modules_map_lowered() {
+        let p = families::bit_reversal(1 << 10).unwrap();
+        let plan = PlanIr::build(&p, 32).unwrap();
+        let ir = SweepIr::lower(&plan, &KernelConfig::scalar());
+        let text = module_wgsl(&ir, WgslElem::U32);
+        assert!(text.contains("map1[i]"));
+        assert!(!text.contains("computed-index"));
     }
 }

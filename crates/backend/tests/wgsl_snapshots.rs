@@ -21,29 +21,98 @@ use hmm_perm::families;
 use hmm_plan::PlanIr;
 use std::path::PathBuf;
 
-/// The snapshot matrix: (case name, n, tile, element type). Sizes pick
-/// three distinct geometries — 32×32 (tile spans the whole matrix),
-/// 128×64 rectangular, and 256×256 with the default 64-tile — and the
-/// first shape repeats at u64 to pin the `vec2<u32>` lowering.
-fn cases() -> Vec<(&'static str, usize, usize, WgslElem)> {
+/// Which permutation a snapshot case lowers. Random plans carry no
+/// affine descriptors, so they pin the map-lowered templates (the text
+/// is geometry-keyed — any random seed gives the same module).
+/// Structured families carry descriptors and lower computed-index under
+/// the default config, so their modules additionally bake the family's
+/// masks — the text is permutation-keyed, which is exactly why each
+/// family needs its own snapshot.
+#[derive(Clone, Copy)]
+enum Family {
+    Random,
+    BitReversal,
+    Shuffle,
+}
+
+/// The snapshot matrix: (case name, n, tile, element type, family). The
+/// map-lowered cases pick three distinct geometries — 32×32 (tile spans
+/// the whole matrix), 128×64 rectangular, and 256×256 with the default
+/// 64-tile — and the first shape repeats at u64 to pin the `vec2<u32>`
+/// lowering. The computed cases pin the affine XOR-fold gather kernels
+/// for two structured families and both element widths.
+fn cases() -> Vec<(&'static str, usize, usize, WgslElem, Family)> {
     vec![
-        ("square_1k_tile16_u32", 1 << 10, 16, WgslElem::U32),
-        ("rect_8k_tile32_u32", 1 << 13, 32, WgslElem::U32),
-        ("square_64k_tile64_u32", 1 << 16, 64, WgslElem::U32),
-        ("square_1k_tile16_u64", 1 << 10, 16, WgslElem::U64),
+        (
+            "square_1k_tile16_u32",
+            1 << 10,
+            16,
+            WgslElem::U32,
+            Family::Random,
+        ),
+        (
+            "rect_8k_tile32_u32",
+            1 << 13,
+            32,
+            WgslElem::U32,
+            Family::Random,
+        ),
+        (
+            "square_64k_tile64_u32",
+            1 << 16,
+            64,
+            WgslElem::U32,
+            Family::Random,
+        ),
+        (
+            "square_1k_tile16_u64",
+            1 << 10,
+            16,
+            WgslElem::U64,
+            Family::Random,
+        ),
+        (
+            "computed_bitrev_1k_tile16_u32",
+            1 << 10,
+            16,
+            WgslElem::U32,
+            Family::BitReversal,
+        ),
+        (
+            "computed_shuffle_8k_tile32_u32",
+            1 << 13,
+            32,
+            WgslElem::U32,
+            Family::Shuffle,
+        ),
+        (
+            "computed_bitrev_1k_tile16_u64",
+            1 << 10,
+            16,
+            WgslElem::U64,
+            Family::BitReversal,
+        ),
     ]
 }
 
-fn render(n: usize, tile: usize, elem: WgslElem) -> String {
-    // The permutation only sets the maps (data, not code): any valid
-    // permutation of size n yields the same module text.
-    let p = families::random(n, 0x5eed);
+fn render(n: usize, tile: usize, elem: WgslElem, family: Family) -> String {
+    let p = match family {
+        Family::Random => families::random(n, 0x5eed),
+        Family::BitReversal => families::bit_reversal(n).unwrap(),
+        Family::Shuffle => families::shuffle(n).unwrap(),
+    };
     let ir = PlanIr::build(&p, 32).unwrap();
     let cfg = KernelConfig {
         tile,
         ..KernelConfig::default()
     };
-    module_wgsl(&SweepIr::lower(&ir, &cfg), elem)
+    let sweep = SweepIr::lower(&ir, &cfg);
+    // Sanity-pin the lowering form each case means to snapshot.
+    match family {
+        Family::Random => assert!(sweep.affine().is_none()),
+        _ => assert!(sweep.affine().is_some()),
+    }
+    module_wgsl(&sweep, elem)
 }
 
 fn snapshot_path(name: &str) -> PathBuf {
@@ -56,8 +125,8 @@ fn snapshot_path(name: &str) -> PathBuf {
 fn generated_wgsl_matches_golden_snapshots() {
     let update = std::env::var_os("UPDATE_SNAPSHOTS").is_some();
     let mut mismatches = Vec::new();
-    for (name, n, tile, elem) in cases() {
-        let got = render(n, tile, elem);
+    for (name, n, tile, elem, family) in cases() {
+        let got = render(n, tile, elem, family);
         let path = snapshot_path(name);
         if update {
             std::fs::create_dir_all(path.parent().unwrap()).unwrap();
@@ -83,8 +152,8 @@ fn generated_wgsl_matches_golden_snapshots() {
 /// snapshot can never silently pin the wrong case.
 #[test]
 fn snapshots_are_self_describing() {
-    for (name, n, tile, elem) in cases() {
-        let text = render(n, tile, elem);
+    for (name, n, tile, elem, family) in cases() {
+        let text = render(n, tile, elem, family);
         assert!(
             text.contains(&format!("= {n} elements of {}", elem.type_name())),
             "{name}: header lost the element count/type"
@@ -93,5 +162,14 @@ fn snapshots_are_self_describing() {
             text.contains(&format!("transpose tile\n// {tile} ")),
             "{name}: header lost the tile side"
         );
+        // The index form is part of a snapshot's self-description too:
+        // computed cases must carry the fold, map-lowered cases the load.
+        let computed = matches!(family, Family::BitReversal | Family::Shuffle);
+        assert_eq!(
+            text.contains("computed-index row gather"),
+            computed,
+            "{name}: wrong index form"
+        );
+        assert_eq!(text.contains("map1[i]"), !computed, "{name}");
     }
 }

@@ -16,6 +16,8 @@
 //!                           # wall-clock CPU backend comparison
 //! repro backends [--full] [--json]
 //!                           # backend registry: native vs sweep-IR interpreter
+//! repro computed [--full] [--json]
+//!                           # computed-index kernels vs gather-map loads
 //! repro serve [--clients N] [--full] [--json]
 //!                           # TCP front door: N real client processes vs one server
 //! repro plan build [--n N] [--family F] [--seed S] [--width W]
@@ -198,7 +200,7 @@ fn main() -> ExitCode {
         None => {
             eprintln!(
                 "usage: repro <all|table1|table2|table3|fig3|fig4|fig5|fig6|smallperm|ablation|\
-                 sweep|apps|heatmap|native|backends|serve|structured|plan> [--full] [--f64] [--no-cache] [--json] \
+                 sweep|apps|heatmap|native|backends|computed|serve|structured|plan> [--full] [--f64] [--no-cache] [--json] \
                  [--count K] [--n N] [--csv DIR] [--contended T] [--queued T] \
                  [--plan-threads T]\n       \
                  repro plan <build|save|load|stats> [--dir DIR] [--n N] [--family F] \
@@ -519,6 +521,36 @@ fn run(cmd: &str, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
                     native_experiments::merge_backends_json(existing.as_deref(), &rows),
                 )?;
                 println!("\n(merged backend rows into {})", path.display());
+            }
+        }
+        "computed" => {
+            // Acceptance sizes 256K–4M; quick mode stays cache-friendly so
+            // the register-fold win is visible without a long run.
+            let sizes: Vec<usize> = if args.full || args.json {
+                vec![1 << 18, 1 << 20, 1 << 22]
+            } else {
+                vec![1 << 16, 1 << 18]
+            };
+            let reps = if args.full { 7 } else { 5 };
+            println!("=== Computed-index kernels vs gather-map loads (structured plans) ===\n");
+            let rows = native_experiments::computed_index(&sizes, reps)?;
+            print!("{}", native_experiments::render_computed(&rows));
+            println!(
+                "\n(Both arms run the identical fused three-sweep plan; the computed arm\n\
+                 evaluates the affine GF(2) fold in registers and never reads the 4n-byte\n\
+                 gather maps, the map-load arm streams them. Outputs are asserted\n\
+                 byte-identical to the reference before timing.)"
+            );
+            if args.json {
+                let dir = std::path::Path::new("results");
+                std::fs::create_dir_all(dir)?;
+                let path = dir.join("BENCH_native.json");
+                let existing = std::fs::read_to_string(&path).ok();
+                std::fs::write(
+                    &path,
+                    native_experiments::merge_computed_json(existing.as_deref(), &rows),
+                )?;
+                println!("\n(merged computed_* rows into {})", path.display());
             }
         }
         "serve" => {

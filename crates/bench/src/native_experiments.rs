@@ -314,6 +314,84 @@ pub fn fused_chain(sizes: &[usize], reps: usize) -> Result<Vec<FusedRow>> {
     Ok(rows)
 }
 
+/// One row of the computed-index kernel comparison: the same structured
+/// plan executed with the affine fold evaluated in registers (map-free
+/// gathers) against the materialized gather-map loads, over the fused
+/// three-sweep pipeline.
+#[derive(Debug, Clone)]
+pub struct ComputedRow {
+    /// Permutation family (affine — only structured plans carry the
+    /// descriptors the computed kernels need).
+    pub family: &'static str,
+    /// Array size.
+    pub n: usize,
+    /// Fused three-sweep run with computed-index kernels (the default).
+    pub computed: Duration,
+    /// The same plan with `computed_index` off: gather indices loaded
+    /// from the materialized maps.
+    pub map_load: Duration,
+}
+
+impl ComputedRow {
+    /// Map-load time over computed time (> 1 means computed wins).
+    pub fn speedup(&self) -> f64 {
+        self.map_load.as_secs_f64() / self.computed.as_secs_f64().max(1e-12)
+    }
+}
+
+/// Measure the computed-index kernels against the map-load kernels over
+/// the same structured plans: per affine family and size, one
+/// `NativeScheduled` prepared with the default config (descriptors
+/// carried, fold in registers, maps never read) and one with
+/// `computed_index` off. Outputs are asserted byte-identical to the
+/// `Permutation::permute` reference — and to each other — before any
+/// time is reported, and both executions are checked to actually take
+/// the kernel form their row claims.
+pub fn computed_index(sizes: &[usize], reps: usize) -> Result<Vec<ComputedRow>> {
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let cases: [(&'static str, Permutation); 3] = [
+            ("shuffle", families::shuffle(n)?),
+            ("transpose", families::transpose_square(n)?),
+            ("bit-reversal", families::bit_reversal(n)?),
+        ];
+        for (family, p) in cases {
+            let ir = hmm_plan::PlanIr::build(&p, W)?;
+            assert!(
+                ir.affine().is_some(),
+                "{family} n={n}: structured plan must carry affine descriptors"
+            );
+            let on = NativeScheduled::from_plan_with(&ir, KernelConfig::default())?;
+            let off = NativeScheduled::from_plan_with(
+                &ir,
+                KernelConfig {
+                    computed_index: false,
+                    ..KernelConfig::default()
+                },
+            )?;
+            assert!(on.computed_index() && !off.computed_index());
+            let src: Vec<u32> = (0..n as u32).map(|v| v.wrapping_mul(0x9e37_79b9)).collect();
+            let mut want = vec![0u32; n];
+            p.permute(&src, &mut want).expect("reference permute");
+            let mut dst = vec![0u32; n];
+            let mut scratch = vec![0u32; n];
+            on.run_with_scratch(&src, &mut dst, &mut scratch);
+            assert_eq!(dst, want, "{family} n={n}: computed diverged");
+            off.run_with_scratch(&src, &mut dst, &mut scratch);
+            assert_eq!(dst, want, "{family} n={n}: map-load diverged");
+            let computed = median_time(reps, || on.run_with_scratch(&src, &mut dst, &mut scratch));
+            let map_load = median_time(reps, || off.run_with_scratch(&src, &mut dst, &mut scratch));
+            rows.push(ComputedRow {
+                family,
+                n,
+                computed,
+                map_load,
+            });
+        }
+    }
+    Ok(rows)
+}
+
 /// One row of the plan-store comparison: the same scheduled plan produced
 /// by a cold König build (and persisted) versus materialised by a *cold
 /// engine* from a warm on-disk store — the cross-process reuse the store
@@ -917,6 +995,21 @@ pub fn render_plan_build(rows: &[PlanBuildRow]) -> String {
     t.render()
 }
 
+/// Render the computed-vs-map-load kernel table.
+pub fn render_computed(rows: &[ComputedRow]) -> String {
+    let mut t = TextTable::new(vec!["family", "n", "computed", "map-load", "speedup"]);
+    for r in rows {
+        t.row(vec![
+            r.family.to_string(),
+            size_label(r.n),
+            format!("{:.2?}", r.computed),
+            format!("{:.2?}", r.map_load),
+            format!("{:.2}x", r.speedup()),
+        ]);
+    }
+    t.render()
+}
+
 /// Render the structured-vs-König plan-build table.
 pub fn render_structured(rows: &[StructuredRow]) -> String {
     let mut t = TextTable::new(vec!["family", "n", "structured", "König", "speedup"]);
@@ -1155,6 +1248,30 @@ pub fn merge_backends_json(existing: Option<&str>, rows: &[BackendRow]) -> Strin
             s
         })
         .collect();
+    merge_rows_json(existing, "\"backend\": \"backend_", new_rows)
+}
+
+/// Merge computed-index rows (`computed_on` / `computed_off` per affine
+/// family and size) into an existing `BENCH_native.json`, replacing any
+/// stale `computed_*` rows — the same line discipline as
+/// [`merge_backends_json`], written by `repro computed --json`.
+pub fn merge_computed_json(existing: Option<&str>, rows: &[ComputedRow]) -> String {
+    let mut new_rows = Vec::new();
+    for r in rows {
+        for (backend, d) in [("computed_on", r.computed), ("computed_off", r.map_load)] {
+            let mut s = String::new();
+            json_row(&mut s, r.family, r.n, backend, d);
+            new_rows.push(s);
+        }
+    }
+    merge_rows_json(existing, "\"backend\": \"computed_", new_rows)
+}
+
+/// Shared row-merge discipline: keep every row of `existing` whose line
+/// does not contain `drop_marker`, then append `new_rows`. Starts a
+/// fresh document when `existing` is `None` or not in [`to_json`]'s
+/// shape.
+fn merge_rows_json(existing: Option<&str>, drop_marker: &str, new_rows: Vec<String>) -> String {
     let rebuild = |head: &str, kept: Vec<String>| {
         let mut out = String::from(head);
         out.push('\n');
@@ -1169,7 +1286,7 @@ pub fn merge_backends_json(existing: Option<&str>, rows: &[BackendRow]) -> Strin
             let kept: Vec<String> = doc[start..]
                 .lines()
                 .filter(|l| l.trim_start().starts_with('{'))
-                .filter(|l| !l.contains("\"backend\": \"backend_"))
+                .filter(|l| !l.contains(drop_marker))
                 .map(|l| l.trim_end().trim_end_matches(',').to_string())
                 .collect();
             rebuild(&doc[..start], kept)
@@ -1287,6 +1404,40 @@ mod tests {
         assert!(table.contains("native"));
         assert!(table.contains("interp"));
         assert!(table.contains("vs native"));
+    }
+
+    #[test]
+    fn computed_rows_verify_and_merge_without_clobbering() {
+        let rows = computed_index(&[1 << 12], 1).unwrap();
+        assert_eq!(rows.len(), 3, "three affine families per size");
+        for r in &rows {
+            assert!(r.computed > Duration::ZERO && r.map_load > Duration::ZERO);
+        }
+        let table = render_computed(&rows);
+        assert!(table.contains("bit-reversal"));
+        assert!(table.contains("map-load"));
+
+        let report = report(&[1 << 12], 1, 0, 0, 0).unwrap();
+        let base = to_json(&report);
+        let once = merge_computed_json(Some(&base), &rows);
+        let twice = merge_computed_json(Some(&once), &rows);
+        assert_eq!(
+            once.matches("\"backend\": \"computed_").count(),
+            rows.len() * 2,
+            "one computed_on + one computed_off row per (family, size)"
+        );
+        assert_eq!(
+            once.matches("\"backend\": \"computed_").count(),
+            twice.matches("\"backend\": \"computed_").count(),
+            "re-merging must not duplicate computed rows"
+        );
+        assert!(once.contains("\"scheduled_unfused\""));
+        assert_eq!(twice.matches('{').count(), twice.matches('}').count());
+
+        // A fresh document (no prior native run) is still well formed.
+        let fresh = merge_computed_json(None, &rows);
+        assert!(fresh.contains("\"backend\": \"computed_on\""));
+        assert_eq!(fresh.matches('{').count(), fresh.matches('}').count());
     }
 
     #[test]

@@ -69,7 +69,7 @@ pub use backend::{
     as_native_scheduled, backend_names, by_name, default_backend, forced_engine, forced_engine_on,
     NativeBackend, BACKEND_ENV, NATIVE_BACKEND_NAME,
 };
-pub use config::{KernelConfig, SIMD_ENV};
+pub use config::{KernelConfig, COMPUTED_INDEX_ENV, SIMD_ENV};
 pub use hmm_backend::{Backend, Capabilities, ExecPlan, Executable, InterpBackend, Route};
 pub use hmm_plan::{PlanIr, PlanStore, StoreKey};
 pub use par::THREADS_ENV;

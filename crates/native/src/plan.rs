@@ -390,6 +390,14 @@ pub struct EngineStats {
     /// pass permutations were produced in closed form, with no König
     /// coloring. Disjoint from [`EngineStats::builds`].
     pub plans_structured: u64,
+    /// Scheduled plans prepared from an IR carrying verified affine
+    /// descriptors — the plans whose gather sweeps run the
+    /// computed-index kernels when
+    /// [`EngineStats::kernel_computed_index`] is set. Counts structured
+    /// builds and store loads alike (a compact store entry rebuilds its
+    /// maps from the descriptors, so a warm-store cold start is still
+    /// descriptor-backed); König-colored plans never carry descriptors.
+    pub plans_affine: u64,
     /// Scheduled plans served from the on-disk store, each verified
     /// against the requested permutation before use.
     pub store_hits: u64,
@@ -432,6 +440,9 @@ pub struct EngineStats {
     pub kernel_stage_bytes: usize,
     /// Whether the kernel config enables the vectorized sweep tiers.
     pub kernel_simd: bool,
+    /// Whether the kernel config enables the computed-index (affine
+    /// fold) gather kernels for plans that carry descriptors.
+    pub kernel_computed_index: bool,
     /// Registry name of the backend this engine prepares plans on
     /// (`"native"`, `"interp"`, ...). Empty in a default-constructed
     /// snapshot.
@@ -453,6 +464,7 @@ pub(crate) struct AtomicStats {
     scheduled_runs: AtomicU64,
     builds: AtomicU64,
     plans_structured: AtomicU64,
+    plans_affine: AtomicU64,
     store_hits: AtomicU64,
     store_rejects: AtomicU64,
     pub(crate) submitted: AtomicU64,
@@ -480,6 +492,7 @@ impl AtomicStats {
             scheduled_runs: self.scheduled_runs.load(Ordering::Relaxed),
             builds: self.builds.load(Ordering::Relaxed),
             plans_structured: self.plans_structured.load(Ordering::Relaxed),
+            plans_affine: self.plans_affine.load(Ordering::Relaxed),
             store_hits: self.store_hits.load(Ordering::Relaxed),
             store_rejects: self.store_rejects.load(Ordering::Relaxed),
             submitted: self.submitted.load(Ordering::Relaxed),
@@ -491,6 +504,7 @@ impl AtomicStats {
             calibrated,
             kernel_stage_bytes: kernel.stage_bytes,
             kernel_simd: kernel.simd,
+            kernel_computed_index: kernel.computed_index,
             backend,
         }
     }
@@ -1177,6 +1191,7 @@ impl<T: Copy + Send + Sync + Default + 'static> SharedEngine<T> {
             match store.load(&key) {
                 Ok(Some(ir)) if ir.matches(p) => {
                     self.core.stats.store_hits.fetch_add(1, Ordering::Relaxed);
+                    self.note_affine(&ir);
                     return PermutePlan::from_ir_on(backend, &ir, self.kernel_config());
                 }
                 Ok(None) => {}
@@ -1207,6 +1222,7 @@ impl<T: Copy + Send + Sync + Default + 'static> SharedEngine<T> {
                 .stats
                 .plans_structured
                 .fetch_add(1, Ordering::Relaxed);
+            self.note_affine(&ir);
             if let Some(store) = &self.core.store {
                 // Saved like any built plan, so cross-process cold starts
                 // stay store-driven for every family.
@@ -1226,6 +1242,14 @@ impl<T: Copy + Send + Sync + Default + 'static> SharedEngine<T> {
             let _ = store.save(&ir);
         }
         PermutePlan::from_ir_on(backend, &ir, self.kernel_config())
+    }
+
+    /// Count a prepared IR that carries affine descriptors
+    /// ([`EngineStats::plans_affine`]).
+    fn note_affine(&self, ir: &PlanIr) {
+        if ir.affine().is_some() {
+            self.core.stats.plans_affine.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Evict least-recently-used resolved entries until an insert fits.

@@ -12,26 +12,42 @@
 //! cols       u64      matrix cols
 //! gamma      u64      γ_w(P) as f64 bits
 //! fingerprint u64     Permutation::fingerprint() of the source
-//! section ×3          u64 entry count, then that many u32 entries
+//! kind       u32      0 = full step maps, 1 = compact affine descriptors
+//! kind 0:  section ×3 u64 entry count, then that many u32 entries
 //!                     (step1, step2, step3 destination maps)
+//! kind 1:  descriptor ×3 (gather order g1, g2, g3), each:
+//!                     u32 col_bits, u32 offset, u64 mask count,
+//!                     then that many u32 masks
 //! checksum   u64      FNV-1a over every preceding byte
 //! ```
 //!
 //! The gather maps are *not* serialised: they are per-row inverses of the
 //! steps and are re-derived on decode, which keeps files smaller and means
 //! a corrupt file cannot smuggle in gather entries inconsistent with its
-//! steps. Decoding never panics: truncation, a flipped byte, an unknown
-//! version, inconsistent section lengths, or non-permutation rows all
-//! surface as [`PlanError::Codec`].
+//! steps. Structured plans go further: their gathers have a verified
+//! closed form ([`crate::AffineStep`]), so the file stores the three
+//! descriptors — O(log² n) bytes instead of 3 × O(n) maps — and the maps
+//! are rebuilt on decode by the same Gray-style walk that verified the
+//! fit. Version-1 files (always full maps, no `kind` field) still decode.
+//! Decoding never panics: truncation, a flipped byte, an unknown version
+//! or kind, inconsistent section lengths, out-of-range descriptors, or
+//! non-permutation rows all surface as [`PlanError::Codec`].
 
+use crate::affine::AffineStep;
 use crate::error::{PlanError, Result};
 use crate::ir::PlanIr;
 use hmm_perm::MatrixShape;
 use std::io::Write;
 
 /// Current wire-format version. Bump on any layout change; decoders reject
-/// versions they do not know.
-pub const FORMAT_VERSION: u32 = 1;
+/// versions they do not know (older versions this build still reads are
+/// special-cased in [`decode`]).
+pub const FORMAT_VERSION: u32 = 2;
+
+/// Section kind: three full step-map sections follow the header.
+const KIND_FULL: u32 = 0;
+/// Section kind: three compact affine descriptors follow the header.
+const KIND_COMPACT: u32 = 1;
 
 /// The 8-byte file magic.
 pub const MAGIC: [u8; 8] = *b"HMMPLAN\0";
@@ -60,10 +76,22 @@ pub fn fnv1a_update(mut h: u64, bytes: &[u8]) -> u64 {
     h
 }
 
-/// Serialised size in bytes of a plan for `n` elements (header + three
-/// length-prefixed `n`-entry sections + checksum).
+/// Serialised size in bytes of a **full** (kind 0) plan for `n` elements
+/// (header + kind + three length-prefixed `n`-entry sections + checksum).
+/// This is the size of every König-colored plan's file; structured plans
+/// encode compact — see [`compact_encoded_len`].
 pub fn encoded_len(n: usize) -> usize {
-    8 + 4 + 5 * 8 + 3 * (8 + 4 * n) + 8
+    8 + 4 + 5 * 8 + 4 + 3 * (8 + 4 * n) + 8
+}
+
+/// Serialised size in bytes of a **compact** (kind 1) plan for `n`
+/// elements, `n` a power of two: header + kind + three descriptors of
+/// log₂ n masks each + checksum. O(log n) where [`encoded_len`] is O(n) —
+/// a 4M-element structured plan is ~376 bytes on disk instead of ~48 MiB.
+pub fn compact_encoded_len(n: usize) -> usize {
+    debug_assert!(n.is_power_of_two());
+    let k = n.trailing_zeros() as usize;
+    8 + 4 + 5 * 8 + 4 + 3 * (4 + 4 + 8 + 4 * k) + 8
 }
 
 /// The fixed header bytes (everything before the three sections), shared by
@@ -92,10 +120,37 @@ fn fill_le_u32(dst: &mut [u8], src: &[u32]) {
     }
 }
 
-/// Encode a plan into its on-disk byte representation.
+/// The wire bytes of one affine descriptor (see the module layout).
+fn descriptor_bytes(step: &AffineStep) -> Vec<u8> {
+    let masks = step.masks();
+    let mut out = Vec::with_capacity(16 + 4 * masks.len());
+    out.extend_from_slice(&step.col_bits().to_le_bytes());
+    out.extend_from_slice(&step.offset().to_le_bytes());
+    out.extend_from_slice(&(masks.len() as u64).to_le_bytes());
+    for &m in masks {
+        out.extend_from_slice(&m.to_le_bytes());
+    }
+    out
+}
+
+/// Encode a plan into its on-disk byte representation. Plans carrying
+/// verified affine descriptors ([`PlanIr::affine`]) encode compact (kind
+/// 1, O(log² n) bytes); everything else encodes its full step maps.
 pub fn encode(ir: &PlanIr) -> Vec<u8> {
+    if let Some(affine) = ir.affine() {
+        let mut out = Vec::with_capacity(compact_encoded_len(ir.len()));
+        out.extend_from_slice(&header_bytes(ir));
+        out.extend_from_slice(&KIND_COMPACT.to_le_bytes());
+        for step in affine {
+            out.extend_from_slice(&descriptor_bytes(step));
+        }
+        let checksum = fnv1a(&out);
+        out.extend_from_slice(&checksum.to_le_bytes());
+        return out;
+    }
     let mut out = Vec::with_capacity(encoded_len(ir.len()));
     out.extend_from_slice(&header_bytes(ir));
+    out.extend_from_slice(&KIND_FULL.to_le_bytes());
     for section in [ir.step1(), ir.step2(), ir.step3()] {
         out.extend_from_slice(&(section.len() as u64).to_le_bytes());
         let start = out.len();
@@ -121,13 +176,22 @@ pub fn encode_to<W: Write>(ir: &PlanIr, w: &mut W) -> std::io::Result<()> {
         w.write_all(bytes)
     };
     put(w, &header_bytes(ir))?;
-    let mut buf = vec![0u8; 4 * CHUNK.min(ir.len().max(1))];
-    for section in [ir.step1(), ir.step2(), ir.step3()] {
-        put(w, &(section.len() as u64).to_le_bytes())?;
-        for chunk in section.chunks(CHUNK) {
-            let bytes = &mut buf[..4 * chunk.len()];
-            fill_le_u32(bytes, chunk);
-            put(w, bytes)?;
+    if let Some(affine) = ir.affine() {
+        // Compact form is a few hundred bytes — no chunking needed.
+        put(w, &KIND_COMPACT.to_le_bytes())?;
+        for step in affine {
+            put(w, &descriptor_bytes(step))?;
+        }
+    } else {
+        put(w, &KIND_FULL.to_le_bytes())?;
+        let mut buf = vec![0u8; 4 * CHUNK.min(ir.len().max(1))];
+        for section in [ir.step1(), ir.step2(), ir.step3()] {
+            put(w, &(section.len() as u64).to_le_bytes())?;
+            for chunk in section.chunks(CHUNK) {
+                let bytes = &mut buf[..4 * chunk.len()];
+                fill_le_u32(bytes, chunk);
+                put(w, bytes)?;
+            }
         }
     }
     let checksum = hash;
@@ -171,6 +235,19 @@ impl<'a> Cursor<'a> {
     }
 }
 
+/// Error unless the cursor consumed its input exactly.
+fn check_no_trailing(cur: &Cursor<'_>) -> Result<()> {
+    if cur.pos != cur.bytes.len() {
+        return Err(PlanError::Codec {
+            reason: format!(
+                "{} trailing bytes after the last section",
+                cur.bytes.len() - cur.pos
+            ),
+        });
+    }
+    Ok(())
+}
+
 /// Decode a plan from bytes. Every malformed input — truncated, bit-flipped,
 /// wrong magic or version, inconsistent sections — yields
 /// [`PlanError::Codec`]; a successful decode is internally consistent (each
@@ -203,9 +280,11 @@ pub fn decode(bytes: &[u8]) -> Result<PlanIr> {
         });
     }
     let version = cur.u32("version")?;
-    if version != FORMAT_VERSION {
+    if version != FORMAT_VERSION && version != 1 {
         return Err(PlanError::Codec {
-            reason: format!("unknown format version {version} (this build reads {FORMAT_VERSION})"),
+            reason: format!(
+                "unknown format version {version} (this build reads 1..={FORMAT_VERSION})"
+            ),
         });
     }
     let width = cur.usize("width")?;
@@ -221,41 +300,74 @@ pub fn decode(bytes: &[u8]) -> Result<PlanIr> {
             reason: format!("degenerate header: {rows}×{cols}, width {width}"),
         });
     }
-    let mut sections: [Vec<u32>; 3] = [Vec::new(), Vec::new(), Vec::new()];
-    for (idx, section) in sections.iter_mut().enumerate() {
-        let name = ["step1", "step2", "step3"][idx];
-        let len = cur.usize(name)?;
-        if len != n {
-            return Err(PlanError::Codec {
-                reason: format!("{name} declares {len} entries, shape needs {n}"),
-            });
-        }
-        let raw = cur.take(4 * len, name)?;
-        section.reserve_exact(len);
-        section.extend(
-            raw.chunks_exact(4)
-                .map(|c| u32::from_le_bytes(c.try_into().unwrap())),
-        );
-    }
-    if cur.pos != body.len() {
-        return Err(PlanError::Codec {
-            reason: format!(
-                "{} trailing bytes after the last section",
-                body.len() - cur.pos
-            ),
-        });
-    }
     let shape = MatrixShape::new(rows, cols).map_err(|_| PlanError::Codec {
         reason: format!("invalid shape {rows}×{cols}"),
     })?;
-    let [step1, step2, step3] = sections;
-    let ir = PlanIr::from_steps(shape, width, step1, step2, step3, gamma, fingerprint)?;
-    // Belt-and-braces: `from_steps` has already validated the step rows
-    // and re-derived the gather maps, so this cannot fail on any byte
-    // stream — but decode is a front door to the clamped gather kernels,
-    // and the full contract check is what keeps "corrupt plan" a typed
-    // error rather than silently wrong output if either invariant ever
-    // drifts.
+    // Version-1 files predate the kind discriminator: sections follow the
+    // header directly and are always full step maps.
+    let kind = if version == 1 {
+        KIND_FULL
+    } else {
+        cur.u32("section kind")?
+    };
+    let ir = match kind {
+        KIND_FULL => {
+            let mut sections: [Vec<u32>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+            for (idx, section) in sections.iter_mut().enumerate() {
+                let name = ["step1", "step2", "step3"][idx];
+                let len = cur.usize(name)?;
+                if len != n {
+                    return Err(PlanError::Codec {
+                        reason: format!("{name} declares {len} entries, shape needs {n}"),
+                    });
+                }
+                let raw = cur.take(4 * len, name)?;
+                section.reserve_exact(len);
+                section.extend(
+                    raw.chunks_exact(4)
+                        .map(|c| u32::from_le_bytes(c.try_into().unwrap())),
+                );
+            }
+            check_no_trailing(&cur)?;
+            let [step1, step2, step3] = sections;
+            PlanIr::from_steps(shape, width, step1, step2, step3, gamma, fingerprint)?
+        }
+        KIND_COMPACT => {
+            let mut steps = Vec::with_capacity(3);
+            for name in ["affine1", "affine2", "affine3"] {
+                let col_bits = cur.u32(name)?;
+                let offset = cur.u32(name)?;
+                let count = cur.usize(name)?;
+                // Mask count is pinned to the header's shape before any
+                // allocation, so a hostile count cannot balloon memory.
+                if !n.is_power_of_two() || count != n.trailing_zeros() as usize {
+                    return Err(PlanError::Codec {
+                        reason: format!("{name} declares {count} masks, shape {n} needs log₂ n"),
+                    });
+                }
+                let raw = cur.take(4 * count, name)?;
+                let masks: Vec<u32> = raw
+                    .chunks_exact(4)
+                    .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+                    .collect();
+                steps.push(AffineStep::from_parts(col_bits, masks, offset));
+            }
+            check_no_trailing(&cur)?;
+            let affine: [AffineStep; 3] = steps.try_into().expect("three descriptors");
+            PlanIr::from_affine(shape, width, affine, gamma, fingerprint)?
+        }
+        other => {
+            return Err(PlanError::Codec {
+                reason: format!("unknown section kind {other}"),
+            })
+        }
+    };
+    // Belt-and-braces: both construction paths have already validated
+    // the step rows (and, for compact files, the descriptor geometry),
+    // so this cannot fail on any byte stream — but decode is a front
+    // door to the clamped gather kernels, and the full contract check is
+    // what keeps "corrupt plan" a typed error rather than silently wrong
+    // output if either invariant ever drifts.
     ir.validate()?;
     Ok(ir)
 }
@@ -271,17 +383,46 @@ mod tests {
         PlanIr::build(&families::random(n, seed), W).unwrap()
     }
 
+    /// The exact on-disk size a plan encodes to: compact for plans that
+    /// carry descriptors, full otherwise.
+    fn expected_len(ir: &PlanIr) -> usize {
+        if ir.affine().is_some() {
+            compact_encoded_len(ir.len())
+        } else {
+            encoded_len(ir.len())
+        }
+    }
+
     #[test]
     fn round_trips_bit_identically() {
         for fam in families::Family::ALL {
             let p = fam.build(1 << 10, 17).unwrap();
             let ir = PlanIr::build(&p, W).unwrap();
             let bytes = encode(&ir);
-            assert_eq!(bytes.len(), encoded_len(ir.len()));
+            assert_eq!(bytes.len(), expected_len(&ir), "{}", fam.name());
             let back = decode(&bytes).unwrap();
             assert_eq!(back, ir, "{}", fam.name());
             assert_eq!(encode(&back), bytes, "{}", fam.name());
             assert!(back.matches(&p));
+        }
+    }
+
+    #[test]
+    fn structured_plans_encode_compact_and_round_trip() {
+        for n in [1usize << 10, 1 << 11] {
+            let p = families::bit_reversal(n).unwrap();
+            let ir = PlanIr::build(&p, W).unwrap();
+            assert!(ir.affine().is_some());
+            let bytes = encode(&ir);
+            // O(log n) on the wire: orders of magnitude below the full form.
+            assert_eq!(bytes.len(), compact_encoded_len(n));
+            assert!(bytes.len() * 10 < encoded_len(n), "{} bytes", bytes.len());
+            let back = decode(&bytes).unwrap();
+            // Field-identical reconstruction: maps, descriptors, identity.
+            assert_eq!(back, ir);
+            assert!(back.affine().is_some());
+            assert!(back.matches(&p));
+            assert_eq!(encode(&back), bytes);
         }
     }
 
@@ -384,12 +525,105 @@ mod tests {
         // section that is not a per-row permutation is rejected.
         let ir = sample(256, 5);
         let mut bytes = encode(&ir);
-        let first_entry = 8 + 4 + 5 * 8 + 8;
+        let first_entry = 8 + 4 + 5 * 8 + 4 + 8;
         bytes[first_entry..first_entry + 4].copy_from_slice(&u32::MAX.to_le_bytes());
         let body_len = bytes.len() - 8;
         let sum = fnv1a(&bytes[..body_len]);
         bytes[body_len..].copy_from_slice(&sum.to_le_bytes());
         assert!(matches!(decode(&bytes), Err(PlanError::Codec { .. })));
+    }
+
+    /// Rebuild a version-1 file (no `kind` field) from a version-2 full
+    /// encoding: splice out the discriminator, stamp version 1, re-seal.
+    fn as_v1_bytes(ir: &PlanIr) -> Vec<u8> {
+        assert!(ir.affine().is_none(), "v1 only ever held full maps");
+        let v2 = encode(ir);
+        let kind_at = 8 + 4 + 5 * 8;
+        let mut v1 = Vec::with_capacity(v2.len() - 4);
+        v1.extend_from_slice(&v2[..kind_at]);
+        v1.extend_from_slice(&v2[kind_at + 4..v2.len() - 8]);
+        v1[8..12].copy_from_slice(&1u32.to_le_bytes());
+        let sum = fnv1a(&v1);
+        v1.extend_from_slice(&sum.to_le_bytes());
+        v1
+    }
+
+    #[test]
+    fn version_1_files_still_decode() {
+        // Forward-compat guard: plan files written before the descriptor
+        // section existed must keep decoding bit-identically.
+        for seed in [11u64, 12, 13] {
+            let ir = sample(1 << 9, seed);
+            let v1 = as_v1_bytes(&ir);
+            assert_eq!(v1.len(), encoded_len(ir.len()) - 4);
+            let back = decode(&v1).unwrap();
+            assert_eq!(back, ir, "seed {seed}");
+            // Re-encoding writes the current version, not v1.
+            assert_eq!(&encode(&back)[8..12], &FORMAT_VERSION.to_le_bytes());
+        }
+    }
+
+    #[test]
+    fn unknown_section_kind_is_rejected() {
+        let ir = sample(256, 6);
+        let mut bytes = encode(&ir);
+        let kind_at = 8 + 4 + 5 * 8;
+        bytes[kind_at..kind_at + 4].copy_from_slice(&7u32.to_le_bytes());
+        let body_len = bytes.len() - 8;
+        let sum = fnv1a(&bytes[..body_len]);
+        bytes[body_len..].copy_from_slice(&sum.to_le_bytes());
+        let err = decode(&bytes).unwrap_err();
+        assert!(err.to_string().contains("kind"), "{err}");
+    }
+
+    #[test]
+    fn compact_truncations_and_flips_are_clean_errors() {
+        let ir = PlanIr::build(&families::shuffle(1 << 10).unwrap(), W).unwrap();
+        let bytes = encode(&ir);
+        assert_eq!(bytes.len(), compact_encoded_len(1 << 10));
+        for cut in 0..bytes.len() {
+            assert!(decode(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        for pos in 0..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[pos] ^= 0x10;
+            assert!(decode(&corrupt).is_err(), "flip at {pos}");
+        }
+    }
+
+    #[test]
+    fn resealed_hostile_descriptors_are_rejected() {
+        let ir = PlanIr::build(&families::shuffle(1 << 10).unwrap(), W).unwrap();
+        let bytes = encode(&ir);
+        let reseal = |mut b: Vec<u8>| {
+            let body_len = b.len() - 8;
+            let sum = fnv1a(&b[..body_len]);
+            b[body_len..].copy_from_slice(&sum.to_le_bytes());
+            b
+        };
+        let first_mask = 8 + 4 + 5 * 8 + 4 + 4 + 4 + 8;
+        // An out-of-range mask fails descriptor geometry.
+        let mut oob = bytes.clone();
+        oob[first_mask..first_mask + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(decode(&reseal(oob)), Err(PlanError::Codec { .. })));
+        // A mask-count that disagrees with the shape is caught before any
+        // allocation sized from it.
+        let count_at = 8 + 4 + 5 * 8 + 4 + 4 + 4;
+        let mut huge = bytes.clone();
+        huge[count_at..count_at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            decode(&reseal(huge)),
+            Err(PlanError::Codec { .. })
+        ));
+        // Degenerate masks (two equal low masks) materialize rows that
+        // are not permutations — rejected, never gathered through.
+        let mut degen = bytes.clone();
+        let m0 = &degen[first_mask..first_mask + 4].to_vec();
+        degen[first_mask + 4..first_mask + 8].copy_from_slice(m0);
+        assert!(matches!(
+            decode(&reseal(degen)),
+            Err(PlanError::Codec { .. })
+        ));
     }
 
     #[test]
@@ -422,7 +656,27 @@ mod tests {
                 let p = families::Family::ALL[f].build(n, seed).unwrap();
                 let ir = PlanIr::build(&p, W).unwrap();
                 let bytes = encode(&ir);
-                prop_assert_eq!(bytes.len(), encoded_len(n));
+                prop_assert_eq!(bytes.len(), expected_len(&ir));
+                let back = decode(&bytes).unwrap();
+                prop_assert_eq!(&back, &ir);
+                prop_assert_eq!(encode(&back), bytes);
+                prop_assert!(back.matches(&p));
+            }
+
+            /// Random members of the affine group — arbitrary invertible
+            /// bit matrices, not just the named families — round-trip
+            /// through the compact descriptor section field-identically.
+            #[test]
+            fn compact_descriptor_round_trip(
+                k in 6u32..=12,
+                seed in any::<u64>(),
+            ) {
+                let n = 1usize << k;
+                let p = families::random_bmmc(n, seed).unwrap();
+                let ir = PlanIr::build(&p, W).unwrap();
+                prop_assert!(ir.affine().is_some());
+                let bytes = encode(&ir);
+                prop_assert_eq!(bytes.len(), compact_encoded_len(n));
                 let back = decode(&bytes).unwrap();
                 prop_assert_eq!(&back, &ir);
                 prop_assert_eq!(encode(&back), bytes);

@@ -25,6 +25,7 @@
 //! whole thing for the cross-process store (`crate::store`). None of them
 //! re-runs the coloring.
 
+use crate::affine::AffineStep;
 use crate::error::{PlanError, Result};
 use hmm_graph::{edge_color_par, edge_color_with, Parallelism, RegularBipartite, Strategy};
 use hmm_perm::distribution::distribution;
@@ -57,6 +58,12 @@ pub struct PlanIr {
     gamma: f64,
     /// `Permutation::fingerprint()` of the source permutation.
     fingerprint: u64,
+    /// Closed-form descriptors of the three gather maps, present exactly
+    /// when the plan came out of the BMMC emitter: each is fit from its
+    /// materialized map and verified entry-by-entry, so executors may
+    /// compute `g[p]` in registers instead of loading it. `None` for
+    /// König-colored plans (their gathers are not affine).
+    affine: Option<[AffineStep; 3]>,
 }
 
 impl PlanIr {
@@ -232,6 +239,19 @@ impl PlanIr {
         debug_assert!(rows_are_permutations(&step2, r));
         debug_assert!(rows_are_permutations(&step3, c));
 
+        // Every gather map above is affine over the flat-position bits
+        // (each is built from XORs of per-bit constants), so the fit
+        // always succeeds; it still runs the full O(n) verification, so
+        // a descriptor is attached only when provably exact.
+        let affine = (|| {
+            Some([
+                AffineStep::fit(&g1, c)?,
+                AffineStep::fit(&g2, r)?,
+                AffineStep::fit(&g3, c)?,
+            ])
+        })();
+        debug_assert!(affine.is_some(), "BMMC gather maps are affine");
+
         Ok(PlanIr {
             shape,
             width,
@@ -243,6 +263,7 @@ impl PlanIr {
             g3,
             gamma: distribution_par(p, width, par),
             fingerprint: p.fingerprint(),
+            affine,
         })
     }
 
@@ -388,6 +409,7 @@ impl PlanIr {
             g3,
             gamma: distribution_par(p, width, par),
             fingerprint: p.fingerprint(),
+            affine: None,
         })
     }
 
@@ -442,6 +464,7 @@ impl PlanIr {
             g3,
             gamma: distribution(p, width),
             fingerprint: p.fingerprint(),
+            affine: None,
         })
     }
 
@@ -491,7 +514,53 @@ impl PlanIr {
             g3,
             gamma,
             fingerprint,
+            affine: None,
         })
+    }
+
+    /// Reassemble a plan from its compact descriptor form — the codec's
+    /// decode path for structured plan files, which carry only the three
+    /// [`AffineStep`]s (O(log² n) bytes) instead of the maps. Each
+    /// descriptor's geometry is checked *before* any size-`n` allocation,
+    /// its materialized gather rows are validated as permutations, and
+    /// the steps are re-derived by row inversion — so hostile descriptor
+    /// bytes yield [`PlanError::Codec`], never a panic or an out-of-range
+    /// gather. Fitting on the encode side verified the descriptors
+    /// against the built maps entry-by-entry, so this reconstruction is
+    /// field-identical to the plan that was encoded.
+    pub(crate) fn from_affine(
+        shape: MatrixShape,
+        width: usize,
+        affine: [AffineStep; 3],
+        gamma: f64,
+        fingerprint: u64,
+    ) -> Result<Self> {
+        let (r, c) = (shape.rows, shape.cols);
+        let n = shape.len();
+        let mut gathers = Vec::with_capacity(3);
+        for (name, step, cols) in [
+            ("affine1", &affine[0], c),
+            ("affine2", &affine[1], r),
+            ("affine3", &affine[2], c),
+        ] {
+            step.check_geometry(name, n, cols)?;
+            let g = step.materialize();
+            if !rows_are_permutations(&g, cols) {
+                return Err(PlanError::Codec {
+                    reason: format!("{name} does not materialize row permutations of 0..{cols}"),
+                });
+            }
+            gathers.push(g);
+        }
+        // Row inversion is an involution, so inverting the gathers
+        // recovers the steps and `from_steps` re-derives these exact
+        // gather maps.
+        let step3 = invert_rows(&gathers.pop().expect("three gathers"), c);
+        let step2 = invert_rows(&gathers.pop().expect("two gathers"), r);
+        let step1 = invert_rows(&gathers.pop().expect("one gather"), c);
+        let mut ir = Self::from_steps(shape, width, step1, step2, step3, gamma, fingerprint)?;
+        ir.affine = Some(affine);
+        Ok(ir)
     }
 
     /// The matrix shape of the three passes.
@@ -554,6 +623,15 @@ impl PlanIr {
         &self.g3
     }
 
+    /// Closed-form descriptors of the three gather maps (pass order), or
+    /// `None` for König-colored plans. When present, each descriptor is
+    /// verified-exact against its map: `affine[k].eval(p) == gather(p)`
+    /// for every flat position, so computed-index executors are
+    /// byte-equivalent to map-loading ones by construction.
+    pub fn affine(&self) -> Option<&[AffineStep; 3]> {
+        self.affine.as_ref()
+    }
+
     /// Per-pass geometry hints for sweep executors: the matrix view each
     /// of the three passes runs over, in execution order (pass 2 runs on
     /// the transposed matrix), and whether a fused executor folds a
@@ -561,8 +639,8 @@ impl PlanIr {
     ///
     /// The layouts are **derived** from the stored shape — like the
     /// gather maps, they are never serialised, so exposing them changes
-    /// no wire byte (`codec::FORMAT_VERSION` stays 1) and a decoded plan
-    /// reports exactly the layouts of the plan that was encoded.
+    /// no wire byte and a decoded plan reports exactly the layouts of
+    /// the plan that was encoded.
     pub fn pass_layouts(&self) -> [PassLayout; 3] {
         let MatrixShape { rows: r, cols: c } = self.shape;
         [
@@ -661,6 +739,19 @@ impl PlanIr {
                             ),
                         });
                     }
+                }
+            }
+        }
+        if let Some(affine) = &self.affine {
+            for (name, step, gather) in [
+                ("affine1", &affine[0], &self.g1),
+                ("affine2", &affine[1], &self.g2),
+                ("affine3", &affine[2], &self.g3),
+            ] {
+                if !step.matches_map(gather) {
+                    return Err(PlanError::Invalid {
+                        reason: format!("{name} descriptor does not reproduce its gather map"),
+                    });
                 }
             }
         }
@@ -1099,6 +1190,58 @@ mod tests {
             assert_eq!(ir.gamma(), general.gamma(), "{name}");
             assert_eq!(ir.fingerprint(), general.fingerprint(), "{name}");
             assert_eq!(general.recompose(), ir.recompose(), "{name}");
+        }
+    }
+
+    #[test]
+    fn structured_plans_carry_exact_affine_descriptors() {
+        let n = 1 << 12;
+        for (name, p) in [
+            ("shuffle", families::shuffle(n).unwrap()),
+            ("bit_reversal", families::bit_reversal(n).unwrap()),
+            ("transpose", families::transpose_square(n).unwrap()),
+        ] {
+            let ir = PlanIr::build(&p, W).unwrap();
+            let aff = ir
+                .affine()
+                .unwrap_or_else(|| panic!("{name} has no descriptors"));
+            let (r, c) = (ir.shape().rows, ir.shape().cols);
+            for (which, step, map, cols) in [
+                ("g1", &aff[0], ir.gather1(), c),
+                ("g2", &aff[1], ir.gather2(), r),
+                ("g3", &aff[2], ir.gather3(), c),
+            ] {
+                assert!(step.matches_map(map), "{name}/{which}");
+                assert_eq!(step.materialize().as_slice(), map, "{name}/{which}");
+                assert_eq!(step.col_bits(), cols.trailing_zeros(), "{name}/{which}");
+                for p in [0usize, 1, 7, n / 2, n - 1] {
+                    assert_eq!(step.eval(p), map[p], "{name}/{which} at {p}");
+                    assert_eq!(
+                        step.row_base(p / cols) ^ step.eval(p % cols) ^ step.offset(),
+                        map[p],
+                        "{name}/{which} split at {p}"
+                    );
+                }
+            }
+        }
+        // König-colored plans carry none.
+        let ir = PlanIr::build(&families::random(n, 3), W).unwrap();
+        assert!(ir.affine().is_none());
+    }
+
+    #[test]
+    fn validate_catches_descriptor_gather_drift() {
+        let p = families::shuffle(1 << 10).unwrap();
+        let ir = PlanIr::build(&p, W).unwrap();
+        assert!(ir.affine().is_some());
+        ir.validate().unwrap();
+        for pass in 1..=3 {
+            let mut bad = ir.clone();
+            bad.corrupt_gather_entry_for_tests(pass, 3);
+            assert!(
+                matches!(bad.validate(), Err(PlanError::Invalid { .. })),
+                "pass {pass}"
+            );
         }
     }
 

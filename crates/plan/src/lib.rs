@@ -24,12 +24,16 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod affine;
 pub mod codec;
 pub mod error;
 pub mod ir;
 pub mod store;
 
-pub use codec::{decode, encode, encode_to, fnv1a, fnv1a_update, FNV_OFFSET, FORMAT_VERSION};
+pub use affine::AffineStep;
+pub use codec::{
+    compact_encoded_len, decode, encode, encode_to, fnv1a, fnv1a_update, FNV_OFFSET, FORMAT_VERSION,
+};
 pub use error::{PlanError, Result};
 pub use ir::{PassLayout, PlanIr};
 pub use store::{PlanStore, StoreEntry, StoreKey};

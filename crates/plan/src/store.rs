@@ -16,6 +16,12 @@
 //! * a corrupt, truncated, or colliding file is an *error to report and a
 //!   file to discard*, never a panic: callers (the engine) count it and
 //!   rebuild from scratch.
+//!
+//! Structured plans persist in **compact descriptor form** (the codec's
+//! kind-1 section): a few hundred bytes per plan instead of 3 × O(n)
+//! maps, with the maps rebuilt on load by the verified Gray-style walk.
+//! A store mixing structured and König plans therefore mixes ~300-byte
+//! and ~12n-byte files; [`PlanStore::prune`] sizes both from disk.
 
 use crate::codec;
 use crate::error::{PlanError, Result};
@@ -319,6 +325,28 @@ mod tests {
         assert_eq!(entries.len(), 1);
         assert_eq!(entries[0].key, key);
         assert_eq!(entries[0].bytes, codec::encoded_len(ir.len()) as u64);
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn structured_plans_persist_descriptor_sized() {
+        // The tentpole storage win: a structured plan's file carries the
+        // three affine descriptors, not the three O(n) maps — and loads
+        // back field-identical, descriptors included.
+        let store = tmp_store("compact");
+        let n = 1 << 12;
+        let p = families::bit_reversal(n).unwrap();
+        let ir = PlanIr::build(&p, W).unwrap();
+        assert!(ir.affine().is_some());
+        store.save(&ir).unwrap();
+        let entries = store.entries().unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].bytes, codec::compact_encoded_len(n) as u64);
+        assert!(entries[0].bytes < 1024, "{} bytes", entries[0].bytes);
+        let loaded = store.load(&StoreKey::of(&ir)).unwrap().expect("present");
+        assert_eq!(loaded, ir);
+        assert!(loaded.affine().is_some());
+        assert!(loaded.matches(&p));
         let _ = fs::remove_dir_all(store.dir());
     }
 

@@ -6,6 +6,7 @@
 //! ```text
 //! hmm-server serve [--addr 127.0.0.1:0] [--width W] [--store DIR]
 //!                  [--max-plans N] [--max-inflight N]
+//!                  [--idle-timeout-ms MS] [--max-conns N]
 //! hmm-server bench-client --addr HOST:PORT [--n N] [--family NAME]
 //!                  [--seed S] [--reps R] [--batch K] [--u64]
 //! ```
@@ -73,12 +74,23 @@ fn serve(args: &[String]) -> ExitCode {
             max_inflight: parse(args, "--max-inflight", defaults.max_inflight)?,
         };
         let store_dir = flag_value(args, "--store").map(Into::into);
+        let config_defaults = ServerConfig::default();
+        // 0 disables the idle reap entirely.
+        let idle_ms = parse(
+            args,
+            "--idle-timeout-ms",
+            config_defaults
+                .idle_timeout
+                .map_or(0, |t| t.as_millis() as u64),
+        )?;
         let server = Server::bind(
             addr.as_str(),
             ServerConfig {
                 width,
                 admission,
                 store_dir,
+                idle_timeout: (idle_ms > 0).then(|| std::time::Duration::from_millis(idle_ms)),
+                max_connections: parse(args, "--max-conns", config_defaults.max_connections)?,
             },
         )
         .map_err(|e| e.to_string())?;

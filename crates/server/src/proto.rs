@@ -111,6 +111,12 @@ pub enum ErrCode {
     /// the byte stream can no longer be trusted, so the server sends
     /// this and closes.
     BadFrame = 10,
+    /// The connection sat idle past the server's read timeout; the
+    /// server sends this and closes.
+    IdleTimeout = 11,
+    /// The server is at its global connection cap; sent immediately
+    /// after accept, then the connection closes.
+    Busy = 12,
 }
 
 impl ErrCode {
@@ -128,6 +134,8 @@ impl ErrCode {
             8 => ErrCode::SizeMismatch,
             9 => ErrCode::Unsupported,
             10 => ErrCode::BadFrame,
+            11 => ErrCode::IdleTimeout,
+            12 => ErrCode::Busy,
             _ => ErrCode::Malformed,
         }
     }
@@ -146,6 +154,8 @@ impl fmt::Display for ErrCode {
             ErrCode::SizeMismatch => "size-mismatch",
             ErrCode::Unsupported => "unsupported",
             ErrCode::BadFrame => "bad-frame",
+            ErrCode::IdleTimeout => "idle-timeout",
+            ErrCode::Busy => "busy",
         };
         f.write_str(name)
     }
@@ -321,6 +331,9 @@ pub struct ServerStats {
     pub builds: u64,
     /// Plans produced by the structured (BMMC) fast path.
     pub plans_structured: u64,
+    /// Plans carrying affine descriptors (eligible for the map-free
+    /// computed-index kernels).
+    pub plans_affine: u64,
     /// Plans served (verified) from the on-disk store.
     pub store_hits: u64,
     /// Store files discarded as corrupt/colliding.
@@ -333,6 +346,11 @@ pub struct ServerStats {
     pub cancelled: u64,
     /// Requests refused by admission control.
     pub admission_rejects: u64,
+    /// Connections closed for sitting idle past the read timeout.
+    pub idle_disconnects: u64,
+    /// Connections refused at accept because the server was at its
+    /// global connection cap.
+    pub conn_rejects: u64,
     /// Plan handles currently registered across live sessions.
     pub registered_plans: u64,
     /// Live client connections.
@@ -342,7 +360,7 @@ pub struct ServerStats {
 }
 
 /// Number of `u64` counter fields in a v1 `STATS_REPORT` body.
-const STATS_FIELDS: u8 = 13;
+const STATS_FIELDS: u8 = 16;
 
 /// One protocol message. `encode` and `decode` are exact inverses for
 /// every well-formed frame (pinned by the proptest suite).
@@ -589,12 +607,15 @@ impl Frame {
                     s.misses,
                     s.builds,
                     s.plans_structured,
+                    s.plans_affine,
                     s.store_hits,
                     s.store_rejects,
                     s.submitted,
                     s.completed,
                     s.cancelled,
                     s.admission_rejects,
+                    s.idle_disconnects,
+                    s.conn_rejects,
                     s.registered_plans,
                     s.active_clients,
                     u64::from(s.draining),
@@ -757,15 +778,18 @@ impl Frame {
                     misses: v[1],
                     builds: v[2],
                     plans_structured: v[3],
-                    store_hits: v[4],
-                    store_rejects: v[5],
-                    submitted: v[6],
-                    completed: v[7],
-                    cancelled: v[8],
-                    admission_rejects: v[9],
-                    registered_plans: v[10],
-                    active_clients: v[11],
-                    draining: v[12] != 0,
+                    plans_affine: v[4],
+                    store_hits: v[5],
+                    store_rejects: v[6],
+                    submitted: v[7],
+                    completed: v[8],
+                    cancelled: v[9],
+                    admission_rejects: v[10],
+                    idle_disconnects: v[11],
+                    conn_rejects: v[12],
+                    registered_plans: v[13],
+                    active_clients: v[14],
+                    draining: v[15] != 0,
                 })
             }
             kind::DRAIN => Frame::Drain,

@@ -34,6 +34,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use hmm_native::{JobError, SharedEngine};
 use hmm_perm::{Bmmc, Permutation};
@@ -81,6 +82,18 @@ pub struct ServerConfig {
     /// Optional `PlanStore` directory shared by both engines; restarts
     /// against a warm store complete registrations with `builds == 0`.
     pub store_dir: Option<PathBuf>,
+    /// Close connections that send no complete frame for this long
+    /// (`None` disables the reap). A tripped timeout is answered with a
+    /// typed `ERR idle-timeout` before the close and counted in
+    /// [`ServerStats::idle_disconnects`]. A client trickling bytes
+    /// mid-frame slower than this is reaped too — the timeout bounds
+    /// how long a handler thread can be held by one silent peer.
+    pub idle_timeout: Option<Duration>,
+    /// Global cap on concurrently live connections. An accept past the
+    /// cap is answered with a typed `ERR busy` and closed immediately,
+    /// counted in [`ServerStats::conn_rejects`] — the thread-per-
+    /// connection model is only safe with a bound on the thread count.
+    pub max_connections: usize,
 }
 
 impl Default for ServerConfig {
@@ -89,6 +102,8 @@ impl Default for ServerConfig {
             width: 32,
             admission: AdmissionConfig::default(),
             store_dir: None,
+            idle_timeout: Some(Duration::from_secs(60)),
+            max_connections: 256,
         }
     }
 }
@@ -100,11 +115,15 @@ struct Shared {
     engine_u32: SharedEngine<u32>,
     engine_u64: SharedEngine<u64>,
     admission: AdmissionConfig,
+    idle_timeout: Option<Duration>,
+    max_connections: usize,
     draining: AtomicBool,
     drained: Mutex<bool>,
     drained_cv: Condvar,
     registered_plans: AtomicU64,
     active_clients: AtomicU64,
+    idle_disconnects: AtomicU64,
+    conn_rejects: AtomicU64,
     accept: Mutex<Option<JoinHandle<()>>>,
 }
 
@@ -117,12 +136,15 @@ impl Shared {
             misses: a.misses + b.misses,
             builds: a.builds + b.builds,
             plans_structured: a.plans_structured + b.plans_structured,
+            plans_affine: a.plans_affine + b.plans_affine,
             store_hits: a.store_hits + b.store_hits,
             store_rejects: a.store_rejects + b.store_rejects,
             submitted: a.submitted + b.submitted,
             completed: a.completed + b.completed,
             cancelled: a.cancelled + b.cancelled,
             admission_rejects: a.admission_rejects + b.admission_rejects,
+            idle_disconnects: self.idle_disconnects.load(Ordering::Relaxed),
+            conn_rejects: self.conn_rejects.load(Ordering::Relaxed),
             registered_plans: self.registered_plans.load(Ordering::Relaxed),
             active_clients: self.active_clients.load(Ordering::Relaxed),
             draining: self.draining.load(Ordering::Relaxed),
@@ -193,11 +215,15 @@ impl Server {
             engine_u32,
             engine_u64,
             admission: config.admission,
+            idle_timeout: config.idle_timeout,
+            max_connections: config.max_connections.max(1),
             draining: AtomicBool::new(false),
             drained: Mutex::new(false),
             drained_cv: Condvar::new(),
             registered_plans: AtomicU64::new(0),
             active_clients: AtomicU64::new(0),
+            idle_disconnects: AtomicU64::new(0),
+            conn_rejects: AtomicU64::new(0),
             accept: Mutex::new(None),
         });
 
@@ -274,6 +300,21 @@ fn accept_loop(shared: Arc<Shared>, listener: TcpListener) {
             Ok(s) => s,
             Err(_) => continue,
         };
+        // Global connection cap: refuse with a typed ERR instead of
+        // spawning an unbounded number of handler threads. The reply is
+        // best-effort — a peer that already vanished just loses it.
+        if shared.active_clients.load(Ordering::Relaxed) >= shared.max_connections as u64 {
+            shared.conn_rejects.fetch_add(1, Ordering::Relaxed);
+            let mut writer = BufWriter::new(stream);
+            let _ = write_frame(
+                &mut writer,
+                &Frame::Err {
+                    code: ErrCode::Busy,
+                    message: format!("server at its connection cap ({})", shared.max_connections),
+                },
+            );
+            continue;
+        }
         shared.active_clients.fetch_add(1, Ordering::Relaxed);
         let conn_shared = Arc::clone(&shared);
         let spawned = std::thread::Builder::new()
@@ -310,6 +351,12 @@ fn session_loop(shared: Arc<Shared>, stream: TcpStream) {
         plans: HashMap::new(),
         next_handle: 1,
     };
+    // The read timeout is a socket-level option, shared with the clone
+    // below; a tripped timeout surfaces from `read_frame` as an I/O
+    // error with `WouldBlock`/`TimedOut` (platform-dependent which).
+    if let Some(t) = shared.idle_timeout {
+        let _ = stream.set_read_timeout(Some(t));
+    }
     let reader_stream = match stream.try_clone() {
         Ok(s) => s,
         Err(_) => {
@@ -323,6 +370,26 @@ fn session_loop(shared: Arc<Shared>, stream: TcpStream) {
     loop {
         let frame = match read_frame(&mut reader) {
             Ok(f) => f,
+            // The idle reap: no complete frame arrived within the
+            // timeout. Diagnose with a typed ERR (best effort), count
+            // it, and release the handler thread.
+            Err(ProtoError::Io {
+                kind: std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut,
+                ..
+            }) if shared.idle_timeout.is_some() => {
+                shared.idle_disconnects.fetch_add(1, Ordering::Relaxed);
+                let _ = write_frame(
+                    &mut writer,
+                    &Frame::Err {
+                        code: ErrCode::IdleTimeout,
+                        message: format!(
+                            "connection idle past the {:?} read timeout",
+                            shared.idle_timeout.unwrap_or_default()
+                        ),
+                    },
+                );
+                break;
+            }
             // Clean close between frames, or the socket died (including
             // mid-payload). Nothing was submitted for a partial frame —
             // frames are fully read before dispatch — so there is no

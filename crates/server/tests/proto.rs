@@ -54,14 +54,17 @@ fn one_of_each() -> Vec<Frame> {
             misses: 2,
             builds: 3,
             plans_structured: 4,
-            store_hits: 5,
-            store_rejects: 6,
-            submitted: 7,
-            completed: 8,
-            cancelled: 9,
-            admission_rejects: 10,
-            registered_plans: 11,
-            active_clients: 12,
+            plans_affine: 5,
+            store_hits: 6,
+            store_rejects: 7,
+            submitted: 8,
+            completed: 9,
+            cancelled: 10,
+            admission_rejects: 11,
+            idle_disconnects: 12,
+            conn_rejects: 13,
+            registered_plans: 14,
+            active_clients: 15,
             draining: true,
         }),
         Frame::Drain,
@@ -345,12 +348,15 @@ fn seeded_frame(variant: usize, mut seed: u64) -> Frame {
             misses: splitmix(s),
             builds: splitmix(s),
             plans_structured: splitmix(s),
+            plans_affine: splitmix(s),
             store_hits: splitmix(s),
             store_rejects: splitmix(s),
             submitted: splitmix(s),
             completed: splitmix(s),
             cancelled: splitmix(s),
             admission_rejects: splitmix(s),
+            idle_disconnects: splitmix(s),
+            conn_rejects: splitmix(s),
             registered_plans: splitmix(s),
             active_clients: splitmix(s),
             draining: splitmix(s) % 2 == 1,
@@ -360,7 +366,7 @@ fn seeded_frame(variant: usize, mut seed: u64) -> Frame {
         _ => {
             let len = (splitmix(s) % 65) as usize;
             Frame::Err {
-                code: ErrCode::from_u16((splitmix(s) % 12) as u16),
+                code: ErrCode::from_u16((splitmix(s) % 14) as u16),
                 message: (0..len)
                     .map(|_| char::from(b' ' + (splitmix(s) % 95) as u8))
                     .collect(),

@@ -342,6 +342,102 @@ fn unknown_handle_fingerprint_mismatch_and_size_mismatch_are_typed() {
 }
 
 #[test]
+fn idle_connections_are_reaped_with_a_typed_timeout() {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            idle_timeout: Some(Duration::from_millis(150)),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let n = 1 << 10;
+
+    // An active client keeps working on its own thread: every request
+    // lands well inside the timeout window, so the reap must never
+    // touch it even while the silent peer below is being collected.
+    let mut busy = Client::connect(server.local_addr()).unwrap();
+    let p = families::bit_reversal(n).unwrap();
+    let h = busy.register::<u32>(&p).unwrap();
+    let src: Vec<u32> = (0..n as u32).collect();
+    let worker = std::thread::spawn(move || {
+        let mut out = Vec::new();
+        for _ in 0..40 {
+            out = busy.permute(&h, &src).unwrap();
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        (busy, out)
+    });
+
+    // A silent client connects and sends nothing. It must receive a
+    // typed ERR IdleTimeout followed by a close — not a silent drop.
+    let mut idle = TcpStream::connect(server.local_addr()).unwrap();
+    match read_frame(&mut idle.try_clone().unwrap()).unwrap() {
+        Frame::Err { code, message } => {
+            assert_eq!(code, ErrCode::IdleTimeout);
+            assert!(!message.is_empty());
+        }
+        other => panic!("expected ERR IdleTimeout, got {}", other.kind_name()),
+    }
+    let mut rest = Vec::new();
+    idle.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty(), "server must close after the timeout ERR");
+
+    // The busy client outlived the reap with correct answers throughout.
+    let (_busy, out) = worker.join().unwrap();
+    assert_eq!(out.len(), n);
+    let stats = wait_for(&server, |s| {
+        s.idle_disconnects == 1 && s.active_clients == 1
+    });
+    assert_eq!(stats.conn_rejects, 0);
+}
+
+#[test]
+fn connection_cap_refuses_with_typed_busy_and_recovers() {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            max_connections: 2,
+            idle_timeout: None,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+
+    // Fill the cap with two live sessions; a STATS round trip per client
+    // proves each handler thread is up (the gauge increments at accept).
+    let mut a = Client::connect(server.local_addr()).unwrap();
+    let mut b = Client::connect(server.local_addr()).unwrap();
+    a.stats().unwrap();
+    b.stats().unwrap();
+    wait_for(&server, |s| s.active_clients == 2);
+
+    // The third connection is refused with a typed ERR Busy, then closed.
+    let mut third = TcpStream::connect(server.local_addr()).unwrap();
+    match read_frame(&mut third.try_clone().unwrap()).unwrap() {
+        Frame::Err { code, message } => {
+            assert_eq!(code, ErrCode::Busy);
+            assert!(message.contains('2'), "cap should be named: {message}");
+        }
+        other => panic!("expected ERR Busy, got {}", other.kind_name()),
+    }
+    let mut rest = Vec::new();
+    third.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty(), "server must close a refused connection");
+    let stats = wait_for(&server, |s| s.conn_rejects == 1);
+    assert_eq!(stats.active_clients, 2, "cap reject must not leak a slot");
+
+    // Capacity frees when a session ends: dropping one client admits a
+    // newcomer.
+    drop(a);
+    wait_for(&server, |s| s.active_clients == 1);
+    let mut c = Client::connect(server.local_addr()).unwrap();
+    let s = c.stats().unwrap();
+    assert_eq!(s.conn_rejects, 1);
+    b.stats().unwrap();
+}
+
+#[test]
 fn requests_after_drain_are_refused_as_draining() {
     let server = server();
     let n = 1 << 10;

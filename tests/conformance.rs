@@ -8,8 +8,8 @@
 //! shares no code with the permutation layer, the plan builder, or the
 //! backends. Coverage is the cross product of:
 //!
-//! * the five paper permutation families: identity, shuffle, transpose,
-//!   bit-reversal, and random;
+//! * the five paper permutation families — identity, shuffle, transpose,
+//!   bit-reversal, random — plus a seeded random invertible BMMC;
 //! * n ∈ {1K, 64K, 256K};
 //! * every registered backend (`native`, `interp`) × both routes, each
 //!   **forced** via [`hmm_native::forced_engine_on`] (γ threshold `0.0` →
@@ -29,7 +29,10 @@ const W: usize = 32;
 /// `W = 32`, so the scheduled route is constructible at every size.
 const SIZES: [usize; 3] = [1 << 10, 1 << 16, 1 << 18];
 
-/// The five paper families at size `n`.
+/// The five paper families at size `n`, plus a random invertible BMMC —
+/// structured like the affine families but with dense arbitrary masks,
+/// so the recognizer/computed-index path is exercised beyond the paper's
+/// sparse bit-matrices.
 fn paper_families(n: usize) -> Vec<(&'static str, Permutation)> {
     vec![
         ("identity", families::identical(n)),
@@ -37,6 +40,10 @@ fn paper_families(n: usize) -> Vec<(&'static str, Permutation)> {
         ("transpose", families::transpose_square(n).unwrap()),
         ("bit-reversal", families::bit_reversal(n).unwrap()),
         ("random", families::random(n, 0xc0ffee ^ n as u64)),
+        (
+            "random-bmmc",
+            families::random_bmmc(n, 0xb117 ^ n as u64).unwrap(),
+        ),
     ]
 }
 

@@ -158,6 +158,84 @@ fn fused_chain_of_general_permutations_is_correct() {
     assert!(engine.permute_fused(&[], &src, &mut fused_out).is_err());
 }
 
+/// Computed-index acceptance, engine level: structured plans surface
+/// `plans_affine`, the config snapshot reports the kernel form, and the
+/// computed output is byte-identical to a map-load engine's.
+#[test]
+fn computed_index_engine_matches_map_load_engine() {
+    let n = 1 << 16;
+    let computed = forced_engine(Route::Scheduled);
+    assert!(
+        computed.stats().kernel_computed_index,
+        "computed-index kernels are the default"
+    );
+    let map_load = forced_engine(Route::Scheduled);
+    map_load.set_kernel_config(hmm_native::KernelConfig {
+        computed_index: false,
+        ..hmm_native::KernelConfig::default()
+    });
+    for (name, p) in affine_families(n) {
+        let src = input(n);
+        let want = naive_reference(&p, &src);
+        let mut a = vec![0u32; n];
+        computed.permute(&p, &src, &mut a).unwrap();
+        let mut b = vec![0u32; n];
+        map_load.permute(&p, &src, &mut b).unwrap();
+        assert_eq!(a, want, "{name}: computed vs naive");
+        assert_eq!(a, b, "{name}: computed vs map-load");
+    }
+    let s = computed.stats();
+    assert_eq!(s.plans_affine, affine_families(n).len() as u64);
+    assert!(!map_load.stats().kernel_computed_index);
+
+    // Random permutations carry no descriptors.
+    let engine = forced_engine(Route::Scheduled);
+    engine.plan(&families::random(1 << 12, 5)).unwrap();
+    assert_eq!(engine.stats().plans_affine, 0);
+}
+
+/// Store-shrink acceptance: a structured plan persists descriptor-form
+/// (O(log² n) bytes, not the 12n+ of three flat maps), and a cold
+/// process loads it back with zero König colorings — the descriptors
+/// rebuild the maps — with byte-identical output and `plans_affine`
+/// still counted.
+#[test]
+fn structured_store_entries_are_descriptor_sized_and_cold_load_clean() {
+    let n = 1 << 16;
+    let dir = std::env::temp_dir().join(format!("hmm-structured-compact-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let p = families::bit_reversal(n).unwrap();
+    let src = input(n);
+    let want = naive_reference(&p, &src);
+
+    let warm: SharedEngine<u32> = SharedEngine::with_store(W, &dir).unwrap();
+    let mut dst = vec![0u32; n];
+    warm.permute(&p, &src, &mut dst).unwrap();
+    assert_eq!(dst, want);
+    let entries = warm.store().unwrap().entries().unwrap();
+    assert_eq!(entries.len(), 1);
+    assert_eq!(
+        entries[0].bytes as usize,
+        hmm_plan::compact_encoded_len(n),
+        "structured plans persist compact"
+    );
+    assert!(
+        entries[0].bytes < 1024,
+        "a 64K-element structured plan is a few hundred bytes, got {}",
+        entries[0].bytes
+    );
+
+    let cold: SharedEngine<u32> = SharedEngine::with_store(W, &dir).unwrap();
+    dst.fill(0);
+    cold.permute(&p, &src, &mut dst).unwrap();
+    assert_eq!(dst, want, "store-served computed output must verify");
+    let s = cold.stats();
+    assert_eq!(s.builds, 0, "cold load never colors");
+    assert_eq!(s.store_hits, 1);
+    assert_eq!(s.plans_affine, 1, "loaded plan still carries descriptors");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Satellite-1 regression: a bit-flipped gather map entry must be
 /// rejected with a typed error on every front door, never mis-gathered
 /// silently by the clamped SIMD tiers.
